@@ -1,0 +1,143 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (printed below, recorded in EXPERIMENTS.md) and registers one Bechamel
+   test per experiment measuring the harness's own cost of regenerating
+   it.
+
+   Experiment ids follow DESIGN.md:
+     T1-T4  wire-format tables          F1/F2  put/get protocols
+     F3/F4  address translation         F5/F6  application bypass
+     L1     ping-pong latency           B1     streaming bandwidth
+     S1/S2  scalability                 A1/A2  drop accounting, ablations *)
+
+open Bechamel
+open Toolkit
+
+let line ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
+
+let print_all () =
+  let ppf = Format.std_formatter in
+  line ppf;
+  Format.fprintf ppf "T1-T4: wire formats@.";
+  line ppf;
+  Experiments.Tables.pp ppf (Experiments.Tables.run ());
+  line ppf;
+  Format.fprintf ppf "F1/F2: data movement protocols@.";
+  line ppf;
+  Experiments.Protocols.pp ppf (Experiments.Protocols.run_put ());
+  Experiments.Protocols.pp ppf (Experiments.Protocols.run_get ());
+  line ppf;
+  Format.fprintf ppf "F3/F4: address translation@.";
+  line ppf;
+  Experiments.Translation.pp ppf (Experiments.Translation.run ());
+  line ppf;
+  Format.fprintf ppf "L1: zero-length ping-pong latency (section 3: MCP < 20us)@.";
+  line ppf;
+  Experiments.Latency.pp ppf (Experiments.Latency.run ());
+  line ppf;
+  Format.fprintf ppf "B1: streaming bandwidth (section 3: packet pipelining)@.";
+  line ppf;
+  Experiments.Bandwidth.pp ppf (Experiments.Bandwidth.run ());
+  line ppf;
+  Format.fprintf ppf "F5/F6: application bypass (the paper's headline result)@.";
+  line ppf;
+  Experiments.Fig6.pp ppf (Experiments.Fig6.run ());
+  line ppf;
+  Format.fprintf ppf "S1: unexpected-buffer memory vs job size (section 4.1)@.";
+  line ppf;
+  Experiments.Scaling.pp_memory ppf (Experiments.Scaling.run_memory ());
+  line ppf;
+  Format.fprintf ppf "S2: collective scaling on connectionless Portals@.";
+  line ppf;
+  Experiments.Scaling.pp_collectives ppf (Experiments.Scaling.run_collectives ());
+  line ppf;
+  Format.fprintf ppf "A1: dropped-message accounting (section 4.8)@.";
+  line ppf;
+  Experiments.Drops.pp ppf (Experiments.Drops.run ());
+  line ppf;
+  Format.fprintf ppf "A2: ablations@.";
+  line ppf;
+  Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
+  Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
+  line ppf
+
+(* One Bechamel test per experiment: how long the harness takes to
+   regenerate each artifact (real wall time of the simulation run). *)
+let tests =
+  [
+    Test.make ~name:"table1_put_request"
+      (Staged.stage (fun () -> ignore (Experiments.Tables.run ())));
+    Test.make ~name:"table2_ack"
+      (Staged.stage (fun () ->
+           let tables = Experiments.Tables.run () in
+           ignore (List.nth tables 1)));
+    Test.make ~name:"table3_get_request"
+      (Staged.stage (fun () ->
+           let tables = Experiments.Tables.run () in
+           ignore (List.nth tables 2)));
+    Test.make ~name:"table4_reply"
+      (Staged.stage (fun () ->
+           let tables = Experiments.Tables.run () in
+           ignore (List.nth tables 3)));
+    Test.make ~name:"fig1_put_protocol"
+      (Staged.stage (fun () -> ignore (Experiments.Protocols.run_put ())));
+    Test.make ~name:"fig2_get_protocol"
+      (Staged.stage (fun () -> ignore (Experiments.Protocols.run_get ())));
+    Test.make ~name:"fig34_translation"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Translation.run ~depths:[ 0; 64 ] ())));
+    Test.make ~name:"fig5_harness"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fig5.run Experiments.Fig5.default_params)));
+    Test.make ~name:"fig6_app_bypass"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Fig6.run ~iterations:1 ~work_ms:[ 0.; 20. ] ())));
+    Test.make ~name:"lat_pingpong"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Latency.run_one ~iterations:10 Runtime.Offload)));
+    Test.make ~name:"bw_msgsize"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Bandwidth.run_one ~sizes:[ 65_536 ] ~count:8
+                Runtime.Offload)));
+    Test.make ~name:"mem_scaling"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Scaling.run_memory ~job_sizes:[ 8 ] ())));
+    Test.make ~name:"coll_scaling"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Scaling.run_collectives ~node_counts:[ 16 ] ())));
+    Test.make ~name:"drop_reasons"
+      (Staged.stage (fun () -> ignore (Experiments.Drops.run ())));
+    Test.make ~name:"progress_ablation"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Ablation.run_threshold ~sizes:[ 32_768; 131_072 ] ())));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  Format.printf "Bechamel: wall time per regeneration (monotonic clock)@.";
+  Format.printf "%-24s %s@." "bench" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun _name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) ->
+            Format.printf "%-24s %.3f ms@." (Test.name test) (t /. 1e6)
+          | Some [] | None ->
+            Format.printf "%-24s (no estimate)@." (Test.name test))
+        analysis)
+    tests
+
+let () =
+  print_all ();
+  benchmark ();
+  Format.printf "@.bench: done@."

@@ -1,0 +1,218 @@
+(* Command-line driver for the reproduction: run any experiment (table or
+   figure) on demand with tweakable parameters.
+
+     dune exec bin/portals_repro.exe -- --help
+     dune exec bin/portals_repro.exe -- fig6 --sizes 50000 --work 0,10,20
+     dune exec bin/portals_repro.exe -- latency --size 1024 *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let transport_conv =
+  let parse = function
+    | "offload" | "mcp" -> Ok Runtime.Offload
+    | "kernel" -> Ok Runtime.Kernel_interrupt
+    | "rtscts" -> Ok Runtime.Rtscts
+    | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
+  in
+  let print fmt t = Format.fprintf fmt "%s" (Runtime.transport_kind_name t) in
+  Arg.conv (parse, print)
+
+let backend_conv =
+  let parse = function
+    | "portals" -> Ok `Portals
+    | "gm" -> Ok `Gm
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print fmt = function
+    | `Portals -> Format.fprintf fmt "portals"
+    | `Gm -> Format.fprintf fmt "gm"
+  in
+  Arg.conv (parse, print)
+
+let floats_conv = Arg.list ~sep:',' Arg.float
+let ints_conv = Arg.list ~sep:',' Arg.int
+
+(* --- commands ----------------------------------------------------------- *)
+
+let tables_cmd =
+  let run () = Experiments.Tables.pp ppf (Experiments.Tables.run ()) in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate Tables 1-4 (wire formats)")
+    Term.(const run $ const ())
+
+let protocols_cmd =
+  let run transport =
+    Experiments.Protocols.pp ppf (Experiments.Protocols.run_put ~transport ());
+    Experiments.Protocols.pp ppf (Experiments.Protocols.run_get ~transport ())
+  in
+  let transport =
+    Arg.(value & opt transport_conv Runtime.Offload
+         & info [ "transport" ] ~doc:"offload | kernel | rtscts")
+  in
+  Cmd.v
+    (Cmd.info "protocols" ~doc:"Regenerate Figures 1-2 (put/get timelines)")
+    Term.(const run $ transport)
+
+let translation_cmd =
+  let run depths =
+    Experiments.Translation.pp ppf (Experiments.Translation.run ~depths ())
+  in
+  let depths =
+    Arg.(value & opt ints_conv Experiments.Translation.default_depths
+         & info [ "depths" ] ~doc:"Match-list depths to sweep")
+  in
+  Cmd.v
+    (Cmd.info "translation" ~doc:"Regenerate Figures 3-4 (address translation)")
+    Term.(const run $ depths)
+
+let latency_cmd =
+  let run size iterations =
+    Experiments.Latency.pp ppf
+      (Experiments.Latency.run ~message_size:size ~iterations ())
+  in
+  let size =
+    Arg.(value & opt int 0 & info [ "size" ] ~doc:"Message size in bytes")
+  in
+  let iterations =
+    Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"Ping-pong rounds")
+  in
+  Cmd.v (Cmd.info "latency" ~doc:"Ping-pong latency across placements (L1)")
+    Term.(const run $ size $ iterations)
+
+let bandwidth_cmd =
+  let run sizes count =
+    Experiments.Bandwidth.pp ppf (Experiments.Bandwidth.run ~sizes ~count ())
+  in
+  let sizes =
+    Arg.(value & opt ints_conv Experiments.Bandwidth.default_sizes
+         & info [ "sizes" ] ~doc:"Message sizes in bytes")
+  in
+  let count =
+    Arg.(value & opt int 16 & info [ "count" ] ~doc:"Messages per size")
+  in
+  Cmd.v (Cmd.info "bandwidth" ~doc:"Streaming bandwidth vs size (B1)")
+    Term.(const run $ sizes $ count)
+
+let fig5_cmd =
+  let run backend transport size batch work tests =
+    let r =
+      Experiments.Fig5.run
+        {
+          Experiments.Fig5.backend;
+          transport;
+          message_size = size;
+          batch;
+          iterations = 4;
+          work = Sim_engine.Time_ns.ms work;
+          tests_during_work = tests;
+        }
+    in
+    Format.fprintf ppf
+      "fig5: backend=%s work=%.1fms -> mean wait %.3f ms (max %.3f), work took %.3f ms@."
+      (match backend with `Portals -> "portals" | `Gm -> "gm")
+      work
+      (r.Experiments.Fig5.mean_wait /. 1000.)
+      (r.Experiments.Fig5.max_wait /. 1000.)
+      (r.Experiments.Fig5.mean_work_elapsed /. 1000.)
+  in
+  let backend =
+    Arg.(value & opt backend_conv `Portals & info [ "backend" ] ~doc:"portals | gm")
+  in
+  let transport =
+    Arg.(value & opt transport_conv Runtime.Rtscts
+         & info [ "transport" ] ~doc:"offload | kernel | rtscts")
+  in
+  let size = Arg.(value & opt int 50_000 & info [ "size" ] ~doc:"Message size") in
+  let batch = Arg.(value & opt int 10 & info [ "batch" ] ~doc:"Messages per batch") in
+  let work = Arg.(value & opt float 10.0 & info [ "work" ] ~doc:"Work interval, ms") in
+  let tests =
+    Arg.(value & opt int 0 & info [ "tests" ] ~doc:"MPI test calls during work")
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"One application-bypass measurement (Table 5)")
+    Term.(const run $ backend $ transport $ size $ batch $ work $ tests)
+
+let fig6_cmd =
+  let run size work_ms iterations =
+    Experiments.Fig6.pp ppf
+      (Experiments.Fig6.run ~message_size:size ~work_ms ~iterations ())
+  in
+  let size = Arg.(value & opt int 50_000 & info [ "size" ] ~doc:"Message size") in
+  let work =
+    Arg.(value & opt floats_conv Experiments.Fig6.work_intervals_ms
+         & info [ "work" ] ~doc:"Work intervals (ms), comma separated")
+  in
+  let iterations =
+    Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Averaging repetitions")
+  in
+  Cmd.v (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (application bypass)")
+    Term.(const run $ size $ work $ iterations)
+
+let memory_cmd =
+  let run jobs =
+    Experiments.Scaling.pp_memory ppf
+      (Experiments.Scaling.run_memory ~job_sizes:jobs ())
+  in
+  let jobs =
+    Arg.(value & opt ints_conv [ 4; 8; 16; 32; 64 ]
+         & info [ "jobs" ] ~doc:"Job sizes to sweep")
+  in
+  Cmd.v (Cmd.info "memory" ~doc:"Unexpected-buffer memory vs job size (S1)")
+    Term.(const run $ jobs)
+
+let collectives_cmd =
+  let run nodes =
+    Experiments.Scaling.pp_collectives ppf
+      (Experiments.Scaling.run_collectives ~node_counts:nodes ())
+  in
+  let nodes =
+    Arg.(value & opt ints_conv [ 2; 4; 8; 16; 32; 64; 128; 256 ]
+         & info [ "nodes" ] ~doc:"Node counts to sweep")
+  in
+  Cmd.v (Cmd.info "collectives" ~doc:"Collective scaling (S2)")
+    Term.(const run $ nodes)
+
+let drops_cmd =
+  let run () = Experiments.Drops.pp ppf (Experiments.Drops.run ()) in
+  Cmd.v (Cmd.info "drops" ~doc:"Trigger and count every drop reason (A1)")
+    Term.(const run $ const ())
+
+let ablation_cmd =
+  let run () =
+    Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
+    Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ())
+  in
+  Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (A2)")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run () =
+    Experiments.Tables.pp ppf (Experiments.Tables.run ());
+    Experiments.Protocols.pp ppf (Experiments.Protocols.run_put ());
+    Experiments.Protocols.pp ppf (Experiments.Protocols.run_get ());
+    Experiments.Translation.pp ppf (Experiments.Translation.run ());
+    Experiments.Latency.pp ppf (Experiments.Latency.run ());
+    Experiments.Bandwidth.pp ppf (Experiments.Bandwidth.run ());
+    Experiments.Fig6.pp ppf (Experiments.Fig6.run ());
+    Experiments.Scaling.pp_memory ppf (Experiments.Scaling.run_memory ());
+    Experiments.Scaling.pp_collectives ppf (Experiments.Scaling.run_collectives ());
+    Experiments.Drops.pp ppf (Experiments.Drops.run ());
+    Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
+    Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Reproduction harness for Portals 3.0 (IPPS 2002)" in
+  let info = Cmd.info "portals_repro" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
+            bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
+            drops_cmd; ablation_cmd; all_cmd;
+          ]))

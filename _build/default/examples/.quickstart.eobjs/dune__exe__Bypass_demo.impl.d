@@ -1,0 +1,1 @@
+examples/bypass_demo.ml: Experiments Format List Runtime Sim_engine

@@ -1,0 +1,1 @@
+examples/halo_exchange.ml: Array Bytes Cpu Float Format Int64 Mpi Runtime Scheduler Sim_engine Stats Time_ns

@@ -1,0 +1,1 @@
+examples/io_server.ml: Array Bytes Char Cpu Format Mpi Portals Printf Runtime Scheduler Sim_engine Time_ns

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Cpu Format Portals Runtime Scheduler Sim_engine Simnet Time_ns

@@ -1,0 +1,1 @@
+examples/shmem_counters.ml: Array Bytes Cpu Format Int64 Onesided Portals Printf Runtime Scheduler Sim_engine Time_ns

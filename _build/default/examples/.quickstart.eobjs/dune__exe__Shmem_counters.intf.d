@@ -1,0 +1,1 @@
+examples/shmem_counters.mli:

@@ -1,0 +1,47 @@
+(* The paper's experiment, live (Table 5 / Figures 5-6).
+
+   Runs the application-bypass test at a few work intervals and prints
+   the two curves the paper contrasts: MPICH/GM makes no progress during
+   the work loop; MPICH over Portals 3.0 finishes virtually all message
+   handling inside it.
+
+     dune exec examples/bypass_demo.exe *)
+
+let () =
+  Format.printf
+    "The Table 5 experiment: pre-post 10 x 50KB receives; barrier; send;@.";
+  Format.printf
+    "work with NO library calls; then time how much waiting remains.@.@.";
+  let work_points = [ 0.; 5.; 15.; 30. ] in
+  let run ~label ~backend ~transport =
+    Format.printf "%s@." label;
+    List.iter
+      (fun ms ->
+        let r =
+          Experiments.Fig5.run
+            {
+              Experiments.Fig5.default_params with
+              Experiments.Fig5.backend;
+              transport;
+              work = Sim_engine.Time_ns.ms ms;
+            }
+        in
+        Format.printf
+          "  work %5.1f ms -> remaining wait %8.3f ms (work actually took %.2f ms)@."
+          ms
+          (r.Experiments.Fig5.mean_wait /. 1000.)
+          (r.Experiments.Fig5.mean_work_elapsed /. 1000.))
+      work_points;
+    Format.printf "@."
+  in
+  run ~label:"MPICH/GM (progress only inside library calls):" ~backend:`Gm
+    ~transport:Runtime.Offload;
+  run ~label:"MPICH over Portals 3.0 (kernel module, interrupt-driven):"
+    ~backend:`Portals ~transport:Runtime.Rtscts;
+  run ~label:"MPICH over Portals 3.0 (NIC-offload MCP):" ~backend:`Portals
+    ~transport:Runtime.Offload;
+  Format.printf
+    "Reading: the GM wait stays flat at the full transfer cost; the Portals@.";
+  Format.printf
+    "waits collapse to bookkeeping once the work interval covers the traffic@.";
+  Format.printf "— application bypass, the paper's Figure 6.@."

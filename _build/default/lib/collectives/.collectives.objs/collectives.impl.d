@@ -1,0 +1,1 @@
+lib/collectives/collectives.ml: Array Bytes Float Int64 Pool Portals Simnet

@@ -1,0 +1,1 @@
+lib/collectives/collectives.mli: Pool Portals Simnet

@@ -1,0 +1,1 @@
+lib/collectives/pool.ml: Array Bytes Portals Queue

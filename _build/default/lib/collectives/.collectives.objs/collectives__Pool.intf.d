@@ -1,0 +1,1 @@
+lib/collectives/pool.mli: Portals Simnet

@@ -1,0 +1,204 @@
+module Pool = Pool
+module P = Portals
+
+type t = {
+  pool : Pool.t;
+  ranks : Simnet.Proc_id.t array;
+  my_rank : int;
+  mutable seq : int;
+}
+
+let create ni ~ranks ~rank ?(portal_index = 6) () =
+  if rank < 0 || rank >= Array.length ranks then
+    invalid_arg "Collectives.create: rank out of range";
+  { pool = Pool.create ni ~portal_index (); ranks; my_rank = rank; seq = 0 }
+
+let rank t = t.my_rank
+let size t = Array.length t.ranks
+
+(* Message naming: sequence number (which collective call), round within
+   the algorithm, and sending rank. *)
+let bits ~seq ~round ~src =
+  let open P.Match_bits in
+  logor
+    (field ~shift:24 ~width:40 seq)
+    (logor (field ~shift:16 ~width:8 round) (field ~shift:0 ~width:16 src))
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let send t ~seq ~round ~dst payload =
+  Pool.send t.pool ~dst:t.ranks.(dst) ~bits:(bits ~seq ~round ~src:t.my_rank) payload
+
+let recv t ~seq ~round ~src = Pool.recv t.pool ~bits:(bits ~seq ~round ~src)
+
+let barrier t =
+  let n = size t in
+  if n > 1 then begin
+    let seq = next_seq t in
+    let rec go round step =
+      if step < n then begin
+        send t ~seq ~round ~dst:((t.my_rank + step) mod n) Bytes.empty;
+        ignore (recv t ~seq ~round ~src:((t.my_rank - step + n) mod n));
+        go (round + 1) (step * 2)
+      end
+    in
+    go 0 1
+  end
+
+let log2_floor v =
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let highest_bit v =
+  if v = 0 then 0 else 1 lsl log2_floor v
+
+(* Binomial broadcast: virtual rank v receives from v - 2^j (j = position
+   of v's highest set bit) in round j, then feeds rounds k > j. *)
+let bcast t ~root payload =
+  let n = size t in
+  if root < 0 || root >= n then invalid_arg "Collectives.bcast: bad root";
+  let seq = next_seq t in
+  let vr = (t.my_rank - root + n) mod n in
+  let real v = (v + root) mod n in
+  let data =
+    if vr = 0 then payload
+    else begin
+      let top = highest_bit vr in
+      recv t ~seq ~round:(log2_floor top) ~src:(real (vr - top))
+    end
+  in
+  let first_round = if vr = 0 then 0 else log2_floor (highest_bit vr) + 1 in
+  let rec fan k =
+    let mask = 1 lsl k in
+    if mask < n then begin
+      if vr < mask && vr + mask < n then send t ~seq ~round:k ~dst:(real (vr + mask)) data;
+      fan (k + 1)
+    end
+  in
+  fan first_round;
+  data
+
+(* Binomial reduce: at the first set bit of the virtual rank, send the
+   accumulated value toward the root; below it, absorb children. *)
+let reduce t ~root ~op payload =
+  let n = size t in
+  if root < 0 || root >= n then invalid_arg "Collectives.reduce: bad root";
+  let seq = next_seq t in
+  let vr = (t.my_rank - root + n) mod n in
+  let real v = (v + root) mod n in
+  let acc = Bytes.copy payload in
+  let rec go mask round =
+    if mask < n then
+      if vr land mask <> 0 then begin
+        send t ~seq ~round ~dst:(real (vr - mask)) acc;
+        false
+      end
+      else begin
+        if vr + mask < n then begin
+          let contribution = recv t ~seq ~round ~src:(real (vr + mask)) in
+          op acc contribution
+        end;
+        go (mask * 2) (round + 1)
+      end
+    else true
+  in
+  if go 1 0 then Some acc else None
+
+let allreduce t ~op payload =
+  match reduce t ~root:0 ~op payload with
+  | Some acc -> bcast t ~root:0 acc
+  | None -> bcast t ~root:0 Bytes.empty
+
+let gather t ~root payload =
+  let n = size t in
+  if root < 0 || root >= n then invalid_arg "Collectives.gather: bad root";
+  let seq = next_seq t in
+  if t.my_rank = root then begin
+    let out = Array.make n Bytes.empty in
+    out.(root) <- payload;
+    (* Claim contributions in whatever order they arrive; recv is keyed
+       by source so the indexing is exact. *)
+    for src = 0 to n - 1 do
+      if src <> root then out.(src) <- recv t ~seq ~round:0 ~src
+    done;
+    Some out
+  end
+  else begin
+    send t ~seq ~round:0 ~dst:root payload;
+    None
+  end
+
+let scatter t ~root pieces =
+  let n = size t in
+  if root < 0 || root >= n then invalid_arg "Collectives.scatter: bad root";
+  let seq = next_seq t in
+  if t.my_rank = root then begin
+    match pieces with
+    | None -> invalid_arg "Collectives.scatter: root must supply pieces"
+    | Some pieces ->
+      if Array.length pieces <> n then
+        invalid_arg "Collectives.scatter: need one piece per rank";
+      for dst = 0 to n - 1 do
+        if dst <> root then send t ~seq ~round:0 ~dst pieces.(dst)
+      done;
+      pieces.(root)
+  end
+  else recv t ~seq ~round:0 ~src:root
+
+(* Ring allgather: in step s, pass along the chunk received in step s-1;
+   after n-1 steps everyone holds every chunk. *)
+let allgather t payload =
+  let n = size t in
+  let seq = next_seq t in
+  let out = Array.make n Bytes.empty in
+  out.(t.my_rank) <- payload;
+  let right = (t.my_rank + 1) mod n and left = (t.my_rank - 1 + n) mod n in
+  for step = 1 to n - 1 do
+    let outgoing = (t.my_rank - step + 1 + n) mod n in
+    let incoming = (t.my_rank - step + n) mod n in
+    send t ~seq ~round:step ~dst:right out.(outgoing);
+    out.(incoming) <- recv t ~seq ~round:step ~src:left
+  done;
+  out
+
+let alltoall t input =
+  let n = size t in
+  if Array.length input <> n then
+    invalid_arg "Collectives.alltoall: need one buffer per rank";
+  let seq = next_seq t in
+  for dst = 0 to n - 1 do
+    if dst <> t.my_rank then send t ~seq ~round:0 ~dst input.(dst)
+  done;
+  let out = Array.make n Bytes.empty in
+  out.(t.my_rank) <- input.(t.my_rank);
+  for src = 0 to n - 1 do
+    if src <> t.my_rank then out.(src) <- recv t ~seq ~round:0 ~src
+  done;
+  out
+
+(* --- typed helpers ----------------------------------------------------- *)
+
+let float_at b i = Int64.float_of_bits (Bytes.get_int64_le b (i * 8))
+let set_float b i v = Bytes.set_int64_le b (i * 8) (Int64.bits_of_float v)
+
+let map2_floats f acc contribution =
+  let n = min (Bytes.length acc) (Bytes.length contribution) / 8 in
+  for i = 0 to n - 1 do
+    set_float acc i (f (float_at acc i) (float_at contribution i))
+  done
+
+let sum_floats acc contribution = map2_floats ( +. ) acc contribution
+let max_floats acc contribution = map2_floats Float.max acc contribution
+
+let bytes_of_floats a =
+  let b = Bytes.create (Array.length a * 8) in
+  Array.iteri (fun i v -> set_float b i v) a;
+  b
+
+let floats_of_bytes b = Array.init (Bytes.length b / 8) (fun i -> float_at b i)
+
+let allreduce_float_sum t values =
+  floats_of_bytes (allreduce t ~op:sum_floats (bytes_of_floats values))

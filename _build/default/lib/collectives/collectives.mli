@@ -1,0 +1,71 @@
+(** Collective communication implemented directly on Portals.
+
+    §2 of the paper: the Puma MPI "utilized a high-performance collective
+    communication library implemented directly on Portals". This module
+    is that layer for the reproduction: tree and dissemination algorithms
+    whose point-to-point steps are raw Portals puts into a pooled
+    endpoint ({!Pool}) — no MPI underneath.
+
+    All ranks of the group must call each collective in the same order
+    (calls are sequenced internally, so different collectives never
+    confuse each other's messages). Calls are fiber-blocking. *)
+
+module Pool = Pool
+
+type t
+
+val create :
+  Portals.Ni.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?portal_index:int ->
+  unit ->
+  t
+(** One collectives endpoint per rank over an existing Portals interface.
+    [portal_index] defaults to 6. *)
+
+val rank : t -> int
+val size : t -> int
+
+val barrier : t -> unit
+(** Dissemination barrier: ceil(log2 n) rounds. *)
+
+val bcast : t -> root:int -> bytes -> bytes
+(** Binomial-tree broadcast of root's buffer; every rank returns the
+    payload (the root returns its own buffer). *)
+
+val reduce : t -> root:int -> op:(bytes -> bytes -> unit) -> bytes -> bytes option
+(** Binomial-tree reduction: [op acc contribution] folds a child's
+    contribution into [acc] in place (buffers are equal-length). The root
+    returns [Some result]; others [None]. *)
+
+val allreduce : t -> op:(bytes -> bytes -> unit) -> bytes -> bytes
+(** Reduce to rank 0, then broadcast. *)
+
+val gather : t -> root:int -> bytes -> bytes array option
+(** Every rank contributes one buffer; the root returns them indexed by
+    rank. Contributions may differ in length. *)
+
+val scatter : t -> root:int -> bytes array option -> bytes
+(** The root supplies one buffer per rank ([Some pieces], length = job
+    size); every rank returns its piece. *)
+
+val allgather : t -> bytes -> bytes array
+(** Ring allgather: n-1 steps, each passing the next chunk around. *)
+
+val alltoall : t -> bytes array -> bytes array
+(** Personalised exchange: element [i] of the input goes to rank [i];
+    the result's element [j] came from rank [j]. *)
+
+(** {1 Typed helpers} *)
+
+val sum_floats : bytes -> bytes -> unit
+(** In-place element-wise float64 sum, for {!reduce}/{!allreduce}. *)
+
+val max_floats : bytes -> bytes -> unit
+
+val bytes_of_floats : float array -> bytes
+val floats_of_bytes : bytes -> float array
+
+val allreduce_float_sum : t -> float array -> float array
+(** Element-wise sum across all ranks. *)

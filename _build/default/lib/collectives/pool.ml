@@ -1,0 +1,167 @@
+module P = Portals
+
+type slab = {
+  s_idx : int;
+  s_buffer : bytes;
+  mutable s_meh : P.Handle.t;
+  mutable s_mdh : P.Handle.t;
+  mutable s_outstanding : int;
+}
+
+type pooled = { p_bits : P.Match_bits.t; p_slab : slab; p_off : int; p_len : int }
+
+type t = {
+  pool_ni : P.Ni.t;
+  portal_index : int;
+  slab_size : int;
+  eqh : P.Handle.t;
+  eqq : P.Event.Queue.t;
+  slabs : slab array;
+  pooled : pooled Queue.t;
+}
+
+let ok_exn = P.Errors.ok_exn
+
+let slab_options =
+  {
+    P.Md.op_put = true;
+    op_get = false;
+    manage_remote = false;
+    truncate = false;
+    ack_disable = true;
+  }
+
+let attach_slab t slab =
+  let meh =
+    ok_exn ~op:"pool me_attach"
+      (P.Ni.me_attach t.pool_ni ~portal_index:t.portal_index
+         ~match_id:P.Match_id.any ~match_bits:P.Match_bits.zero
+         ~ignore_bits:P.Match_bits.all_ones ~unlink:P.Md.Retain ~pos:`Tail ())
+  in
+  let mdh =
+    ok_exn ~op:"pool md_attach"
+      (P.Ni.md_attach t.pool_ni ~me:meh
+         (P.Ni.md_spec ~options:slab_options ~threshold:P.Md.Infinite
+            ~unlink:P.Md.Retain ~eq:t.eqh
+            ~user_ptr:(-(slab.s_idx + 1))
+            slab.s_buffer))
+  in
+  slab.s_meh <- meh;
+  slab.s_mdh <- mdh
+
+let create ni ~portal_index ?(slab_size = 131_072) ?(slab_count = 4)
+    ?(eq_capacity = 4096) () =
+  let eqh = ok_exn ~op:"pool eq_alloc" (P.Ni.eq_alloc ni ~capacity:eq_capacity) in
+  let eqq = ok_exn ~op:"pool eq" (P.Ni.eq ni eqh) in
+  let t =
+    {
+      pool_ni = ni;
+      portal_index;
+      slab_size;
+      eqh;
+      eqq;
+      slabs =
+        Array.init slab_count (fun s_idx ->
+            {
+              s_idx;
+              s_buffer = Bytes.create slab_size;
+              s_meh = P.Handle.none;
+              s_mdh = P.Handle.none;
+              s_outstanding = 0;
+            });
+      pooled = Queue.create ();
+    }
+  in
+  Array.iter (fun slab -> attach_slab t slab) t.slabs;
+  t
+
+let ni t = t.pool_ni
+
+let send t ~dst ~bits payload =
+  let mdh =
+    ok_exn ~op:"pool md_bind"
+      (P.Ni.md_bind t.pool_ni
+         (P.Ni.md_spec
+            ~options:{ P.Md.default_options with P.Md.ack_disable = true }
+            ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
+  in
+  ok_exn ~op:"pool put"
+    (P.Ni.put t.pool_ni ~md:mdh ~ack:false ~target:dst
+       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
+       ~match_bits:bits ~offset:0 ())
+
+let maybe_rearm t slab =
+  if slab.s_outstanding = 0 then begin
+    match P.Ni.md_local_offset t.pool_ni slab.s_mdh with
+    | Error _ -> ()
+    | Ok used ->
+      if used > t.slab_size / 2 then begin
+        ok_exn ~op:"pool rearm" (P.Ni.me_unlink t.pool_ni slab.s_meh);
+        attach_slab t slab
+      end
+  end
+
+let drain t =
+  let rec go () =
+    match P.Event.Queue.get t.eqq with
+    | None -> ()
+    | Some ev ->
+      (match ev.P.Event.kind with
+      | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
+        let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
+        slab.s_outstanding <- slab.s_outstanding + 1;
+        Queue.add
+          {
+            p_bits = ev.P.Event.match_bits;
+            p_slab = slab;
+            p_off = ev.P.Event.offset;
+            p_len = ev.P.Event.mlength;
+          }
+          t.pooled
+      | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent ->
+        ());
+      go ()
+  in
+  go ()
+
+let take t ~bits =
+  let n = Queue.length t.pooled in
+  let found = ref None in
+  for _ = 1 to n do
+    let p = Queue.pop t.pooled in
+    if !found = None && P.Match_bits.equal p.p_bits bits then found := Some p
+    else Queue.add p t.pooled
+  done;
+  !found
+
+let rec recv t ~bits =
+  drain t;
+  match take t ~bits with
+  | Some p ->
+    let data = Bytes.sub p.p_slab.s_buffer p.p_off p.p_len in
+    p.p_slab.s_outstanding <- p.p_slab.s_outstanding - 1;
+    maybe_rearm t p.p_slab;
+    data
+  | None ->
+    let ev = P.Event.Queue.wait t.eqq in
+    (* Put it back through the normal dispatch path. *)
+    (match ev.P.Event.kind with
+    | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
+      let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
+      slab.s_outstanding <- slab.s_outstanding + 1;
+      Queue.add
+        {
+          p_bits = ev.P.Event.match_bits;
+          p_slab = slab;
+          p_off = ev.P.Event.offset;
+          p_len = ev.P.Event.mlength;
+        }
+        t.pooled
+    | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent -> ());
+    recv t ~bits
+
+let pending t =
+  drain t;
+  Queue.length t.pooled
+
+let largest_message t = t.slab_size

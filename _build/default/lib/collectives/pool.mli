@@ -1,0 +1,41 @@
+(** A pooled-message endpoint on one portal table entry.
+
+    Collective algorithms exchange short-lived point-to-point messages
+    whose arrival order relative to the receiver's readiness is not
+    controlled (peers enter the collective at different times). Portals
+    discards messages with no buffer (§4.1), so this pool keeps catch-all
+    match entries over slab MDs with locally managed offsets permanently
+    posted; arrivals land there, and callers {!recv} by exact match-bits,
+    blocking on the event queue until the message they expect has
+    arrived. Slabs recycle once drained — the §4.1 memory argument again:
+    pool memory is sized by protocol concurrency, not job size. *)
+
+type t
+
+val create :
+  Portals.Ni.t ->
+  portal_index:int ->
+  ?slab_size:int ->
+  ?slab_count:int ->
+  ?eq_capacity:int ->
+  unit ->
+  t
+(** Defaults: 4 slabs of 128 KiB, EQ depth 4096. *)
+
+val ni : t -> Portals.Ni.t
+
+val send :
+  t -> dst:Simnet.Proc_id.t -> bits:Portals.Match_bits.t -> bytes -> unit
+(** Fire-and-forget put to the peer's pool on the same portal index. The
+    fabric is reliable, so no completion tracking is needed. *)
+
+val recv : t -> bits:Portals.Match_bits.t -> bytes
+(** Fiber-only: block until a pooled message with exactly [bits] has
+    arrived, remove it from the pool and return a copy of its payload.
+    Messages with the same bits are claimed in arrival order. *)
+
+val pending : t -> int
+(** Messages sitting in the pool (drained events not yet claimed). *)
+
+val largest_message : t -> int
+(** Upper bound on a single message: one slab. *)

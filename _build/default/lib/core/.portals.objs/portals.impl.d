@@ -1,0 +1,1 @@
+lib/core/portals.ml: Acl Errors Event Handle Match_bits Match_id Md Me Ni Wire

@@ -1,0 +1,1 @@
+lib/core/acl.ml: Array Errors Format Match_id

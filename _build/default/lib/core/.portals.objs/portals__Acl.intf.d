@@ -1,0 +1,1 @@
+lib/core/acl.mli: Errors Format Match_id Simnet

@@ -1,0 +1,1 @@
+lib/core/event.ml: Array Format Handle Match_bits Sim_engine Simnet

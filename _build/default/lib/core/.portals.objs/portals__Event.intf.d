@@ -1,0 +1,1 @@
+lib/core/event.mli: Format Handle Match_bits Sim_engine Simnet

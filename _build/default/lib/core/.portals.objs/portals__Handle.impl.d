@@ -1,0 +1,1 @@
+lib/core/handle.ml: Array Format Int64

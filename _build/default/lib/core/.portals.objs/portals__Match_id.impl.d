@@ -1,0 +1,1 @@
+lib/core/match_id.ml: Format Simnet

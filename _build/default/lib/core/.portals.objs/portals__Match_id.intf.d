@@ -1,0 +1,1 @@
+lib/core/match_id.mli: Format Simnet

@@ -1,0 +1,1 @@
+lib/core/md.ml: Array Bytes Event Format Handle List

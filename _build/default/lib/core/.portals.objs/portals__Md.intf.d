@@ -1,0 +1,1 @@
+lib/core/md.mli: Event Format Handle

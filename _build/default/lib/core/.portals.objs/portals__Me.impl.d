@@ -1,0 +1,1 @@
+lib/core/me.ml: Handle List Match_bits Match_id Md

@@ -1,0 +1,1 @@
+lib/core/me.mli: Handle Match_bits Match_id Md Simnet

@@ -1,0 +1,1 @@
+lib/core/ni.ml: Acl Array Bytes Errors Event Format Handle List Match_id Md Me Option Result Scheduler Sim_engine Simnet Time_ns Wire

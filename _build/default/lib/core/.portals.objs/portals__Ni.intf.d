@@ -1,0 +1,1 @@
+lib/core/ni.mli: Acl Errors Event Format Handle Match_bits Match_id Md Sim_engine Simnet

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Bytes Format Handle Int32 Int64 Match_bits Simnet

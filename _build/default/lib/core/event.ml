@@ -1,0 +1,90 @@
+type kind = Sent | Ack | Put | Get | Reply
+
+let kind_to_string = function
+  | Sent -> "SENT"
+  | Ack -> "ACK"
+  | Put -> "PUT"
+  | Get -> "GET"
+  | Reply -> "REPLY"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+type t = {
+  kind : kind;
+  initiator : Simnet.Proc_id.t;
+  portal_index : int;
+  match_bits : Match_bits.t;
+  rlength : int;
+  mlength : int;
+  offset : int;
+  md_handle : Handle.t;
+  md_user_ptr : int;
+  time : Sim_engine.Time_ns.t;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%a from %a pt=%d bits=%a rlen=%d mlen=%d off=%d at %a"
+    pp_kind t.kind Simnet.Proc_id.pp t.initiator t.portal_index Match_bits.pp
+    t.match_bits t.rlength t.mlength t.offset Sim_engine.Time_ns.pp t.time
+
+module Queue = struct
+  type event = t
+
+  type t = {
+    ring : event option array;
+    mutable head : int; (* next read position *)
+    mutable len : int;
+    mutable dropped : int;
+    mutable posted : int;
+    nonempty : Sim_engine.Sync.Waitq.t;
+  }
+
+  let create sched ~capacity =
+    if capacity <= 0 then invalid_arg "Event.Queue.create: capacity must be positive";
+    {
+      ring = Array.make capacity None;
+      head = 0;
+      len = 0;
+      dropped = 0;
+      posted = 0;
+      nonempty = Sim_engine.Sync.Waitq.create ~name:"eq" sched;
+    }
+
+  let capacity t = Array.length t.ring
+  let count t = t.len
+  let is_full t = t.len = Array.length t.ring
+
+  let post t ev =
+    if is_full t then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      let tail = (t.head + t.len) mod Array.length t.ring in
+      t.ring.(tail) <- Some ev;
+      t.len <- t.len + 1;
+      t.posted <- t.posted + 1;
+      Sim_engine.Sync.Waitq.broadcast t.nonempty;
+      true
+    end
+
+  let get t =
+    if t.len = 0 then None
+    else begin
+      let ev = t.ring.(t.head) in
+      t.ring.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.ring;
+      t.len <- t.len - 1;
+      ev
+    end
+
+  let rec wait t =
+    match get t with
+    | Some ev -> ev
+    | None ->
+      Sim_engine.Sync.Waitq.wait t.nonempty;
+      wait t
+
+  let dropped t = t.dropped
+  let posted t = t.posted
+end

@@ -1,0 +1,66 @@
+(** Completion events and circular event queues (§4.4, §4.8).
+
+    Every memory descriptor may name an event queue; operations on the
+    descriptor are logged there. Queues are circular with a fixed capacity
+    chosen at allocation — "the higher level protocol needs to ensure that
+    there are enough event slots and the rate of event consumption is able
+    to keep up with the rate of event production to avoid missing events"
+    (§4.8). A post to a full queue is counted as dropped; readers observe
+    the loss through {!Queue.dropped} (the [PTL_EQ_DROPPED] condition). *)
+
+type kind =
+  | Sent  (** Initiator: an outgoing put left the local interface. *)
+  | Ack  (** Initiator: the target acknowledged a put. *)
+  | Put  (** Target: an incoming put was deposited. *)
+  | Get  (** Target: an incoming get read this descriptor. *)
+  | Reply  (** Initiator: the data for a get arrived. *)
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+type t = {
+  kind : kind;
+  initiator : Simnet.Proc_id.t;
+      (** The process that initiated the operation (for target-side events)
+          or the remote party (echoed back, for initiator-side events). *)
+  portal_index : int;
+  match_bits : Match_bits.t;
+  rlength : int;  (** Length requested on the wire. *)
+  mlength : int;  (** Manipulated length: bytes actually moved (§4.6). *)
+  offset : int;  (** Offset within the memory descriptor actually used. *)
+  md_handle : Handle.t;  (** The descriptor the event concerns. *)
+  md_user_ptr : int;  (** The descriptor's opaque user tag. *)
+  time : Sim_engine.Time_ns.t;  (** Simulated time the event was logged. *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+module Queue : sig
+  type event := t
+  type t
+
+  val create : Sim_engine.Scheduler.t -> capacity:int -> t
+  (** Raises [Invalid_argument] if capacity is not positive. *)
+
+  val capacity : t -> int
+  val count : t -> int
+  (** Events currently queued. *)
+
+  val is_full : t -> bool
+
+  val post : t -> event -> bool
+  (** Append an event; false (and the dropped counter ticks) when full.
+      Wakes blocked {!wait}ers. *)
+
+  val get : t -> event option
+  (** Non-blocking read in arrival order ([PtlEQGet]). *)
+
+  val wait : t -> event
+  (** Fiber-only blocking read ([PtlEQWait]). *)
+
+  val dropped : t -> int
+  (** Events lost to overflow since creation. *)
+
+  val posted : t -> int
+  (** Events successfully posted since creation. *)
+end

@@ -1,0 +1,86 @@
+type t = { idx : int; gen : int }
+
+let none = { idx = -1; gen = -1 }
+let is_none t = t.idx < 0
+let equal a b = a.idx = b.idx && a.gen = b.gen
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "<none>"
+  else Format.fprintf ppf "h%d.%d" t.idx t.gen
+
+(* 32 bits of index, 31 bits of generation; [none] maps to all-ones. *)
+let to_wire t =
+  if is_none t then -1L
+  else Int64.logor (Int64.of_int t.idx) (Int64.shift_left (Int64.of_int t.gen) 32)
+
+let of_wire w =
+  if Int64.equal w (-1L) then none
+  else
+    {
+      idx = Int64.to_int (Int64.logand w 0xFFFFFFFFL);
+      gen = Int64.to_int (Int64.shift_right_logical w 32);
+    }
+
+module Table = struct
+  type nonrec handle = t
+
+  type 'a slot = { mutable value : 'a option; mutable gen : int }
+  type 'a t = {
+    mutable slots : 'a slot array;
+    mutable free : int list;
+    mutable live : int;
+  }
+
+  let create ?(initial_capacity = 16) () =
+    ignore initial_capacity;
+    { slots = [||]; free = []; live = 0 }
+
+  let grow t =
+    let old = Array.length t.slots in
+    let cap = if old = 0 then 16 else old * 2 in
+    let slots = Array.init cap (fun i ->
+        if i < old then t.slots.(i) else { value = None; gen = 0 })
+    in
+    t.slots <- slots;
+    for i = cap - 1 downto old do
+      t.free <- i :: t.free
+    done
+
+  let alloc t v =
+    (match t.free with [] -> grow t | _ :: _ -> ());
+    match t.free with
+    | [] -> assert false
+    | idx :: rest ->
+      t.free <- rest;
+      let slot = t.slots.(idx) in
+      slot.value <- Some v;
+      t.live <- t.live + 1;
+      { idx; gen = slot.gen }
+
+  let find t (h : handle) =
+    if h.idx < 0 || h.idx >= Array.length t.slots then None
+    else
+      let slot = t.slots.(h.idx) in
+      if slot.gen <> h.gen then None else slot.value
+
+  let free t (h : handle) =
+    match find t h with
+    | None -> false
+    | Some _ ->
+      let slot = t.slots.(h.idx) in
+      slot.value <- None;
+      slot.gen <- slot.gen + 1;
+      t.free <- h.idx :: t.free;
+      t.live <- t.live - 1;
+      true
+
+  let live_count t = t.live
+
+  let iter t f =
+    Array.iteri
+      (fun idx slot ->
+        match slot.value with
+        | None -> ()
+        | Some v -> f { idx; gen = slot.gen } v)
+      t.slots
+end

@@ -1,0 +1,51 @@
+(** Object handles and generation-checked handle tables.
+
+    The Portals API never exposes pointers: memory descriptors, match
+    entries and event queues are referred to by handles, and handles
+    travel on the wire (a put request carries the initiator's MD handle so
+    the acknowledgment can route back to it, Table 1). A handle is an index
+    plus a generation counter; resolving a stale handle — the object was
+    unlinked and its slot reused — fails cleanly, which is exactly the
+    "memory descriptor identified in the request doesn't exist" check of
+    §4.8. *)
+
+type t
+(** An opaque handle. Handles from different tables are not distinguished
+    by type; each table checks generations, so cross-table confusion
+    resolves as invalid. *)
+
+val none : t
+(** The distinguished null handle ([PTL_HANDLE_NONE]): never resolves. *)
+
+val is_none : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_wire : t -> int64
+(** Wire image of a handle (index and generation packed). *)
+
+val of_wire : int64 -> t
+
+module Table : sig
+  (** A slot table with free-list reuse and per-slot generations. *)
+
+  type handle := t
+  type 'a t
+
+  val create : ?initial_capacity:int -> unit -> 'a t
+
+  val alloc : 'a t -> 'a -> handle
+  (** Store a value, returning its handle. The table grows as needed. *)
+
+  val find : 'a t -> handle -> 'a option
+  (** [None] if the handle is null, stale, or out of range. *)
+
+  val free : 'a t -> handle -> bool
+  (** Release a slot; subsequent {!find}s of the same handle fail. Returns
+      false if the handle did not resolve. *)
+
+  val live_count : 'a t -> int
+
+  val iter : 'a t -> (handle -> 'a -> unit) -> unit
+  (** Visit every live entry. *)
+end

@@ -1,0 +1,173 @@
+type options = {
+  op_put : bool;
+  op_get : bool;
+  manage_remote : bool;
+  truncate : bool;
+  ack_disable : bool;
+}
+
+let default_options =
+  { op_put = true; op_get = true; manage_remote = true; truncate = false;
+    ack_disable = false }
+
+type threshold = Infinite | Count of int
+type unlink_policy = Unlink | Retain
+
+(* One piece of the described region: [seg_len] bytes of [seg_buf]
+   starting at [seg_off]. A plain descriptor has one segment; a
+   gather/scatter descriptor (the paper's §7 extension) has several, and
+   operations see their logical concatenation. *)
+type segment = { seg_buf : bytes; seg_off : int; seg_len : int }
+
+type t = {
+  iov : segment array;
+  md_len : int; (* sum of segment lengths *)
+  opts : options;
+  mutable thresh : threshold;
+  unlink : unlink_policy;
+  md_eq : Event.Queue.t option;
+  md_eq_handle : Handle.t;
+  md_user_ptr : int;
+  mutable loc_offset : int;
+  mutable pending_ops : int;
+}
+
+let check_threshold = function
+  | Count n when n < 0 -> invalid_arg "Md.create: negative threshold"
+  | Count _ | Infinite -> ()
+
+let make ~options ~threshold ~unlink ~eq ~eq_handle ~user_ptr iov =
+  check_threshold threshold;
+  let md_len = Array.fold_left (fun acc s -> acc + s.seg_len) 0 iov in
+  {
+    iov;
+    md_len;
+    opts = options;
+    thresh = threshold;
+    unlink;
+    md_eq = eq;
+    md_eq_handle = eq_handle;
+    md_user_ptr = user_ptr;
+    loc_offset = 0;
+    pending_ops = 0;
+  }
+
+let create ?(options = default_options) ?(threshold = Infinite) ?(unlink = Retain)
+    ?eq ?(eq_handle = Handle.none) ?(user_ptr = 0) ?length buffer =
+  let seg_len =
+    match length with
+    | None -> Bytes.length buffer
+    | Some l ->
+      if l < 0 || l > Bytes.length buffer then
+        invalid_arg "Md.create: length outside the buffer";
+      l
+  in
+  make ~options ~threshold ~unlink ~eq ~eq_handle ~user_ptr
+    [| { seg_buf = buffer; seg_off = 0; seg_len } |]
+
+let create_iovec ?(options = default_options) ?(threshold = Infinite)
+    ?(unlink = Retain) ?eq ?(eq_handle = Handle.none) ?(user_ptr = 0) segments =
+  if segments = [] then invalid_arg "Md.create_iovec: empty vector";
+  let validate (buffer, off, len) =
+    if off < 0 || len < 0 || off + len > Bytes.length buffer then
+      invalid_arg "Md.create_iovec: segment outside its buffer";
+    { seg_buf = buffer; seg_off = off; seg_len = len }
+  in
+  make ~options ~threshold ~unlink ~eq ~eq_handle ~user_ptr
+    (Array.of_list (List.map validate segments))
+
+let buffer t =
+  match t.iov with
+  | [| { seg_buf; _ } |] -> seg_buf
+  | _ -> invalid_arg "Md.buffer: gather/scatter descriptor (use read)"
+
+let segment_count t = Array.length t.iov
+let length t = t.md_len
+let options t = t.opts
+let threshold t = t.thresh
+let unlink_policy t = t.unlink
+let eq t = t.md_eq
+let eq_handle t = t.md_eq_handle
+let user_ptr t = t.md_user_ptr
+let local_offset t = t.loc_offset
+let active t = match t.thresh with Infinite -> true | Count n -> n > 0
+let pending t = t.pending_ops
+let incr_pending t = t.pending_ops <- t.pending_ops + 1
+
+let decr_pending t =
+  if t.pending_ops <= 0 then invalid_arg "Md.decr_pending: no pending operation";
+  t.pending_ops <- t.pending_ops - 1
+
+type operation = Op_put | Op_get
+
+type reject_reason = Inactive | Op_disabled | Too_long
+
+let pp_reject ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Inactive -> "inactive"
+    | Op_disabled -> "operation disabled"
+    | Too_long -> "too long without truncate")
+
+type acceptance = { offset : int; mlength : int }
+
+let accepts t ~op ~rlength ~roffset =
+  if not (active t) then Error Inactive
+  else if (match op with Op_put -> not t.opts.op_put | Op_get -> not t.opts.op_get)
+  then Error Op_disabled
+  else begin
+    let offset = if t.opts.manage_remote then roffset else t.loc_offset in
+    let avail = t.md_len - offset in
+    if rlength <= avail then Ok { offset; mlength = rlength }
+    else if t.opts.truncate then
+      (* An offset past the end truncates to an empty transfer at the
+         region's end, keeping offset + mlength within bounds. *)
+      if avail <= 0 then Ok { offset = t.md_len; mlength = 0 }
+      else Ok { offset; mlength = avail }
+    else Error Too_long
+  end
+
+let consume_threshold t =
+  match t.thresh with
+  | Infinite -> ()
+  | Count 0 -> ()
+  | Count n -> t.thresh <- Count (n - 1)
+
+let consume t (acc : acceptance) =
+  consume_threshold t;
+  if not t.opts.manage_remote then t.loc_offset <- acc.offset + acc.mlength
+
+(* Visit the segment pieces overlapping the logical range
+   [offset, offset+len): calls [f seg_buf byte_pos piece_len logical_pos]. *)
+let iter_range t ~offset ~len f =
+  if len > 0 then begin
+    if offset < 0 || offset + len > t.md_len then
+      invalid_arg "Md: range outside the described region";
+    let remaining = ref len in
+    let logical = ref offset in
+    let seg_start = ref 0 in
+    Array.iter
+      (fun seg ->
+        if !remaining > 0 then begin
+          let seg_end = !seg_start + seg.seg_len in
+          if !logical < seg_end && !logical >= !seg_start then begin
+            let within = !logical - !seg_start in
+            let piece = min !remaining (seg.seg_len - within) in
+            f seg.seg_buf (seg.seg_off + within) piece (!logical - offset);
+            logical := !logical + piece;
+            remaining := !remaining - piece
+          end;
+          seg_start := seg_end
+        end)
+      t.iov
+  end
+
+let write t ~offset ~src ~src_off ~len =
+  iter_range t ~offset ~len (fun buf pos piece logical ->
+      Bytes.blit src (src_off + logical) buf pos piece)
+
+let read t ~offset ~len =
+  let out = Bytes.create len in
+  iter_range t ~offset ~len (fun buf pos piece logical ->
+      Bytes.blit buf pos out logical piece);
+  out

@@ -1,0 +1,130 @@
+(** Memory descriptors (§4.4).
+
+    A memory descriptor (MD) identifies a region of the process's memory
+    and how operations may use it: which operations are enabled, whether
+    over-long transfers truncate, whether the {e remote} offset from the
+    wire or a {e locally managed} offset selects the deposit position, how
+    many operations the descriptor survives (its threshold), and the event
+    queue where completions are logged.
+
+    Locally managed offsets are the mechanism behind scalable unexpected-
+    message buffering (§4.1): successive messages land back-to-back in a
+    slab MD, so buffer memory is sized by application behaviour rather
+    than by job size. *)
+
+type options = {
+  op_put : bool;  (** Incoming put operations may use this MD. *)
+  op_get : bool;  (** Incoming get operations may use this MD. *)
+  manage_remote : bool;
+      (** Use the offset carried in the request ([PTL_MD_MANAGE_REMOTE]);
+          otherwise the MD's locally managed offset is used and advances
+          past each deposit. *)
+  truncate : bool;
+      (** Accept over-long requests by truncating ([PTL_MD_TRUNCATE]);
+          otherwise such requests are rejected (§4.8). *)
+  ack_disable : bool;
+      (** Never generate acknowledgments from this MD
+          ([PTL_MD_ACK_DISABLE]). *)
+}
+
+val default_options : options
+(** put+get enabled, remote-managed offset, no truncation, acks enabled. *)
+
+type threshold = Infinite | Count of int
+
+type unlink_policy = Unlink | Retain
+(** Whether exhausting the threshold removes the MD from its match entry
+    ([PTL_UNLINK]) or leaves it linked but inactive ([PTL_RETAIN]). *)
+
+type t
+
+val create :
+  ?options:options ->
+  ?threshold:threshold ->
+  ?unlink:unlink_policy ->
+  ?eq:Event.Queue.t ->
+  ?eq_handle:Handle.t ->
+  ?user_ptr:int ->
+  ?length:int ->
+  bytes ->
+  t
+(** [create buffer] describes all of [buffer], or its first [length]
+    bytes when given. [user_ptr] (default 0) is an opaque tag echoed in
+    events. *)
+
+val create_iovec :
+  ?options:options ->
+  ?threshold:threshold ->
+  ?unlink:unlink_policy ->
+  ?eq:Event.Queue.t ->
+  ?eq_handle:Handle.t ->
+  ?user_ptr:int ->
+  (bytes * int * int) list ->
+  t
+(** Gather/scatter descriptor — the extension §7 of the paper plans ("we
+    would like to extend the API to support gather/scatter operations
+    more efficiently"). Each [(buffer, off, len)] names one piece;
+    operations address the logical concatenation, so a put sourced from
+    the descriptor gathers and an incoming put scatters. Raises
+    [Invalid_argument] on an empty vector or an out-of-range piece. *)
+
+val buffer : t -> bytes
+(** Backing buffer of a single-segment descriptor; raises
+    [Invalid_argument] for gather/scatter descriptors. *)
+
+val segment_count : t -> int
+
+val length : t -> int
+(** Length of the described region (at most the buffer length). *)
+
+val options : t -> options
+val threshold : t -> threshold
+val unlink_policy : t -> unlink_policy
+val eq : t -> Event.Queue.t option
+val eq_handle : t -> Handle.t
+val user_ptr : t -> int
+val local_offset : t -> int
+(** Current locally managed offset (0 for remote-managed MDs). *)
+
+val active : t -> bool
+(** Threshold not exhausted. *)
+
+val pending : t -> int
+(** Outstanding operations (unreceived replies/acks) — such an MD must not
+    be unlinked ([PTL_MD_INUSE], §4.7: "the memory descriptor must not be
+    unlinked until the reply is received"). *)
+
+val incr_pending : t -> unit
+val decr_pending : t -> unit
+
+type operation = Op_put | Op_get
+
+type reject_reason =
+  | Inactive  (** Threshold exhausted but MD retained. *)
+  | Op_disabled  (** MD not enabled for this operation (§4.8). *)
+  | Too_long  (** Request longer than available space, no truncate (§4.8). *)
+
+val pp_reject : Format.formatter -> reject_reason -> unit
+
+type acceptance = { offset : int; mlength : int }
+(** Where the operation lands and how many bytes move — [mlength] is the
+    manipulated length reported in acks/replies (§4.6). *)
+
+val accepts :
+  t -> op:operation -> rlength:int -> roffset:int -> (acceptance, reject_reason) result
+(** Pure check: would this MD accept the request? Does not mutate. *)
+
+val consume : t -> acceptance -> unit
+(** Commit an accepted operation: decrement a finite threshold and advance
+    the locally managed offset. *)
+
+val consume_threshold : t -> unit
+(** Decrement a finite, non-exhausted threshold without touching the
+    locally managed offset — initiator-side completions (SENT/ACK/REPLY)
+    use this. No effect when the threshold is already zero or infinite. *)
+
+val write : t -> offset:int -> src:bytes -> src_off:int -> len:int -> unit
+(** Deposit payload bytes (put/reply data landing). *)
+
+val read : t -> offset:int -> len:int -> bytes
+(** Extract payload bytes (get servicing, put sourcing). *)

@@ -1,0 +1,31 @@
+type t = {
+  mid : Match_id.t;
+  mbits : Match_bits.t;
+  ibits : Match_bits.t;
+  unlink : Md.unlink_policy;
+  mutable mds : Handle.t list; (* head = first considered *)
+}
+
+let create ?(unlink = Md.Retain) ~match_id ~match_bits ~ignore_bits () =
+  { mid = match_id; mbits = match_bits; ibits = ignore_bits; unlink; mds = [] }
+
+let match_id t = t.mid
+let match_bits t = t.mbits
+let ignore_bits t = t.ibits
+let unlink_policy t = t.unlink
+
+let criteria_match t ~src ~mbits =
+  Match_id.matches t.mid src
+  && Match_bits.matches ~mbits ~match_bits:t.mbits ~ignore_bits:t.ibits
+
+let md_handles t = t.mds
+let first_md t = match t.mds with [] -> None | h :: _ -> Some h
+let attach_md t h = t.mds <- t.mds @ [ h ]
+
+let remove_md t h =
+  let found = List.exists (Handle.equal h) t.mds in
+  if found then t.mds <- List.filter (fun x -> not (Handle.equal x h)) t.mds;
+  found
+
+let md_count t = List.length t.mds
+let is_empty t = t.mds = []

@@ -1,0 +1,587 @@
+open Sim_engine
+
+type md_entry = {
+  mutable md : Md.t;
+  mutable owner : Handle.t option; (* attached ME, none for bound MDs *)
+}
+
+type me_entry = { me : Me.t; pt_index : int }
+
+type drop_reason =
+  | Malformed
+  | Invalid_portal_index
+  | Acl_bad_cookie
+  | Acl_id_mismatch
+  | Acl_portal_mismatch
+  | No_match
+  | Ack_no_eq
+  | Reply_no_md
+  | Reply_eq_full
+
+let all_drop_reasons =
+  [
+    Malformed; Invalid_portal_index; Acl_bad_cookie; Acl_id_mismatch;
+    Acl_portal_mismatch; No_match; Ack_no_eq; Reply_no_md; Reply_eq_full;
+  ]
+
+let drop_reason_index = function
+  | Malformed -> 0
+  | Invalid_portal_index -> 1
+  | Acl_bad_cookie -> 2
+  | Acl_id_mismatch -> 3
+  | Acl_portal_mismatch -> 4
+  | No_match -> 5
+  | Ack_no_eq -> 6
+  | Reply_no_md -> 7
+  | Reply_eq_full -> 8
+
+let pp_drop_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Malformed -> "malformed message"
+    | Invalid_portal_index -> "invalid portal index"
+    | Acl_bad_cookie -> "invalid access control entry"
+    | Acl_id_mismatch -> "access control id mismatch"
+    | Acl_portal_mismatch -> "access control portal mismatch"
+    | No_match -> "no matching entry accepted the request"
+    | Ack_no_eq -> "acknowledgment event queue gone"
+    | Reply_no_md -> "reply memory descriptor gone"
+    | Reply_eq_full -> "reply event queue full")
+
+type counters = {
+  puts_initiated : int;
+  gets_initiated : int;
+  acks_sent : int;
+  replies_sent : int;
+  messages_received : int;
+  bytes_received : int;
+  translations : int;
+  entries_walked : int;
+}
+
+type mutable_counters = {
+  mutable c_puts : int;
+  mutable c_gets : int;
+  mutable c_acks : int;
+  mutable c_replies : int;
+  mutable c_rx : int;
+  mutable c_rx_bytes : int;
+  mutable c_translations : int;
+  mutable c_entries : int;
+}
+
+type t = {
+  tp : Simnet.Transport.t;
+  self : Simnet.Proc_id.t;
+  pt : Handle.t list array; (* match lists, head searched first *)
+  ni_acl : Acl.t;
+  mds : md_entry Handle.Table.t;
+  mes : me_entry Handle.Table.t;
+  eqs : Event.Queue.t Handle.Table.t;
+  drops : int array;
+  c : mutable_counters;
+  mutable live : bool;
+}
+
+type md_region =
+  | Flat of { buffer : bytes; length : int option }
+  | Iovec of (bytes * int * int) list
+
+type md_spec = {
+  region : md_region;
+  options : Md.options;
+  threshold : Md.threshold;
+  unlink : Md.unlink_policy;
+  eq : Handle.t;
+  user_ptr : int;
+}
+
+let md_spec ?(options = Md.default_options) ?(threshold = Md.Infinite)
+    ?(unlink = Md.Retain) ?(eq = Handle.none) ?(user_ptr = 0) ?length buffer =
+  { region = Flat { buffer; length }; options; threshold; unlink; eq; user_ptr }
+
+let md_spec_iovec ?(options = Md.default_options) ?(threshold = Md.Infinite)
+    ?(unlink = Md.Retain) ?(eq = Handle.none) ?(user_ptr = 0) segments =
+  { region = Iovec segments; options; threshold; unlink; eq; user_ptr }
+
+let id t = t.self
+let sched t = t.tp.Simnet.Transport.sched
+let transport t = t.tp
+let acl t = t.ni_acl
+let portal_table_size t = Array.length t.pt
+
+let drop t reason = t.drops.(drop_reason_index reason) <- t.drops.(drop_reason_index reason) + 1
+let dropped t reason = t.drops.(drop_reason_index reason)
+let dropped_total t = Array.fold_left ( + ) 0 t.drops
+
+let counters t =
+  {
+    puts_initiated = t.c.c_puts;
+    gets_initiated = t.c.c_gets;
+    acks_sent = t.c.c_acks;
+    replies_sent = t.c.c_replies;
+    messages_received = t.c.c_rx;
+    bytes_received = t.c.c_rx_bytes;
+    translations = t.c.c_translations;
+    entries_walked = t.c.c_entries;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Event queues *)
+
+let eq_alloc t ~capacity =
+  if capacity <= 0 then Error Errors.Invalid_arg
+  else Ok (Handle.Table.alloc t.eqs (Event.Queue.create (sched t) ~capacity))
+
+let eq t h =
+  match Handle.Table.find t.eqs h with
+  | Some q -> Ok q
+  | None -> Error Errors.Invalid_eq
+
+let eq_free t h =
+  if Handle.Table.free t.eqs h then Ok () else Error Errors.Invalid_eq
+
+(* ------------------------------------------------------------------ *)
+(* Match entries *)
+
+let me_attach t ~portal_index ~match_id ~match_bits ~ignore_bits
+    ?(unlink = Md.Retain) ?(pos = `Tail) () =
+  if portal_index < 0 || portal_index >= Array.length t.pt then
+    Error Errors.Invalid_pt_index
+  else begin
+    let me = Me.create ~unlink ~match_id ~match_bits ~ignore_bits () in
+    let h = Handle.Table.alloc t.mes { me; pt_index = portal_index } in
+    (match pos with
+    | `Head -> t.pt.(portal_index) <- h :: t.pt.(portal_index)
+    | `Tail -> t.pt.(portal_index) <- t.pt.(portal_index) @ [ h ]);
+    Ok h
+  end
+
+let me_insert t ~base ~match_id ~match_bits ~ignore_bits ?(unlink = Md.Retain)
+    ~pos () =
+  match Handle.Table.find t.mes base with
+  | None -> Error Errors.Invalid_me
+  | Some base_entry ->
+    let me = Me.create ~unlink ~match_id ~match_bits ~ignore_bits () in
+    let h = Handle.Table.alloc t.mes { me; pt_index = base_entry.pt_index } in
+    let rec insert = function
+      | [] -> [ h ] (* base vanished concurrently: append *)
+      | x :: rest when Handle.equal x base ->
+        (match pos with `Before -> h :: x :: rest | `After -> x :: h :: rest)
+      | x :: rest -> x :: insert rest
+    in
+    t.pt.(base_entry.pt_index) <- insert t.pt.(base_entry.pt_index);
+    Ok h
+
+let remove_me_from_pt t h pt_index =
+  t.pt.(pt_index) <- List.filter (fun x -> not (Handle.equal x h)) t.pt.(pt_index)
+
+let me_unlink t h =
+  match Handle.Table.find t.mes h with
+  | None -> Error Errors.Invalid_me
+  | Some entry ->
+    let md_busy mdh =
+      match Handle.Table.find t.mds mdh with
+      | None -> false
+      | Some { md; _ } -> Md.pending md > 0
+    in
+    if List.exists md_busy (Me.md_handles entry.me) then Error Errors.Md_in_use
+    else begin
+      List.iter (fun mdh -> ignore (Handle.Table.free t.mds mdh))
+        (Me.md_handles entry.me);
+      remove_me_from_pt t h entry.pt_index;
+      ignore (Handle.Table.free t.mes h);
+      Ok ()
+    end
+
+let me_md_count t h =
+  match Handle.Table.find t.mes h with
+  | None -> Error Errors.Invalid_me
+  | Some entry -> Ok (Me.md_count entry.me)
+
+(* ------------------------------------------------------------------ *)
+(* Memory descriptors *)
+
+let md_of_spec t (spec : md_spec) =
+  let build ?eq ?eq_handle () =
+    match spec.region with
+    | Flat { buffer; length } ->
+      Md.create ~options:spec.options ~threshold:spec.threshold
+        ~unlink:spec.unlink ?eq ?eq_handle ~user_ptr:spec.user_ptr ?length
+        buffer
+    | Iovec segments ->
+      Md.create_iovec ~options:spec.options ~threshold:spec.threshold
+        ~unlink:spec.unlink ?eq ?eq_handle ~user_ptr:spec.user_ptr segments
+  in
+  if Handle.is_none spec.eq then Ok (build ())
+  else begin
+    match Handle.Table.find t.eqs spec.eq with
+    | None -> Error Errors.Invalid_eq
+    | Some q -> Ok (build ~eq:q ~eq_handle:spec.eq ())
+  end
+
+let md_attach t ~me spec =
+  match Handle.Table.find t.mes me with
+  | None -> Error Errors.Invalid_me
+  | Some entry ->
+    (match md_of_spec t spec with
+    | Error _ as e -> e |> Result.map (fun _ -> Handle.none)
+    | Ok md ->
+      let h = Handle.Table.alloc t.mds { md; owner = Some me } in
+      Me.attach_md entry.me h;
+      Ok h)
+
+let md_bind t spec =
+  match md_of_spec t spec with
+  | Error e -> Error e
+  | Ok md -> Ok (Handle.Table.alloc t.mds { md; owner = None })
+
+let find_md t h =
+  match Handle.Table.find t.mds h with
+  | None -> Error Errors.Invalid_md
+  | Some entry -> Ok entry
+
+(* Remove an MD whose threshold has been exhausted (Unlink policy),
+   cascading to its match entry per Figure 4. *)
+let auto_unlink_md t h (entry : md_entry) =
+  if (not (Md.active entry.md)) && Md.unlink_policy entry.md = Md.Unlink then begin
+    (match entry.owner with
+    | None -> ()
+    | Some meh ->
+      (match Handle.Table.find t.mes meh with
+      | None -> ()
+      | Some me_entry ->
+        ignore (Me.remove_md me_entry.me h);
+        if Me.is_empty me_entry.me && Me.unlink_policy me_entry.me = Md.Unlink
+        then begin
+          remove_me_from_pt t meh me_entry.pt_index;
+          ignore (Handle.Table.free t.mes meh)
+        end));
+    ignore (Handle.Table.free t.mds h)
+  end
+
+(* Initiator-side completions (SENT/ACK/REPLY) also consume threshold. *)
+let consume_initiator t h (entry : md_entry) =
+  Md.consume_threshold entry.md;
+  auto_unlink_md t h entry
+
+let md_unlink t h =
+  match find_md t h with
+  | Error _ as e -> e |> Result.map ignore
+  | Ok entry ->
+    if Md.pending entry.md > 0 then Error Errors.Md_in_use
+    else begin
+      (match entry.owner with
+      | None -> ()
+      | Some meh ->
+        (match Handle.Table.find t.mes meh with
+        | None -> ()
+        | Some me_entry -> ignore (Me.remove_md me_entry.me h)));
+      ignore (Handle.Table.free t.mds h);
+      Ok ()
+    end
+
+let md_local_offset t h =
+  Result.map (fun e -> Md.local_offset e.md) (find_md t h)
+
+(* PtlMDUpdate: atomically replace a descriptor, but only when [test_eq]
+   is empty — the primitive that lets a library check "nothing happened
+   yet" and commit a new descriptor in one indivisible step (e.g. MPI
+   arming a posted receive against racing unexpected arrivals). In the
+   simulation the whole call executes at one instant, which is exactly
+   the atomicity the semantics require. *)
+let md_update t h spec ~test_eq =
+  match find_md t h with
+  | Error e -> Error e
+  | Ok entry ->
+    if Md.pending entry.md > 0 then Error Errors.Md_in_use
+    else begin
+      match Handle.Table.find t.eqs test_eq with
+      | None -> Error Errors.Invalid_eq
+      | Some q ->
+        if Event.Queue.count q > 0 then Ok false
+        else begin
+          match md_of_spec t spec with
+          | Error e -> Error e
+          | Ok md ->
+            entry.md <- md;
+            Ok true
+        end
+    end
+
+let md_active t h = Result.map (fun e -> Md.active e.md) (find_md t h)
+
+(* ------------------------------------------------------------------ *)
+(* Receive path (§4.8) *)
+
+let post_event t ?md ~kind ~(msg : Wire.t) ~mlength ~offset queue =
+  let ev =
+    {
+      Event.kind;
+      initiator = msg.Wire.initiator;
+      portal_index = msg.Wire.portal_index;
+      match_bits = msg.Wire.match_bits;
+      rlength = msg.Wire.length;
+      mlength;
+      offset;
+      md_handle = msg.Wire.md_handle;
+      md_user_ptr = (match md with None -> 0 | Some m -> Md.user_ptr m);
+      time = Scheduler.now (sched t);
+    }
+  in
+  ignore (Event.Queue.post queue ev)
+
+(* Walk the match list of a portal table entry (Figure 4). Returns the
+   number of entries examined together with the outcome. *)
+let translate t ~portal_index ~src ~mbits ~op ~rlength ~roffset =
+  let rec walk examined = function
+    | [] -> (examined, Error ())
+    | meh :: rest ->
+      (match Handle.Table.find t.mes meh with
+      | None -> walk (examined + 1) rest
+      | Some me_entry ->
+        let examined = examined + 1 in
+        if not (Me.criteria_match me_entry.me ~src ~mbits) then walk examined rest
+        else begin
+          (* Only the first memory descriptor is considered. *)
+          match Me.first_md me_entry.me with
+          | None -> walk examined rest
+          | Some mdh ->
+            (match Handle.Table.find t.mds mdh with
+            | None -> walk examined rest
+            | Some md_entry ->
+              (match Md.accepts md_entry.md ~op ~rlength ~roffset with
+              | Error _ -> walk examined rest
+              | Ok acc -> (examined, Ok (mdh, md_entry, acc))))
+        end)
+  in
+  let result = walk 0 t.pt.(portal_index) in
+  t.c.c_translations <- t.c.c_translations + 1;
+  t.c.c_entries <- t.c.c_entries + fst result;
+  result
+
+let match_walk_cost t ~entries =
+  Time_ns.ns (entries * t.tp.Simnet.Transport.match_entry_cost)
+
+let handle_put_or_get t (msg : Wire.t) ~op =
+  let src = msg.Wire.initiator in
+  if msg.Wire.portal_index < 0 || msg.Wire.portal_index >= Array.length t.pt then
+    drop t Invalid_portal_index
+  else begin
+    match
+      Acl.check t.ni_acl ~cookie:msg.Wire.cookie ~src
+        ~portal_index:msg.Wire.portal_index
+    with
+    | Error Acl.Bad_cookie -> drop t Acl_bad_cookie
+    | Error Acl.Id_mismatch -> drop t Acl_id_mismatch
+    | Error Acl.Portal_mismatch -> drop t Acl_portal_mismatch
+    | Ok () ->
+      let entries, outcome =
+        translate t ~portal_index:msg.Wire.portal_index ~src
+          ~mbits:msg.Wire.match_bits ~op ~rlength:msg.Wire.length
+          ~roffset:msg.Wire.offset
+      in
+      (match outcome with
+      | Error () -> drop t No_match
+      | Ok (mdh, md_entry, acc) ->
+        let md = md_entry.md in
+        let mlength = acc.Md.mlength in
+        let offset = acc.Md.offset in
+        (* Commit state at arrival so the next message sees consistent
+           matching structures; emit observable effects after the cost. *)
+        Md.consume md acc;
+        let reply_data =
+          match op with
+          | Md.Op_put ->
+            Md.write md ~offset ~src:msg.Wire.data ~src_off:0 ~len:mlength;
+            Bytes.empty
+          | Md.Op_get -> Md.read md ~offset ~len:mlength
+        in
+        let md_eq = Md.eq md in
+        let ack_wanted =
+          op = Md.Op_put && msg.Wire.ack_requested
+          && (not (Md.options md).Md.ack_disable)
+          && not (Handle.is_none msg.Wire.eq_handle)
+        in
+        auto_unlink_md t mdh md_entry;
+        (* The transport already carried the data-landing time; only the
+           match-list walk is charged here (it perturbs the host when the
+           placement is kernel-space). Events and responses are emitted at
+           delivery time so the structures and the event queues always
+           agree — the atomicity higher-level libraries rely on. *)
+        t.tp.Simnet.Transport.charge_rx t.self.Simnet.Proc_id.nid
+          (match_walk_cost t ~entries);
+        (match md_eq with
+        | None -> ()
+        | Some queue ->
+          let kind =
+            match op with Md.Op_put -> Event.Put | Md.Op_get -> Event.Get
+          in
+          post_event t ~md ~kind ~msg ~mlength ~offset queue);
+        (match op with
+        | Md.Op_put ->
+          if ack_wanted then begin
+            t.c.c_acks <- t.c.c_acks + 1;
+            t.tp.Simnet.Transport.send ~src:t.self ~dst:src
+              (Wire.encode (Wire.ack_of_put msg ~mlength))
+          end
+        | Md.Op_get ->
+          t.c.c_replies <- t.c.c_replies + 1;
+          t.tp.Simnet.Transport.send ~src:t.self ~dst:src
+            (Wire.encode (Wire.reply_of_get msg ~mlength ~data:reply_data))))
+  end
+
+let handle_ack t (msg : Wire.t) =
+  (* §4.8: only confirm the event queue still exists; then record the
+     event. The MD, if still present, sees its ACK completion. *)
+  match Handle.Table.find t.eqs msg.Wire.eq_handle with
+  | None -> drop t Ack_no_eq
+  | Some queue ->
+    let md_entry = Handle.Table.find t.mds msg.Wire.md_handle in
+    (match md_entry with
+    | None -> ()
+    | Some entry -> if Md.pending entry.md > 0 then Md.decr_pending entry.md);
+    post_event t
+      ?md:(Option.map (fun e -> e.md) md_entry)
+      ~kind:Event.Ack ~msg ~mlength:msg.Wire.length ~offset:msg.Wire.offset queue;
+    (match md_entry with
+    | None -> ()
+    | Some entry -> consume_initiator t msg.Wire.md_handle entry)
+
+let handle_reply t (msg : Wire.t) =
+  match Handle.Table.find t.mds msg.Wire.md_handle with
+  | None -> drop t Reply_no_md
+  | Some entry ->
+    let md = entry.md in
+    (match Md.eq md with
+    | Some queue when Event.Queue.is_full queue ->
+      (* §4.8: a reply is dropped if the event queue has no space and is
+         not null. *)
+      drop t Reply_eq_full
+    | Some _ | None ->
+      (* Every memory descriptor accepts and truncates replies (§4.8). *)
+      let mlength = min msg.Wire.length (Md.length md) in
+      Md.write md ~offset:0 ~src:msg.Wire.data ~src_off:0 ~len:mlength;
+      if Md.pending md > 0 then Md.decr_pending md;
+      (match Md.eq md with
+      | None -> ()
+      | Some queue -> post_event t ~md ~kind:Event.Reply ~msg ~mlength ~offset:0 queue);
+      consume_initiator t msg.Wire.md_handle entry)
+
+let handle_incoming t ~src:_ payload =
+  if t.live then begin
+    t.c.c_rx <- t.c.c_rx + 1;
+    t.c.c_rx_bytes <- t.c.c_rx_bytes + Bytes.length payload;
+    match Wire.decode payload with
+    | Error _ -> drop t Malformed
+    | Ok msg ->
+      (match msg.Wire.op with
+      | Wire.Put_request -> handle_put_or_get t msg ~op:Md.Op_put
+      | Wire.Get_request -> handle_put_or_get t msg ~op:Md.Op_get
+      | Wire.Ack -> handle_ack t msg
+      | Wire.Reply -> handle_reply t msg)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Initiating operations (§4.7) *)
+
+let put t ~md:mdh ?(ack = true) ~target ~portal_index ~cookie ~match_bits
+    ~offset () =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else begin
+      let md = entry.md in
+      let data = Md.read md ~offset:0 ~len:(Md.length md) in
+      let ack_requested = ack && not (Md.options md).Md.ack_disable in
+      let msg =
+        Wire.put_request ~ack_requested ~initiator:t.self ~target ~portal_index
+          ~cookie ~match_bits ~offset ~md_handle:mdh ~eq_handle:(Md.eq_handle md)
+          ~data ()
+      in
+      t.c.c_puts <- t.c.c_puts + 1;
+      if ack_requested then Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:target (Wire.encode msg);
+      (* SENT once the message has left the local interface. *)
+      let md_eq = Md.eq md in
+      Scheduler.after (sched t) t.tp.Simnet.Transport.send_overhead (fun () ->
+          (match md_eq with
+          | None -> ()
+          | Some queue ->
+            let ev =
+              {
+                Event.kind = Event.Sent;
+                initiator = target;
+                portal_index;
+                match_bits;
+                rlength = Bytes.length data;
+                mlength = Bytes.length data;
+                offset;
+                md_handle = mdh;
+                md_user_ptr = Md.user_ptr md;
+                time = Scheduler.now (sched t);
+              }
+            in
+            ignore (Event.Queue.post queue ev));
+          match Handle.Table.find t.mds mdh with
+          | None -> ()
+          | Some entry -> consume_initiator t mdh entry);
+      Ok ()
+    end
+
+let get t ~md:mdh ~target ~portal_index ~cookie ~match_bits ~offset () =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else begin
+      let md = entry.md in
+      let msg =
+        Wire.get_request ~initiator:t.self ~target ~portal_index ~cookie
+          ~match_bits ~offset ~md_handle:mdh ~rlength:(Md.length md) ()
+      in
+      t.c.c_gets <- t.c.c_gets + 1;
+      Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:target (Wire.encode msg);
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+
+let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
+  if portal_table_size <= 0 then invalid_arg "Ni.create: empty portal table";
+  let t =
+    {
+      tp;
+      self;
+      pt = Array.make portal_table_size [];
+      ni_acl = Acl.create ~size:acl_size;
+      mds = Handle.Table.create ();
+      mes = Handle.Table.create ();
+      eqs = Handle.Table.create ();
+      drops = Array.make (List.length all_drop_reasons) 0;
+      c =
+        {
+          c_puts = 0;
+          c_gets = 0;
+          c_acks = 0;
+          c_replies = 0;
+          c_rx = 0;
+          c_rx_bytes = 0;
+          c_translations = 0;
+          c_entries = 0;
+        };
+      live = true;
+    }
+  in
+  Acl.install_defaults t.ni_acl ~job_id:Match_id.any;
+  tp.Simnet.Transport.register self (fun ~src payload ->
+      handle_incoming t ~src payload);
+  t
+
+let shutdown t =
+  if t.live then begin
+    t.live <- false;
+    t.tp.Simnet.Transport.unregister t.self
+  end

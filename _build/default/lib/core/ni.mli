@@ -1,0 +1,220 @@
+(** A Portals 3.0 network interface: one process's view of the network.
+
+    Owns the portal table, the access control list, and the handle tables
+    for match entries, memory descriptors and event queues. Incoming
+    messages are processed exactly as §4.8 prescribes — including every
+    documented reason for dropping a message, each with its own counter —
+    and outgoing operations follow §4.6/4.7.
+
+    {b Where processing happens.} The interface is bound to a
+    {!Simnet.Transport.t}, which decides whether receive-side protocol
+    work (matching, data landing) executes on a NIC processor or in the
+    host's interrupt context. Either way it runs when the message
+    {e arrives}, with no involvement of the application process —
+    application bypass (§5.1). State transitions (matching, threshold and
+    offset updates) commit at arrival time so back-to-back messages see a
+    consistent match list; completion events, acknowledgments and replies
+    are emitted after the modelled processing cost.
+
+    {b Threshold accounting.} Target-side put/get operations consume one
+    threshold unit of the memory descriptor they use. Initiator-side
+    descriptors consume one unit per local completion event (SENT, ACK,
+    REPLY), so the canonical MPI pattern — bind an MD with threshold 2 for
+    a put expecting SENT then ACK — self-cleans when its traffic
+    completes (with [Unlink] policy). *)
+
+type t
+
+type md_region =
+  | Flat of { buffer : bytes; length : int option }
+  | Iovec of (bytes * int * int) list
+      (** Gather/scatter pieces (§7's planned extension). *)
+
+type md_spec = {
+  region : md_region;
+  options : Md.options;
+  threshold : Md.threshold;
+  unlink : Md.unlink_policy;
+  eq : Handle.t;  (** Event queue handle, or {!Handle.none}. *)
+  user_ptr : int;
+}
+
+val md_spec :
+  ?options:Md.options ->
+  ?threshold:Md.threshold ->
+  ?unlink:Md.unlink_policy ->
+  ?eq:Handle.t ->
+  ?user_ptr:int ->
+  ?length:int ->
+  bytes ->
+  md_spec
+(** Spec with the {!Md.default_options}, infinite threshold, [Retain];
+    [length] restricts the descriptor to a prefix of the buffer. *)
+
+val md_spec_iovec :
+  ?options:Md.options ->
+  ?threshold:Md.threshold ->
+  ?unlink:Md.unlink_policy ->
+  ?eq:Handle.t ->
+  ?user_ptr:int ->
+  (bytes * int * int) list ->
+  md_spec
+(** Gather/scatter spec over [(buffer, off, len)] pieces. *)
+
+type drop_reason =
+  | Malformed  (** Undecodable wire image. *)
+  | Invalid_portal_index  (** Portal index outside the table (§4.8). *)
+  | Acl_bad_cookie  (** Cookie is not a valid AC entry (§4.8). *)
+  | Acl_id_mismatch  (** AC entry rejects the requesting process (§4.8). *)
+  | Acl_portal_mismatch  (** AC entry rejects the portal index (§4.8). *)
+  | No_match
+      (** End of match list reached with no accepting entry (§4.4/4.8). *)
+  | Ack_no_eq  (** Ack's event queue no longer exists (§4.8). *)
+  | Reply_no_md  (** Reply's memory descriptor no longer exists (§4.8). *)
+  | Reply_eq_full
+      (** Reply's event queue has no space and is not null (§4.8). *)
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+val all_drop_reasons : drop_reason list
+
+type counters = {
+  puts_initiated : int;
+  gets_initiated : int;
+  acks_sent : int;
+  replies_sent : int;
+  messages_received : int;
+  bytes_received : int;
+  translations : int;  (** Match-list walks performed. *)
+  entries_walked : int;  (** Total match entries examined. *)
+}
+
+val create :
+  Simnet.Transport.t ->
+  id:Simnet.Proc_id.t ->
+  ?portal_table_size:int ->
+  ?acl_size:int ->
+  unit ->
+  t
+(** Bring up an interface for process [id] ([PtlNIInit]): registers with
+    the transport and installs the §4.5 default ACL entries scoped to
+    node-local wildcards (the runtime normally re-scopes entry 0 to the
+    job). Default 64 portal entries, 16 ACL entries. *)
+
+val shutdown : t -> unit
+(** [PtlNIFini]: unregister from the transport; incoming messages then
+    drop at the fabric. *)
+
+val id : t -> Simnet.Proc_id.t
+val sched : t -> Sim_engine.Scheduler.t
+val transport : t -> Simnet.Transport.t
+val acl : t -> Acl.t
+val portal_table_size : t -> int
+
+(** {1 Event queues} *)
+
+val eq_alloc : t -> capacity:int -> (Handle.t, Errors.t) result
+val eq_free : t -> Handle.t -> (unit, Errors.t) result
+val eq : t -> Handle.t -> (Event.Queue.t, Errors.t) result
+(** Resolve a handle for direct [get]/[wait] access. *)
+
+(** {1 Match entries} *)
+
+val me_attach :
+  t ->
+  portal_index:int ->
+  match_id:Match_id.t ->
+  match_bits:Match_bits.t ->
+  ignore_bits:Match_bits.t ->
+  ?unlink:Md.unlink_policy ->
+  ?pos:[ `Head | `Tail ] ->
+  unit ->
+  (Handle.t, Errors.t) result
+(** Attach a match entry to a portal table entry's match list
+    ([PtlMEAttach]); [pos] (default [`Tail]) selects which end. *)
+
+val me_insert :
+  t ->
+  base:Handle.t ->
+  match_id:Match_id.t ->
+  match_bits:Match_bits.t ->
+  ignore_bits:Match_bits.t ->
+  ?unlink:Md.unlink_policy ->
+  pos:[ `Before | `After ] ->
+  unit ->
+  (Handle.t, Errors.t) result
+(** Insert relative to an existing entry ([PtlMEInsert]). *)
+
+val me_unlink : t -> Handle.t -> (unit, Errors.t) result
+(** Remove a match entry and its attached descriptors ([PtlMEUnlink]).
+    Fails with [Md_in_use] if any attached descriptor has outstanding
+    operations. *)
+
+val me_md_count : t -> Handle.t -> (int, Errors.t) result
+(** Number of descriptors attached to the entry. *)
+
+(** {1 Memory descriptors} *)
+
+val md_attach : t -> me:Handle.t -> md_spec -> (Handle.t, Errors.t) result
+(** Attach a descriptor at the tail of a match entry's MD list
+    ([PtlMDAttach]). *)
+
+val md_bind : t -> md_spec -> (Handle.t, Errors.t) result
+(** Create a free-floating descriptor for initiating operations
+    ([PtlMDBind]). *)
+
+val md_unlink : t -> Handle.t -> (unit, Errors.t) result
+(** [PtlMDUnlink]; [Md_in_use] while operations are outstanding. *)
+
+val md_local_offset : t -> Handle.t -> (int, Errors.t) result
+(** Current locally managed offset — how much of a slab MD is consumed. *)
+
+val md_update :
+  t -> Handle.t -> md_spec -> test_eq:Handle.t -> (bool, Errors.t) result
+(** [PtlMDUpdate]: atomically replace the descriptor behind the handle
+    with one built from the spec, {e provided} the event queue [test_eq]
+    is empty; returns [Ok false] (no update) otherwise. This is the
+    conditional-update primitive higher-level libraries use to close the
+    race between posting a receive and concurrent unexpected arrivals.
+    Fails with [Md_in_use] while operations are outstanding. *)
+
+val md_active : t -> Handle.t -> (bool, Errors.t) result
+
+(** {1 Data movement (§4.3)} *)
+
+val put :
+  t ->
+  md:Handle.t ->
+  ?ack:bool ->
+  target:Simnet.Proc_id.t ->
+  portal_index:int ->
+  cookie:int ->
+  match_bits:Match_bits.t ->
+  offset:int ->
+  unit ->
+  (unit, Errors.t) result
+(** [PtlPut]: send the descriptor's entire region. With [ack] (default
+    true) and an ack-enabled descriptor, the target acknowledges with the
+    manipulated length (Table 2). A SENT event is logged locally once the
+    message has left. *)
+
+val get :
+  t ->
+  md:Handle.t ->
+  target:Simnet.Proc_id.t ->
+  portal_index:int ->
+  cookie:int ->
+  match_bits:Match_bits.t ->
+  offset:int ->
+  unit ->
+  (unit, Errors.t) result
+(** [PtlGet]: request the descriptor's length from the target; the reply
+    deposits into the descriptor and logs a REPLY event. The descriptor
+    cannot be unlinked until the reply arrives (§4.7). *)
+
+(** {1 Introspection} *)
+
+val dropped : t -> drop_reason -> int
+val dropped_total : t -> int
+(** The interface's dropped message count (§4.8). *)
+
+val counters : t -> counters

@@ -1,0 +1,24 @@
+(** Portals 3.0: protocol building blocks for low overhead communication.
+
+    This library implements the message passing API of Brightwell, Riesen,
+    Lawry and Maccabe (IPPS 2002): connectionless, reliable, in-order
+    matching put/get between processes, with match lists, memory
+    descriptors, circular event queues and access control — designed so
+    that all message selection and delivery can proceed without the
+    application's involvement (application bypass).
+
+    Start from {!Ni} — one network interface per process — and the
+    {!Simnet.Transport} implementations that place protocol processing on
+    a simulated NIC ({!Simnet.Transport.offload}) or in the host kernel
+    ({!Simnet.Transport.kernel_interrupt}). *)
+
+module Errors = Errors
+module Handle = Handle
+module Match_bits = Match_bits
+module Match_id = Match_id
+module Event = Event
+module Md = Md
+module Me = Me
+module Acl = Acl
+module Wire = Wire
+module Ni = Ni

@@ -1,0 +1,224 @@
+type op = Put_request | Ack | Get_request | Reply
+
+let op_to_string = function
+  | Put_request -> "PUT_REQUEST"
+  | Ack -> "ACK"
+  | Get_request -> "GET_REQUEST"
+  | Reply -> "REPLY"
+
+let pp_op ppf op = Format.pp_print_string ppf (op_to_string op)
+
+type t = {
+  op : op;
+  ack_requested : bool;
+  initiator : Simnet.Proc_id.t;
+  target : Simnet.Proc_id.t;
+  portal_index : int;
+  cookie : int;
+  match_bits : Match_bits.t;
+  offset : int;
+  md_handle : Handle.t;
+  eq_handle : Handle.t;
+  length : int;
+  data : bytes;
+}
+
+let magic = 0xB3
+let version = 0x30
+let header_size = 68
+
+let op_code = function Put_request -> 0 | Ack -> 1 | Get_request -> 2 | Reply -> 3
+
+let op_of_code = function
+  | 0 -> Some Put_request
+  | 1 -> Some Ack
+  | 2 -> Some Get_request
+  | 3 -> Some Reply
+  | _ -> None
+
+let put_request ?(ack_requested = true) ~initiator ~target ~portal_index ~cookie
+    ~match_bits ~offset ~md_handle ~eq_handle ~data () =
+  {
+    op = Put_request;
+    ack_requested;
+    initiator;
+    target;
+    portal_index;
+    cookie;
+    match_bits;
+    offset;
+    md_handle;
+    eq_handle;
+    length = Bytes.length data;
+    data;
+  }
+
+let ack_of_put t ~mlength =
+  if t.op <> Put_request then invalid_arg "Wire.ack_of_put: not a put request";
+  {
+    t with
+    op = Ack;
+    ack_requested = false;
+    initiator = t.target;
+    target = t.initiator;
+    length = mlength;
+    data = Bytes.empty;
+  }
+
+let get_request ~initiator ~target ~portal_index ~cookie ~match_bits ~offset
+    ~md_handle ~rlength () =
+  {
+    op = Get_request;
+    ack_requested = false;
+    initiator;
+    target;
+    portal_index;
+    cookie;
+    match_bits;
+    offset;
+    md_handle;
+    eq_handle = Handle.none;
+    length = rlength;
+    data = Bytes.empty;
+  }
+
+let reply_of_get t ~mlength ~data =
+  if t.op <> Get_request then invalid_arg "Wire.reply_of_get: not a get request";
+  if Bytes.length data <> mlength then
+    invalid_arg "Wire.reply_of_get: data length disagrees with mlength";
+  {
+    t with
+    op = Reply;
+    initiator = t.target;
+    target = t.initiator;
+    length = mlength;
+    data;
+  }
+
+let encode t =
+  let buf = Bytes.create (header_size + Bytes.length t.data) in
+  Bytes.set_uint8 buf 0 magic;
+  Bytes.set_uint8 buf 1 version;
+  Bytes.set_uint8 buf 2 (op_code t.op);
+  Bytes.set_uint8 buf 3 (if t.ack_requested then 1 else 0);
+  Bytes.set_int32_le buf 4 (Int32.of_int t.initiator.Simnet.Proc_id.nid);
+  Bytes.set_int32_le buf 8 (Int32.of_int t.initiator.Simnet.Proc_id.pid);
+  Bytes.set_int32_le buf 12 (Int32.of_int t.target.Simnet.Proc_id.nid);
+  Bytes.set_int32_le buf 16 (Int32.of_int t.target.Simnet.Proc_id.pid);
+  Bytes.set_int32_le buf 20 (Int32.of_int t.portal_index);
+  Bytes.set_int32_le buf 24 (Int32.of_int t.cookie);
+  Bytes.set_int64_le buf 28 (Match_bits.to_int64 t.match_bits);
+  Bytes.set_int64_le buf 36 (Int64.of_int t.offset);
+  Bytes.set_int64_le buf 44 (Handle.to_wire t.md_handle);
+  Bytes.set_int64_le buf 52 (Handle.to_wire t.eq_handle);
+  Bytes.set_int64_le buf 60 (Int64.of_int t.length);
+  Bytes.blit t.data 0 buf header_size (Bytes.length t.data);
+  buf
+
+type decode_error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_operation of int
+  | Truncated of { expected : int; got : int }
+
+let pp_decode_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "bad magic byte"
+  | Bad_version v -> Format.fprintf ppf "unsupported version 0x%02x" v
+  | Bad_operation op -> Format.fprintf ppf "unknown operation code %d" op
+  | Truncated { expected; got } ->
+    Format.fprintf ppf "truncated message: need %d bytes, have %d" expected got
+
+let decode buf =
+  let got = Bytes.length buf in
+  if got < header_size then Error (Truncated { expected = header_size; got })
+  else if Bytes.get_uint8 buf 0 <> magic then Error Bad_magic
+  else begin
+    let v = Bytes.get_uint8 buf 1 in
+    if v <> version then Error (Bad_version v)
+    else begin
+      match op_of_code (Bytes.get_uint8 buf 2) with
+      | None -> Error (Bad_operation (Bytes.get_uint8 buf 2))
+      | Some op ->
+        let i32 pos = Int32.to_int (Bytes.get_int32_le buf pos) in
+        let i64 pos = Int64.to_int (Bytes.get_int64_le buf pos) in
+        let length = i64 60 in
+        let data_len =
+          match op with Put_request | Reply -> length | Ack | Get_request -> 0
+        in
+        if got < header_size + data_len then
+          Error (Truncated { expected = header_size + data_len; got })
+        else
+          Ok
+            {
+              op;
+              ack_requested = Bytes.get_uint8 buf 3 = 1;
+              initiator = Simnet.Proc_id.make ~nid:(i32 4) ~pid:(i32 8);
+              target = Simnet.Proc_id.make ~nid:(i32 12) ~pid:(i32 16);
+              portal_index = i32 20;
+              cookie = i32 24;
+              match_bits = Match_bits.of_int64 (Bytes.get_int64_le buf 28);
+              offset = i64 36;
+              md_handle = Handle.of_wire (Bytes.get_int64_le buf 44);
+              eq_handle = Handle.of_wire (Bytes.get_int64_le buf 52);
+              length;
+              data = Bytes.sub buf header_size data_len;
+            }
+    end
+  end
+
+let field_inventory = function
+  | Put_request ->
+    [
+      ("operation", "Indicates a put request");
+      ("initiator", "Local process id");
+      ("target", "Target process id");
+      ("portal index", "Target Portal table entry");
+      ("cookie", "Access control table entry");
+      ("match bits", "Matching criteria");
+      ("offset", "Offset within the target memory");
+      ("memory desc", "Local memory region for an ack");
+      ("event queue", "Local event queue for the ack event");
+      ("length", "Length of the data");
+      ("data", "Payload");
+    ]
+  | Ack ->
+    [
+      ("operation", "Indicates an acknowledgment");
+      ("initiator", "Echoed from the put request (swapped)");
+      ("target", "Echoed from the put request (swapped)");
+      ("portal index", "Echoed from the put request");
+      ("match bits", "Echoed from the put request");
+      ("offset", "Echoed from the put request");
+      ("memory desc", "Echoed from the put request");
+      ("event queue", "Echoed: where to record the ack event");
+      ("manipulated length", "Bytes actually deposited by the put");
+    ]
+  | Get_request ->
+    [
+      ("operation", "Indicates a get request");
+      ("initiator", "Local process id");
+      ("target", "Target process id");
+      ("portal index", "Target Portal table entry");
+      ("cookie", "Access control table entry");
+      ("match bits", "Matching criteria");
+      ("offset", "Offset within the target memory");
+      ("memory desc", "Local memory region for the reply (no event queue \
+                       handle: the reply routes via the memory descriptor)");
+      ("length", "Length of the data requested");
+    ]
+  | Reply ->
+    [
+      ("operation", "Indicates a reply");
+      ("initiator", "Echoed from the get request (swapped)");
+      ("target", "Echoed from the get request (swapped)");
+      ("memory desc", "Echoed from the get request");
+      ("manipulated length", "Bytes actually read by the get");
+      ("data", "Payload");
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a->%a pt=%d ck=%d bits=%a off=%d md=%a eq=%a len=%d%s"
+    pp_op t.op Simnet.Proc_id.pp t.initiator Simnet.Proc_id.pp t.target
+    t.portal_index t.cookie Match_bits.pp t.match_bits t.offset Handle.pp
+    t.md_handle Handle.pp t.eq_handle t.length
+    (if t.ack_requested then " +ack" else "")

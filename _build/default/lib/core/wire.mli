@@ -1,0 +1,101 @@
+(** Wire format of the four Portals message types (§4.6, Tables 1–4).
+
+    {ul
+    {- {b Put request} (Table 1): operation, initiator, target, portal
+       index, cookie, match bits, offset, the initiator's memory-descriptor
+       handle ("transmitted even though this value cannot be interpreted by
+       the target" — it routes the acknowledgment), length, and data. A
+       flag signifies that no acknowledgment is requested.}
+    {- {b Acknowledgment} (Table 2): the put request echoed with initiator
+       and target swapped; the only new information is the manipulated
+       length. Carries the event-queue handle so the initiator-side
+       runtime "only needs to confirm that the event queue still exists"
+       (§4.8).}
+    {- {b Get request} (Table 3): like a put request without data, and
+       {e without} an event queue handle — the reply routes through the
+       memory descriptor, which must stay linked until the reply arrives.}
+    {- {b Reply} (Table 4): the get request echoed with the pair swapped,
+       plus manipulated length and the data.}}
+
+    The encoding is little-endian with a fixed 68-byte header followed by
+    payload. Decoding validates magic, version, operation and lengths so a
+    corrupt message surfaces as an error, not an exception. *)
+
+type op = Put_request | Ack | Get_request | Reply
+
+val op_to_string : op -> string
+val pp_op : Format.formatter -> op -> unit
+
+type t = {
+  op : op;
+  ack_requested : bool;  (** Put requests only; false elsewhere. *)
+  initiator : Simnet.Proc_id.t;
+  target : Simnet.Proc_id.t;
+  portal_index : int;
+  cookie : int;  (** Access control entry index (§4.5). *)
+  match_bits : Match_bits.t;
+  offset : int;
+  md_handle : Handle.t;
+      (** Initiator-side MD: for the ack (put) or the reply (get). *)
+  eq_handle : Handle.t;
+      (** Initiator-side EQ for the ack event; {!Handle.none} on get
+          requests and replies. *)
+  length : int;  (** Requested length; manipulated length in ack/reply. *)
+  data : bytes;  (** Payload (put request and reply); else empty. *)
+}
+
+val header_size : int
+
+val put_request :
+  ?ack_requested:bool ->
+  initiator:Simnet.Proc_id.t ->
+  target:Simnet.Proc_id.t ->
+  portal_index:int ->
+  cookie:int ->
+  match_bits:Match_bits.t ->
+  offset:int ->
+  md_handle:Handle.t ->
+  eq_handle:Handle.t ->
+  data:bytes ->
+  unit ->
+  t
+
+val ack_of_put : t -> mlength:int -> t
+(** Build the acknowledgment for a put request: fields echoed, initiator
+    and target swapped, data dropped, length replaced by [mlength]. Raises
+    [Invalid_argument] on a non-put message. *)
+
+val get_request :
+  initiator:Simnet.Proc_id.t ->
+  target:Simnet.Proc_id.t ->
+  portal_index:int ->
+  cookie:int ->
+  match_bits:Match_bits.t ->
+  offset:int ->
+  md_handle:Handle.t ->
+  rlength:int ->
+  unit ->
+  t
+
+val reply_of_get : t -> mlength:int -> data:bytes -> t
+(** Build the reply for a get request: fields echoed, pair swapped, data
+    attached. Raises [Invalid_argument] on a non-get message. *)
+
+val encode : t -> bytes
+
+type decode_error =
+  | Bad_magic
+  | Bad_version of int
+  | Bad_operation of int
+  | Truncated of { expected : int; got : int }
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
+val decode : bytes -> (t, decode_error) result
+
+val field_inventory : op -> (string * string) list
+(** The (field, description) rows of the paper's corresponding table —
+    what this implementation actually places on the wire. Used by the
+    bench harness to regenerate Tables 1–4. *)
+
+val pp : Format.formatter -> t -> unit

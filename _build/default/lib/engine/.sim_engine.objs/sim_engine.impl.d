@@ -1,0 +1,1 @@
+lib/engine/sim_engine.ml: Cpu Event_heap Prng Scheduler Stats Sync Time_ns Trace

@@ -1,0 +1,1 @@
+lib/engine/cpu.ml: Scheduler Sync Time_ns

@@ -1,0 +1,1 @@
+lib/engine/event_heap.ml: Array Time_ns

@@ -1,0 +1,1 @@
+lib/engine/scheduler.ml: Effect Event_heap Format Hashtbl List Prng Time_ns

@@ -1,0 +1,51 @@
+type t = {
+  sched : Scheduler.t;
+  cpu_name : string;
+  lock : Sync.Semaphore.t;
+  mutable due : Time_ns.t option; (* completion time of in-flight compute *)
+  mutable stolen : Time_ns.t;
+  mutable computed : Time_ns.t;
+}
+
+let create ?(name = "cpu") sched =
+  {
+    sched;
+    cpu_name = name;
+    lock = Sync.Semaphore.create ~name:(name ^ ".lock") sched 1;
+    due = None;
+    stolen = Time_ns.zero;
+    computed = Time_ns.zero;
+  }
+
+let name t = t.cpu_name
+
+(* [steal] pushes [t.due] forward while we sleep, so we loop until the
+   deadline stops moving. *)
+let compute t d =
+  if Time_ns.compare d Time_ns.zero < 0 then invalid_arg "Cpu.compute: negative";
+  Sync.Semaphore.acquire t.lock;
+  t.computed <- Time_ns.add t.computed d;
+  t.due <- Some (Time_ns.add (Scheduler.now t.sched) d);
+  let rec wait_until_done () =
+    match t.due with
+    | None -> assert false
+    | Some target ->
+      if Time_ns.compare (Scheduler.now t.sched) target < 0 then begin
+        Scheduler.delay_until t.sched target;
+        wait_until_done ()
+      end
+  in
+  wait_until_done ();
+  t.due <- None;
+  Sync.Semaphore.release t.lock
+
+let steal t d =
+  if Time_ns.compare d Time_ns.zero < 0 then invalid_arg "Cpu.steal: negative";
+  t.stolen <- Time_ns.add t.stolen d;
+  match t.due with
+  | None -> ()
+  | Some target -> t.due <- Some (Time_ns.add target d)
+
+let stolen_total t = t.stolen
+let compute_total t = t.computed
+let busy t = t.due <> None

@@ -1,0 +1,44 @@
+(** Host-processor occupancy model.
+
+    The application-bypass phenomenon the paper demonstrates is about
+    {e which processor} executes protocol code and {e when}. This module
+    models a host CPU precisely enough for that:
+
+    {ul
+    {- An application fiber performs computation with {!compute}; while it
+       runs, the fiber makes no library calls (the paper's "work
+       interval").}
+    {- Asynchronous protocol work executed on the host — interrupt
+       handlers, kernel-module message processing — charges the CPU via
+       {!steal}: if a computation is in flight its completion is pushed
+       back by the stolen time, which is how interrupt overhead perturbs
+       the application.}
+    {- Protocol work executed on a NIC processor uses a different [Cpu]
+       (or none), leaving the host computation untouched — application
+       bypass.}}
+
+    Computations on one CPU are serialised FIFO. *)
+
+type t
+
+val create : ?name:string -> Scheduler.t -> t
+
+val name : t -> string
+
+val compute : t -> Time_ns.t -> unit
+(** Fiber-only. Occupies the CPU for the given duration of simulated time,
+    extended by any time stolen (interrupts) while it runs. *)
+
+val steal : t -> Time_ns.t -> unit
+(** Charge asynchronous host-side protocol work to this CPU. Extends the
+    in-flight {!compute}, if any; always accounted in {!stolen_total}. *)
+
+val stolen_total : t -> Time_ns.t
+(** Cumulative time consumed via {!steal}. *)
+
+val compute_total : t -> Time_ns.t
+(** Cumulative time requested via {!compute} (excluding stolen
+    extensions). *)
+
+val busy : t -> bool
+(** Whether a computation is currently in flight. *)

@@ -1,0 +1,30 @@
+(** Priority queue of timestamped simulation events.
+
+    A binary min-heap keyed by [(time, sequence)]. The sequence number is
+    assigned at insertion, so events scheduled for the same instant fire in
+    insertion order — this FIFO tie-break is what makes simulations
+    deterministic and is relied upon throughout the engine. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val add : 'a t -> time:Time_ns.t -> 'a -> unit
+(** [add t ~time v] schedules [v] at [time]. O(log n). *)
+
+val pop : 'a t -> (Time_ns.t * 'a) option
+(** [pop t] removes and returns the earliest event, or [None] if empty.
+    O(log n). *)
+
+val peek_time : 'a t -> Time_ns.t option
+(** Timestamp of the earliest event without removing it. O(1). *)
+
+val clear : 'a t -> unit
+
+val drain : 'a t -> (Time_ns.t -> 'a -> unit) -> unit
+(** [drain t f] pops every event in order, applying [f]. Events added by
+    [f] itself are drained too. *)

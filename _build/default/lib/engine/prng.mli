@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator must be reproducible: a run with the same seed produces
+    the same event interleaving and the same measurements. We therefore use
+    an explicit-state splitmix64 generator rather than the global [Random]
+    state, so independent components can carry independent streams. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t]. Useful to give each simulated node its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by [t]. *)

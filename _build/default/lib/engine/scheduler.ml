@@ -1,0 +1,133 @@
+exception Deadlock of string list
+exception Stopped
+
+type fiber = { id : int; name : string }
+
+type t = {
+  heap : (unit -> unit) Event_heap.t;
+  mutable now : Time_ns.t;
+  mutable next_fiber_id : int;
+  mutable live : int;
+  mutable stopping : bool;
+  blocked : (int, string) Hashtbl.t;
+  mutable current : fiber option;
+  prng : Prng.t;
+}
+
+type _ Effect.t += Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
+
+let create ?(seed = 0) () =
+  {
+    heap = Event_heap.create ();
+    now = Time_ns.zero;
+    next_fiber_id = 0;
+    live = 0;
+    stopping = false;
+    blocked = Hashtbl.create 64;
+    current = None;
+    prng = Prng.create ~seed;
+  }
+
+let now t = t.now
+let prng t = t.prng
+let live_fibers t = t.live
+
+let at t time f =
+  if Time_ns.compare time t.now < 0 then
+    invalid_arg
+      (Format.asprintf "Scheduler.at: time %a is before now %a" Time_ns.pp time
+         Time_ns.pp t.now);
+  Event_heap.add t.heap ~time f
+
+let after t dt f = at t (Time_ns.add t.now dt) f
+
+(* Run a fiber body under the effect handler. [k] resumptions re-enter
+   through this handler, so every blocking point in the fiber is covered. *)
+let start_fiber t fiber f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (why, register) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                Hashtbl.replace t.blocked fiber.id why;
+                let woken = ref false in
+                let waker () =
+                  if !woken then
+                    invalid_arg "Scheduler: waker invoked more than once";
+                  woken := true;
+                  Hashtbl.remove t.blocked fiber.id;
+                  Event_heap.add t.heap ~time:t.now (fun () ->
+                      let prev = t.current in
+                      t.current <- Some fiber;
+                      continue k ();
+                      t.current <- prev)
+                in
+                register waker)
+          | _ -> None);
+    }
+  in
+  match_with f () handler
+
+let spawn t ?(name = "fiber") f =
+  let fiber = { id = t.next_fiber_id; name } in
+  t.next_fiber_id <- t.next_fiber_id + 1;
+  t.live <- t.live + 1;
+  Event_heap.add t.heap ~time:t.now (fun () ->
+      let prev = t.current in
+      t.current <- Some fiber;
+      start_fiber t fiber f;
+      t.current <- prev)
+
+let suspend t ~name register =
+  match t.current with
+  | None -> invalid_arg "Scheduler.suspend: not inside a fiber"
+  | Some _ -> Effect.perform (Suspend (name, register))
+
+let delay_until t time =
+  if Time_ns.compare time t.now > 0 then
+    suspend t ~name:"delay" (fun waker -> Event_heap.add t.heap ~time waker)
+
+let delay t dt =
+  if Time_ns.compare dt Time_ns.zero < 0 then invalid_arg "Scheduler.delay: negative";
+  delay_until t (Time_ns.add t.now dt)
+
+let yield t = suspend t ~name:"yield" (fun waker -> waker ())
+
+let stop t = t.stopping <- true
+
+let blocked_names t =
+  Hashtbl.fold
+    (fun id why acc -> Format.sprintf "fiber#%d blocked on %s" id why :: acc)
+    t.blocked []
+  |> List.sort compare
+
+let run ?until ?(allow_blocked = false) t =
+  t.stopping <- false;
+  let beyond time =
+    match until with
+    | None -> false
+    | Some limit -> Time_ns.compare time limit > 0
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Event_heap.peek_time t.heap with
+      | None ->
+        if t.live > 0 && not allow_blocked && until = None then
+          raise (Deadlock (blocked_names t))
+      | Some time when beyond time -> ()
+      | Some _ ->
+        (match Event_heap.pop t.heap with
+        | None -> assert false
+        | Some (time, f) ->
+          t.now <- time;
+          f ());
+        loop ()
+  in
+  loop ()

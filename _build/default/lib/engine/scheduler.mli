@@ -1,0 +1,75 @@
+(** Deterministic discrete-event scheduler with direct-style fibers.
+
+    Simulated application code (MPI programs, protocol state machines, the
+    examples) is written as ordinary OCaml functions running inside
+    {e fibers}. A fiber that performs a blocking simulation operation —
+    [delay], waiting on an event queue, receiving a message — suspends via
+    an OCaml 5 effect and is resumed by a later simulation event. The
+    scheduler interleaves fibers at simulated-time granularity; there is no
+    OS-level concurrency, so runs are fully deterministic for a given seed.
+
+    Events scheduled for the same instant fire in scheduling order. *)
+
+type t
+
+exception Deadlock of string list
+(** Raised by {!run} when no events remain but fibers are still blocked.
+    Carries the names of the blocked fibers. *)
+
+exception Stopped
+(** Raised inside {!run} processing when {!stop} was requested; callers of
+    [run] do not see it. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh scheduler at time 0. [seed] (default 0)
+    initialises the PRNG tree used by simulation components. *)
+
+val now : t -> Time_ns.t
+(** Current simulated time. *)
+
+val prng : t -> Prng.t
+(** The scheduler's root PRNG; components should {!Prng.split} it. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t ~name f] creates a fiber running [f], starting at the current
+    simulated time (it runs when the scheduler reaches the corresponding
+    event, not immediately). An exception escaping [f] aborts the whole
+    run and is re-raised from {!run}. *)
+
+val at : t -> Time_ns.t -> (unit -> unit) -> unit
+(** [at t time f] schedules callback [f] at absolute [time], which must not
+    be in the past. Callbacks must not block; blocking code belongs in a
+    fiber ({!spawn}). *)
+
+val after : t -> Time_ns.t -> (unit -> unit) -> unit
+(** [after t dt f] is [at t (now t + dt) f]. *)
+
+val delay : t -> Time_ns.t -> unit
+(** Fiber-only. Suspends the calling fiber for [dt] of simulated time. *)
+
+val delay_until : t -> Time_ns.t -> unit
+(** Fiber-only. Suspends the calling fiber until the given absolute time;
+    returns immediately if the time is not in the future. *)
+
+val yield : t -> unit
+(** Fiber-only. Re-queues the calling fiber at the current time, letting
+    already-scheduled same-instant events run first. *)
+
+val suspend : t -> name:string -> ((unit -> unit) -> unit) -> unit
+(** [suspend t ~name register] is the primitive blocking operation:
+    suspends the calling fiber and hands [register] a {e waker}. Invoking
+    the waker (exactly once) schedules the fiber's resumption at the
+    simulated time of the invocation. [name] labels the fiber's blocked
+    state for {!Deadlock} reports. *)
+
+val run : ?until:Time_ns.t -> ?allow_blocked:bool -> t -> unit
+(** [run t] processes events until none remain. If fibers are still
+    blocked at that point, raises {!Deadlock} unless [allow_blocked] is
+    true. With [until], stops once the next event lies beyond [until]
+    (pending events stay queued and blocked fibers are not an error). *)
+
+val stop : t -> unit
+(** Request that {!run} return after the current event completes. *)
+
+val live_fibers : t -> int
+(** Number of fibers spawned and not yet finished. *)

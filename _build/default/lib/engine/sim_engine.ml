@@ -1,0 +1,11 @@
+(** Entry point of the simulation engine library. See the individual
+    modules for documentation. *)
+
+module Time_ns = Time_ns
+module Prng = Prng
+module Event_heap = Event_heap
+module Stats = Stats
+module Scheduler = Scheduler
+module Sync = Sync
+module Cpu = Cpu
+module Trace = Trace

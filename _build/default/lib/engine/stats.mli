@@ -1,0 +1,70 @@
+(** Measurement collection for simulation runs.
+
+    Three collector kinds cover everything the benches report:
+    {ul
+    {- [Counter]: monotonically increasing integer (messages sent, drops).}
+    {- [Summary]: running mean/min/max/stddev of float samples (latencies).}
+    {- [Series]: (x, y) points accumulated in order (a figure's curve).}} *)
+
+module Counter : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module Summary : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of observed samples; 0 if none. *)
+
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+  (** Population standard deviation; 0 for fewer than two samples. *)
+
+  val total : t -> float
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+module Series : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val push : t -> x:float -> y:float -> unit
+  val points : t -> (float * float) list
+  (** Points in insertion order. *)
+
+  val length : t -> int
+  val name : t -> string
+  val pp_table : ?x_label:string -> ?y_label:string -> Format.formatter -> t -> unit
+  (** Render as an aligned two-column table, one row per point. *)
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?name:string -> buckets:float array -> unit -> t
+  (** [create ~buckets] uses [buckets] as ascending upper bounds; samples
+      above the last bound land in an overflow bucket. *)
+
+  val observe : t -> float -> unit
+  val counts : t -> (float option * int) list
+  (** Bucket upper bound ([None] = overflow) and count, ascending. *)
+
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-quantile (0 <= q <= 1) by linear
+      interpolation within buckets. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,115 @@
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) Queue.t | Filled of 'a
+  type 'a t = { sched : Scheduler.t; mutable state : 'a state }
+
+  let create sched = { sched; state = Empty (Queue.create ()) }
+
+  let fill t v =
+    match t.state with
+    | Filled _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      t.state <- Filled v;
+      Queue.iter (fun waker -> waker ()) waiters
+
+  let is_filled t = match t.state with Filled _ -> true | Empty _ -> false
+  let peek t = match t.state with Filled v -> Some v | Empty _ -> None
+
+  let read t =
+    match t.state with
+    | Filled v -> v
+    | Empty waiters ->
+      Scheduler.suspend t.sched ~name:"ivar" (fun waker -> Queue.add waker waiters);
+      (match t.state with
+      | Filled v -> v
+      | Empty _ -> assert false)
+end
+
+module Waitq = struct
+  type t = { sched : Scheduler.t; name : string; waiters : (unit -> unit) Queue.t }
+
+  let create ?(name = "waitq") sched = { sched; name; waiters = Queue.create () }
+
+  let wait t =
+    Scheduler.suspend t.sched ~name:t.name (fun waker -> Queue.add waker t.waiters)
+
+  let signal t =
+    match Queue.take_opt t.waiters with None -> () | Some waker -> waker ()
+
+  let broadcast t =
+    (* Wake exactly the fibers waiting now; wakers run their fibers at the
+       current instant, and a re-wait would enqueue into the same queue, so
+       drain a snapshot. *)
+    let snapshot = Queue.create () in
+    Queue.transfer t.waiters snapshot;
+    Queue.iter (fun waker -> waker ()) snapshot
+
+  let waiters t = Queue.length t.waiters
+end
+
+module Mailbox = struct
+  type 'a t = { q : 'a Queue.t; nonempty : Waitq.t }
+
+  let create ?(name = "mailbox") sched =
+    { q = Queue.create (); nonempty = Waitq.create ~name sched }
+
+  let send t v =
+    Queue.add v t.q;
+    Waitq.signal t.nonempty
+
+  let rec recv t =
+    match Queue.take_opt t.q with
+    | Some v -> v
+    | None ->
+      Waitq.wait t.nonempty;
+      recv t
+
+  let try_recv t = Queue.take_opt t.q
+  let length t = Queue.length t.q
+end
+
+module Semaphore = struct
+  type t = { mutable units : int; nonzero : Waitq.t }
+
+  let create ?(name = "semaphore") sched n =
+    if n < 0 then invalid_arg "Semaphore.create: negative";
+    { units = n; nonzero = Waitq.create ~name sched }
+
+  let rec acquire t =
+    if t.units > 0 then t.units <- t.units - 1
+    else begin
+      Waitq.wait t.nonzero;
+      acquire t
+    end
+
+  let release t =
+    t.units <- t.units + 1;
+    Waitq.signal t.nonzero
+
+  let available t = t.units
+end
+
+module Barrier = struct
+  type t = {
+    parties : int;
+    mutable arrived : int;
+    mutable generation : int;
+    released : Waitq.t;
+  }
+
+  let create ?(name = "barrier") sched n =
+    if n <= 0 then invalid_arg "Barrier.create: parties must be positive";
+    { parties = n; arrived = 0; generation = 0; released = Waitq.create ~name sched }
+
+  let await t =
+    let gen = t.generation in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Waitq.broadcast t.released
+    end
+    else
+      while t.generation = gen do
+        Waitq.wait t.released
+      done
+end

@@ -1,0 +1,28 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us x = int_of_float (Float.round (x *. 1e3))
+let ms x = int_of_float (Float.round (x *. 1e6))
+let s x = int_of_float (Float.round (x *. 1e9))
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
+let add = ( + )
+let sub = ( - )
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+let equal = Int.equal
+
+let of_rate ~bytes_per_s n =
+  assert (bytes_per_s > 0.);
+  int_of_float (Float.round (float_of_int n *. 1e9 /. bytes_per_s))
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dns" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.3fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else Format.fprintf ppf "%.3fs" (to_s t)
+
+let to_string t = Format.asprintf "%a" pp t

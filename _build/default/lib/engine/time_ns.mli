@@ -1,0 +1,47 @@
+(** Simulated time, in integer nanoseconds.
+
+    All simulation components share this representation. Using an integer
+    keeps event ordering exact and runs deterministic across platforms;
+    OCaml's 63-bit native integers give ~292 years of range, far beyond any
+    simulated experiment. *)
+
+type t = int
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds, rounded to the nearest nanosecond. *)
+
+val s : float -> t
+(** [s x] is [x] seconds, rounded to the nearest nanosecond. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_s : t -> float
+(** [to_s t] is [t] expressed in seconds. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val max : t -> t -> t
+val min : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_rate : bytes_per_s:float -> int -> t
+(** [of_rate ~bytes_per_s n] is the time needed to move [n] bytes at
+    [bytes_per_s] bytes per second. [bytes_per_s] must be positive. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print with an auto-selected unit (ns, us, ms or s). *)
+
+val to_string : t -> string

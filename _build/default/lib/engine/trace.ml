@@ -1,0 +1,60 @@
+let src = Logs.Src.create "sim" ~doc:"Simulation event trace"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  sched : Scheduler.t;
+  capacity : int;
+  ring : (Time_ns.t * string * string) option array;
+  mutable next : int;
+  mutable count : int;
+  mutable is_enabled : bool;
+  log : bool;
+}
+
+let create ?(capacity = 4096) ?(log = false) sched =
+  {
+    sched;
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    count = 0;
+    is_enabled = false;
+    log;
+  }
+
+let enable t = t.is_enabled <- true
+let disable t = t.is_enabled <- false
+let enabled t = t.is_enabled
+
+let emit t ?(subsys = "") msg =
+  if t.is_enabled then begin
+    let entry = (Scheduler.now t.sched, subsys, msg) in
+    t.ring.(t.next) <- Some entry;
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1;
+    if t.log then
+      Log.debug (fun m ->
+          m "[%a] %s: %s" Time_ns.pp (Scheduler.now t.sched) subsys msg)
+  end
+
+let emitf t ?subsys fmt =
+  if t.is_enabled then
+    Format.kasprintf (fun msg -> emit t ?subsys msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events t =
+  let out = ref [] in
+  for i = 0 to t.count - 1 do
+    let idx = (t.next - t.count + i + (2 * t.capacity)) mod t.capacity in
+    match t.ring.(idx) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let dump ppf t =
+  let line (time, subsys, msg) =
+    Format.fprintf ppf "[%a] %s: %s@." Time_ns.pp time subsys msg
+  in
+  List.iter line (events t)

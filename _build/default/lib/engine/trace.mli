@@ -1,0 +1,28 @@
+(** Lightweight event trace for debugging simulations.
+
+    Disabled traces cost one branch per event. Enabled traces keep the most
+    recent [capacity] entries in a ring buffer and can mirror them to a
+    [Logs] source. *)
+
+type t
+
+val create : ?capacity:int -> ?log:bool -> Scheduler.t -> t
+(** [create sched] is a disabled trace with the given ring [capacity]
+    (default 4096). With [log:true], events are also emitted at debug level
+    through the ["sim"] log source. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> ?subsys:string -> string -> unit
+(** Record an event at the current simulated time. *)
+
+val emitf : t -> ?subsys:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Like {!emit} with formatting; the format arguments are only evaluated
+    when the trace is enabled. *)
+
+val events : t -> (Time_ns.t * string * string) list
+(** Retained events, oldest first: (time, subsystem, message). *)
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablation Bandwidth Drops Fig5 Fig6 Latency Protocols Scaling Tables Translation

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Bytes Cpu Fig5 Format List Mpi Rtscts Runtime Scheduler Sim_engine Simnet Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/bandwidth.ml: Array Bytes Format List Portals Runtime Scheduler Sim_engine Time_ns

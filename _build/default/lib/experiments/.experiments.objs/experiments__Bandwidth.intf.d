@@ -1,0 +1,1 @@
+lib/experiments/bandwidth.mli: Format Runtime

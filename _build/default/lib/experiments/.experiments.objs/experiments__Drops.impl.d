@@ -1,0 +1,1 @@
+lib/experiments/drops.ml: Array Bytes Format List Portals Runtime Sim_engine Simnet Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/drops.mli: Format

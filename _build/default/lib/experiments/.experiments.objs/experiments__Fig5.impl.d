@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Bytes Cpu List Mpi Runtime Scheduler Sim_engine Stats Time_ns

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Fig5 Format List Runtime Sim_engine Time_ns

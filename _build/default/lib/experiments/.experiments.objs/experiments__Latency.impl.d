@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: Array Bytes Format List Portals Runtime Scheduler Sim_engine Simnet Stats Time_ns

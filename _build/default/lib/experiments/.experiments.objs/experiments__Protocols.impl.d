@@ -1,0 +1,1 @@
+lib/experiments/protocols.ml: Array Bytes Format List Portals Runtime Sim_engine Time_ns

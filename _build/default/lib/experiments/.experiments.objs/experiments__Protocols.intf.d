@@ -1,0 +1,1 @@
+lib/experiments/protocols.mli: Format Runtime

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Array Bytes Collectives Format List Mpi Portals Runtime Scheduler Sim_engine Time_ns

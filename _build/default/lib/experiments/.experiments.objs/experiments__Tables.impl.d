@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Bytes Format List Portals Simnet

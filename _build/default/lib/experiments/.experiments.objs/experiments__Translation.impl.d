@@ -1,0 +1,1 @@
+lib/experiments/translation.ml: Array Bytes Cpu Format List Portals Runtime Sim_engine Simnet Time_ns

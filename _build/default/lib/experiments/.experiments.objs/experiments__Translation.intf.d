@@ -1,0 +1,1 @@
+lib/experiments/translation.mli: Format

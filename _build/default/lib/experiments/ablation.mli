@@ -1,0 +1,33 @@
+(** Design-choice ablations called out in DESIGN.md.
+
+    {b Eager threshold} (§5.2's progress discussion): below the MPI
+    device's eager threshold, a pre-posted receive completes entirely by
+    application bypass; above it, the receiver pulls the payload from the
+    library, so a work interval leaves the transfer pending. The sweep
+    crosses the threshold and the remaining wait should jump.
+
+    {b Interrupt coalescing} (§5.3 concedes the measured implementation
+    is interrupt-driven): per-packet interrupts inflate the work interval
+    on the receiving host; coalescing recovers most of it. *)
+
+type threshold_row = {
+  message_size : int;
+  eager : bool;  (** Below/at the device threshold? *)
+  wait_ms : float;  (** Remaining wait after a 20 ms work interval. *)
+}
+
+val run_threshold : ?sizes:int list -> unit -> threshold_row list
+
+val pp_threshold : Format.formatter -> threshold_row list -> unit
+
+type interrupt_row = {
+  per_packet_interrupt : bool;
+  work_elapsed_ms : float;
+      (** Wall time of a nominal 20 ms work interval while 10 x 50 KB
+          messages arrive. *)
+  host_stolen_ms : float;
+}
+
+val run_interrupts : unit -> interrupt_row list
+
+val pp_interrupts : Format.formatter -> interrupt_row list -> unit

@@ -1,0 +1,118 @@
+open Sim_engine
+module P = Portals
+
+type row = { reason : string; count : int }
+
+let pt_bench = 9
+
+let bind_payload ni payload =
+  P.Errors.ok_exn ~op:"bind"
+    (P.Ni.md_bind ni
+       (P.Ni.md_spec
+          ~options:{ P.Md.default_options with P.Md.ack_disable = true }
+          ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
+
+let put ni ~target ~portal_index ~cookie payload =
+  let mdh = bind_payload ni payload in
+  P.Errors.ok_exn ~op:"put"
+    (P.Ni.put ni ~md:mdh ~ack:false ~target ~portal_index ~cookie
+       ~match_bits:P.Match_bits.zero ~offset:0 ())
+
+let run () =
+  let world = Runtime.create_world ~nodes:2 () in
+  let tp = world.Runtime.transport in
+  let r0 = world.Runtime.ranks.(0) and r1 = world.Runtime.ranks.(1) in
+  let ni0 = P.Ni.create tp ~id:r0 () in
+  let ni1 = P.Ni.create tp ~id:r1 () in
+  (* A small target region so over-long sends have somewhere to fail. *)
+  let meh =
+    P.Errors.ok_exn ~op:"me"
+      (P.Ni.me_attach ni1 ~portal_index:pt_bench ~match_id:P.Match_id.any
+         ~match_bits:P.Match_bits.zero ~ignore_bits:P.Match_bits.all_ones ())
+  in
+  let _ =
+    P.Errors.ok_exn ~op:"md"
+      (P.Ni.md_attach ni1 ~me:meh (P.Ni.md_spec (Bytes.create 16)))
+  in
+  (* ACL entry 3 on ni1: only process 9:9 may use it; entry 4: portal 5 only. *)
+  (match
+     P.Acl.set (P.Ni.acl ni1) 3
+       {
+         P.Acl.allowed_id = P.Match_id.of_proc (Simnet.Proc_id.make ~nid:9 ~pid:9);
+         allowed_portal = None;
+       }
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "acl set");
+  (match
+     P.Acl.set (P.Ni.acl ni1) 4
+       { P.Acl.allowed_id = P.Match_id.any; allowed_portal = Some 5 }
+   with
+  | Ok () -> ()
+  | Error _ -> failwith "acl set");
+  (* 1. malformed *)
+  tp.Simnet.Transport.send ~src:r0 ~dst:r1 (Bytes.of_string "not a portals msg");
+  (* 2. invalid portal index *)
+  put ni0 ~target:r1 ~portal_index:4999 ~cookie:0 (Bytes.create 1);
+  (* 3. bad cookie *)
+  put ni0 ~target:r1 ~portal_index:pt_bench ~cookie:14 (Bytes.create 1);
+  (* 4. acl id mismatch *)
+  put ni0 ~target:r1 ~portal_index:pt_bench ~cookie:3 (Bytes.create 1);
+  (* 5. acl portal mismatch *)
+  put ni0 ~target:r1 ~portal_index:pt_bench ~cookie:4 (Bytes.create 1);
+  (* 6. no match: too long for the 16-byte descriptor, no truncate *)
+  put ni0 ~target:r1 ~portal_index:pt_bench ~cookie:0 (Bytes.create 64);
+  (* 7. stray ack to a dead event queue *)
+  let stray_put =
+    P.Wire.put_request ~initiator:r1 ~target:r0 ~portal_index:0 ~cookie:0
+      ~match_bits:P.Match_bits.zero ~offset:0 ~md_handle:P.Handle.none
+      ~eq_handle:(P.Handle.of_wire 0x4242L) ~data:Bytes.empty ()
+  in
+  tp.Simnet.Transport.send ~src:r1 ~dst:r0
+    (P.Wire.encode (P.Wire.ack_of_put stray_put ~mlength:0));
+  (* 8. stray reply to a dead descriptor *)
+  let stray_get =
+    P.Wire.get_request ~initiator:r1 ~target:r0 ~portal_index:0 ~cookie:0
+      ~match_bits:P.Match_bits.zero ~offset:0
+      ~md_handle:(P.Handle.of_wire 0x2424L) ~rlength:0 ()
+  in
+  tp.Simnet.Transport.send ~src:r1 ~dst:r0
+    (P.Wire.encode (P.Wire.reply_of_get stray_get ~mlength:0 ~data:Bytes.empty));
+  (* 9. reply to a full event queue *)
+  let full_eqh = P.Errors.ok_exn ~op:"eq" (P.Ni.eq_alloc ni0 ~capacity:1) in
+  let full_eqq = P.Errors.ok_exn ~op:"eq" (P.Ni.eq ni0 full_eqh) in
+  let gmd =
+    P.Errors.ok_exn ~op:"bind"
+      (P.Ni.md_bind ni0 (P.Ni.md_spec ~eq:full_eqh (Bytes.create 8)))
+  in
+  P.Errors.ok_exn ~op:"get"
+    (P.Ni.get ni0 ~md:gmd ~target:r1 ~portal_index:pt_bench
+       ~cookie:P.Acl.default_cookie_job ~match_bits:P.Match_bits.zero ~offset:0 ());
+  ignore
+    (P.Event.Queue.post full_eqq
+       {
+         P.Event.kind = P.Event.Put;
+         initiator = r1;
+         portal_index = 0;
+         match_bits = P.Match_bits.zero;
+         rlength = 0;
+         mlength = 0;
+         offset = 0;
+         md_handle = P.Handle.none;
+         md_user_ptr = 0;
+         time = Time_ns.zero;
+       });
+  Runtime.run world;
+  List.map
+    (fun reason ->
+      let on_ni0 = P.Ni.dropped ni0 reason and on_ni1 = P.Ni.dropped ni1 reason in
+      {
+        reason = Format.asprintf "%a" P.Ni.pp_drop_reason reason;
+        count = on_ni0 + on_ni1;
+      })
+    P.Ni.all_drop_reasons
+
+let pp ppf rows =
+  Format.fprintf ppf "Dropped message accounting (section 4.8):@.";
+  Format.fprintf ppf "%-44s %s@." "reason" "count";
+  List.iter (fun r -> Format.fprintf ppf "%-44s %d@." r.reason r.count) rows

@@ -1,0 +1,14 @@
+(** Regeneration code for every table and figure of the paper, plus the
+    ablations DESIGN.md calls out. One module per experiment; the bench
+    harness ([bench/main.ml]) and the CLI ([bin/]) drive these. *)
+
+module Fig5 = Fig5
+module Fig6 = Fig6
+module Latency = Latency
+module Bandwidth = Bandwidth
+module Tables = Tables
+module Protocols = Protocols
+module Translation = Translation
+module Scaling = Scaling
+module Drops = Drops
+module Ablation = Ablation

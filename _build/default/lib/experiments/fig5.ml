@@ -1,0 +1,90 @@
+open Sim_engine
+
+type params = {
+  backend : [ `Portals | `Gm ];
+  transport : Runtime.transport_kind;
+  message_size : int;
+  batch : int;
+  iterations : int;
+  work : Time_ns.t;
+  tests_during_work : int;
+}
+
+let default_params =
+  {
+    backend = `Portals;
+    transport = Runtime.Rtscts;
+    message_size = 50_000;
+    batch = 10;
+    iterations = 4;
+    work = Time_ns.zero;
+    tests_during_work = 0;
+  }
+
+type result = {
+  mean_wait : float;
+  max_wait : float;
+  mean_work_elapsed : float;
+}
+
+let run p =
+  let world = Runtime.create_world ~transport:p.transport ~nodes:2 () in
+  let endpoints =
+    Array.init 2 (fun rank ->
+        match p.backend with
+        | `Portals ->
+          Mpi.create_portals world.Runtime.transport ~ranks:world.Runtime.ranks
+            ~rank ()
+        | `Gm ->
+          Mpi.create_gm world.Runtime.transport ~ranks:world.Runtime.ranks ~rank ())
+  in
+  let wait_stats = Stats.Summary.create ~name:"wait" () in
+  let work_stats = Stats.Summary.create ~name:"work" () in
+  let worker = 1 in
+  Runtime.spawn_ranks world (fun ~rank ->
+      let ep = endpoints.(rank) in
+      let peer = 1 - rank in
+      let cpu = Runtime.host_cpu_of_rank world rank in
+      for _iter = 1 to p.iterations do
+        (* pre-post several non-blocking receives *)
+        let recvs =
+          List.init p.batch (fun i ->
+              Mpi.irecv ep ~source:peer ~tag:i (Bytes.create p.message_size))
+        in
+        (* barrier *)
+        Mpi.barrier ep;
+        (* post a batch of sends *)
+        let sends =
+          List.init p.batch (fun i ->
+              Mpi.isend ep ~dst:peer ~tag:i (Bytes.create p.message_size))
+        in
+        (* work (fixed loop iterations) — only the working node *)
+        if rank = worker && Time_ns.compare p.work Time_ns.zero > 0 then begin
+          let started = Scheduler.now world.Runtime.sched in
+          if p.tests_during_work > 0 then begin
+            let slices = p.tests_during_work + 1 in
+            let slice = Time_ns.ns (p.work / slices) in
+            for s = 1 to slices do
+              Cpu.compute cpu slice;
+              if s < slices then Mpi.progress ep
+            done
+          end
+          else Cpu.compute cpu p.work;
+          Stats.Summary.observe work_stats
+            (Time_ns.to_us (Time_ns.sub (Scheduler.now world.Runtime.sched) started))
+        end;
+        (* time A; wait for the batch; time B *)
+        let time_a = Scheduler.now world.Runtime.sched in
+        ignore (Mpi.waitall ep (sends @ recvs));
+        let time_b = Scheduler.now world.Runtime.sched in
+        if rank = worker then
+          Stats.Summary.observe wait_stats (Time_ns.to_us (Time_ns.sub time_b time_a))
+      done;
+      Mpi.barrier ep;
+      Mpi.finalize ep);
+  Runtime.run world;
+  {
+    mean_wait = Stats.Summary.mean wait_stats;
+    max_wait = Stats.Summary.max wait_stats;
+    mean_work_elapsed = Stats.Summary.mean work_stats;
+  }

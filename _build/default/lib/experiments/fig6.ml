@@ -1,0 +1,69 @@
+open Sim_engine
+
+type series = { label : string; points : (float * float) list }
+
+type t = { message_size : int; batch : int; series : series list }
+
+let work_intervals_ms = [ 0.; 2.; 5.; 10.; 15.; 20.; 25.; 30.; 40.; 50. ]
+
+let sweep ~label ~message_size ~batch ~iterations ~work_ms ~backend ~transport
+    ~tests_during_work =
+  let point ms =
+    let result =
+      Fig5.run
+        {
+          Fig5.backend;
+          transport;
+          message_size;
+          batch;
+          iterations;
+          work = Time_ns.ms ms;
+          tests_during_work;
+        }
+    in
+    (ms, result.Fig5.mean_wait /. 1000.)
+  in
+  { label; points = List.map point work_ms }
+
+let run ?(message_size = 50_000) ?(batch = 10) ?(iterations = 3)
+    ?(work_ms = work_intervals_ms) () =
+  let sweep ~label ~backend ~transport ~tests_during_work =
+    sweep ~label ~message_size ~batch ~iterations ~work_ms ~backend ~transport
+      ~tests_during_work
+  in
+  {
+    message_size;
+    batch;
+    series =
+      [
+        sweep ~label:"MPICH/GM" ~backend:`Gm ~transport:Runtime.Offload
+          ~tests_during_work:0;
+        sweep ~label:"MPICH/Portals3.0" ~backend:`Portals
+          ~transport:Runtime.Rtscts ~tests_during_work:0;
+        sweep ~label:"MPICH/GM+3tests" ~backend:`Gm ~transport:Runtime.Offload
+          ~tests_during_work:3;
+        sweep ~label:"Portals3.0-MCP" ~backend:`Portals
+          ~transport:Runtime.Offload ~tests_during_work:0;
+      ];
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "Figure 6: wait duration vs work interval (%d x %d-byte messages)@."
+    t.batch t.message_size;
+  Format.fprintf ppf "%-14s" "work(ms)";
+  List.iter (fun s -> Format.fprintf ppf "%-20s" s.label) t.series;
+  Format.fprintf ppf "@.";
+  match t.series with
+  | [] -> ()
+  | first :: _ ->
+    List.iteri
+      (fun i (x, _) ->
+        Format.fprintf ppf "%-14.1f" x;
+        List.iter
+          (fun s ->
+            let _, y = List.nth s.points i in
+            Format.fprintf ppf "%-20.3f" y)
+          t.series;
+        Format.fprintf ppf "@.")
+      first.points

@@ -1,0 +1,42 @@
+(** Figure 6: duration of waiting for messages as a function of the work
+    interval, for MPICH/GM and MPICH over Portals 3.0, with 50 KB
+    messages.
+
+    The paper's result: MPICH/GM makes essentially no progress until the
+    application re-enters the library (a flat curve at the full transfer
+    cost), while the Portals implementation completes virtually all
+    message handling inside a large enough work interval (a curve
+    declining to near zero). A third series reproduces the side
+    experiment: three MPI test calls inside the work loop let MPICH/GM
+    recover most of the progress. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+      (** (work interval ms, mean remaining wait ms) *)
+}
+
+type t = {
+  message_size : int;
+  batch : int;
+  series : series list;
+}
+
+val work_intervals_ms : float list
+(** The default sweep: 0 to 50 ms. *)
+
+val run :
+  ?message_size:int ->
+  ?batch:int ->
+  ?iterations:int ->
+  ?work_ms:float list ->
+  unit ->
+  t
+(** Regenerate the figure's data: MPICH/GM (offload transport, as GM ran
+    on the NIC), MPICH/Portals 3.0 on the interrupt-driven kernel path
+    (the implementation the paper measured), MPICH/GM with three test
+    calls, and — beyond the paper — MPICH/Portals on the NIC-offload
+    placement. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render all series as aligned columns, one row per work interval. *)

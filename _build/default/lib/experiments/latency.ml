@@ -1,0 +1,97 @@
+open Sim_engine
+module P = Portals
+
+type row = { placement : string; rtt_us : float; one_way_us : float }
+
+let pt_bench = 8
+
+(* Catch-all target structures: every incoming put lands in [buffer] and
+   logs to a fresh EQ. *)
+let attach_echo ni buffer =
+  let eqh = P.Errors.ok_exn ~op:"eq" (P.Ni.eq_alloc ni ~capacity:128) in
+  let eqq = P.Errors.ok_exn ~op:"eq" (P.Ni.eq ni eqh) in
+  let meh =
+    P.Errors.ok_exn ~op:"me"
+      (P.Ni.me_attach ni ~portal_index:pt_bench ~match_id:P.Match_id.any
+         ~match_bits:P.Match_bits.zero ~ignore_bits:P.Match_bits.all_ones ())
+  in
+  let options =
+    { P.Md.default_options with P.Md.truncate = true; ack_disable = true }
+  in
+  let _mdh =
+    P.Errors.ok_exn ~op:"md"
+      (P.Ni.md_attach ni ~me:meh
+         (P.Ni.md_spec ~options ~threshold:P.Md.Infinite ~eq:eqh buffer))
+  in
+  eqq
+
+let send ni ~target payload =
+  let mdh =
+    P.Errors.ok_exn ~op:"bind"
+      (P.Ni.md_bind ni
+         (P.Ni.md_spec
+            ~options:{ P.Md.default_options with P.Md.ack_disable = true }
+            ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
+  in
+  P.Errors.ok_exn ~op:"put"
+    (P.Ni.put ni ~md:mdh ~ack:false ~target ~portal_index:pt_bench
+       ~cookie:P.Acl.default_cookie_job ~match_bits:P.Match_bits.zero ~offset:0 ())
+
+let run_one ?profile ?label ?(message_size = 0) ?(iterations = 50) transport =
+  let world = Runtime.create_world ?profile ~transport ~nodes:2 () in
+  let ni0 = P.Ni.create world.Runtime.transport ~id:world.Runtime.ranks.(0) () in
+  let ni1 = P.Ni.create world.Runtime.transport ~id:world.Runtime.ranks.(1) () in
+  let eq0 = attach_echo ni0 (Bytes.create (max message_size 8)) in
+  let eq1 = attach_echo ni1 (Bytes.create (max message_size 8)) in
+  let payload = Bytes.create message_size in
+  let rtt = Stats.Summary.create ~name:"rtt" () in
+  Scheduler.spawn world.Runtime.sched ~name:"pinger" (fun () ->
+      (* One warmup round trip, then the measured ones. *)
+      for i = 0 to iterations do
+        let start = Scheduler.now world.Runtime.sched in
+        send ni0 ~target:world.Runtime.ranks.(1) payload;
+        let _ev = P.Event.Queue.wait eq0 in
+        if i > 0 then
+          Stats.Summary.observe rtt
+            (Time_ns.to_us (Time_ns.sub (Scheduler.now world.Runtime.sched) start))
+      done);
+  Scheduler.spawn world.Runtime.sched ~name:"ponger" (fun () ->
+      for _ = 0 to iterations do
+        let _ev = P.Event.Queue.wait eq1 in
+        send ni1 ~target:world.Runtime.ranks.(0) payload
+      done);
+  Runtime.run world;
+  let mean = Stats.Summary.mean rtt in
+  {
+    placement =
+      (match label with
+      | Some l -> l
+      | None -> Runtime.transport_kind_name transport);
+    rtt_us = mean;
+    one_way_us = mean /. 2.;
+  }
+
+let run ?message_size ?iterations () =
+  let rows =
+    List.map
+      (fun transport -> run_one ?message_size ?iterations transport)
+      [ Runtime.Offload; Runtime.Kernel_interrupt; Runtime.Rtscts ]
+    @ [
+        run_one ?message_size ?iterations
+          ~profile:Simnet.Profile.asci_red_puma ~label:"puma/asci-red"
+          Runtime.Kernel_interrupt;
+        run_one ?message_size ?iterations
+          ~profile:Simnet.Profile.tcp_reference ~label:"tcp-reference"
+          Runtime.Rtscts;
+      ]
+  in
+  List.sort (fun a b -> compare a.rtt_us b.rtt_us) rows
+
+let pp ppf rows =
+  Format.fprintf ppf "Zero-length ping-pong latency:@.";
+  Format.fprintf ppf "%-20s %-12s %-12s@." "placement" "rtt(us)" "half-rtt(us)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-20s %-12.2f %-12.2f@." r.placement r.rtt_us
+        r.one_way_us)
+    rows

@@ -1,0 +1,108 @@
+open Sim_engine
+
+type memory_row = {
+  job_size : int;
+  portals_reserved : int;
+  portals_highwater : int;
+  via_like_bytes : int;
+}
+
+module MP = Mpi.Mpi_portals
+
+let run_memory ?(job_sizes = [ 4; 8; 16; 32; 64 ]) ?(credits = 8)
+    ?(eager = 16_384) () =
+  let measure n =
+    let world = Runtime.create_world ~nodes:n () in
+    let config = MP.default_config in
+    let endpoints =
+      Array.init n (fun rank ->
+          MP.create world.Runtime.transport ~ranks:world.Runtime.ranks ~rank
+            ~config ())
+    in
+    Runtime.spawn_ranks world (fun ~rank ->
+        let ep = endpoints.(rank) in
+        if rank <> 0 then
+          for i = 0 to 3 do
+            ignore (MP.wait ep (MP.isend ep ~dst:0 ~tag:((rank * 10) + i) (Bytes.create 1_024)))
+          done
+        else begin
+          (* Let everything arrive unexpected, then claim it. *)
+          Scheduler.delay world.Runtime.sched (Time_ns.ms 50.0);
+          for src = 1 to n - 1 do
+            for i = 0 to 3 do
+              ignore
+                (MP.wait ep
+                   (MP.irecv ep ~source:src ~tag:((src * 10) + i)
+                      (Bytes.create 1_024)))
+            done
+          done
+        end);
+    Runtime.run world;
+    {
+      job_size = n;
+      portals_reserved = config.MP.slab_size * config.MP.slab_count;
+      portals_highwater = MP.unexpected_bytes_highwater endpoints.(0);
+      via_like_bytes = (n - 1) * credits * eager;
+    }
+  in
+  List.map measure job_sizes
+
+let pp_memory ppf rows =
+  Format.fprintf ppf
+    "Receive-buffer memory vs job size (section 4.1):@.";
+  Format.fprintf ppf "%-10s %-20s %-20s %-20s@." "job" "portals-reserved"
+    "portals-highwater" "via-like-per-conn";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10d %-20d %-20d %-20d@." r.job_size
+        r.portals_reserved r.portals_highwater r.via_like_bytes)
+    rows
+
+type coll_row = { nodes : int; barrier_us : float; allreduce_us : float }
+
+let run_collectives ?(node_counts = [ 2; 4; 8; 16; 32; 64; 128; 256 ]) () =
+  let measure n =
+    let world = Runtime.create_world ~nodes:n () in
+    let colls =
+      Array.mapi
+        (fun rank pid ->
+          let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+          Collectives.create ni ~ranks:world.Runtime.ranks ~rank ())
+        world.Runtime.ranks
+    in
+    let barrier_done = ref Time_ns.zero in
+    let allreduce_done = ref Time_ns.zero in
+    let barrier_start = ref Time_ns.zero in
+    let allreduce_start = ref Time_ns.zero in
+    Array.iteri
+      (fun rank coll ->
+        Scheduler.spawn world.Runtime.sched (fun () ->
+            (* Warmup to hide first-touch effects, then measured rounds. *)
+            Collectives.barrier coll;
+            if rank = 0 then barrier_start := Scheduler.now world.Runtime.sched;
+            Collectives.barrier coll;
+            let now = Scheduler.now world.Runtime.sched in
+            if Time_ns.compare now !barrier_done > 0 then barrier_done := now;
+            Collectives.barrier coll;
+            if rank = 0 then allreduce_start := Scheduler.now world.Runtime.sched;
+            ignore (Collectives.allreduce_float_sum coll (Array.make 8 1.0));
+            let now = Scheduler.now world.Runtime.sched in
+            if Time_ns.compare now !allreduce_done > 0 then allreduce_done := now))
+      colls;
+    Runtime.run world;
+    {
+      nodes = n;
+      barrier_us = Time_ns.to_us (Time_ns.sub !barrier_done !barrier_start);
+      allreduce_us = Time_ns.to_us (Time_ns.sub !allreduce_done !allreduce_start);
+    }
+  in
+  List.map measure node_counts
+
+let pp_collectives ppf rows =
+  Format.fprintf ppf "Collective completion time vs nodes:@.";
+  Format.fprintf ppf "%-10s %-16s %-16s@." "nodes" "barrier(us)" "allreduce(us)";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10d %-16.2f %-16.2f@." r.nodes r.barrier_us
+        r.allreduce_us)
+    rows

@@ -1,0 +1,39 @@
+(** The scalability arguments of §4.1.
+
+    {b Memory scaling} — "Portals allow for the amount of memory used for
+    unexpected message buffers to be based on the needs and behavior of
+    the application rather than based simply on the number of processes
+    in a parallel job. For many message passing systems, such as VIA, the
+    amount of memory required grows linearly with the number of
+    connections." We measure the Portals MPI's slab reservation and
+    unexpected high-water mark while the job size grows with a fixed
+    communication pattern, against the per-peer buffer requirement of a
+    connection-oriented (VIA/GM-credit) design.
+
+    {b Collective scaling} — barrier and allreduce completion time as
+    node count grows, on the connectionless Portals collectives
+    (logarithmic rounds, no per-peer state). *)
+
+type memory_row = {
+  job_size : int;
+  portals_reserved : int;  (** Slab bytes allocated (configuration). *)
+  portals_highwater : int;  (** Peak unexpected bytes actually held. *)
+  via_like_bytes : int;
+      (** Per-connection buffering a VIA/GM-credit design dedicates:
+          (n-1) peers x credits x eager buffer. *)
+}
+
+val run_memory :
+  ?job_sizes:int list -> ?credits:int -> ?eager:int -> unit -> memory_row list
+(** Pattern: every rank sends 4 unexpected 1 KB messages to rank 0, which
+    claims them afterwards. Defaults: jobs 4..64, 8 credits, 16 KB eager
+    buffers for the VIA-like model. *)
+
+val pp_memory : Format.formatter -> memory_row list -> unit
+
+type coll_row = { nodes : int; barrier_us : float; allreduce_us : float }
+
+val run_collectives : ?node_counts:int list -> unit -> coll_row list
+(** Defaults: 2..256 nodes; allreduce of 8 float64s. *)
+
+val pp_collectives : Format.formatter -> coll_row list -> unit

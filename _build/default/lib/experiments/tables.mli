@@ -1,0 +1,15 @@
+(** Tables 1–4: the information passed on the wire for each message type,
+    regenerated from the implementation's own {!Portals.Wire.field_inventory}
+    plus a measured encoding of a representative message. *)
+
+type table = {
+  number : int;  (** 1..4, as in the paper. *)
+  title : string;
+  fields : (string * string) list;
+  encoded_bytes : int;  (** Size of a representative encoded message. *)
+  payload_bytes : int;  (** Payload portion of that message. *)
+}
+
+val run : unit -> table list
+
+val pp : Format.formatter -> table list -> unit

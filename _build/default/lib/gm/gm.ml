@@ -1,0 +1,121 @@
+type event =
+  | Recv_complete of { src : Simnet.Proc_id.t; buffer : bytes; length : int }
+  | Send_complete of { dst : Simnet.Proc_id.t; length : int }
+
+let pp_event ppf = function
+  | Recv_complete { src; length; _ } ->
+    Format.fprintf ppf "recv %d bytes from %a" length Simnet.Proc_id.pp src
+  | Send_complete { dst; length } ->
+    Format.fprintf ppf "sent %d bytes to %a" length Simnet.Proc_id.pp dst
+
+type stats = {
+  sends : int;
+  receives : int;
+  drops_no_token : int;
+  polls : int;
+  tokens_available : int;
+}
+
+type t = {
+  tp : Simnet.Transport.t;
+  self : Simnet.Proc_id.t;
+  tokens : bytes Queue.t;
+  events : event Queue.t;
+  nonempty : Sim_engine.Sync.Waitq.t;
+  mutable s_sends : int;
+  mutable s_receives : int;
+  mutable s_drops : int;
+  mutable s_polls : int;
+  mutable live : bool;
+}
+
+(* Take the first token that can hold [len] bytes, preserving the FIFO
+   order of the rest. *)
+let take_token t len =
+  let n = Queue.length t.tokens in
+  let rec rotate i found =
+    if i >= n then found
+    else begin
+      let tok = Queue.pop t.tokens in
+      match found with
+      | None when Bytes.length tok >= len -> rotate (i + 1) (Some tok)
+      | None | Some _ ->
+        Queue.add tok t.tokens;
+        rotate (i + 1) found
+    end
+  in
+  rotate 0 None
+
+let on_arrival t ~src payload =
+  if t.live then begin
+    let len = Bytes.length payload in
+    match take_token t len with
+    | None -> t.s_drops <- t.s_drops + 1
+    | Some buffer ->
+      (* NIC DMA into the token buffer: no host CPU, no application. *)
+      Bytes.blit payload 0 buffer 0 len;
+      t.s_receives <- t.s_receives + 1;
+      Queue.add (Recv_complete { src; buffer; length = len }) t.events;
+      Sim_engine.Sync.Waitq.broadcast t.nonempty
+  end
+
+let open_port tp ~id:self =
+  let t =
+    {
+      tp;
+      self;
+      tokens = Queue.create ();
+      events = Queue.create ();
+      nonempty =
+        Sim_engine.Sync.Waitq.create ~name:"gm-port"
+          tp.Simnet.Transport.sched;
+      s_sends = 0;
+      s_receives = 0;
+      s_drops = 0;
+      s_polls = 0;
+      live = true;
+    }
+  in
+  tp.Simnet.Transport.register self (fun ~src payload -> on_arrival t ~src payload);
+  t
+
+let close t =
+  if t.live then begin
+    t.live <- false;
+    t.tp.Simnet.Transport.unregister t.self
+  end
+
+let id t = t.self
+let provide_receive_token t buffer = Queue.add buffer t.tokens
+
+let send t ~dst payload =
+  t.s_sends <- t.s_sends + 1;
+  let length = Bytes.length payload in
+  t.tp.Simnet.Transport.send ~src:t.self ~dst (Bytes.copy payload);
+  Sim_engine.Scheduler.after t.tp.Simnet.Transport.sched
+    t.tp.Simnet.Transport.send_overhead (fun () ->
+      if t.live then begin
+        Queue.add (Send_complete { dst; length }) t.events;
+        Sim_engine.Sync.Waitq.broadcast t.nonempty
+      end)
+
+let poll t =
+  t.s_polls <- t.s_polls + 1;
+  Queue.take_opt t.events
+
+let pending_events t = Queue.length t.events
+
+let rec wait_event t =
+  if Queue.is_empty t.events then begin
+    Sim_engine.Sync.Waitq.wait t.nonempty;
+    wait_event t
+  end
+
+let stats t =
+  {
+    sends = t.s_sends;
+    receives = t.s_receives;
+    drops_no_token = t.s_drops;
+    polls = t.s_polls;
+    tokens_available = Queue.length t.tokens;
+  }

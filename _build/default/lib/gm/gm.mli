@@ -1,0 +1,66 @@
+(** A GM-like message layer: the paper's baseline (§5.3).
+
+    GM (Myricom's interface for Myrinet) achieves {e OS bypass}: the NIC
+    deposits incoming messages directly into pre-registered receive-token
+    buffers with no kernel or application involvement. But it offers no
+    {e application bypass}: the library learns what arrived — and can run
+    any higher-level protocol such as MPI matching or a rendezvous
+    response — only when the application calls {!poll}. That distinction
+    is exactly what Figure 6 of the paper measures.
+
+    Model: a port owns a FIFO of receive tokens (buffers). An arriving
+    message consumes the first token large enough to hold it; with no
+    usable token the message is dropped and counted (GM requires the
+    receiver to provision tokens ahead of traffic). Completion events
+    accumulate in a port-internal queue that only {!poll} drains. *)
+
+type event =
+  | Recv_complete of { src : Simnet.Proc_id.t; buffer : bytes; length : int }
+      (** A message landed in [buffer] (a formerly provided token; the
+          first [length] bytes are valid). *)
+  | Send_complete of { dst : Simnet.Proc_id.t; length : int }
+      (** A send's data left the local NIC; the send buffer is reusable. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type stats = {
+  sends : int;
+  receives : int;
+  drops_no_token : int;  (** Arrivals with no token large enough. *)
+  polls : int;
+  tokens_available : int;
+}
+
+type t
+
+val open_port : Simnet.Transport.t -> id:Simnet.Proc_id.t -> t
+(** Open the process's port. GM semantics presume a NIC-offload transport
+    ({!Simnet.Transport.offload}); the port works over any transport, the
+    receive path simply inherits its costs. *)
+
+val close : t -> unit
+
+val id : t -> Simnet.Proc_id.t
+
+val provide_receive_token : t -> bytes -> unit
+(** Append a receive buffer to the token FIFO. *)
+
+val send : t -> dst:Simnet.Proc_id.t -> bytes -> unit
+(** Asynchronous send; a [Send_complete] event is queued once the data
+    has left. The buffer must not be reused before then. *)
+
+val poll : t -> event option
+(** Drain one completion event, oldest first — the {e only} way the
+    application observes the network. Returns [None] when nothing has
+    completed. *)
+
+val wait_event : t -> unit
+(** Fiber-only: block until the port has at least one completion event —
+    the analogue of a blocking [gm_receive]. The caller still has to
+    {!poll}; nothing is processed on its behalf (no application bypass). *)
+
+val pending_events : t -> int
+(** Events a {!poll} would find right now (for tests; a real application
+    cannot see this without polling). *)
+
+val stats : t -> stats

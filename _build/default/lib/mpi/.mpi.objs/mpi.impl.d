@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Bytes Envelope List Mpi_gm Mpi_portals Nx Option

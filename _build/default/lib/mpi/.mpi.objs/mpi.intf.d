@@ -1,0 +1,1 @@
+lib/mpi/mpi.mli: Envelope Mpi_gm Mpi_portals Nx Simnet

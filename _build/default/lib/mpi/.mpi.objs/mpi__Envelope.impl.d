@@ -1,0 +1,1 @@
+lib/mpi/envelope.ml: Bytes Format Int32 Int64 Portals Printf

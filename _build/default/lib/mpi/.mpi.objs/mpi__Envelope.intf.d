@@ -1,0 +1,1 @@
+lib/mpi/envelope.mli: Format Portals

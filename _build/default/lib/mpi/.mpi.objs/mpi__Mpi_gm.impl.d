@@ -1,0 +1,1 @@
+lib/mpi/mpi_gm.ml: Array Bytes Envelope Gm Hashtbl Printf Queue Scheduler Sim_engine Simnet Time_ns

@@ -1,0 +1,1 @@
+lib/mpi/mpi_gm.mli: Gm Sim_engine Simnet

@@ -1,0 +1,1 @@
+lib/mpi/mpi_portals.ml: Array Bytes Envelope Hashtbl Int64 List Portals Printf Queue Scheduler Sim_engine Simnet Time_ns

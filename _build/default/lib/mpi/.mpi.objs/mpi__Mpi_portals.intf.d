@@ -1,0 +1,1 @@
+lib/mpi/mpi_portals.mli: Portals Sim_engine Simnet

@@ -1,0 +1,1 @@
+lib/mpi/nx.ml: Envelope Mpi_portals

@@ -1,0 +1,1 @@
+lib/mpi/nx.mli: Simnet

@@ -1,0 +1,166 @@
+let any_source = -1
+let any_tag = -1
+let max_tag = (1 lsl 31) - 1
+let max_rank = (1 lsl 16) - 1
+let max_context = (1 lsl 14) - 1
+
+type protocol = Eager | Rendezvous
+
+type t = { protocol : protocol; context : int; src_rank : int; tag : int }
+
+let pp ppf t =
+  Format.fprintf ppf "%s ctx=%d src=%d tag=%d"
+    (match t.protocol with Eager -> "eager" | Rendezvous -> "rdvz")
+    t.context t.src_rank t.tag
+
+let matches ?(context = 0) t ~source ~tag =
+  t.context = context
+  && (source = any_source || source = t.src_rank)
+  && (tag = any_tag || tag = t.tag)
+
+(* Field layout within the 64 match bits. *)
+let proto_shift = 62
+let proto_width = 2
+let ctx_shift = 48
+let ctx_width = 14
+let src_shift = 32
+let src_width = 16
+let tag_shift = 0
+let tag_width = 32
+
+let check_ranges ~context ~src_rank ~tag =
+  if context < 0 || context > max_context then invalid_arg "Envelope: bad context";
+  if src_rank < 0 || src_rank > max_rank then invalid_arg "Envelope: bad rank";
+  if tag < 0 || tag > max_tag then invalid_arg "Envelope: bad tag"
+
+let to_match_bits t =
+  check_ranges ~context:t.context ~src_rank:t.src_rank ~tag:t.tag;
+  let open Portals.Match_bits in
+  let proto = match t.protocol with Eager -> 0 | Rendezvous -> 1 in
+  logor
+    (field ~shift:proto_shift ~width:proto_width proto)
+    (logor
+       (field ~shift:ctx_shift ~width:ctx_width t.context)
+       (logor
+          (field ~shift:src_shift ~width:src_width t.src_rank)
+          (field ~shift:tag_shift ~width:tag_width t.tag)))
+
+let of_match_bits bits =
+  let open Portals.Match_bits in
+  let proto = extract ~shift:proto_shift ~width:proto_width bits in
+  {
+    protocol = (if proto = 0 then Eager else Rendezvous);
+    context = extract ~shift:ctx_shift ~width:ctx_width bits;
+    src_rank = extract ~shift:src_shift ~width:src_width bits;
+    tag = extract ~shift:tag_shift ~width:tag_width bits;
+  }
+
+let recv_match_bits ~context ~source ~tag =
+  let open Portals.Match_bits in
+  let mbits =
+    logor
+      (field ~shift:ctx_shift ~width:ctx_width context)
+      (logor
+         (field ~shift:src_shift ~width:src_width
+            (if source = any_source then 0 else source))
+         (field ~shift:tag_shift ~width:tag_width (if tag = any_tag then 0 else tag)))
+  in
+  let ignore_bits =
+    (* Protocol bits always ignored; wildcards widen the mask. *)
+    let acc = mask ~shift:proto_shift ~width:proto_width in
+    let acc =
+      if source = any_source then logor acc (mask ~shift:src_shift ~width:src_width)
+      else acc
+    in
+    if tag = any_tag then logor acc (mask ~shift:tag_shift ~width:tag_width) else acc
+  in
+  (mbits, ignore_bits)
+
+let rdvz_header_size = 16
+
+let encode_rdvz_header ~cookie ~total_len =
+  let buf = Bytes.create rdvz_header_size in
+  Bytes.set_int64_le buf 0 cookie;
+  Bytes.set_int64_le buf 8 (Int64.of_int total_len);
+  buf
+
+let decode_rdvz_header buf ~off =
+  if Bytes.length buf - off < rdvz_header_size then
+    Error "rendezvous header: truncated"
+  else
+    Ok (Bytes.get_int64_le buf off, Int64.to_int (Bytes.get_int64_le buf (off + 8)))
+
+(* --- GM framing -------------------------------------------------------- *)
+
+type gm_message =
+  | Gm_eager of { env : t; payload : bytes }
+  | Gm_rts of { env : t; cookie : int; total_len : int }
+  | Gm_cts of { cookie : int }
+  | Gm_data of { cookie : int; payload : bytes }
+
+let gm_header_size = 33
+
+let gm_magic = 0x6D
+
+let encode_env buf off env =
+  Bytes.set_uint8 buf off (match env.protocol with Eager -> 0 | Rendezvous -> 1);
+  Bytes.set_int32_le buf (off + 1) (Int32.of_int env.context);
+  Bytes.set_int32_le buf (off + 5) (Int32.of_int env.src_rank);
+  Bytes.set_int32_le buf (off + 9) (Int32.of_int env.tag)
+
+let decode_env buf off =
+  {
+    protocol = (if Bytes.get_uint8 buf off = 0 then Eager else Rendezvous);
+    context = Int32.to_int (Bytes.get_int32_le buf (off + 1));
+    src_rank = Int32.to_int (Bytes.get_int32_le buf (off + 5));
+    tag = Int32.to_int (Bytes.get_int32_le buf (off + 9));
+  }
+
+let encode_gm msg =
+  let payload =
+    match msg with
+    | Gm_eager { payload; _ } | Gm_data { payload; _ } -> payload
+    | Gm_rts _ | Gm_cts _ -> Bytes.empty
+  in
+  let buf = Bytes.make (gm_header_size + Bytes.length payload) '\x00' in
+  Bytes.set_uint8 buf 0 gm_magic;
+  (match msg with
+  | Gm_eager { env; payload } ->
+    Bytes.set_uint8 buf 1 0;
+    encode_env buf 2 env;
+    Bytes.set_int64_le buf 15 (Int64.of_int (Bytes.length payload))
+  | Gm_rts { env; cookie; total_len } ->
+    Bytes.set_uint8 buf 1 1;
+    encode_env buf 2 env;
+    Bytes.set_int64_le buf 15 (Int64.of_int total_len);
+    Bytes.set_int64_le buf 23 (Int64.of_int cookie)
+  | Gm_cts { cookie } ->
+    Bytes.set_uint8 buf 1 2;
+    Bytes.set_int64_le buf 23 (Int64.of_int cookie)
+  | Gm_data { cookie; payload } ->
+    Bytes.set_uint8 buf 1 3;
+    Bytes.set_int64_le buf 15 (Int64.of_int (Bytes.length payload));
+    Bytes.set_int64_le buf 23 (Int64.of_int cookie));
+  Bytes.blit payload 0 buf gm_header_size (Bytes.length payload);
+  buf
+
+let decode_gm buf =
+  if Bytes.length buf < gm_header_size then Error "gm message: truncated"
+  else if Bytes.get_uint8 buf 0 <> gm_magic then Error "gm message: bad magic"
+  else begin
+    let payload () = Bytes.sub buf gm_header_size (Bytes.length buf - gm_header_size) in
+    let cookie () = Int64.to_int (Bytes.get_int64_le buf 23) in
+    match Bytes.get_uint8 buf 1 with
+    | 0 -> Ok (Gm_eager { env = decode_env buf 2; payload = payload () })
+    | 1 ->
+      Ok
+        (Gm_rts
+           {
+             env = decode_env buf 2;
+             total_len = Int64.to_int (Bytes.get_int64_le buf 15);
+             cookie = cookie ();
+           })
+    | 2 -> Ok (Gm_cts { cookie = cookie () })
+    | 3 -> Ok (Gm_data { cookie = cookie (); payload = payload () })
+    | k -> Error (Printf.sprintf "gm message: unknown kind %d" k)
+  end

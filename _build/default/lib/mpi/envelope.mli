@@ -1,0 +1,75 @@
+(** MPI message envelopes for both backends.
+
+    {b Portals backend} — the envelope is packed into the 64 match bits
+    (§4.4's flexibility argument: "the Portals API provides the
+    flexibility needed for an efficient implementation of the send/receive
+    operations in MPI"):
+
+    {v
+    bits 63..62  protocol (0 = eager, 1 = rendezvous header)
+    bits 61..48  context id (communicator)
+    bits 47..32  source rank
+    bits 31..0   tag
+    v}
+
+    Wildcard receives ([MPI_ANY_SOURCE]/[MPI_ANY_TAG]) become ignore-bit
+    masks over the corresponding fields.
+
+    {b GM backend} — GM has no matching, so the same envelope travels as
+    an explicit header in front of the payload, and matching happens in
+    the MPI library (the very fact Figure 6 measures). *)
+
+val any_source : int
+(** -1: matches any sender. *)
+
+val any_tag : int
+(** -1: matches any tag. *)
+
+val max_tag : int
+val max_rank : int
+val max_context : int
+
+type protocol = Eager | Rendezvous
+
+type t = { protocol : protocol; context : int; src_rank : int; tag : int }
+
+val pp : Format.formatter -> t -> unit
+
+val matches : ?context:int -> t -> source:int -> tag:int -> bool
+(** Library-side matching (GM backend, unexpected lists): [source]/[tag]
+    may be wildcards, the context (default 0, the world) must agree; the
+    protocol field is not part of MPI matching. *)
+
+(** {1 Portals encoding} *)
+
+val to_match_bits : t -> Portals.Match_bits.t
+
+val of_match_bits : Portals.Match_bits.t -> t
+
+val recv_match_bits :
+  context:int -> source:int -> tag:int -> Portals.Match_bits.t * Portals.Match_bits.t
+(** [(match_bits, ignore_bits)] for posting a receive: protocol bits are
+    always ignored (a posted receive matches both eager data and
+    rendezvous headers); wildcard source/tag widen the mask. *)
+
+(** {1 Rendezvous header payload (Portals backend)} *)
+
+val rdvz_header_size : int
+(** 16: cookie and total length. *)
+
+val encode_rdvz_header : cookie:int64 -> total_len:int -> bytes
+val decode_rdvz_header : bytes -> off:int -> (int64 * int, string) result
+
+(** {1 GM framing} *)
+
+type gm_message =
+  | Gm_eager of { env : t; payload : bytes }
+  | Gm_rts of { env : t; cookie : int; total_len : int }
+      (** "I have [total_len] bytes for this envelope; pull when matched." *)
+  | Gm_cts of { cookie : int }
+      (** "Matched; send the data for [cookie]." *)
+  | Gm_data of { cookie : int; payload : bytes }
+
+val gm_header_size : int
+val encode_gm : gm_message -> bytes
+val decode_gm : bytes -> (gm_message, string) result

@@ -1,0 +1,99 @@
+module Envelope = Envelope
+module Mpi_portals = Mpi_portals
+module Mpi_gm = Mpi_gm
+module Nx = Nx
+
+type t = Portals_ep of Mpi_portals.t | Gm_ep of Mpi_gm.t
+type request = Portals_req of Mpi_portals.request | Gm_req of Mpi_gm.request
+
+type status = { source : int; tag : int; length : int }
+
+let any_source = Envelope.any_source
+let any_tag = Envelope.any_tag
+
+let create_portals tp ~ranks ~rank ?config () =
+  Portals_ep (Mpi_portals.create tp ~ranks ~rank ?config ())
+
+let create_gm tp ~ranks ~rank ?config () =
+  Gm_ep (Mpi_gm.create tp ~ranks ~rank ?config ())
+
+let finalize = function
+  | Portals_ep ep -> Mpi_portals.finalize ep
+  | Gm_ep ep -> Mpi_gm.finalize ep
+
+let rank = function
+  | Portals_ep ep -> Mpi_portals.rank ep
+  | Gm_ep ep -> Mpi_gm.rank ep
+
+let size = function
+  | Portals_ep ep -> Mpi_portals.size ep
+  | Gm_ep ep -> Mpi_gm.size ep
+
+let backend_name = function Portals_ep _ -> "portals" | Gm_ep _ -> "gm"
+
+let of_pstatus (st : Mpi_portals.status) =
+  { source = st.Mpi_portals.source; tag = st.Mpi_portals.tag; length = st.Mpi_portals.length }
+
+let of_gstatus (st : Mpi_gm.status) =
+  { source = st.Mpi_gm.source; tag = st.Mpi_gm.tag; length = st.Mpi_gm.length }
+
+let mismatch () = invalid_arg "Mpi: request does not belong to this endpoint"
+
+let isend t ?context ~dst ~tag data =
+  match t with
+  | Portals_ep ep -> Portals_req (Mpi_portals.isend ep ?context ~dst ~tag data)
+  | Gm_ep ep -> Gm_req (Mpi_gm.isend ep ?context ~dst ~tag data)
+
+let irecv t ?context ?source ?tag buffer =
+  match t with
+  | Portals_ep ep ->
+    Portals_req (Mpi_portals.irecv ep ?context ?source ?tag buffer)
+  | Gm_ep ep -> Gm_req (Mpi_gm.irecv ep ?context ?source ?tag buffer)
+
+let test t req =
+  match (t, req) with
+  | Portals_ep ep, Portals_req r -> Option.map of_pstatus (Mpi_portals.test ep r)
+  | Gm_ep ep, Gm_req r -> Option.map of_gstatus (Mpi_gm.test ep r)
+  | Portals_ep _, Gm_req _ | Gm_ep _, Portals_req _ -> mismatch ()
+
+let wait t req =
+  match (t, req) with
+  | Portals_ep ep, Portals_req r -> of_pstatus (Mpi_portals.wait ep r)
+  | Gm_ep ep, Gm_req r -> of_gstatus (Mpi_gm.wait ep r)
+  | Portals_ep _, Gm_req _ | Gm_ep _, Portals_req _ -> mismatch ()
+
+let waitall t reqs = List.map (fun r -> wait t r) reqs
+
+let progress = function
+  | Portals_ep ep -> Mpi_portals.progress ep
+  | Gm_ep ep -> Mpi_gm.progress ep
+
+let send t ?context ~dst ~tag data =
+  ignore (wait t (isend t ?context ~dst ~tag data))
+
+let recv t ?context ?source ?tag buffer =
+  wait t (irecv t ?context ?source ?tag buffer)
+
+(* Reserve the top of the tag space for the barrier rounds. *)
+let barrier_tag_base = Envelope.max_tag - 64
+
+let barrier t =
+  let n = size t in
+  let me = rank t in
+  if n > 1 then begin
+    (* Dissemination: in round k, send to (me + 2^k) mod n and receive
+       from (me - 2^k) mod n; ceil(log2 n) rounds synchronise everyone. *)
+    let rec round k step =
+      if step < n then begin
+        let tag = barrier_tag_base + k in
+        let to_peer = (me + step) mod n in
+        let from_peer = (me - step + n) mod n in
+        let s = isend t ~dst:to_peer ~tag Bytes.empty in
+        let r = irecv t ~source:from_peer ~tag (Bytes.create 0) in
+        ignore (wait t s);
+        ignore (wait t r);
+        round (k + 1) (step * 2)
+      end
+    in
+    round 0 1
+  end

@@ -1,0 +1,88 @@
+(** A small MPI: nonblocking two-sided point-to-point with tag matching,
+    wildcards and a barrier, over either of two transports the paper
+    compares:
+
+    {ul
+    {- {!create_portals} — MPICH-over-Portals-style: matching and delivery
+       progress without the application (§5.2, the declining curve of
+       Figure 6);}
+    {- {!create_gm} — MPICH/GM-style: progress only inside library calls
+       (the flat curve of Figure 6).}}
+
+    One API serves both so experiments swap backends without touching
+    application code. All calls must run inside a simulation fiber. *)
+
+module Envelope = Envelope
+module Mpi_portals = Mpi_portals
+module Mpi_gm = Mpi_gm
+
+module Nx = Nx
+(** The Intel NX interface of §2, over the same Portals matching
+    engine. *)
+
+type t
+type request
+
+type status = { source : int; tag : int; length : int }
+
+val any_source : int
+val any_tag : int
+
+val create_portals :
+  Simnet.Transport.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?config:Mpi_portals.config ->
+  unit ->
+  t
+
+val create_gm :
+  Simnet.Transport.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?config:Mpi_gm.config ->
+  unit ->
+  t
+
+val finalize : t -> unit
+val rank : t -> int
+val size : t -> int
+
+val backend_name : t -> string
+(** ["portals"] or ["gm"]. *)
+
+val isend : t -> ?context:int -> dst:int -> tag:int -> bytes -> request
+(** Nonblocking send ([MPI_Isend]). The data is captured at call time.
+    [context] (default 0, the world) selects the communicator context:
+    messages only match receives posted with the same context — the
+    communicator-isolation mechanism MPI builds on the match bits
+    (§4.4's flexibility argument). *)
+
+val irecv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> request
+(** Nonblocking receive ([MPI_Irecv]); [source]/[tag] default to the
+    wildcards, [context] to the world. *)
+
+val test : t -> request -> status option
+(** [MPI_Test]: nonblocking; drives the library's progress engine. *)
+
+val wait : t -> request -> status
+(** [MPI_Wait]: blocks the calling fiber. *)
+
+val waitall : t -> request list -> status list
+(** [MPI_Waitall], statuses in request order. *)
+
+val progress : t -> unit
+(** A bare library call with no request ("sprinkled MPI calls", §5.3). *)
+
+val send : t -> ?context:int -> dst:int -> tag:int -> bytes -> unit
+(** Blocking send: [isend] then [wait]. *)
+
+val recv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> status
+(** Blocking receive: [irecv] then [wait]. *)
+
+val barrier : t -> unit
+(** Dissemination barrier over point-to-point messages on a reserved tag
+    ([MPI_Barrier] on the world communicator). *)
+
+val barrier_tag_base : int
+(** Reserved tag space used by {!barrier}; user tags must stay below. *)

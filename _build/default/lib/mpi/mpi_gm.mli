@@ -1,0 +1,53 @@
+(** MPI point-to-point over the GM-like layer — the paper's baseline.
+
+    GM deposits arriving messages into receive tokens autonomously
+    (OS bypass), but everything MPI-shaped — tag matching, unexpected
+    queues, the rendezvous handshake for long messages — runs in the
+    library, and the library only runs when the application calls it.
+    During a compute loop, an incoming request-to-send just sits in the
+    token queue; the clear-to-send goes out at the next MPI call. This is
+    the "MPICH/GM makes very little progress" behaviour of Figure 6, and
+    the reason §5.2 argues such implementations break the MPI progress
+    rule.
+
+    All calls must run inside a simulation fiber. *)
+
+type config = {
+  eager_threshold : int;  (** Bytes; default 16384 (GM-era MPICH). *)
+  recv_tokens : int;  (** Pre-provisioned small tokens; default 64. *)
+  call_cost : Sim_engine.Time_ns.t;  (** Per-call host overhead; default 300 ns. *)
+}
+
+val default_config : config
+
+type status = { source : int; tag : int; length : int }
+
+type request
+
+type t
+
+val create :
+  Simnet.Transport.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?config:config ->
+  unit ->
+  t
+
+val finalize : t -> unit
+val rank : t -> int
+val size : t -> int
+val port : t -> Gm.t
+(** The underlying GM port (for introspection in tests). *)
+
+val isend : t -> ?context:int -> dst:int -> tag:int -> bytes -> request
+(** [context] (default 0) isolates communication spaces, matching the
+    Portals backend's communicator contexts. *)
+
+val irecv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> request
+val test : t -> request -> status option
+val wait : t -> request -> status
+val progress : t -> unit
+(** One library entry: drain the port and run the protocol. This is what
+    the "+3 MPI_Test calls in the work loop" variant of the paper's
+    experiment adds. *)

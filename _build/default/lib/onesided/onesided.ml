@@ -1,0 +1,179 @@
+module P = Portals
+
+type sym = int
+
+type region = { r_id : int; r_buffer : bytes }
+
+type t = {
+  os_ni : P.Ni.t;
+  ranks : Simnet.Proc_id.t array;
+  my_rank : int;
+  portal_index : int;
+  rx_eqh : P.Handle.t;
+  rx_eqq : P.Event.Queue.t; (* incoming one-sided ops on my regions *)
+  tx_eqh : P.Handle.t;
+  tx_eqq : P.Event.Queue.t; (* completions of my puts/gets *)
+  mutable regions : region list;
+  mutable next_region : int;
+  mutable outstanding : int; (* puts awaiting acknowledgment *)
+  mutable next_op : int;
+  completed_gets : (int, int) Hashtbl.t; (* op id -> mlength *)
+}
+
+let ok_exn = P.Errors.ok_exn
+
+let create ni ~ranks ~rank ?(portal_index = 7) () =
+  if rank < 0 || rank >= Array.length ranks then
+    invalid_arg "Onesided.create: rank out of range";
+  let rx_eqh = ok_exn ~op:"rx eq_alloc" (P.Ni.eq_alloc ni ~capacity:4096) in
+  let tx_eqh = ok_exn ~op:"tx eq_alloc" (P.Ni.eq_alloc ni ~capacity:4096) in
+  {
+    os_ni = ni;
+    ranks;
+    my_rank = rank;
+    portal_index;
+    rx_eqh;
+    rx_eqq = ok_exn ~op:"rx eq" (P.Ni.eq ni rx_eqh);
+    tx_eqh;
+    tx_eqq = ok_exn ~op:"tx eq" (P.Ni.eq ni tx_eqh);
+    regions = [];
+    next_region = 0;
+    outstanding = 0;
+    next_op = 0;
+    completed_gets = Hashtbl.create 16;
+  }
+
+let rank t = t.my_rank
+let size t = Array.length t.ranks
+
+let region_options =
+  {
+    P.Md.op_put = true;
+    op_get = true;
+    manage_remote = true;
+    truncate = false;
+    ack_disable = false;
+  }
+
+let alloc t len =
+  if len <= 0 then invalid_arg "Onesided.alloc: region must be non-empty";
+  let r_id = t.next_region in
+  t.next_region <- r_id + 1;
+  (* Regions start zeroed so flag/counter idioms have a defined initial
+     state (unlike Bytes.create, whose contents are arbitrary). *)
+  let r_buffer = Bytes.make len '\x00' in
+  let meh =
+    ok_exn ~op:"region me_attach"
+      (P.Ni.me_attach t.os_ni ~portal_index:t.portal_index
+         ~match_id:P.Match_id.any
+         ~match_bits:(P.Match_bits.of_int r_id)
+         ~ignore_bits:P.Match_bits.zero ~unlink:P.Md.Retain ~pos:`Tail ())
+  in
+  let _mdh =
+    ok_exn ~op:"region md_attach"
+      (P.Ni.md_attach t.os_ni ~me:meh
+         (P.Ni.md_spec ~options:region_options ~threshold:P.Md.Infinite
+            ~unlink:P.Md.Retain ~eq:t.rx_eqh ~user_ptr:r_id r_buffer))
+  in
+  t.regions <- { r_id; r_buffer } :: t.regions;
+  r_id
+
+let find_region t sym =
+  match List.find_opt (fun r -> r.r_id = sym) t.regions with
+  | Some r -> r
+  | None -> invalid_arg "Onesided: unknown region"
+
+let region_bytes t sym = (find_region t sym).r_buffer
+
+let check_pe t pe =
+  if pe < 0 || pe >= Array.length t.ranks then
+    invalid_arg "Onesided: pe out of range"
+
+let region_len t sym = Bytes.length (find_region t sym).r_buffer
+
+(* Process one local completion event. *)
+let handle_tx_event t (ev : P.Event.t) =
+  match ev.P.Event.kind with
+  | P.Event.Ack -> t.outstanding <- t.outstanding - 1
+  | P.Event.Reply ->
+    Hashtbl.replace t.completed_gets ev.P.Event.md_user_ptr ev.P.Event.mlength
+  | P.Event.Sent | P.Event.Put | P.Event.Get -> ()
+
+let drain_tx t =
+  let rec go () =
+    match P.Event.Queue.get t.tx_eqq with
+    | None -> ()
+    | Some ev ->
+      handle_tx_event t ev;
+      go ()
+  in
+  go ()
+
+let put t sym ~pe ~offset data =
+  check_pe t pe;
+  if offset < 0 || offset + Bytes.length data > region_len t sym then
+    invalid_arg "Onesided.put: outside the region";
+  let op_id = t.next_op in
+  t.next_op <- op_id + 1;
+  (* Threshold 2: SENT then ACK; the descriptor self-cleans after the
+     target confirms the deposit. *)
+  let mdh =
+    ok_exn ~op:"put md_bind"
+      (P.Ni.md_bind t.os_ni
+         (P.Ni.md_spec ~threshold:(P.Md.Count 2) ~unlink:P.Md.Unlink
+            ~eq:t.tx_eqh ~user_ptr:op_id data))
+  in
+  t.outstanding <- t.outstanding + 1;
+  ok_exn ~op:"put"
+    (P.Ni.put t.os_ni ~md:mdh ~ack:true ~target:t.ranks.(pe)
+       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
+       ~match_bits:(P.Match_bits.of_int sym)
+       ~offset ())
+
+let quiet t =
+  drain_tx t;
+  while t.outstanding > 0 do
+    handle_tx_event t (P.Event.Queue.wait t.tx_eqq);
+    drain_tx t
+  done
+
+let outstanding_puts t =
+  drain_tx t;
+  t.outstanding
+
+let get t sym ~pe ~offset ~len =
+  check_pe t pe;
+  if len < 0 || offset < 0 || offset + len > region_len t sym then
+    invalid_arg "Onesided.get: outside the region";
+  let op_id = t.next_op in
+  t.next_op <- op_id + 1;
+  let dest = Bytes.create len in
+  let mdh =
+    ok_exn ~op:"get md_bind"
+      (P.Ni.md_bind t.os_ni
+         (P.Ni.md_spec ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink
+            ~eq:t.tx_eqh ~user_ptr:op_id dest))
+  in
+  ok_exn ~op:"get"
+    (P.Ni.get t.os_ni ~md:mdh ~target:t.ranks.(pe)
+       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
+       ~match_bits:(P.Match_bits.of_int sym)
+       ~offset ());
+  drain_tx t;
+  while not (Hashtbl.mem t.completed_gets op_id) do
+    handle_tx_event t (P.Event.Queue.wait t.tx_eqq);
+    drain_tx t
+  done;
+  Hashtbl.remove t.completed_gets op_id;
+  dest
+
+let wait_until t sym ~offset ~value =
+  let buffer = region_bytes t sym in
+  if offset < 0 || offset >= Bytes.length buffer then
+    invalid_arg "Onesided.wait_until: outside the region";
+  while Bytes.get buffer offset <> value do
+    (* Any incoming one-sided operation wakes us to re-check. *)
+    ignore (P.Event.Queue.wait t.rx_eqq)
+  done
+
+let barrier_value = '\x01'

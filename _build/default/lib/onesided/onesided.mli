@@ -1,0 +1,63 @@
+(** One-sided operations on Portals: a shmem-style layer (§4.4 cites
+    shmem as the canonical one-sided model Portals addressing supports,
+    and §2 notes the Puma MPI carried preliminary MPI-2 one-sided
+    functions).
+
+    Every process exposes {e symmetric regions}: allocation [k] on one
+    rank names the same region on every rank (all ranks must allocate in
+    the same order, as in shmem's symmetric heap). Remote [put]/[get]
+    address a region by id and offset — the (process, buffer id, offset)
+    triple of §4.4 — with no involvement of the target application:
+    delivery, acknowledgment and replies are all Portals processing.
+
+    Blocking calls are fiber-only. *)
+
+type t
+
+val create :
+  Portals.Ni.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?portal_index:int ->
+  unit ->
+  t
+(** One endpoint per rank over an existing interface; [portal_index]
+    defaults to 7. *)
+
+val rank : t -> int
+val size : t -> int
+
+type sym
+(** A symmetric region id. *)
+
+val alloc : t -> int -> sym
+(** Expose a fresh zero-initialised region of the given size. Must be
+    called in the same order with the same size on every rank. *)
+
+val region_bytes : t -> sym -> bytes
+(** The local backing store of a region (reading it sees remote puts;
+    writing it feeds remote gets). *)
+
+val put : t -> sym -> pe:int -> offset:int -> bytes -> unit
+(** Asynchronous remote write into [pe]'s region at [offset]. Completion
+    is tracked by the Portals acknowledgment (Table 2); {!quiet} drains
+    it. Raises [Invalid_argument] if the write would overrun the region
+    (the target would reject it, §4.8). *)
+
+val get : t -> sym -> pe:int -> offset:int -> len:int -> bytes
+(** Blocking remote read of [len] bytes from [pe]'s region at [offset]
+    (the reply routes back through the bound descriptor, Table 4). *)
+
+val quiet : t -> unit
+(** Block until every outstanding {!put} has been acknowledged by its
+    target — shmem_quiet. *)
+
+val outstanding_puts : t -> int
+
+val wait_until : t -> sym -> offset:int -> value:char -> unit
+(** Block until the local region's byte at [offset] equals [value] — the
+    shmem point-to-point synchronisation idiom. Wakes on each incoming
+    one-sided operation (a PUT event on the region, §4.4). *)
+
+val barrier_value : char
+(** Conventional flag value (\x01) for {!wait_until}-based signalling. *)

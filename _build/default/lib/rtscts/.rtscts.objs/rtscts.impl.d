@@ -1,0 +1,1 @@
+lib/rtscts/rtscts.ml: Array Bytes Cpu Frame Hashtbl Printf Queue Scheduler Sim_engine Simnet Time_ns

@@ -1,0 +1,1 @@
+lib/rtscts/rtscts.mli: Frame Simnet

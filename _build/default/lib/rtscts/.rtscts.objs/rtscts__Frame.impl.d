@@ -1,0 +1,1 @@
+lib/rtscts/frame.ml: Bytes Format Int64

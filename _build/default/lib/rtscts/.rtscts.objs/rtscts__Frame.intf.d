@@ -1,0 +1,1 @@
+lib/rtscts/frame.mli: Format

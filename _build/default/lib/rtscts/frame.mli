@@ -1,0 +1,31 @@
+(** Frames of the RTS/CTS packetization module (§3).
+
+    The kernel-module transport speaks its own framing {e below} Portals:
+    small messages travel as a single [Eager] frame; large messages open
+    with a request-to-send, wait for a clear-to-send granting kernel
+    buffer space, then stream MTU-sized [Data] frames that are reassembled
+    at the receiver. *)
+
+type kind =
+  | Eager  (** Complete small message. *)
+  | Rts  (** Request to send [total_len] bytes. *)
+  | Cts  (** Receiver grants the transfer. *)
+  | Data  (** One packet of a granted transfer. *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  kind : kind;
+  msg_id : int;  (** Sender-assigned, unique per (src, dst) pair. *)
+  total_len : int;  (** Full message length (all kinds). *)
+  offset : int;  (** Position of [payload] within the message (Data). *)
+  payload : bytes;  (** Message bytes (Eager, Data); else empty. *)
+}
+
+val header_size : int
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

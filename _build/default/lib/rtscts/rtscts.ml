@@ -1,0 +1,287 @@
+open Sim_engine
+module Frame = Frame
+
+type config = { eager_threshold : int; per_packet_interrupt : bool }
+
+let default_config = { eager_threshold = 4096; per_packet_interrupt = true }
+
+type stats = {
+  eager_messages : int;
+  rendezvous_messages : int;
+  rts_sent : int;
+  cts_sent : int;
+  data_packets : int;
+  bytes_carried : int;
+}
+
+type queued = { q_dst : Simnet.Proc_id.t; q_payload : bytes }
+
+(* Per-(src,dst) ordered sender pipeline. *)
+type pair = {
+  src : Simnet.Proc_id.t;
+  dst : Simnet.Proc_id.t;
+  waiting : queued Queue.t;
+  mutable busy : bool;
+  mutable next_msg_id : int;
+  awaiting_cts : (int, bytes) Hashtbl.t;
+}
+
+(* Receive-side reassembly of one streamed message. *)
+type assembly = { buffer : bytes; mutable received : int }
+
+type mstats = {
+  mutable s_eager : int;
+  mutable s_rendezvous : int;
+  mutable s_rts : int;
+  mutable s_cts : int;
+  mutable s_data : int;
+  mutable s_bytes : int;
+}
+
+type t = {
+  fabric : Simnet.Fabric.t;
+  cfg : config;
+  sched : Scheduler.t;
+  pairs : (Simnet.Proc_id.t * Simnet.Proc_id.t, pair) Hashtbl.t;
+  kcopy : Simnet.Link.t array; (* per-node kernel copy engine *)
+  uppers : (Simnet.Proc_id.t, src:Simnet.Proc_id.t -> bytes -> unit) Hashtbl.t;
+  assemblies : (Simnet.Proc_id.t * Simnet.Proc_id.t * int, assembly) Hashtbl.t;
+  st : mstats;
+}
+
+let profile t = Simnet.Fabric.profile t.fabric
+let chunk_payload t = (profile t).Simnet.Profile.mtu - Frame.header_size
+
+let create ?config fabric =
+  let profile = Simnet.Fabric.profile fabric in
+  let cfg =
+    match config with
+    | Some c -> c
+    | None ->
+      { eager_threshold = profile.Simnet.Profile.mtu; per_packet_interrupt = true }
+  in
+  let sched = Simnet.Fabric.sched fabric in
+  {
+    fabric;
+    cfg;
+    sched;
+    pairs = Hashtbl.create 64;
+    kcopy =
+      Array.init (Simnet.Fabric.node_count fabric) (fun nid ->
+          Simnet.Link.create ~name:(Printf.sprintf "kcopy%d" nid) sched);
+    uppers = Hashtbl.create 64;
+    assemblies = Hashtbl.create 64;
+    st =
+      { s_eager = 0; s_rendezvous = 0; s_rts = 0; s_cts = 0; s_data = 0; s_bytes = 0 };
+  }
+
+let stats t =
+  {
+    eager_messages = t.st.s_eager;
+    rendezvous_messages = t.st.s_rendezvous;
+    rts_sent = t.st.s_rts;
+    cts_sent = t.st.s_cts;
+    data_packets = t.st.s_data;
+    bytes_carried = t.st.s_bytes;
+  }
+
+let host_cpu t nid = Simnet.Node.host_cpu (Simnet.Fabric.node t.fabric nid)
+let steal t nid cost = Cpu.steal (host_cpu t nid) cost
+
+let pair_of t ~src ~dst =
+  match Hashtbl.find_opt t.pairs (src, dst) with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        src;
+        dst;
+        waiting = Queue.create ();
+        busy = false;
+        next_msg_id = 0;
+        awaiting_cts = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.pairs (src, dst) p;
+    p
+
+let send_frame t ~src ~dst frame =
+  Simnet.Fabric.send t.fabric ~src ~dst (Frame.encode frame)
+
+(* --- sender side ------------------------------------------------------ *)
+
+(* Stream the packets of a granted transfer. Each packet occupies the
+   sender's kernel copy engine, then enters the wire; copies and wire
+   serialisation overlap across packets (the paper's pipelining). *)
+let stream_packets t pair msg_id payload ~on_done =
+  let profile = profile t in
+  let chunk = chunk_payload t in
+  let len = Bytes.length payload in
+  let copy_link = t.kcopy.(pair.src.Simnet.Proc_id.nid) in
+  let rec go offset =
+    if offset >= len then on_done ()
+    else begin
+      let n = min chunk (len - offset) in
+      let copy_done =
+        Simnet.Link.occupy copy_link (Simnet.Profile.copy_time profile n)
+      in
+      t.st.s_data <- t.st.s_data + 1;
+      Scheduler.at t.sched copy_done (fun () ->
+          steal t pair.src.Simnet.Proc_id.nid (Simnet.Profile.copy_time profile n);
+          send_frame t ~src:pair.src ~dst:pair.dst
+            {
+              Frame.kind = Frame.Data;
+              msg_id;
+              total_len = len;
+              offset;
+              payload = Bytes.sub payload offset n;
+            };
+          if offset + n >= len then on_done ());
+      if offset + n < len then go (offset + n)
+    end
+  in
+  if len = 0 then on_done () else go 0
+
+let rec pump t pair =
+  match Queue.take_opt pair.waiting with
+  | None -> pair.busy <- false
+  | Some { q_dst = dst; q_payload = payload } ->
+    pair.busy <- true;
+    let profile = profile t in
+    let len = Bytes.length payload in
+    t.st.s_bytes <- t.st.s_bytes + len;
+    let syscall = profile.Simnet.Profile.host_syscall_cost in
+    steal t pair.src.Simnet.Proc_id.nid syscall;
+    if len <= t.cfg.eager_threshold then begin
+      t.st.s_eager <- t.st.s_eager + 1;
+      let copy_link = t.kcopy.(pair.src.Simnet.Proc_id.nid) in
+      let copy_done =
+        Simnet.Link.occupy copy_link (Simnet.Profile.copy_time profile len)
+      in
+      let msg_id = pair.next_msg_id in
+      pair.next_msg_id <- pair.next_msg_id + 1;
+      Scheduler.at t.sched copy_done (fun () ->
+          steal t pair.src.Simnet.Proc_id.nid (Simnet.Profile.copy_time profile len);
+          send_frame t ~src:pair.src ~dst
+            { Frame.kind = Frame.Eager; msg_id; total_len = len; offset = 0; payload };
+          pump t pair)
+    end
+    else begin
+      t.st.s_rendezvous <- t.st.s_rendezvous + 1;
+      t.st.s_rts <- t.st.s_rts + 1;
+      let msg_id = pair.next_msg_id in
+      pair.next_msg_id <- pair.next_msg_id + 1;
+      Hashtbl.replace pair.awaiting_cts msg_id payload;
+      Scheduler.after t.sched syscall (fun () ->
+          send_frame t ~src:pair.src ~dst
+            {
+              Frame.kind = Frame.Rts;
+              msg_id;
+              total_len = len;
+              offset = 0;
+              payload = Bytes.empty;
+            })
+      (* The pump stalls here; the CTS handler resumes it. *)
+    end
+
+let enqueue t ~src ~dst payload =
+  let pair = pair_of t ~src ~dst in
+  Queue.add { q_dst = dst; q_payload = payload } pair.waiting;
+  if not pair.busy then pump t pair
+
+let handle_cts t ~me ~from msg_id =
+  let pair = pair_of t ~src:me ~dst:from in
+  match Hashtbl.find_opt pair.awaiting_cts msg_id with
+  | None -> () (* stale grant: the transfer no longer exists *)
+  | Some payload ->
+    Hashtbl.remove pair.awaiting_cts msg_id;
+    stream_packets t pair msg_id payload ~on_done:(fun () -> pump t pair)
+
+(* --- receiver side ---------------------------------------------------- *)
+
+let deliver_up t ~me ~src payload =
+  match Hashtbl.find_opt t.uppers me with
+  | None -> () (* upper layer unregistered mid-flight *)
+  | Some handler -> handler ~src payload
+
+let handle_frame t ~me ~src frame =
+  let profile = profile t in
+  let nid = me.Simnet.Proc_id.nid in
+  let interrupt () = steal t nid profile.Simnet.Profile.host_interrupt_cost in
+  match frame.Frame.kind with
+  | Frame.Eager ->
+    interrupt ();
+    let cost =
+      Time_ns.add profile.Simnet.Profile.host_interrupt_cost
+        (Simnet.Profile.copy_time profile frame.Frame.total_len)
+    in
+    let copy_done = Simnet.Link.occupy t.kcopy.(nid) cost in
+    Scheduler.at t.sched copy_done (fun () ->
+        steal t nid (Simnet.Profile.copy_time profile frame.Frame.total_len);
+        deliver_up t ~me ~src frame.Frame.payload)
+  | Frame.Rts ->
+    interrupt ();
+    t.st.s_cts <- t.st.s_cts + 1;
+    send_frame t ~src:me ~dst:src
+      {
+        Frame.kind = Frame.Cts;
+        msg_id = frame.Frame.msg_id;
+        total_len = frame.Frame.total_len;
+        offset = 0;
+        payload = Bytes.empty;
+      }
+  | Frame.Cts ->
+    interrupt ();
+    handle_cts t ~me ~from:src frame.Frame.msg_id
+  | Frame.Data ->
+    if t.cfg.per_packet_interrupt then interrupt ();
+    let key = (src, me, frame.Frame.msg_id) in
+    let assembly =
+      match Hashtbl.find_opt t.assemblies key with
+      | Some a -> a
+      | None ->
+        let a = { buffer = Bytes.create frame.Frame.total_len; received = 0 } in
+        Hashtbl.replace t.assemblies key a;
+        a
+    in
+    let n = Bytes.length frame.Frame.payload in
+    Bytes.blit frame.Frame.payload 0 assembly.buffer frame.Frame.offset n;
+    assembly.received <- assembly.received + n;
+    let copy_done =
+      Simnet.Link.occupy t.kcopy.(nid) (Simnet.Profile.copy_time profile n)
+    in
+    let complete = assembly.received >= frame.Frame.total_len in
+    Scheduler.at t.sched copy_done (fun () ->
+        steal t nid (Simnet.Profile.copy_time profile n);
+        if complete then begin
+          Hashtbl.remove t.assemblies key;
+          deliver_up t ~me ~src assembly.buffer
+        end)
+
+(* --- the transport record -------------------------------------------- *)
+
+let transport t =
+  let profile = profile t in
+  {
+    Simnet.Transport.sched = t.sched;
+    name = profile.Simnet.Profile.name ^ "/rtscts";
+    send = (fun ~src ~dst payload -> enqueue t ~src ~dst payload);
+    register =
+      (fun pid handler ->
+        Hashtbl.replace t.uppers pid handler;
+        Simnet.Fabric.register t.fabric pid (fun ~src payload ->
+            match Frame.decode payload with
+            | Error _ -> () (* not ours: drop silently at this layer *)
+            | Ok frame -> handle_frame t ~me:pid ~src frame));
+    unregister =
+      (fun pid ->
+        Hashtbl.remove t.uppers pid;
+        Simnet.Fabric.unregister t.fabric pid);
+    host_cpu = (fun nid -> host_cpu t nid);
+    charge_rx = (fun nid cost -> steal t nid cost);
+    match_entry_cost = profile.Simnet.Profile.host_match_cost;
+    rx_fixed_cost = profile.Simnet.Profile.host_interrupt_cost;
+    data_in_time = (fun len -> Simnet.Profile.copy_time profile len);
+    host_copy_time = (fun len -> Simnet.Profile.copy_time profile len);
+    send_overhead = profile.Simnet.Profile.host_syscall_cost;
+  }

@@ -1,0 +1,1 @@
+lib/runtime/control.ml: Array Bytes Collectives Int64 Portals Printf Scheduler Sim_engine Simnet Time_ns World

@@ -1,0 +1,1 @@
+lib/runtime/control.mli: Sim_engine World

@@ -1,0 +1,1 @@
+lib/runtime/world.ml: Array Mpi Printf Rtscts Scheduler Sim_engine Simnet

@@ -1,0 +1,1 @@
+lib/runtime/world.mli: Mpi Sim_engine Simnet

@@ -1,0 +1,94 @@
+open Sim_engine
+
+type transport_kind = Offload | Kernel_interrupt | Rtscts
+
+let transport_kind_name = function
+  | Offload -> "offload"
+  | Kernel_interrupt -> "kernel-interrupt"
+  | Rtscts -> "rtscts"
+
+type world = {
+  sched : Scheduler.t;
+  fabric : Simnet.Fabric.t;
+  transport : Simnet.Transport.t;
+  ranks : Simnet.Proc_id.t array;
+}
+
+let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?(seed = 0)
+    ~nodes () =
+  if nodes <= 0 then invalid_arg "Runtime.create_world: need at least one node";
+  if procs_per_node <= 0 then
+    invalid_arg "Runtime.create_world: need at least one process per node";
+  let profile =
+    match profile with
+    | Some p -> p
+    | None -> (
+      match transport with
+      | Offload -> Simnet.Profile.myrinet_mcp
+      | Kernel_interrupt | Rtscts -> Simnet.Profile.myrinet_kernel)
+  in
+  let sched = Scheduler.create ~seed () in
+  let fabric = Simnet.Fabric.create sched ~profile ~nodes in
+  let tp =
+    match transport with
+    | Offload -> Simnet.Transport.offload fabric
+    | Kernel_interrupt -> Simnet.Transport.kernel_interrupt fabric
+    | Rtscts -> Rtscts.transport (Rtscts.create fabric)
+  in
+  let ranks =
+    Array.init (nodes * procs_per_node) (fun rank ->
+        Simnet.Proc_id.make ~nid:(rank mod nodes) ~pid:(rank / nodes))
+  in
+  { sched; fabric; transport = tp; ranks }
+
+let job_size world = Array.length world.ranks
+
+let host_cpu_of_rank world rank =
+  if rank < 0 || rank >= Array.length world.ranks then
+    invalid_arg "Runtime.host_cpu_of_rank: rank out of range";
+  Simnet.Node.host_cpu
+    (Simnet.Fabric.node world.fabric world.ranks.(rank).Simnet.Proc_id.nid)
+
+let spawn_ranks world main =
+  Array.iteri
+    (fun rank _pid ->
+      Scheduler.spawn world.sched ~name:(Printf.sprintf "rank%d" rank) (fun () ->
+          main ~rank))
+    world.ranks
+
+let run ?until world =
+  match until with
+  | None -> Scheduler.run world.sched
+  | Some limit -> Scheduler.run ~until:limit world.sched
+
+let launch ?profile ?transport ?procs_per_node ?seed ~nodes main =
+  let world = create_world ?profile ?transport ?procs_per_node ?seed ~nodes () in
+  spawn_ranks world (fun ~rank -> main world ~rank);
+  run world;
+  world
+
+let launch_mpi ?profile ?transport ?procs_per_node ?seed ?(backend = `Portals)
+    ?portals_config ?gm_config ~nodes main =
+  let world = create_world ?profile ?transport ?procs_per_node ?seed ~nodes () in
+  (* Endpoints exist before any rank runs: no early message can find its
+     destination unregistered. *)
+  let endpoints =
+    Array.init (job_size world) (fun rank ->
+        match backend with
+        | `Portals ->
+          Mpi.create_portals world.transport ~ranks:world.ranks ~rank
+            ?config:portals_config ()
+        | `Gm ->
+          Mpi.create_gm world.transport ~ranks:world.ranks ~rank
+            ?config:gm_config ())
+  in
+  spawn_ranks world (fun ~rank ->
+      let ep = endpoints.(rank) in
+      main ep;
+      (* Finalize is collective (as in MPI): without the barrier, a rank
+         that finished early would unregister while a peer's transfer is
+         still mid-protocol (e.g. an RTS/CTS handshake), dropping it. *)
+      Mpi.barrier ep;
+      Mpi.finalize ep);
+  run world;
+  world

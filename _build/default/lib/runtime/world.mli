@@ -1,0 +1,76 @@
+(** Parallel job runtime — the Cplant launcher ("yod") analogue.
+
+    Builds the simulated machine (fabric + transport placement), assigns
+    process ids to ranks (round-robin over nodes, multiple processes per
+    node supported, §2), runs one fiber per rank, and tears the world
+    down. Everything the examples and benches would otherwise repeat. *)
+
+type transport_kind =
+  | Offload  (** Portals processing on the NIC (the MCP). *)
+  | Kernel_interrupt  (** Kernel-module placement, whole-message costs. *)
+  | Rtscts  (** Kernel placement with full RTS/CTS packetization. *)
+
+val transport_kind_name : transport_kind -> string
+
+type world = {
+  sched : Sim_engine.Scheduler.t;
+  fabric : Simnet.Fabric.t;
+  transport : Simnet.Transport.t;
+  ranks : Simnet.Proc_id.t array;
+}
+
+val create_world :
+  ?profile:Simnet.Profile.t ->
+  ?transport:transport_kind ->
+  ?procs_per_node:int ->
+  ?seed:int ->
+  nodes:int ->
+  unit ->
+  world
+(** A fresh machine. Default profile matches the transport kind
+    ([Offload] → {!Simnet.Profile.myrinet_mcp}, otherwise
+    {!Simnet.Profile.myrinet_kernel}); default one process per node. The
+    job's ranks are [0 .. nodes*procs_per_node - 1]. *)
+
+val job_size : world -> int
+
+val host_cpu_of_rank : world -> int -> Sim_engine.Cpu.t
+(** The host processor a rank's compute runs on. *)
+
+val spawn_ranks : world -> (rank:int -> unit) -> unit
+(** Start one named fiber per rank running the given main. *)
+
+val run : ?until:Sim_engine.Time_ns.t -> world -> unit
+(** Drive the simulation to quiescence ({!Sim_engine.Scheduler.run});
+    deadlocks (e.g. a rank blocked on a message that never comes) raise
+    {!Sim_engine.Scheduler.Deadlock}. *)
+
+val launch :
+  ?profile:Simnet.Profile.t ->
+  ?transport:transport_kind ->
+  ?procs_per_node:int ->
+  ?seed:int ->
+  nodes:int ->
+  (world -> rank:int -> unit) ->
+  world
+(** [launch ~nodes main] is {!create_world}, {!spawn_ranks} with
+    [main world ~rank], then {!run}; returns the world for inspection. *)
+
+(** {1 MPI jobs} *)
+
+val launch_mpi :
+  ?profile:Simnet.Profile.t ->
+  ?transport:transport_kind ->
+  ?procs_per_node:int ->
+  ?seed:int ->
+  ?backend:[ `Portals | `Gm ] ->
+  ?portals_config:Mpi.Mpi_portals.config ->
+  ?gm_config:Mpi.Mpi_gm.config ->
+  nodes:int ->
+  (Mpi.t -> unit) ->
+  world
+(** Launch an MPI job: endpoints are created for every rank before any
+    rank's main runs (so no early message is lost), each main gets its
+    endpoint, and endpoints are finalized — after a job-wide barrier, as
+    MPI_Finalize requires — when mains return. Default backend
+    [`Portals]. *)

@@ -1,0 +1,1 @@
+lib/simnet/simnet.ml: Fabric Link Node Proc_id Profile Transport

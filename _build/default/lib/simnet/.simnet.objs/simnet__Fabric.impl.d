@@ -1,0 +1,1 @@
+lib/simnet/fabric.ml: Array Bytes Hashtbl Link Node Printf Proc_id Profile Scheduler Sim_engine Stats Time_ns

@@ -1,0 +1,1 @@
+lib/simnet/fabric.mli: Node Proc_id Profile Sim_engine

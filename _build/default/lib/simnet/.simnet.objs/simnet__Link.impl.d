@@ -1,0 +1,1 @@
+lib/simnet/link.ml: Scheduler Sim_engine Time_ns

@@ -1,0 +1,1 @@
+lib/simnet/node.ml: Link Printf Proc_id Profile Sim_engine

@@ -1,0 +1,1 @@
+lib/simnet/node.mli: Link Proc_id Profile Sim_engine

@@ -1,0 +1,1 @@
+lib/simnet/proc_id.ml: Format Int

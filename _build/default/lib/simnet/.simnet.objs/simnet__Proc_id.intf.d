@@ -1,0 +1,1 @@
+lib/simnet/proc_id.mli: Format

@@ -1,0 +1,1 @@
+lib/simnet/profile.ml: Format Sim_engine Time_ns

@@ -1,0 +1,1 @@
+lib/simnet/profile.mli: Format Sim_engine

@@ -1,0 +1,1 @@
+lib/simnet/transport.ml: Array Bytes Cpu Fabric Link Node Printf Proc_id Profile Scheduler Sim_engine Time_ns

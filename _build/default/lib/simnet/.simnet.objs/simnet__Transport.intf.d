@@ -1,0 +1,1 @@
+lib/simnet/transport.mli: Fabric Proc_id Sim_engine

@@ -1,0 +1,87 @@
+open Sim_engine
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+  drops_unregistered : int;
+  drops_injected : int;
+}
+
+type t = {
+  fabric_sched : Scheduler.t;
+  fabric_profile : Profile.t;
+  nodes : Node.t array;
+  handlers : (Proc_id.t, src:Proc_id.t -> bytes -> unit) Hashtbl.t;
+  mutable fault : (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option;
+  sent : Stats.Counter.t;
+  sent_bytes : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  drop_unregistered : Stats.Counter.t;
+  drop_injected : Stats.Counter.t;
+}
+
+let create sched ~profile ~nodes =
+  if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
+  {
+    fabric_sched = sched;
+    fabric_profile = profile;
+    nodes = Array.init nodes (fun nid -> Node.create sched ~nid ~profile);
+    handlers = Hashtbl.create 64;
+    fault = None;
+    sent = Stats.Counter.create ~name:"fabric.sent" ();
+    sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
+    delivered = Stats.Counter.create ~name:"fabric.delivered" ();
+    drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
+    drop_injected = Stats.Counter.create ~name:"fabric.drop_injected" ();
+  }
+
+let sched t = t.fabric_sched
+let profile t = t.fabric_profile
+let node_count t = Array.length t.nodes
+
+let node t nid =
+  if nid < 0 || nid >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Fabric.node: nid %d out of range" nid);
+  t.nodes.(nid)
+
+let register t pid handler =
+  if Hashtbl.mem t.handlers pid then
+    invalid_arg ("Fabric.register: already registered: " ^ Proc_id.to_string pid);
+  ignore (node t pid.Proc_id.nid);
+  Hashtbl.replace t.handlers pid handler
+
+let unregister t pid = Hashtbl.remove t.handlers pid
+let is_registered t pid = Hashtbl.mem t.handlers pid
+
+let set_fault_injector t fault = t.fault <- fault
+
+let send t ~src ~dst payload =
+  let len = Bytes.length payload in
+  let sender = node t src.Proc_id.nid in
+  Stats.Counter.incr t.sent;
+  Stats.Counter.add t.sent_bytes len;
+  let serialised =
+    Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
+  in
+  let arrival = Time_ns.add serialised t.fabric_profile.Profile.wire_latency in
+  let dropped_by_fault =
+    match t.fault with None -> false | Some f -> f ~src ~dst ~len
+  in
+  Scheduler.at t.fabric_sched arrival (fun () ->
+      if dropped_by_fault then Stats.Counter.incr t.drop_injected
+      else
+        match Hashtbl.find_opt t.handlers dst with
+        | None -> Stats.Counter.incr t.drop_unregistered
+        | Some handler ->
+          Stats.Counter.incr t.delivered;
+          handler ~src payload)
+
+let stats t =
+  {
+    messages_sent = Stats.Counter.value t.sent;
+    bytes_sent = Stats.Counter.value t.sent_bytes;
+    messages_delivered = Stats.Counter.value t.delivered;
+    drops_unregistered = Stats.Counter.value t.drop_unregistered;
+    drops_injected = Stats.Counter.value t.drop_injected;
+  }

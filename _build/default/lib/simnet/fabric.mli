@@ -1,0 +1,54 @@
+(** The raw message fabric: reliable, in-order, connectionless delivery of
+    byte strings between registered (nid, pid) endpoints.
+
+    This is "the Myrinet" of the simulation. A send serialises on the
+    sender's injection {!Link} (so bursts pipeline back-to-back), crosses
+    the wire after the profile latency, and is handed to the handler
+    registered for the destination process. Messages from one sender to
+    one destination are never reordered — a property the Portals layer
+    depends on (§2: "reliable, in-order delivery").
+
+    Messages to unregistered destinations are dropped and counted, as are
+    messages discarded by an installed fault injector (used by tests to
+    exercise drop paths; the real network is assumed reliable). *)
+
+type t
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  messages_delivered : int;
+  drops_unregistered : int;
+  drops_injected : int;
+}
+
+val create : Sim_engine.Scheduler.t -> profile:Profile.t -> nodes:int -> t
+(** [create sched ~profile ~nodes] is a fabric of [nodes] identical nodes
+    numbered [0 .. nodes-1]. *)
+
+val sched : t -> Sim_engine.Scheduler.t
+val profile : t -> Profile.t
+val node_count : t -> int
+
+val node : t -> Proc_id.nid -> Node.t
+(** Raises [Invalid_argument] for an out-of-range nid. *)
+
+val register : t -> Proc_id.t -> (src:Proc_id.t -> bytes -> unit) -> unit
+(** Attach the receive handler for a process. Raises [Invalid_argument] if
+    the process is already registered. The handler runs at wire-arrival
+    time; receive-path processing costs are the caller's concern. *)
+
+val unregister : t -> Proc_id.t -> unit
+val is_registered : t -> Proc_id.t -> bool
+
+val send : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
+(** Inject a message. Returns immediately; delivery happens via scheduled
+    events. The payload is not copied — callers must not mutate it after
+    sending (simulated NICs DMA from live buffers; Portals builds a fresh
+    wire image per message). *)
+
+val set_fault_injector : t -> (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option -> unit
+(** With [Some f], each message for which [f] returns true is silently
+    dropped (after occupying the wire). *)
+
+val stats : t -> stats

@@ -1,0 +1,23 @@
+open Sim_engine
+
+type t = {
+  sched : Scheduler.t;
+  link_name : string;
+  mutable free_at : Time_ns.t;
+  mutable busy : Time_ns.t;
+}
+
+let create ?(name = "link") sched =
+  { sched; link_name = name; free_at = Time_ns.zero; busy = Time_ns.zero }
+
+let occupy t d =
+  if Time_ns.compare d Time_ns.zero < 0 then
+    invalid_arg (t.link_name ^ ": negative occupancy");
+  let start = Time_ns.max (Scheduler.now t.sched) t.free_at in
+  let finish = Time_ns.add start d in
+  t.free_at <- finish;
+  t.busy <- Time_ns.add t.busy d;
+  finish
+
+let free_at t = t.free_at
+let busy_time t = t.busy

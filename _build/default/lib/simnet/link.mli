@@ -1,0 +1,22 @@
+(** A serialising transmission resource.
+
+    Models the injection side of a network link (or any single-server
+    pipeline stage such as a DMA engine or a memcpy unit): work items
+    occupy the resource back-to-back, so a burst of messages serialises
+    while idle periods are skipped. *)
+
+type t
+
+val create : ?name:string -> Sim_engine.Scheduler.t -> t
+
+val occupy : t -> Sim_engine.Time_ns.t -> Sim_engine.Time_ns.t
+(** [occupy t d] reserves the resource for duration [d] starting at the
+    first instant it is free (now, or the end of previously queued work)
+    and returns the absolute completion time. Non-blocking: callers
+    schedule follow-up events at the returned time. *)
+
+val free_at : t -> Sim_engine.Time_ns.t
+(** The instant the resource next becomes free. *)
+
+val busy_time : t -> Sim_engine.Time_ns.t
+(** Total time the resource has been occupied (utilisation numerator). *)

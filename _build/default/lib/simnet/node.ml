@@ -1,0 +1,22 @@
+type t = {
+  sched : Sim_engine.Scheduler.t;
+  node_nid : Proc_id.nid;
+  node_profile : Profile.t;
+  cpu : Sim_engine.Cpu.t;
+  link : Link.t;
+}
+
+let create sched ~nid ~profile =
+  {
+    sched;
+    node_nid = nid;
+    node_profile = profile;
+    cpu = Sim_engine.Cpu.create ~name:(Printf.sprintf "cpu%d" nid) sched;
+    link = Link.create ~name:(Printf.sprintf "link%d" nid) sched;
+  }
+
+let nid t = t.node_nid
+let profile t = t.node_profile
+let host_cpu t = t.cpu
+let tx_link t = t.link
+let sched t = t.sched

@@ -1,0 +1,15 @@
+(** A simulated cluster node: host CPU plus network injection link.
+
+    Compute-node architecture follows the paper's platforms: one
+    application-visible host processor and a network interface with its own
+    transmit pipeline. Multiple simulated processes may live on one node
+    and share both. *)
+
+type t
+
+val create : Sim_engine.Scheduler.t -> nid:Proc_id.nid -> profile:Profile.t -> t
+val nid : t -> Proc_id.nid
+val profile : t -> Profile.t
+val host_cpu : t -> Sim_engine.Cpu.t
+val tx_link : t -> Link.t
+val sched : t -> Sim_engine.Scheduler.t

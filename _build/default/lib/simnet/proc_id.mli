@@ -1,0 +1,22 @@
+(** Process addressing.
+
+    Portals is connectionless: a peer is named by a (node id, process id)
+    pair, never by a connection. Node ids identify a physical node on the
+    fabric; process ids distinguish the processes sharing that node (the
+    Paragon/ASCI-Red heritage of multiple communicating processes per
+    node, §2 of the paper). *)
+
+type nid = int
+(** Node identifier. *)
+
+type pid = int
+(** Process identifier, unique within a node. *)
+
+type t = { nid : nid; pid : pid }
+
+val make : nid:nid -> pid:pid -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

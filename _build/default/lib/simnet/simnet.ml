@@ -1,0 +1,8 @@
+(** Simulated cluster network substrate. See the individual modules. *)
+
+module Proc_id = Proc_id
+module Profile = Profile
+module Link = Link
+module Node = Node
+module Fabric = Fabric
+module Transport = Transport

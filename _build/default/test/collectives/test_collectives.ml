@@ -1,0 +1,241 @@
+open Sim_engine
+
+(* Build an [n]-rank collectives world (one Portals NI + Coll endpoint per
+   rank) and run [f coll rank] in a fiber per rank. *)
+let with_group ?(n = 4) f =
+  let world = Runtime.create_world ~nodes:n () in
+  let nis =
+    Array.map (fun pid -> Portals.Ni.create world.Runtime.transport ~id:pid ())
+      world.Runtime.ranks
+  in
+  let colls =
+    Array.mapi
+      (fun rank ni -> Collectives.create ni ~ranks:world.Runtime.ranks ~rank ())
+      nis
+  in
+  Array.iteri
+    (fun rank coll ->
+      Scheduler.spawn world.Runtime.sched ~name:(Printf.sprintf "coll%d" rank)
+        (fun () -> f coll rank))
+    colls;
+  Runtime.run world
+
+let barrier_tests =
+  [
+    Alcotest.test_case "barrier releases nobody early" `Quick (fun () ->
+        let n = 5 in
+        let world = Runtime.create_world ~nodes:n () in
+        let colls =
+          Array.mapi
+            (fun rank pid ->
+              let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+              Collectives.create ni ~ranks:world.Runtime.ranks ~rank ())
+            world.Runtime.ranks
+        in
+        let leave = Array.make n 0 in
+        Array.iteri
+          (fun rank coll ->
+            Scheduler.spawn world.Runtime.sched (fun () ->
+                Scheduler.delay world.Runtime.sched (Time_ns.ms (float_of_int rank));
+                Collectives.barrier coll;
+                leave.(rank) <- Scheduler.now world.Runtime.sched))
+          colls;
+        Runtime.run world;
+        let slowest = Time_ns.ms (float_of_int (n - 1)) in
+        Array.iteri
+          (fun rank t ->
+            Alcotest.(check bool)
+              (Printf.sprintf "rank %d after slowest" rank)
+              true (t >= slowest))
+          leave);
+    Alcotest.test_case "barriers are reusable" `Quick (fun () ->
+        let rounds = ref 0 in
+        with_group ~n:3 (fun coll rank ->
+            for _ = 1 to 5 do
+              Collectives.barrier coll
+            done;
+            if rank = 0 then rounds := 5);
+        Alcotest.(check int) "finished" 5 !rounds);
+  ]
+
+let data_tests =
+  [
+    Alcotest.test_case "bcast from every root" `Quick (fun () ->
+        let n = 6 in
+        for root = 0 to n - 1 do
+          let results = Array.make n "" in
+          with_group ~n (fun coll rank ->
+              let payload =
+                if rank = root then Bytes.of_string (Printf.sprintf "root=%d" root)
+                else Bytes.empty
+              in
+              let out = Collectives.bcast coll ~root payload in
+              results.(rank) <- Bytes.to_string out);
+          Array.iteri
+            (fun rank got ->
+              Alcotest.(check string)
+                (Printf.sprintf "root %d rank %d" root rank)
+                (Printf.sprintf "root=%d" root)
+                got)
+            results
+        done);
+    Alcotest.test_case "reduce sums floats at the root" `Quick (fun () ->
+        let n = 5 in
+        let result = ref [||] in
+        with_group ~n (fun coll rank ->
+            let mine = [| float_of_int rank; 1.0; float_of_int (rank * rank) |] in
+            match
+              Collectives.reduce coll ~root:2 ~op:Collectives.sum_floats
+                (Collectives.bytes_of_floats mine)
+            with
+            | Some acc ->
+              Alcotest.(check int) "only root gets it" 2 rank;
+              result := Collectives.floats_of_bytes acc
+            | None -> Alcotest.(check bool) "non-root" true (rank <> 2));
+        Alcotest.(check (array (float 1e-9)))
+          "sums" [| 10.0; 5.0; 30.0 |] !result);
+    Alcotest.test_case "allreduce agrees on every rank" `Quick (fun () ->
+        let n = 7 in
+        let results = Array.make n [||] in
+        with_group ~n (fun coll rank ->
+            results.(rank) <-
+              Collectives.allreduce_float_sum coll [| float_of_int (rank + 1) |]);
+        let expect = float_of_int (n * (n + 1) / 2) in
+        Array.iteri
+          (fun rank got ->
+            Alcotest.(check (array (float 1e-9)))
+              (Printf.sprintf "rank %d" rank)
+              [| expect |] got)
+          results);
+    Alcotest.test_case "allreduce max" `Quick (fun () ->
+        let n = 4 in
+        let results = Array.make n [||] in
+        with_group ~n (fun coll rank ->
+            let acc =
+              Collectives.allreduce coll ~op:Collectives.max_floats
+                (Collectives.bytes_of_floats [| float_of_int (10 - rank) |])
+            in
+            results.(rank) <- Collectives.floats_of_bytes acc);
+        Array.iter
+          (fun got -> Alcotest.(check (array (float 1e-9))) "max" [| 10.0 |] got)
+          results);
+    Alcotest.test_case "gather collects rank-indexed pieces" `Quick (fun () ->
+        let n = 5 in
+        let collected = ref [||] in
+        with_group ~n (fun coll rank ->
+            match
+              Collectives.gather coll ~root:0
+                (Bytes.of_string (Printf.sprintf "piece-%d" rank))
+            with
+            | Some pieces -> collected := Array.map Bytes.to_string pieces
+            | None -> ());
+        Alcotest.(check (array string))
+          "indexed by rank"
+          (Array.init n (Printf.sprintf "piece-%d"))
+          !collected);
+    Alcotest.test_case "scatter hands out the right pieces" `Quick (fun () ->
+        let n = 4 in
+        let got = Array.make n "" in
+        with_group ~n (fun coll rank ->
+            let pieces =
+              if rank = 1 then
+                Some (Array.init n (fun i -> Bytes.of_string (Printf.sprintf "p%d" i)))
+              else None
+            in
+            got.(rank) <- Bytes.to_string (Collectives.scatter coll ~root:1 pieces));
+        Alcotest.(check (array string))
+          "pieces" (Array.init n (Printf.sprintf "p%d")) got);
+    Alcotest.test_case "allgather via ring" `Quick (fun () ->
+        let n = 6 in
+        let results = Array.make n [||] in
+        with_group ~n (fun coll rank ->
+            let out =
+              Collectives.allgather coll
+                (Bytes.of_string (Printf.sprintf "<%d>" rank))
+            in
+            results.(rank) <- Array.map Bytes.to_string out);
+        Array.iteri
+          (fun rank got ->
+            Alcotest.(check (array string))
+              (Printf.sprintf "rank %d" rank)
+              (Array.init n (Printf.sprintf "<%d>"))
+              got)
+          results);
+    Alcotest.test_case "alltoall personalised exchange" `Quick (fun () ->
+        let n = 4 in
+        let results = Array.make n [||] in
+        with_group ~n (fun coll rank ->
+            let input =
+              Array.init n (fun dst ->
+                  Bytes.of_string (Printf.sprintf "%d->%d" rank dst))
+            in
+            results.(rank) <- Array.map Bytes.to_string (Collectives.alltoall coll input));
+        Array.iteri
+          (fun rank got ->
+            Alcotest.(check (array string))
+              (Printf.sprintf "rank %d" rank)
+              (Array.init n (fun src -> Printf.sprintf "%d->%d" src rank))
+              got)
+          results);
+    Alcotest.test_case "collectives back to back do not interfere" `Quick
+      (fun () ->
+        let n = 4 in
+        let ok = ref true in
+        with_group ~n (fun coll rank ->
+            for round = 1 to 10 do
+              let v =
+                Collectives.allreduce_float_sum coll [| float_of_int round |]
+              in
+              if v.(0) <> float_of_int (round * n) then ok := false;
+              Collectives.barrier coll;
+              let b =
+                Collectives.bcast coll ~root:(round mod n)
+                  (if rank = round mod n then Bytes.of_string (string_of_int round)
+                   else Bytes.empty)
+              in
+              if Bytes.to_string b <> string_of_int round then ok := false
+            done);
+        Alcotest.(check bool) "all rounds consistent" true !ok);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"allreduce sum matches sequential fold" ~count:25
+         QCheck.(pair (int_range 2 9) (list_of_size Gen.(int_range 1 8) (float_range (-100.) 100.)))
+         (fun (n, base) ->
+           let base = Array.of_list base in
+           let results = Array.make n [||] in
+           with_group ~n (fun coll rank ->
+               let mine = Array.map (fun x -> x +. float_of_int rank) base in
+               results.(rank) <- Collectives.allreduce_float_sum coll mine);
+           let expect =
+             Array.map
+               (fun x ->
+                 (x *. float_of_int n) +. float_of_int (n * (n - 1) / 2))
+               base
+           in
+           Array.for_all
+             (fun got ->
+               Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) got expect)
+             results));
+  ]
+
+let float_helpers_tests =
+  [
+    Alcotest.test_case "float serialisation round trip" `Quick (fun () ->
+        let a = [| 1.5; -2.25; 0.0; 1e300; Float.min_float |] in
+        Alcotest.(check (array (float 0.)))
+          "round trip" a
+          (Collectives.floats_of_bytes (Collectives.bytes_of_floats a)));
+    Alcotest.test_case "sum_floats in place" `Quick (fun () ->
+        let acc = Collectives.bytes_of_floats [| 1.0; 2.0 |] in
+        Collectives.sum_floats acc (Collectives.bytes_of_floats [| 10.0; 20.0 |]);
+        Alcotest.(check (array (float 1e-12)))
+          "summed" [| 11.0; 22.0 |]
+          (Collectives.floats_of_bytes acc));
+  ]
+
+let () =
+  Alcotest.run "collectives"
+    [
+      ("barrier", barrier_tests);
+      ("data", data_tests);
+      ("helpers", float_helpers_tests);
+    ]

@@ -1,0 +1,1 @@
+test/core/test_portals_ext.ml: Alcotest Bytes Char Errors Event Gen Handle List Match_bits Match_id Md Ni Portals QCheck QCheck_alcotest Scheduler Sim_engine Simnet

@@ -1,0 +1,1 @@
+test/core/test_portals_ni.ml: Acl Alcotest Buffer Bytes Char Cpu Errors Event Gen Handle List Match_bits Match_id Md Ni Portals Printf QCheck QCheck_alcotest Scheduler Sim_engine Simnet Wire

@@ -1,0 +1,1 @@
+test/core/test_portals_ni.mli:

@@ -1,0 +1,1 @@
+test/core/test_portals_types.ml: Acl Alcotest Bytes Errors Event Format Handle Int64 List Match_bits Match_id Md Me Option Portals QCheck QCheck_alcotest Result Sim_engine Simnet Wire

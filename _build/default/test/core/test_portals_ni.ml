@@ -1,0 +1,681 @@
+(* End-to-end tests of the Portals network interface: two (or more)
+   processes on a simulated fabric exchanging puts and gets, exercising
+   address translation (Fig. 4), the receive-side rules of section 4.8
+   (every drop reason), threshold/unlink cascades, and application
+   bypass. *)
+
+open Portals
+open Sim_engine
+
+let proc nid pid = Simnet.Proc_id.make ~nid ~pid
+
+type env = {
+  sched : Scheduler.t;
+  fabric : Simnet.Fabric.t;
+  tp : Simnet.Transport.t;
+  ni0 : Ni.t;
+  ni1 : Ni.t;
+}
+
+let setup ?(profile = Simnet.Profile.myrinet_mcp) ?(kind = `Offload) () =
+  let sched = Scheduler.create () in
+  let fabric = Simnet.Fabric.create sched ~profile ~nodes:4 in
+  let tp =
+    match kind with
+    | `Offload -> Simnet.Transport.offload fabric
+    | `Kernel -> Simnet.Transport.kernel_interrupt fabric
+  in
+  let ni0 = Ni.create tp ~id:(proc 0 0) () in
+  let ni1 = Ni.create tp ~id:(proc 1 0) () in
+  { sched; fabric; tp; ni0; ni1 }
+
+let ok ~what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s failed: %s" what (Errors.to_string e)
+
+let expect_err expected ~what = function
+  | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" what
+  | Error e ->
+    Alcotest.(check string) what (Errors.to_string expected) (Errors.to_string e)
+
+(* Target-side helper: one EQ, one catch-all ME on portal [pt] with an MD
+   over [buffer]. Returns (eq_handle, me_handle, md_handle). *)
+let attach_target ?(pt = 0) ?(match_bits = Match_bits.zero)
+    ?(ignore_bits = Match_bits.all_ones) ?(match_id = Match_id.any)
+    ?(options = Md.default_options) ?(threshold = Md.Infinite)
+    ?(unlink = Md.Retain) ?(me_unlink = Md.Retain) ?(eq_capacity = 32) ni buffer =
+  let eqh = ok ~what:"eq_alloc" (Ni.eq_alloc ni ~capacity:eq_capacity) in
+  let meh =
+    ok ~what:"me_attach"
+      (Ni.me_attach ni ~portal_index:pt ~match_id ~match_bits ~ignore_bits
+         ~unlink:me_unlink ())
+  in
+  let mdh =
+    ok ~what:"md_attach"
+      (Ni.md_attach ni ~me:meh
+         (Ni.md_spec ~options ~threshold ~unlink ~eq:eqh buffer))
+  in
+  (eqh, meh, mdh)
+
+(* Initiator-side helper: EQ + bound MD over [buffer]. *)
+let bind_initiator ?(threshold = Md.Infinite) ?(unlink = Md.Retain)
+    ?(eq_capacity = 32) ni buffer =
+  let eqh = ok ~what:"eq_alloc" (Ni.eq_alloc ni ~capacity:eq_capacity) in
+  let mdh =
+    ok ~what:"md_bind" (Ni.md_bind ni (Ni.md_spec ~threshold ~unlink ~eq:eqh buffer))
+  in
+  (eqh, mdh)
+
+let drain_events ni eqh =
+  let q = ok ~what:"eq" (Ni.eq ni eqh) in
+  let rec go acc =
+    match Event.Queue.get q with None -> List.rev acc | Some e -> go (e :: acc)
+  in
+  go []
+
+let kinds evs = List.map (fun e -> Event.kind_to_string e.Event.kind) evs
+
+let put_get_tests =
+  [
+    Alcotest.test_case "put delivers data with SENT/PUT/ACK events" `Quick
+      (fun () ->
+        let env = setup () in
+        let target_buf = Bytes.make 64 '.' in
+        let teq, _, _ = attach_target env.ni1 target_buf in
+        let payload = Bytes.of_string "hello portals" in
+        let ieq, imd = bind_initiator env.ni0 payload in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check string) "data landed" "hello portals"
+          (Bytes.sub_string target_buf 0 13);
+        let tevs = drain_events env.ni1 teq in
+        Alcotest.(check (list string)) "target events" [ "PUT" ] (kinds tevs);
+        (match tevs with
+        | [ ev ] ->
+          Alcotest.(check int) "rlength" 13 ev.Event.rlength;
+          Alcotest.(check int) "mlength" 13 ev.Event.mlength;
+          Alcotest.(check string) "initiator" "0:0"
+            (Simnet.Proc_id.to_string ev.Event.initiator)
+        | _ -> Alcotest.fail "one event");
+        let ievs = drain_events env.ni0 ieq in
+        Alcotest.(check (list string)) "initiator events" [ "SENT"; "ACK" ]
+          (kinds ievs);
+        (match ievs with
+        | [ _; ack ] -> Alcotest.(check int) "ack mlength" 13 ack.Event.mlength
+        | _ -> Alcotest.fail "two events"));
+    Alcotest.test_case "put without ack yields only SENT" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 64) in
+        let ieq, imd = bind_initiator env.ni0 (Bytes.of_string "quiet") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check (list string)) "only SENT" [ "SENT" ]
+          (kinds (drain_events env.ni0 ieq)));
+    Alcotest.test_case "zero-length put completes" `Quick (fun () ->
+        let env = setup () in
+        let teq, _, _ = attach_target env.ni1 (Bytes.create 8) in
+        let ieq, imd = bind_initiator env.ni0 Bytes.empty in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        (match drain_events env.ni1 teq with
+        | [ ev ] -> Alcotest.(check int) "mlength 0" 0 ev.Event.mlength
+        | _ -> Alcotest.fail "one PUT event");
+        Alcotest.(check (list string)) "SENT+ACK" [ "SENT"; "ACK" ]
+          (kinds (drain_events env.ni0 ieq)));
+    Alcotest.test_case "get fetches remote data with REPLY event" `Quick
+      (fun () ->
+        let env = setup () in
+        let remote = Bytes.of_string "0123456789abcdef" in
+        let teq, _, _ = attach_target env.ni1 remote in
+        let local = Bytes.make 8 '.' in
+        let ieq, imd = bind_initiator env.ni0 local in
+        ok ~what:"get"
+          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:4 ());
+        Scheduler.run env.sched;
+        Alcotest.(check string) "fetched from offset 4" "456789ab"
+          (Bytes.to_string local);
+        Alcotest.(check (list string)) "target GET" [ "GET" ]
+          (kinds (drain_events env.ni1 teq));
+        (match drain_events env.ni0 ieq with
+        | [ ev ] ->
+          Alcotest.(check string) "REPLY" "REPLY" (Event.kind_to_string ev.Event.kind);
+          Alcotest.(check int) "mlength" 8 ev.Event.mlength
+        | _ -> Alcotest.fail "one REPLY event"));
+    Alcotest.test_case "put at an offset lands in the middle" `Quick (fun () ->
+        let env = setup () in
+        let target_buf = Bytes.make 16 '.' in
+        let _ = attach_target env.ni1 target_buf in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "XY") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:7 ());
+        Scheduler.run env.sched;
+        Alcotest.(check string) "middle" ".......XY......."
+          (Bytes.to_string target_buf));
+    Alcotest.test_case "truncating descriptor reports manipulated length" `Quick
+      (fun () ->
+        let env = setup () in
+        let small = Bytes.make 5 '.' in
+        let options = { Md.default_options with Md.truncate = true } in
+        let teq, _, _ = attach_target ~options env.ni1 small in
+        let ieq, imd = bind_initiator env.ni0 (Bytes.of_string "0123456789") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check string) "first five bytes" "01234" (Bytes.to_string small);
+        (match drain_events env.ni1 teq with
+        | [ ev ] ->
+          Alcotest.(check int) "rlength" 10 ev.Event.rlength;
+          Alcotest.(check int) "mlength" 5 ev.Event.mlength
+        | _ -> Alcotest.fail "one event");
+        (match drain_events env.ni0 ieq with
+        | [ _sent; ack ] -> Alcotest.(check int) "ack mlength" 5 ack.Event.mlength
+        | _ -> Alcotest.fail "SENT+ACK"));
+  ]
+
+let matching_tests =
+  [
+    Alcotest.test_case "match bits select among entries" `Quick (fun () ->
+        let env = setup () in
+        let buf_a = Bytes.make 8 '.' and buf_b = Bytes.make 8 '.' in
+        let eq_a, _, _ =
+          attach_target ~match_bits:(Match_bits.of_int 10)
+            ~ignore_bits:Match_bits.zero env.ni1 buf_a
+        in
+        let eq_b, _, _ =
+          attach_target ~match_bits:(Match_bits.of_int 20)
+            ~ignore_bits:Match_bits.zero env.ni1 buf_b
+        in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "to-b") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:(Match_bits.of_int 20) ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "a untouched" 0 (List.length (drain_events env.ni1 eq_a));
+        Alcotest.(check int) "b hit" 1 (List.length (drain_events env.ni1 eq_b));
+        Alcotest.(check string) "data in b" "to-b" (Bytes.sub_string buf_b 0 4);
+        (* The walk examined entry a (mismatch) then accepted entry b. *)
+        Alcotest.(check int) "entries walked" 2 (Ni.counters env.ni1).Ni.entries_walked);
+    Alcotest.test_case "source restriction falls through to next entry" `Quick
+      (fun () ->
+        let env = setup () in
+        let priv = Bytes.make 8 '.' and open_buf = Bytes.make 8 '.' in
+        let eq_priv, _, _ =
+          attach_target ~match_id:(Match_id.of_proc (proc 3 0)) env.ni1 priv
+        in
+        let eq_open, _, _ = attach_target env.ni1 open_buf in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "data") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "private skipped" 0
+          (List.length (drain_events env.ni1 eq_priv));
+        Alcotest.(check int) "open entry took it" 1
+          (List.length (drain_events env.ni1 eq_open)));
+    Alcotest.test_case "me_insert Before takes priority" `Quick (fun () ->
+        let env = setup () in
+        let late = Bytes.make 8 '.' in
+        let eq_late, me_late, _ = attach_target env.ni1 late in
+        (* Insert a second catch-all before the existing one. *)
+        let early = Bytes.make 8 '.' in
+        let eqh = ok ~what:"eq" (Ni.eq_alloc env.ni1 ~capacity:8) in
+        let me_early =
+          ok ~what:"insert"
+            (Ni.me_insert env.ni1 ~base:me_late ~match_id:Match_id.any
+               ~match_bits:Match_bits.zero ~ignore_bits:Match_bits.all_ones
+               ~pos:`Before ())
+        in
+        let _ =
+          ok ~what:"md_attach"
+            (Ni.md_attach env.ni1 ~me:me_early (Ni.md_spec ~eq:eqh early))
+        in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "first") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "early entry hit" 1
+          (List.length (drain_events env.ni1 eqh));
+        Alcotest.(check int) "late entry idle" 0
+          (List.length (drain_events env.ni1 eq_late)));
+    Alcotest.test_case "rejecting first descriptor moves to next entry" `Quick
+      (fun () ->
+        (* Entry 1 matches but its MD only allows gets; the put must fall
+           through to entry 2 (Fig. 4: md reject -> next match entry). *)
+        let env = setup () in
+        let get_only = { Md.default_options with Md.op_put = false } in
+        let eq1, _, _ = attach_target ~options:get_only env.ni1 (Bytes.create 8) in
+        let buf2 = Bytes.make 8 '.' in
+        let eq2, _, _ = attach_target env.ni1 buf2 in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "fall") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "entry1 skipped" 0 (List.length (drain_events env.ni1 eq1));
+        Alcotest.(check int) "entry2 accepted" 1 (List.length (drain_events env.ni1 eq2));
+        Alcotest.(check string) "data" "fall" (Bytes.sub_string buf2 0 4));
+    Alcotest.test_case "locally managed offsets pack a slab" `Quick (fun () ->
+        let env = setup () in
+        let slab = Bytes.make 32 '.' in
+        let options = { Md.default_options with Md.manage_remote = false } in
+        let teq, _, mdh = attach_target ~options env.ni1 slab in
+        let send s =
+          let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
+          ok ~what:"put"
+            (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+               ~match_bits:Match_bits.zero ~offset:999 ())
+          (* remote offset must be ignored *)
+        in
+        send "aaaa";
+        send "bb";
+        send "cccccc";
+        Scheduler.run env.sched;
+        Alcotest.(check string) "packed back-to-back" "aaaabbcccccc"
+          (Bytes.sub_string slab 0 12);
+        let offsets = List.map (fun e -> e.Event.offset) (drain_events env.ni1 teq) in
+        Alcotest.(check (list int)) "event offsets" [ 0; 4; 6 ] offsets;
+        Alcotest.(check int) "local offset" 12
+          (ok ~what:"local_offset" (Ni.md_local_offset env.ni1 mdh)));
+  ]
+
+let unlink_tests =
+  [
+    Alcotest.test_case "threshold unlink cascades to the match entry" `Quick
+      (fun () ->
+        let env = setup () in
+        let buf = Bytes.make 8 '.' in
+        let _, meh, mdh =
+          attach_target ~threshold:(Md.Count 1) ~unlink:Md.Unlink
+            ~me_unlink:Md.Unlink env.ni1 buf
+        in
+        let send s =
+          let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
+          ok ~what:"put"
+            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+        in
+        send "one!";
+        Scheduler.run env.sched;
+        Alcotest.(check string) "first delivered" "one!" (Bytes.sub_string buf 0 4);
+        (* MD and ME are gone now. *)
+        expect_err Errors.Invalid_md ~what:"md gone" (Ni.md_active env.ni1 mdh);
+        expect_err Errors.Invalid_me ~what:"me gone" (Ni.me_md_count env.ni1 meh);
+        send "two!";
+        Scheduler.run env.sched;
+        Alcotest.(check string) "second not delivered" "one!"
+          (Bytes.sub_string buf 0 4);
+        Alcotest.(check int) "dropped as no-match" 1
+          (Ni.dropped env.ni1 Ni.No_match));
+    Alcotest.test_case "retained descriptor stays linked but inactive" `Quick
+      (fun () ->
+        let env = setup () in
+        let _, meh, mdh =
+          attach_target ~threshold:(Md.Count 1) ~unlink:Md.Retain env.ni1
+            (Bytes.create 8)
+        in
+        let send () =
+          let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+          ok ~what:"put"
+            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+        in
+        send ();
+        Scheduler.run env.sched;
+        Alcotest.(check bool) "inactive" false
+          (ok ~what:"active" (Ni.md_active env.ni1 mdh));
+        Alcotest.(check int) "still attached" 1
+          (ok ~what:"count" (Ni.me_md_count env.ni1 meh));
+        send ();
+        Scheduler.run env.sched;
+        Alcotest.(check int) "second dropped" 1 (Ni.dropped env.ni1 Ni.No_match));
+    Alcotest.test_case "md_unlink refuses while a reply is pending" `Quick
+      (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.of_string "remote-data-here") in
+        let _, imd = bind_initiator env.ni0 (Bytes.create 4) in
+        ok ~what:"get"
+          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        (* Before running the simulation the reply is outstanding. *)
+        expect_err Errors.Md_in_use ~what:"unlink pending" (Ni.md_unlink env.ni0 imd);
+        Scheduler.run env.sched;
+        ok ~what:"unlink after reply" (Ni.md_unlink env.ni0 imd));
+    Alcotest.test_case "initiator md with threshold 2 self-cleans after ack"
+      `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 16) in
+        let _, imd =
+          bind_initiator ~threshold:(Md.Count 2) ~unlink:Md.Unlink env.ni0
+            (Bytes.of_string "self-cleaning")
+        in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        (* SENT consumed one unit, ACK the second: the MD is gone. *)
+        expect_err Errors.Invalid_md ~what:"auto-unlinked" (Ni.md_active env.ni0 imd));
+    Alcotest.test_case "me_unlink frees entry and descriptors" `Quick (fun () ->
+        let env = setup () in
+        let _, meh, mdh = attach_target env.ni1 (Bytes.create 8) in
+        ok ~what:"me_unlink" (Ni.me_unlink env.ni1 meh);
+        expect_err Errors.Invalid_me ~what:"me gone" (Ni.me_md_count env.ni1 meh);
+        expect_err Errors.Invalid_md ~what:"md gone" (Ni.md_active env.ni1 mdh);
+        (* Messages now drop at translation. *)
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "no match" 1 (Ni.dropped env.ni1 Ni.No_match));
+  ]
+
+let drop_tests =
+  [
+    Alcotest.test_case "invalid portal index" `Quick (fun () ->
+        let env = setup () in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:4999
+             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Invalid_portal_index));
+    Alcotest.test_case "unset access control cookie" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 8) in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:9 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_bad_cookie));
+    Alcotest.test_case "access control id mismatch" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 8) in
+        (match
+           Acl.set (Ni.acl env.ni1) 2
+             { Acl.allowed_id = Match_id.of_proc (proc 3 3); allowed_portal = None }
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "acl set");
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:2 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_id_mismatch));
+    Alcotest.test_case "access control portal mismatch" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 8) in
+        (match
+           Acl.set (Ni.acl env.ni1) 3
+             { Acl.allowed_id = Match_id.any; allowed_portal = Some 7 }
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "acl set");
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:3 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_portal_mismatch));
+    Alcotest.test_case "no matching entry" `Quick (fun () ->
+        let env = setup () in
+        (* An entry that requires different bits. *)
+        let _ =
+          attach_target ~match_bits:(Match_bits.of_int 5)
+            ~ignore_bits:Match_bits.zero env.ni1 (Bytes.create 8)
+        in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:1 ~match_bits:(Match_bits.of_int 6) ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.No_match));
+    Alcotest.test_case "too-long message without truncate is rejected" `Quick
+      (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.create 4) in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "way too long") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.No_match));
+    Alcotest.test_case "stray ack with unknown event queue" `Quick (fun () ->
+        let env = setup () in
+        let put =
+          Wire.put_request ~initiator:(proc 1 0) ~target:(proc 0 0)
+            ~portal_index:0 ~cookie:1 ~match_bits:Match_bits.zero ~offset:0
+            ~md_handle:Handle.none
+            ~eq_handle:(Handle.of_wire 0x7777L) ~data:Bytes.empty ()
+        in
+        let stray = Wire.ack_of_put put ~mlength:0 in
+        env.tp.Simnet.Transport.send ~src:(proc 1 0) ~dst:(proc 0 0)
+          (Wire.encode stray);
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni0 Ni.Ack_no_eq));
+    Alcotest.test_case "stray reply with unknown descriptor" `Quick (fun () ->
+        let env = setup () in
+        let get =
+          Wire.get_request ~initiator:(proc 1 0) ~target:(proc 0 0)
+            ~portal_index:0 ~cookie:1 ~match_bits:Match_bits.zero ~offset:0
+            ~md_handle:(Handle.of_wire 0x1234L) ~rlength:3 ()
+        in
+        let stray = Wire.reply_of_get get ~mlength:3 ~data:(Bytes.of_string "xyz") in
+        env.tp.Simnet.Transport.send ~src:(proc 1 0) ~dst:(proc 0 0)
+          (Wire.encode stray);
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni0 Ni.Reply_no_md));
+    Alcotest.test_case "reply to a full event queue is dropped" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.of_string "abcdefgh") in
+        (* Initiator MD with a capacity-1 EQ; stuff the EQ before the reply
+           arrives so the reply finds it full. *)
+        let eqh, imd = bind_initiator ~eq_capacity:1 env.ni0 (Bytes.create 4) in
+        let q = ok ~what:"eq" (Ni.eq env.ni0 eqh) in
+        ok ~what:"get"
+          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        ignore
+          (Event.Queue.post q
+             {
+               Event.kind = Event.Put;
+               initiator = proc 9 9;
+               portal_index = 0;
+               match_bits = Match_bits.zero;
+               rlength = 0;
+               mlength = 0;
+               offset = 0;
+               md_handle = Handle.none;
+               md_user_ptr = 0;
+               time = 0;
+             });
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped per section 4.8" 1
+          (Ni.dropped env.ni0 Ni.Reply_eq_full));
+    Alcotest.test_case "malformed bytes are counted" `Quick (fun () ->
+        let env = setup () in
+        env.tp.Simnet.Transport.send ~src:(proc 1 0) ~dst:(proc 0 0)
+          (Bytes.of_string "garbage!");
+        Scheduler.run env.sched;
+        Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni0 Ni.Malformed));
+    Alcotest.test_case "shutdown unregisters from the fabric" `Quick (fun () ->
+        let env = setup () in
+        Ni.shutdown env.ni1;
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check int) "fabric drop" 1
+          (Simnet.Fabric.stats env.fabric).Simnet.Fabric.drops_unregistered;
+        Alcotest.(check int) "ni saw nothing" 0 (Ni.dropped_total env.ni1));
+  ]
+
+let bypass_tests =
+  [
+    Alcotest.test_case "target application never runs (offload)" `Quick
+      (fun () ->
+        (* No fiber is ever spawned for the target process; delivery is
+           driven entirely by arrival events — application bypass. *)
+        let env = setup () in
+        let buf = Bytes.make 16 '.' in
+        let teq, _, _ = attach_target env.ni1 buf in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "bypassed") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        Alcotest.(check string) "delivered with no target activity" "bypassed"
+          (Bytes.sub_string buf 0 8);
+        Alcotest.(check int) "event logged" 1 (List.length (drain_events env.ni1 teq));
+        let cpu = env.tp.Simnet.Transport.host_cpu 1 in
+        Alcotest.(check int) "host cpu untouched" 0 (Cpu.stolen_total cpu));
+    Alcotest.test_case "kernel transport charges the target host" `Quick
+      (fun () ->
+        let env = setup ~profile:Simnet.Profile.myrinet_kernel ~kind:`Kernel () in
+        let _ = attach_target env.ni1 (Bytes.make 16 '.') in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "interrupting") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        let cpu = env.tp.Simnet.Transport.host_cpu 1 in
+        Alcotest.(check bool) "host cycles stolen" true (Cpu.stolen_total cpu > 0));
+    Alcotest.test_case "events are delayed by processing costs" `Quick (fun () ->
+        let env = setup () in
+        let teq, _, _ = attach_target env.ni1 (Bytes.make 65536 '.') in
+        let _, imd = bind_initiator env.ni0 (Bytes.make 50_000 'x') in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        match drain_events env.ni1 teq with
+        | [ ev ] ->
+          let profile = Simnet.Profile.myrinet_mcp in
+          let min_time = Simnet.Profile.tx_time profile 50_000 in
+          Alcotest.(check bool) "after serialisation at least" true
+            (ev.Event.time > min_time)
+        | _ -> Alcotest.fail "one event");
+  ]
+
+let ordering_tests =
+  [
+    Alcotest.test_case "many puts preserve order end to end" `Quick (fun () ->
+        let env = setup () in
+        let slab = Bytes.make 4096 '.' in
+        let options = { Md.default_options with Md.manage_remote = false } in
+        let teq, _, _ = attach_target ~options ~eq_capacity:256 env.ni1 slab in
+        let expect = Buffer.create 256 in
+        for i = 0 to 25 do
+          let s = Printf.sprintf "<%02d>" i in
+          Buffer.add_string expect s;
+          let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
+          ok ~what:"put"
+            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+        done;
+        Scheduler.run env.sched;
+        let total = Buffer.length expect in
+        Alcotest.(check string) "concatenated in order" (Buffer.contents expect)
+          (Bytes.sub_string slab 0 total);
+        let evs = drain_events env.ni1 teq in
+        Alcotest.(check int) "all events" 26 (List.length evs);
+        let offsets = List.map (fun e -> e.Event.offset) evs in
+        let sorted = List.sort compare offsets in
+        Alcotest.(check (list int)) "monotone offsets" sorted offsets);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random puts land contiguously" ~count:60
+         QCheck.(list_of_size Gen.(int_range 0 20) (int_range 0 200))
+         (fun sizes ->
+           let env = setup () in
+           let slab = Bytes.make 8192 '.' in
+           let options =
+             { Md.default_options with Md.manage_remote = false; truncate = true }
+           in
+           let teq, _, _ = attach_target ~options ~eq_capacity:64 env.ni1 slab in
+           List.iteri
+             (fun i len ->
+               let payload = Bytes.make len (Char.chr (65 + (i mod 26))) in
+               let _, imd = bind_initiator env.ni0 payload in
+               ok ~what:"put"
+                 (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0)
+                    ~portal_index:0 ~cookie:1 ~match_bits:Match_bits.zero
+                    ~offset:0 ()))
+             sizes;
+           Scheduler.run env.sched;
+           let evs = drain_events env.ni1 teq in
+           let total = List.fold_left ( + ) 0 sizes in
+           List.length evs = List.length sizes
+           && List.fold_left (fun acc e -> acc + e.Event.mlength) 0 evs = total));
+  ]
+
+let eq_overflow_tests =
+  [
+    Alcotest.test_case "event overflow loses events, not data" `Quick (fun () ->
+        let env = setup () in
+        let slab = Bytes.make 64 '.' in
+        let options = { Md.default_options with Md.manage_remote = false } in
+        let teq, _, _ = attach_target ~options ~eq_capacity:2 env.ni1 slab in
+        for _ = 1 to 4 do
+          let _, imd = bind_initiator env.ni0 (Bytes.of_string "zz") in
+          ok ~what:"put"
+            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
+               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+        done;
+        Scheduler.run env.sched;
+        Alcotest.(check string) "all data landed" "zzzzzzzz"
+          (Bytes.sub_string slab 0 8);
+        let q = ok ~what:"eq" (Ni.eq env.ni1 teq) in
+        Alcotest.(check int) "two events kept" 2 (Event.Queue.count q);
+        Alcotest.(check int) "two dropped" 2 (Event.Queue.dropped q);
+        Alcotest.(check int) "no message drops" 0 (Ni.dropped_total env.ni1));
+  ]
+
+let counter_tests =
+  [
+    Alcotest.test_case "interface counters tally activity" `Quick (fun () ->
+        let env = setup () in
+        let _ = attach_target env.ni1 (Bytes.of_string "0123456789") in
+        let _, imd = bind_initiator env.ni0 (Bytes.of_string "abc") in
+        ok ~what:"put"
+          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        let _, gmd = bind_initiator env.ni0 (Bytes.create 4) in
+        ok ~what:"get"
+          (Ni.get env.ni0 ~md:gmd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+             ~match_bits:Match_bits.zero ~offset:0 ());
+        Scheduler.run env.sched;
+        let c0 = Ni.counters env.ni0 and c1 = Ni.counters env.ni1 in
+        Alcotest.(check int) "puts" 1 c0.Ni.puts_initiated;
+        Alcotest.(check int) "gets" 1 c0.Ni.gets_initiated;
+        Alcotest.(check int) "acks" 1 c1.Ni.acks_sent;
+        Alcotest.(check int) "replies" 1 c1.Ni.replies_sent;
+        Alcotest.(check int) "received put+get" 2 c1.Ni.messages_received;
+        Alcotest.(check int) "received ack+reply" 2 c0.Ni.messages_received;
+        Alcotest.(check int) "translations" 2 c1.Ni.translations;
+        Alcotest.(check bool) "entries walked" true (c1.Ni.entries_walked >= 2));
+  ]
+
+let () =
+  Alcotest.run "portals_ni"
+    [
+      ("put_get", put_get_tests);
+      ("matching", matching_tests);
+      ("unlink", unlink_tests);
+      ("drops", drop_tests);
+      ("bypass", bypass_tests);
+      ("ordering", ordering_tests);
+      ("eq_overflow", eq_overflow_tests);
+      ("counters", counter_tests);
+    ]

@@ -1,0 +1,526 @@
+open Sim_engine
+
+let time_tests =
+  let open Time_ns in
+  [
+    Alcotest.test_case "unit constructors" `Quick (fun () ->
+        Alcotest.(check int) "ns" 5 (ns 5);
+        Alcotest.(check int) "us" 5_000 (us 5.0);
+        Alcotest.(check int) "ms" 5_000_000 (ms 5.0);
+        Alcotest.(check int) "s" 5_000_000_000 (s 5.0));
+    Alcotest.test_case "round trips" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "us" 2.5 (to_us (us 2.5));
+        Alcotest.(check (float 1e-9)) "ms" 0.25 (to_ms (ms 0.25));
+        Alcotest.(check (float 1e-9)) "s" 1.5 (to_s (s 1.5)));
+    Alcotest.test_case "of_rate" `Quick (fun () ->
+        (* 1000 bytes at 1 GB/s = 1 microsecond *)
+        Alcotest.(check int) "1us" 1_000 (of_rate ~bytes_per_s:1e9 1000);
+        Alcotest.(check int) "zero bytes" 0 (of_rate ~bytes_per_s:1e9 0));
+    Alcotest.test_case "pretty printing picks units" `Quick (fun () ->
+        Alcotest.(check string) "ns" "17ns" (to_string (ns 17));
+        Alcotest.(check string) "us" "2.000us" (to_string (us 2.0));
+        Alcotest.(check string) "ms" "3.500ms" (to_string (ms 3.5));
+        Alcotest.(check string) "s" "1.000s" (to_string (s 1.0)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.(check int) "add" 30 (add (ns 10) (ns 20));
+        Alcotest.(check int) "sub" 5 (sub (ns 15) (ns 10));
+        Alcotest.(check bool) "compare" true (compare (ns 1) (ns 2) < 0));
+  ]
+
+let prng_tests =
+  [
+    Alcotest.test_case "determinism" `Quick (fun () ->
+        let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+        Alcotest.(check bool) "diverge" true (Prng.bits64 a <> Prng.bits64 b));
+    Alcotest.test_case "split streams are independent" `Quick (fun () ->
+        let root = Prng.create ~seed:7 in
+        let a = Prng.split root in
+        let b = Prng.split root in
+        Alcotest.(check bool) "children diverge" true
+          (Prng.bits64 a <> Prng.bits64 b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int within bound" ~count:500
+         QCheck.(pair small_int (int_range 1 1_000_000))
+         (fun (seed, bound) ->
+           let p = Prng.create ~seed in
+           let v = Prng.int p bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float within bound" ~count:500
+         QCheck.(pair small_int (float_range 0.001 1000.))
+         (fun (seed, bound) ->
+           let p = Prng.create ~seed in
+           let v = Prng.float p bound in
+           v >= 0. && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+         QCheck.(pair small_int (list small_int))
+         (fun (seed, l) ->
+           let p = Prng.create ~seed in
+           let a = Array.of_list l in
+           Prng.shuffle_in_place p a;
+           List.sort compare (Array.to_list a) = List.sort compare l));
+    Alcotest.test_case "exponential is positive with sane mean" `Quick (fun () ->
+        let p = Prng.create ~seed:3 in
+        let n = 20_000 in
+        let total = ref 0. in
+        for _ = 1 to n do
+          let x = Prng.exponential p ~mean:5.0 in
+          assert (x >= 0.);
+          total := !total +. x
+        done;
+        let mean = !total /. float_of_int n in
+        Alcotest.(check bool) "mean near 5" true (mean > 4.5 && mean < 5.5));
+  ]
+
+let heap_tests =
+  [
+    Alcotest.test_case "pop order" `Quick (fun () ->
+        let h = Event_heap.create () in
+        Event_heap.add h ~time:30 "c";
+        Event_heap.add h ~time:10 "a";
+        Event_heap.add h ~time:20 "b";
+        let order = ref [] in
+        Event_heap.drain h (fun _ v -> order := v :: !order);
+        Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] (List.rev !order));
+    Alcotest.test_case "FIFO tie-break at equal times" `Quick (fun () ->
+        let h = Event_heap.create () in
+        List.iter (fun v -> Event_heap.add h ~time:5 v) [ "1"; "2"; "3"; "4" ];
+        let order = ref [] in
+        Event_heap.drain h (fun _ v -> order := v :: !order);
+        Alcotest.(check (list string)) "insertion order" [ "1"; "2"; "3"; "4" ]
+          (List.rev !order));
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Event_heap.create () in
+        Event_heap.add h ~time:9 ();
+        Alcotest.(check (option int)) "peek" (Some 9) (Event_heap.peek_time h);
+        Alcotest.(check int) "length" 1 (Event_heap.length h));
+    Alcotest.test_case "empty heap" `Quick (fun () ->
+        let h : unit Event_heap.t = Event_heap.create () in
+        Alcotest.(check bool) "is_empty" true (Event_heap.is_empty h);
+        Alcotest.(check (option int)) "peek" None (Event_heap.peek_time h);
+        Alcotest.(check bool) "pop" true (Event_heap.pop h = None));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"heap sorts like List.sort" ~count:300
+         QCheck.(list (int_range 0 1000))
+         (fun times ->
+           let h = Event_heap.create () in
+           List.iter (fun time -> Event_heap.add h ~time time) times;
+           let out = ref [] in
+           Event_heap.drain h (fun _ v -> out := v :: !out);
+           List.rev !out = List.sort compare times));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"stable for equal keys" ~count:100
+         QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 5))
+         (fun times ->
+           (* Tag each event with its insertion index; at equal times the
+              indices must come out ascending. *)
+           let h = Event_heap.create () in
+           List.iteri (fun i time -> Event_heap.add h ~time (time, i)) times;
+           let out = ref [] in
+           Event_heap.drain h (fun _ v -> out := v :: !out);
+           let sorted = List.rev !out in
+           let rec check = function
+             | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+               (t1 < t2 || (t1 = t2 && i1 < i2)) && check rest
+             | [ _ ] | [] -> true
+           in
+           check sorted));
+  ]
+
+let scheduler_tests =
+  [
+    Alcotest.test_case "callbacks run in time order" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let order = ref [] in
+        Scheduler.at sched 30 (fun () -> order := 30 :: !order);
+        Scheduler.at sched 10 (fun () -> order := 10 :: !order);
+        Scheduler.at sched 20 (fun () -> order := 20 :: !order);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !order));
+    Alcotest.test_case "now advances to event times" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.at sched 500 (fun () ->
+            Alcotest.(check int) "now" 500 (Scheduler.now sched));
+        Scheduler.run sched;
+        Alcotest.(check int) "final" 500 (Scheduler.now sched));
+    Alcotest.test_case "scheduling in the past is rejected" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.at sched 100 (fun () ->
+            Alcotest.check_raises "past"
+              (Invalid_argument "Scheduler.at: time 50ns is before now 100ns")
+              (fun () -> Scheduler.at sched 50 ignore));
+        Scheduler.run sched);
+    Alcotest.test_case "fiber delay accumulates" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = ref [] in
+        Scheduler.spawn sched (fun () ->
+            Scheduler.delay sched 10;
+            trace := Scheduler.now sched :: !trace;
+            Scheduler.delay sched 15;
+            trace := Scheduler.now sched :: !trace);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "times" [ 10; 25 ] (List.rev !trace));
+    Alcotest.test_case "two fibers interleave by time" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = ref [] in
+        let fiber tag dt =
+          Scheduler.spawn sched (fun () ->
+              for _ = 1 to 3 do
+                Scheduler.delay sched dt;
+                trace := (tag, Scheduler.now sched) :: !trace
+              done)
+        in
+        fiber "a" 10;
+        fiber "b" 15;
+        Scheduler.run sched;
+        Alcotest.(check (list (pair string int)))
+          "interleaving"
+          (* At t=30 both wake; b's timer was armed earlier (t=15 vs t=20),
+             so FIFO tie-break runs b first. *)
+          [ ("a", 10); ("b", 15); ("a", 20); ("b", 30); ("a", 30); ("b", 45) ]
+          (List.rev !trace));
+    Alcotest.test_case "deadlock is detected and named" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.spawn sched (fun () ->
+            Scheduler.suspend sched ~name:"never" (fun _waker -> ()));
+        (match Scheduler.run sched with
+        | () -> Alcotest.fail "expected Deadlock"
+        | exception Scheduler.Deadlock names ->
+          Alcotest.(check int) "one blocked" 1 (List.length names);
+          Alcotest.(check bool) "mentions reason" true
+            (String.length (List.hd names) > 0
+            && String.ends_with ~suffix:"never" (List.hd names))));
+    Alcotest.test_case "allow_blocked suppresses deadlock" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.spawn sched (fun () ->
+            Scheduler.suspend sched ~name:"forever" (fun _ -> ()));
+        Scheduler.run ~allow_blocked:true sched;
+        Alcotest.(check int) "still live" 1 (Scheduler.live_fibers sched));
+    Alcotest.test_case "run ~until leaves later events queued" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let fired = ref [] in
+        Scheduler.at sched 10 (fun () -> fired := 10 :: !fired);
+        Scheduler.at sched 100 (fun () -> fired := 100 :: !fired);
+        Scheduler.run ~until:50 sched;
+        Alcotest.(check (list int)) "only first" [ 10 ] (List.rev !fired);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "rest later" [ 10; 100 ] (List.rev !fired));
+    Alcotest.test_case "stop aborts processing" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let fired = ref 0 in
+        Scheduler.at sched 10 (fun () ->
+            incr fired;
+            Scheduler.stop sched);
+        Scheduler.at sched 20 (fun () -> incr fired);
+        Scheduler.run sched;
+        Alcotest.(check int) "one event" 1 !fired);
+    Alcotest.test_case "yield lets same-instant events run first" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = ref [] in
+        Scheduler.spawn sched (fun () ->
+            trace := "f1-a" :: !trace;
+            Scheduler.yield sched;
+            trace := "f1-b" :: !trace);
+        Scheduler.spawn sched (fun () -> trace := "f2" :: !trace);
+        Scheduler.run sched;
+        Alcotest.(check (list string)) "order" [ "f1-a"; "f2"; "f1-b" ]
+          (List.rev !trace));
+    Alcotest.test_case "fiber exception propagates out of run" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.spawn sched (fun () -> failwith "boom");
+        Alcotest.check_raises "escapes" (Failure "boom") (fun () ->
+            Scheduler.run sched));
+    Alcotest.test_case "double wake is rejected" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let stash = ref None in
+        Scheduler.spawn sched (fun () ->
+            Scheduler.suspend sched ~name:"w" (fun waker -> stash := Some waker));
+        Scheduler.spawn sched (fun () ->
+            Scheduler.delay sched 5;
+            match !stash with
+            | None -> Alcotest.fail "no waker"
+            | Some waker ->
+              waker ();
+              Alcotest.check_raises "second wake"
+                (Invalid_argument "Scheduler: waker invoked more than once")
+                waker);
+        Scheduler.run sched);
+  ]
+
+let sync_tests =
+  let open Sync in
+  [
+    Alcotest.test_case "ivar read blocks until fill" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let iv = Ivar.create sched in
+        let got = ref None in
+        Scheduler.spawn sched (fun () -> got := Some (Ivar.read iv));
+        Scheduler.spawn sched (fun () ->
+            Scheduler.delay sched 100;
+            Ivar.fill iv 42);
+        Scheduler.run sched;
+        Alcotest.(check (option int)) "value" (Some 42) !got);
+    Alcotest.test_case "ivar read after fill is immediate" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let iv = Ivar.create sched in
+        Ivar.fill iv "x";
+        Alcotest.(check bool) "filled" true (Ivar.is_filled iv);
+        Alcotest.(check (option string)) "peek" (Some "x") (Ivar.peek iv);
+        Scheduler.spawn sched (fun () ->
+            Alcotest.(check string) "read" "x" (Ivar.read iv));
+        Scheduler.run sched);
+    Alcotest.test_case "ivar double fill rejected" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let iv = Ivar.create sched in
+        Ivar.fill iv 1;
+        Alcotest.check_raises "refilled"
+          (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 2));
+    Alcotest.test_case "mailbox delivers in FIFO order" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let mb = Mailbox.create sched in
+        let got = ref [] in
+        Scheduler.spawn sched (fun () ->
+            for _ = 1 to 3 do
+              got := Mailbox.recv mb :: !got
+            done);
+        Scheduler.spawn sched (fun () ->
+            Scheduler.delay sched 1;
+            Mailbox.send mb "a";
+            Mailbox.send mb "b";
+            Scheduler.delay sched 1;
+            Mailbox.send mb "c");
+        Scheduler.run sched;
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !got));
+    Alcotest.test_case "mailbox try_recv" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let mb = Mailbox.create sched in
+        Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+        Mailbox.send mb 9;
+        Alcotest.(check int) "length" 1 (Mailbox.length mb);
+        Alcotest.(check (option int)) "ready" (Some 9) (Mailbox.try_recv mb));
+    Alcotest.test_case "semaphore serialises critical sections" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let sem = Semaphore.create sched 1 in
+        let inside = ref 0 and max_inside = ref 0 in
+        for _ = 1 to 5 do
+          Scheduler.spawn sched (fun () ->
+              Semaphore.acquire sem;
+              incr inside;
+              if !inside > !max_inside then max_inside := !inside;
+              Scheduler.delay sched 10;
+              decr inside;
+              Semaphore.release sem)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check int) "mutual exclusion" 1 !max_inside);
+    Alcotest.test_case "semaphore counts available units" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let sem = Semaphore.create sched 3 in
+        Scheduler.spawn sched (fun () ->
+            Semaphore.acquire sem;
+            Semaphore.acquire sem;
+            Alcotest.(check int) "left" 1 (Semaphore.available sem);
+            Semaphore.release sem;
+            Semaphore.release sem;
+            Alcotest.(check int) "restored" 3 (Semaphore.available sem));
+        Scheduler.run sched);
+    Alcotest.test_case "barrier releases all parties together" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let barrier = Barrier.create sched 3 in
+        let release_times = ref [] in
+        for i = 1 to 3 do
+          Scheduler.spawn sched (fun () ->
+              Scheduler.delay sched (i * 10);
+              Barrier.await barrier;
+              release_times := Scheduler.now sched :: !release_times)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "all at slowest arrival" [ 30; 30; 30 ]
+          !release_times);
+    Alcotest.test_case "barrier is reusable across generations" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let barrier = Barrier.create sched 2 in
+        let hits = ref 0 in
+        for _ = 1 to 2 do
+          Scheduler.spawn sched (fun () ->
+              Barrier.await barrier;
+              incr hits;
+              Scheduler.delay sched 5;
+              Barrier.await barrier;
+              incr hits)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check int) "two rounds, two fibers" 4 !hits);
+    Alcotest.test_case "waitq broadcast wakes current waiters only" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let wq = Waitq.create sched in
+        let woken = ref 0 in
+        for _ = 1 to 3 do
+          Scheduler.spawn sched (fun () ->
+              Waitq.wait wq;
+              incr woken)
+        done;
+        Scheduler.spawn sched (fun () ->
+            Scheduler.delay sched 10;
+            Alcotest.(check int) "three waiting" 3 (Waitq.waiters wq);
+            Waitq.broadcast wq);
+        Scheduler.run sched;
+        Alcotest.(check int) "all woken" 3 !woken);
+  ]
+
+let cpu_tests =
+  [
+    Alcotest.test_case "compute occupies simulated time" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let cpu = Cpu.create sched in
+        Scheduler.spawn sched (fun () ->
+            Cpu.compute cpu 1_000;
+            Alcotest.(check int) "elapsed" 1_000 (Scheduler.now sched));
+        Scheduler.run sched);
+    Alcotest.test_case "steal extends in-flight compute" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let cpu = Cpu.create sched in
+        Scheduler.spawn sched (fun () ->
+            Cpu.compute cpu 1_000;
+            Alcotest.(check int) "extended by interrupt" 1_200
+              (Scheduler.now sched));
+        (* An "interrupt" 300ns in, stealing 200ns of host CPU. *)
+        Scheduler.at sched 300 (fun () -> Cpu.steal cpu 200);
+        Scheduler.run sched;
+        Alcotest.(check int) "stolen accounted" 200 (Cpu.stolen_total cpu);
+        Alcotest.(check int) "compute accounted" 1_000 (Cpu.compute_total cpu));
+    Alcotest.test_case "steal while idle only accumulates" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let cpu = Cpu.create sched in
+        Scheduler.at sched 10 (fun () -> Cpu.steal cpu 500);
+        Scheduler.run sched;
+        Alcotest.(check int) "stolen" 500 (Cpu.stolen_total cpu);
+        Alcotest.(check bool) "idle" false (Cpu.busy cpu));
+    Alcotest.test_case "computes on one cpu serialise" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let cpu = Cpu.create sched in
+        let finish = ref [] in
+        for _ = 1 to 3 do
+          Scheduler.spawn sched (fun () ->
+              Cpu.compute cpu 100;
+              finish := Scheduler.now sched :: !finish)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "back-to-back" [ 100; 200; 300 ]
+          (List.rev !finish));
+    Alcotest.test_case "multiple steals accumulate into one compute" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let cpu = Cpu.create sched in
+        Scheduler.spawn sched (fun () ->
+            Cpu.compute cpu 1_000;
+            Alcotest.(check int) "sum of extensions" 1_300 (Scheduler.now sched));
+        Scheduler.at sched 100 (fun () -> Cpu.steal cpu 100);
+        Scheduler.at sched 500 (fun () -> Cpu.steal cpu 200);
+        Scheduler.run sched);
+  ]
+
+let stats_tests =
+  let open Stats in
+  [
+    Alcotest.test_case "counter" `Quick (fun () ->
+        let c = Counter.create ~name:"drops" () in
+        Counter.incr c;
+        Counter.add c 4;
+        Alcotest.(check int) "value" 5 (Counter.value c);
+        Counter.reset c;
+        Alcotest.(check int) "reset" 0 (Counter.value c);
+        Alcotest.(check string) "name" "drops" (Counter.name c));
+    Alcotest.test_case "summary statistics" `Quick (fun () ->
+        let s = Summary.create () in
+        List.iter (Summary.observe s) [ 1.; 2.; 3.; 4. ];
+        Alcotest.(check int) "count" 4 (Summary.count s);
+        Alcotest.(check (float 1e-9)) "mean" 2.5 (Summary.mean s);
+        Alcotest.(check (float 1e-9)) "min" 1. (Summary.min s);
+        Alcotest.(check (float 1e-9)) "max" 4. (Summary.max s);
+        Alcotest.(check (float 1e-6)) "stddev" 1.118034 (Summary.stddev s);
+        Alcotest.(check (float 1e-9)) "total" 10. (Summary.total s));
+    Alcotest.test_case "summary of empty/singleton" `Quick (fun () ->
+        let s = Summary.create () in
+        Alcotest.(check (float 0.)) "empty mean" 0. (Summary.mean s);
+        Alcotest.(check (float 0.)) "empty sd" 0. (Summary.stddev s);
+        Summary.observe s 7.;
+        Alcotest.(check (float 0.)) "single sd" 0. (Summary.stddev s));
+    Alcotest.test_case "series keeps insertion order" `Quick (fun () ->
+        let s = Series.create ~name:"curve" () in
+        Series.push s ~x:1. ~y:10.;
+        Series.push s ~x:2. ~y:20.;
+        Alcotest.(check int) "len" 2 (Series.length s);
+        Alcotest.(check (list (pair (float 0.) (float 0.))))
+          "points"
+          [ (1., 10.); (2., 20.) ]
+          (Series.points s));
+    Alcotest.test_case "histogram buckets and quantile" `Quick (fun () ->
+        let h = Histogram.create ~buckets:[| 10.; 20.; 30. |] () in
+        List.iter (Histogram.observe h) [ 5.; 15.; 15.; 25.; 100. ];
+        Alcotest.(check int) "count" 5 (Histogram.count h);
+        (match Histogram.counts h with
+        | [ (Some 10., 1); (Some 20., 2); (Some 30., 1); (None, 1) ] -> ()
+        | other ->
+          Alcotest.failf "unexpected buckets: %d entries" (List.length other));
+        let q50 = Histogram.quantile h 0.5 in
+        Alcotest.(check bool) "median in second bucket" true
+          (q50 > 10. && q50 <= 20.));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"summary mean within [min,max]" ~count:300
+         QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+         (fun xs ->
+           let s = Summary.create () in
+           List.iter (Summary.observe s) xs;
+           let m = Summary.mean s in
+           m >= Summary.min s -. 1e-9 && m <= Summary.max s +. 1e-9));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Trace.create sched in
+        Trace.emit trace "ignored";
+        Alcotest.(check int) "empty" 0 (List.length (Trace.events trace)));
+    Alcotest.test_case "records time-stamped events" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Trace.create sched in
+        Trace.enable trace;
+        Scheduler.at sched 100 (fun () -> Trace.emit trace ~subsys:"nic" "rx");
+        Scheduler.at sched 200 (fun () -> Trace.emitf trace "count=%d" 3);
+        Scheduler.run sched;
+        match Trace.events trace with
+        | [ (100, "nic", "rx"); (200, "", "count=3") ] -> ()
+        | events -> Alcotest.failf "unexpected events: %d" (List.length events));
+    Alcotest.test_case "ring keeps most recent events" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Trace.create ~capacity:4 sched in
+        Trace.enable trace;
+        for i = 1 to 10 do
+          Trace.emitf trace "e%d" i
+        done;
+        let messages = List.map (fun (_, _, m) -> m) (Trace.events trace) in
+        Alcotest.(check (list string)) "last four" [ "e7"; "e8"; "e9"; "e10" ]
+          messages);
+  ]
+
+let () =
+  Alcotest.run "sim_engine"
+    [
+      ("time", time_tests);
+      ("prng", prng_tests);
+      ("event_heap", heap_tests);
+      ("scheduler", scheduler_tests);
+      ("sync", sync_tests);
+      ("cpu", cpu_tests);
+      ("stats", stats_tests);
+      ("trace", trace_tests);
+    ]

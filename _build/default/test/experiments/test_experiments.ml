@@ -1,0 +1,248 @@
+(* Reproduction assertions: each experiment must exhibit the *shape* the
+   paper reports — who wins, by roughly what factor, where the crossover
+   falls. These are the tests that say "the reproduction reproduces". *)
+
+let tables_tests =
+  [
+    Alcotest.test_case "four tables with the paper's distinguishing fields"
+      `Quick (fun () ->
+        let tables = Experiments.Tables.run () in
+        Alcotest.(check int) "count" 4 (List.length tables);
+        let by_number n = List.nth tables (n - 1) in
+        (* Put and reply carry payload; ack and get do not. *)
+        Alcotest.(check int) "put payload" 1_024 (by_number 1).Experiments.Tables.payload_bytes;
+        Alcotest.(check int) "ack payload" 0 (by_number 2).Experiments.Tables.payload_bytes;
+        Alcotest.(check int) "get payload" 0 (by_number 3).Experiments.Tables.payload_bytes;
+        Alcotest.(check int) "reply payload" 1_024 (by_number 4).Experiments.Tables.payload_bytes;
+        let has t name = List.mem_assoc name t.Experiments.Tables.fields in
+        Alcotest.(check bool) "put carries md for the ack" true (has (by_number 1) "memory desc");
+        Alcotest.(check bool) "ack has manipulated length" true
+          (has (by_number 2) "manipulated length");
+        Alcotest.(check bool) "get has no event queue" false
+          (has (by_number 3) "event queue");
+        Alcotest.(check bool) "reply carries data" true (has (by_number 4) "data"));
+  ]
+
+let protocol_tests =
+  [
+    Alcotest.test_case "figure 1: SENT then PUT then ACK" `Quick (fun () ->
+        let t = Experiments.Protocols.run_put () in
+        let kinds =
+          List.map (fun e -> e.Experiments.Protocols.kind)
+            t.Experiments.Protocols.entries
+        in
+        Alcotest.(check (list string)) "order" [ "SENT"; "PUT"; "ACK" ] kinds;
+        let times =
+          List.map (fun e -> e.Experiments.Protocols.time_us)
+            t.Experiments.Protocols.entries
+        in
+        Alcotest.(check bool) "strictly increasing" true
+          (List.sort compare times = times));
+    Alcotest.test_case "figure 2: GET then REPLY" `Quick (fun () ->
+        let t = Experiments.Protocols.run_get () in
+        let kinds =
+          List.map (fun e -> e.Experiments.Protocols.kind)
+            t.Experiments.Protocols.entries
+        in
+        Alcotest.(check (list string)) "order" [ "GET"; "REPLY" ] kinds);
+  ]
+
+let translation_tests =
+  [
+    Alcotest.test_case "walk visits exactly depth+1 entries" `Quick (fun () ->
+        let rows = Experiments.Translation.run ~depths:[ 0; 5; 40 ] () in
+        List.iter
+          (fun r ->
+            Alcotest.(check int)
+              (Printf.sprintf "depth %d" r.Experiments.Translation.depth)
+              (r.Experiments.Translation.depth + 1)
+              r.Experiments.Translation.entries_walked)
+          rows);
+    Alcotest.test_case "host cycles grow with list depth (kernel placement)"
+      `Quick (fun () ->
+        match Experiments.Translation.run ~depths:[ 0; 256 ] () with
+        | [ shallow; deep ] ->
+          Alcotest.(check bool) "deeper steals more" true
+            (deep.Experiments.Translation.host_stolen_us
+            > shallow.Experiments.Translation.host_stolen_us +. 10.0)
+        | _ -> Alcotest.fail "two rows expected");
+  ]
+
+let latency_tests =
+  [
+    Alcotest.test_case "MCP zero-length ping-pong beats 20us (section 3)"
+      `Quick (fun () ->
+        let row = Experiments.Latency.run_one ~iterations:20 Runtime.Offload in
+        Alcotest.(check bool)
+          (Printf.sprintf "rtt %.2fus < 20us" row.Experiments.Latency.rtt_us)
+          true
+          (row.Experiments.Latency.rtt_us < 20.0));
+    Alcotest.test_case "offload is the fastest placement" `Quick (fun () ->
+        match Experiments.Latency.run ~iterations:10 () with
+        | fastest :: _ ->
+          Alcotest.(check string) "offload first" "offload"
+            fastest.Experiments.Latency.placement
+        | [] -> Alcotest.fail "no rows");
+  ]
+
+let bandwidth_tests =
+  [
+    Alcotest.test_case "pipelining keeps the kernel path near the wire" `Quick
+      (fun () ->
+        let sizes = [ 262_144; 1_048_576 ] in
+        let find p =
+          Experiments.Bandwidth.run_one ~sizes ~count:8 p
+        in
+        let offload = find Runtime.Offload and rtscts = find Runtime.Rtscts in
+        List.iteri
+          (fun i size ->
+            let o = (List.nth offload.Experiments.Bandwidth.rows i).Experiments.Bandwidth.mb_per_s in
+            let k = (List.nth rtscts.Experiments.Bandwidth.rows i).Experiments.Bandwidth.mb_per_s in
+            Alcotest.(check bool)
+              (Printf.sprintf "size %d: rtscts %.0f within 25%% of offload %.0f"
+                 size k o)
+              true
+              (k > o *. 0.75))
+          sizes);
+    Alcotest.test_case "bandwidth grows with message size" `Quick (fun () ->
+        let t =
+          Experiments.Bandwidth.run_one ~sizes:[ 1_024; 262_144 ] ~count:8
+            Runtime.Offload
+        in
+        match t.Experiments.Bandwidth.rows with
+        | [ small; big ] ->
+          Alcotest.(check bool) "monotone" true
+            (big.Experiments.Bandwidth.mb_per_s
+            >= small.Experiments.Bandwidth.mb_per_s)
+        | _ -> Alcotest.fail "two rows");
+  ]
+
+let fig6_tests =
+  [
+    Alcotest.test_case "figure 6 reproduces the paper's shape" `Quick (fun () ->
+        let t =
+          Experiments.Fig6.run ~iterations:2 ~work_ms:[ 0.; 10.; 30. ] ()
+        in
+        let series label =
+          match
+            List.find_opt (fun s -> s.Experiments.Fig6.label = label)
+              t.Experiments.Fig6.series
+          with
+          | Some s -> List.map snd s.Experiments.Fig6.points
+          | None -> Alcotest.failf "missing series %s" label
+        in
+        (match series "MPICH/GM" with
+        | [ _; at10; at30 ] ->
+          (* Flat: no progress during work regardless of interval. *)
+          Alcotest.(check bool) "gm flat" true
+            (Float.abs (at30 -. at10) < 0.2 *. at10);
+          Alcotest.(check bool) "gm pays full transfer" true (at30 > 1.0)
+        | _ -> Alcotest.fail "three points");
+        (match series "MPICH/Portals3.0" with
+        | [ _; at10; at30 ] ->
+          (* Declining to (near) zero: full application bypass. *)
+          Alcotest.(check bool) "portals near zero at 10ms" true (at10 < 0.1);
+          Alcotest.(check bool) "portals near zero at 30ms" true (at30 < 0.1)
+        | _ -> Alcotest.fail "three points");
+        let gm30 = List.nth (series "MPICH/GM") 2 in
+        let tests30 = List.nth (series "MPICH/GM+3tests") 2 in
+        Alcotest.(check bool) "sprinkled tests recover most progress" true
+          (tests30 < gm30 /. 2.));
+  ]
+
+let scaling_tests =
+  [
+    Alcotest.test_case
+      "portals reservation is job-size independent; via-like grows" `Quick
+      (fun () ->
+        let rows = Experiments.Scaling.run_memory ~job_sizes:[ 4; 16; 64 ] () in
+        (match rows with
+        | [ a; b; c ] ->
+          Alcotest.(check int) "reserved constant ab"
+            a.Experiments.Scaling.portals_reserved
+            b.Experiments.Scaling.portals_reserved;
+          Alcotest.(check int) "reserved constant bc"
+            b.Experiments.Scaling.portals_reserved
+            c.Experiments.Scaling.portals_reserved;
+          Alcotest.(check bool) "via-like grows linearly" true
+            (c.Experiments.Scaling.via_like_bytes
+             > 10 * a.Experiments.Scaling.via_like_bytes);
+          Alcotest.(check bool) "highwater within reservation" true
+            (c.Experiments.Scaling.portals_highwater
+            <= c.Experiments.Scaling.portals_reserved)
+        | _ -> Alcotest.fail "three rows"));
+    Alcotest.test_case "collectives scale logarithmically" `Quick (fun () ->
+        let rows =
+          Experiments.Scaling.run_collectives ~node_counts:[ 2; 64 ] ()
+        in
+        match rows with
+        | [ small; big ] ->
+          (* 64 nodes = 6 dissemination rounds vs 1: about 6x, far from
+             the 32x a linear scheme would cost. *)
+          let ratio =
+            big.Experiments.Scaling.barrier_us
+            /. small.Experiments.Scaling.barrier_us
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "barrier ratio %.1f in [3,12]" ratio)
+            true
+            (ratio >= 3.0 && ratio <= 12.0)
+        | _ -> Alcotest.fail "two rows");
+  ]
+
+let drops_tests =
+  [
+    Alcotest.test_case "every documented drop reason fires exactly once"
+      `Quick (fun () ->
+        let rows = Experiments.Drops.run () in
+        Alcotest.(check int) "nine reasons" 9 (List.length rows);
+        List.iter
+          (fun r ->
+            Alcotest.(check int) r.Experiments.Drops.reason 1
+              r.Experiments.Drops.count)
+          rows);
+  ]
+
+let ablation_tests =
+  [
+    Alcotest.test_case "eager/rendezvous crossover at the threshold" `Quick
+      (fun () ->
+        let rows =
+          Experiments.Ablation.run_threshold ~sizes:[ 32_768; 131_072 ] ()
+        in
+        match rows with
+        | [ eager; rdvz ] ->
+          Alcotest.(check bool) "below threshold" true
+            eager.Experiments.Ablation.eager;
+          Alcotest.(check bool) "eager bypasses" true
+            (eager.Experiments.Ablation.wait_ms < 0.1);
+          Alcotest.(check bool) "rendezvous pays at wait" true
+            (rdvz.Experiments.Ablation.wait_ms > 1.0)
+        | _ -> Alcotest.fail "two rows");
+    Alcotest.test_case "interrupt coalescing reduces work inflation" `Quick
+      (fun () ->
+        match Experiments.Ablation.run_interrupts () with
+        | [ per_packet; coalesced ] ->
+          Alcotest.(check bool) "per-packet first" true
+            per_packet.Experiments.Ablation.per_packet_interrupt;
+          Alcotest.(check bool) "coalescing steals less" true
+            (coalesced.Experiments.Ablation.host_stolen_ms
+            < per_packet.Experiments.Ablation.host_stolen_ms);
+          Alcotest.(check bool) "work inflated beyond nominal either way" true
+            (coalesced.Experiments.Ablation.work_elapsed_ms > 20.0)
+        | _ -> Alcotest.fail "two rows");
+  ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ("tables", tables_tests);
+      ("protocols", protocol_tests);
+      ("translation", translation_tests);
+      ("latency", latency_tests);
+      ("bandwidth", bandwidth_tests);
+      ("fig6", fig6_tests);
+      ("scaling", scaling_tests);
+      ("drops", drops_tests);
+      ("ablation", ablation_tests);
+    ]

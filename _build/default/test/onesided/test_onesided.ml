@@ -1,0 +1,154 @@
+open Sim_engine
+
+(* [n] PEs, each with regions of the given sizes allocated up front (the
+   symmetric-heap discipline); [f os syms rank] runs per PE. Returns the
+   per-PE endpoints for post-run inspection. *)
+let with_pes ?(n = 2) ~regions f =
+  let world = Runtime.create_world ~nodes:n () in
+  let pes =
+    Array.mapi
+      (fun rank pid ->
+        let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+        let os = Onesided.create ni ~ranks:world.Runtime.ranks ~rank () in
+        let syms = List.map (fun size -> Onesided.alloc os size) regions in
+        (os, syms))
+      world.Runtime.ranks
+  in
+  Array.iteri
+    (fun rank (os, syms) ->
+      Scheduler.spawn world.Runtime.sched ~name:(Printf.sprintf "pe%d" rank)
+        (fun () -> f os syms rank))
+    pes;
+  Runtime.run world;
+  pes
+
+let sym1 = function [ s ] -> s | _ -> Alcotest.fail "expected one region"
+
+let put_get_tests =
+  [
+    Alcotest.test_case "put lands in the remote region" `Quick (fun () ->
+        let pes =
+          with_pes ~regions:[ 64 ] (fun os syms rank ->
+              if rank = 0 then begin
+                Onesided.put os (sym1 syms) ~pe:1 ~offset:8
+                  (Bytes.of_string "one-sided");
+                Onesided.quiet os
+              end)
+        in
+        let os1, syms = pes.(1) in
+        Alcotest.(check string) "remote bytes" "one-sided"
+          (Bytes.sub_string (Onesided.region_bytes os1 (sym1 syms)) 8 9));
+    Alcotest.test_case "get reads remote memory" `Quick (fun () ->
+        let fetched = ref "" in
+        let world = Runtime.create_world ~nodes:2 () in
+        let mk rank =
+          let ni =
+            Portals.Ni.create world.Runtime.transport
+              ~id:world.Runtime.ranks.(rank) ()
+          in
+          Onesided.create ni ~ranks:world.Runtime.ranks ~rank ()
+        in
+        let os0 = mk 0 and os1 = mk 1 in
+        let _s0 = Onesided.alloc os0 32 in
+        let s1 = Onesided.alloc os1 32 in
+        Bytes.blit_string "remote-payload!" 0 (Onesided.region_bytes os1 s1) 0 15;
+        Scheduler.spawn world.Runtime.sched (fun () ->
+            fetched :=
+              Bytes.to_string (Onesided.get os0 s1 ~pe:1 ~offset:7 ~len:8));
+        Runtime.run world;
+        Alcotest.(check string) "read across" "payload!" !fetched);
+    Alcotest.test_case "quiet waits for every acknowledgment" `Quick (fun () ->
+        let outstanding_before = ref (-1) in
+        let outstanding_after = ref (-1) in
+        ignore
+          (with_pes ~regions:[ 4096 ] (fun os syms rank ->
+               if rank = 0 then begin
+                 for i = 0 to 9 do
+                   Onesided.put os (sym1 syms) ~pe:1 ~offset:(i * 16)
+                     (Bytes.make 16 (Char.chr (48 + i)))
+                 done;
+                 outstanding_before := Onesided.outstanding_puts os;
+                 Onesided.quiet os;
+                 outstanding_after := Onesided.outstanding_puts os
+               end));
+        Alcotest.(check bool) "some were in flight" true (!outstanding_before > 0);
+        Alcotest.(check int) "none after quiet" 0 !outstanding_after);
+    Alcotest.test_case "wait_until observes a remote flag write" `Quick
+      (fun () ->
+        (* The shmem producer/consumer idiom: PE0 puts data then sets
+           PE1's flag; PE1 blocks on the flag, then reads the data. *)
+        let seen = ref "" in
+        ignore
+          (with_pes ~regions:[ 1; 64 ] (fun os syms rank ->
+               match syms with
+               | [ flag; data ] ->
+                 if rank = 0 then begin
+                   Onesided.put os data ~pe:1 ~offset:0
+                     (Bytes.of_string "flag-protected");
+                   Onesided.quiet os;
+                   Onesided.put os flag ~pe:1 ~offset:0
+                     (Bytes.make 1 Onesided.barrier_value);
+                   Onesided.quiet os
+                 end
+                 else begin
+                   Onesided.wait_until os flag ~offset:0
+                     ~value:Onesided.barrier_value;
+                   seen := Bytes.sub_string (Onesided.region_bytes os data) 0 14
+                 end
+               | _ -> Alcotest.fail "two regions expected"));
+        Alcotest.(check string) "consumer saw producer's data" "flag-protected"
+          !seen);
+    Alcotest.test_case "puts to distinct offsets do not clobber" `Quick
+      (fun () ->
+        let pes =
+          with_pes ~n:3 ~regions:[ 300 ] (fun os syms rank ->
+              if rank > 0 then begin
+                Onesided.put os (sym1 syms) ~pe:0 ~offset:(rank * 100)
+                  (Bytes.make 100 (Char.chr (48 + rank)));
+                Onesided.quiet os
+              end)
+        in
+        let os0, syms = pes.(0) in
+        let region = Onesided.region_bytes os0 (sym1 syms) in
+        Alcotest.(check char) "pe1's bytes" '1' (Bytes.get region 150);
+        Alcotest.(check char) "pe2's bytes" '2' (Bytes.get region 250));
+    Alcotest.test_case "bounds are enforced locally" `Quick (fun () ->
+        ignore
+          (with_pes ~regions:[ 8 ] (fun os syms rank ->
+               if rank = 0 then begin
+                 Alcotest.check_raises "put overrun"
+                   (Invalid_argument "Onesided.put: outside the region")
+                   (fun () ->
+                     Onesided.put os (sym1 syms) ~pe:1 ~offset:4 (Bytes.create 8));
+                 Alcotest.check_raises "get overrun"
+                   (Invalid_argument "Onesided.get: outside the region")
+                   (fun () ->
+                     ignore (Onesided.get os (sym1 syms) ~pe:1 ~offset:0 ~len:9))
+               end)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random puts then region matches mirror" ~count:25
+         QCheck.(
+           list_of_size
+             Gen.(int_range 1 10)
+             (pair (int_range 0 15) (int_range 1 16)))
+         (fun writes ->
+           let region_size = 256 in
+           let mirror = Bytes.make region_size '\x00' in
+           let pes =
+             with_pes ~regions:[ region_size ] (fun os syms rank ->
+                 if rank = 0 then begin
+                   List.iteri
+                     (fun i (slot, len) ->
+                       let offset = slot * 16 in
+                       let payload = Bytes.make len (Char.chr (33 + (i mod 90))) in
+                       Bytes.blit payload 0 mirror offset len;
+                       Onesided.put os (sym1 syms) ~pe:1 ~offset payload)
+                     writes;
+                   Onesided.quiet os
+                 end)
+           in
+           let os1, syms = pes.(1) in
+           Bytes.equal mirror (Onesided.region_bytes os1 (sym1 syms))));
+  ]
+
+let () = Alcotest.run "onesided" [ ("put_get", put_get_tests) ]

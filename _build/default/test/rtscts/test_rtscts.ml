@@ -1,0 +1,232 @@
+open Sim_engine
+
+let proc nid pid = Simnet.Proc_id.make ~nid ~pid
+
+let setup ?config ?(profile = Simnet.Profile.myrinet_kernel) () =
+  let sched = Scheduler.create () in
+  let fabric = Simnet.Fabric.create sched ~profile ~nodes:4 in
+  let m = Rtscts.create ?config fabric in
+  (sched, fabric, m, Rtscts.transport m)
+
+let frame_tests =
+  [
+    Alcotest.test_case "frame round trip" `Quick (fun () ->
+        let f =
+          {
+            Rtscts.Frame.kind = Rtscts.Frame.Data;
+            msg_id = 42;
+            total_len = 100_000;
+            offset = 8192;
+            payload = Bytes.of_string "chunk-bytes";
+          }
+        in
+        (match Rtscts.Frame.decode (Rtscts.Frame.encode f) with
+        | Ok d ->
+          Alcotest.(check string) "kind" "DATA" (Rtscts.Frame.kind_to_string d.Rtscts.Frame.kind);
+          Alcotest.(check int) "msg_id" 42 d.Rtscts.Frame.msg_id;
+          Alcotest.(check int) "total" 100_000 d.Rtscts.Frame.total_len;
+          Alcotest.(check int) "offset" 8192 d.Rtscts.Frame.offset;
+          Alcotest.(check bytes) "payload" f.Rtscts.Frame.payload d.Rtscts.Frame.payload
+        | Error e -> Alcotest.fail e));
+    Alcotest.test_case "decode rejects garbage" `Quick (fun () ->
+        Alcotest.(check bool) "short" true
+          (Result.is_error (Rtscts.Frame.decode (Bytes.create 3)));
+        let b = Bytes.make 40 '\x00' in
+        Alcotest.(check bool) "bad magic" true (Result.is_error (Rtscts.Frame.decode b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frame encode/decode identity" ~count:300
+         QCheck.(quad (int_range 0 3) (int_range 0 10_000)
+                   (int_range 0 (1 lsl 20))
+                   (string_of_size Gen.(int_range 0 200)))
+         (fun (k, id, off, s) ->
+           let kind =
+             match k with 0 -> Rtscts.Frame.Eager | 1 -> Rtscts.Frame.Rts | 2 -> Rtscts.Frame.Cts | _ -> Rtscts.Frame.Data
+           in
+           let f =
+             { Rtscts.Frame.kind; msg_id = id; total_len = off + String.length s;
+               offset = off; payload = Bytes.of_string s }
+           in
+           match Rtscts.Frame.decode (Rtscts.Frame.encode f) with
+           | Ok d -> d = f
+           | Error _ -> false));
+  ]
+
+let delivery_tests =
+  [
+    Alcotest.test_case "small message goes eager" `Quick (fun () ->
+        let sched, _, m, tp = setup () in
+        let got = ref None in
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src payload ->
+            got := Some (src, Bytes.to_string payload));
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.of_string "tiny");
+        Scheduler.run sched;
+        Alcotest.(check (option (pair string string))) "delivered"
+          (Some ("0:0", "tiny"))
+          (Option.map (fun (s, p) -> (Simnet.Proc_id.to_string s, p)) !got);
+        let st = Rtscts.stats m in
+        Alcotest.(check int) "eager" 1 st.Rtscts.eager_messages;
+        Alcotest.(check int) "no handshake" 0 st.Rtscts.rts_sent);
+    Alcotest.test_case "large message uses RTS/CTS and reassembles" `Quick
+      (fun () ->
+        let sched, _, m, tp = setup () in
+        let payload = Bytes.init 50_000 (fun i -> Char.chr (i mod 251)) in
+        let got = ref None in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ p -> got := Some p);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0) payload;
+        Scheduler.run sched;
+        (match !got with
+        | Some p -> Alcotest.(check bool) "bytes identical" true (Bytes.equal p payload)
+        | None -> Alcotest.fail "not delivered");
+        let st = Rtscts.stats m in
+        Alcotest.(check int) "one rendezvous" 1 st.Rtscts.rendezvous_messages;
+        Alcotest.(check int) "one rts" 1 st.Rtscts.rts_sent;
+        Alcotest.(check int) "one cts" 1 st.Rtscts.cts_sent;
+        let expected_packets =
+          (50_000 + Rtscts.chunk_payload m - 1) / Rtscts.chunk_payload m
+        in
+        Alcotest.(check int) "packet count" expected_packets st.Rtscts.data_packets);
+    Alcotest.test_case "mixed sizes stay ordered per pair" `Quick (fun () ->
+        let sched, _, _, tp = setup () in
+        let got = ref [] in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ p ->
+            got := Bytes.length p :: !got);
+        let send len =
+          tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0) (Bytes.create len)
+        in
+        (* eager, big, eager, big, eager: the handshake of each big one
+           must stall the rest. *)
+        send 10;
+        send 40_000;
+        send 20;
+        send 60_000;
+        send 30;
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "arrival order"
+          [ 10; 40_000; 20; 60_000; 30 ]
+          (List.rev !got));
+    Alcotest.test_case "concurrent pairs do not interfere" `Quick (fun () ->
+        let sched, _, _, tp = setup () in
+        let got1 = ref [] and got2 = ref [] in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 3 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ p ->
+            got1 := Bytes.length p :: !got1);
+        tp.Simnet.Transport.register (proc 2 0) (fun ~src:_ p ->
+            got2 := Bytes.length p :: !got2);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0) (Bytes.create 30_000);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 2 0) (Bytes.create 100);
+        tp.Simnet.Transport.send ~src:(proc 3 0) ~dst:(proc 1 0) (Bytes.create 200);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "pair (0,1) and (3,1)" [ 200; 30_000 ]
+          (List.sort compare !got1);
+        Alcotest.(check (list int)) "pair (0,2)" [ 100 ] !got2);
+    Alcotest.test_case "receive path charges the host cpu" `Quick (fun () ->
+        let sched, fabric, _, tp = setup () in
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 50_000);
+        Scheduler.run sched;
+        let cpu = Simnet.Node.host_cpu (Simnet.Fabric.node fabric 1) in
+        Alcotest.(check bool) "stolen cycles" true (Cpu.stolen_total cpu > 0));
+    Alcotest.test_case "per-packet interrupts are an ablation knob" `Quick
+      (fun () ->
+        let run per_packet =
+          let sched, fabric, _, tp =
+            setup
+              ~config:{ Rtscts.eager_threshold = 4096; per_packet_interrupt = per_packet }
+              ()
+          in
+          tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+          tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ _ -> ());
+          tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+            (Bytes.create 200_000);
+          Scheduler.run sched;
+          Cpu.stolen_total (Simnet.Node.host_cpu (Simnet.Fabric.node fabric 1))
+        in
+        Alcotest.(check bool) "coalescing steals less" true (run false < run true));
+    Alcotest.test_case "pipelining beats serial copy+wire" `Quick (fun () ->
+        (* Completion must be far closer to len/min(bw) than to
+           len/copy_bw + len/wire_bw + len/copy_bw. *)
+        let sched, _, _, tp = setup () in
+        let len = 1_000_000 in
+        let done_at = ref 0 in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ _ ->
+            done_at := Scheduler.now sched);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0) (Bytes.create len);
+        Scheduler.run sched;
+        let profile = Simnet.Profile.myrinet_kernel in
+        let wire = Simnet.Profile.tx_time profile len in
+        let copy = Simnet.Profile.copy_time profile len in
+        let serial = copy + wire + copy in
+        let bottleneck = max wire copy in
+        Alcotest.(check bool) "finished" true (!done_at > 0);
+        Alcotest.(check bool) "overlapped"
+          true
+          (* generous 1.5x slack over the single bottleneck stage, but
+             clearly below the fully serial sum *)
+          (!done_at < bottleneck * 3 / 2 && !done_at < serial));
+  ]
+
+let portals_over_rtscts_tests =
+  [
+    Alcotest.test_case "portals put runs unchanged over the kernel path" `Quick
+      (fun () ->
+        let sched, _, _, tp = setup () in
+        let ni0 = Portals.Ni.create tp ~id:(proc 0 0) () in
+        let ni1 = Portals.Ni.create tp ~id:(proc 1 0) () in
+        let target_buf = Bytes.make 65536 '.' in
+        let eqh =
+          match Portals.Ni.eq_alloc ni1 ~capacity:8 with
+          | Ok h -> h
+          | Error _ -> Alcotest.fail "eq"
+        in
+        let meh =
+          match
+            Portals.Ni.me_attach ni1 ~portal_index:0 ~match_id:Portals.Match_id.any
+              ~match_bits:Portals.Match_bits.zero
+              ~ignore_bits:Portals.Match_bits.all_ones ()
+          with
+          | Ok h -> h
+          | Error _ -> Alcotest.fail "me"
+        in
+        (match
+           Portals.Ni.md_attach ni1 ~me:meh
+             (Portals.Ni.md_spec ~eq:eqh target_buf)
+         with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "md");
+        let payload = Bytes.init 50_000 (fun i -> Char.chr (i mod 253)) in
+        let imd =
+          match Portals.Ni.md_bind ni0 (Portals.Ni.md_spec payload) with
+          | Ok h -> h
+          | Error _ -> Alcotest.fail "bind"
+        in
+        (match
+           Portals.Ni.put ni0 ~md:imd ~ack:false ~target:(proc 1 0)
+             ~portal_index:0 ~cookie:1 ~match_bits:Portals.Match_bits.zero
+             ~offset:0 ()
+         with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "put");
+        Scheduler.run sched;
+        Alcotest.(check bool) "payload landed via kernel path" true
+          (Bytes.equal payload (Bytes.sub target_buf 0 50_000));
+        match Portals.Ni.eq ni1 eqh with
+        | Ok q ->
+          (match Portals.Event.Queue.get q with
+          | Some ev -> Alcotest.(check int) "mlength" 50_000 ev.Portals.Event.mlength
+          | None -> Alcotest.fail "no PUT event")
+        | Error _ -> Alcotest.fail "eq resolve");
+  ]
+
+let () =
+  Alcotest.run "rtscts"
+    [
+      ("frame", frame_tests);
+      ("delivery", delivery_tests);
+      ("portals_over_rtscts", portals_over_rtscts_tests);
+    ]

@@ -1,0 +1,163 @@
+open Sim_engine
+
+let world_tests =
+  [
+    Alcotest.test_case "rank to process id mapping round-robins nodes" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:3 ~procs_per_node:2 () in
+        Alcotest.(check int) "job size" 6 (Runtime.job_size world);
+        let ids =
+          Array.to_list (Array.map Simnet.Proc_id.to_string world.Runtime.ranks)
+        in
+        Alcotest.(check (list string))
+          "round robin"
+          [ "0:0"; "1:0"; "2:0"; "0:1"; "1:1"; "2:1" ]
+          ids);
+    Alcotest.test_case "transport kinds choose matching defaults" `Quick
+      (fun () ->
+        let offload = Runtime.create_world ~nodes:2 () in
+        let kernel =
+          Runtime.create_world ~transport:Runtime.Kernel_interrupt ~nodes:2 ()
+        in
+        Alcotest.(check string) "offload profile" "myrinet-mcp"
+          (Simnet.Fabric.profile offload.Runtime.fabric).Simnet.Profile.name;
+        Alcotest.(check string) "kernel profile" "myrinet-kernel"
+          (Simnet.Fabric.profile kernel.Runtime.fabric).Simnet.Profile.name);
+    Alcotest.test_case "validation" `Quick (fun () ->
+        Alcotest.check_raises "no nodes"
+          (Invalid_argument "Runtime.create_world: need at least one node")
+          (fun () -> ignore (Runtime.create_world ~nodes:0 ()));
+        let world = Runtime.create_world ~nodes:2 () in
+        Alcotest.check_raises "bad rank"
+          (Invalid_argument "Runtime.host_cpu_of_rank: rank out of range")
+          (fun () -> ignore (Runtime.host_cpu_of_rank world 7)));
+    Alcotest.test_case "launch runs every rank to completion" `Quick (fun () ->
+        let ran = Array.make 5 false in
+        let world =
+          Runtime.launch ~nodes:5 (fun world ~rank ->
+              Scheduler.delay world.Runtime.sched (Time_ns.us 10.0);
+              ran.(rank) <- true)
+        in
+        ignore world;
+        Alcotest.(check (array bool)) "all ran" (Array.make 5 true) ran);
+    Alcotest.test_case "launch_mpi wires a working job" `Quick (fun () ->
+        let total = ref 0 in
+        ignore
+          (Runtime.launch_mpi ~nodes:4 (fun ep ->
+               let rank = Mpi.rank ep in
+               if rank <> 0 then
+                 Mpi.send ep ~dst:0 ~tag:1 (Bytes.make 1 (Char.chr rank))
+               else
+                 for _ = 1 to 3 do
+                   let b = Bytes.create 1 in
+                   let _st = Mpi.recv ep ~tag:1 b in
+                   total := !total + Char.code (Bytes.get b 0)
+                 done));
+        Alcotest.(check int) "sum of ranks" 6 !total);
+    Alcotest.test_case "launch_mpi with gm backend" `Quick (fun () ->
+        let ok = ref false in
+        ignore
+          (Runtime.launch_mpi ~backend:`Gm ~nodes:2 (fun ep ->
+               if Mpi.rank ep = 0 then Mpi.send ep ~dst:1 ~tag:0 (Bytes.create 8)
+               else begin
+                 let st = Mpi.recv ep ~source:0 ~tag:0 (Bytes.create 8) in
+                 ok := st.Mpi.length = 8
+               end));
+        Alcotest.(check bool) "delivered" true !ok);
+    Alcotest.test_case "multiple processes per node share the host cpu" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:2 ~procs_per_node:2 () in
+        (* Ranks 0 and 2 are both on node 0. *)
+        Alcotest.(check bool) "same cpu" true
+          (Runtime.host_cpu_of_rank world 0 == Runtime.host_cpu_of_rank world 2);
+        Alcotest.(check bool) "different nodes differ" false
+          (Runtime.host_cpu_of_rank world 0 == Runtime.host_cpu_of_rank world 1));
+    Alcotest.test_case "deadlocked job raises with blocked ranks" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:2 () in
+        let endpoints =
+          Array.init 2 (fun rank ->
+              Mpi.create_portals world.Runtime.transport ~ranks:world.Runtime.ranks
+                ~rank ())
+        in
+        Runtime.spawn_ranks world (fun ~rank ->
+            if rank = 0 then
+              (* Receive that never gets a message. *)
+              ignore (Mpi.recv endpoints.(0) ~source:1 ~tag:9 (Bytes.create 4)));
+        (match Runtime.run world with
+        | () -> Alcotest.fail "expected deadlock"
+        | exception Scheduler.Deadlock blocked ->
+          Alcotest.(check int) "one blocked fiber" 1 (List.length blocked)));
+    Alcotest.test_case "rtscts transport kind carries mpi traffic" `Quick
+      (fun () ->
+        let ok = ref false in
+        ignore
+          (Runtime.launch_mpi ~transport:Runtime.Rtscts ~nodes:2 (fun ep ->
+               if Mpi.rank ep = 0 then
+                 Mpi.send ep ~dst:1 ~tag:0 (Bytes.make 50_000 'r')
+               else begin
+                 let b = Bytes.create 50_000 in
+                 let st = Mpi.recv ep ~source:0 ~tag:0 b in
+                 ok := st.Mpi.length = 50_000 && Bytes.get b 49_999 = 'r'
+               end));
+        Alcotest.(check bool) "large message over kernel path" true !ok);
+  ]
+
+let control_tests =
+  [
+    Alcotest.test_case "yod launches and gathers exit statuses" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:5 () in
+        let report =
+          Runtime.Control.run_job ~job_id:7 world (fun ~rank -> rank * 10)
+        in
+        Alcotest.(check int) "job id" 7 report.Runtime.Control.job_id;
+        Alcotest.(check (array int)) "statuses"
+          [| 0; 10; 20; 30; 40 |]
+          report.Runtime.Control.statuses;
+        Alcotest.(check bool) "took wire time" true
+          (report.Runtime.Control.elapsed > 0));
+    Alcotest.test_case "mains wait for their start message" `Quick (fun () ->
+        (* No main may run at t=0: the start put has to cross the wire. *)
+        let world = Runtime.create_world ~nodes:3 () in
+        let start_times = Array.make 3 0 in
+        ignore
+          (Runtime.Control.run_job world (fun ~rank ->
+               start_times.(rank) <- Scheduler.now world.Runtime.sched;
+               0));
+        Array.iteri
+          (fun rank t ->
+            Alcotest.(check bool)
+              (Printf.sprintf "rank %d started after launch traffic" rank)
+              true (t > 0))
+          start_times);
+    Alcotest.test_case "control agents coexist with an MPI job" `Quick
+      (fun () ->
+        (* The runtime protocol and application traffic share nodes and
+           wires but use distinct processes (multiple pids per node). *)
+        let world = Runtime.create_world ~nodes:2 () in
+        let endpoints =
+          Array.init 2 (fun rank ->
+              Mpi.create_portals world.Runtime.transport
+                ~ranks:world.Runtime.ranks ~rank ())
+        in
+        let got = ref "" in
+        let report =
+          Runtime.Control.run_job world (fun ~rank ->
+              let ep = endpoints.(rank) in
+              if rank = 0 then Mpi.send ep ~dst:1 ~tag:0 (Bytes.of_string "app")
+              else begin
+                let b = Bytes.create 8 in
+                let st = Mpi.recv ep ~source:0 ~tag:0 b in
+                got := Bytes.sub_string b 0 st.Mpi.length
+              end;
+              0)
+        in
+        Alcotest.(check string) "app message flowed" "app" !got;
+        Alcotest.(check (array int)) "both exited cleanly" [| 0; 0 |]
+          report.Runtime.Control.statuses);
+  ]
+
+let () =
+  Alcotest.run "runtime"
+    [ ("world", world_tests); ("control", control_tests) ]

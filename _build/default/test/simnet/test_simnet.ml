@@ -1,0 +1,276 @@
+open Sim_engine
+open Simnet
+
+let proc_id_tests =
+  [
+    Alcotest.test_case "equality and ordering" `Quick (fun () ->
+        let a = Proc_id.make ~nid:1 ~pid:2 in
+        let b = Proc_id.make ~nid:1 ~pid:2 in
+        let c = Proc_id.make ~nid:2 ~pid:0 in
+        Alcotest.(check bool) "equal" true (Proc_id.equal a b);
+        Alcotest.(check bool) "not equal" false (Proc_id.equal a c);
+        Alcotest.(check bool) "nid dominates" true (Proc_id.compare a c < 0);
+        Alcotest.(check string) "pp" "1:2" (Proc_id.to_string a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compare consistent with equal" ~count:300
+         QCheck.(quad small_nat small_nat small_nat small_nat)
+         (fun (n1, p1, n2, p2) ->
+           let a = Proc_id.make ~nid:n1 ~pid:p1 in
+           let b = Proc_id.make ~nid:n2 ~pid:p2 in
+           Proc_id.equal a b = (Proc_id.compare a b = 0)));
+  ]
+
+let profile_tests =
+  [
+    Alcotest.test_case "packet math" `Quick (fun () ->
+        let p = Profile.myrinet_mcp in
+        Alcotest.(check int) "zero-len still one packet" 1
+          (Profile.packets_of_len p 0);
+        Alcotest.(check int) "exact fit" 1 (Profile.packets_of_len p p.Profile.mtu);
+        Alcotest.(check int) "one over" 2
+          (Profile.packets_of_len p (p.Profile.mtu + 1));
+        Alcotest.(check int) "wire bytes include headers"
+          (50_000 + (13 * p.Profile.packet_header))
+          (Profile.wire_bytes_of_len p 50_000));
+    Alcotest.test_case "tx_time scales with length" `Quick (fun () ->
+        let p = Profile.myrinet_mcp in
+        Alcotest.(check bool) "monotone" true
+          (Profile.tx_time p 100_000 > Profile.tx_time p 1_000));
+    Alcotest.test_case "presets ordered by overhead" `Quick (fun () ->
+        Alcotest.(check bool) "kernel interrupt cost visible" true
+          (Profile.myrinet_kernel.Profile.host_interrupt_cost
+          = Profile.myrinet_mcp.Profile.host_interrupt_cost);
+        Alcotest.(check bool) "tcp slowest syscall" true
+          (Profile.tcp_reference.Profile.host_syscall_cost
+          > Profile.myrinet_mcp.Profile.host_syscall_cost));
+  ]
+
+let link_tests =
+  [
+    Alcotest.test_case "idle link starts now" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.at sched 100 (fun () ->
+            let link = Link.create sched in
+            Alcotest.(check int) "completion" 150 (Link.occupy link 50));
+        Scheduler.run sched);
+    Alcotest.test_case "busy link serialises" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let link = Link.create sched in
+        Alcotest.(check int) "first" 50 (Link.occupy link 50);
+        Alcotest.(check int) "second queues" 80 (Link.occupy link 30);
+        Alcotest.(check int) "busy time" 80 (Link.busy_time link));
+    Alcotest.test_case "gap is skipped" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let link = Link.create sched in
+        ignore (Link.occupy link 10);
+        Scheduler.at sched 100 (fun () ->
+            Alcotest.(check int) "starts at now" 105 (Link.occupy link 5));
+        Scheduler.run sched;
+        Alcotest.(check int) "busy excludes idle gap" 15 (Link.busy_time link));
+  ]
+
+let mk_fabric ?(nodes = 4) ?(profile = Profile.myrinet_mcp) () =
+  let sched = Scheduler.create () in
+  (sched, Fabric.create sched ~profile ~nodes)
+
+let pid nid p = Proc_id.make ~nid ~pid:p
+
+let fabric_tests =
+  [
+    Alcotest.test_case "delivers payload to registered handler" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let got = ref None in
+        Fabric.register fabric (pid 1 0) (fun ~src payload ->
+            got := Some (src, Bytes.to_string payload));
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.of_string "hello");
+        Scheduler.run sched;
+        Alcotest.(check (option (pair string string)))
+          "delivered"
+          (Some ("0:0", "hello"))
+          (Option.map (fun (s, d) -> (Proc_id.to_string s, d)) !got));
+    Alcotest.test_case "delivery takes wire latency plus serialisation" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        let profile = Fabric.profile fabric in
+        let arrival = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ ->
+            arrival := Scheduler.now sched);
+        let payload = Bytes.create 4096 in
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) payload;
+        Scheduler.run sched;
+        let expect =
+          Time_ns.add (Profile.tx_time profile 4096) profile.Profile.wire_latency
+        in
+        Alcotest.(check int) "arrival" expect !arrival);
+    Alcotest.test_case "per-sender messages stay ordered" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let got = ref [] in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ payload ->
+            got := Bytes.to_string payload :: !got);
+        (* Mix of sizes: a big message then small ones; serialisation on the
+           sender link must preserve order. *)
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.make 100_000 'a');
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.of_string "b");
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.of_string "c");
+        Scheduler.run sched;
+        Alcotest.(check (list string)) "order"
+          [ String.make 100_000 'a'; "b"; "c" ]
+          (List.rev !got));
+    Alcotest.test_case "unregistered destination counts a drop" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 3 7) (Bytes.of_string "x");
+        Scheduler.run sched;
+        let s = Fabric.stats fabric in
+        Alcotest.(check int) "sent" 1 s.Fabric.messages_sent;
+        Alcotest.(check int) "dropped" 1 s.Fabric.drops_unregistered;
+        Alcotest.(check int) "delivered" 0 s.Fabric.messages_delivered);
+    Alcotest.test_case "fault injector drops selected messages" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        Fabric.set_fault_injector fabric
+          (Some (fun ~src:_ ~dst:_ ~len -> len > 10));
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.make 100 'x');
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.of_string "ok");
+        Scheduler.run sched;
+        Alcotest.(check int) "one survived" 1 !seen;
+        Alcotest.(check int) "one dropped" 1 (Fabric.stats fabric).Fabric.drops_injected);
+    Alcotest.test_case "duplicate registration rejected" `Quick (fun () ->
+        let _sched, fabric = mk_fabric () in
+        Fabric.register fabric (pid 0 0) (fun ~src:_ _ -> ());
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Fabric.register: already registered: 0:0")
+          (fun () -> Fabric.register fabric (pid 0 0) (fun ~src:_ _ -> ())));
+    Alcotest.test_case "unregister then send drops" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> Alcotest.fail "gone");
+        Fabric.unregister fabric (pid 1 0);
+        Alcotest.(check bool) "unregistered" false
+          (Fabric.is_registered fabric (pid 1 0));
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.of_string "x");
+        Scheduler.run sched;
+        Alcotest.(check int) "drop" 1 (Fabric.stats fabric).Fabric.drops_unregistered);
+    Alcotest.test_case "out of range node rejected" `Quick (fun () ->
+        let _sched, fabric = mk_fabric ~nodes:2 () in
+        Alcotest.check_raises "range"
+          (Invalid_argument "Fabric.node: nid 5 out of range") (fun () ->
+            ignore (Fabric.node fabric 5)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"all sent messages accounted for" ~count:100
+         QCheck.(list_of_size Gen.(int_range 0 30) (int_range 0 5_000))
+         (fun sizes ->
+           let sched, fabric = mk_fabric () in
+           let delivered = ref 0 in
+           Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr delivered);
+           let send len =
+             Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create len)
+           in
+           List.iter send sizes;
+           Scheduler.run sched;
+           let s = Fabric.stats fabric in
+           !delivered = List.length sizes
+           && s.Fabric.messages_sent = List.length sizes
+           && s.Fabric.bytes_sent = List.fold_left ( + ) 0 sizes));
+  ]
+
+let transport_tests =
+  [
+    Alcotest.test_case "offload rx never touches host cpu" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let transport = Transport.offload fabric in
+        let handled = ref false in
+        transport.Transport.register (pid 1 0) (fun ~src:_ _ ->
+            transport.Transport.charge_rx 1 (Time_ns.us 5.0);
+            handled := true);
+        transport.Transport.send ~src:(pid 0 0) ~dst:(pid 1 0)
+          (Bytes.of_string "msg");
+        Scheduler.run sched;
+        Alcotest.(check bool) "handled" true !handled;
+        let cpu = transport.Transport.host_cpu 1 in
+        Alcotest.(check int) "no host cycles" 0 (Cpu.stolen_total cpu));
+    Alcotest.test_case "kernel rx interrupts the host cpu" `Quick (fun () ->
+        let sched, fabric = mk_fabric ~profile:Profile.myrinet_kernel () in
+        let transport = Transport.kernel_interrupt fabric in
+        let handled = ref false in
+        transport.Transport.register (pid 1 0) (fun ~src:_ _ ->
+            transport.Transport.charge_rx 1 (Time_ns.us 5.0);
+            handled := true);
+        transport.Transport.send ~src:(pid 0 0) ~dst:(pid 1 0)
+          (Bytes.of_string "msg");
+        Scheduler.run sched;
+        Alcotest.(check bool) "handled" true !handled;
+        let cpu = transport.Transport.host_cpu 1 in
+        let expected =
+          Time_ns.add Profile.myrinet_kernel.Profile.host_interrupt_cost
+            (Time_ns.add (Profile.copy_time Profile.myrinet_kernel 3) (Time_ns.us 5.0))
+        in
+        Alcotest.(check int) "interrupt + copy + charged cycles stolen" expected
+          (Cpu.stolen_total cpu));
+    Alcotest.test_case "kernel rx perturbs an in-flight compute" `Quick (fun () ->
+        let sched, fabric = mk_fabric ~profile:Profile.myrinet_kernel () in
+        let transport = Transport.kernel_interrupt fabric in
+        transport.Transport.register (pid 1 0) (fun ~src:_ _ -> ());
+        let cpu = transport.Transport.host_cpu 1 in
+        let finished = ref 0 in
+        Scheduler.spawn sched (fun () ->
+            Cpu.compute cpu (Time_ns.ms 1.0);
+            finished := Scheduler.now sched);
+        transport.Transport.send ~src:(pid 0 0) ~dst:(pid 1 0)
+          (Bytes.of_string "interrupting");
+        Scheduler.run sched;
+        Alcotest.(check bool) "compute extended past 1ms" true
+          (!finished > Time_ns.ms 1.0));
+    Alcotest.test_case "offload vs kernel cost parameters" `Quick (fun () ->
+        let _, fabric_mcp = mk_fabric () in
+        let _, fabric_k = mk_fabric ~profile:Profile.myrinet_kernel () in
+        let off = Transport.offload fabric_mcp in
+        let ker = Transport.kernel_interrupt fabric_k in
+        Alcotest.(check bool) "kernel rx fixed cost higher" true
+          (ker.Transport.rx_fixed_cost > off.Transport.rx_fixed_cost);
+        Alcotest.(check bool) "kernel data path slower" true
+          (ker.Transport.data_in_time 100_000 > off.Transport.data_in_time 100_000));
+    Alcotest.test_case "small message cannot overtake a large one" `Quick
+      (fun () ->
+        (* The landing stage (DMA/copy) must serialise per node: a tiny
+           message arriving right behind a large one stays behind it. *)
+        let check kind profile =
+          let sched, fabric = mk_fabric ~profile () in
+          let transport =
+            match kind with
+            | `Offload -> Transport.offload fabric
+            | `Kernel -> Transport.kernel_interrupt fabric
+          in
+          let order = ref [] in
+          transport.Transport.register (pid 1 0) (fun ~src:_ payload ->
+              order := Bytes.length payload :: !order);
+          transport.Transport.send ~src:(pid 0 0) ~dst:(pid 1 0)
+            (Bytes.create 100_000);
+          transport.Transport.send ~src:(pid 0 0) ~dst:(pid 1 0)
+            (Bytes.create 8);
+          Scheduler.run sched;
+          Alcotest.(check (list int)) "delivery order" [ 100_000; 8 ]
+            (List.rev !order)
+        in
+        check `Offload Profile.myrinet_mcp;
+        check `Kernel Profile.myrinet_kernel);
+    Alcotest.test_case "offload delivery preserves payload bytes" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        let transport = Transport.offload fabric in
+        let payload = Bytes.init 257 (fun i -> Char.chr (i mod 256)) in
+        let got = ref Bytes.empty in
+        transport.Transport.register (pid 2 1) (fun ~src:_ b -> got := b);
+        transport.Transport.send ~src:(pid 0 0) ~dst:(pid 2 1) payload;
+        Scheduler.run sched;
+        Alcotest.(check bytes) "payload intact" payload !got);
+  ]
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ("proc_id", proc_id_tests);
+      ("profile", profile_tests);
+      ("link", link_tests);
+      ("fabric", fabric_tests);
+      ("transport", transport_tests);
+    ]
