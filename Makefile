@@ -1,0 +1,29 @@
+# Convenience entry points; CI runs `make ci`.
+
+.PHONY: all build test fmt bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Formatting is advisory when ocamlformat is not installed locally.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+ci: build test fmt
+	dune exec bin/portals_repro.exe -- \
+		--experiment fig6 --metrics=json --trace-out _build/fig6.trace.json
+
+clean:
+	dune clean

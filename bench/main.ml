@@ -14,7 +14,42 @@ open Toolkit
 
 let line ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
 
-let print_all () =
+(* Observability flags, stdlib-only parsing:
+     --metrics[=table|json]   print the F6 registry snapshot
+     --trace-out FILE         write the F6 runs as Chrome trace JSON *)
+type opts = {
+  mutable metrics : Sim_engine.Report.format option;
+  mutable trace_out : string option;
+}
+
+let parse_opts () =
+  let o = { metrics = None; trace_out = None } in
+  let bad arg =
+    Format.eprintf "bench: unknown argument %S@." arg;
+    exit 2
+  in
+  let rec go = function
+    | [] -> o
+    | "--metrics" :: rest ->
+      o.metrics <- Some Sim_engine.Report.Table;
+      go rest
+    | "--trace-out" :: file :: rest ->
+      o.trace_out <- Some file;
+      go rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
+      (match
+         Sim_engine.Report.format_of_string
+           (String.sub arg 10 (String.length arg - 10))
+       with
+      | Some f ->
+        o.metrics <- Some f;
+        go rest
+      | None -> bad arg)
+    | arg :: _ -> bad arg
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let print_all opts =
   let ppf = Format.std_formatter in
   line ppf;
   Format.fprintf ppf "T1-T4: wire formats@.";
@@ -40,7 +75,22 @@ let print_all () =
   line ppf;
   Format.fprintf ppf "F5/F6: application bypass (the paper's headline result)@.";
   line ppf;
-  Experiments.Fig6.pp ppf (Experiments.Fig6.run ());
+  let fig6 =
+    Experiments.Fig6.run ~capture_trace:(opts.trace_out <> None) ()
+  in
+  Experiments.Fig6.pp ppf fig6;
+  (match opts.metrics with
+  | None -> ()
+  | Some format ->
+    Sim_engine.Report.print ~format ppf fig6.Experiments.Fig6.metrics);
+  (match opts.trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc
+      (Sim_engine.Trace.Chrome.to_string fig6.Experiments.Fig6.traces);
+    close_out oc;
+    Format.fprintf ppf "trace written to %s@." path);
   line ppf;
   Format.fprintf ppf "S1: unexpected-buffer memory vs job size (section 4.1)@.";
   line ppf;
@@ -138,6 +188,6 @@ let benchmark () =
     tests
 
 let () =
-  print_all ();
+  print_all (parse_opts ());
   benchmark ();
   Format.printf "@.bench: done@."

@@ -36,6 +36,58 @@ let backend_conv =
 let floats_conv = Arg.list ~sep:',' Arg.float
 let ints_conv = Arg.list ~sep:',' Arg.int
 
+(* --- observability flags ------------------------------------------------ *)
+
+let report_format_conv =
+  let parse s =
+    match Sim_engine.Report.format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown metrics format %S (table|json)" s))
+  in
+  let print fmt = function
+    | Sim_engine.Report.Table -> Format.fprintf fmt "table"
+    | Sim_engine.Report.Json -> Format.fprintf fmt "json"
+  in
+  Arg.conv (parse, print)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Sim_engine.Report.Table) (some report_format_conv) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Print the run's metrics registry snapshot after the experiment \
+           output; FORMAT is $(b,table) (default) or $(b,json).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable structured tracing and write the spans to FILE as Chrome \
+           trace_event JSON (open in chrome://tracing or Perfetto).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let emit_observability ~metrics ~trace_out ~snapshot ~traces =
+  (match metrics with
+  | None -> ()
+  | Some format ->
+    Sim_engine.Report.print ~format ppf snapshot;
+    Format.pp_print_flush ppf ());
+  match trace_out with
+  | None -> ()
+  | Some path -> (
+    match write_file path (Sim_engine.Trace.Chrome.to_string traces) with
+    | () -> Format.fprintf ppf "trace written to %s@." path
+    | exception Sys_error msg ->
+      Format.eprintf "portals_repro: cannot write trace: %s@." msg;
+      exit 1)
+
 (* --- commands ----------------------------------------------------------- *)
 
 let tables_cmd =
@@ -97,9 +149,11 @@ let bandwidth_cmd =
     Term.(const run $ sizes $ count)
 
 let fig5_cmd =
-  let run backend transport size batch work tests =
+  let run backend transport size batch work tests metrics trace_out =
+    let backend_name = match backend with `Portals -> "portals" | `Gm -> "gm" in
     let r =
       Experiments.Fig5.run
+        ~capture_trace:(trace_out <> None)
         {
           Experiments.Fig5.backend;
           transport;
@@ -112,11 +166,12 @@ let fig5_cmd =
     in
     Format.fprintf ppf
       "fig5: backend=%s work=%.1fms -> mean wait %.3f ms (max %.3f), work took %.3f ms@."
-      (match backend with `Portals -> "portals" | `Gm -> "gm")
-      work
+      backend_name work
       (r.Experiments.Fig5.mean_wait /. 1000.)
       (r.Experiments.Fig5.max_wait /. 1000.)
-      (r.Experiments.Fig5.mean_work_elapsed /. 1000.)
+      (r.Experiments.Fig5.mean_work_elapsed /. 1000.);
+    emit_observability ~metrics ~trace_out ~snapshot:r.Experiments.Fig5.metrics
+      ~traces:[ (backend_name, r.Experiments.Fig5.spans) ]
   in
   let backend =
     Arg.(value & opt backend_conv `Portals & info [ "backend" ] ~doc:"portals | gm")
@@ -132,12 +187,22 @@ let fig5_cmd =
     Arg.(value & opt int 0 & info [ "tests" ] ~doc:"MPI test calls during work")
   in
   Cmd.v (Cmd.info "fig5" ~doc:"One application-bypass measurement (Table 5)")
-    Term.(const run $ backend $ transport $ size $ batch $ work $ tests)
+    Term.(
+      const run $ backend $ transport $ size $ batch $ work $ tests $ metrics_arg
+      $ trace_out_arg)
+
+let run_fig6 ?message_size ?work_ms ?iterations ~metrics ~trace_out () =
+  let t =
+    Experiments.Fig6.run ?message_size ?work_ms ?iterations
+      ~capture_trace:(trace_out <> None) ()
+  in
+  Experiments.Fig6.pp ppf t;
+  emit_observability ~metrics ~trace_out ~snapshot:t.Experiments.Fig6.metrics
+    ~traces:t.Experiments.Fig6.traces
 
 let fig6_cmd =
-  let run size work_ms iterations =
-    Experiments.Fig6.pp ppf
-      (Experiments.Fig6.run ~message_size:size ~work_ms ~iterations ())
+  let run size work_ms iterations metrics trace_out =
+    run_fig6 ~message_size:size ~work_ms ~iterations ~metrics ~trace_out ()
   in
   let size = Arg.(value & opt int 50_000 & info [ "size" ] ~doc:"Message size") in
   let work =
@@ -148,7 +213,7 @@ let fig6_cmd =
     Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Averaging repetitions")
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (application bypass)")
-    Term.(const run $ size $ work $ iterations)
+    Term.(const run $ size $ work $ iterations $ metrics_arg $ trace_out_arg)
 
 let memory_cmd =
   let run jobs =
@@ -205,12 +270,76 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
     Term.(const run $ const ())
 
+(* Flag-style entry point: [--experiment NAME --metrics[=json] --trace-out F]
+   without naming a subcommand. *)
+let default_term =
+  let experiment =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "experiment" ] ~docv:"NAME"
+          ~doc:
+            "Run experiment $(docv) with default parameters (equivalent to \
+             the $(docv) subcommand). $(b,--metrics) and $(b,--trace-out) \
+             apply to fig5 and fig6.")
+  in
+  let run experiment metrics trace_out =
+    let plain name f =
+      if metrics <> None || trace_out <> None then
+        `Error
+          ( false,
+            Printf.sprintf
+              "--metrics/--trace-out are only supported with --experiment \
+               fig5|fig6 (got %s)"
+              name )
+      else begin
+        f ();
+        `Ok ()
+      end
+    in
+    match experiment with
+    | None -> `Help (`Pager, None)
+    | Some "fig6" ->
+      run_fig6 ~metrics ~trace_out ();
+      `Ok ()
+    | Some "fig5" ->
+      let r =
+        Experiments.Fig5.run
+          ~capture_trace:(trace_out <> None)
+          Experiments.Fig5.default_params
+      in
+      Format.fprintf ppf "fig5: mean wait %.3f ms (max %.3f)@."
+        (r.Experiments.Fig5.mean_wait /. 1000.)
+        (r.Experiments.Fig5.max_wait /. 1000.);
+      emit_observability ~metrics ~trace_out ~snapshot:r.Experiments.Fig5.metrics
+        ~traces:[ ("portals", r.Experiments.Fig5.spans) ];
+      `Ok ()
+    | Some ("tables" as n) ->
+      plain n (fun () -> Experiments.Tables.pp ppf (Experiments.Tables.run ()))
+    | Some ("latency" as n) ->
+      plain n (fun () -> Experiments.Latency.pp ppf (Experiments.Latency.run ()))
+    | Some ("bandwidth" as n) ->
+      plain n (fun () ->
+          Experiments.Bandwidth.pp ppf (Experiments.Bandwidth.run ()))
+    | Some ("drops" as n) ->
+      plain n (fun () -> Experiments.Drops.pp ppf (Experiments.Drops.run ()))
+    | Some ("translation" as n) ->
+      plain n (fun () ->
+          Experiments.Translation.pp ppf (Experiments.Translation.run ()))
+    | Some other ->
+      `Error
+        ( false,
+          Printf.sprintf
+            "unknown experiment %S (try a subcommand; see --help)" other )
+  in
+  Term.(ret (const run $ experiment $ metrics_arg $ trace_out_arg))
+
 let () =
   let doc = "Reproduction harness for Portals 3.0 (IPPS 2002)" in
   let info = Cmd.info "portals_repro" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:default_term info
           [
             tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
             bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;

@@ -35,10 +35,9 @@ let file_read ni eqh eqq ~server ~block =
             buffer))
   in
   ok "read get"
-    (P.Ni.get ni ~md:mdh ~target:server ~portal_index:pt_file_read
-       ~cookie:P.Acl.default_cookie_job
-       ~match_bits:(P.Match_bits.of_int block)
-       ~offset:0 ());
+    (P.Ni.get ni ~md:mdh
+       (P.Ni.op ~target:server ~portal_index:pt_file_read
+          ~match_bits:(P.Match_bits.of_int block) ()));
   let rec await () =
     let ev = P.Event.Queue.wait eqq in
     match ev.P.Event.kind with
@@ -56,8 +55,8 @@ let file_write ni eqh eqq ~server ~block data =
             data))
   in
   ok "write put"
-    (P.Ni.put ni ~md:mdh ~ack:true ~target:server ~portal_index:pt_file_write
-       ~cookie:P.Acl.default_cookie_job ~match_bits:bits ~offset:0 ());
+    (P.Ni.put ni ~md:mdh ~ack:true
+       (P.Ni.op ~target:server ~portal_index:pt_file_write ~match_bits:bits ()));
   (* Wait for the acknowledgment: the request is in the server's intake. *)
   let rec await () =
     let ev = P.Event.Queue.wait eqq in

@@ -60,10 +60,9 @@ let () =
   in
   Scheduler.spawn world.Runtime.sched ~name:"alice" (fun () ->
       ok "put"
-        (P.Ni.put alice ~md:put_md ~ack:true ~target:(P.Ni.id bob)
-           ~portal_index:pt_index ~cookie:P.Acl.default_cookie_job
-           ~match_bits:(P.Match_bits.of_int 0xCAFE)
-           ~offset:4 ());
+        (P.Ni.put alice ~md:put_md ~ack:true
+           (P.Ni.op ~target:(P.Ni.id bob) ~portal_index:pt_index
+              ~match_bits:(P.Match_bits.of_int 0xCAFE) ~offset:4 ()));
       show "alice: put posted (16 bytes at offset 4)@.";
       (* Local completion: the message left, then Bob acknowledged. *)
       let sent = P.Event.Queue.wait alice_eq in
@@ -80,10 +79,9 @@ let () =
                 ~eq:alice_eqh window))
       in
       ok "get"
-        (P.Ni.get alice ~md:get_md ~target:(P.Ni.id bob)
-           ~portal_index:pt_index ~cookie:P.Acl.default_cookie_job
-           ~match_bits:(P.Match_bits.of_int 0xCAFE)
-           ~offset:32 ());
+        (P.Ni.get alice ~md:get_md
+           (P.Ni.op ~target:(P.Ni.id bob) ~portal_index:pt_index
+              ~match_bits:(P.Match_bits.of_int 0xCAFE) ~offset:32 ()));
       show "alice: get posted (19 bytes from offset 32)@.";
       let reply = P.Event.Queue.wait alice_eq in
       show "alice: %a@." P.Event.pp reply;

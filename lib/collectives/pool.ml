@@ -3,8 +3,8 @@ module P = Portals
 type slab = {
   s_idx : int;
   s_buffer : bytes;
-  mutable s_meh : P.Handle.t;
-  mutable s_mdh : P.Handle.t;
+  mutable s_meh : P.Handle.me;
+  mutable s_mdh : P.Handle.md;
   mutable s_outstanding : int;
 }
 
@@ -14,7 +14,7 @@ type t = {
   pool_ni : P.Ni.t;
   portal_index : int;
   slab_size : int;
-  eqh : P.Handle.t;
+  eqh : P.Handle.eq;
   eqq : P.Event.Queue.t;
   slabs : slab array;
   pooled : pooled Queue.t;
@@ -86,9 +86,8 @@ let send t ~dst ~bits payload =
             ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
   in
   ok_exn ~op:"pool put"
-    (P.Ni.put t.pool_ni ~md:mdh ~ack:false ~target:dst
-       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
-       ~match_bits:bits ~offset:0 ())
+    (P.Ni.put t.pool_ni ~md:mdh ~ack:false
+       (P.Ni.op ~target:dst ~portal_index:t.portal_index ~match_bits:bits ()))
 
 let maybe_rearm t slab =
   if slab.s_outstanding = 0 then begin

@@ -17,7 +17,7 @@ type t = {
   rlength : int;
   mlength : int;
   offset : int;
-  md_handle : Handle.t;
+  md_handle : Handle.md;
   md_user_ptr : int;
   time : Sim_engine.Time_ns.t;
 }
@@ -31,28 +31,55 @@ module Queue = struct
   type event = t
 
   type t = {
+    sched : Sim_engine.Scheduler.t;
     ring : event option array;
     mutable head : int; (* next read position *)
     mutable len : int;
     mutable dropped : int;
     mutable posted : int;
+    mutable depth_series : Sim_engine.Metrics.series option;
     nonempty : Sim_engine.Sync.Waitq.t;
   }
 
-  let create sched ~capacity =
+  let create ?name sched ~capacity =
     if capacity <= 0 then invalid_arg "Event.Queue.create: capacity must be positive";
-    {
-      ring = Array.make capacity None;
-      head = 0;
-      len = 0;
-      dropped = 0;
-      posted = 0;
-      nonempty = Sim_engine.Sync.Waitq.create ~name:"eq" sched;
-    }
+    let t =
+      {
+        sched;
+        ring = Array.make capacity None;
+        head = 0;
+        len = 0;
+        dropped = 0;
+        posted = 0;
+        depth_series = None;
+        nonempty = Sim_engine.Sync.Waitq.create ~name:"eq" sched;
+      }
+    in
+    (match name with
+    | None -> ()
+    | Some n ->
+      (* Named queues publish a depth time-series plus posted/dropped
+         probes under the "eq" label; anonymous queues cost nothing. *)
+      let m = Sim_engine.Scheduler.metrics sched in
+      let labels = [ ("eq", n) ] in
+      t.depth_series <- Some (Sim_engine.Metrics.series m ~labels "eq.depth");
+      Sim_engine.Metrics.probe m ~labels "eq.posted" (fun () ->
+          float_of_int t.posted);
+      Sim_engine.Metrics.probe m ~labels "eq.dropped" (fun () ->
+          float_of_int t.dropped));
+    t
 
   let capacity t = Array.length t.ring
   let count t = t.len
   let is_full t = t.len = Array.length t.ring
+
+  let record_depth t =
+    match t.depth_series with
+    | None -> ()
+    | Some s ->
+      Sim_engine.Metrics.push s
+        ~x:(Sim_engine.Time_ns.to_us (Sim_engine.Scheduler.now t.sched))
+        ~y:(float_of_int t.len)
 
   let post t ev =
     if is_full t then begin
@@ -64,6 +91,7 @@ module Queue = struct
       t.ring.(tail) <- Some ev;
       t.len <- t.len + 1;
       t.posted <- t.posted + 1;
+      record_depth t;
       Sim_engine.Sync.Waitq.broadcast t.nonempty;
       true
     end
@@ -75,6 +103,7 @@ module Queue = struct
       t.ring.(t.head) <- None;
       t.head <- (t.head + 1) mod Array.length t.ring;
       t.len <- t.len - 1;
+      record_depth t;
       ev
     end
 

@@ -28,7 +28,7 @@ type t = {
   rlength : int;  (** Length requested on the wire. *)
   mlength : int;  (** Manipulated length: bytes actually moved (§4.6). *)
   offset : int;  (** Offset within the memory descriptor actually used. *)
-  md_handle : Handle.t;  (** The descriptor the event concerns. *)
+  md_handle : Handle.md;  (** The descriptor the event concerns. *)
   md_user_ptr : int;  (** The descriptor's opaque user tag. *)
   time : Sim_engine.Time_ns.t;  (** Simulated time the event was logged. *)
 }
@@ -39,8 +39,11 @@ module Queue : sig
   type event := t
   type t
 
-  val create : Sim_engine.Scheduler.t -> capacity:int -> t
-  (** Raises [Invalid_argument] if capacity is not positive. *)
+  val create : ?name:string -> Sim_engine.Scheduler.t -> capacity:int -> t
+  (** Raises [Invalid_argument] if capacity is not positive. With [name],
+      the queue registers an ["eq.depth"] time-series (µs, depth) and
+      ["eq.posted"]/["eq.dropped"] probes labelled [("eq", name)] in the
+      scheduler's metrics registry. *)
 
   val capacity : t -> int
   val count : t -> int

@@ -1,4 +1,12 @@
-type t = { idx : int; gen : int }
+type eq_kind = |
+type md_kind = |
+type me_kind = |
+
+type 'k t = { idx : int; gen : int }
+
+type eq = eq_kind t
+type md = md_kind t
+type me = me_kind t
 
 let none = { idx = -1; gen = -1 }
 let is_none t = t.idx < 0
@@ -22,10 +30,9 @@ let of_wire w =
     }
 
 module Table = struct
-  type nonrec handle = t
-
   type 'a slot = { mutable value : 'a option; mutable gen : int }
-  type 'a t = {
+
+  type ('k, 'a) t = {
     mutable slots : 'a slot array;
     mutable free : int list;
     mutable live : int;
@@ -57,13 +64,13 @@ module Table = struct
       t.live <- t.live + 1;
       { idx; gen = slot.gen }
 
-  let find t (h : handle) =
+  let find t h =
     if h.idx < 0 || h.idx >= Array.length t.slots then None
     else
       let slot = t.slots.(h.idx) in
       if slot.gen <> h.gen then None else slot.value
 
-  let free t (h : handle) =
+  let free t h =
     match find t h with
     | None -> false
     | Some _ ->

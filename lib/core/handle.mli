@@ -7,45 +7,65 @@
     plus a generation counter; resolving a stale handle — the object was
     unlinked and its slot reused — fails cleanly, which is exactly the
     "memory descriptor identified in the request doesn't exist" check of
-    §4.8. *)
+    §4.8.
 
-type t
-(** An opaque handle. Handles from different tables are not distinguished
-    by type; each table checks generations, so cross-table confusion
-    resolves as invalid. *)
+    Handles are {e kinded} by a phantom parameter: {!eq}, {!md} and {!me}
+    are incompatible types, so passing an event-queue handle where a
+    memory-descriptor handle is expected is a compile-time error rather
+    than a runtime [Invalid_md]. The representation is unchanged — the
+    phantom erases at runtime and on the wire. *)
 
-val none : t
+type eq_kind
+type md_kind
+type me_kind
+
+type +'k t
+(** An opaque handle of kind ['k]. Each table still checks generations, so
+    a forged or stale handle resolves as invalid. *)
+
+type eq = eq_kind t
+(** Event queue handles ([PtlEQAlloc]). *)
+
+type md = md_kind t
+(** Memory descriptor handles ([PtlMDBind]/[PtlMDAttach]). *)
+
+type me = me_kind t
+(** Match entry handles ([PtlMEAttach]/[PtlMEInsert]). *)
+
+val none : 'k t
 (** The distinguished null handle ([PTL_HANDLE_NONE]): never resolves. *)
 
-val is_none : t -> bool
-val equal : t -> t -> bool
-val pp : Format.formatter -> t -> unit
+val is_none : 'k t -> bool
+val equal : 'k t -> 'k t -> bool
+val pp : Format.formatter -> 'k t -> unit
 
-val to_wire : t -> int64
-(** Wire image of a handle (index and generation packed). *)
+val to_wire : 'k t -> int64
+(** Wire image of a handle (index and generation packed). The kind does
+    not travel — the wire format is unchanged. *)
 
-val of_wire : int64 -> t
+val of_wire : int64 -> 'k t
 
 module Table : sig
-  (** A slot table with free-list reuse and per-slot generations. *)
+  (** A slot table with free-list reuse and per-slot generations,
+      producing handles of a fixed kind. *)
 
-  type handle := t
-  type 'a t
+  type 'k handle := 'k t
+  type ('k, 'a) t
 
-  val create : ?initial_capacity:int -> unit -> 'a t
+  val create : ?initial_capacity:int -> unit -> ('k, 'a) t
 
-  val alloc : 'a t -> 'a -> handle
+  val alloc : ('k, 'a) t -> 'a -> 'k handle
   (** Store a value, returning its handle. The table grows as needed. *)
 
-  val find : 'a t -> handle -> 'a option
+  val find : ('k, 'a) t -> 'k handle -> 'a option
   (** [None] if the handle is null, stale, or out of range. *)
 
-  val free : 'a t -> handle -> bool
+  val free : ('k, 'a) t -> 'k handle -> bool
   (** Release a slot; subsequent {!find}s of the same handle fail. Returns
       false if the handle did not resolve. *)
 
-  val live_count : 'a t -> int
+  val live_count : ('k, 'a) t -> int
 
-  val iter : 'a t -> (handle -> 'a -> unit) -> unit
+  val iter : ('k, 'a) t -> ('k handle -> 'a -> unit) -> unit
   (** Visit every live entry. *)
 end

@@ -26,7 +26,7 @@ type t = {
   mutable thresh : threshold;
   unlink : unlink_policy;
   md_eq : Event.Queue.t option;
-  md_eq_handle : Handle.t;
+  md_eq_handle : Handle.eq;
   md_user_ptr : int;
   mutable loc_offset : int;
   mutable pending_ops : int;

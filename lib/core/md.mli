@@ -43,7 +43,7 @@ val create :
   ?threshold:threshold ->
   ?unlink:unlink_policy ->
   ?eq:Event.Queue.t ->
-  ?eq_handle:Handle.t ->
+  ?eq_handle:Handle.eq ->
   ?user_ptr:int ->
   ?length:int ->
   bytes ->
@@ -57,7 +57,7 @@ val create_iovec :
   ?threshold:threshold ->
   ?unlink:unlink_policy ->
   ?eq:Event.Queue.t ->
-  ?eq_handle:Handle.t ->
+  ?eq_handle:Handle.eq ->
   ?user_ptr:int ->
   (bytes * int * int) list ->
   t
@@ -81,7 +81,7 @@ val options : t -> options
 val threshold : t -> threshold
 val unlink_policy : t -> unlink_policy
 val eq : t -> Event.Queue.t option
-val eq_handle : t -> Handle.t
+val eq_handle : t -> Handle.eq
 val user_ptr : t -> int
 val local_offset : t -> int
 (** Current locally managed offset (0 for remote-managed MDs). *)

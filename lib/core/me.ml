@@ -3,7 +3,7 @@ type t = {
   mbits : Match_bits.t;
   ibits : Match_bits.t;
   unlink : Md.unlink_policy;
-  mutable mds : Handle.t list; (* head = first considered *)
+  mutable mds : Handle.md list; (* head = first considered *)
 }
 
 let create ?(unlink = Md.Retain) ~match_id ~match_bits ~ignore_bits () =

@@ -28,15 +28,15 @@ val unlink_policy : t -> Md.unlink_policy
 val criteria_match : t -> src:Simnet.Proc_id.t -> mbits:Match_bits.t -> bool
 (** Do the source process and match bits satisfy this entry? *)
 
-val md_handles : t -> Handle.t list
+val md_handles : t -> Handle.md list
 (** Attached memory descriptors, first (head) to last. *)
 
-val first_md : t -> Handle.t option
+val first_md : t -> Handle.md option
 
-val attach_md : t -> Handle.t -> unit
+val attach_md : t -> Handle.md -> unit
 (** Append a descriptor at the tail of the MD list. *)
 
-val remove_md : t -> Handle.t -> bool
+val remove_md : t -> Handle.md -> bool
 (** Remove a descriptor; false if absent. *)
 
 val md_count : t -> int

@@ -2,7 +2,7 @@ open Sim_engine
 
 type md_entry = {
   mutable md : Md.t;
-  mutable owner : Handle.t option; (* attached ME, none for bound MDs *)
+  mutable owner : Handle.me option; (* attached ME, none for bound MDs *)
 }
 
 type me_entry = { me : Me.t; pt_index : int }
@@ -34,6 +34,17 @@ let drop_reason_index = function
   | Ack_no_eq -> 6
   | Reply_no_md -> 7
   | Reply_eq_full -> 8
+
+let drop_reason_slug = function
+  | Malformed -> "malformed"
+  | Invalid_portal_index -> "invalid_portal_index"
+  | Acl_bad_cookie -> "acl_bad_cookie"
+  | Acl_id_mismatch -> "acl_id_mismatch"
+  | Acl_portal_mismatch -> "acl_portal_mismatch"
+  | No_match -> "no_match"
+  | Ack_no_eq -> "ack_no_eq"
+  | Reply_no_md -> "reply_no_md"
+  | Reply_eq_full -> "reply_eq_full"
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -73,13 +84,14 @@ type mutable_counters = {
 type t = {
   tp : Simnet.Transport.t;
   self : Simnet.Proc_id.t;
-  pt : Handle.t list array; (* match lists, head searched first *)
+  pt : Handle.me list array; (* match lists, head searched first *)
   ni_acl : Acl.t;
-  mds : md_entry Handle.Table.t;
-  mes : me_entry Handle.Table.t;
-  eqs : Event.Queue.t Handle.Table.t;
+  mds : (Handle.md_kind, md_entry) Handle.Table.t;
+  mes : (Handle.me_kind, me_entry) Handle.Table.t;
+  eqs : (Handle.eq_kind, Event.Queue.t) Handle.Table.t;
   drops : int array;
   c : mutable_counters;
+  mutable eq_seq : int;
   mutable live : bool;
 }
 
@@ -92,7 +104,7 @@ type md_spec = {
   options : Md.options;
   threshold : Md.threshold;
   unlink : Md.unlink_policy;
-  eq : Handle.t;
+  eq : Handle.eq;
   user_ptr : int;
 }
 
@@ -103,6 +115,18 @@ let md_spec ?(options = Md.default_options) ?(threshold = Md.Infinite)
 let md_spec_iovec ?(options = Md.default_options) ?(threshold = Md.Infinite)
     ?(unlink = Md.Retain) ?(eq = Handle.none) ?(user_ptr = 0) segments =
   { region = Iovec segments; options; threshold; unlink; eq; user_ptr }
+
+type op = {
+  target : Simnet.Proc_id.t;
+  portal_index : int;
+  cookie : int;
+  match_bits : Match_bits.t;
+  offset : int;
+}
+
+let op ?(cookie = Acl.default_cookie_job) ?(match_bits = Match_bits.zero)
+    ?(offset = 0) ~target ~portal_index () =
+  { target; portal_index; cookie; match_bits; offset }
 
 let id t = t.self
 let sched t = t.tp.Simnet.Transport.sched
@@ -131,7 +155,11 @@ let counters t =
 
 let eq_alloc t ~capacity =
   if capacity <= 0 then Error Errors.Invalid_arg
-  else Ok (Handle.Table.alloc t.eqs (Event.Queue.create (sched t) ~capacity))
+  else begin
+    let name = Format.asprintf "%a#%d" Simnet.Proc_id.pp t.self t.eq_seq in
+    t.eq_seq <- t.eq_seq + 1;
+    Ok (Handle.Table.alloc t.eqs (Event.Queue.create ~name (sched t) ~capacity))
+  end
 
 let eq t h =
   match Handle.Table.find t.eqs h with
@@ -409,8 +437,17 @@ let handle_put_or_get t (msg : Wire.t) ~op =
            placement is kernel-space). Events and responses are emitted at
            delivery time so the structures and the event queues always
            agree — the atomicity higher-level libraries rely on. *)
-        t.tp.Simnet.Transport.charge_rx t.self.Simnet.Proc_id.nid
-          (match_walk_cost t ~entries);
+        let walk_cost = match_walk_cost t ~entries in
+        t.tp.Simnet.Transport.charge_rx t.self.Simnet.Proc_id.nid walk_cost;
+        let tr = Scheduler.trace (sched t) in
+        if Trace.enabled tr then begin
+          let start = Scheduler.now (sched t) in
+          Trace.complete tr ~subsys:"ni"
+            ~proc:(t.tp.Simnet.Transport.rx_track t.self.Simnet.Proc_id.nid)
+            ~msg_id:t.c.c_rx ~start
+            ~finish:(Time_ns.add start walk_cost)
+            (Printf.sprintf "match pt=%d" msg.Wire.portal_index)
+        end;
         (match md_eq with
         | None -> ()
         | Some queue ->
@@ -485,8 +522,7 @@ let handle_incoming t ~src:_ payload =
 (* ------------------------------------------------------------------ *)
 (* Initiating operations (§4.7) *)
 
-let put t ~md:mdh ?(ack = true) ~target ~portal_index ~cookie ~match_bits
-    ~offset () =
+let put t ~md:mdh ?(ack = true) (o : op) =
   match find_md t mdh with
   | Error e -> Error e
   | Ok entry ->
@@ -496,13 +532,14 @@ let put t ~md:mdh ?(ack = true) ~target ~portal_index ~cookie ~match_bits
       let data = Md.read md ~offset:0 ~len:(Md.length md) in
       let ack_requested = ack && not (Md.options md).Md.ack_disable in
       let msg =
-        Wire.put_request ~ack_requested ~initiator:t.self ~target ~portal_index
-          ~cookie ~match_bits ~offset ~md_handle:mdh ~eq_handle:(Md.eq_handle md)
-          ~data ()
+        Wire.put_request ~ack_requested ~initiator:t.self ~target:o.target
+          ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
+          ~eq_handle:(Md.eq_handle md) ~data ()
       in
       t.c.c_puts <- t.c.c_puts + 1;
       if ack_requested then Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:target (Wire.encode msg);
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
       (* SENT once the message has left the local interface. *)
       let md_eq = Md.eq md in
       Scheduler.after (sched t) t.tp.Simnet.Transport.send_overhead (fun () ->
@@ -512,12 +549,12 @@ let put t ~md:mdh ?(ack = true) ~target ~portal_index ~cookie ~match_bits
             let ev =
               {
                 Event.kind = Event.Sent;
-                initiator = target;
-                portal_index;
-                match_bits;
+                initiator = o.target;
+                portal_index = o.portal_index;
+                match_bits = o.match_bits;
                 rlength = Bytes.length data;
                 mlength = Bytes.length data;
-                offset;
+                offset = o.offset;
                 md_handle = mdh;
                 md_user_ptr = Md.user_ptr md;
                 time = Scheduler.now (sched t);
@@ -530,7 +567,7 @@ let put t ~md:mdh ?(ack = true) ~target ~portal_index ~cookie ~match_bits
       Ok ()
     end
 
-let get t ~md:mdh ~target ~portal_index ~cookie ~match_bits ~offset () =
+let get t ~md:mdh (o : op) =
   match find_md t mdh with
   | Error e -> Error e
   | Ok entry ->
@@ -538,12 +575,14 @@ let get t ~md:mdh ~target ~portal_index ~cookie ~match_bits ~offset () =
     else begin
       let md = entry.md in
       let msg =
-        Wire.get_request ~initiator:t.self ~target ~portal_index ~cookie
-          ~match_bits ~offset ~md_handle:mdh ~rlength:(Md.length md) ()
+        Wire.get_request ~initiator:t.self ~target:o.target
+          ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
+          ~rlength:(Md.length md) ()
       in
       t.c.c_gets <- t.c.c_gets + 1;
       Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:target (Wire.encode msg);
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
       Ok ()
     end
 
@@ -572,12 +611,39 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
           c_translations = 0;
           c_entries = 0;
         };
+      eq_seq = 0;
       live = true;
     }
   in
   Acl.install_defaults t.ni_acl ~job_id:Match_id.any;
   tp.Simnet.Transport.register self (fun ~src payload ->
       handle_incoming t ~src payload);
+  (* Publish the §4.8 drop counters (by reason) and the interface counters
+     as probes: the receive path keeps its plain integer bumps, and the
+     registry polls them only at snapshot time. *)
+  let m = Scheduler.metrics (sched t) in
+  let proc = Format.asprintf "%a" Simnet.Proc_id.pp self in
+  List.iter
+    (fun reason ->
+      Metrics.probe m
+        ~labels:[ ("proc", proc); ("reason", drop_reason_slug reason) ]
+        "ni.drops"
+        (fun () -> float_of_int t.drops.(drop_reason_index reason)))
+    all_drop_reasons;
+  let labels = [ ("proc", proc) ] in
+  List.iter
+    (fun (name, read) -> Metrics.probe m ~labels name read)
+    [
+      ("ni.puts", fun () -> float_of_int t.c.c_puts);
+      ("ni.gets", fun () -> float_of_int t.c.c_gets);
+      ("ni.acks", fun () -> float_of_int t.c.c_acks);
+      ("ni.replies", fun () -> float_of_int t.c.c_replies);
+      ("ni.rx_messages", fun () -> float_of_int t.c.c_rx);
+      ("ni.rx_bytes", fun () -> float_of_int t.c.c_rx_bytes);
+      ("ni.translations", fun () -> float_of_int t.c.c_translations);
+      ("ni.entries_walked", fun () -> float_of_int t.c.c_entries);
+      ("ni.drops_total", fun () -> float_of_int (dropped_total t));
+    ];
   t
 
 let shutdown t =

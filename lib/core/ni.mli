@@ -35,7 +35,7 @@ type md_spec = {
   options : Md.options;
   threshold : Md.threshold;
   unlink : Md.unlink_policy;
-  eq : Handle.t;  (** Event queue handle, or {!Handle.none}. *)
+  eq : Handle.eq;  (** Event queue handle, or {!Handle.none}. *)
   user_ptr : int;
 }
 
@@ -43,7 +43,7 @@ val md_spec :
   ?options:Md.options ->
   ?threshold:Md.threshold ->
   ?unlink:Md.unlink_policy ->
-  ?eq:Handle.t ->
+  ?eq:Handle.eq ->
   ?user_ptr:int ->
   ?length:int ->
   bytes ->
@@ -55,7 +55,7 @@ val md_spec_iovec :
   ?options:Md.options ->
   ?threshold:Md.threshold ->
   ?unlink:Md.unlink_policy ->
-  ?eq:Handle.t ->
+  ?eq:Handle.eq ->
   ?user_ptr:int ->
   (bytes * int * int) list ->
   md_spec
@@ -75,6 +75,10 @@ type drop_reason =
       (** Reply's event queue has no space and is not null (§4.8). *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
+
+val drop_reason_slug : drop_reason -> string
+(** Stable snake_case identifier used as the ["reason"] metrics label. *)
+
 val all_drop_reasons : drop_reason list
 
 type counters = {
@@ -112,9 +116,13 @@ val portal_table_size : t -> int
 
 (** {1 Event queues} *)
 
-val eq_alloc : t -> capacity:int -> (Handle.t, Errors.t) result
-val eq_free : t -> Handle.t -> (unit, Errors.t) result
-val eq : t -> Handle.t -> (Event.Queue.t, Errors.t) result
+val eq_alloc : t -> capacity:int -> (Handle.eq, Errors.t) result
+(** Allocate an event queue ([PtlEQAlloc]). The queue registers an
+    ["eq.depth"] series in the scheduler's metrics registry, labelled
+    with this interface's process id. *)
+
+val eq_free : t -> Handle.eq -> (unit, Errors.t) result
+val eq : t -> Handle.eq -> (Event.Queue.t, Errors.t) result
 (** Resolve a handle for direct [get]/[wait] access. *)
 
 (** {1 Match entries} *)
@@ -128,48 +136,48 @@ val me_attach :
   ?unlink:Md.unlink_policy ->
   ?pos:[ `Head | `Tail ] ->
   unit ->
-  (Handle.t, Errors.t) result
+  (Handle.me, Errors.t) result
 (** Attach a match entry to a portal table entry's match list
     ([PtlMEAttach]); [pos] (default [`Tail]) selects which end. *)
 
 val me_insert :
   t ->
-  base:Handle.t ->
+  base:Handle.me ->
   match_id:Match_id.t ->
   match_bits:Match_bits.t ->
   ignore_bits:Match_bits.t ->
   ?unlink:Md.unlink_policy ->
   pos:[ `Before | `After ] ->
   unit ->
-  (Handle.t, Errors.t) result
+  (Handle.me, Errors.t) result
 (** Insert relative to an existing entry ([PtlMEInsert]). *)
 
-val me_unlink : t -> Handle.t -> (unit, Errors.t) result
+val me_unlink : t -> Handle.me -> (unit, Errors.t) result
 (** Remove a match entry and its attached descriptors ([PtlMEUnlink]).
     Fails with [Md_in_use] if any attached descriptor has outstanding
     operations. *)
 
-val me_md_count : t -> Handle.t -> (int, Errors.t) result
+val me_md_count : t -> Handle.me -> (int, Errors.t) result
 (** Number of descriptors attached to the entry. *)
 
 (** {1 Memory descriptors} *)
 
-val md_attach : t -> me:Handle.t -> md_spec -> (Handle.t, Errors.t) result
+val md_attach : t -> me:Handle.me -> md_spec -> (Handle.md, Errors.t) result
 (** Attach a descriptor at the tail of a match entry's MD list
     ([PtlMDAttach]). *)
 
-val md_bind : t -> md_spec -> (Handle.t, Errors.t) result
+val md_bind : t -> md_spec -> (Handle.md, Errors.t) result
 (** Create a free-floating descriptor for initiating operations
     ([PtlMDBind]). *)
 
-val md_unlink : t -> Handle.t -> (unit, Errors.t) result
+val md_unlink : t -> Handle.md -> (unit, Errors.t) result
 (** [PtlMDUnlink]; [Md_in_use] while operations are outstanding. *)
 
-val md_local_offset : t -> Handle.t -> (int, Errors.t) result
+val md_local_offset : t -> Handle.md -> (int, Errors.t) result
 (** Current locally managed offset — how much of a slab MD is consumed. *)
 
 val md_update :
-  t -> Handle.t -> md_spec -> test_eq:Handle.t -> (bool, Errors.t) result
+  t -> Handle.md -> md_spec -> test_eq:Handle.eq -> (bool, Errors.t) result
 (** [PtlMDUpdate]: atomically replace the descriptor behind the handle
     with one built from the spec, {e provided} the event queue [test_eq]
     is empty; returns [Ok false] (no update) otherwise. This is the
@@ -177,36 +185,39 @@ val md_update :
     race between posting a receive and concurrent unexpected arrivals.
     Fails with [Md_in_use] while operations are outstanding. *)
 
-val md_active : t -> Handle.t -> (bool, Errors.t) result
+val md_active : t -> Handle.md -> (bool, Errors.t) result
 
 (** {1 Data movement (§4.3)} *)
 
-val put :
-  t ->
-  md:Handle.t ->
-  ?ack:bool ->
-  target:Simnet.Proc_id.t ->
-  portal_index:int ->
-  cookie:int ->
-  match_bits:Match_bits.t ->
-  offset:int ->
-  unit ->
-  (unit, Errors.t) result
-(** [PtlPut]: send the descriptor's entire region. With [ack] (default
-    true) and an ack-enabled descriptor, the target acknowledges with the
-    manipulated length (Table 2). A SENT event is logged locally once the
-    message has left. *)
+type op = {
+  target : Simnet.Proc_id.t;
+  portal_index : int;
+  cookie : int;  (** Access control entry index (§4.5). *)
+  match_bits : Match_bits.t;
+  offset : int;
+}
+(** Addressing for one put/get operation, mirroring {!md_spec}: the
+    target process, its portal table entry, the access-control cookie,
+    the matching criteria and the remote offset. *)
 
-val get :
-  t ->
-  md:Handle.t ->
+val op :
+  ?cookie:int ->
+  ?match_bits:Match_bits.t ->
+  ?offset:int ->
   target:Simnet.Proc_id.t ->
   portal_index:int ->
-  cookie:int ->
-  match_bits:Match_bits.t ->
-  offset:int ->
   unit ->
-  (unit, Errors.t) result
+  op
+(** Spec with cookie {!Acl.default_cookie_job}, zero match bits and zero
+    offset. *)
+
+val put : t -> md:Handle.md -> ?ack:bool -> op -> (unit, Errors.t) result
+(** [PtlPut]: send the descriptor's entire region to the operation's
+    target. With [ack] (default true) and an ack-enabled descriptor, the
+    target acknowledges with the manipulated length (Table 2). A SENT
+    event is logged locally once the message has left. *)
+
+val get : t -> md:Handle.md -> op -> (unit, Errors.t) result
 (** [PtlGet]: request the descriptor's length from the target; the reply
     deposits into the descriptor and logs a REPLY event. The descriptor
     cannot be unlinked until the reply arrives (§4.7). *)

@@ -17,8 +17,8 @@ type t = {
   cookie : int;
   match_bits : Match_bits.t;
   offset : int;
-  md_handle : Handle.t;
-  eq_handle : Handle.t;
+  md_handle : Handle.md;
+  eq_handle : Handle.eq;
   length : int;
   data : bytes;
 }

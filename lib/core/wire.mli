@@ -35,9 +35,9 @@ type t = {
   cookie : int;  (** Access control entry index (§4.5). *)
   match_bits : Match_bits.t;
   offset : int;
-  md_handle : Handle.t;
+  md_handle : Handle.md;
       (** Initiator-side MD: for the ack (put) or the reply (get). *)
-  eq_handle : Handle.t;
+  eq_handle : Handle.eq;
       (** Initiator-side EQ for the ack event; {!Handle.none} on get
           requests and replies. *)
   length : int;  (** Requested length; manipulated length in ack/reply. *)
@@ -54,8 +54,8 @@ val put_request :
   cookie:int ->
   match_bits:Match_bits.t ->
   offset:int ->
-  md_handle:Handle.t ->
-  eq_handle:Handle.t ->
+  md_handle:Handle.md ->
+  eq_handle:Handle.eq ->
   data:bytes ->
   unit ->
   t
@@ -72,7 +72,7 @@ val get_request :
   cookie:int ->
   match_bits:Match_bits.t ->
   offset:int ->
-  md_handle:Handle.t ->
+  md_handle:Handle.md ->
   rlength:int ->
   unit ->
   t

@@ -8,14 +8,27 @@ type t = {
 }
 
 let create ?(name = "cpu") sched =
-  {
-    sched;
-    cpu_name = name;
-    lock = Sync.Semaphore.create ~name:(name ^ ".lock") sched 1;
-    due = None;
-    stolen = Time_ns.zero;
-    computed = Time_ns.zero;
-  }
+  let t =
+    {
+      sched;
+      cpu_name = name;
+      lock = Sync.Semaphore.create ~name:(name ^ ".lock") sched 1;
+      due = None;
+      stolen = Time_ns.zero;
+      computed = Time_ns.zero;
+    }
+  in
+  let m = Scheduler.metrics sched in
+  let labels = [ ("cpu", name) ] in
+  Metrics.probe m ~labels "cpu.stolen_us" (fun () -> Time_ns.to_us t.stolen);
+  Metrics.probe m ~labels "cpu.compute_us" (fun () -> Time_ns.to_us t.computed);
+  Metrics.probe m ~labels "cpu.occupancy" (fun () ->
+      (* Fraction of elapsed simulated time this CPU spent executing
+         application compute or stolen protocol work. *)
+      let now = Time_ns.to_us (Scheduler.now sched) in
+      if now <= 0. then 0.
+      else (Time_ns.to_us t.computed +. Time_ns.to_us t.stolen) /. now);
+  t
 
 let name t = t.cpu_name
 
@@ -24,8 +37,9 @@ let name t = t.cpu_name
 let compute t d =
   if Time_ns.compare d Time_ns.zero < 0 then invalid_arg "Cpu.compute: negative";
   Sync.Semaphore.acquire t.lock;
+  let start = Scheduler.now t.sched in
   t.computed <- Time_ns.add t.computed d;
-  t.due <- Some (Time_ns.add (Scheduler.now t.sched) d);
+  t.due <- Some (Time_ns.add start d);
   let rec wait_until_done () =
     match t.due with
     | None -> assert false
@@ -37,6 +51,10 @@ let compute t d =
   in
   wait_until_done ();
   t.due <- None;
+  let tr = Scheduler.trace t.sched in
+  if Trace.enabled tr then
+    Trace.complete tr ~subsys:"cpu" ~proc:t.cpu_name ~start
+      ~finish:(Scheduler.now t.sched) "compute";
   Sync.Semaphore.release t.lock
 
 let steal t d =

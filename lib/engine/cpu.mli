@@ -22,6 +22,10 @@
 type t
 
 val create : ?name:string -> Scheduler.t -> t
+(** Registers ["cpu.stolen_us"], ["cpu.compute_us"] and ["cpu.occupancy"]
+    probes labelled [("cpu", name)] in the scheduler's metrics registry.
+    Completed {!compute} intervals emit ["cpu"] trace spans when the
+    scheduler's trace is enabled. *)
 
 val name : t -> string
 

@@ -1,0 +1,103 @@
+(** Central metrics registry for the whole fabric.
+
+    Subsystems register named instruments — counters, gauges, polled
+    probes, summaries, and (x, y) time-series — carrying string labels
+    such as [("proc", "1:0")] or [("reason", "no_match")]. Experiments and
+    the CLI then read one uniform {!Snapshot} instead of reaching into
+    per-module statistics records.
+
+    Cost model: instruments are registered once at component setup;
+    mutation costs one branch on the registry's shared enabled flag plus
+    the arithmetic; probes are closures polled only by {!snapshot}, so the
+    instrumented hot path pays nothing for them. Disabling the registry
+    ({!set_enabled}) turns every mutation into a single load-and-branch.
+
+    Registration is idempotent: asking for an instrument under an existing
+    (name, labels) key returns the already-registered instrument.
+    Re-registering a {!probe} rebinds the closure — components recreated
+    under the same identity replace their predecessor's probe. Asking for
+    a key that exists with a different instrument kind raises
+    [Invalid_argument]. *)
+
+type t
+
+type labels = (string * string) list
+(** Label sets are normalised: sorted by key, duplicate keys collapsed. *)
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh registry, enabled by default. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val normalize_labels : labels -> labels
+val pp_labels : Format.formatter -> labels -> unit
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type summary
+type series
+
+val counter : t -> ?labels:labels -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val probe : t -> ?labels:labels -> string -> (unit -> float) -> unit
+(** [probe t name f] registers a gauge whose value is [f ()] polled at
+    {!snapshot} time. *)
+
+val summary : t -> ?labels:labels -> string -> summary
+val observe : summary -> float -> unit
+
+val series : t -> ?labels:labels -> string -> series
+val push : series -> x:float -> y:float -> unit
+val series_points : series -> (float * float) list
+val series_length : series -> int
+
+val reset : t -> unit
+(** Zero every instrument in place (probes are unaffected); registrations
+    and handles stay valid. *)
+
+(** {1 Snapshots} *)
+
+module Snapshot : sig
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Summary of {
+        count : int;
+        mean : float;
+        min : float;
+        max : float;
+        stddev : float;
+        total : float;
+      }
+    | Series of (float * float) list
+
+  type entry = { name : string; labels : labels; value : value }
+
+  type t = entry list
+  (** Sorted by name, then labels. *)
+
+  val find : ?labels:labels -> t -> string -> value option
+  (** The value of the entry with this name and label set, if present. *)
+
+  val find_exn : ?labels:labels -> t -> string -> value
+  val filter : t -> string -> entry list
+end
+
+val snapshot : t -> Snapshot.t
+(** Capture every instrument's current value; probes are polled here. *)
+
+val absorb : t -> ?labels:labels -> Snapshot.t -> unit
+(** [absorb t ~labels snap] merges a snapshot into [t], prefixing every
+    entry's labels with [labels]. Counters and summaries accumulate,
+    gauges overwrite, series append. Used to aggregate per-world
+    registries into one cross-configuration report. *)

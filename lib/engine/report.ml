@@ -1,0 +1,149 @@
+(* Render a Metrics snapshot as an aligned text table or as JSON. JSON is
+   hand-rolled (the toolchain has no JSON library); output is plain
+   trace-viewer/jq-compatible UTF-8. *)
+
+type format = Table | Json
+
+let format_of_string = function
+  | "table" -> Some Table
+  | "json" -> Some Json
+  | _ -> None
+
+(* -- JSON helpers ------------------------------------------------------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_string b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+let json_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+  else Buffer.add_string b "null"
+
+let json_labels b labels =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      json_string b k;
+      Buffer.add_char b ':';
+      json_string b v)
+    labels;
+  Buffer.add_char b '}'
+
+let json_entry b (e : Metrics.Snapshot.entry) =
+  Buffer.add_string b "{\"name\":";
+  json_string b e.Metrics.Snapshot.name;
+  Buffer.add_string b ",\"labels\":";
+  json_labels b e.Metrics.Snapshot.labels;
+  (match e.Metrics.Snapshot.value with
+  | Metrics.Snapshot.Counter v ->
+    Buffer.add_string b ",\"type\":\"counter\",\"value\":";
+    Buffer.add_string b (string_of_int v)
+  | Metrics.Snapshot.Gauge v ->
+    Buffer.add_string b ",\"type\":\"gauge\",\"value\":";
+    json_float b v
+  | Metrics.Snapshot.Summary { count; mean; min; max; stddev; total } ->
+    Buffer.add_string b ",\"type\":\"summary\",\"value\":{\"count\":";
+    Buffer.add_string b (string_of_int count);
+    Buffer.add_string b ",\"mean\":";
+    json_float b mean;
+    Buffer.add_string b ",\"min\":";
+    json_float b min;
+    Buffer.add_string b ",\"max\":";
+    json_float b max;
+    Buffer.add_string b ",\"stddev\":";
+    json_float b stddev;
+    Buffer.add_string b ",\"total\":";
+    json_float b total;
+    Buffer.add_char b '}'
+  | Metrics.Snapshot.Series pts ->
+    Buffer.add_string b ",\"type\":\"series\",\"value\":[";
+    List.iteri
+      (fun i (x, y) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '[';
+        json_float b x;
+        Buffer.add_char b ',';
+        json_float b y;
+        Buffer.add_char b ']')
+      pts;
+    Buffer.add_char b ']');
+  Buffer.add_char b '}'
+
+let to_json (snap : Metrics.Snapshot.t) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      json_entry b e)
+    snap;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* -- Aligned table ------------------------------------------------------ *)
+
+let value_cell (e : Metrics.Snapshot.entry) =
+  match e.Metrics.Snapshot.value with
+  | Metrics.Snapshot.Counter v -> string_of_int v
+  | Metrics.Snapshot.Gauge v -> Printf.sprintf "%.4g" v
+  | Metrics.Snapshot.Summary { count; mean; min; max; stddev; _ } ->
+    Printf.sprintf "n=%d mean=%.4g min=%.4g max=%.4g sd=%.4g" count mean min
+      max stddev
+  | Metrics.Snapshot.Series pts -> Printf.sprintf "%d points" (List.length pts)
+
+let kind_cell (e : Metrics.Snapshot.entry) =
+  match e.Metrics.Snapshot.value with
+  | Metrics.Snapshot.Counter _ -> "counter"
+  | Metrics.Snapshot.Gauge _ -> "gauge"
+  | Metrics.Snapshot.Summary _ -> "summary"
+  | Metrics.Snapshot.Series _ -> "series"
+
+let name_cell (e : Metrics.Snapshot.entry) =
+  Format.asprintf "%s%a" e.Metrics.Snapshot.name Metrics.pp_labels
+    e.Metrics.Snapshot.labels
+
+let pp_table ?(series_points = false) ppf (snap : Metrics.Snapshot.t) =
+  let rows =
+    List.map (fun e -> (name_cell e, kind_cell e, value_cell e, e)) snap
+  in
+  let w1 =
+    List.fold_left (fun acc (n, _, _, _) -> Stdlib.max acc (String.length n)) 4 rows
+  in
+  let w2 =
+    List.fold_left (fun acc (_, k, _, _) -> Stdlib.max acc (String.length k)) 4 rows
+  in
+  Format.fprintf ppf "%-*s  %-*s  %s@." w1 "name" w2 "kind" "value";
+  List.iter
+    (fun (n, k, v, e) ->
+      Format.fprintf ppf "%-*s  %-*s  %s@." w1 n w2 k v;
+      if series_points then
+        match e.Metrics.Snapshot.value with
+        | Metrics.Snapshot.Series pts ->
+          List.iter
+            (fun (x, y) -> Format.fprintf ppf "%-*s    %.4f  %.4f@." w1 "" x y)
+            pts
+        | _ -> ())
+    rows
+
+let print ?(format = Table) ppf snap =
+  match format with
+  | Table -> pp_table ppf snap
+  | Json -> Format.pp_print_string ppf (to_json snap)

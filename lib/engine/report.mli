@@ -1,0 +1,17 @@
+(** Run reports: render a {!Metrics.Snapshot.t} as an aligned text table
+    or as a JSON document (hand-rolled; no external JSON dependency). *)
+
+type format = Table | Json
+
+val format_of_string : string -> format option
+(** Recognises ["table"] and ["json"]. *)
+
+val to_json : Metrics.Snapshot.t -> string
+(** A [{"metrics": [...]}] document; one object per instrument with
+    [name], [labels], [type], and [value] fields. *)
+
+val pp_table : ?series_points:bool -> Format.formatter -> Metrics.Snapshot.t -> unit
+(** Aligned name/kind/value table. With [series_points:true], series
+    entries are followed by their individual (x, y) rows. *)
+
+val print : ?format:format -> Format.formatter -> Metrics.Snapshot.t -> unit

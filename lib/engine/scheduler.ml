@@ -12,25 +12,39 @@ type t = {
   blocked : (int, string) Hashtbl.t;
   mutable current : fiber option;
   prng : Prng.t;
+  metrics : Metrics.t;
+  mutable trace_slot : Trace.t option;
 }
 
 type _ Effect.t += Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
 
-let create ?(seed = 0) () =
-  {
-    heap = Event_heap.create ();
-    now = Time_ns.zero;
-    next_fiber_id = 0;
-    live = 0;
-    stopping = false;
-    blocked = Hashtbl.create 64;
-    current = None;
-    prng = Prng.create ~seed;
-  }
+let create ?(seed = 0) ?(trace_capacity = 65536) () =
+  let t =
+    {
+      heap = Event_heap.create ();
+      now = Time_ns.zero;
+      next_fiber_id = 0;
+      live = 0;
+      stopping = false;
+      blocked = Hashtbl.create 64;
+      current = None;
+      prng = Prng.create ~seed;
+      metrics = Metrics.create ();
+      trace_slot = None;
+    }
+  in
+  (* The trace reads the clock through a closure because Trace cannot
+     depend on this module (the scheduler owns the trace). *)
+  t.trace_slot <- Some (Trace.create ~capacity:trace_capacity ~now:(fun () -> t.now) ());
+  t
 
 let now t = t.now
 let prng t = t.prng
 let live_fibers t = t.live
+let metrics t = t.metrics
+
+let trace t =
+  match t.trace_slot with Some tr -> tr | None -> assert false
 
 let at t time f =
   if Time_ns.compare time t.now < 0 then

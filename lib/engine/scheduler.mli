@@ -20,15 +20,25 @@ exception Stopped
 (** Raised inside {!run} processing when {!stop} was requested; callers of
     [run] do not see it. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?trace_capacity:int -> unit -> t
 (** [create ~seed ()] is a fresh scheduler at time 0. [seed] (default 0)
-    initialises the PRNG tree used by simulation components. *)
+    initialises the PRNG tree used by simulation components.
+    [trace_capacity] (default 65536) sizes the ring of the scheduler's
+    own {!trace}. *)
 
 val now : t -> Time_ns.t
 (** Current simulated time. *)
 
 val prng : t -> Prng.t
 (** The scheduler's root PRNG; components should {!Prng.split} it. *)
+
+val metrics : t -> Metrics.t
+(** The metrics registry shared by every component driven by this
+    scheduler. Enabled by default; one registry per simulated world. *)
+
+val trace : t -> Trace.t
+(** The span trace shared by every component driven by this scheduler.
+    Disabled by default ({!Trace.enable} to start recording). *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn t ~name f] creates a fiber running [f], starting at the current

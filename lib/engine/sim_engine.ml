@@ -5,6 +5,8 @@ module Time_ns = Time_ns
 module Prng = Prng
 module Event_heap = Event_heap
 module Stats = Stats
+module Metrics = Metrics
+module Report = Report
 module Scheduler = Scheduler
 module Sync = Sync
 module Cpu = Cpu

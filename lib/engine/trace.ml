@@ -2,19 +2,30 @@ let src = Logs.Src.create "sim" ~doc:"Simulation event trace"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+type phase = Instant | Complete of Time_ns.t | Begin | End
+
+type span = {
+  time : Time_ns.t;
+  subsys : string;
+  name : string;
+  proc : string option;
+  msg_id : int option;
+  phase : phase;
+}
+
 type t = {
-  sched : Scheduler.t;
+  now : unit -> Time_ns.t;
   capacity : int;
-  ring : (Time_ns.t * string * string) option array;
+  ring : span option array;
   mutable next : int;
   mutable count : int;
   mutable is_enabled : bool;
   log : bool;
 }
 
-let create ?(capacity = 4096) ?(log = false) sched =
+let create ?(capacity = 4096) ?(log = false) ~now () =
   {
-    sched;
+    now;
     capacity;
     ring = Array.make capacity None;
     next = 0;
@@ -27,34 +38,167 @@ let enable t = t.is_enabled <- true
 let disable t = t.is_enabled <- false
 let enabled t = t.is_enabled
 
-let emit t ?(subsys = "") msg =
-  if t.is_enabled then begin
-    let entry = (Scheduler.now t.sched, subsys, msg) in
-    t.ring.(t.next) <- Some entry;
-    t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1;
-    if t.log then
-      Log.debug (fun m ->
-          m "[%a] %s: %s" Time_ns.pp (Scheduler.now t.sched) subsys msg)
-  end
+let record t span =
+  t.ring.(t.next) <- Some span;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1;
+  if t.log then
+    Log.debug (fun m ->
+        m "[%a] %s: %s" Time_ns.pp span.time span.subsys span.name)
+
+let instant t ?(subsys = "") ?proc ?msg_id name =
+  if t.is_enabled then
+    record t { time = t.now (); subsys; name; proc; msg_id; phase = Instant }
+
+let complete t ?(subsys = "") ?proc ?msg_id ~start ~finish name =
+  if t.is_enabled then
+    record t
+      {
+        time = start;
+        subsys;
+        name;
+        proc;
+        msg_id;
+        phase = Complete (Time_ns.sub finish start);
+      }
+
+let begin_span t ?(subsys = "") ?proc ?msg_id name =
+  if t.is_enabled then
+    record t { time = t.now (); subsys; name; proc; msg_id; phase = Begin }
+
+let end_span t ?(subsys = "") ?proc ?msg_id name =
+  if t.is_enabled then
+    record t { time = t.now (); subsys; name; proc; msg_id; phase = End }
+
+(* Back-compatible flat-string entry points: an [emit] is an instant span. *)
+let emit t ?subsys msg = instant t ?subsys msg
 
 let emitf t ?subsys fmt =
-  if t.is_enabled then
-    Format.kasprintf (fun msg -> emit t ?subsys msg) fmt
+  if t.is_enabled then Format.kasprintf (fun msg -> emit t ?subsys msg) fmt
   else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
-let events t =
+let spans t =
   let out = ref [] in
   for i = 0 to t.count - 1 do
     let idx = (t.next - t.count + i + (2 * t.capacity)) mod t.capacity in
-    match t.ring.(idx) with
-    | Some e -> out := e :: !out
-    | None -> ()
+    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
   done;
   List.rev !out
 
+let events t = List.map (fun s -> (s.time, s.subsys, s.name)) (spans t)
+
 let dump ppf t =
-  let line (time, subsys, msg) =
-    Format.fprintf ppf "[%a] %s: %s@." Time_ns.pp time subsys msg
+  let line s =
+    let phase =
+      match s.phase with
+      | Instant -> ""
+      | Complete d -> Format.asprintf " (+%a)" Time_ns.pp d
+      | Begin -> " <begin>"
+      | End -> " <end>"
+    in
+    let proc = match s.proc with None -> "" | Some p -> " @" ^ p in
+    Format.fprintf ppf "[%a]%s %s: %s%s@." Time_ns.pp s.time proc s.subsys
+      s.name phase
   in
-  List.iter line (events t)
+  List.iter line (spans t)
+
+(* -- Chrome trace_event exporter ---------------------------------------- *)
+
+module Chrome = struct
+  let escape b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let str b s =
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+
+  (* trace_event timestamps are microseconds; emit fractional µs to keep
+     nanosecond resolution. *)
+  let ts b (t : Time_ns.t) =
+    Buffer.add_string b (Printf.sprintf "%.3f" (Time_ns.to_us t))
+
+  let metadata b ~first ~pid ~tid ~name ~value =
+    if not first then Buffer.add_string b ",\n";
+    Buffer.add_string b
+      (Printf.sprintf "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":" pid tid);
+    str b name;
+    Buffer.add_string b ",\"args\":{\"name\":";
+    str b value;
+    Buffer.add_string b "}}"
+
+  let event b ~first ~pid ~tid span =
+    if not first then Buffer.add_string b ",\n";
+    let ph =
+      match span.phase with
+      | Instant -> "i"
+      | Complete _ -> "X"
+      | Begin -> "B"
+      | End -> "E"
+    in
+    Buffer.add_string b "{\"ph\":";
+    str b ph;
+    Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"ts\":" pid tid);
+    ts b span.time;
+    (match span.phase with
+    | Complete d ->
+      Buffer.add_string b ",\"dur\":";
+      ts b d
+    | Instant -> Buffer.add_string b ",\"s\":\"t\""
+    | Begin | End -> ());
+    Buffer.add_string b ",\"name\":";
+    str b span.name;
+    if not (String.equal span.subsys "") then begin
+      Buffer.add_string b ",\"cat\":";
+      str b span.subsys
+    end;
+    (match span.msg_id with
+    | Some id ->
+      Buffer.add_string b (Printf.sprintf ",\"args\":{\"msg_id\":%d}" id)
+    | None -> ());
+    Buffer.add_string b "}"
+
+  (* Group spans of one process-group (pid) by their [proc] field; each
+     distinct proc becomes a Chrome thread with a thread_name record. *)
+  let add_group b ~first ~pid ~name spans =
+    let tids = Hashtbl.create 8 in
+    let tid_of proc =
+      match Hashtbl.find_opt tids proc with
+      | Some tid -> tid
+      | None ->
+        let tid = Hashtbl.length tids + 1 in
+        Hashtbl.add tids proc tid;
+        tid
+    in
+    metadata b ~first ~pid ~tid:0 ~name:"process_name" ~value:name;
+    List.iter
+      (fun span ->
+        let tid = tid_of (Option.value span.proc ~default:"main") in
+        event b ~first:false ~pid ~tid span)
+      spans;
+    Hashtbl.iter
+      (fun proc tid ->
+        metadata b ~first:false ~pid ~tid ~name:"thread_name" ~value:proc)
+      tids
+
+  let to_string groups =
+    let b = Buffer.create 8192 in
+    Buffer.add_string b "{\"traceEvents\":[\n";
+    List.iteri
+      (fun i (name, spans) ->
+        add_group b ~first:(i = 0) ~pid:(i + 1) ~name spans)
+      groups;
+    Buffer.add_string b "\n],\"displayTimeUnit\":\"ns\"}\n";
+    Buffer.contents b
+end
+
+let export_chrome ?(name = "sim") t = Chrome.to_string [ (name, spans t) ]

@@ -1,28 +1,81 @@
-(** Lightweight event trace for debugging simulations.
+(** Structured trace spans for simulations.
 
-    Disabled traces cost one branch per event. Enabled traces keep the most
-    recent [capacity] entries in a ring buffer and can mirror them to a
-    [Logs] source. *)
+    Disabled traces cost one branch per event. Enabled traces keep the
+    most recent [capacity] spans in a ring buffer, can mirror them to a
+    [Logs] source, and export to Chrome [trace_event] JSON for
+    [chrome://tracing] / Perfetto.
+
+    A span carries a subsystem (the Chrome category), a name, and
+    optionally the process it happened on and a message id. Four phases
+    exist: instantaneous marks, complete spans with a known duration
+    (natural for scheduled costs — the NIC knows up front how long a
+    matching walk takes), and begin/end pairs bracketing fiber work. *)
+
+type phase = Instant | Complete of Time_ns.t  (** duration *) | Begin | End
+
+type span = {
+  time : Time_ns.t;
+  subsys : string;
+  name : string;
+  proc : string option;
+  msg_id : int option;
+  phase : phase;
+}
 
 type t
 
-val create : ?capacity:int -> ?log:bool -> Scheduler.t -> t
-(** [create sched] is a disabled trace with the given ring [capacity]
-    (default 4096). With [log:true], events are also emitted at debug level
-    through the ["sim"] log source. *)
+val create : ?capacity:int -> ?log:bool -> now:(unit -> Time_ns.t) -> unit -> t
+(** [create ~now ()] is a disabled trace with the given ring [capacity]
+    (default 4096) reading timestamps from the [now] clock (normally
+    [fun () -> Scheduler.now sched]; the clock is injected so the
+    scheduler itself can own a trace). With [log:true], spans are also
+    emitted at debug level through the ["sim"] log source. *)
 
 val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
 
+val instant : t -> ?subsys:string -> ?proc:string -> ?msg_id:int -> string -> unit
+(** Record a point event at the current simulated time. *)
+
+val complete :
+  t ->
+  ?subsys:string ->
+  ?proc:string ->
+  ?msg_id:int ->
+  start:Time_ns.t ->
+  finish:Time_ns.t ->
+  string ->
+  unit
+(** Record a span covering [start..finish]; may be recorded before the
+    simulation clock reaches [finish] (costs are known when charged). *)
+
+val begin_span : t -> ?subsys:string -> ?proc:string -> ?msg_id:int -> string -> unit
+val end_span : t -> ?subsys:string -> ?proc:string -> ?msg_id:int -> string -> unit
+(** Bracket fiber work; nest freely per (proc) track. *)
+
 val emit : t -> ?subsys:string -> string -> unit
-(** Record an event at the current simulated time. *)
+(** [emit t msg] is [instant t msg] — flat-string compatibility. *)
 
 val emitf : t -> ?subsys:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Like {!emit} with formatting; the format arguments are only evaluated
     when the trace is enabled. *)
 
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
 val events : t -> (Time_ns.t * string * string) list
-(** Retained events, oldest first: (time, subsystem, message). *)
+(** Retained spans as flat (time, subsystem, name) triples. *)
 
 val dump : Format.formatter -> t -> unit
+
+val export_chrome : ?name:string -> t -> string
+(** The whole trace as one Chrome [trace_event] JSON document with a
+    single process named [name]. *)
+
+module Chrome : sig
+  val to_string : (string * span list) list -> string
+  (** [to_string groups] renders one JSON document; each (process-name,
+      spans) group becomes a Chrome pid, and each distinct [span.proc]
+      within a group becomes a named thread. *)
+end

@@ -44,14 +44,21 @@ let measure ~transport ~size ~count =
                   ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
         in
         P.Errors.ok_exn ~op:"put"
-          (P.Ni.put ni0 ~md:mdh ~ack:false ~target:world.Runtime.ranks.(1)
-             ~portal_index:pt_bench ~cookie:P.Acl.default_cookie_job
-             ~match_bits:P.Match_bits.zero ~offset:0 ())
+          (P.Ni.put ni0 ~md:mdh ~ack:false
+             (P.Ni.op ~target:world.Runtime.ranks.(1) ~portal_index:pt_bench ()))
       done);
   Runtime.run world;
+  (* Read the byte count off the sink NI's registry probe rather than
+     recomputing size * count: the curve reflects what actually landed. *)
+  let snap = Metrics.snapshot (Scheduler.metrics world.Runtime.sched) in
+  let sink = Format.asprintf "%a" Simnet.Proc_id.pp world.Runtime.ranks.(1) in
+  let bytes =
+    match Metrics.Snapshot.find snap ~labels:[ ("proc", sink) ] "ni.rx_bytes" with
+    | Some (Metrics.Snapshot.Gauge b) -> b
+    | _ -> 0.
+  in
   let elapsed = Time_ns.to_s !finished in
-  if elapsed <= 0. then 0.
-  else float_of_int (size * count) /. elapsed /. 1e6
+  if elapsed <= 0. then 0. else bytes /. elapsed /. 1e6
 
 let run_one ?(sizes = default_sizes) ?(count = 16) transport =
   {

@@ -15,8 +15,7 @@ let bind_payload ni payload =
 let put ni ~target ~portal_index ~cookie payload =
   let mdh = bind_payload ni payload in
   P.Errors.ok_exn ~op:"put"
-    (P.Ni.put ni ~md:mdh ~ack:false ~target ~portal_index ~cookie
-       ~match_bits:P.Match_bits.zero ~offset:0 ())
+    (P.Ni.put ni ~md:mdh ~ack:false (P.Ni.op ~target ~portal_index ~cookie ()))
 
 let run () =
   let world = Runtime.create_world ~nodes:2 () in
@@ -86,8 +85,7 @@ let run () =
       (P.Ni.md_bind ni0 (P.Ni.md_spec ~eq:full_eqh (Bytes.create 8)))
   in
   P.Errors.ok_exn ~op:"get"
-    (P.Ni.get ni0 ~md:gmd ~target:r1 ~portal_index:pt_bench
-       ~cookie:P.Acl.default_cookie_job ~match_bits:P.Match_bits.zero ~offset:0 ());
+    (P.Ni.get ni0 ~md:gmd (P.Ni.op ~target:r1 ~portal_index:pt_bench ()));
   ignore
     (P.Event.Queue.post full_eqq
        {
@@ -103,12 +101,27 @@ let run () =
          time = Time_ns.zero;
        });
   Runtime.run world;
+  (* The table is read back out of the registry: each NI publishes an
+     ["ni.drops"] probe per (proc, reason); summing over procs recovers
+     the fabric-wide count per reason. *)
+  let snap = Metrics.snapshot (Scheduler.metrics world.Runtime.sched) in
+  let count_of reason =
+    let slug = P.Ni.drop_reason_slug reason in
+    List.fold_left
+      (fun acc (e : Metrics.Snapshot.entry) ->
+        match e.Metrics.Snapshot.value with
+        | Metrics.Snapshot.Gauge v
+          when List.mem ("reason", slug) e.Metrics.Snapshot.labels ->
+          acc + int_of_float v
+        | _ -> acc)
+      0
+      (Metrics.Snapshot.filter snap "ni.drops")
+  in
   List.map
     (fun reason ->
-      let on_ni0 = P.Ni.dropped ni0 reason and on_ni1 = P.Ni.dropped ni1 reason in
       {
         reason = Format.asprintf "%a" P.Ni.pp_drop_reason reason;
-        count = on_ni0 + on_ni1;
+        count = count_of reason;
       })
     P.Ni.all_drop_reasons
 

@@ -25,10 +25,15 @@ type result = {
   mean_wait : float;
   max_wait : float;
   mean_work_elapsed : float;
+  metrics : Metrics.Snapshot.t;
+  spans : Trace.span list;
 }
 
-let run p =
+let run ?(capture_trace = false) p =
   let world = Runtime.create_world ~transport:p.transport ~nodes:2 () in
+  let sched = world.Runtime.sched in
+  let registry = Scheduler.metrics sched in
+  if capture_trace then Trace.enable (Scheduler.trace sched);
   let endpoints =
     Array.init 2 (fun rank ->
         match p.backend with
@@ -38,8 +43,10 @@ let run p =
         | `Gm ->
           Mpi.create_gm world.Runtime.transport ~ranks:world.Runtime.ranks ~rank ())
   in
-  let wait_stats = Stats.Summary.create ~name:"wait" () in
-  let work_stats = Stats.Summary.create ~name:"work" () in
+  (* The measured quantities live in the world's registry alongside the
+     fabric's own instruments, so one snapshot carries the whole run. *)
+  let wait_stats = Metrics.summary registry "fig.wait_us" in
+  let work_stats = Metrics.summary registry "fig.work_us" in
   let worker = 1 in
   Runtime.spawn_ranks world (fun ~rank ->
       let ep = endpoints.(rank) in
@@ -70,7 +77,7 @@ let run p =
             done
           end
           else Cpu.compute cpu p.work;
-          Stats.Summary.observe work_stats
+          Metrics.observe work_stats
             (Time_ns.to_us (Time_ns.sub (Scheduler.now world.Runtime.sched) started))
         end;
         (* time A; wait for the batch; time B *)
@@ -78,13 +85,23 @@ let run p =
         ignore (Mpi.waitall ep (sends @ recvs));
         let time_b = Scheduler.now world.Runtime.sched in
         if rank = worker then
-          Stats.Summary.observe wait_stats (Time_ns.to_us (Time_ns.sub time_b time_a))
+          Metrics.observe wait_stats (Time_ns.to_us (Time_ns.sub time_b time_a))
       done;
       Mpi.barrier ep;
       Mpi.finalize ep);
   Runtime.run world;
+  let metrics = Metrics.snapshot registry in
+  let summary_of name =
+    match Metrics.Snapshot.find metrics name with
+    | Some (Metrics.Snapshot.Summary { mean; max; _ }) -> (mean, max)
+    | _ -> (0., 0.)
+  in
+  let mean_wait, max_wait = summary_of "fig.wait_us" in
+  let mean_work_elapsed, _ = summary_of "fig.work_us" in
   {
-    mean_wait = Stats.Summary.mean wait_stats;
-    max_wait = Stats.Summary.max wait_stats;
-    mean_work_elapsed = Stats.Summary.mean work_stats;
+    mean_wait;
+    max_wait;
+    mean_work_elapsed;
+    metrics;
+    spans = Trace.spans (Scheduler.trace sched);
   }

@@ -41,7 +41,17 @@ type result = {
       (** Wall time the work interval actually took on the working node,
           microseconds — exceeds the nominal interval when receive
           processing steals host cycles. *)
+  metrics : Sim_engine.Metrics.Snapshot.t;
+      (** The world's full registry after the run: the measured
+          ["fig.wait_us"]/["fig.work_us"] summaries plus every fabric
+          instrument (NI drops, CPU occupancy, link utilisation, EQ
+          depth, protocol counters). *)
+  spans : Sim_engine.Trace.span list;
+      (** Structured trace spans; empty unless [capture_trace]. *)
 }
 
-val run : params -> result
-(** Execute the experiment in a fresh simulated world. *)
+val run : ?capture_trace:bool -> params -> result
+(** Execute the experiment in a fresh simulated world. With
+    [capture_trace:true] the world's trace is enabled and the retained
+    spans are returned in the result (default [false]: tracing stays a
+    single disabled branch per event). *)

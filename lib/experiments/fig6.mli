@@ -20,6 +20,17 @@ type t = {
   message_size : int;
   batch : int;
   series : series list;
+  metrics : Sim_engine.Metrics.Snapshot.t;
+      (** Aggregate registry snapshot: a ["fig6.wait_ms"] series per
+          configuration (labelled [("config", label)]) mirroring
+          [series], plus each configuration's full world registry —
+          NI drop counters, CPU occupancy, link utilisation, EQ-depth
+          series, protocol counters — absorbed from the largest work
+          interval's run under the same configuration label. *)
+  traces : (string * Sim_engine.Trace.span list) list;
+      (** Per-configuration trace spans from the largest work interval's
+          run; empty unless [capture_trace]. Feed to
+          {!Sim_engine.Trace.Chrome.to_string} for chrome://tracing. *)
 }
 
 val work_intervals_ms : float list
@@ -30,6 +41,7 @@ val run :
   ?batch:int ->
   ?iterations:int ->
   ?work_ms:float list ->
+  ?capture_trace:bool ->
   unit ->
   t
 (** Regenerate the figure's data: MPICH/GM (offload transport, as GM ran

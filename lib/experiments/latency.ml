@@ -34,8 +34,7 @@ let send ni ~target payload =
             ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
   in
   P.Errors.ok_exn ~op:"put"
-    (P.Ni.put ni ~md:mdh ~ack:false ~target ~portal_index:pt_bench
-       ~cookie:P.Acl.default_cookie_job ~match_bits:P.Match_bits.zero ~offset:0 ())
+    (P.Ni.put ni ~md:mdh ~ack:false (P.Ni.op ~target ~portal_index:pt_bench ()))
 
 let run_one ?profile ?label ?(message_size = 0) ?(iterations = 50) transport =
   let world = Runtime.create_world ?profile ~transport ~nodes:2 () in
@@ -44,7 +43,10 @@ let run_one ?profile ?label ?(message_size = 0) ?(iterations = 50) transport =
   let eq0 = attach_echo ni0 (Bytes.create (max message_size 8)) in
   let eq1 = attach_echo ni1 (Bytes.create (max message_size 8)) in
   let payload = Bytes.create message_size in
-  let rtt = Stats.Summary.create ~name:"rtt" () in
+  (* The measurement lives in the world's registry next to the fabric's
+     own instruments; the row is read back out of the snapshot. *)
+  let registry = Scheduler.metrics world.Runtime.sched in
+  let rtt = Metrics.summary registry "latency.rtt_us" in
   Scheduler.spawn world.Runtime.sched ~name:"pinger" (fun () ->
       (* One warmup round trip, then the measured ones. *)
       for i = 0 to iterations do
@@ -52,7 +54,7 @@ let run_one ?profile ?label ?(message_size = 0) ?(iterations = 50) transport =
         send ni0 ~target:world.Runtime.ranks.(1) payload;
         let _ev = P.Event.Queue.wait eq0 in
         if i > 0 then
-          Stats.Summary.observe rtt
+          Metrics.observe rtt
             (Time_ns.to_us (Time_ns.sub (Scheduler.now world.Runtime.sched) start))
       done);
   Scheduler.spawn world.Runtime.sched ~name:"ponger" (fun () ->
@@ -61,7 +63,11 @@ let run_one ?profile ?label ?(message_size = 0) ?(iterations = 50) transport =
         send ni1 ~target:world.Runtime.ranks.(0) payload
       done);
   Runtime.run world;
-  let mean = Stats.Summary.mean rtt in
+  let mean =
+    match Metrics.Snapshot.find (Metrics.snapshot registry) "latency.rtt_us" with
+    | Some (Metrics.Snapshot.Summary { mean; _ }) -> mean
+    | _ -> 0.
+  in
   {
     placement =
       (match label with

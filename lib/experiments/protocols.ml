@@ -64,9 +64,8 @@ let run_put ?(message_size = 4096) ?transport () =
             (Bytes.create message_size)))
   in
   P.Errors.ok_exn ~op:"put"
-    (P.Ni.put ni0 ~md:mdh ~ack:true ~target:world.Runtime.ranks.(1)
-       ~portal_index:pt_bench ~cookie:P.Acl.default_cookie_job
-       ~match_bits:P.Match_bits.zero ~offset:0 ());
+    (P.Ni.put ni0 ~md:mdh ~ack:true
+       (P.Ni.op ~target:world.Runtime.ranks.(1) ~portal_index:pt_bench ()));
   Runtime.run world;
   let entries = ref [] in
   collect entries `Initiator ieqq;
@@ -85,9 +84,8 @@ let run_get ?(message_size = 4096) ?transport () =
             (Bytes.create message_size)))
   in
   P.Errors.ok_exn ~op:"get"
-    (P.Ni.get ni0 ~md:mdh ~target:world.Runtime.ranks.(1)
-       ~portal_index:pt_bench ~cookie:P.Acl.default_cookie_job
-       ~match_bits:P.Match_bits.zero ~offset:0 ());
+    (P.Ni.get ni0 ~md:mdh
+       (P.Ni.op ~target:world.Runtime.ranks.(1) ~portal_index:pt_bench ()));
   Runtime.run world;
   let entries = ref [] in
   collect entries `Initiator ieqq;

@@ -48,9 +48,8 @@ let walk_entries ~transport ~depth =
             ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink (Bytes.create 8)))
   in
   P.Errors.ok_exn ~op:"put"
-    (P.Ni.put ni0 ~md:mdh ~ack:false ~target:world.Runtime.ranks.(1)
-       ~portal_index:pt_bench ~cookie:P.Acl.default_cookie_job
-       ~match_bits:P.Match_bits.zero ~offset:0 ());
+    (P.Ni.put ni0 ~md:mdh ~ack:false
+       (P.Ni.op ~target:world.Runtime.ranks.(1) ~portal_index:pt_bench ()));
   Runtime.run world;
   let counters = P.Ni.counters ni1 in
   let cpu = Simnet.Node.host_cpu (Simnet.Fabric.node world.Runtime.fabric 1) in

@@ -22,12 +22,21 @@ type t = {
   tokens : bytes Queue.t;
   events : event Queue.t;
   nonempty : Sim_engine.Sync.Waitq.t;
+  depth_series : Sim_engine.Metrics.series;
   mutable s_sends : int;
   mutable s_receives : int;
   mutable s_drops : int;
   mutable s_polls : int;
   mutable live : bool;
 }
+
+(* The port's event queue is GM's analogue of a Portals event queue, so it
+   publishes the same "eq.depth" series the Fig. 6 comparison reads. *)
+let record_depth t =
+  let sched = t.tp.Simnet.Transport.sched in
+  Sim_engine.Metrics.push t.depth_series
+    ~x:(Sim_engine.Time_ns.to_us (Sim_engine.Scheduler.now sched))
+    ~y:(float_of_int (Queue.length t.events))
 
 (* Take the first token that can hold [len] bytes, preserving the FIFO
    order of the rest. *)
@@ -56,19 +65,23 @@ let on_arrival t ~src payload =
       Bytes.blit payload 0 buffer 0 len;
       t.s_receives <- t.s_receives + 1;
       Queue.add (Recv_complete { src; buffer; length = len }) t.events;
+      record_depth t;
       Sim_engine.Sync.Waitq.broadcast t.nonempty
   end
 
 let open_port tp ~id:self =
+  let sched = tp.Simnet.Transport.sched in
+  let m = Sim_engine.Scheduler.metrics sched in
+  let pname = Format.asprintf "%a" Simnet.Proc_id.pp self in
   let t =
     {
       tp;
       self;
       tokens = Queue.create ();
       events = Queue.create ();
-      nonempty =
-        Sim_engine.Sync.Waitq.create ~name:"gm-port"
-          tp.Simnet.Transport.sched;
+      nonempty = Sim_engine.Sync.Waitq.create ~name:"gm-port" sched;
+      depth_series =
+        Sim_engine.Metrics.series m ~labels:[ ("eq", "gm:" ^ pname) ] "eq.depth";
       s_sends = 0;
       s_receives = 0;
       s_drops = 0;
@@ -76,6 +89,14 @@ let open_port tp ~id:self =
       live = true;
     }
   in
+  let labels = [ ("port", pname) ] in
+  let probe name f =
+    Sim_engine.Metrics.probe m ~labels name (fun () -> float_of_int (f ()))
+  in
+  probe "gm.sends" (fun () -> t.s_sends);
+  probe "gm.receives" (fun () -> t.s_receives);
+  probe "gm.drops_no_token" (fun () -> t.s_drops);
+  probe "gm.polls" (fun () -> t.s_polls);
   tp.Simnet.Transport.register self (fun ~src payload -> on_arrival t ~src payload);
   t
 
@@ -101,7 +122,9 @@ let send t ~dst payload =
 
 let poll t =
   t.s_polls <- t.s_polls + 1;
-  Queue.take_opt t.events
+  let ev = Queue.take_opt t.events in
+  if ev <> None then record_depth t;
+  ev
 
 let pending_events t = Queue.length t.events
 

@@ -43,8 +43,8 @@ type request = {
 type slab = {
   s_idx : int;
   s_buffer : bytes;
-  mutable s_meh : P.Handle.t;
-  mutable s_mdh : P.Handle.t;
+  mutable s_meh : P.Handle.me;
+  mutable s_mdh : P.Handle.md;
   mutable s_outstanding : int; (* unexpected chunks not yet copied out *)
 }
 
@@ -69,7 +69,7 @@ type t = {
   my_rank : int;
   sched : Scheduler.t;
   tp : Simnet.Transport.t;
-  eqh : P.Handle.t;
+  eqh : P.Handle.eq;
   eqq : P.Event.Queue.t;
   reqs : (int, request) Hashtbl.t;
   mutable next_id : int;
@@ -79,6 +79,8 @@ type t = {
   mutable slab_order : int list; (* match-list order, front = searched first *)
   mutable ux_bytes : int;
   mutable ux_highwater : int;
+  mutable eager_sends : int;
+  mutable rdvz_sends : int;
 }
 
 let rank t = t.my_rank
@@ -147,9 +149,18 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       slab_order = List.init config.slab_count (fun i -> i);
       ux_bytes = 0;
       ux_highwater = 0;
+      eager_sends = 0;
+      rdvz_sends = 0;
     }
   in
   Array.iter (fun slab -> attach_slab t slab) t.slabs;
+  let m = Scheduler.metrics t.sched in
+  let labels = [ ("rank", string_of_int my_rank) ] in
+  let probe name f = Metrics.probe m ~labels name (fun () -> float_of_int (f ())) in
+  probe "mpi.eager_sends" (fun () -> t.eager_sends);
+  probe "mpi.rdvz_sends" (fun () -> t.rdvz_sends);
+  probe "mpi.unexpected_bytes" (fun () -> t.ux_bytes);
+  probe "mpi.unexpected_highwater" (fun () -> t.ux_highwater);
   t
 
 let finalize t = P.Ni.shutdown t.ni
@@ -208,8 +219,9 @@ let issue_get t req ~cookie ~total_len ~src =
             ~user_ptr:req.id ~length:len req.buffer))
   in
   ok_exn ~op:"rdvz get"
-    (P.Ni.get t.ni ~md:mdh ~target:src ~portal_index:pt_rdvz ~cookie:acl_cookie
-       ~match_bits:(P.Match_bits.of_int64 cookie) ~offset:0 ())
+    (P.Ni.get t.ni ~md:mdh
+       (P.Ni.op ~target:src ~portal_index:pt_rdvz ~cookie:acl_cookie
+          ~match_bits:(P.Match_bits.of_int64 cookie) ()))
 
 let handle_event t (ev : P.Event.t) =
   let up = ev.P.Event.md_user_ptr in
@@ -362,6 +374,7 @@ let isend t ?(context = context_world) ~dst ~tag data =
   in
   let target = t.ranks.(dst) in
   if eager then begin
+    t.eager_sends <- t.eager_sends + 1;
     let env =
       { Envelope.protocol = Envelope.Eager; context; src_rank = t.my_rank; tag }
     in
@@ -374,12 +387,12 @@ let isend t ?(context = context_world) ~dst ~tag data =
               ~user_ptr:req.id data))
     in
     ok_exn ~op:"eager put"
-      (P.Ni.put t.ni ~md:mdh ~ack:false ~target ~portal_index:pt_mpi
-         ~cookie:acl_cookie
-         ~match_bits:(Envelope.to_match_bits env)
-         ~offset:0 ())
+      (P.Ni.put t.ni ~md:mdh ~ack:false
+         (P.Ni.op ~target ~portal_index:pt_mpi ~cookie:acl_cookie
+            ~match_bits:(Envelope.to_match_bits env) ()))
   end
   else begin
+    t.rdvz_sends <- t.rdvz_sends + 1;
     (* Expose the payload for the receiver's pull, keyed by a cookie and
        restricted to the destination process. *)
     let cookie = fresh_cookie t in
@@ -424,10 +437,9 @@ let isend t ?(context = context_world) ~dst ~tag data =
               ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink header))
     in
     ok_exn ~op:"rdvz header put"
-      (P.Ni.put t.ni ~md:hmd ~ack:false ~target ~portal_index:pt_mpi
-         ~cookie:acl_cookie
-         ~match_bits:(Envelope.to_match_bits env)
-         ~offset:0 ())
+      (P.Ni.put t.ni ~md:hmd ~ack:false
+         (P.Ni.op ~target ~portal_index:pt_mpi ~cookie:acl_cookie
+            ~match_bits:(Envelope.to_match_bits env) ()))
   end;
   req
 

@@ -9,9 +9,9 @@ type t = {
   ranks : Simnet.Proc_id.t array;
   my_rank : int;
   portal_index : int;
-  rx_eqh : P.Handle.t;
+  rx_eqh : P.Handle.eq;
   rx_eqq : P.Event.Queue.t; (* incoming one-sided ops on my regions *)
-  tx_eqh : P.Handle.t;
+  tx_eqh : P.Handle.eq;
   tx_eqq : P.Event.Queue.t; (* completions of my puts/gets *)
   mutable regions : region list;
   mutable next_region : int;
@@ -125,10 +125,9 @@ let put t sym ~pe ~offset data =
   in
   t.outstanding <- t.outstanding + 1;
   ok_exn ~op:"put"
-    (P.Ni.put t.os_ni ~md:mdh ~ack:true ~target:t.ranks.(pe)
-       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
-       ~match_bits:(P.Match_bits.of_int sym)
-       ~offset ())
+    (P.Ni.put t.os_ni ~md:mdh ~ack:true
+       (P.Ni.op ~target:t.ranks.(pe) ~portal_index:t.portal_index
+          ~match_bits:(P.Match_bits.of_int sym) ~offset ()))
 
 let quiet t =
   drain_tx t;
@@ -155,10 +154,9 @@ let get t sym ~pe ~offset ~len =
             ~eq:t.tx_eqh ~user_ptr:op_id dest))
   in
   ok_exn ~op:"get"
-    (P.Ni.get t.os_ni ~md:mdh ~target:t.ranks.(pe)
-       ~portal_index:t.portal_index ~cookie:P.Acl.default_cookie_job
-       ~match_bits:(P.Match_bits.of_int sym)
-       ~offset ());
+    (P.Ni.get t.os_ni ~md:mdh
+       (P.Ni.op ~target:t.ranks.(pe) ~portal_index:t.portal_index
+          ~match_bits:(P.Match_bits.of_int sym) ~offset ()));
   drain_tx t;
   while not (Hashtbl.mem t.completed_gets op_id) do
     handle_tx_event t (P.Event.Queue.wait t.tx_eqq);

@@ -61,19 +61,38 @@ let create ?config fabric =
       { eager_threshold = profile.Simnet.Profile.mtu; per_packet_interrupt = true }
   in
   let sched = Simnet.Fabric.sched fabric in
-  {
-    fabric;
-    cfg;
-    sched;
-    pairs = Hashtbl.create 64;
-    kcopy =
-      Array.init (Simnet.Fabric.node_count fabric) (fun nid ->
-          Simnet.Link.create ~name:(Printf.sprintf "kcopy%d" nid) sched);
-    uppers = Hashtbl.create 64;
-    assemblies = Hashtbl.create 64;
-    st =
-      { s_eager = 0; s_rendezvous = 0; s_rts = 0; s_cts = 0; s_data = 0; s_bytes = 0 };
-  }
+  let t =
+    {
+      fabric;
+      cfg;
+      sched;
+      pairs = Hashtbl.create 64;
+      kcopy =
+        Array.init (Simnet.Fabric.node_count fabric) (fun nid ->
+            Simnet.Link.create ~name:(Printf.sprintf "kcopy%d" nid) sched);
+      uppers = Hashtbl.create 64;
+      assemblies = Hashtbl.create 64;
+      st =
+        {
+          s_eager = 0;
+          s_rendezvous = 0;
+          s_rts = 0;
+          s_cts = 0;
+          s_data = 0;
+          s_bytes = 0;
+        };
+    }
+  in
+  let m = Scheduler.metrics sched in
+  let labels = [ ("protocol", "rtscts") ] in
+  let probe name f = Metrics.probe m ~labels name (fun () -> float_of_int (f ())) in
+  probe "rtscts.eager_messages" (fun () -> t.st.s_eager);
+  probe "rtscts.rendezvous_messages" (fun () -> t.st.s_rendezvous);
+  probe "rtscts.rts_sent" (fun () -> t.st.s_rts);
+  probe "rtscts.cts_sent" (fun () -> t.st.s_cts);
+  probe "rtscts.data_packets" (fun () -> t.st.s_data);
+  probe "rtscts.bytes_carried" (fun () -> t.st.s_bytes);
+  t
 
 let stats t =
   {
@@ -279,6 +298,7 @@ let transport t =
         Simnet.Fabric.unregister t.fabric pid);
     host_cpu = (fun nid -> host_cpu t nid);
     charge_rx = (fun nid cost -> steal t nid cost);
+    rx_track = (fun nid -> Printf.sprintf "cpu%d" nid);
     match_entry_cost = profile.Simnet.Profile.host_match_cost;
     rx_fixed_cost = profile.Simnet.Profile.host_interrupt_cost;
     data_in_time = (fun len -> Simnet.Profile.copy_time profile len);

@@ -8,7 +8,14 @@ type t = {
 }
 
 let create ?(name = "link") sched =
-  { sched; link_name = name; free_at = Time_ns.zero; busy = Time_ns.zero }
+  let t = { sched; link_name = name; free_at = Time_ns.zero; busy = Time_ns.zero } in
+  let m = Scheduler.metrics sched in
+  let labels = [ ("link", name) ] in
+  Metrics.probe m ~labels "link.busy_us" (fun () -> Time_ns.to_us t.busy);
+  Metrics.probe m ~labels "link.utilization" (fun () ->
+      let now = Time_ns.to_us (Scheduler.now sched) in
+      if now <= 0. then 0. else Time_ns.to_us t.busy /. now);
+  t
 
 let occupy t d =
   if Time_ns.compare d Time_ns.zero < 0 then

@@ -8,6 +8,8 @@
 type t
 
 val create : ?name:string -> Sim_engine.Scheduler.t -> t
+(** Registers ["link.busy_us"] and ["link.utilization"] probes labelled
+    [("link", name)] in the scheduler's metrics registry. *)
 
 val occupy : t -> Sim_engine.Time_ns.t -> Sim_engine.Time_ns.t
 (** [occupy t d] reserves the resource for duration [d] starting at the

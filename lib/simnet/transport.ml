@@ -8,6 +8,7 @@ type t = {
   unregister : Proc_id.t -> unit;
   host_cpu : Proc_id.nid -> Cpu.t;
   charge_rx : Proc_id.nid -> Time_ns.t -> unit;
+  rx_track : Proc_id.nid -> string;
   match_entry_cost : Time_ns.t;
   rx_fixed_cost : Time_ns.t;
   data_in_time : int -> Time_ns.t;
@@ -48,10 +49,17 @@ let offload fabric =
                 (Profile.dma_time profile (Bytes.length payload))
             in
             let landed = Link.occupy engines.(pid.Proc_id.nid) cost in
+            let tr = Scheduler.trace sched in
+            if Trace.enabled tr then
+              Trace.complete tr ~subsys:"net"
+                ~proc:(Printf.sprintf "nic%d" pid.Proc_id.nid)
+                ~start:(Time_ns.sub landed cost) ~finish:landed
+                (Printf.sprintf "land %dB" (Bytes.length payload));
             Scheduler.at sched landed (fun () -> handler ~src payload)));
     unregister = (fun pid -> Fabric.unregister fabric pid);
     host_cpu = host_cpu_of fabric;
     charge_rx = (fun _nid _cost -> ()) (* runs on the NIC, host untouched *);
+    rx_track = (fun nid -> Printf.sprintf "nic%d" nid);
     match_entry_cost = profile.Profile.nic_match_cost;
     rx_fixed_cost = profile.Profile.nic_rx_cost;
     data_in_time = (fun len -> Profile.dma_time profile len);
@@ -98,10 +106,17 @@ let kernel_interrupt fabric =
             in
             charge_rx nid (Time_ns.add profile.Profile.host_interrupt_cost copy);
             let landed = Link.occupy engines.(nid) fixed in
+            let tr = Scheduler.trace sched in
+            if Trace.enabled tr then
+              Trace.complete tr ~subsys:"net"
+                ~proc:(Printf.sprintf "cpu%d" nid)
+                ~start:(Time_ns.sub landed fixed) ~finish:landed
+                (Printf.sprintf "interrupt+copy %dB" (Bytes.length payload));
             Scheduler.at sched landed (fun () -> handler ~src payload)));
     unregister = (fun pid -> Fabric.unregister fabric pid);
     host_cpu = host_cpu_of fabric;
     charge_rx;
+    rx_track = (fun nid -> Printf.sprintf "cpu%d" nid);
     match_entry_cost = profile.Profile.host_match_cost;
     rx_fixed_cost =
       Time_ns.add profile.Profile.nic_rx_cost profile.Profile.host_interrupt_cost;

@@ -30,6 +30,11 @@ type t = {
   unregister : Proc_id.t -> unit;
   host_cpu : Proc_id.nid -> Sim_engine.Cpu.t;
   charge_rx : Proc_id.nid -> Sim_engine.Time_ns.t -> unit;
+  rx_track : Proc_id.nid -> string;
+      (** Trace-track name for receive-side protocol work on a node:
+          ["nic<nid>"] when matching runs on the NIC, ["cpu<nid>"] when it
+          steals the host CPU — so application bypass is visible as NIC
+          spans overlapping host compute spans. *)
   match_entry_cost : Sim_engine.Time_ns.t;
   rx_fixed_cost : Sim_engine.Time_ns.t;
   data_in_time : int -> Sim_engine.Time_ns.t;

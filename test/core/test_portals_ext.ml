@@ -53,8 +53,8 @@ let put env ?(md_payload = Bytes.of_string "payload") ?spec () =
   in
   let mdh = ok ~what:"bind" (Ni.md_bind env.ni0 spec) in
   ok ~what:"put"
-    (Ni.put env.ni0 ~md:mdh ~ack:false ~target:(proc 1 0) ~portal_index:0
-       ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+    (Ni.put env.ni0 ~md:mdh ~ack:false
+       (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()))
 
 let md_unit_tests =
   [
@@ -191,8 +191,8 @@ let iovec_e2e_tests =
                (Ni.md_spec ~threshold:(Md.Count 1) ~unlink:Md.Unlink ~eq:ieqh dest))
         in
         ok ~what:"get"
-          (Ni.get env.ni0 ~md:mdh ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.get env.ni0 ~md:mdh
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "gathered" "first|second" (Bytes.to_string dest));
   ]
@@ -241,6 +241,15 @@ let md_update_tests =
     Alcotest.test_case "update validates its handles" `Quick (fun () ->
         let env = setup () in
         let eqh, _, mdh = catch_all env in
+        (* Only *forged* handles of the right kind can reach the runtime
+           checks now. Passing a handle of the wrong kind — what this test
+           also used to probe, e.g.
+
+             Ni.md_update env.ni1 mdh spec ~test_eq:mdh   (* MD as EQ *)
+             Ni.md_update env.ni1 eqh spec ~test_eq:eqh   (* EQ as MD *)
+
+           — is rejected by the compiler since the phantom-typed handles:
+           [Handle.md] does not unify with [Handle.eq]. *)
         (match
            Ni.md_update env.ni1 mdh (Ni.md_spec (Bytes.create 4))
              ~test_eq:(Handle.of_wire 0x999L)

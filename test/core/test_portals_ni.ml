@@ -85,8 +85,8 @@ let put_get_tests =
         let payload = Bytes.of_string "hello portals" in
         let ieq, imd = bind_initiator env.ni0 payload in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "data landed" "hello portals"
           (Bytes.sub_string target_buf 0 13);
@@ -110,8 +110,8 @@ let put_get_tests =
         let _ = attach_target env.ni1 (Bytes.create 64) in
         let ieq, imd = bind_initiator env.ni0 (Bytes.of_string "quiet") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check (list string)) "only SENT" [ "SENT" ]
           (kinds (drain_events env.ni0 ieq)));
@@ -120,8 +120,8 @@ let put_get_tests =
         let teq, _, _ = attach_target env.ni1 (Bytes.create 8) in
         let ieq, imd = bind_initiator env.ni0 Bytes.empty in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         (match drain_events env.ni1 teq with
         | [ ev ] -> Alcotest.(check int) "mlength 0" 0 ev.Event.mlength
@@ -136,8 +136,8 @@ let put_get_tests =
         let local = Bytes.make 8 '.' in
         let ieq, imd = bind_initiator env.ni0 local in
         ok ~what:"get"
-          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:4 ());
+          (Ni.get env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ~offset:4 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "fetched from offset 4" "456789ab"
           (Bytes.to_string local);
@@ -154,8 +154,8 @@ let put_get_tests =
         let _ = attach_target env.ni1 target_buf in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "XY") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:7 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ~offset:7 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "middle" ".......XY......."
           (Bytes.to_string target_buf));
@@ -167,8 +167,8 @@ let put_get_tests =
         let teq, _, _ = attach_target ~options env.ni1 small in
         let ieq, imd = bind_initiator env.ni0 (Bytes.of_string "0123456789") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "first five bytes" "01234" (Bytes.to_string small);
         (match drain_events env.ni1 teq with
@@ -196,8 +196,9 @@ let matching_tests =
         in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "to-b") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:(Match_bits.of_int 20) ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+                ~match_bits:(Match_bits.of_int 20) ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "a untouched" 0 (List.length (drain_events env.ni1 eq_a));
         Alcotest.(check int) "b hit" 1 (List.length (drain_events env.ni1 eq_b));
@@ -214,8 +215,8 @@ let matching_tests =
         let eq_open, _, _ = attach_target env.ni1 open_buf in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "data") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "private skipped" 0
           (List.length (drain_events env.ni1 eq_priv));
@@ -240,8 +241,8 @@ let matching_tests =
         in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "first") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "early entry hit" 1
           (List.length (drain_events env.ni1 eqh));
@@ -258,8 +259,8 @@ let matching_tests =
         let eq2, _, _ = attach_target env.ni1 buf2 in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "fall") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "entry1 skipped" 0 (List.length (drain_events env.ni1 eq1));
         Alcotest.(check int) "entry2 accepted" 1 (List.length (drain_events env.ni1 eq2));
@@ -272,8 +273,8 @@ let matching_tests =
         let send s =
           let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
           ok ~what:"put"
-            (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-               ~match_bits:Match_bits.zero ~offset:999 ())
+            (Ni.put env.ni0 ~md:imd
+               (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ~offset:999 ()))
           (* remote offset must be ignored *)
         in
         send "aaaa";
@@ -301,8 +302,8 @@ let unlink_tests =
         let send s =
           let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
           ok ~what:"put"
-            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+            (Ni.put env.ni0 ~md:imd ~ack:false
+               (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()))
         in
         send "one!";
         Scheduler.run env.sched;
@@ -326,8 +327,8 @@ let unlink_tests =
         let send () =
           let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
           ok ~what:"put"
-            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+            (Ni.put env.ni0 ~md:imd ~ack:false
+               (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()))
         in
         send ();
         Scheduler.run env.sched;
@@ -344,8 +345,8 @@ let unlink_tests =
         let _ = attach_target env.ni1 (Bytes.of_string "remote-data-here") in
         let _, imd = bind_initiator env.ni0 (Bytes.create 4) in
         ok ~what:"get"
-          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.get env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         (* Before running the simulation the reply is outstanding. *)
         expect_err Errors.Md_in_use ~what:"unlink pending" (Ni.md_unlink env.ni0 imd);
         Scheduler.run env.sched;
@@ -359,8 +360,8 @@ let unlink_tests =
             (Bytes.of_string "self-cleaning")
         in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         (* SENT consumed one unit, ACK the second: the MD is gone. *)
         expect_err Errors.Invalid_md ~what:"auto-unlinked" (Ni.md_active env.ni0 imd));
@@ -373,8 +374,8 @@ let unlink_tests =
         (* Messages now drop at translation. *)
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "no match" 1 (Ni.dropped env.ni1 Ni.No_match));
   ]
@@ -385,8 +386,8 @@ let drop_tests =
         let env = setup () in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:4999
-             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:4999 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Invalid_portal_index));
     Alcotest.test_case "unset access control cookie" `Quick (fun () ->
@@ -394,8 +395,8 @@ let drop_tests =
         let _ = attach_target env.ni1 (Bytes.create 8) in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:9 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:9 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_bad_cookie));
     Alcotest.test_case "access control id mismatch" `Quick (fun () ->
@@ -409,8 +410,8 @@ let drop_tests =
         | Error _ -> Alcotest.fail "acl set");
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:2 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:2 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_id_mismatch));
     Alcotest.test_case "access control portal mismatch" `Quick (fun () ->
@@ -424,8 +425,8 @@ let drop_tests =
         | Error _ -> Alcotest.fail "acl set");
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:3 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:3 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.Acl_portal_mismatch));
     Alcotest.test_case "no matching entry" `Quick (fun () ->
@@ -437,8 +438,9 @@ let drop_tests =
         in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:1 ~match_bits:(Match_bits.of_int 6) ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1
+                ~match_bits:(Match_bits.of_int 6) ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.No_match));
     Alcotest.test_case "too-long message without truncate is rejected" `Quick
@@ -447,8 +449,8 @@ let drop_tests =
         let _ = attach_target env.ni1 (Bytes.create 4) in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "way too long") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped" 1 (Ni.dropped env.ni1 Ni.No_match));
     Alcotest.test_case "stray ack with unknown event queue" `Quick (fun () ->
@@ -484,8 +486,8 @@ let drop_tests =
         let eqh, imd = bind_initiator ~eq_capacity:1 env.ni0 (Bytes.create 4) in
         let q = ok ~what:"eq" (Ni.eq env.ni0 eqh) in
         ok ~what:"get"
-          (Ni.get env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.get env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         ignore
           (Event.Queue.post q
              {
@@ -514,8 +516,8 @@ let drop_tests =
         Ni.shutdown env.ni1;
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "x") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-             ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd ~ack:false
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check int) "fabric drop" 1
           (Simnet.Fabric.stats env.fabric).Simnet.Fabric.drops_unregistered;
@@ -533,8 +535,8 @@ let bypass_tests =
         let teq, _, _ = attach_target env.ni1 buf in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "bypassed") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         Alcotest.(check string) "delivered with no target activity" "bypassed"
           (Bytes.sub_string buf 0 8);
@@ -547,8 +549,8 @@ let bypass_tests =
         let _ = attach_target env.ni1 (Bytes.make 16 '.') in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "interrupting") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         let cpu = env.tp.Simnet.Transport.host_cpu 1 in
         Alcotest.(check bool) "host cycles stolen" true (Cpu.stolen_total cpu > 0));
@@ -557,8 +559,8 @@ let bypass_tests =
         let teq, _, _ = attach_target env.ni1 (Bytes.make 65536 '.') in
         let _, imd = bind_initiator env.ni0 (Bytes.make 50_000 'x') in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         match drain_events env.ni1 teq with
         | [ ev ] ->
@@ -582,8 +584,8 @@ let ordering_tests =
           Buffer.add_string expect s;
           let _, imd = bind_initiator env.ni0 (Bytes.of_string s) in
           ok ~what:"put"
-            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+            (Ni.put env.ni0 ~md:imd ~ack:false
+               (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()))
         done;
         Scheduler.run env.sched;
         let total = Buffer.length expect in
@@ -609,9 +611,8 @@ let ordering_tests =
                let payload = Bytes.make len (Char.chr (65 + (i mod 26))) in
                let _, imd = bind_initiator env.ni0 payload in
                ok ~what:"put"
-                 (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0)
-                    ~portal_index:0 ~cookie:1 ~match_bits:Match_bits.zero
-                    ~offset:0 ()))
+                 (Ni.put env.ni0 ~md:imd ~ack:false
+                    (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ())))
              sizes;
            Scheduler.run env.sched;
            let evs = drain_events env.ni1 teq in
@@ -630,8 +631,8 @@ let eq_overflow_tests =
         for _ = 1 to 4 do
           let _, imd = bind_initiator env.ni0 (Bytes.of_string "zz") in
           ok ~what:"put"
-            (Ni.put env.ni0 ~md:imd ~ack:false ~target:(proc 1 0) ~portal_index:0
-               ~cookie:1 ~match_bits:Match_bits.zero ~offset:0 ())
+            (Ni.put env.ni0 ~md:imd ~ack:false
+               (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()))
         done;
         Scheduler.run env.sched;
         Alcotest.(check string) "all data landed" "zzzzzzzz"
@@ -649,12 +650,12 @@ let counter_tests =
         let _ = attach_target env.ni1 (Bytes.of_string "0123456789") in
         let _, imd = bind_initiator env.ni0 (Bytes.of_string "abc") in
         ok ~what:"put"
-          (Ni.put env.ni0 ~md:imd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.put env.ni0 ~md:imd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         let _, gmd = bind_initiator env.ni0 (Bytes.create 4) in
         ok ~what:"get"
-          (Ni.get env.ni0 ~md:gmd ~target:(proc 1 0) ~portal_index:0 ~cookie:1
-             ~match_bits:Match_bits.zero ~offset:0 ());
+          (Ni.get env.ni0 ~md:gmd
+             (Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ()));
         Scheduler.run env.sched;
         let c0 = Ni.counters env.ni0 and c1 = Ni.counters env.ni1 in
         Alcotest.(check int) "puts" 1 c0.Ni.puts_initiated;

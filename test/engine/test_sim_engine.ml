@@ -487,12 +487,12 @@ let trace_tests =
   [
     Alcotest.test_case "disabled trace records nothing" `Quick (fun () ->
         let sched = Scheduler.create () in
-        let trace = Trace.create sched in
+        let trace = Scheduler.trace sched in
         Trace.emit trace "ignored";
         Alcotest.(check int) "empty" 0 (List.length (Trace.events trace)));
     Alcotest.test_case "records time-stamped events" `Quick (fun () ->
         let sched = Scheduler.create () in
-        let trace = Trace.create sched in
+        let trace = Scheduler.trace sched in
         Trace.enable trace;
         Scheduler.at sched 100 (fun () -> Trace.emit trace ~subsys:"nic" "rx");
         Scheduler.at sched 200 (fun () -> Trace.emitf trace "count=%d" 3);
@@ -502,7 +502,7 @@ let trace_tests =
         | events -> Alcotest.failf "unexpected events: %d" (List.length events));
     Alcotest.test_case "ring keeps most recent events" `Quick (fun () ->
         let sched = Scheduler.create () in
-        let trace = Trace.create ~capacity:4 sched in
+        let trace = Trace.create ~capacity:4 ~now:(fun () -> Scheduler.now sched) () in
         Trace.enable trace;
         for i = 1 to 10 do
           Trace.emitf trace "e%d" i
@@ -510,6 +510,190 @@ let trace_tests =
         let messages = List.map (fun (_, _, m) -> m) (Trace.events trace) in
         Alcotest.(check (list string)) "last four" [ "e7"; "e8"; "e9"; "e10" ]
           messages);
+    Alcotest.test_case "span phases and wraparound" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Trace.create ~capacity:3 ~now:(fun () -> Scheduler.now sched) () in
+        Trace.enable trace;
+        Trace.instant trace ~subsys:"x" "evicted";
+        Trace.begin_span trace ~subsys:"cpu" ~proc:"cpu0" "work";
+        Trace.end_span trace ~subsys:"cpu" ~proc:"cpu0" "work";
+        Trace.complete trace ~subsys:"ni" ~proc:"nic0" ~msg_id:7
+          ~start:(Time_ns.ns 10) ~finish:(Time_ns.ns 25) "match";
+        (match Trace.spans trace with
+        | [ b; e; c ] ->
+          Alcotest.(check bool) "begin" true (b.Trace.phase = Trace.Begin);
+          Alcotest.(check bool) "end" true (e.Trace.phase = Trace.End);
+          Alcotest.(check bool) "complete duration" true
+            (c.Trace.phase = Trace.Complete (Time_ns.ns 15));
+          Alcotest.(check (option int)) "msg id" (Some 7) c.Trace.msg_id;
+          Alcotest.(check (option string)) "proc" (Some "nic0") c.Trace.proc
+        | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans));
+        Alcotest.(check int) "first span evicted by wraparound" 3
+          (List.length (Trace.spans trace)));
+    Alcotest.test_case "nested spans survive in order" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Scheduler.trace sched in
+        Trace.enable trace;
+        Trace.begin_span trace ~proc:"cpu0" "outer";
+        Trace.begin_span trace ~proc:"cpu0" "inner";
+        Trace.end_span trace ~proc:"cpu0" "inner";
+        Trace.end_span trace ~proc:"cpu0" "outer";
+        let names = List.map (fun s -> s.Trace.name) (Trace.spans trace) in
+        Alcotest.(check (list string)) "stack order"
+          [ "outer"; "inner"; "inner"; "outer" ]
+          names);
+    Alcotest.test_case "chrome export is structurally sound" `Quick (fun () ->
+        let sched = Scheduler.create () in
+        let trace = Scheduler.trace sched in
+        Trace.enable trace;
+        Trace.complete trace ~subsys:"ni" ~proc:"nic0" ~start:Time_ns.zero
+          ~finish:(Time_ns.us 2.) "match";
+        Trace.instant trace ~subsys:"eq" ~proc:"cpu0" "post";
+        let json = Trace.export_chrome ~name:"test" trace in
+        let has needle =
+          let rec go i =
+            i + String.length needle <= String.length json
+            && (String.sub json i (String.length needle) = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "traceEvents" true (has "\"traceEvents\"");
+        Alcotest.(check bool) "complete phase" true (has "\"ph\":\"X\"");
+        Alcotest.(check bool) "instant phase" true (has "\"ph\":\"i\"");
+        Alcotest.(check bool) "thread name metadata" true (has "\"thread_name\"");
+        Alcotest.(check bool) "process name metadata" true (has "\"test\"");
+        Alcotest.(check bool) "balanced braces" true
+          (String.fold_left (fun n c ->
+               if c = '{' then n + 1 else if c = '}' then n - 1 else n)
+             0 json
+          = 0));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "registration is idempotent" `Quick (fun () ->
+        let m = Metrics.create () in
+        let c1 = Metrics.counter m "requests" in
+        let c2 = Metrics.counter m "requests" in
+        Metrics.incr c1;
+        Metrics.incr c2;
+        Alcotest.(check int) "same instrument" 2 (Metrics.counter_value c1);
+        let c3 = Metrics.counter m ~labels:[ ("proc", "0:0") ] "requests" in
+        Metrics.incr c3;
+        Alcotest.(check int) "labels distinguish" 1 (Metrics.counter_value c3));
+    Alcotest.test_case "disabled registry mutates nothing" `Quick (fun () ->
+        let m = Metrics.create ~enabled:false () in
+        let c = Metrics.counter m "n" in
+        let s = Metrics.summary m "lat" in
+        Metrics.incr c;
+        Metrics.observe s 5.0;
+        Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+        let snap = Metrics.snapshot m in
+        match Metrics.Snapshot.find snap "lat" with
+        | Some (Metrics.Snapshot.Summary { count; _ }) ->
+          Alcotest.(check int) "summary untouched" 0 count
+        | _ -> Alcotest.fail "summary entry missing");
+    Alcotest.test_case "snapshot reads counters, gauges, probes" `Quick (fun () ->
+        let m = Metrics.create () in
+        let c = Metrics.counter m ~labels:[ ("proc", "0:0") ] "ni.puts" in
+        Metrics.add c 3;
+        Metrics.set (Metrics.gauge m "depth") 4.5;
+        Metrics.probe m "cpu.occupancy" (fun () -> 0.25);
+        let snap = Metrics.snapshot m in
+        (match Metrics.Snapshot.find snap ~labels:[ ("proc", "0:0") ] "ni.puts" with
+        | Some (Metrics.Snapshot.Counter n) -> Alcotest.(check int) "counter" 3 n
+        | _ -> Alcotest.fail "counter missing");
+        (match Metrics.Snapshot.find snap "depth" with
+        | Some (Metrics.Snapshot.Gauge g) ->
+          Alcotest.(check (float 1e-9)) "gauge" 4.5 g
+        | _ -> Alcotest.fail "gauge missing");
+        match Metrics.Snapshot.find snap "cpu.occupancy" with
+        | Some (Metrics.Snapshot.Gauge g) ->
+          Alcotest.(check (float 1e-9)) "probe" 0.25 g
+        | _ -> Alcotest.fail "probe missing");
+    Alcotest.test_case "summary moments" `Quick (fun () ->
+        let m = Metrics.create () in
+        let s = Metrics.summary m "rtt" in
+        List.iter (Metrics.observe s) [ 1.0; 2.0; 3.0; 4.0 ];
+        match Metrics.Snapshot.find (Metrics.snapshot m) "rtt" with
+        | Some (Metrics.Snapshot.Summary { count; mean; min; max; total; _ }) ->
+          Alcotest.(check int) "count" 4 count;
+          Alcotest.(check (float 1e-9)) "mean" 2.5 mean;
+          Alcotest.(check (float 1e-9)) "min" 1.0 min;
+          Alcotest.(check (float 1e-9)) "max" 4.0 max;
+          Alcotest.(check (float 1e-9)) "total" 10.0 total
+        | _ -> Alcotest.fail "summary missing");
+    Alcotest.test_case "series keeps ordered points" `Quick (fun () ->
+        let m = Metrics.create () in
+        let s = Metrics.series m ~labels:[ ("eq", "0:0#0") ] "eq.depth" in
+        Metrics.push s ~x:1.0 ~y:1.0;
+        Metrics.push s ~x:2.0 ~y:2.0;
+        Metrics.push s ~x:3.0 ~y:1.0;
+        Alcotest.(check int) "length" 3 (Metrics.series_length s);
+        match
+          Metrics.Snapshot.find (Metrics.snapshot m)
+            ~labels:[ ("eq", "0:0#0") ]
+            "eq.depth"
+        with
+        | Some (Metrics.Snapshot.Series pts) ->
+          Alcotest.(check (list (pair (float 0.) (float 0.))))
+            "points"
+            [ (1.0, 1.0); (2.0, 2.0); (3.0, 1.0) ]
+            pts
+        | _ -> Alcotest.fail "series missing");
+    Alcotest.test_case "reset zeroes in place" `Quick (fun () ->
+        let m = Metrics.create () in
+        let c = Metrics.counter m "n" in
+        let s = Metrics.series m "pts" in
+        Metrics.add c 9;
+        Metrics.push s ~x:0.0 ~y:1.0;
+        Metrics.reset m;
+        Alcotest.(check int) "counter" 0 (Metrics.counter_value c);
+        Alcotest.(check int) "series" 0 (Metrics.series_length s));
+    Alcotest.test_case "absorb merges with label prefix" `Quick (fun () ->
+        let world = Metrics.create () in
+        Metrics.add (Metrics.counter world "ni.puts") 2;
+        Metrics.observe (Metrics.summary world "rtt") 10.0;
+        let agg = Metrics.create () in
+        Metrics.absorb agg ~labels:[ ("config", "portals") ] (Metrics.snapshot world);
+        Metrics.absorb agg ~labels:[ ("config", "portals") ] (Metrics.snapshot world);
+        let snap = Metrics.snapshot agg in
+        (match
+           Metrics.Snapshot.find snap ~labels:[ ("config", "portals") ] "ni.puts"
+         with
+        | Some (Metrics.Snapshot.Counter n) ->
+          Alcotest.(check int) "counters add" 4 n
+        | _ -> Alcotest.fail "absorbed counter missing");
+        match
+          Metrics.Snapshot.find snap ~labels:[ ("config", "portals") ] "rtt"
+        with
+        | Some (Metrics.Snapshot.Summary { count; mean; _ }) ->
+          Alcotest.(check int) "summary counts add" 2 count;
+          Alcotest.(check (float 1e-9)) "summary mean" 10.0 mean
+        | _ -> Alcotest.fail "absorbed summary missing");
+    Alcotest.test_case "report renders table and json" `Quick (fun () ->
+        let contains hay needle =
+          let rec go i =
+            i + String.length needle <= String.length hay
+            && (String.sub hay i (String.length needle) = needle || go (i + 1))
+          in
+          go 0
+        in
+        let m = Metrics.create () in
+        Metrics.add (Metrics.counter m ~labels:[ ("proc", "0:0") ] "ni.puts") 5;
+        Metrics.set (Metrics.gauge m "link.utilization") 0.5;
+        let snap = Metrics.snapshot m in
+        let table = Format.asprintf "%a" (Report.pp_table ?series_points:None) snap in
+        Alcotest.(check bool) "table mentions metric" true
+          (contains table "ni.puts");
+        let json = Report.to_json snap in
+        Alcotest.(check bool) "json mentions metric" true
+          (contains json "\"ni.puts\"");
+        Alcotest.(check bool) "json balanced" true
+          (String.fold_left (fun n c ->
+               if c = '{' then n + 1 else if c = '}' then n - 1 else n)
+             0 json
+          = 0));
   ]
 
 let () =
@@ -523,4 +707,5 @@ let () =
       ("cpu", cpu_tests);
       ("stats", stats_tests);
       ("trace", trace_tests);
+      ("metrics", metrics_tests);
     ]

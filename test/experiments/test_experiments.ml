@@ -148,6 +148,82 @@ let fig6_tests =
         let tests30 = List.nth (series "MPICH/GM+3tests") 2 in
         Alcotest.(check bool) "sprinkled tests recover most progress" true
           (tests30 < gm30 /. 2.));
+    Alcotest.test_case "registry series match the legacy points" `Quick
+      (fun () ->
+        (* The figure must be readable straight out of the metrics
+           snapshot: the ["fig6.wait_ms"] series per configuration is the
+           same curve as the Stats.Series-backed [points] field. *)
+        let t = Experiments.Fig6.run ~iterations:1 ~work_ms:[ 0.; 10. ] () in
+        List.iter
+          (fun s ->
+            match
+              Sim_engine.Metrics.Snapshot.find t.Experiments.Fig6.metrics
+                ~labels:[ ("config", s.Experiments.Fig6.label) ]
+                "fig6.wait_ms"
+            with
+            | Some (Sim_engine.Metrics.Snapshot.Series pts) ->
+              Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+                s.Experiments.Fig6.label s.Experiments.Fig6.points pts
+            | _ ->
+              Alcotest.failf "no registry series for %s"
+                s.Experiments.Fig6.label)
+          t.Experiments.Fig6.series);
+    Alcotest.test_case "aggregate snapshot and traces cover both backends"
+      `Quick (fun () ->
+        let t =
+          Experiments.Fig6.run ~iterations:1 ~work_ms:[ 0.; 5. ]
+            ~capture_trace:true ()
+        in
+        let has_labelled name config =
+          List.exists
+            (fun (e : Sim_engine.Metrics.Snapshot.entry) ->
+              e.Sim_engine.Metrics.Snapshot.name = name
+              && List.mem ("config", config) e.Sim_engine.Metrics.Snapshot.labels)
+            t.Experiments.Fig6.metrics
+        in
+        (* Drop counters, occupancy, link utilisation and EQ depth for a GM
+           and a Portals configuration, as absorbed from the world runs.
+           The GM backend has no Portals NI, so its drop accounting comes
+           from the port's token counter instead. *)
+        List.iter
+          (fun config ->
+            List.iter
+              (fun name ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s for %s" name config)
+                  true (has_labelled name config))
+              [ "cpu.occupancy"; "link.utilization"; "eq.depth" ])
+          [ "MPICH/GM"; "MPICH/Portals3.0" ];
+        Alcotest.(check bool) "ni drop counters for the Portals config" true
+          (has_labelled "ni.drops" "MPICH/Portals3.0");
+        Alcotest.(check bool) "gm drop counter for the GM config" true
+          (has_labelled "gm.drops_no_token" "MPICH/GM");
+        (* One span group per configuration, none empty. *)
+        Alcotest.(check int) "trace groups" 4
+          (List.length t.Experiments.Fig6.traces);
+        List.iter
+          (fun (label, spans) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "spans for %s" label)
+              true (spans <> []))
+          t.Experiments.Fig6.traces;
+        (* The offload configurations carry NIC-track spans; the Chrome
+           export of the whole set is one JSON document. *)
+        let mcp_spans = List.assoc "Portals3.0-MCP" t.Experiments.Fig6.traces in
+        Alcotest.(check bool) "nic-side spans in the MCP config" true
+          (List.exists
+             (fun (s : Sim_engine.Trace.span) ->
+               match s.Sim_engine.Trace.proc with
+               | Some p -> String.length p >= 3 && String.sub p 0 3 = "nic"
+               | None -> false)
+             mcp_spans);
+        let json =
+          String.trim (Sim_engine.Trace.Chrome.to_string t.Experiments.Fig6.traces)
+        in
+        Alcotest.(check bool) "chrome export non-trivial" true
+          (String.length json > 2
+          && json.[0] = '{'
+          && json.[String.length json - 1] = '}'));
   ]
 
 let scaling_tests =

@@ -206,9 +206,8 @@ let portals_over_rtscts_tests =
           | Error _ -> Alcotest.fail "bind"
         in
         (match
-           Portals.Ni.put ni0 ~md:imd ~ack:false ~target:(proc 1 0)
-             ~portal_index:0 ~cookie:1 ~match_bits:Portals.Match_bits.zero
-             ~offset:0 ()
+           Portals.Ni.put ni0 ~md:imd ~ack:false
+             (Portals.Ni.op ~target:(proc 1 0) ~portal_index:0 ~cookie:1 ())
          with
         | Ok () -> ()
         | Error _ -> Alcotest.fail "put");
