@@ -24,6 +24,8 @@ bench:
 ci: build test fmt
 	dune exec bin/portals_repro.exe -- \
 		--experiment fig6 --metrics=json --trace-out _build/fig6.trace.json
+	dune exec bin/portals_repro.exe -- \
+		--experiment rel_loss_sweep --metrics=json --seed 42 > /dev/null
 
 clean:
 	dune clean

@@ -7,7 +7,8 @@
      T1-T4  wire-format tables          F1/F2  put/get protocols
      F3/F4  address translation         F5/F6  application bypass
      L1     ping-pong latency           B1     streaming bandwidth
-     S1/S2  scalability                 A1/A2  drop accounting, ablations *)
+     S1/S2  scalability                 A1/A2  drop accounting, ablations
+     R1     reliability under loss *)
 
 open Bechamel
 open Toolkit
@@ -16,7 +17,10 @@ let line ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
 
 (* Observability flags, stdlib-only parsing:
      --metrics[=table|json]   print the F6 registry snapshot
-     --trace-out FILE         write the F6 runs as Chrome trace JSON *)
+     --trace-out FILE         write the F6 runs as Chrome trace JSON
+     --loss RATE              run every world on a lossy fabric (with the
+                              reliability shim underneath)
+     --seed N                 default PRNG seed, for deterministic replay *)
 type opts = {
   mutable metrics : Sim_engine.Report.format option;
   mutable trace_out : string option;
@@ -36,6 +40,18 @@ let parse_opts () =
     | "--trace-out" :: file :: rest ->
       o.trace_out <- Some file;
       go rest
+    | "--loss" :: rate :: rest ->
+      (match float_of_string_opt rate with
+      | Some l when l >= 0. && l < 1. ->
+        Runtime.set_run_env ~loss:l ();
+        go rest
+      | _ -> bad ("--loss " ^ rate))
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some s ->
+        Runtime.set_run_env ~seed:s ();
+        go rest
+      | None -> bad ("--seed " ^ n))
     | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
       (match
          Sim_engine.Report.format_of_string
@@ -108,6 +124,11 @@ let print_all opts =
   line ppf;
   Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
   Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
+  line ppf;
+  Format.fprintf ppf
+    "R1: reliability under wire loss (section 2: reliable in-order delivery)@.";
+  line ppf;
+  Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ());
   line ppf
 
 (* One Bechamel test per experiment: how long the harness takes to
@@ -157,6 +178,11 @@ let tests =
            ignore (Experiments.Scaling.run_collectives ~node_counts:[ 16 ] ())));
     Test.make ~name:"drop_reasons"
       (Staged.stage (fun () -> ignore (Experiments.Drops.run ())));
+    Test.make ~name:"rel_loss_sweep"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Rel_loss_sweep.run ~losses:[ 0.; 0.05 ]
+                ~seeds:[ 1 ] ~msgs:50 ())));
     Test.make ~name:"progress_ablation"
       (Staged.stage (fun () ->
            ignore

@@ -36,6 +36,37 @@ let backend_conv =
 let floats_conv = Arg.list ~sep:',' Arg.float
 let ints_conv = Arg.list ~sep:',' Arg.int
 
+(* Every command takes [--loss] / [--seed]: they set the process-wide run
+   environment (Runtime.set_run_env) before the experiment builds its
+   worlds, so any experiment replays deterministically on a lossy fabric
+   with the reliability protocol shimmed underneath. *)
+let env_term =
+  let loss =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"RATE"
+          ~doc:
+            "Run on a lossy fabric: drop each wire message with \
+             probability $(docv) (in [0, 1)) and shim the reliability \
+             protocol underneath the transport.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Default scheduler/fault PRNG seed, for deterministic replay \
+             (default 0).")
+  in
+  let set loss seed =
+    match Runtime.set_run_env ?loss ?seed () with
+    | () -> `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Term.(ret (const set $ loss $ seed))
+
 (* --- observability flags ------------------------------------------------ *)
 
 let report_format_conv =
@@ -93,10 +124,10 @@ let emit_observability ~metrics ~trace_out ~snapshot ~traces =
 let tables_cmd =
   let run () = Experiments.Tables.pp ppf (Experiments.Tables.run ()) in
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate Tables 1-4 (wire formats)")
-    Term.(const run $ const ())
+    Term.(const run $ env_term)
 
 let protocols_cmd =
-  let run transport =
+  let run () transport =
     Experiments.Protocols.pp ppf (Experiments.Protocols.run_put ~transport ());
     Experiments.Protocols.pp ppf (Experiments.Protocols.run_get ~transport ())
   in
@@ -106,10 +137,10 @@ let protocols_cmd =
   in
   Cmd.v
     (Cmd.info "protocols" ~doc:"Regenerate Figures 1-2 (put/get timelines)")
-    Term.(const run $ transport)
+    Term.(const run $ env_term $ transport)
 
 let translation_cmd =
-  let run depths =
+  let run () depths =
     Experiments.Translation.pp ppf (Experiments.Translation.run ~depths ())
   in
   let depths =
@@ -118,10 +149,10 @@ let translation_cmd =
   in
   Cmd.v
     (Cmd.info "translation" ~doc:"Regenerate Figures 3-4 (address translation)")
-    Term.(const run $ depths)
+    Term.(const run $ env_term $ depths)
 
 let latency_cmd =
-  let run size iterations =
+  let run () size iterations =
     Experiments.Latency.pp ppf
       (Experiments.Latency.run ~message_size:size ~iterations ())
   in
@@ -132,10 +163,10 @@ let latency_cmd =
     Arg.(value & opt int 50 & info [ "iterations" ] ~doc:"Ping-pong rounds")
   in
   Cmd.v (Cmd.info "latency" ~doc:"Ping-pong latency across placements (L1)")
-    Term.(const run $ size $ iterations)
+    Term.(const run $ env_term $ size $ iterations)
 
 let bandwidth_cmd =
-  let run sizes count =
+  let run () sizes count =
     Experiments.Bandwidth.pp ppf (Experiments.Bandwidth.run ~sizes ~count ())
   in
   let sizes =
@@ -146,10 +177,10 @@ let bandwidth_cmd =
     Arg.(value & opt int 16 & info [ "count" ] ~doc:"Messages per size")
   in
   Cmd.v (Cmd.info "bandwidth" ~doc:"Streaming bandwidth vs size (B1)")
-    Term.(const run $ sizes $ count)
+    Term.(const run $ env_term $ sizes $ count)
 
 let fig5_cmd =
-  let run backend transport size batch work tests metrics trace_out =
+  let run () backend transport size batch work tests metrics trace_out =
     let backend_name = match backend with `Portals -> "portals" | `Gm -> "gm" in
     let r =
       Experiments.Fig5.run
@@ -188,8 +219,8 @@ let fig5_cmd =
   in
   Cmd.v (Cmd.info "fig5" ~doc:"One application-bypass measurement (Table 5)")
     Term.(
-      const run $ backend $ transport $ size $ batch $ work $ tests $ metrics_arg
-      $ trace_out_arg)
+      const run $ env_term $ backend $ transport $ size $ batch $ work $ tests
+      $ metrics_arg $ trace_out_arg)
 
 let run_fig6 ?message_size ?work_ms ?iterations ~metrics ~trace_out () =
   let t =
@@ -201,7 +232,7 @@ let run_fig6 ?message_size ?work_ms ?iterations ~metrics ~trace_out () =
     ~traces:t.Experiments.Fig6.traces
 
 let fig6_cmd =
-  let run size work_ms iterations metrics trace_out =
+  let run () size work_ms iterations metrics trace_out =
     run_fig6 ~message_size:size ~work_ms ~iterations ~metrics ~trace_out ()
   in
   let size = Arg.(value & opt int 50_000 & info [ "size" ] ~doc:"Message size") in
@@ -213,10 +244,12 @@ let fig6_cmd =
     Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Averaging repetitions")
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Regenerate Figure 6 (application bypass)")
-    Term.(const run $ size $ work $ iterations $ metrics_arg $ trace_out_arg)
+    Term.(
+      const run $ env_term $ size $ work $ iterations $ metrics_arg
+      $ trace_out_arg)
 
 let memory_cmd =
-  let run jobs =
+  let run () jobs =
     Experiments.Scaling.pp_memory ppf
       (Experiments.Scaling.run_memory ~job_sizes:jobs ())
   in
@@ -225,10 +258,10 @@ let memory_cmd =
          & info [ "jobs" ] ~doc:"Job sizes to sweep")
   in
   Cmd.v (Cmd.info "memory" ~doc:"Unexpected-buffer memory vs job size (S1)")
-    Term.(const run $ jobs)
+    Term.(const run $ env_term $ jobs)
 
 let collectives_cmd =
-  let run nodes =
+  let run () nodes =
     Experiments.Scaling.pp_collectives ppf
       (Experiments.Scaling.run_collectives ~node_counts:nodes ())
   in
@@ -237,12 +270,12 @@ let collectives_cmd =
          & info [ "nodes" ] ~doc:"Node counts to sweep")
   in
   Cmd.v (Cmd.info "collectives" ~doc:"Collective scaling (S2)")
-    Term.(const run $ nodes)
+    Term.(const run $ env_term $ nodes)
 
 let drops_cmd =
   let run () = Experiments.Drops.pp ppf (Experiments.Drops.run ()) in
   Cmd.v (Cmd.info "drops" ~doc:"Trigger and count every drop reason (A1)")
-    Term.(const run $ const ())
+    Term.(const run $ env_term)
 
 let ablation_cmd =
   let run () =
@@ -250,7 +283,42 @@ let ablation_cmd =
     Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ())
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Design-choice ablations (A2)")
-    Term.(const run $ const ())
+    Term.(const run $ env_term)
+
+let run_rel_loss_sweep ?losses ?seeds ?msgs ?size ~metrics () =
+  let registry = Sim_engine.Metrics.create () in
+  let rows =
+    Experiments.Rel_loss_sweep.run ?losses ?seeds ?msgs ?size ~registry ()
+  in
+  Experiments.Rel_loss_sweep.pp ppf rows;
+  match metrics with
+  | None -> ()
+  | Some format ->
+    Sim_engine.Report.print ~format ppf (Sim_engine.Metrics.snapshot registry);
+    Format.pp_print_flush ppf ()
+
+let rel_loss_sweep_cmd =
+  let run () losses seeds msgs size metrics =
+    run_rel_loss_sweep ~losses ~seeds ~msgs ~size ~metrics ()
+  in
+  let losses =
+    Arg.(value & opt floats_conv Experiments.Rel_loss_sweep.default_losses
+         & info [ "losses" ] ~doc:"Wire loss rates to sweep")
+  in
+  let seeds =
+    Arg.(value & opt ints_conv [ 1; 2; 3 ]
+         & info [ "seeds" ] ~doc:"PRNG seeds averaged per loss rate")
+  in
+  let msgs =
+    Arg.(value & opt int 200 & info [ "msgs" ] ~doc:"Messages per stream")
+  in
+  let size =
+    Arg.(value & opt int 1024 & info [ "size" ] ~doc:"Message size in bytes")
+  in
+  Cmd.v
+    (Cmd.info "rel-loss-sweep"
+       ~doc:"Goodput/completion vs wire loss, reliable vs raw fabric (R1)")
+    Term.(const run $ env_term $ losses $ seeds $ msgs $ size $ metrics_arg)
 
 let all_cmd =
   let run () =
@@ -265,10 +333,11 @@ let all_cmd =
     Experiments.Scaling.pp_collectives ppf (Experiments.Scaling.run_collectives ());
     Experiments.Drops.pp ppf (Experiments.Drops.run ());
     Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
-    Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ())
+    Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
+    Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
-    Term.(const run $ const ())
+    Term.(const run $ env_term)
 
 (* Flag-style entry point: [--experiment NAME --metrics[=json] --trace-out F]
    without naming a subcommand. *)
@@ -281,9 +350,9 @@ let default_term =
           ~doc:
             "Run experiment $(docv) with default parameters (equivalent to \
              the $(docv) subcommand). $(b,--metrics) and $(b,--trace-out) \
-             apply to fig5 and fig6.")
+             apply to fig5, fig6 and rel_loss_sweep.")
   in
-  let run experiment metrics trace_out =
+  let run () experiment metrics trace_out =
     let plain name f =
       if metrics <> None || trace_out <> None then
         `Error
@@ -326,13 +395,16 @@ let default_term =
     | Some ("translation" as n) ->
       plain n (fun () ->
           Experiments.Translation.pp ppf (Experiments.Translation.run ()))
+    | Some ("rel_loss_sweep" | "rel-loss-sweep") when trace_out = None ->
+      run_rel_loss_sweep ~metrics ();
+      `Ok ()
     | Some other ->
       `Error
         ( false,
           Printf.sprintf
             "unknown experiment %S (try a subcommand; see --help)" other )
   in
-  Term.(ret (const run $ experiment $ metrics_arg $ trace_out_arg))
+  Term.(ret (const run $ env_term $ experiment $ metrics_arg $ trace_out_arg))
 
 let () =
   let doc = "Reproduction harness for Portals 3.0 (IPPS 2002)" in
@@ -343,5 +415,5 @@ let () =
           [
             tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
             bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
-            drops_cmd; ablation_cmd; all_cmd;
+            drops_cmd; ablation_cmd; rel_loss_sweep_cmd; all_cmd;
           ]))

@@ -12,3 +12,4 @@ module Translation = Translation
 module Scaling = Scaling
 module Drops = Drops
 module Ablation = Ablation
+module Rel_loss_sweep = Rel_loss_sweep

@@ -1,0 +1,42 @@
+type point = { loss : float; seed : int }
+type 'a outcome = { point : point; value : 'a }
+
+let grid ~losses ~seeds =
+  List.concat_map (fun loss -> List.map (fun seed -> { loss; seed }) seeds) losses
+
+let fault point =
+  if point.loss <= 0. then None
+  else Some (Simnet.Fault.bernoulli ~seed:point.seed ~p:point.loss ())
+
+let burst_fault ?(p_exit = 0.25) point =
+  if point.loss <= 0. then None
+  else begin
+    (* Steady-state Bad occupancy of the two-state chain is
+       p_enter / (p_enter + p_exit); solve for the target loss. *)
+    let p = min point.loss 0.99 in
+    let p_enter = p *. p_exit /. (1. -. p) in
+    Some (Simnet.Fault.gilbert ~seed:point.seed ~p_enter ~p_exit ())
+  end
+
+let run ~losses ~seeds ~f =
+  List.map
+    (fun point -> { point; value = f ~loss:point.loss ~seed:point.seed })
+    (grid ~losses ~seeds)
+
+let mean_by_loss measure outcomes =
+  let order = ref [] in
+  let table : (float, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt table o.point.loss with
+      | Some cell -> cell := measure o.value :: !cell
+      | None ->
+        order := o.point.loss :: !order;
+        Hashtbl.replace table o.point.loss (ref [ measure o.value ]))
+    outcomes;
+  List.rev_map
+    (fun loss ->
+      let samples = !(Hashtbl.find table loss) in
+      let n = List.length samples in
+      (loss, List.fold_left ( +. ) 0. samples /. float_of_int (max 1 n)))
+    !order

@@ -1,0 +1,36 @@
+(** Fault-injection campaign runner.
+
+    A campaign sweeps a grid of loss rates and PRNG seeds, building one
+    fresh simulated world per point so runs are independent and each
+    point [(loss, seed)] replays bit-exactly. The reliability experiments
+    ([rel_loss_sweep]) and the robustness tests drive their sweeps through
+    this module so the grid construction, seeding discipline and
+    per-point fault models stay uniform. *)
+
+type point = { loss : float; seed : int }
+
+type 'a outcome = { point : point; value : 'a }
+
+val grid : losses:float list -> seeds:int list -> point list
+(** Cartesian product, losses-major (all seeds of the first loss, then
+    the next loss, ...). *)
+
+val fault : point -> Simnet.Fault.t option
+(** The Bernoulli model for a point; [None] at loss 0 (a perfect wire
+    needs no model). *)
+
+val burst_fault : ?p_exit:float -> point -> Simnet.Fault.t option
+(** A Gilbert burst model whose steady-state loss matches [point.loss]:
+    [p_exit] (default 0.25) fixes the mean burst length at
+    [1/p_exit] messages and [p_enter] is solved from the target rate. *)
+
+val run :
+  losses:float list ->
+  seeds:int list ->
+  f:(loss:float -> seed:int -> 'a) ->
+  'a outcome list
+(** Evaluate [f] at every grid point, in grid order. *)
+
+val mean_by_loss : ('a -> float) -> 'a outcome list -> (float * float) list
+(** Collapse the seed axis: mean of [measure value] per loss rate, in
+    first-appearance order of the losses. *)

@@ -1,0 +1,62 @@
+type t =
+  | Data of { seq : int; payload : bytes }
+  | Ack of { cum_ack : int; sack : int64 }
+
+let magic = 0xA7
+let header_size = 10 (* magic + kind + seq *)
+
+let encode = function
+  | Data { seq; payload } ->
+    let buf = Bytes.create (header_size + Bytes.length payload) in
+    Bytes.set_uint8 buf 0 magic;
+    Bytes.set_uint8 buf 1 0;
+    Bytes.set_int64_le buf 2 (Int64.of_int seq);
+    Bytes.blit payload 0 buf header_size (Bytes.length payload);
+    buf
+  | Ack { cum_ack; sack } ->
+    let buf = Bytes.create 18 in
+    Bytes.set_uint8 buf 0 magic;
+    Bytes.set_uint8 buf 1 1;
+    Bytes.set_int64_le buf 2 (Int64.of_int cum_ack);
+    Bytes.set_int64_le buf 10 sack;
+    buf
+
+let decode buf =
+  if Bytes.length buf < header_size then Error "rel frame: truncated header"
+  else if Bytes.get_uint8 buf 0 <> magic then Error "rel frame: bad magic"
+  else
+    match Bytes.get_uint8 buf 1 with
+    | 0 ->
+      Ok
+        (Data
+           {
+             seq = Int64.to_int (Bytes.get_int64_le buf 2);
+             payload = Bytes.sub buf header_size (Bytes.length buf - header_size);
+           })
+    | 1 ->
+      if Bytes.length buf < 18 then Error "rel frame: truncated ack"
+      else
+        Ok
+          (Ack
+             {
+               cum_ack = Int64.to_int (Bytes.get_int64_le buf 2);
+               sack = Bytes.get_int64_le buf 10;
+             })
+    | _ -> Error "rel frame: unknown kind"
+
+let sack_mem ~sack ~cum_ack seq =
+  let i = seq - cum_ack - 1 in
+  i >= 0 && i < 64 && Int64.logand sack (Int64.shift_left 1L i) <> 0L
+
+let sack_of_seqs ~cum_ack seqs =
+  List.fold_left
+    (fun acc seq ->
+      let i = seq - cum_ack - 1 in
+      if i >= 0 && i < 64 then Int64.logor acc (Int64.shift_left 1L i) else acc)
+    0L seqs
+
+let pp ppf = function
+  | Data { seq; payload } ->
+    Format.fprintf ppf "DATA seq=%d len=%d" seq (Bytes.length payload)
+  | Ack { cum_ack; sack } ->
+    Format.fprintf ppf "ACK cum=%d sack=%Lx" cum_ack sack

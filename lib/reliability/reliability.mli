@@ -1,0 +1,82 @@
+(** Reliable, in-order, exactly-once delivery over a lossy fabric.
+
+    Portals 3.0 assumes "reliable, in-order delivery" from the network
+    (§2) — on Cplant that guarantee was {e manufactured} by a reliability
+    protocol running below the Portals modules. This library reproduces
+    that layer: {!attach} installs a shim at the fabric's wire boundary
+    ({!Simnet.Fabric.install_shim}), so every transport built over the
+    fabric — RTS/CTS, NIC offload, kernel-interrupt, and everything above
+    them (Portals [Ni], GM, MPI, collectives, one-sided) — keeps its
+    reliable in-order service even when a {!Simnet.Fault} model is
+    dropping or duplicating wire messages.
+
+    The protocol, per (src, dst) direction:
+    {ul
+    {- every payload is wrapped in a sequence-numbered [Data] frame;}
+    {- a sliding window of at most [window] unacknowledged frames may be
+       in flight; further sends queue FIFO behind it;}
+    {- the receiver delivers strictly in sequence order, buffers
+       out-of-order arrivals, suppresses duplicates, and answers every
+       [Data] frame with a cumulative + selective acknowledgment;}
+    {- unacknowledged frames are retransmitted on an adaptive timeout
+       (smoothed-RTT based, exponential backoff, capped), each frame up to
+       [max_retries] times; beyond that the retry budget is exhausted and
+       the frame is abandoned — counted, surfaced through
+       {!on_give_up}, and visible to the application only as the silence
+       §4.8's drop accounting exists to diagnose.}}
+
+    Acknowledgments are never retransmitted; a lost ack is repaired by the
+    cumulative ack of any later frame or by a (duplicate-suppressed)
+    retransmission.
+
+    Metrics (registered in the scheduler's registry, labelled
+    [("protocol", "reliability")]): [rel.data_sent], [rel.acks_sent],
+    [rel.retransmits], [rel.duplicate_drops], [rel.retries_exhausted],
+    [rel.delivered], [rel.ack_rtt_us] (summary), [rel.window_inflight]
+    (series of total in-flight frames over time). *)
+
+module Frame = Rel_frame
+(** Wire format of the protocol's [Data] and [Ack] frames. *)
+
+module Campaign = Campaign
+(** Fault-injection campaign runner (loss-rate × seed grids). *)
+
+type config = {
+  window : int;  (** Max unacknowledged frames in flight per pair. *)
+  base_rto : Sim_engine.Time_ns.t;
+      (** Initial retransmission timeout, and the floor of the adaptive
+          one. *)
+  max_rto : Sim_engine.Time_ns.t;  (** Backoff ceiling. *)
+  max_retries : int;
+      (** Retransmissions allowed per frame before giving up. *)
+}
+
+val default_config : config
+(** window 32, base RTO 150 us, max RTO 5 ms, 20 retries. *)
+
+type stats = {
+  data_sent : int;  (** First transmissions (not retransmits). *)
+  acks_sent : int;
+  retransmits : int;
+  duplicate_drops : int;  (** Received frames suppressed as duplicates. *)
+  retries_exhausted : int;  (** Frames abandoned past the retry budget. *)
+  delivered : int;  (** Payloads handed up, in order, exactly once. *)
+}
+
+type t
+
+val attach : ?config:config -> Simnet.Fabric.t -> t
+(** Install the protocol on a fabric. Raises [Invalid_argument] if the
+    fabric already has a shim. Must be installed before traffic flows
+    (frames sent earlier would be indistinguishable from corruption). *)
+
+val config : t -> config
+val stats : t -> stats
+
+val on_give_up :
+  t -> (src:Simnet.Proc_id.t -> dst:Simnet.Proc_id.t -> seq:int -> unit) -> unit
+(** Called when a frame exhausts its retry budget. Default: nothing (the
+    loss is still counted in [retries_exhausted]). *)
+
+val inflight : t -> int
+(** Total unacknowledged frames across all pairs, now. *)

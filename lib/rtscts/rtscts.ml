@@ -12,6 +12,7 @@ type stats = {
   cts_sent : int;
   data_packets : int;
   bytes_carried : int;
+  failed_handshakes : int;
 }
 
 type queued = { q_dst : Simnet.Proc_id.t; q_payload : bytes }
@@ -36,6 +37,7 @@ type mstats = {
   mutable s_cts : int;
   mutable s_data : int;
   mutable s_bytes : int;
+  mutable s_failed : int;
 }
 
 type t = {
@@ -47,6 +49,8 @@ type t = {
   uppers : (Simnet.Proc_id.t, src:Simnet.Proc_id.t -> bytes -> unit) Hashtbl.t;
   assemblies : (Simnet.Proc_id.t * Simnet.Proc_id.t * int, assembly) Hashtbl.t;
   st : mstats;
+  mutable send_error :
+    src:Simnet.Proc_id.t -> dst:Simnet.Proc_id.t -> len:int -> unit;
 }
 
 let profile t = Simnet.Fabric.profile t.fabric
@@ -80,7 +84,9 @@ let create ?config fabric =
           s_cts = 0;
           s_data = 0;
           s_bytes = 0;
+          s_failed = 0;
         };
+      send_error = (fun ~src:_ ~dst:_ ~len:_ -> ());
     }
   in
   let m = Scheduler.metrics sched in
@@ -92,7 +98,10 @@ let create ?config fabric =
   probe "rtscts.cts_sent" (fun () -> t.st.s_cts);
   probe "rtscts.data_packets" (fun () -> t.st.s_data);
   probe "rtscts.bytes_carried" (fun () -> t.st.s_bytes);
+  probe "rtscts.failed_handshakes" (fun () -> t.st.s_failed);
   t
+
+let on_send_error t f = t.send_error <- f
 
 let stats t =
   {
@@ -102,6 +111,7 @@ let stats t =
     cts_sent = t.st.s_cts;
     data_packets = t.st.s_data;
     bytes_carried = t.st.s_bytes;
+    failed_handshakes = t.st.s_failed;
   }
 
 let host_cpu t nid = Simnet.Node.host_cpu (Simnet.Fabric.node t.fabric nid)
@@ -168,10 +178,10 @@ let rec pump t pair =
     pair.busy <- true;
     let profile = profile t in
     let len = Bytes.length payload in
-    t.st.s_bytes <- t.st.s_bytes + len;
     let syscall = profile.Simnet.Profile.host_syscall_cost in
     steal t pair.src.Simnet.Proc_id.nid syscall;
     if len <= t.cfg.eager_threshold then begin
+      t.st.s_bytes <- t.st.s_bytes + len;
       t.st.s_eager <- t.st.s_eager + 1;
       let copy_link = t.kcopy.(pair.src.Simnet.Proc_id.nid) in
       let copy_done =
@@ -185,7 +195,22 @@ let rec pump t pair =
             { Frame.kind = Frame.Eager; msg_id; total_len = len; offset = 0; payload };
           pump t pair)
     end
+    else if
+      (* A rendezvous needs both ends live: the RTS must reach [dst] and
+         the CTS must find its way back to [pair.src]. If either endpoint
+         is unregistered the handshake can never complete — fail the send
+         to the sender now instead of parking it in [awaiting_cts]
+         forever (and stalling everything queued behind it). *)
+      not
+        (Simnet.Fabric.is_registered t.fabric pair.src
+        && Simnet.Fabric.is_registered t.fabric dst)
+    then begin
+      t.st.s_failed <- t.st.s_failed + 1;
+      t.send_error ~src:pair.src ~dst ~len;
+      pump t pair
+    end
     else begin
+      t.st.s_bytes <- t.st.s_bytes + len;
       t.st.s_rendezvous <- t.st.s_rendezvous + 1;
       t.st.s_rts <- t.st.s_rts + 1;
       let msg_id = pair.next_msg_id in

@@ -51,6 +51,9 @@ type stats = {
   cts_sent : int;
   data_packets : int;
   bytes_carried : int;
+  failed_handshakes : int;
+      (** Rendezvous sends refused because an endpoint was unregistered
+          (see {!on_send_error}). *)
 }
 
 type t
@@ -65,9 +68,18 @@ val transport : t -> Simnet.Transport.t
     messages in kernel context (host CPU charged).
 
     A process that sends messages above the eager threshold must itself be
-    registered — the clear-to-send comes back addressed to it. Unregistered
-    senders' rendezvous transfers stall forever (their RTS is answered
-    into the void), which shows up as fabric drops. *)
+    registered — the clear-to-send comes back addressed to it. A
+    rendezvous whose sender or destination is unregistered at handshake
+    time is refused immediately: the message is dropped, counted in
+    [failed_handshakes] (and the [rtscts.failed_handshakes] metric), the
+    {!on_send_error} callback fires, and the per-pair pipeline moves on to
+    the next queued message instead of stalling forever on a CTS that can
+    never arrive. *)
+
+val on_send_error :
+  t -> (src:Simnet.Proc_id.t -> dst:Simnet.Proc_id.t -> len:int -> unit) -> unit
+(** Called when a rendezvous send is refused because an endpoint was
+    unregistered. Default: nothing (the failure is still counted). *)
 
 val stats : t -> stats
 

@@ -14,11 +14,29 @@ type world = {
   ranks : Simnet.Proc_id.t array;
 }
 
-let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?(seed = 0)
+(* Process-wide run environment, set once by the front-ends (--loss /
+   --seed) so every experiment inherits the lossy fabric and the seed
+   without threading parameters through each call site. *)
+let env_loss = ref 0.
+let env_seed = ref 0
+
+let set_run_env ?loss ?seed () =
+  (match loss with
+  | Some l ->
+    if l < 0. || l >= 1. then
+      invalid_arg "Runtime.set_run_env: loss must be in [0, 1)";
+    env_loss := l
+  | None -> ());
+  match seed with Some s -> env_seed := s | None -> ()
+
+let run_env () = (!env_loss, !env_seed)
+
+let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
     ~nodes () =
   if nodes <= 0 then invalid_arg "Runtime.create_world: need at least one node";
   if procs_per_node <= 0 then
     invalid_arg "Runtime.create_world: need at least one process per node";
+  let seed = match seed with Some s -> s | None -> !env_seed in
   let profile =
     match profile with
     | Some p -> p
@@ -29,6 +47,14 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?(seed = 
   in
   let sched = Scheduler.create ~seed () in
   let fabric = Simnet.Fabric.create sched ~profile ~nodes in
+  (* Lossy mode: inject the configured wire loss and install the
+     reliability shim so the transports above still see the in-order
+     exactly-once fabric they were written against. *)
+  if !env_loss > 0. then begin
+    Simnet.Fabric.set_fault_model fabric
+      (Some (Simnet.Fault.bernoulli ~seed ~p:!env_loss ()));
+    ignore (Reliability.attach fabric)
+  end;
   let tp =
     match transport with
     | Offload -> Simnet.Transport.offload fabric

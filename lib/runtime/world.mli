@@ -19,6 +19,17 @@ type world = {
   ranks : Simnet.Proc_id.t array;
 }
 
+val set_run_env : ?loss:float -> ?seed:int -> unit -> unit
+(** Process-wide defaults applied by {!create_world}: a Bernoulli wire
+    loss probability in [0, 1) (0 disables; anything above it makes every
+    subsequent world a lossy fabric with the reliability shim attached)
+    and the scheduler seed used when a call site passes none. Set once by
+    the CLI front-ends ([--loss] / [--seed]); raises [Invalid_argument]
+    on an out-of-range loss. *)
+
+val run_env : unit -> float * int
+(** Current [(loss, seed)] defaults. *)
+
 val create_world :
   ?profile:Simnet.Profile.t ->
   ?transport:transport_kind ->
@@ -30,7 +41,10 @@ val create_world :
 (** A fresh machine. Default profile matches the transport kind
     ([Offload] → {!Simnet.Profile.myrinet_mcp}, otherwise
     {!Simnet.Profile.myrinet_kernel}); default one process per node. The
-    job's ranks are [0 .. nodes*procs_per_node - 1]. *)
+    job's ranks are [0 .. nodes*procs_per_node - 1]. Seed defaults to the
+    {!set_run_env} value (initially 0); if a wire loss has been set
+    there, the fabric is created lossy with the {!Reliability} protocol
+    shimmed underneath the transport. *)
 
 val job_size : world -> int
 

@@ -6,6 +6,12 @@ type stats = {
   messages_delivered : int;
   drops_unregistered : int;
   drops_injected : int;
+  dups_injected : int;
+}
+
+type shim = {
+  shim_tx : src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit;
+  shim_rx : src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit;
 }
 
 type t = {
@@ -13,28 +19,45 @@ type t = {
   fabric_profile : Profile.t;
   nodes : Node.t array;
   handlers : (Proc_id.t, src:Proc_id.t -> bytes -> unit) Hashtbl.t;
-  mutable fault : (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option;
+  mutable fault : Fault.t option;
+  mutable shim : shim option;
   sent : Stats.Counter.t;
   sent_bytes : Stats.Counter.t;
   delivered : Stats.Counter.t;
   drop_unregistered : Stats.Counter.t;
-  drop_injected : Stats.Counter.t;
+  dup_injected : Stats.Counter.t;
+  (* Injected drops are counted per (src, dst) pair in the registry;
+     [stats] derives the total by summing this table. *)
+  drop_pairs : (Proc_id.t * Proc_id.t, Metrics.counter) Hashtbl.t;
 }
 
 let create sched ~profile ~nodes =
   if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
-  {
-    fabric_sched = sched;
-    fabric_profile = profile;
-    nodes = Array.init nodes (fun nid -> Node.create sched ~nid ~profile);
-    handlers = Hashtbl.create 64;
-    fault = None;
-    sent = Stats.Counter.create ~name:"fabric.sent" ();
-    sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
-    delivered = Stats.Counter.create ~name:"fabric.delivered" ();
-    drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
-    drop_injected = Stats.Counter.create ~name:"fabric.drop_injected" ();
-  }
+  let t =
+    {
+      fabric_sched = sched;
+      fabric_profile = profile;
+      nodes = Array.init nodes (fun nid -> Node.create sched ~nid ~profile);
+      handlers = Hashtbl.create 64;
+      fault = None;
+      shim = None;
+      sent = Stats.Counter.create ~name:"fabric.sent" ();
+      sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
+      delivered = Stats.Counter.create ~name:"fabric.delivered" ();
+      drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
+      dup_injected = Stats.Counter.create ~name:"fabric.dup_injected" ();
+      drop_pairs = Hashtbl.create 16;
+    }
+  in
+  let m = Scheduler.metrics sched in
+  let probe name f = Metrics.probe m name (fun () -> float_of_int (f ())) in
+  probe "fabric.sent" (fun () -> Stats.Counter.value t.sent);
+  probe "fabric.sent_bytes" (fun () -> Stats.Counter.value t.sent_bytes);
+  probe "fabric.delivered" (fun () -> Stats.Counter.value t.delivered);
+  probe "fabric.drops_unregistered" (fun () ->
+      Stats.Counter.value t.drop_unregistered);
+  probe "fabric.dups_injected" (fun () -> Stats.Counter.value t.dup_injected);
+  t
 
 let sched t = t.fabric_sched
 let profile t = t.fabric_profile
@@ -54,9 +77,51 @@ let register t pid handler =
 let unregister t pid = Hashtbl.remove t.handlers pid
 let is_registered t pid = Hashtbl.mem t.handlers pid
 
-let set_fault_injector t fault = t.fault <- fault
+let set_fault_model t fault = t.fault <- fault
+let fault_model t = t.fault
 
-let send t ~src ~dst payload =
+let set_fault_injector t f =
+  t.fault <-
+    Option.map
+      (fun f ->
+        Fault.custom (fun ~now:_ ~src ~dst ~len ->
+            if f ~src ~dst ~len then Fault.Drop else Fault.Deliver))
+      f
+
+let install_shim t shim =
+  if t.shim <> None then
+    invalid_arg "Fabric.install_shim: a shim is already installed";
+  t.shim <- Some shim
+
+let has_shim t = t.shim <> None
+
+let drop_pair_counter t ~src ~dst =
+  match Hashtbl.find_opt t.drop_pairs (src, dst) with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter
+        (Scheduler.metrics t.fabric_sched)
+        ~labels:
+          [ ("src", Proc_id.to_string src); ("dst", Proc_id.to_string dst) ]
+        "fabric.drops_injected"
+    in
+    Hashtbl.replace t.drop_pairs (src, dst) c;
+    c
+
+let deliver t ~src ~dst payload =
+  match Hashtbl.find_opt t.handlers dst with
+  | None -> Stats.Counter.incr t.drop_unregistered
+  | Some handler ->
+    Stats.Counter.incr t.delivered;
+    handler ~src payload
+
+let arrive t ~src ~dst payload =
+  match t.shim with
+  | Some shim -> shim.shim_rx ~src ~dst payload
+  | None -> deliver t ~src ~dst payload
+
+let send_raw t ~src ~dst payload =
   let len = Bytes.length payload in
   let sender = node t src.Proc_id.nid in
   Stats.Counter.incr t.sent;
@@ -65,17 +130,25 @@ let send t ~src ~dst payload =
     Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
   in
   let arrival = Time_ns.add serialised t.fabric_profile.Profile.wire_latency in
-  let dropped_by_fault =
-    match t.fault with None -> false | Some f -> f ~src ~dst ~len
+  let decision =
+    match t.fault with
+    | None -> Fault.Deliver
+    | Some f ->
+      Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst ~len
   in
   Scheduler.at t.fabric_sched arrival (fun () ->
-      if dropped_by_fault then Stats.Counter.incr t.drop_injected
-      else
-        match Hashtbl.find_opt t.handlers dst with
-        | None -> Stats.Counter.incr t.drop_unregistered
-        | Some handler ->
-          Stats.Counter.incr t.delivered;
-          handler ~src payload)
+      match decision with
+      | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
+      | Fault.Deliver -> arrive t ~src ~dst payload
+      | Fault.Duplicate ->
+        Stats.Counter.incr t.dup_injected;
+        arrive t ~src ~dst payload;
+        arrive t ~src ~dst payload)
+
+let send t ~src ~dst payload =
+  match t.shim with
+  | Some shim -> shim.shim_tx ~src ~dst payload
+  | None -> send_raw t ~src ~dst payload
 
 let stats t =
   {
@@ -83,5 +156,9 @@ let stats t =
     bytes_sent = Stats.Counter.value t.sent_bytes;
     messages_delivered = Stats.Counter.value t.delivered;
     drops_unregistered = Stats.Counter.value t.drop_unregistered;
-    drops_injected = Stats.Counter.value t.drop_injected;
+    drops_injected =
+      Hashtbl.fold
+        (fun _ c acc -> acc + Metrics.counter_value c)
+        t.drop_pairs 0;
+    dups_injected = Stats.Counter.value t.dup_injected;
   }

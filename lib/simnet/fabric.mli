@@ -1,16 +1,23 @@
-(** The raw message fabric: reliable, in-order, connectionless delivery of
-    byte strings between registered (nid, pid) endpoints.
+(** The raw message fabric: connectionless delivery of byte strings
+    between registered (nid, pid) endpoints.
 
     This is "the Myrinet" of the simulation. A send serialises on the
     sender's injection {!Link} (so bursts pipeline back-to-back), crosses
     the wire after the profile latency, and is handed to the handler
     registered for the destination process. Messages from one sender to
-    one destination are never reordered — a property the Portals layer
-    depends on (§2: "reliable, in-order delivery").
+    one destination are never reordered by the wire itself — a property
+    the Portals layer depends on (§2: "reliable, in-order delivery").
+
+    By default the wire is perfect, matching the paper's assumption. A
+    {!Fault} model ({!set_fault_model}) makes it lossy: messages may be
+    dropped or duplicated after occupying the wire, exactly the regime
+    Cplant's reliability protocol — reproduced by [lib/reliability] — was
+    built for. On a faulty fabric the in-order/exactly-once guarantee
+    holds only with that layer installed (see {!install_shim}).
 
     Messages to unregistered destinations are dropped and counted, as are
-    messages discarded by an installed fault injector (used by tests to
-    exercise drop paths; the real network is assumed reliable). *)
+    messages discarded by the fault model (counted per (src, dst) pair in
+    the metrics registry under ["fabric.drops_injected"]). *)
 
 type t
 
@@ -20,6 +27,9 @@ type stats = {
   messages_delivered : int;
   drops_unregistered : int;
   drops_injected : int;
+      (** Total over every (src, dst) pair — derived from the per-pair
+          registry counters. *)
+  dups_injected : int;
 }
 
 val create : Sim_engine.Scheduler.t -> profile:Profile.t -> nodes:int -> t
@@ -45,10 +55,53 @@ val send : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
 (** Inject a message. Returns immediately; delivery happens via scheduled
     events. The payload is not copied — callers must not mutate it after
     sending (simulated NICs DMA from live buffers; Portals builds a fresh
-    wire image per message). *)
+    wire image per message). With a shim installed, the message passes
+    through the shim's tx interceptor first. *)
 
-val set_fault_injector : t -> (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option -> unit
-(** With [Some f], each message for which [f] returns true is silently
-    dropped (after occupying the wire). *)
+(** {1 Faults} *)
+
+val set_fault_model : t -> Fault.t option -> unit
+(** Install (or clear) the fault model consulted once per message at send
+    time. Dropped messages still occupy the wire; duplicated messages are
+    delivered twice back-to-back. *)
+
+val fault_model : t -> Fault.t option
+
+val set_fault_injector :
+  t -> (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option -> unit
+(** Legacy boolean interface: with [Some f], each message for which [f]
+    returns true is dropped. Implemented as a {!Fault.custom} model;
+    equivalent to {!set_fault_model}. *)
+
+(** {1 Reliability shim}
+
+    A shim intercepts the fabric at exactly the wire boundary: every
+    {!send} is diverted to [shim_tx] (which frames the payload and calls
+    {!send_raw}), and every arriving message is diverted to [shim_rx]
+    (which decodes, runs its protocol, and hands accepted payloads up via
+    {!deliver}). Transports built over the fabric — and everything above
+    them — are oblivious: they keep calling {!send} and {!register}. This
+    mirrors Cplant, where the reliability protocol lived below the Portals
+    modules inside the message-passing substrate. *)
+
+type shim = {
+  shim_tx : src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit;
+  shim_rx : src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit;
+}
+
+val install_shim : t -> shim -> unit
+(** Raises [Invalid_argument] if a shim is already installed. *)
+
+val has_shim : t -> bool
+
+val send_raw : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
+(** The raw wire path: serialise on the sender's link, apply the fault
+    model, schedule arrival. Bypasses [shim_tx] (shims use this to emit
+    their frames); arriving raw messages still pass through [shim_rx]. *)
+
+val deliver : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
+(** Hand a payload to [dst]'s registered handler at the current simulated
+    time, counting it delivered (or an unregistered drop). Shims call this
+    for each message they accept. *)
 
 val stats : t -> stats

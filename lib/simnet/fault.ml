@@ -1,0 +1,110 @@
+open Sim_engine
+
+type decision = Deliver | Drop | Duplicate
+
+type t = {
+  label : string;
+  f : now:Time_ns.t -> src:Proc_id.t -> dst:Proc_id.t -> len:int -> decision;
+}
+
+let none =
+  { label = "none"; f = (fun ~now:_ ~src:_ ~dst:_ ~len:_ -> Deliver) }
+
+let clamp01 p = if p < 0. then 0. else if p > 1. then 1. else p
+
+let bernoulli ?(seed = 0) ~p () =
+  let p = clamp01 p in
+  let prng = Prng.create ~seed in
+  {
+    label = Printf.sprintf "bernoulli(p=%g)" p;
+    f =
+      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+        if Prng.float prng 1.0 < p then Drop else Deliver);
+  }
+
+(* Each pair gets a chain with its own PRNG derived from the model seed
+   and the pair identity, so the stream one pair sees does not depend on
+   how its traffic interleaves with other pairs'. *)
+let pair_seed seed (src : Proc_id.t) (dst : Proc_id.t) =
+  let mix acc v = (acc * 0x100000001b3) lxor v in
+  List.fold_left mix seed
+    [ src.Proc_id.nid; src.Proc_id.pid; dst.Proc_id.nid; dst.Proc_id.pid ]
+
+let gilbert ?(seed = 0) ?(p_loss_bad = 1.0) ~p_enter ~p_exit () =
+  let p_enter = clamp01 p_enter
+  and p_exit = clamp01 p_exit
+  and p_loss_bad = clamp01 p_loss_bad in
+  let chains : (Proc_id.t * Proc_id.t, bool ref * Prng.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let chain src dst =
+    match Hashtbl.find_opt chains (src, dst) with
+    | Some c -> c
+    | None ->
+      let c = (ref false, Prng.create ~seed:(pair_seed seed src dst)) in
+      Hashtbl.replace chains (src, dst) c;
+      c
+  in
+  {
+    label =
+      Printf.sprintf "gilbert(enter=%g,exit=%g,loss=%g)" p_enter p_exit
+        p_loss_bad;
+    f =
+      (fun ~now:_ ~src ~dst ~len:_ ->
+        let bad, prng = chain src dst in
+        (if !bad then begin
+           if Prng.float prng 1.0 < p_exit then bad := false
+         end
+         else if Prng.float prng 1.0 < p_enter then bad := true);
+        if !bad && Prng.float prng 1.0 < p_loss_bad then Drop else Deliver);
+  }
+
+let duplicator ?(seed = 0) ~p () =
+  let p = clamp01 p in
+  let prng = Prng.create ~seed in
+  {
+    label = Printf.sprintf "duplicator(p=%g)" p;
+    f =
+      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+        if Prng.float prng 1.0 < p then Duplicate else Deliver);
+  }
+
+let link_flap ?(offset = Time_ns.zero) ~period ~downtime () =
+  if period <= 0 then invalid_arg "Fault.link_flap: period must be positive";
+  if downtime < 0 || downtime > period then
+    invalid_arg "Fault.link_flap: downtime must lie within the period";
+  let uptime = period - downtime in
+  {
+    label =
+      Printf.sprintf "link_flap(period=%s,down=%s)" (Time_ns.to_string period)
+        (Time_ns.to_string downtime);
+    f =
+      (fun ~now ~src:_ ~dst:_ ~len:_ ->
+        let t = Time_ns.sub now offset in
+        let phase = ((t mod period) + period) mod period in
+        if phase >= uptime then Drop else Deliver);
+  }
+
+let custom f = { label = "custom"; f }
+
+let compose models =
+  match models with
+  | [] -> none
+  | [ m ] -> m
+  | _ ->
+    {
+      label =
+        "compose(" ^ String.concat "," (List.map (fun m -> m.label) models) ^ ")";
+      f =
+        (fun ~now ~src ~dst ~len ->
+          (* Evaluate all so PRNG streams advance deterministically. *)
+          let decisions =
+            List.map (fun m -> m.f ~now ~src ~dst ~len) models
+          in
+          if List.mem Drop decisions then Drop
+          else if List.mem Duplicate decisions then Duplicate
+          else Deliver);
+    }
+
+let decide t ~now ~src ~dst ~len = t.f ~now ~src ~dst ~len
+let describe t = t.label

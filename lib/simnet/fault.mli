@@ -1,0 +1,83 @@
+(** Composable fault models for the fabric.
+
+    Cplant's reliability protocol lived {e below} the Portals modules: the
+    wire was allowed to lose, duplicate and delay packets, and a
+    seq/ACK/retransmit layer manufactured the reliable in-order service
+    §2 of the paper assumes. To exercise that layer (lib/reliability) the
+    fabric needs faults richer than the original boolean injector:
+
+    {ul
+    {- {!bernoulli}: i.i.d. loss at probability [p] — the classic sweep
+       axis.}
+    {- {!gilbert}: two-state Gilbert–Elliott burst loss; losses cluster,
+       which is what stresses cumulative-ACK recovery.}
+    {- {!duplicator}: delivers selected messages twice, exercising
+       duplicate suppression.}
+    {- {!link_flap}: the link goes down for [downtime] out of every
+       [period] and then repairs; everything sent while down is lost.}
+    {- {!custom}: arbitrary stateful decisions (the old boolean injector
+       is implemented with this).}}
+
+    Every stochastic model carries its own explicit-state PRNG seeded at
+    construction, so a campaign point [(model, seed)] replays exactly.
+    Decisions are sampled once per message at {e send} time. *)
+
+type decision =
+  | Deliver  (** Let the message through untouched. *)
+  | Drop  (** Lose the message after it occupies the wire. *)
+  | Duplicate  (** Deliver the message twice. *)
+
+type t
+
+val none : t
+(** Always {!Deliver}. *)
+
+val bernoulli : ?seed:int -> p:float -> unit -> t
+(** Drop each message independently with probability [p] (clamped to
+    [0, 1]). *)
+
+val gilbert :
+  ?seed:int -> ?p_loss_bad:float -> p_enter:float -> p_exit:float -> unit -> t
+(** Gilbert–Elliott burst loss. Each (src, dst) pair carries its own
+    two-state chain: a Good link becomes Bad with probability [p_enter]
+    per message, a Bad link repairs with probability [p_exit]; while Bad,
+    messages drop with probability [p_loss_bad] (default 1.0). *)
+
+val duplicator : ?seed:int -> p:float -> unit -> t
+(** Duplicate each message independently with probability [p]. *)
+
+val link_flap :
+  ?offset:Sim_engine.Time_ns.t ->
+  period:Sim_engine.Time_ns.t ->
+  downtime:Sim_engine.Time_ns.t ->
+  unit ->
+  t
+(** Deterministic outage-and-repair cycle: within each [period] (starting
+    at [offset], default 0), the link is up for [period - downtime], then
+    down for [downtime]. Messages sent while down are dropped. [downtime]
+    must not exceed [period]. *)
+
+val custom :
+  (now:Sim_engine.Time_ns.t ->
+  src:Proc_id.t ->
+  dst:Proc_id.t ->
+  len:int ->
+  decision) ->
+  t
+(** Arbitrary decision function; may close over its own state. *)
+
+val compose : t list -> t
+(** Evaluate every model on every message (so each model's PRNG stream
+    advances identically regardless of the others' decisions) and combine:
+    any [Drop] wins, else any [Duplicate], else [Deliver]. *)
+
+val decide :
+  t ->
+  now:Sim_engine.Time_ns.t ->
+  src:Proc_id.t ->
+  dst:Proc_id.t ->
+  len:int ->
+  decision
+
+val describe : t -> string
+(** Short human-readable summary, e.g. ["bernoulli(p=0.05)"]. *)

@@ -4,5 +4,6 @@ module Proc_id = Proc_id
 module Profile = Profile
 module Link = Link
 module Node = Node
+module Fault = Fault
 module Fabric = Fabric
 module Transport = Transport

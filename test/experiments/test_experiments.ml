@@ -309,6 +309,57 @@ let ablation_tests =
         | _ -> Alcotest.fail "two rows");
   ]
 
+let rel_loss_sweep_tests =
+  [
+    Alcotest.test_case
+      "reliable goodput degrades monotonically, zero visible loss" `Quick
+      (fun () ->
+        let rows =
+          Experiments.Rel_loss_sweep.run ~seeds:[ 1; 2 ] ~msgs:120 ()
+        in
+        Alcotest.(check int) "one row per loss rate"
+          (List.length Experiments.Rel_loss_sweep.default_losses)
+          (List.length rows);
+        let rec pairwise = function
+          | a :: (b :: _ as rest) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "goodput %.1f at %.2f >= %.1f at %.2f"
+                 a.Experiments.Rel_loss_sweep.reliable
+                   .Experiments.Rel_loss_sweep.goodput_mbps
+                 a.Experiments.Rel_loss_sweep.loss
+                 b.Experiments.Rel_loss_sweep.reliable
+                   .Experiments.Rel_loss_sweep.goodput_mbps
+                 b.Experiments.Rel_loss_sweep.loss)
+              true
+              (a.Experiments.Rel_loss_sweep.reliable
+                 .Experiments.Rel_loss_sweep.goodput_mbps
+              >= b.Experiments.Rel_loss_sweep.reliable
+                   .Experiments.Rel_loss_sweep.goodput_mbps);
+            pairwise rest
+          | _ -> ()
+        in
+        pairwise rows;
+        List.iter
+          (fun r ->
+            (* Below the retry budget, the application sees every message. *)
+            Alcotest.(check int)
+              (Printf.sprintf "all delivered at loss %.2f"
+                 r.Experiments.Rel_loss_sweep.loss)
+              120
+              r.Experiments.Rel_loss_sweep.reliable
+                .Experiments.Rel_loss_sweep.delivered;
+            Alcotest.(check int) "no budget exhaustion" 0
+              r.Experiments.Rel_loss_sweep.reliable
+                .Experiments.Rel_loss_sweep.retries_exhausted;
+            (* The raw fabric pays for its speed with silent loss. *)
+            if r.Experiments.Rel_loss_sweep.loss > 0.02 then
+              Alcotest.(check bool) "raw fabric loses messages" true
+                (r.Experiments.Rel_loss_sweep.raw
+                   .Experiments.Rel_loss_sweep.delivered
+                < 120))
+          rows);
+  ]
+
 let () =
   Alcotest.run "experiments"
     [
@@ -321,4 +372,5 @@ let () =
       ("scaling", scaling_tests);
       ("drops", drops_tests);
       ("ablation", ablation_tests);
+      ("rel_loss_sweep", rel_loss_sweep_tests);
     ]

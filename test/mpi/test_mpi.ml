@@ -433,11 +433,19 @@ let progress_tests =
    vs library matching, different eager thresholds, receiver-pull vs
    CTS-data rendezvous). Any divergence in delivered data or statuses is
    a bug in one of them. *)
-let run_schedule backend ~sizes ~recv_order =
+let run_schedule ?lossy backend ~sizes ~recv_order =
   let sched = Scheduler.create () in
   let fabric =
     Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes:2
   in
+  (* Lossy mode: a Bernoulli wire with the reliability protocol shimmed
+     underneath; MPI (either backend) must neither notice nor diverge. *)
+  (match lossy with
+  | None -> ()
+  | Some (loss, seed) ->
+    Simnet.Fabric.set_fault_model fabric
+      (Some (Simnet.Fault.bernoulli ~seed ~p:loss ()));
+    ignore (Reliability.attach fabric));
   let tp = Simnet.Transport.offload fabric in
   let ranks = [| proc 0 0; proc 1 0 |] in
   let mk rank =
@@ -501,6 +509,29 @@ let differential_tests =
            let a = run_schedule Portals_b ~sizes ~recv_order in
            let b = run_schedule Gm_b ~sizes ~recv_order in
            a = b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"backends agree on any schedule over a lossy fabric"
+         ~count:12
+         QCheck.(
+           triple
+             (list_of_size Gen.(int_range 1 5) (int_range 0 60_000))
+             small_nat (int_range 0 2))
+         (fun (sizes, seed, loss_idx) ->
+           let loss = List.nth [ 0.01; 0.05; 0.1 ] loss_idx in
+           let n = List.length sizes in
+           let order = Array.init n (fun i -> i) in
+           let prng = Prng.create ~seed in
+           Prng.shuffle_in_place prng order;
+           let recv_order = Array.to_list order in
+           let reference = run_schedule Portals_b ~sizes ~recv_order in
+           let a =
+             run_schedule ~lossy:(loss, seed) Portals_b ~sizes ~recv_order
+           in
+           let b = run_schedule ~lossy:(loss, seed) Gm_b ~sizes ~recv_order in
+           (* Both backends must survive the loss, agree with each other,
+              and match the lossless outcome bit for bit. *)
+           a = b && a = reference));
   ]
 
 let fault_tests =

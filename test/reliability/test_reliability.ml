@@ -1,0 +1,300 @@
+(* The reliability subsystem: seq/ACK/retransmit over a faulty fabric.
+   The properties under test are the ones Portals assumes of its network
+   (section 2): reliable, in-order, exactly-once delivery — here
+   manufactured above a wire that drops and duplicates. *)
+
+open Sim_engine
+
+let proc nid pid = Simnet.Proc_id.make ~nid ~pid
+
+let mk ?config ?fault ?(nodes = 2) ?(seed = 0) () =
+  let sched = Scheduler.create ~seed () in
+  let fabric =
+    Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes
+  in
+  Simnet.Fabric.set_fault_model fabric fault;
+  let rel = Reliability.attach ?config fabric in
+  (sched, fabric, rel)
+
+let frame_tests =
+  [
+    Alcotest.test_case "data frame round trip" `Quick (fun () ->
+        let f =
+          Reliability.Frame.Data { seq = 123; payload = Bytes.of_string "abc" }
+        in
+        (match Reliability.Frame.decode (Reliability.Frame.encode f) with
+        | Ok (Reliability.Frame.Data { seq; payload }) ->
+          Alcotest.(check int) "seq" 123 seq;
+          Alcotest.(check string) "payload" "abc" (Bytes.to_string payload)
+        | _ -> Alcotest.fail "bad decode"));
+    Alcotest.test_case "ack frame round trip" `Quick (fun () ->
+        let f = Reliability.Frame.Ack { cum_ack = -1; sack = 0b1010L } in
+        (match Reliability.Frame.decode (Reliability.Frame.encode f) with
+        | Ok (Reliability.Frame.Ack { cum_ack; sack }) ->
+          Alcotest.(check int) "cum" (-1) cum_ack;
+          Alcotest.(check bool) "bit for seq 1" true
+            (Reliability.Frame.sack_mem ~sack ~cum_ack 1);
+          Alcotest.(check bool) "no bit for seq 0" false
+            (Reliability.Frame.sack_mem ~sack ~cum_ack 0)
+        | _ -> Alcotest.fail "bad decode"));
+    Alcotest.test_case "decode rejects garbage" `Quick (fun () ->
+        Alcotest.(check bool) "short" true
+          (Result.is_error (Reliability.Frame.decode (Bytes.create 3)));
+        Alcotest.(check bool) "bad magic" true
+          (Result.is_error (Reliability.Frame.decode (Bytes.make 20 'x'))));
+    Alcotest.test_case "sack_of_seqs respects the 64-entry window" `Quick
+      (fun () ->
+        let sack = Reliability.Frame.sack_of_seqs ~cum_ack:10 [ 11; 74; 75; 200 ] in
+        Alcotest.(check bool) "11 in" true
+          (Reliability.Frame.sack_mem ~sack ~cum_ack:10 11);
+        Alcotest.(check bool) "74 in (last bit)" true
+          (Reliability.Frame.sack_mem ~sack ~cum_ack:10 74);
+        Alcotest.(check bool) "75 out" false
+          (Reliability.Frame.sack_mem ~sack ~cum_ack:10 75));
+  ]
+
+(* Send [n] distinct payloads rank0 -> rank1 through the plain fabric
+   API; return them as received. *)
+let exchange ?config ?fault ?seed ~n ~len () =
+  let sched, fabric, rel = mk ?config ?fault ?seed () in
+  let got = ref [] in
+  Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ payload ->
+      got := Bytes.to_string payload :: !got);
+  Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+  for i = 0 to n - 1 do
+    let payload = Bytes.make len (Char.chr (33 + (i mod 90))) in
+    Bytes.set payload 0 (Char.chr (i mod 256));
+    Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0) payload
+  done;
+  Scheduler.run sched;
+  (List.rev !got, rel, fabric)
+
+let expected_payloads ~n ~len =
+  List.init n (fun i ->
+      let payload = Bytes.make len (Char.chr (33 + (i mod 90))) in
+      Bytes.set payload 0 (Char.chr (i mod 256));
+      Bytes.to_string payload)
+
+let perfect_wire_tests =
+  [
+    Alcotest.test_case "transparent on a perfect wire" `Quick (fun () ->
+        let got, rel, _ = exchange ~n:20 ~len:64 () in
+        Alcotest.(check (list string)) "all in order"
+          (expected_payloads ~n:20 ~len:64)
+          got;
+        let st = Reliability.stats rel in
+        Alcotest.(check int) "no retransmits" 0 st.Reliability.retransmits;
+        Alcotest.(check int) "delivered" 20 st.Reliability.delivered;
+        Alcotest.(check int) "acks flowed" 20 st.Reliability.acks_sent);
+    Alcotest.test_case "window limits in-flight frames" `Quick (fun () ->
+        let config = { Reliability.default_config with Reliability.window = 4 } in
+        let sched, fabric, rel = mk ~config () in
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        let max_seen = ref 0 in
+        for _ = 1 to 50 do
+          Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+            (Bytes.create 512);
+          max_seen := max !max_seen (Reliability.inflight rel)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check bool)
+          (Printf.sprintf "inflight peak %d <= 4" !max_seen)
+          true (!max_seen <= 4);
+        Alcotest.(check int) "all delivered"
+          50 (Reliability.stats rel).Reliability.delivered);
+    Alcotest.test_case "ack rtt summary is populated" `Quick (fun () ->
+        let sched, fabric, _rel = mk () in
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 100);
+        Scheduler.run sched;
+        let snap = Metrics.snapshot (Scheduler.metrics sched) in
+        match
+          Metrics.Snapshot.find
+            ~labels:[ ("protocol", "reliability") ]
+            snap "rel.ack_rtt_us"
+        with
+        | Some (Metrics.Snapshot.Summary { count; mean; _ }) ->
+          Alcotest.(check int) "one sample" 1 count;
+          Alcotest.(check bool) "positive rtt" true (mean > 0.)
+        | _ -> Alcotest.fail "rtt summary missing");
+  ]
+
+let lossy_wire_tests =
+  [
+    Alcotest.test_case "bernoulli loss: recovered, in order, exactly once"
+      `Quick (fun () ->
+        let fault = Simnet.Fault.bernoulli ~seed:11 ~p:0.1 () in
+        let got, rel, fabric = exchange ~fault ~n:100 ~len:256 () in
+        Alcotest.(check (list string)) "all recovered in order"
+          (expected_payloads ~n:100 ~len:256)
+          got;
+        let st = Reliability.stats rel in
+        Alcotest.(check bool)
+          (Printf.sprintf "retransmits %d > 0" st.Reliability.retransmits)
+          true
+          (st.Reliability.retransmits > 0);
+        Alcotest.(check bool) "fabric counted injected drops" true
+          ((Simnet.Fabric.stats fabric).Simnet.Fabric.drops_injected > 0));
+    Alcotest.test_case "burst loss: recovered, in order, exactly once" `Quick
+      (fun () ->
+        let fault =
+          Simnet.Fault.gilbert ~seed:5 ~p_enter:0.05 ~p_exit:0.3 ()
+        in
+        let got, _, _ = exchange ~fault ~n:100 ~len:256 () in
+        Alcotest.(check (list string)) "all recovered in order"
+          (expected_payloads ~n:100 ~len:256)
+          got);
+    Alcotest.test_case "duplication: suppressed, delivered exactly once" `Quick
+      (fun () ->
+        let fault = Simnet.Fault.duplicator ~seed:3 ~p:0.3 () in
+        let got, rel, fabric = exchange ~fault ~n:60 ~len:128 () in
+        Alcotest.(check (list string)) "exactly once, in order"
+          (expected_payloads ~n:60 ~len:128)
+          got;
+        Alcotest.(check bool) "wire duplicated something" true
+          ((Simnet.Fabric.stats fabric).Simnet.Fabric.dups_injected > 0);
+        Alcotest.(check bool) "duplicates suppressed" true
+          ((Reliability.stats rel).Reliability.duplicate_drops > 0));
+    Alcotest.test_case "link flap: outage repaired by retransmission" `Quick
+      (fun () ->
+        let fault =
+          Simnet.Fault.link_flap ~period:(Time_ns.us 20.)
+            ~downtime:(Time_ns.us 10.) ()
+        in
+        let got, rel, _ = exchange ~fault ~n:80 ~len:512 () in
+        Alcotest.(check (list string)) "all recovered in order"
+          (expected_payloads ~n:80 ~len:512)
+          got;
+        Alcotest.(check bool) "retransmits happened" true
+          ((Reliability.stats rel).Reliability.retransmits > 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"any seed, any loss rate <= 20%: in-order exactly-once"
+         ~count:25
+         QCheck.(pair small_nat (int_range 0 20))
+         (fun (seed, loss_pct) ->
+           let fault =
+             Simnet.Fault.bernoulli ~seed ~p:(float_of_int loss_pct /. 100.) ()
+           in
+           let got, _, _ = exchange ~fault ~seed ~n:40 ~len:64 () in
+           got = expected_payloads ~n:40 ~len:64));
+  ]
+
+let budget_tests =
+  [
+    Alcotest.test_case "retry budget exhausts against a dead link" `Quick
+      (fun () ->
+        (* 100% loss: every frame burns its budget and is abandoned;
+           the sender must not retransmit forever. *)
+        let config =
+          {
+            Reliability.default_config with
+            Reliability.max_retries = 3;
+            window = 8;
+          }
+        in
+        let fault = Simnet.Fault.bernoulli ~seed:0 ~p:1.0 () in
+        let gave_up = ref [] in
+        let sched, fabric, rel = mk ~config ~fault () in
+        Reliability.on_give_up rel (fun ~src:_ ~dst:_ ~seq ->
+            gave_up := seq :: !gave_up);
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ ->
+            Alcotest.fail "nothing can arrive");
+        for _ = 1 to 5 do
+          Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+            (Bytes.create 64)
+        done;
+        Scheduler.run sched;
+        let st = Reliability.stats rel in
+        Alcotest.(check int) "all five abandoned" 5
+          st.Reliability.retries_exhausted;
+        Alcotest.(check int) "give-up callback saw each" 5
+          (List.length !gave_up);
+        Alcotest.(check int) "3 retries each" 15 st.Reliability.retransmits;
+        Alcotest.(check int) "nothing delivered" 0 st.Reliability.delivered;
+        Alcotest.(check int) "sender drained" 0 (Reliability.inflight rel));
+    Alcotest.test_case "below the budget there is zero visible loss" `Quick
+      (fun () ->
+        (* Heavy (30%) loss but a deep budget: the application still sees
+           every message, in order. *)
+        let fault = Simnet.Fault.bernoulli ~seed:42 ~p:0.3 () in
+        let got, rel, _ = exchange ~fault ~n:50 ~len:64 () in
+        Alcotest.(check (list string)) "no visible loss"
+          (expected_payloads ~n:50 ~len:64)
+          got;
+        Alcotest.(check int) "no exhaustion" 0
+          (Reliability.stats rel).Reliability.retries_exhausted);
+  ]
+
+let shim_tests =
+  [
+    Alcotest.test_case "second shim is rejected" `Quick (fun () ->
+        let _, fabric, _ = mk () in
+        Alcotest.check_raises "double install"
+          (Invalid_argument "Fabric.install_shim: a shim is already installed")
+          (fun () -> ignore (Reliability.attach fabric)));
+    Alcotest.test_case "acks keep flowing after upper unregistration" `Quick
+      (fun () ->
+        (* The shim lives below registration: a retransmitted frame whose
+           destination has unregistered is still acked (stopping the
+           retransmit storm) and counted as an unregistered drop above. *)
+        let sched, fabric, rel = mk () in
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 32);
+        Scheduler.run sched;
+        Alcotest.(check int) "acked: nothing in flight" 0
+          (Reliability.inflight rel);
+        Alcotest.(check int) "no exhaustion" 0
+          (Reliability.stats rel).Reliability.retries_exhausted;
+        Alcotest.(check int) "unregistered drop counted" 1
+          (Simnet.Fabric.stats fabric).Simnet.Fabric.drops_unregistered);
+  ]
+
+let campaign_tests =
+  [
+    Alcotest.test_case "grid is losses-major" `Quick (fun () ->
+        let g =
+          Reliability.Campaign.grid ~losses:[ 0.; 0.1 ] ~seeds:[ 1; 2 ]
+        in
+        Alcotest.(check (list (pair (float 1e-9) int)))
+          "order"
+          [ (0., 1); (0., 2); (0.1, 1); (0.1, 2) ]
+          (List.map
+             (fun p ->
+               (p.Reliability.Campaign.loss, p.Reliability.Campaign.seed))
+             g));
+    Alcotest.test_case "same point replays bit-exactly" `Quick (fun () ->
+        let run ~loss ~seed =
+          let fault =
+            Reliability.Campaign.fault { Reliability.Campaign.loss; seed }
+          in
+          let _, rel, _ = exchange ?fault ~seed ~n:30 ~len:128 () in
+          (Reliability.stats rel).Reliability.retransmits
+        in
+        let a = run ~loss:0.1 ~seed:9 and b = run ~loss:0.1 ~seed:9 in
+        Alcotest.(check int) "deterministic" a b);
+    Alcotest.test_case "mean_by_loss collapses seeds" `Quick (fun () ->
+        let outcomes =
+          Reliability.Campaign.run ~losses:[ 0.; 0.5 ] ~seeds:[ 1; 2 ]
+            ~f:(fun ~loss ~seed -> loss +. float_of_int seed)
+        in
+        Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+          "means"
+          [ (0., 1.5); (0.5, 2.0) ]
+          (Reliability.Campaign.mean_by_loss (fun v -> v) outcomes));
+  ]
+
+let () =
+  Alcotest.run "reliability"
+    [
+      ("frames", frame_tests);
+      ("perfect wire", perfect_wire_tests);
+      ("lossy wire", lossy_wire_tests);
+      ("retry budget", budget_tests);
+      ("shim", shim_tests);
+      ("campaign", campaign_tests);
+    ]

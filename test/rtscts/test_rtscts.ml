@@ -125,6 +125,7 @@ let delivery_tests =
         Alcotest.(check (list int)) "pair (0,2)" [ 100 ] !got2);
     Alcotest.test_case "receive path charges the host cpu" `Quick (fun () ->
         let sched, fabric, _, tp = setup () in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
         tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ _ -> ());
         tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
           (Bytes.create 50_000);
@@ -169,6 +170,67 @@ let delivery_tests =
           (* generous 1.5x slack over the single bottleneck stage, but
              clearly below the fully serial sum *)
           (!done_at < bottleneck * 3 / 2 && !done_at < serial));
+  ]
+
+let void_sender_tests =
+  [
+    Alcotest.test_case "rendezvous to an unregistered peer fails the sender"
+      `Quick (fun () ->
+        let sched, _, m, tp = setup () in
+        let errors = ref [] in
+        Rtscts.on_send_error m (fun ~src ~dst ~len ->
+            errors := (src, dst, len) :: !errors);
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        (* proc 1 0 never registers: its RTS would vanish. *)
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 50_000);
+        Scheduler.run sched;
+        let st = Rtscts.stats m in
+        Alcotest.(check int) "counted" 1 st.Rtscts.failed_handshakes;
+        Alcotest.(check int) "no rts wasted" 0 st.Rtscts.rts_sent;
+        (match !errors with
+        | [ (src, dst, len) ] ->
+          Alcotest.(check string) "src" "0:0" (Simnet.Proc_id.to_string src);
+          Alcotest.(check string) "dst" "1:0" (Simnet.Proc_id.to_string dst);
+          Alcotest.(check int) "len" 50_000 len
+        | l ->
+          Alcotest.fail
+            (Printf.sprintf "expected one error callback, got %d"
+               (List.length l))));
+    Alcotest.test_case "unregistered sender cannot receive the CTS" `Quick
+      (fun () ->
+        let sched, _, m, tp = setup () in
+        (* The destination is live but the sender is not: the CTS would be
+           answered into the void, so the send must fail immediately. *)
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ _ ->
+            Alcotest.fail "nothing can complete");
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 50_000);
+        Scheduler.run sched;
+        Alcotest.(check int) "counted" 1
+          (Rtscts.stats m).Rtscts.failed_handshakes);
+    Alcotest.test_case "a failed handshake does not stall the pipeline" `Quick
+      (fun () ->
+        let sched, fabric, m, tp = setup () in
+        let got = ref [] in
+        tp.Simnet.Transport.register (proc 0 0) (fun ~src:_ _ -> ());
+        tp.Simnet.Transport.register (proc 1 0) (fun ~src:_ p ->
+            got := Bytes.length p :: !got);
+        (* Big transfer to a dead peer, then traffic to a live one on the
+           same source: before the fix the first send parked forever in
+           awaiting_cts and leaked its payload. *)
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 2 0)
+          (Bytes.create 40_000);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 60_000);
+        tp.Simnet.Transport.send ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 16);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "live traffic unaffected" [ 60_000; 16 ]
+          (List.rev !got);
+        Alcotest.(check int) "one failure" 1
+          (Rtscts.stats m).Rtscts.failed_handshakes;
+        ignore fabric);
   ]
 
 let portals_over_rtscts_tests =
@@ -227,5 +289,6 @@ let () =
     [
       ("frame", frame_tests);
       ("delivery", delivery_tests);
+      ("void_sender", void_sender_tests);
       ("portals_over_rtscts", portals_over_rtscts_tests);
     ]

@@ -64,6 +64,37 @@ let world_tests =
                  ok := st.Mpi.length = 8
                end));
         Alcotest.(check bool) "delivered" true !ok);
+    Alcotest.test_case "lossy run environment shims reliability under MPI"
+      `Quick (fun () ->
+        Runtime.set_run_env ~loss:0.15 ~seed:11 ();
+        Fun.protect
+          ~finally:(fun () -> Runtime.set_run_env ~loss:0. ~seed:0 ())
+          (fun () ->
+            Alcotest.(check (pair (float 1e-9) int))
+              "env readable" (0.15, 11) (Runtime.run_env ());
+            let total = ref 0 in
+            let world =
+              Runtime.launch_mpi ~nodes:4 (fun ep ->
+                  let rank = Mpi.rank ep in
+                  if rank <> 0 then
+                    for _ = 1 to 8 do
+                      Mpi.send ep ~dst:0 ~tag:1 (Bytes.make 2048 (Char.chr rank))
+                    done
+                  else
+                    for _ = 1 to 24 do
+                      let b = Bytes.create 2048 in
+                      let _st = Mpi.recv ep ~tag:1 b in
+                      total := !total + Char.code (Bytes.get b 0)
+                    done)
+            in
+            Alcotest.(check int) "sum of ranks despite 15% loss" 48 !total;
+            (* The wire really was lossy and the shim really repaired it. *)
+            Alcotest.(check bool) "drops injected" true
+              ((Simnet.Fabric.stats world.Runtime.fabric)
+                 .Simnet.Fabric.drops_injected
+              > 0);
+            Alcotest.(check bool) "shim installed" true
+              (Simnet.Fabric.has_shim world.Runtime.fabric)));
     Alcotest.test_case "multiple processes per node share the host cpu" `Quick
       (fun () ->
         let world = Runtime.create_world ~nodes:2 ~procs_per_node:2 () in

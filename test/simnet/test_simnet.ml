@@ -265,6 +265,163 @@ let transport_tests =
         Alcotest.(check bytes) "payload intact" payload !got);
   ]
 
+let fault_model_tests =
+  [
+    Alcotest.test_case "bernoulli drops roughly its rate" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric (Some (Fault.bernoulli ~seed:1 ~p:0.2 ()));
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        for _ = 1 to 500 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8)
+        done;
+        Scheduler.run sched;
+        let dropped = (Fabric.stats fabric).Fabric.drops_injected in
+        Alcotest.(check int) "conservation" 500 (!seen + dropped);
+        Alcotest.(check bool)
+          (Printf.sprintf "dropped %d within [50, 150]" dropped)
+          true
+          (dropped >= 50 && dropped <= 150));
+    Alcotest.test_case "bernoulli replays bit-exactly from its seed" `Quick
+      (fun () ->
+        let run () =
+          let sched, fabric = mk_fabric () in
+          Fabric.set_fault_model fabric
+            (Some (Fault.bernoulli ~seed:7 ~p:0.3 ()));
+          let survivors = ref [] in
+          Fabric.register fabric (pid 1 0) (fun ~src:_ b ->
+              survivors := Bytes.get b 0 :: !survivors);
+          for i = 0 to 99 do
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0)
+              (Bytes.make 4 (Char.chr i))
+          done;
+          Scheduler.run sched;
+          List.rev !survivors
+        in
+        Alcotest.(check (list char)) "identical survivor set" (run ()) (run ()));
+    Alcotest.test_case "gilbert produces burstier losses than bernoulli"
+      `Quick (fun () ->
+        (* Same long-run loss rate; the Gilbert chain must concentrate its
+           drops into longer consecutive runs. *)
+        let max_run fault =
+          let sched, fabric = mk_fabric () in
+          Fabric.set_fault_model fabric (Some fault);
+          let n = 2000 in
+          let arrived = Array.make n false in
+          Fabric.register fabric (pid 1 0) (fun ~src:_ b ->
+              arrived.(Bytes.get_uint16_le b 0) <- true);
+          for i = 0 to n - 1 do
+            let b = Bytes.create 8 in
+            Bytes.set_uint16_le b 0 i;
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) b
+          done;
+          Scheduler.run sched;
+          let best = ref 0 and cur = ref 0 in
+          Array.iter
+            (fun ok ->
+              if ok then cur := 0
+              else begin
+                incr cur;
+                best := max !best !cur
+              end)
+            arrived;
+          !best
+        in
+        let bernoulli_run = max_run (Fault.bernoulli ~seed:3 ~p:0.1 ()) in
+        let gilbert_run =
+          (* p_enter/(p_enter+p_exit) = 0.0217/(0.0217+0.2) ~ 0.098 steady
+             state in Bad, ~5-message mean bursts. *)
+          max_run (Fault.gilbert ~seed:3 ~p_enter:0.0217 ~p_exit:0.2 ())
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "gilbert %d > bernoulli %d" gilbert_run bernoulli_run)
+          true
+          (gilbert_run > bernoulli_run));
+    Alcotest.test_case "duplicator delivers extra copies" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric (Some (Fault.duplicator ~seed:2 ~p:0.5 ()));
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        for _ = 1 to 100 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8)
+        done;
+        Scheduler.run sched;
+        let dups = (Fabric.stats fabric).Fabric.dups_injected in
+        Alcotest.(check bool) "some duplicated" true (dups > 0);
+        Alcotest.(check int) "each duplicate adds one arrival" (100 + dups)
+          !seen);
+    Alcotest.test_case "link flap drops exactly during downtime" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        (* 100 us period, last 40 us down. *)
+        Fabric.set_fault_model fabric
+          (Some
+             (Fault.link_flap ~period:(Time_ns.us 100.)
+                ~downtime:(Time_ns.us 40.) ()));
+        let seen = ref [] in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ b ->
+            seen := Bytes.get b 0 :: !seen);
+        (* One tiny message every 25 us: phases 0, 25, 50 are up;
+           75 is down; repeating. *)
+        for i = 0 to 7 do
+          Scheduler.after sched
+            (Time_ns.us (25. *. float_of_int i))
+            (fun () ->
+              Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0)
+                (Bytes.make 1 (Char.chr i)))
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list int))
+          "only the down-phase sends are lost"
+          [ 0; 1; 2; 4; 5; 6 ]
+          (List.rev_map Char.code !seen));
+    Alcotest.test_case "flap validates downtime <= period" `Quick (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Fault.link_flap: downtime must lie within the period")
+          (fun () ->
+            ignore
+              (Fault.link_flap ~period:(Time_ns.us 10.)
+                 ~downtime:(Time_ns.us 20.) ())));
+    Alcotest.test_case "compose: any drop wins over duplicate" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric
+          (Some
+             (Fault.compose
+                [ Fault.duplicator ~seed:4 ~p:1.0 (); Fault.bernoulli ~seed:5 ~p:1.0 () ]));
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8);
+        Scheduler.run sched;
+        Alcotest.(check int) "dropped, not duplicated" 0 !seen;
+        Alcotest.(check int) "counted as drop" 1
+          (Fabric.stats fabric).Fabric.drops_injected);
+    Alcotest.test_case "injected drops are counted per (src, dst) pair"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric (Some (Fault.bernoulli ~seed:1 ~p:1.0 ()));
+        for _ = 1 to 3 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8)
+        done;
+        Fabric.send fabric ~src:(pid 2 0) ~dst:(pid 1 0) (Bytes.create 8);
+        Scheduler.run sched;
+        let snap = Metrics.snapshot (Scheduler.metrics sched) in
+        let count ~src ~dst =
+          match
+            Metrics.Snapshot.find snap
+              ~labels:[ ("src", src); ("dst", dst) ]
+              "fabric.drops_injected"
+          with
+          | Some (Metrics.Snapshot.Counter n) -> n
+          | _ -> Alcotest.fail "per-pair counter missing"
+        in
+        Alcotest.(check int) "pair 0:0 -> 1:0" 3 (count ~src:"0:0" ~dst:"1:0");
+        Alcotest.(check int) "pair 2:0 -> 1:0" 1 (count ~src:"2:0" ~dst:"1:0");
+        (* The legacy total is derived from the labelled counters. *)
+        Alcotest.(check int) "derived total" 4
+          (Fabric.stats fabric).Fabric.drops_injected);
+  ]
+
 let () =
   Alcotest.run "simnet"
     [
@@ -272,5 +429,6 @@ let () =
       ("profile", profile_tests);
       ("link", link_tests);
       ("fabric", fabric_tests);
+      ("fault_models", fault_model_tests);
       ("transport", transport_tests);
     ]
