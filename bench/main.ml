@@ -8,7 +8,7 @@
      F3/F4  address translation         F5/F6  application bypass
      L1     ping-pong latency           B1     streaming bandwidth
      S1/S2  scalability                 A1/A2  drop accounting, ablations
-     R1     reliability under loss *)
+     R1     reliability under loss      C1     crash-restart recovery *)
 
 open Bechamel
 open Toolkit
@@ -20,7 +20,11 @@ let line ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
      --trace-out FILE         write the F6 runs as Chrome trace JSON
      --loss RATE              run every world on a lossy fabric (with the
                               reliability shim underneath)
-     --seed N                 default PRNG seed, for deterministic replay *)
+     --seed N                 default PRNG seed, for deterministic replay
+     --fault MODEL            wire fault-model spec (bernoulli:P, gilbert:..,
+                              duplicate:P, flap:.., none; join with +)
+     --crash SPEC             node crash schedule, NID@DOWN_US[:UP_US],
+                              comma separated *)
 type opts = {
   mutable metrics : Sim_engine.Report.format option;
   mutable trace_out : string option;
@@ -52,6 +56,18 @@ let parse_opts () =
         Runtime.set_run_env ~seed:s ();
         go rest
       | None -> bad ("--seed " ^ n))
+    | "--fault" :: spec :: rest ->
+      (match Runtime.set_run_env ~fault:spec () with
+      | () -> go rest
+      | exception Invalid_argument msg ->
+        Format.eprintf "bench: %s@." msg;
+        exit 2)
+    | "--crash" :: spec :: rest ->
+      (match Runtime.set_run_env ~crashes:spec () with
+      | () -> go rest
+      | exception Invalid_argument msg ->
+        Format.eprintf "bench: %s@." msg;
+        exit 2)
     | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
       (match
          Sim_engine.Report.format_of_string
@@ -129,6 +145,11 @@ let print_all opts =
     "R1: reliability under wire loss (section 2: reliable in-order delivery)@.";
   line ppf;
   Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ());
+  line ppf;
+  Format.fprintf ppf
+    "C1: crash-restart recovery (section 3: connectionless peers)@.";
+  line ppf;
+  Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ());
   line ppf
 
 (* One Bechamel test per experiment: how long the harness takes to

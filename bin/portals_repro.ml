@@ -36,10 +36,12 @@ let backend_conv =
 let floats_conv = Arg.list ~sep:',' Arg.float
 let ints_conv = Arg.list ~sep:',' Arg.int
 
-(* Every command takes [--loss] / [--seed]: they set the process-wide run
-   environment (Runtime.set_run_env) before the experiment builds its
-   worlds, so any experiment replays deterministically on a lossy fabric
-   with the reliability protocol shimmed underneath. *)
+(* Every command takes [--loss] / [--seed] / [--fault] / [--crash]: they
+   set the process-wide run environment (Runtime.set_run_env) before the
+   experiment builds its worlds, so any experiment replays
+   deterministically on a degraded fabric — lossy/bursty/flapping wires,
+   scheduled node crash-restarts — with the reliability protocol shimmed
+   underneath. *)
 let env_term =
   let loss =
     Arg.(
@@ -60,12 +62,35 @@ let env_term =
             "Default scheduler/fault PRNG seed, for deterministic replay \
              (default 0).")
   in
-  let set loss seed =
-    match Runtime.set_run_env ?loss ?seed () with
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"MODEL"
+          ~doc:
+            "Run every world under fault model $(docv): \
+             $(b,bernoulli:P), $(b,gilbert:PE:PX), $(b,duplicate:P), \
+             $(b,flap:PERIOD_US:DOWN_US) or $(b,none); combine with \
+             $(b,+) (a drop by any component wins). Implies the \
+             reliability shim, like $(b,--loss).")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash" ] ~docv:"SPEC"
+          ~doc:
+            "Crash-stop nodes mid-run: $(docv) is a comma-separated list \
+             of $(b,NID\\@DOWN_US) (crash forever) or \
+             $(b,NID\\@DOWN_US:UP_US) (restart with a fresh incarnation \
+             at UP_US). Applied to every world the experiment builds.")
+  in
+  let set loss seed fault crashes =
+    match Runtime.set_run_env ?loss ?seed ?fault ?crashes () with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
-  Term.(ret (const set $ loss $ seed))
+  Term.(ret (const set $ loss $ seed $ fault $ crash))
 
 (* --- observability flags ------------------------------------------------ *)
 
@@ -320,6 +345,57 @@ let rel_loss_sweep_cmd =
        ~doc:"Goodput/completion vs wire loss, reliable vs raw fabric (R1)")
     Term.(const run $ env_term $ losses $ seeds $ msgs $ size $ metrics_arg)
 
+let crash_restart_cmd =
+  let run () msgs size down_at up_at horizon seed =
+    let d = Experiments.Crash_restart.default_config in
+    let config =
+      {
+        d with
+        Experiments.Crash_restart.msgs;
+        size;
+        down_at = Sim_engine.Time_ns.us down_at;
+        up_at = Sim_engine.Time_ns.us up_at;
+        horizon = Sim_engine.Time_ns.us horizon;
+      }
+    in
+    Format.fprintf ppf "%a@." Experiments.Crash_restart.pp_config config;
+    Experiments.Crash_restart.pp ppf
+      (Experiments.Crash_restart.run ~config ~seed ())
+  in
+  let d = Experiments.Crash_restart.default_config in
+  let msgs =
+    Arg.(value & opt int d.Experiments.Crash_restart.msgs
+         & info [ "msgs" ] ~doc:"Messages streamed by the survivor")
+  in
+  let size =
+    Arg.(value & opt int d.Experiments.Crash_restart.size
+         & info [ "size" ] ~doc:"Message size in bytes")
+  in
+  let down_at =
+    Arg.(value
+         & opt float (Sim_engine.Time_ns.to_us d.Experiments.Crash_restart.down_at)
+         & info [ "down-at" ] ~doc:"Victim crash time, us")
+  in
+  let up_at =
+    Arg.(value
+         & opt float (Sim_engine.Time_ns.to_us d.Experiments.Crash_restart.up_at)
+         & info [ "up-at" ] ~doc:"Victim restart time, us")
+  in
+  let horizon =
+    Arg.(value
+         & opt float (Sim_engine.Time_ns.to_us d.Experiments.Crash_restart.horizon)
+         & info [ "horizon" ] ~doc:"Simulation horizon, us")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  Cmd.v
+    (Cmd.info "crash-restart"
+       ~doc:
+         "Mid-run node crash + restart: recovery time and messages lost, \
+          Portals vs GM (C1)")
+    Term.(const run $ env_term $ msgs $ size $ down_at $ up_at $ horizon $ seed)
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -334,7 +410,8 @@ let all_cmd =
     Experiments.Drops.pp ppf (Experiments.Drops.run ());
     Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
     Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
-    Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ())
+    Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ());
+    Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
     Term.(const run $ env_term)
@@ -398,6 +475,9 @@ let default_term =
     | Some ("rel_loss_sweep" | "rel-loss-sweep") when trace_out = None ->
       run_rel_loss_sweep ~metrics ();
       `Ok ()
+    | Some (("crash_restart" | "crash-restart") as n) ->
+      plain n (fun () ->
+          Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ()))
     | Some other ->
       `Error
         ( false,
@@ -415,5 +495,6 @@ let () =
           [
             tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
             bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
-            drops_cmd; ablation_cmd; rel_loss_sweep_cmd; all_cmd;
+            drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
+            all_cmd;
           ]))

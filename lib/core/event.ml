@@ -38,6 +38,7 @@ module Queue = struct
     mutable dropped : int;
     mutable posted : int;
     mutable depth_series : Sim_engine.Metrics.series option;
+    mutable interrupts : int;
     nonempty : Sim_engine.Sync.Waitq.t;
   }
 
@@ -52,6 +53,7 @@ module Queue = struct
         dropped = 0;
         posted = 0;
         depth_series = None;
+        interrupts = 0;
         nonempty = Sim_engine.Sync.Waitq.create ~name:"eq" sched;
       }
     in
@@ -113,6 +115,24 @@ module Queue = struct
     | None ->
       Sim_engine.Sync.Waitq.wait t.nonempty;
       wait t
+
+  let wake t =
+    t.interrupts <- t.interrupts + 1;
+    Sim_engine.Sync.Waitq.broadcast t.nonempty
+
+  let wait_opt t =
+    let mark = t.interrupts in
+    let rec loop () =
+      match get t with
+      | Some ev -> Some ev
+      | None ->
+        if t.interrupts <> mark then None
+        else begin
+          Sim_engine.Sync.Waitq.wait t.nonempty;
+          loop ()
+        end
+    in
+    loop ()
 
   let dropped t = t.dropped
   let posted t = t.posted

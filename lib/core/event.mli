@@ -61,6 +61,16 @@ module Queue : sig
   val wait : t -> event
   (** Fiber-only blocking read ([PtlEQWait]). *)
 
+  val wait_opt : t -> event option
+  (** Like {!wait}, but also returns — with [None] — when a {!wake}
+      issued after the call began interrupts it. Callers re-check
+      whatever condition they were waiting for. *)
+
+  val wake : t -> unit
+  (** Interrupt every fiber blocked in {!wait_opt} even though no event
+      was posted. Used to surface out-of-band conditions (a peer node
+      crash) to blocked waiters. *)
+
   val dropped : t -> int
   (** Events lost to overflow since creation. *)
 

@@ -17,11 +17,13 @@ type drop_reason =
   | Ack_no_eq
   | Reply_no_md
   | Reply_eq_full
+  | Stale_incarnation
 
 let all_drop_reasons =
   [
     Malformed; Invalid_portal_index; Acl_bad_cookie; Acl_id_mismatch;
     Acl_portal_mismatch; No_match; Ack_no_eq; Reply_no_md; Reply_eq_full;
+    Stale_incarnation;
   ]
 
 let drop_reason_index = function
@@ -34,6 +36,7 @@ let drop_reason_index = function
   | Ack_no_eq -> 6
   | Reply_no_md -> 7
   | Reply_eq_full -> 8
+  | Stale_incarnation -> 9
 
 let drop_reason_slug = function
   | Malformed -> "malformed"
@@ -45,6 +48,7 @@ let drop_reason_slug = function
   | Ack_no_eq -> "ack_no_eq"
   | Reply_no_md -> "reply_no_md"
   | Reply_eq_full -> "reply_eq_full"
+  | Stale_incarnation -> "stale_incarnation"
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -57,7 +61,8 @@ let pp_drop_reason ppf r =
     | No_match -> "no matching entry accepted the request"
     | Ack_no_eq -> "acknowledgment event queue gone"
     | Reply_no_md -> "reply memory descriptor gone"
-    | Reply_eq_full -> "reply event queue full")
+    | Reply_eq_full -> "reply event queue full"
+    | Stale_incarnation -> "sender incarnation is stale")
 
 type counters = {
   puts_initiated : int;
@@ -133,6 +138,9 @@ let sched t = t.tp.Simnet.Transport.sched
 let transport t = t.tp
 let acl t = t.ni_acl
 let portal_table_size t = Array.length t.pt
+
+let self_incarnation t =
+  t.tp.Simnet.Transport.node_incarnation t.self.Simnet.Proc_id.nid
 
 let drop t reason = t.drops.(drop_reason_index reason) <- t.drops.(drop_reason_index reason) + 1
 let dropped t reason = t.drops.(drop_reason_index reason)
@@ -460,12 +468,16 @@ let handle_put_or_get t (msg : Wire.t) ~op =
           if ack_wanted then begin
             t.c.c_acks <- t.c.c_acks + 1;
             t.tp.Simnet.Transport.send ~src:t.self ~dst:src
-              (Wire.encode (Wire.ack_of_put msg ~mlength))
+              (Wire.encode
+                 (Wire.ack_of_put ~incarnation:(self_incarnation t) msg
+                    ~mlength))
           end
         | Md.Op_get ->
           t.c.c_replies <- t.c.c_replies + 1;
           t.tp.Simnet.Transport.send ~src:t.self ~dst:src
-            (Wire.encode (Wire.reply_of_get msg ~mlength ~data:reply_data))))
+            (Wire.encode
+               (Wire.reply_of_get ~incarnation:(self_incarnation t) msg
+                  ~mlength ~data:reply_data))))
   end
 
 let handle_ack t (msg : Wire.t) =
@@ -512,11 +524,21 @@ let handle_incoming t ~src:_ payload =
     match Wire.decode payload with
     | Error _ -> drop t Malformed
     | Ok msg ->
-      (match msg.Wire.op with
-      | Wire.Put_request -> handle_put_or_get t msg ~op:Md.Op_put
-      | Wire.Get_request -> handle_put_or_get t msg ~op:Md.Op_get
-      | Wire.Ack -> handle_ack t msg
-      | Wire.Reply -> handle_reply t msg)
+      (* Incarnation fence: a message stamped by a previous life of its
+         sender node is from a process that no longer exists; accepting it
+         would resurrect pre-crash state (§3's connectionless argument —
+         the fence replaces a connection teardown). *)
+      let sender_nid = msg.Wire.initiator.Simnet.Proc_id.nid in
+      if
+        msg.Wire.incarnation
+        <> t.tp.Simnet.Transport.node_incarnation sender_nid
+      then drop t Stale_incarnation
+      else (
+        match msg.Wire.op with
+        | Wire.Put_request -> handle_put_or_get t msg ~op:Md.Op_put
+        | Wire.Get_request -> handle_put_or_get t msg ~op:Md.Op_get
+        | Wire.Ack -> handle_ack t msg
+        | Wire.Reply -> handle_reply t msg)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -532,10 +554,10 @@ let put t ~md:mdh ?(ack = true) (o : op) =
       let data = Md.read md ~offset:0 ~len:(Md.length md) in
       let ack_requested = ack && not (Md.options md).Md.ack_disable in
       let msg =
-        Wire.put_request ~ack_requested ~initiator:t.self ~target:o.target
-          ~portal_index:o.portal_index ~cookie:o.cookie
-          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
-          ~eq_handle:(Md.eq_handle md) ~data ()
+        Wire.put_request ~ack_requested ~incarnation:(self_incarnation t)
+          ~initiator:t.self ~target:o.target ~portal_index:o.portal_index
+          ~cookie:o.cookie ~match_bits:o.match_bits ~offset:o.offset
+          ~md_handle:mdh ~eq_handle:(Md.eq_handle md) ~data ()
       in
       t.c.c_puts <- t.c.c_puts + 1;
       if ack_requested then Md.incr_pending md;
@@ -575,8 +597,8 @@ let get t ~md:mdh (o : op) =
     else begin
       let md = entry.md in
       let msg =
-        Wire.get_request ~initiator:t.self ~target:o.target
-          ~portal_index:o.portal_index ~cookie:o.cookie
+        Wire.get_request ~incarnation:(self_incarnation t) ~initiator:t.self
+          ~target:o.target ~portal_index:o.portal_index ~cookie:o.cookie
           ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
           ~rlength:(Md.length md) ()
       in

@@ -73,6 +73,11 @@ type drop_reason =
   | Reply_no_md  (** Reply's memory descriptor no longer exists (§4.8). *)
   | Reply_eq_full
       (** Reply's event queue has no space and is not null (§4.8). *)
+  | Stale_incarnation
+      (** Message stamped by a previous incarnation of its sender node —
+          the sender crashed (and possibly restarted) after sending. The
+          fence keeps a dead process's traffic from resurrecting state,
+          without any per-peer connection to tear down (§3). *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
 

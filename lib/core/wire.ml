@@ -19,13 +19,14 @@ type t = {
   offset : int;
   md_handle : Handle.md;
   eq_handle : Handle.eq;
+  incarnation : int;
   length : int;
   data : bytes;
 }
 
 let magic = 0xB3
 let version = 0x30
-let header_size = 68
+let header_size = 72
 
 let op_code = function Put_request -> 0 | Ack -> 1 | Get_request -> 2 | Reply -> 3
 
@@ -36,8 +37,8 @@ let op_of_code = function
   | 3 -> Some Reply
   | _ -> None
 
-let put_request ?(ack_requested = true) ~initiator ~target ~portal_index ~cookie
-    ~match_bits ~offset ~md_handle ~eq_handle ~data () =
+let put_request ?(ack_requested = true) ?(incarnation = 0) ~initiator ~target
+    ~portal_index ~cookie ~match_bits ~offset ~md_handle ~eq_handle ~data () =
   {
     op = Put_request;
     ack_requested;
@@ -49,11 +50,12 @@ let put_request ?(ack_requested = true) ~initiator ~target ~portal_index ~cookie
     offset;
     md_handle;
     eq_handle;
+    incarnation;
     length = Bytes.length data;
     data;
   }
 
-let ack_of_put t ~mlength =
+let ack_of_put ?incarnation t ~mlength =
   if t.op <> Put_request then invalid_arg "Wire.ack_of_put: not a put request";
   {
     t with
@@ -61,12 +63,13 @@ let ack_of_put t ~mlength =
     ack_requested = false;
     initiator = t.target;
     target = t.initiator;
+    incarnation = Option.value incarnation ~default:t.incarnation;
     length = mlength;
     data = Bytes.empty;
   }
 
-let get_request ~initiator ~target ~portal_index ~cookie ~match_bits ~offset
-    ~md_handle ~rlength () =
+let get_request ?(incarnation = 0) ~initiator ~target ~portal_index ~cookie
+    ~match_bits ~offset ~md_handle ~rlength () =
   {
     op = Get_request;
     ack_requested = false;
@@ -78,11 +81,12 @@ let get_request ~initiator ~target ~portal_index ~cookie ~match_bits ~offset
     offset;
     md_handle;
     eq_handle = Handle.none;
+    incarnation;
     length = rlength;
     data = Bytes.empty;
   }
 
-let reply_of_get t ~mlength ~data =
+let reply_of_get ?incarnation t ~mlength ~data =
   if t.op <> Get_request then invalid_arg "Wire.reply_of_get: not a get request";
   if Bytes.length data <> mlength then
     invalid_arg "Wire.reply_of_get: data length disagrees with mlength";
@@ -91,6 +95,7 @@ let reply_of_get t ~mlength ~data =
     op = Reply;
     initiator = t.target;
     target = t.initiator;
+    incarnation = Option.value incarnation ~default:t.incarnation;
     length = mlength;
     data;
   }
@@ -111,7 +116,8 @@ let encode t =
   Bytes.set_int64_le buf 36 (Int64.of_int t.offset);
   Bytes.set_int64_le buf 44 (Handle.to_wire t.md_handle);
   Bytes.set_int64_le buf 52 (Handle.to_wire t.eq_handle);
-  Bytes.set_int64_le buf 60 (Int64.of_int t.length);
+  Bytes.set_int32_le buf 60 (Int32.of_int t.incarnation);
+  Bytes.set_int64_le buf 64 (Int64.of_int t.length);
   Bytes.blit t.data 0 buf header_size (Bytes.length t.data);
   buf
 
@@ -141,7 +147,7 @@ let decode buf =
       | Some op ->
         let i32 pos = Int32.to_int (Bytes.get_int32_le buf pos) in
         let i64 pos = Int64.to_int (Bytes.get_int64_le buf pos) in
-        let length = i64 60 in
+        let length = i64 64 in
         let data_len =
           match op with Put_request | Reply -> length | Ack | Get_request -> 0
         in
@@ -160,6 +166,7 @@ let decode buf =
               offset = i64 36;
               md_handle = Handle.of_wire (Bytes.get_int64_le buf 44);
               eq_handle = Handle.of_wire (Bytes.get_int64_le buf 52);
+              incarnation = i32 60;
               length;
               data = Bytes.sub buf header_size data_len;
             }
@@ -171,6 +178,7 @@ let field_inventory = function
     [
       ("operation", "Indicates a put request");
       ("initiator", "Local process id");
+      ("incarnation", "Initiator's incarnation (fences stale senders)");
       ("target", "Target process id");
       ("portal index", "Target Portal table entry");
       ("cookie", "Access control table entry");
@@ -197,6 +205,7 @@ let field_inventory = function
     [
       ("operation", "Indicates a get request");
       ("initiator", "Local process id");
+      ("incarnation", "Initiator's incarnation (fences stale senders)");
       ("target", "Target process id");
       ("portal index", "Target Portal table entry");
       ("cookie", "Access control table entry");
@@ -217,8 +226,9 @@ let field_inventory = function
     ]
 
 let pp ppf t =
-  Format.fprintf ppf "%a %a->%a pt=%d ck=%d bits=%a off=%d md=%a eq=%a len=%d%s"
-    pp_op t.op Simnet.Proc_id.pp t.initiator Simnet.Proc_id.pp t.target
+  Format.fprintf ppf
+    "%a %a->%a pt=%d ck=%d bits=%a off=%d md=%a eq=%a inc=%d len=%d%s" pp_op
+    t.op Simnet.Proc_id.pp t.initiator Simnet.Proc_id.pp t.target
     t.portal_index t.cookie Match_bits.pp t.match_bits t.offset Handle.pp
-    t.md_handle Handle.pp t.eq_handle t.length
+    t.md_handle Handle.pp t.eq_handle t.incarnation t.length
     (if t.ack_requested then " +ack" else "")

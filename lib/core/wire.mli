@@ -17,7 +17,12 @@
     {- {b Reply} (Table 4): the get request echoed with the pair swapped,
        plus manipulated length and the data.}}
 
-    The encoding is little-endian with a fixed 68-byte header followed by
+    Beyond the paper's tables, every message carries the sender node's
+    monotonic {e incarnation} number so a receiver can fence traffic from a
+    sender's previous life after a crash–restart (the connectionless
+    analogue of tearing down a stale connection; see [Ni]).
+
+    The encoding is little-endian with a fixed 72-byte header followed by
     payload. Decoding validates magic, version, operation and lengths so a
     corrupt message surfaces as an error, not an exception. *)
 
@@ -40,6 +45,8 @@ type t = {
   eq_handle : Handle.eq;
       (** Initiator-side EQ for the ack event; {!Handle.none} on get
           requests and replies. *)
+  incarnation : int;
+      (** Sender node's incarnation at send time (0 until a restart). *)
   length : int;  (** Requested length; manipulated length in ack/reply. *)
   data : bytes;  (** Payload (put request and reply); else empty. *)
 }
@@ -48,6 +55,7 @@ val header_size : int
 
 val put_request :
   ?ack_requested:bool ->
+  ?incarnation:int ->
   initiator:Simnet.Proc_id.t ->
   target:Simnet.Proc_id.t ->
   portal_index:int ->
@@ -60,12 +68,14 @@ val put_request :
   unit ->
   t
 
-val ack_of_put : t -> mlength:int -> t
+val ack_of_put : ?incarnation:int -> t -> mlength:int -> t
 (** Build the acknowledgment for a put request: fields echoed, initiator
-    and target swapped, data dropped, length replaced by [mlength]. Raises
-    [Invalid_argument] on a non-put message. *)
+    and target swapped, data dropped, length replaced by [mlength].
+    [incarnation] (default: echo the request's) stamps the responder's own
+    incarnation. Raises [Invalid_argument] on a non-put message. *)
 
 val get_request :
+  ?incarnation:int ->
   initiator:Simnet.Proc_id.t ->
   target:Simnet.Proc_id.t ->
   portal_index:int ->
@@ -77,9 +87,10 @@ val get_request :
   unit ->
   t
 
-val reply_of_get : t -> mlength:int -> data:bytes -> t
+val reply_of_get : ?incarnation:int -> t -> mlength:int -> data:bytes -> t
 (** Build the reply for a get request: fields echoed, pair swapped, data
-    attached. Raises [Invalid_argument] on a non-get message. *)
+    attached. [incarnation] as in {!ack_of_put}. Raises
+    [Invalid_argument] on a non-get message. *)
 
 val encode : t -> bytes
 

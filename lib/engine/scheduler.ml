@@ -1,7 +1,15 @@
 exception Deadlock of string list
 exception Stopped
+exception Killed
 
-type fiber = { id : int; name : string }
+type fiber = { id : int; name : string; domain : int option; epoch : int }
+
+type blocked_entry = {
+  b_fiber : fiber;
+  b_why : string;
+  b_since : Time_ns.t;
+  b_kill : unit -> unit;  (* discontinue the stored continuation with Killed *)
+}
 
 type t = {
   heap : (unit -> unit) Event_heap.t;
@@ -9,7 +17,8 @@ type t = {
   mutable next_fiber_id : int;
   mutable live : int;
   mutable stopping : bool;
-  blocked : (int, string) Hashtbl.t;
+  blocked : (int, blocked_entry) Hashtbl.t;
+  domain_kills : (int, int) Hashtbl.t;
   mutable current : fiber option;
   prng : Prng.t;
   metrics : Metrics.t;
@@ -27,6 +36,7 @@ let create ?(seed = 0) ?(trace_capacity = 65536) () =
       live = 0;
       stopping = false;
       blocked = Hashtbl.create 64;
+      domain_kills = Hashtbl.create 8;
       current = None;
       prng = Prng.create ~seed;
       metrics = Metrics.create ();
@@ -55,6 +65,16 @@ let at t time f =
 
 let after t dt f = at t (Time_ns.add t.now dt) f
 
+let domain_epoch t d = Option.value ~default:0 (Hashtbl.find_opt t.domain_kills d)
+
+(* A fiber is dead once its domain has been killed after the fiber was
+   spawned; fibers spawned after a restart carry the newer epoch and are
+   unaffected by earlier kills. *)
+let fiber_dead t fiber =
+  match fiber.domain with
+  | None -> false
+  | Some d -> domain_epoch t d > fiber.epoch
+
 (* Run a fiber body under the effect handler. [k] resumptions re-enter
    through this handler, so every blocking point in the fiber is covered. *)
 let start_fiber t fiber f =
@@ -62,41 +82,87 @@ let start_fiber t fiber f =
   let handler =
     {
       retc = (fun () -> t.live <- t.live - 1);
-      exnc = (fun e -> raise e);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed -> t.live <- t.live - 1
+          | e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Suspend (why, register) ->
             Some
               (fun (k : (a, _) continuation) ->
-                Hashtbl.replace t.blocked fiber.id why;
-                let woken = ref false in
-                let waker () =
-                  if !woken then
-                    invalid_arg "Scheduler: waker invoked more than once";
-                  woken := true;
-                  Hashtbl.remove t.blocked fiber.id;
-                  Event_heap.add t.heap ~time:t.now (fun () ->
-                      let prev = t.current in
-                      t.current <- Some fiber;
-                      continue k ();
-                      t.current <- prev)
-                in
-                register waker)
+                if fiber_dead t fiber then discontinue k Killed
+                else begin
+                  let entry =
+                    {
+                      b_fiber = fiber;
+                      b_why = why;
+                      b_since = t.now;
+                      b_kill =
+                        (fun () ->
+                          let prev = t.current in
+                          t.current <- Some fiber;
+                          discontinue k Killed;
+                          t.current <- prev);
+                    }
+                  in
+                  Hashtbl.replace t.blocked fiber.id entry;
+                  let woken = ref false in
+                  let waker () =
+                    if fiber_dead t fiber then ()
+                    else if !woken then
+                      invalid_arg "Scheduler: waker invoked more than once"
+                    else begin
+                      woken := true;
+                      Hashtbl.remove t.blocked fiber.id;
+                      Event_heap.add t.heap ~time:t.now (fun () ->
+                          let prev = t.current in
+                          t.current <- Some fiber;
+                          (if fiber_dead t fiber then discontinue k Killed
+                           else continue k ());
+                          t.current <- prev)
+                    end
+                  in
+                  register waker
+                end)
           | _ -> None);
     }
   in
   match_with f () handler
 
-let spawn t ?(name = "fiber") f =
-  let fiber = { id = t.next_fiber_id; name } in
+let spawn t ?(name = "fiber") ?domain f =
+  let epoch = match domain with None -> 0 | Some d -> domain_epoch t d in
+  let fiber = { id = t.next_fiber_id; name; domain; epoch } in
   t.next_fiber_id <- t.next_fiber_id + 1;
   t.live <- t.live + 1;
   Event_heap.add t.heap ~time:t.now (fun () ->
-      let prev = t.current in
-      t.current <- Some fiber;
-      start_fiber t fiber f;
-      t.current <- prev)
+      if fiber_dead t fiber then t.live <- t.live - 1
+      else begin
+        let prev = t.current in
+        t.current <- Some fiber;
+        start_fiber t fiber f;
+        t.current <- prev
+      end)
+
+let kill_domain t d =
+  Hashtbl.replace t.domain_kills d (domain_epoch t d + 1);
+  let victims =
+    Hashtbl.fold
+      (fun id e acc ->
+        match e.b_fiber.domain with
+        | Some dd when dd = d -> (id, e) :: acc
+        | _ -> acc)
+      t.blocked []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (id, e) ->
+      Hashtbl.remove t.blocked id;
+      e.b_kill ())
+    victims;
+  List.length victims
 
 let suspend t ~name register =
   match t.current with
@@ -117,7 +183,11 @@ let stop t = t.stopping <- true
 
 let blocked_names t =
   Hashtbl.fold
-    (fun id why acc -> Format.sprintf "fiber#%d blocked on %s" id why :: acc)
+    (fun _id e acc ->
+      Format.asprintf "at t=%a fiber#%d (%s) blocked since t=%a on %s"
+        Time_ns.pp t.now e.b_fiber.id e.b_fiber.name Time_ns.pp e.b_since
+        e.b_why
+      :: acc)
     t.blocked []
   |> List.sort compare
 

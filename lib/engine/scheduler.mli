@@ -14,11 +14,19 @@ type t
 
 exception Deadlock of string list
 (** Raised by {!run} when no events remain but fibers are still blocked.
-    Carries the names of the blocked fibers. *)
+    Each entry reports the deadlock's simulated time, the fiber's id and
+    name, when it blocked, and what it was waiting on, e.g.
+    ["at t=12.5us fiber#3 (rank1) blocked since t=4.0us on mpi.recv"]. *)
 
 exception Stopped
 (** Raised inside {!run} processing when {!stop} was requested; callers of
     [run] do not see it. *)
+
+exception Killed
+(** Raised asynchronously inside a fiber whose domain was destroyed by
+    {!kill_domain} — at the fiber's current (or next) blocking point.
+    Fibers may catch it to run cleanup; an uncaught [Killed] terminates
+    the fiber silently rather than aborting the run. *)
 
 val create : ?seed:int -> ?trace_capacity:int -> unit -> t
 (** [create ~seed ()] is a fresh scheduler at time 0. [seed] (default 0)
@@ -40,11 +48,24 @@ val trace : t -> Trace.t
 (** The span trace shared by every component driven by this scheduler.
     Disabled by default ({!Trace.enable} to start recording). *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+val spawn : t -> ?name:string -> ?domain:int -> (unit -> unit) -> unit
 (** [spawn t ~name f] creates a fiber running [f], starting at the current
     simulated time (it runs when the scheduler reaches the corresponding
     event, not immediately). An exception escaping [f] aborts the whole
-    run and is re-raised from {!run}. *)
+    run and is re-raised from {!run}.
+
+    [domain] tags the fiber as resident on a fault domain (by convention a
+    simulated node id) so {!kill_domain} can destroy it; untagged fibers
+    are immortal. *)
+
+val kill_domain : t -> int -> int
+(** [kill_domain t d] destroys every live fiber spawned with [~domain:d]:
+    blocked fibers are discontinued with {!Killed} immediately (in fiber-id
+    order, deterministically), runnable ones at their next scheduling
+    point, and not-yet-started ones never run. Fibers spawned with
+    [~domain:d] {e after} this call belong to the node's next incarnation
+    and are unaffected. Returns the number of blocked fibers killed
+    synchronously. *)
 
 val at : t -> Time_ns.t -> (unit -> unit) -> unit
 (** [at t time f] schedules callback [f] at absolute [time], which must not

@@ -100,6 +100,15 @@ let run () =
          md_user_ptr = 0;
          time = Time_ns.zero;
        });
+  (* 10. stale incarnation: a put stamped by a previous life of its
+     sender — as if node 0 sent it, crashed and restarted while the
+     message was queued behind a slow wire. *)
+  let stale_put =
+    P.Wire.put_request ~incarnation:7 ~initiator:r0 ~target:r1 ~portal_index:pt_bench
+      ~cookie:0 ~match_bits:P.Match_bits.zero ~offset:0
+      ~md_handle:P.Handle.none ~eq_handle:P.Handle.none ~data:Bytes.empty ()
+  in
+  tp.Simnet.Transport.send ~src:r0 ~dst:r1 (P.Wire.encode stale_put);
   Runtime.run world;
   (* The table is read back out of the registry: each NI publishes an
      ["ni.drops"] probe per (proc, reason); summing over procs recovers

@@ -13,3 +13,4 @@ module Scaling = Scaling
 module Drops = Drops
 module Ablation = Ablation
 module Rel_loss_sweep = Rel_loss_sweep
+module Crash_restart = Crash_restart

@@ -28,6 +28,7 @@ type t = {
   mutable s_drops : int;
   mutable s_polls : int;
   mutable live : bool;
+  mutable interrupts : int;
 }
 
 (* The port's event queue is GM's analogue of a Portals event queue, so it
@@ -87,6 +88,7 @@ let open_port tp ~id:self =
       s_drops = 0;
       s_polls = 0;
       live = true;
+      interrupts = 0;
     }
   in
   let labels = [ ("port", pname) ] in
@@ -128,11 +130,19 @@ let poll t =
 
 let pending_events t = Queue.length t.events
 
-let rec wait_event t =
-  if Queue.is_empty t.events then begin
-    Sim_engine.Sync.Waitq.wait t.nonempty;
-    wait_event t
-  end
+let wake t =
+  t.interrupts <- t.interrupts + 1;
+  Sim_engine.Sync.Waitq.broadcast t.nonempty
+
+let wait_event t =
+  let mark = t.interrupts in
+  let rec loop () =
+    if Queue.is_empty t.events && t.interrupts = mark then begin
+      Sim_engine.Sync.Waitq.wait t.nonempty;
+      loop ()
+    end
+  in
+  loop ()
 
 let stats t =
   {

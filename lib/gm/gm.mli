@@ -56,8 +56,15 @@ val poll : t -> event option
 
 val wait_event : t -> unit
 (** Fiber-only: block until the port has at least one completion event —
-    the analogue of a blocking [gm_receive]. The caller still has to
-    {!poll}; nothing is processed on its behalf (no application bypass). *)
+    the analogue of a blocking [gm_receive] — or until a {!wake} issued
+    after this call began. The caller still has to {!poll}; nothing is
+    processed on its behalf (no application bypass). *)
+
+val wake : t -> unit
+(** Interrupt every fiber blocked in {!wait_event} even though no event
+    was posted (the analogue of [gm_wake]). Used to surface out-of-band
+    conditions — a peer crash — to blocked waiters, which must re-check
+    their own predicates. *)
 
 val pending_events : t -> int
 (** Events a {!poll} would find right now (for tests; a real application

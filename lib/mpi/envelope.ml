@@ -1,3 +1,5 @@
+exception Peer_failed of int
+
 let any_source = -1
 let any_tag = -1
 let max_tag = (1 lsl 31) - 1

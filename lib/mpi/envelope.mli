@@ -19,6 +19,14 @@
     an explicit header in front of the payload, and matching happens in
     the MPI library (the very fact Figure 6 measures). *)
 
+exception Peer_failed of int
+(** Raised (with the peer's rank) by either backend when an operation
+    cannot complete because the peer's node crashed: a blocked wait on a
+    receive from the failed rank, a rendezvous send whose partner died
+    mid-handshake, or (GM only) new traffic toward a peer that has not
+    been {!Mpi.reconnect}ed. Lives here so both backends and the
+    dispatching {!Mpi} layer share one exception. *)
+
 val any_source : int
 (** -1: matches any sender. *)
 

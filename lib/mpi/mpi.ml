@@ -8,6 +8,8 @@ type request = Portals_req of Mpi_portals.request | Gm_req of Mpi_gm.request
 
 type status = { source : int; tag : int; length : int }
 
+exception Peer_failed = Envelope.Peer_failed
+
 let any_source = Envelope.any_source
 let any_tag = Envelope.any_tag
 
@@ -74,24 +76,41 @@ let send t ?context ~dst ~tag data =
 let recv t ?context ?source ?tag buffer =
   wait t (irecv t ?context ?source ?tag buffer)
 
+let on_peer_failure t cb =
+  match t with
+  | Portals_ep ep -> Mpi_portals.on_peer_failure ep cb
+  | Gm_ep ep -> Mpi_gm.on_peer_failure ep cb
+
+let failed_ranks = function
+  | Portals_ep ep -> Mpi_portals.failed_ranks ep
+  | Gm_ep ep -> Mpi_gm.failed_ranks ep
+
+let reconnect t ~rank =
+  match t with
+  | Portals_ep ep -> Mpi_portals.reconnect ep ~rank
+  | Gm_ep ep -> Mpi_gm.reconnect ep ~rank
+
 (* Reserve the top of the tag space for the barrier rounds. *)
 let barrier_tag_base = Envelope.max_tag - 64
 
-let barrier t =
+let barrier ?(tolerant = false) t =
   let n = size t in
   let me = rank t in
   if n > 1 then begin
     (* Dissemination: in round k, send to (me + 2^k) mod n and receive
-       from (me - 2^k) mod n; ceil(log2 n) rounds synchronise everyone. *)
+       from (me - 2^k) mod n; ceil(log2 n) rounds synchronise everyone.
+       With [tolerant], exchanges with crashed ranks are skipped instead
+       of raising — the surviving ranks still synchronise among
+       themselves (enough for a shutdown barrier). *)
+    let guard f = if tolerant then (try f () with Peer_failed _ -> ()) else f () in
     let rec round k step =
       if step < n then begin
         let tag = barrier_tag_base + k in
         let to_peer = (me + step) mod n in
         let from_peer = (me - step + n) mod n in
-        let s = isend t ~dst:to_peer ~tag Bytes.empty in
-        let r = irecv t ~source:from_peer ~tag (Bytes.create 0) in
-        ignore (wait t s);
-        ignore (wait t r);
+        guard (fun () -> ignore (wait t (isend t ~dst:to_peer ~tag Bytes.empty)));
+        guard (fun () ->
+            ignore (wait t (irecv t ~source:from_peer ~tag (Bytes.create 0))));
         round (k + 1) (step * 2)
       end
     in

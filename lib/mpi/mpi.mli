@@ -25,6 +25,13 @@ type request
 
 type status = { source : int; tag : int; length : int }
 
+exception Peer_failed of int
+(** Raised (with the peer's rank) when an operation cannot complete
+    because the peer's node crashed: {!wait}/{!test} on a receive from
+    the failed rank or a rendezvous send it never pulled, and — GM
+    backend only — new traffic toward a peer not yet {!reconnect}ed.
+    Blocked fibers are woken to raise this instead of deadlocking. *)
+
 val any_source : int
 val any_tag : int
 
@@ -80,9 +87,27 @@ val send : t -> ?context:int -> dst:int -> tag:int -> bytes -> unit
 val recv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> status
 (** Blocking receive: [irecv] then [wait]. *)
 
-val barrier : t -> unit
+val on_peer_failure : t -> (rank:int -> unit) -> unit
+(** Register a callback fired from the endpoint when a peer rank's node
+    crashes — the graceful-degradation hook: applications learn about
+    dead peers instead of discovering them as simulation deadlocks. *)
+
+val failed_ranks : t -> int list
+(** Ranks currently considered failed, ascending. Portals clears a
+    rank's mark automatically when its node restarts (connectionless,
+    §3); GM keeps it until {!reconnect}. *)
+
+val reconnect : t -> rank:int -> unit
+(** Re-admit a restarted peer. A no-op beyond bookkeeping on Portals;
+    required on GM, whose per-peer token/handshake state died with the
+    peer. *)
+
+val barrier : ?tolerant:bool -> t -> unit
 (** Dissemination barrier over point-to-point messages on a reserved tag
-    ([MPI_Barrier] on the world communicator). *)
+    ([MPI_Barrier] on the world communicator). With [tolerant] (default
+    false), exchanges with failed ranks are skipped instead of raising
+    {!Peer_failed}, so surviving ranks still synchronise — what a
+    shutdown barrier needs after a crash. *)
 
 val barrier_tag_base : int
 (** Reserved tag space used by {!barrier}; user tags must stay below. *)

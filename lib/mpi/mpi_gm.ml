@@ -16,7 +16,7 @@ type request = {
   want_context : int;
   want_source : int;
   want_tag : int;
-  mutable state : [ `Pending | `Complete of status ];
+  mutable state : [ `Pending | `Complete of status | `Failed of int ];
 }
 
 (* What each GM send's completion event means, FIFO with Send_complete. *)
@@ -40,6 +40,8 @@ type t = {
   sent_fifo : sent_kind Queue.t;
   awaiting_cts : (int, request * bytes) Hashtbl.t; (* cookie -> send *)
   awaiting_data : (int, request * Envelope.t) Hashtbl.t; (* cookie -> recv *)
+  failed : (int, unit) Hashtbl.t; (* ranks whose node crashed *)
+  mutable peer_cbs : (rank:int -> unit) list;
 }
 
 let rank t = t.my_rank
@@ -47,6 +49,58 @@ let size t = Array.length t.ranks
 let port t = t.gm_port
 
 let token_size t = t.cfg.eager_threshold + Envelope.gm_header_size
+
+let fail_req req rank =
+  match req.state with
+  | `Pending -> req.state <- `Failed rank
+  | `Complete _ | `Failed _ -> ()
+
+(* A peer's node crashed: GM's connection state (the tokens the peer held
+   for us, our rendezvous handshakes with it) is gone. Every request that
+   can only complete with that peer's cooperation fails; blocked waiters
+   are woken to observe it. New traffic toward the peer raises
+   [Envelope.Peer_failed] until [reconnect]. *)
+let on_peer_crash t nid =
+  let hit = ref false in
+  Array.iteri
+    (fun r pid ->
+      if r <> t.my_rank && pid.Simnet.Proc_id.nid = nid then begin
+        hit := true;
+        Hashtbl.replace t.failed r ();
+        (* Posted receives pinned to the dead source. *)
+        let n = Queue.length t.posted in
+        for _ = 1 to n do
+          let req = Queue.pop t.posted in
+          if req.want_source = r then fail_req req r else Queue.add req t.posted
+        done;
+        (* Rendezvous sends stuck waiting for the dead peer's CTS. *)
+        let dead_cts =
+          Hashtbl.fold
+            (fun cookie (req, _) acc ->
+              if req.want_source = r then (cookie, req) :: acc else acc)
+            t.awaiting_cts []
+        in
+        List.iter
+          (fun (cookie, req) ->
+            Hashtbl.remove t.awaiting_cts cookie;
+            fail_req req r)
+          dead_cts;
+        (* Rendezvous receives waiting for the dead peer's data. *)
+        let dead_data =
+          Hashtbl.fold
+            (fun cookie (req, env) acc ->
+              if env.Envelope.src_rank = r then (cookie, req) :: acc else acc)
+            t.awaiting_data []
+        in
+        List.iter
+          (fun (cookie, req) ->
+            Hashtbl.remove t.awaiting_data cookie;
+            fail_req req r)
+          dead_data;
+        List.iter (fun cb -> cb ~rank:r) t.peer_cbs
+      end)
+    t.ranks;
+  if !hit then Gm.wake t.gm_port
 
 let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
   if my_rank < 0 || my_rank >= Array.length ranks then
@@ -67,11 +121,14 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       sent_fifo = Queue.create ();
       awaiting_cts = Hashtbl.create 16;
       awaiting_data = Hashtbl.create 16;
+      failed = Hashtbl.create 4;
+      peer_cbs = [];
     }
   in
   for _ = 1 to config.recv_tokens do
     Gm.provide_receive_token gm_port (Bytes.create (token_size t))
   done;
+  tp.Simnet.Transport.on_crash (fun nid -> on_peer_crash t nid);
   t
 
 let finalize t = Gm.close t.gm_port
@@ -86,7 +143,23 @@ let fresh_cookie t =
   t.next_cookie <- c + 1;
   (t.my_rank * 1_000_003) + c
 
-let complete req status = req.state <- `Complete status
+let complete req status =
+  match req.state with
+  | `Pending -> req.state <- `Complete status
+  | `Complete _ | `Failed _ -> ()
+
+let on_peer_failure t cb = t.peer_cbs <- t.peer_cbs @ [ cb ]
+
+let failed_ranks t =
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) t.failed [])
+
+let reconnect t ~rank:r =
+  if r < 0 || r >= Array.length t.ranks then
+    invalid_arg "Mpi_gm.reconnect: rank out of range";
+  Hashtbl.remove t.failed r
+
+let check_alive t peer =
+  if Hashtbl.mem t.failed peer then raise (Envelope.Peer_failed peer)
 
 let gm_send t ~dst msg kind =
   Queue.add kind t.sent_fifo;
@@ -207,6 +280,7 @@ let check_peer t peer name =
 
 let isend t ?(context = 0) ~dst ~tag data =
   check_peer t dst "isend";
+  check_alive t dst;
   lib_entry t;
   let req =
     {
@@ -254,7 +328,10 @@ let take_unexpected t ~context ~source ~tag =
 
 let irecv t ?(context = 0) ?(source = Envelope.any_source)
     ?(tag = Envelope.any_tag) buffer =
-  if source <> Envelope.any_source then check_peer t source "irecv";
+  if source <> Envelope.any_source then begin
+    check_peer t source "irecv";
+    check_alive t source
+  end;
   lib_entry t;
   let req =
     {
@@ -279,16 +356,20 @@ let irecv t ?(context = 0) ?(source = Envelope.any_source)
 
 let test t req =
   lib_entry t;
-  match req.state with `Complete st -> Some st | `Pending -> None
+  match req.state with
+  | `Complete st -> Some st
+  | `Pending -> None
+  | `Failed r -> raise (Envelope.Peer_failed r)
 
 let wait t req =
   lib_entry t;
   let rec loop () =
     match req.state with
     | `Complete st -> st
+    | `Failed r -> raise (Envelope.Peer_failed r)
     | `Pending ->
-      (* Blocking gm_receive: sleep until the port has an event, then run
-         the library protocol over it. *)
+      (* Blocking gm_receive: sleep until the port has an event (or a
+         peer-failure wake), then run the library protocol over it. *)
       Gm.wait_event t.gm_port;
       progress_raw t;
       loop ()

@@ -42,12 +42,32 @@ val port : t -> Gm.t
 
 val isend : t -> ?context:int -> dst:int -> tag:int -> bytes -> request
 (** [context] (default 0) isolates communication spaces, matching the
-    Portals backend's communicator contexts. *)
+    Portals backend's communicator contexts. Raises
+    [Envelope.Peer_failed] if [dst]'s node has crashed and has not been
+    {!reconnect}ed — GM's per-peer connection state makes failure
+    sticky. *)
 
 val irecv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> request
 val test : t -> request -> status option
 val wait : t -> request -> status
+(** Both raise [Envelope.Peer_failed] when the request can no longer
+    complete because the peer's node crashed (the blocked fiber is woken
+    rather than left to deadlock). *)
+
 val progress : t -> unit
 (** One library entry: drain the port and run the protocol. This is what
     the "+3 MPI_Test calls in the work loop" variant of the paper's
     experiment adds. *)
+
+(** {1 Peer liveness} *)
+
+val on_peer_failure : t -> (rank:int -> unit) -> unit
+(** Register a callback fired when a peer rank's node crashes. *)
+
+val failed_ranks : t -> int list
+(** Ranks currently marked failed, ascending. *)
+
+val reconnect : t -> rank:int -> unit
+(** Clear the failed mark for [rank] — the explicit reconnection GM
+    demands before traffic with a restarted peer can resume (its token
+    and handshake state did not survive the crash). *)

@@ -35,7 +35,7 @@ type request = {
   buffer : bytes;
   want_source : int;
   want_tag : int;
-  mutable state : [ `Pending | `Complete of status ];
+  mutable state : [ `Pending | `Complete of status | `Failed of int ];
   mutable rdvz_source : int; (* envelope of the matched rendezvous header *)
   mutable rdvz_tag : int;
 }
@@ -81,6 +81,8 @@ type t = {
   mutable ux_highwater : int;
   mutable eager_sends : int;
   mutable rdvz_sends : int;
+  failed : (int, unit) Hashtbl.t; (* ranks whose node is down *)
+  mutable peer_cbs : (rank:int -> unit) list;
 }
 
 let rank t = t.my_rank
@@ -117,6 +119,52 @@ let attach_slab t (slab : slab) =
   slab.s_meh <- meh;
   slab.s_mdh <- mdh
 
+let fail_req t req rank =
+  match req.state with
+  | `Pending ->
+    req.state <- `Failed rank;
+    Hashtbl.remove t.reqs req.id
+  | `Complete _ | `Failed _ -> ()
+
+(* A peer's node crashed. Requests that need that peer's cooperation —
+   rendezvous sends awaiting its pull, receives pinned to it — fail;
+   blocked waiters are woken to observe it. Eager sends complete locally
+   either way (fire-and-forget: the loss shows up at the receiver's
+   accounting, not the sender's). *)
+let on_peer_crash t nid =
+  let hit = ref false in
+  Array.iteri
+    (fun r pid ->
+      if r <> t.my_rank && pid.Simnet.Proc_id.nid = nid then begin
+        hit := true;
+        Hashtbl.replace t.failed r ();
+        let victims =
+          Hashtbl.fold
+            (fun _ req acc ->
+              let dead =
+                match req.kind with
+                | Send_rdvz -> req.want_source = r
+                | Recv -> req.want_source = r || req.rdvz_source = r
+                | Send_eager -> false
+              in
+              if dead then req :: acc else acc)
+            t.reqs []
+        in
+        List.iter (fun req -> fail_req t req r) victims;
+        List.iter (fun cb -> cb ~rank:r) t.peer_cbs
+      end)
+    t.ranks;
+  if !hit then P.Event.Queue.wake t.eqq
+
+(* Portals is connectionless (§3): a restarted peer needs no
+   reconnection handshake, so its failed mark clears as soon as the node
+   is back up. Requests failed by the crash stay failed — their traffic
+   is gone — but new traffic flows with zero re-registration. *)
+let on_node_restart t nid =
+  Array.iteri
+    (fun r pid -> if pid.Simnet.Proc_id.nid = nid then Hashtbl.remove t.failed r)
+    t.ranks
+
 let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
   if my_rank < 0 || my_rank >= Array.length ranks then
     invalid_arg "Mpi_portals.create: rank out of range";
@@ -151,6 +199,8 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       ux_highwater = 0;
       eager_sends = 0;
       rdvz_sends = 0;
+      failed = Hashtbl.create 4;
+      peer_cbs = [];
     }
   in
   Array.iter (fun slab -> attach_slab t slab) t.slabs;
@@ -161,6 +211,8 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
   probe "mpi.rdvz_sends" (fun () -> t.rdvz_sends);
   probe "mpi.unexpected_bytes" (fun () -> t.ux_bytes);
   probe "mpi.unexpected_highwater" (fun () -> t.ux_highwater);
+  tp.Simnet.Transport.on_crash (fun nid -> on_peer_crash t nid);
+  tp.Simnet.Transport.on_restart (fun nid -> on_node_restart t nid);
   t
 
 let finalize t = P.Ni.shutdown t.ni
@@ -180,8 +232,24 @@ let fresh_cookie t =
 let find_req t id = Hashtbl.find_opt t.reqs id
 
 let complete t req status =
-  req.state <- `Complete status;
-  Hashtbl.remove t.reqs req.id
+  match req.state with
+  | `Pending ->
+    req.state <- `Complete status;
+    Hashtbl.remove t.reqs req.id
+  | `Complete _ | `Failed _ -> ()
+
+let on_peer_failure t cb = t.peer_cbs <- t.peer_cbs @ [ cb ]
+
+let failed_ranks t =
+  List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) t.failed [])
+
+let reconnect t ~rank:r =
+  if r < 0 || r >= Array.length t.ranks then
+    invalid_arg "Mpi_portals.reconnect: rank out of range";
+  (* Nothing to rebuild: Portals keeps no per-peer connection state. The
+     mark (if the node is still down) clears here as it would on
+     restart. *)
+  Hashtbl.remove t.failed r
 
 (* Rotate a slab to the tail of the match list once its contents have all
    been claimed and it is too full to be useful. *)
@@ -391,6 +459,10 @@ let isend t ?(context = context_world) ~dst ~tag data =
          (P.Ni.op ~target ~portal_index:pt_mpi ~cookie:acl_cookie
             ~match_bits:(Envelope.to_match_bits env) ()))
   end
+  else if Hashtbl.mem t.failed dst then
+    (* A rendezvous needs the peer to pull; a down peer never will. Fail
+       the request now instead of parking it forever. *)
+    fail_req t req dst
   else begin
     t.rdvz_sends <- t.rdvz_sends + 1;
     (* Expose the payload for the receiver's pull, keyed by a cookie and
@@ -465,6 +537,10 @@ let irecv t ?(context = context_world) ?(source = Envelope.any_source)
     req.rdvz_source <- ux_env.Envelope.src_rank;
     req.rdvz_tag <- ux_env.Envelope.tag;
     issue_get t req ~cookie:ux_cookie ~total_len:ux_total ~src:ux_src
+  | None when source <> Envelope.any_source && Hashtbl.mem t.failed source ->
+    (* Nothing buffered from the peer and its node is down: the receive
+       can never match. *)
+    fail_req t req source
   | None ->
     (* Post to the match list: after every earlier posted receive, before
        the unexpected slabs (Fig. 3's ordering). *)
@@ -494,17 +570,23 @@ let irecv t ?(context = context_world) ?(source = Envelope.any_source)
 
 let test t req =
   lib_entry t;
-  match req.state with `Complete st -> Some st | `Pending -> None
+  match req.state with
+  | `Complete st -> Some st
+  | `Pending -> None
+  | `Failed r -> raise (Envelope.Peer_failed r)
 
 let wait t req =
   lib_entry t;
   let rec loop () =
     match req.state with
     | `Complete st -> st
+    | `Failed r -> raise (Envelope.Peer_failed r)
     | `Pending ->
-      let ev = P.Event.Queue.wait t.eqq in
-      handle_event t ev;
-      progress_raw t;
+      (match P.Event.Queue.wait_opt t.eqq with
+      | Some ev ->
+        handle_event t ev;
+        progress_raw t
+      | None -> () (* woken out of band: re-check the request state *));
       loop ()
   in
   loop ()

@@ -67,7 +67,12 @@ val test : t -> request -> status option
 (** Non-blocking: drives the library progress engine, then reports. *)
 
 val wait : t -> request -> status
-(** Blocks the calling fiber until the request completes. *)
+(** Blocks the calling fiber until the request completes. Both [test]
+    and [wait] raise [Envelope.Peer_failed] when the request can no
+    longer complete because the peer's node crashed: receives pinned to
+    the dead rank and rendezvous sends awaiting its pull fail rather
+    than deadlock. Eager sends still complete locally (fire-and-forget —
+    Portals keeps no per-peer connection state, §3). *)
 
 val progress : t -> unit
 (** One library entry with no request: drain completions (what a bare
@@ -77,3 +82,17 @@ val progress : t -> unit
 val unexpected_bytes_highwater : t -> int
 (** Peak bytes of slab memory holding not-yet-claimed unexpected
     messages — the §4.1 memory-scaling measurement. *)
+
+(** {1 Peer liveness} *)
+
+val on_peer_failure : t -> (rank:int -> unit) -> unit
+(** Register a callback fired when a peer rank's node crashes. *)
+
+val failed_ranks : t -> int list
+(** Ranks currently marked down, ascending. The mark clears
+    automatically when the node restarts: Portals needs no reconnection
+    handshake. *)
+
+val reconnect : t -> rank:int -> unit
+(** Provided for API parity with the GM backend; Portals has no per-peer
+    connection state, so this merely clears a still-down peer's mark. *)

@@ -23,6 +23,51 @@ let run ~losses ~seeds ~f =
     (fun point -> { point; value = f ~loss:point.loss ~seed:point.seed })
     (grid ~losses ~seeds)
 
+(* --- crash campaigns --------------------------------------------------- *)
+
+type crash_point = { crashes : int; crash_seed : int }
+type 'a crash_outcome = { crash_point : crash_point; crash_value : 'a }
+
+let crash_grid ~crash_counts ~seeds =
+  List.concat_map
+    (fun crashes ->
+      List.map (fun crash_seed -> { crashes; crash_seed }) seeds)
+    crash_counts
+
+let crash_schedule_of ~nids ~horizon point =
+  if point.crashes <= 0 then []
+  else
+    Simnet.Fault.random_crash_schedule ~seed:point.crash_seed ~nids
+      ~crashes:point.crashes ~horizon ()
+
+let run_crashes ~crash_counts ~seeds ~f =
+  List.map
+    (fun point ->
+      {
+        crash_point = point;
+        crash_value = f ~crashes:point.crashes ~seed:point.crash_seed;
+      })
+    (crash_grid ~crash_counts ~seeds)
+
+let mean_by_crashes measure outcomes =
+  let order = ref [] in
+  let table : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt table o.crash_point.crashes with
+      | Some cell -> cell := measure o.crash_value :: !cell
+      | None ->
+        order := o.crash_point.crashes :: !order;
+        Hashtbl.replace table o.crash_point.crashes
+          (ref [ measure o.crash_value ]))
+    outcomes;
+  List.rev_map
+    (fun crashes ->
+      let samples = !(Hashtbl.find table crashes) in
+      let n = List.length samples in
+      (crashes, List.fold_left ( +. ) 0. samples /. float_of_int (max 1 n)))
+    !order
+
 let mean_by_loss measure outcomes =
   let order = ref [] in
   let table : (float, float list ref) Hashtbl.t = Hashtbl.create 8 in

@@ -34,3 +34,36 @@ val run :
 val mean_by_loss : ('a -> float) -> 'a outcome list -> (float * float) list
 (** Collapse the seed axis: mean of [measure value] per loss rate, in
     first-appearance order of the losses. *)
+
+(** {1 Crash campaigns}
+
+    The same discipline over the node-failure axis: a grid of (number of
+    crash/restart events) × (schedule seed), one fresh world per point,
+    each point replaying bit-exactly. *)
+
+type crash_point = { crashes : int; crash_seed : int }
+
+type 'a crash_outcome = { crash_point : crash_point; crash_value : 'a }
+
+val crash_grid : crash_counts:int list -> seeds:int list -> crash_point list
+(** Cartesian product, counts-major. *)
+
+val crash_schedule_of :
+  nids:Simnet.Proc_id.nid list ->
+  horizon:Sim_engine.Time_ns.t ->
+  crash_point ->
+  Simnet.Fault.crash_schedule
+(** The point's randomized kill/revive schedule
+    ({!Simnet.Fault.random_crash_schedule}); empty at zero crashes. *)
+
+val run_crashes :
+  crash_counts:int list ->
+  seeds:int list ->
+  f:(crashes:int -> seed:int -> 'a) ->
+  'a crash_outcome list
+(** Evaluate [f] at every grid point, in grid order. *)
+
+val mean_by_crashes :
+  ('a -> float) -> 'a crash_outcome list -> (int * float) list
+(** Collapse the seed axis: mean of [measure value] per crash count, in
+    first-appearance order. *)

@@ -24,6 +24,8 @@ type stats = {
   duplicate_drops : int;
   retries_exhausted : int;
   delivered : int;
+  peer_resets : int;
+  peer_reset_lost : int;
 }
 
 type tx_entry = {
@@ -63,6 +65,8 @@ type t = {
   m_dup_drops : Metrics.counter;
   m_exhausted : Metrics.counter;
   m_delivered : Metrics.counter;
+  m_peer_resets : Metrics.counter;
+  m_peer_reset_lost : Metrics.counter;
   m_rtt : Metrics.summary;
   m_window : Metrics.series;
 }
@@ -78,6 +82,8 @@ let stats t =
     duplicate_drops = Metrics.counter_value t.m_dup_drops;
     retries_exhausted = Metrics.counter_value t.m_exhausted;
     delivered = Metrics.counter_value t.m_delivered;
+    peer_resets = Metrics.counter_value t.m_peer_resets;
+    peer_reset_lost = Metrics.counter_value t.m_peer_reset_lost;
   }
 
 let on_give_up t f = t.give_up <- f
@@ -145,6 +151,15 @@ and on_timeout t tx =
         Hashtbl.remove tx.unacked e.e_seq;
         t.inflight_total <- t.inflight_total - 1;
         Metrics.incr t.m_exhausted;
+        (* Exhausted retry budgets must be visible in Chrome traces, not
+           only counters, whatever the give_up callback does. *)
+        let tr = Scheduler.trace t.sched in
+        if Trace.enabled tr then
+          Trace.instant tr ~subsys:"rel"
+            ~proc:(Printf.sprintf "cpu%d" tx.tx_src.Simnet.Proc_id.nid)
+            ~msg_id:e.e_seq
+            (Format.asprintf "rel.give_up seq=%d %a->%a" e.e_seq
+               Simnet.Proc_id.pp tx.tx_src Simnet.Proc_id.pp tx.tx_dst);
         t.give_up ~src:tx.tx_src ~dst:tx.tx_dst ~seq:e.e_seq
       end
       else begin
@@ -281,6 +296,41 @@ let on_wire t ~src ~dst payload =
        send_raw in a test). Pass it through untouched. *)
     Simnet.Fabric.deliver t.fabric ~src ~dst payload
 
+(* --- peer reset -------------------------------------------------------- *)
+
+(* Crash-stop of node [nid] invalidates every per-pair state touching it:
+   the node's own halves died with it, and surviving peers must restart
+   the pair's sequence space from 0 — the restarted node comes back with
+   empty tables, so retransmitting into the old numbering would deadlock
+   both directions. Unsent/unacked frames toward the dead node are
+   counted lost; redelivery is the caller's business (MPI surfaces it as
+   [Peer_failed]). State is recreated lazily at seq 0 on next use. *)
+let forget_node t nid =
+  let involved (a, b) =
+    a.Simnet.Proc_id.nid = nid || b.Simnet.Proc_id.nid = nid
+  in
+  let tx_victims =
+    Hashtbl.fold
+      (fun k tx acc -> if involved k then (k, tx) :: acc else acc)
+      t.txs []
+  in
+  let rx_victims =
+    Hashtbl.fold (fun k _ acc -> if involved k then k :: acc else acc) t.rxs []
+  in
+  List.iter
+    (fun (k, tx) ->
+      cancel_timer tx;
+      let lost = Hashtbl.length tx.unacked + Queue.length tx.pending in
+      t.inflight_total <- t.inflight_total - Hashtbl.length tx.unacked;
+      if lost > 0 then Metrics.add t.m_peer_reset_lost lost;
+      Hashtbl.remove t.txs k)
+    tx_victims;
+  List.iter (Hashtbl.remove t.rxs) rx_victims;
+  if tx_victims <> [] || rx_victims <> [] then begin
+    Metrics.incr t.m_peer_resets;
+    sample_window t
+  end
+
 (* --- construction ------------------------------------------------------ *)
 
 let attach ?(config = default_config) fabric =
@@ -306,6 +356,8 @@ let attach ?(config = default_config) fabric =
       m_dup_drops = Metrics.counter m ~labels "rel.duplicate_drops";
       m_exhausted = Metrics.counter m ~labels "rel.retries_exhausted";
       m_delivered = Metrics.counter m ~labels "rel.delivered";
+      m_peer_resets = Metrics.counter m ~labels "rel.peer_resets";
+      m_peer_reset_lost = Metrics.counter m ~labels "rel.peer_reset_lost";
       m_rtt = Metrics.summary m ~labels "rel.ack_rtt_us";
       m_window = Metrics.series m ~labels "rel.window_inflight";
     }
@@ -315,4 +367,5 @@ let attach ?(config = default_config) fabric =
       Simnet.Fabric.shim_tx = (fun ~src ~dst payload -> on_send t ~src ~dst payload);
       shim_rx = (fun ~src ~dst payload -> on_wire t ~src ~dst payload);
     };
+  Simnet.Fabric.on_crash fabric (fun nid -> forget_node t nid);
   t

@@ -29,10 +29,19 @@
     cumulative ack of any later frame or by a (duplicate-suppressed)
     retransmission.
 
+    The protocol also understands {e peer reset}: when a node crash-stops
+    ([Simnet.Fabric.crash]), every per-pair sequence space and retransmit
+    queue touching that node is discarded — the restarted peer comes back
+    with empty tables, so both directions restart from sequence 0 instead
+    of deadlocking on an un-ackable window. Frames discarded this way are
+    counted ([rel.peer_reset_lost]); surfacing the loss to the
+    application is the upper layer's job (see [Mpi.Peer_failed]).
+
     Metrics (registered in the scheduler's registry, labelled
     [("protocol", "reliability")]): [rel.data_sent], [rel.acks_sent],
     [rel.retransmits], [rel.duplicate_drops], [rel.retries_exhausted],
-    [rel.delivered], [rel.ack_rtt_us] (summary), [rel.window_inflight]
+    [rel.delivered], [rel.peer_resets], [rel.peer_reset_lost],
+    [rel.ack_rtt_us] (summary), [rel.window_inflight]
     (series of total in-flight frames over time). *)
 
 module Frame = Rel_frame
@@ -61,6 +70,9 @@ type stats = {
   duplicate_drops : int;  (** Received frames suppressed as duplicates. *)
   retries_exhausted : int;  (** Frames abandoned past the retry budget. *)
   delivered : int;  (** Payloads handed up, in order, exactly once. *)
+  peer_resets : int;  (** Node failures that wiped per-pair state. *)
+  peer_reset_lost : int;
+      (** Queued/unacked frames discarded by those resets. *)
 }
 
 type t
@@ -76,7 +88,10 @@ val stats : t -> stats
 val on_give_up :
   t -> (src:Simnet.Proc_id.t -> dst:Simnet.Proc_id.t -> seq:int -> unit) -> unit
 (** Called when a frame exhausts its retry budget. Default: nothing (the
-    loss is still counted in [retries_exhausted]). *)
+    loss is still counted in [retries_exhausted]). Whatever the callback,
+    each give-up also emits a labelled ["rel.give_up"] instant into the
+    scheduler trace when tracing is enabled, so exhausted budgets are
+    visible in [--trace-out] Chrome traces. *)
 
 val inflight : t -> int
 (** Total unacknowledged frames across all pairs, now. *)

@@ -99,6 +99,40 @@ let create ?config fabric =
   probe "rtscts.data_packets" (fun () -> t.st.s_data);
   probe "rtscts.bytes_carried" (fun () -> t.st.s_bytes);
   probe "rtscts.failed_handshakes" (fun () -> t.st.s_failed);
+  (* A node crash kills every handshake touching it: transfers parked in
+     [awaiting_cts] toward the dead node (their CTS will never come),
+     everything queued behind them, and partial reassemblies of the dead
+     node's streams. Failing them now un-stalls the pair pipeline and
+     surfaces the loss through [on_send_error]. *)
+  Simnet.Fabric.on_crash fabric (fun nid ->
+      Hashtbl.iter
+        (fun (_, dst) pair ->
+          if dst.Simnet.Proc_id.nid = nid then begin
+            let stalled = Hashtbl.length pair.awaiting_cts > 0 in
+            Hashtbl.iter
+              (fun _ payload ->
+                t.st.s_failed <- t.st.s_failed + 1;
+                t.send_error ~src:pair.src ~dst:pair.dst
+                  ~len:(Bytes.length payload))
+              pair.awaiting_cts;
+            Hashtbl.reset pair.awaiting_cts;
+            Queue.iter
+              (fun q ->
+                t.st.s_failed <- t.st.s_failed + 1;
+                t.send_error ~src:pair.src ~dst:q.q_dst
+                  ~len:(Bytes.length q.q_payload))
+              pair.waiting;
+            Queue.clear pair.waiting;
+            if stalled then pair.busy <- false
+          end)
+        t.pairs;
+      let dead =
+        Hashtbl.fold
+          (fun ((s, _, _) as key) _ acc ->
+            if s.Simnet.Proc_id.nid = nid then key :: acc else acc)
+          t.assemblies []
+      in
+      List.iter (Hashtbl.remove t.assemblies) dead);
   t
 
 let on_send_error t f = t.send_error <- f
@@ -329,4 +363,7 @@ let transport t =
     data_in_time = (fun len -> Simnet.Profile.copy_time profile len);
     host_copy_time = (fun len -> Simnet.Profile.copy_time profile len);
     send_overhead = profile.Simnet.Profile.host_syscall_cost;
+    node_incarnation = (fun nid -> Simnet.Fabric.incarnation t.fabric nid);
+    on_crash = (fun f -> Simnet.Fabric.on_crash t.fabric f);
+    on_restart = (fun f -> Simnet.Fabric.on_restart t.fabric f);
   }

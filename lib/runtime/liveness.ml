@@ -1,0 +1,136 @@
+open Sim_engine
+
+(* Reserved pids for the monitor plumbing, far above any application
+   rank's pid (ranks get pid = rank / nodes, tiny numbers). *)
+let beat_pid = 0xBEA7
+let monitor_pid = 0xD0C
+
+type state = Alive | Suspected
+
+type t = {
+  fabric : Simnet.Fabric.t;
+  sched : Scheduler.t;
+  period : Time_ns.t;
+  timeout : Time_ns.t;
+  monitor : Simnet.Proc_id.nid;
+  until : Time_ns.t;
+  last_seen : Time_ns.t array;
+  states : state array;
+  mutable stopped : bool;
+  mutable down_cbs : (Simnet.Proc_id.nid -> unit) list;
+  mutable up_cbs : (Simnet.Proc_id.nid -> unit) list;
+  m_sent : Metrics.counter;
+  m_received : Metrics.counter;
+  m_suspects : Metrics.counter;
+  m_recoveries : Metrics.counter;
+}
+
+let default_period = Time_ns.us 200.
+let default_timeout = Time_ns.us 700.
+
+let monitor_proc t = Simnet.Proc_id.make ~nid:t.monitor ~pid:monitor_pid
+
+let suspected t =
+  let acc = ref [] in
+  Array.iteri
+    (fun nid st -> if st = Suspected then acc := nid :: !acc)
+    t.states;
+  List.rev !acc
+
+let on_down t cb = t.down_cbs <- t.down_cbs @ [ cb ]
+let on_up t cb = t.up_cbs <- t.up_cbs @ [ cb ]
+let stop t = t.stopped <- true
+
+let handle_beat t ~src (_ : bytes) =
+  let nid = src.Simnet.Proc_id.nid in
+  Metrics.incr t.m_received;
+  t.last_seen.(nid) <- Scheduler.now t.sched;
+  if t.states.(nid) = Suspected then begin
+    (* The node is beating again: it restarted (or the verdict was a
+       false positive under heavy loss). *)
+    t.states.(nid) <- Alive;
+    Metrics.incr t.m_recoveries;
+    List.iter (fun cb -> cb nid) t.up_cbs
+  end
+
+(* One emitter per node: while the node is up, a heartbeat goes over the
+   real fabric — subject to the same fault models, crash drops and wire
+   occupancy as application traffic — every period. A down node simply
+   misses beats; when it restarts, the emitter picks back up unchanged. *)
+let rec emit t nid =
+  if (not t.stopped) && Time_ns.compare (Scheduler.now t.sched) t.until < 0
+  then begin
+    if Simnet.Fabric.is_node_up t.fabric nid && nid <> t.monitor then begin
+      Metrics.incr t.m_sent;
+      Simnet.Fabric.send t.fabric
+        ~src:(Simnet.Proc_id.make ~nid ~pid:beat_pid)
+        ~dst:(monitor_proc t) (Bytes.create 1)
+    end;
+    Scheduler.after t.sched t.period (fun () -> emit t nid)
+  end
+
+let rec check t =
+  if (not t.stopped) && Time_ns.compare (Scheduler.now t.sched) t.until < 0
+  then begin
+    let now = Scheduler.now t.sched in
+    Array.iteri
+      (fun nid st ->
+        if
+          nid <> t.monitor && st = Alive
+          && Time_ns.compare (Time_ns.sub now t.last_seen.(nid)) t.timeout > 0
+        then begin
+          t.states.(nid) <- Suspected;
+          Metrics.incr t.m_suspects;
+          List.iter (fun cb -> cb nid) t.down_cbs
+        end)
+      t.states;
+    (* If the monitor node itself crashed, its receive handler went away
+       with the crash; re-register once the node is back. *)
+    if
+      Simnet.Fabric.is_node_up t.fabric t.monitor
+      && not (Simnet.Fabric.is_registered t.fabric (monitor_proc t))
+    then
+      Simnet.Fabric.register t.fabric (monitor_proc t) (fun ~src payload ->
+          handle_beat t ~src payload);
+    Scheduler.after t.sched t.period (fun () -> check t)
+  end
+
+let start ?(period = default_period) ?(timeout = default_timeout)
+    ?(monitor = 0) ~until (world : World.world) =
+  if Time_ns.compare timeout period < 0 then
+    invalid_arg "Liveness.start: timeout must be at least the period";
+  let fabric = world.World.fabric in
+  let nodes = Simnet.Fabric.node_count fabric in
+  if monitor < 0 || monitor >= nodes then
+    invalid_arg "Liveness.start: monitor node out of range";
+  let sched = world.World.sched in
+  let m = Scheduler.metrics sched in
+  let labels = [ ("monitor", string_of_int monitor) ] in
+  let t =
+    {
+      fabric;
+      sched;
+      period;
+      timeout;
+      monitor;
+      until;
+      last_seen = Array.make nodes (Scheduler.now sched);
+      states = Array.make nodes Alive;
+      stopped = false;
+      down_cbs = [];
+      up_cbs = [];
+      m_sent = Metrics.counter m ~labels "liveness.heartbeats_sent";
+      m_received = Metrics.counter m ~labels "liveness.heartbeats_received";
+      m_suspects = Metrics.counter m ~labels "liveness.suspects";
+      m_recoveries = Metrics.counter m ~labels "liveness.recoveries";
+    }
+  in
+  Metrics.probe m ~labels "liveness.suspected_now" (fun () ->
+      float_of_int (List.length (suspected t)));
+  Simnet.Fabric.register fabric (monitor_proc t) (fun ~src payload ->
+      handle_beat t ~src payload);
+  for nid = 0 to nodes - 1 do
+    if nid <> monitor then emit t nid
+  done;
+  check t;
+  t

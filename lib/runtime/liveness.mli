@@ -1,0 +1,44 @@
+(** Peer-liveness monitoring: heartbeats, timeouts, and suspicion.
+
+    Portals itself is connectionless and keeps no per-peer state (§3), so
+    node death is invisible to it — a message to a dead node just
+    vanishes. Detecting death is a {e runtime} job on Cplant: this module
+    reproduces that split. One node is the monitor; every other node
+    emits a 1-byte heartbeat over the real fabric each period (so beats
+    share fate with application traffic: fault models, crash drops, wire
+    occupancy). A node silent for longer than the timeout is {e
+    suspected} and the [on_down] callbacks fire; a beat from a suspected
+    node (it restarted) fires [on_up].
+
+    Metrics, labelled with the monitor node:
+    [liveness.heartbeats_sent], [liveness.heartbeats_received],
+    [liveness.suspects], [liveness.recoveries], and the
+    [liveness.suspected_now] gauge. *)
+
+type t
+
+val start :
+  ?period:Sim_engine.Time_ns.t ->
+  ?timeout:Sim_engine.Time_ns.t ->
+  ?monitor:Simnet.Proc_id.nid ->
+  until:Sim_engine.Time_ns.t ->
+  World.world ->
+  t
+(** Install the monitor on [monitor] (default node 0) and start every
+    other node's emitter. [period] defaults to 200 us, [timeout] (which
+    must be at least the period) to 700 us. Emitters and the checker
+    self-terminate at [until] — a bound the simulation needs to quiesce.
+    Raises [Invalid_argument] on a timeout below the period or a monitor
+    node outside the world. *)
+
+val stop : t -> unit
+(** Stop emitting and checking now (idempotent). *)
+
+val suspected : t -> Simnet.Proc_id.nid list
+(** Nodes currently suspected dead, ascending. *)
+
+val on_down : t -> (Simnet.Proc_id.nid -> unit) -> unit
+(** Called (with the node id) when a node transitions to suspected. *)
+
+val on_up : t -> (Simnet.Proc_id.nid -> unit) -> unit
+(** Called when a suspected node's heartbeat is seen again. *)

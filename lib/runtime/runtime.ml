@@ -4,3 +4,4 @@
 
 include World
 module Control = Control
+module Liveness = Liveness

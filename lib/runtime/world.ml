@@ -15,21 +15,121 @@ type world = {
 }
 
 (* Process-wide run environment, set once by the front-ends (--loss /
-   --seed) so every experiment inherits the lossy fabric and the seed
-   without threading parameters through each call site. *)
+   --seed / --fault / --crash) so every experiment inherits the lossy
+   fabric, the fault model, the crash schedule and the seed without
+   threading parameters through each call site. *)
 let env_loss = ref 0.
 let env_seed = ref 0
+let env_fault : string option ref = ref None
+let env_crashes : Simnet.Fault.crash_schedule option ref = ref None
 
-let set_run_env ?loss ?seed () =
+(* "bernoulli:P" | "gilbert:P_ENTER:P_EXIT" | "duplicate:P"
+   | "flap:PERIOD_US:DOWN_US" | "none", composable with "+"
+   (e.g. "bernoulli:0.02+duplicate:0.01"). *)
+let fault_of_spec ~seed spec =
+  let bad reason =
+    invalid_arg
+      (Printf.sprintf
+         "Runtime: bad fault spec %S (%s); expected \
+          bernoulli:P|gilbert:P_ENTER:P_EXIT|duplicate:P|flap:PERIOD_US:DOWN_US|none, \
+          joined with '+'"
+         spec reason)
+  in
+  let float_field s =
+    match float_of_string_opt (String.trim s) with
+    | Some f -> f
+    | None -> bad (Printf.sprintf "%S is not a number" s)
+  in
+  (* The models clamp out-of-range probabilities; a CLI spec should be
+     told it is wrong instead. *)
+  let prob_field s =
+    let p = float_field s in
+    if p < 0. || p > 1. then
+      bad (Printf.sprintf "probability %S outside [0, 1]" s);
+    p
+  in
+  let parse_one s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ "none" ] -> Simnet.Fault.none
+    | [ "bernoulli"; p ] -> Simnet.Fault.bernoulli ~seed ~p:(prob_field p) ()
+    | [ "gilbert"; p_enter; p_exit ] ->
+      Simnet.Fault.gilbert ~seed ~p_enter:(prob_field p_enter)
+        ~p_exit:(prob_field p_exit) ()
+    | [ "duplicate"; p ] -> Simnet.Fault.duplicator ~seed ~p:(prob_field p) ()
+    | [ "flap"; period; down ] ->
+      let period = Sim_engine.Time_ns.us (float_field period) in
+      let downtime = Sim_engine.Time_ns.us (float_field down) in
+      if Sim_engine.Time_ns.compare downtime period > 0 then
+        bad "downtime exceeds period";
+      Simnet.Fault.link_flap ~period ~downtime ()
+    | _ -> bad (Printf.sprintf "unknown model %S" s)
+  in
+  match List.map parse_one (String.split_on_char '+' spec) with
+  | [] -> bad "empty"
+  | [ m ] -> m
+  | ms -> Simnet.Fault.compose ms
+
+(* "NID@DOWN_US[:UP_US]" elements joined with ',': node NID crash-stops
+   at DOWN_US microseconds and, with the optional UP_US, restarts then. *)
+let crashes_of_spec spec =
+  let bad reason =
+    invalid_arg
+      (Printf.sprintf
+         "Runtime: bad crash spec %S (%s); expected NID@DOWN_US[:UP_US], \
+          joined with ','"
+         spec reason)
+  in
+  let parse_one s =
+    let s = String.trim s in
+    match String.index_opt s '@' with
+    | None -> bad (Printf.sprintf "%S has no '@'" s)
+    | Some i ->
+      let nid =
+        match int_of_string_opt (String.sub s 0 i) with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+          bad (Printf.sprintf "%S: node id must be a nonnegative integer" s)
+      in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let time_of f =
+        match float_of_string_opt f with
+        | Some us when us >= 0. -> Sim_engine.Time_ns.us us
+        | Some _ | None ->
+          bad (Printf.sprintf "%S: times are nonnegative microseconds" s)
+      in
+      (match String.index_opt rest ':' with
+      | None -> (nid, time_of rest, None)
+      | Some j ->
+        let down = String.sub rest 0 j in
+        let up = String.sub rest (j + 1) (String.length rest - j - 1) in
+        (nid, time_of down, Some (time_of up)))
+  in
+  if String.trim spec = "" then bad "empty";
+  try Simnet.Fault.crash_schedule (List.map parse_one (String.split_on_char ',' spec))
+  with Invalid_argument reason when not (String.length reason > 7 && String.sub reason 0 8 = "Runtime:") ->
+    bad reason
+
+let set_run_env ?loss ?seed ?fault ?crashes () =
   (match loss with
   | Some l ->
     if l < 0. || l >= 1. then
       invalid_arg "Runtime.set_run_env: loss must be in [0, 1)";
     env_loss := l
   | None -> ());
+  (match fault with
+  | Some "" -> env_fault := None
+  | Some spec ->
+    ignore (fault_of_spec ~seed:0 spec);
+    env_fault := Some spec
+  | None -> ());
+  (match crashes with
+  | Some "" -> env_crashes := None
+  | Some spec -> env_crashes := Some (crashes_of_spec spec)
+  | None -> ());
   match seed with Some s -> env_seed := s | None -> ()
 
 let run_env () = (!env_loss, !env_seed)
+let run_crash_env () = !env_crashes
 
 let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
     ~nodes () =
@@ -47,14 +147,31 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
   in
   let sched = Scheduler.create ~seed () in
   let fabric = Simnet.Fabric.create sched ~profile ~nodes in
-  (* Lossy mode: inject the configured wire loss and install the
-     reliability shim so the transports above still see the in-order
-     exactly-once fabric they were written against. *)
-  if !env_loss > 0. then begin
-    Simnet.Fabric.set_fault_model fabric
-      (Some (Simnet.Fault.bernoulli ~seed ~p:!env_loss ()));
-    ignore (Reliability.attach fabric)
-  end;
+  (* Faulty mode: inject the configured wire loss and/or fault model and
+     install the reliability shim so the transports above still see the
+     in-order exactly-once fabric they were written against. *)
+  let fault_models =
+    (if !env_loss > 0. then [ Simnet.Fault.bernoulli ~seed ~p:!env_loss () ]
+     else [])
+    @
+    match !env_fault with
+    | None -> []
+    | Some spec -> [ fault_of_spec ~seed spec ]
+  in
+  (match fault_models with
+  | [] -> ()
+  | models ->
+    let model =
+      match models with [ m ] -> m | ms -> Simnet.Fault.compose ms
+    in
+    Simnet.Fabric.set_fault_model fabric (Some model);
+    ignore (Reliability.attach fabric));
+  (* Scripted node failures apply to every world, so an experiment that
+     builds one world per transport subjects each to the identical
+     schedule. *)
+  (match !env_crashes with
+  | None -> ()
+  | Some schedule -> Simnet.Fabric.apply_crash_schedule fabric schedule);
   let tp =
     match transport with
     | Offload -> Simnet.Transport.offload fabric
@@ -77,9 +194,13 @@ let host_cpu_of_rank world rank =
 
 let spawn_ranks world main =
   Array.iteri
-    (fun rank _pid ->
-      Scheduler.spawn world.sched ~name:(Printf.sprintf "rank%d" rank) (fun () ->
-          main ~rank))
+    (fun rank pid ->
+      (* Each rank fiber lives in its node's fault domain: a node crash
+         kills it mid-flight ([Scheduler.kill_domain]). *)
+      Scheduler.spawn world.sched
+        ~name:(Printf.sprintf "rank%d" rank)
+        ~domain:pid.Simnet.Proc_id.nid
+        (fun () -> main ~rank))
     world.ranks
 
 let run ?until world =
@@ -113,8 +234,10 @@ let launch_mpi ?profile ?transport ?procs_per_node ?seed ?(backend = `Portals)
       main ep;
       (* Finalize is collective (as in MPI): without the barrier, a rank
          that finished early would unregister while a peer's transfer is
-         still mid-protocol (e.g. an RTS/CTS handshake), dropping it. *)
-      Mpi.barrier ep;
+         still mid-protocol (e.g. an RTS/CTS handshake), dropping it.
+         Tolerant: ranks whose node crashed are skipped, so survivors
+         still shut down cleanly instead of deadlocking. *)
+      Mpi.barrier ~tolerant:true ep;
       Mpi.finalize ep);
   run world;
   world

@@ -19,16 +19,35 @@ type world = {
   ranks : Simnet.Proc_id.t array;
 }
 
-val set_run_env : ?loss:float -> ?seed:int -> unit -> unit
-(** Process-wide defaults applied by {!create_world}: a Bernoulli wire
-    loss probability in [0, 1) (0 disables; anything above it makes every
-    subsequent world a lossy fabric with the reliability shim attached)
-    and the scheduler seed used when a call site passes none. Set once by
-    the CLI front-ends ([--loss] / [--seed]); raises [Invalid_argument]
-    on an out-of-range loss. *)
+val set_run_env :
+  ?loss:float -> ?seed:int -> ?fault:string -> ?crashes:string -> unit -> unit
+(** Process-wide defaults applied by {!create_world}, set once by the CLI
+    front-ends ([--loss] / [--seed] / [--fault] / [--crash]):
+
+    {ul
+    {- [loss] — Bernoulli wire loss probability in [0, 1) (0 disables;
+       anything above it makes every subsequent world a lossy fabric with
+       the reliability shim attached);}
+    {- [seed] — the scheduler seed used when a call site passes none;}
+    {- [fault] — a wire fault-model spec:
+       ["bernoulli:P"], ["gilbert:P_ENTER:P_EXIT"], ["duplicate:P"],
+       ["flap:PERIOD_US:DOWN_US"] or ["none"], joined with ['+'] to
+       compose (drop wins over duplicate). [""] clears. Any model
+       attaches the reliability shim, like [loss];}
+    {- [crashes] — a scripted node-failure schedule
+       ["NID@DOWN_US[:UP_US]"] joined with [',']: node [NID] crash-stops
+       at [DOWN_US] microseconds of simulated time and, when [:UP_US] is
+       given, restarts then in a fresh incarnation. [""] clears.}}
+
+    Raises [Invalid_argument] on an out-of-range loss or a malformed
+    fault/crash spec (bad syntax, negative times, restart not after its
+    crash, a node crashing again while still down). *)
 
 val run_env : unit -> float * int
 (** Current [(loss, seed)] defaults. *)
+
+val run_crash_env : unit -> Simnet.Fault.crash_schedule option
+(** The crash schedule {!create_world} will apply to new worlds, if any. *)
 
 val create_world :
   ?profile:Simnet.Profile.t ->

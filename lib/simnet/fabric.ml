@@ -6,6 +6,7 @@ type stats = {
   messages_delivered : int;
   drops_unregistered : int;
   drops_injected : int;
+  drops_crashed : int;
   dups_injected : int;
 }
 
@@ -25,7 +26,12 @@ type t = {
   sent_bytes : Stats.Counter.t;
   delivered : Stats.Counter.t;
   drop_unregistered : Stats.Counter.t;
+  drop_crashed : Stats.Counter.t;
   dup_injected : Stats.Counter.t;
+  crash_count : Stats.Counter.t;
+  restart_count : Stats.Counter.t;
+  mutable crash_listeners : (Proc_id.nid -> unit) list;
+  mutable restart_listeners : (Proc_id.nid -> unit) list;
   (* Injected drops are counted per (src, dst) pair in the registry;
      [stats] derives the total by summing this table. *)
   drop_pairs : (Proc_id.t * Proc_id.t, Metrics.counter) Hashtbl.t;
@@ -45,7 +51,12 @@ let create sched ~profile ~nodes =
       sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
       delivered = Stats.Counter.create ~name:"fabric.delivered" ();
       drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
+      drop_crashed = Stats.Counter.create ~name:"fabric.drop_crashed" ();
       dup_injected = Stats.Counter.create ~name:"fabric.dup_injected" ();
+      crash_count = Stats.Counter.create ~name:"fabric.crashes" ();
+      restart_count = Stats.Counter.create ~name:"fabric.restarts" ();
+      crash_listeners = [];
+      restart_listeners = [];
       drop_pairs = Hashtbl.create 16;
     }
   in
@@ -57,6 +68,9 @@ let create sched ~profile ~nodes =
   probe "fabric.drops_unregistered" (fun () ->
       Stats.Counter.value t.drop_unregistered);
   probe "fabric.dups_injected" (fun () -> Stats.Counter.value t.dup_injected);
+  probe "fabric.drops_crashed" (fun () -> Stats.Counter.value t.drop_crashed);
+  probe "fabric.crashes" (fun () -> Stats.Counter.value t.crash_count);
+  probe "fabric.restarts" (fun () -> Stats.Counter.value t.restart_count);
   t
 
 let sched t = t.fabric_sched
@@ -76,6 +90,43 @@ let register t pid handler =
 
 let unregister t pid = Hashtbl.remove t.handlers pid
 let is_registered t pid = Hashtbl.mem t.handlers pid
+let is_node_up t nid = Node.is_up (node t nid)
+let incarnation t nid = Node.incarnation (node t nid)
+let on_crash t f = t.crash_listeners <- t.crash_listeners @ [ f ]
+let on_restart t f = t.restart_listeners <- t.restart_listeners @ [ f ]
+
+let crash t nid =
+  let n = node t nid in
+  Node.crash n;
+  Stats.Counter.incr t.crash_count;
+  (* Volatile state dies with the node: its processes disappear from the
+     fabric and its resident fibers are destroyed. *)
+  let victims =
+    Hashtbl.fold
+      (fun pid _ acc -> if pid.Proc_id.nid = nid then pid :: acc else acc)
+      t.handlers []
+  in
+  List.iter (Hashtbl.remove t.handlers) victims;
+  ignore (Scheduler.kill_domain t.fabric_sched nid);
+  List.iter (fun f -> f nid) t.crash_listeners
+
+let restart t nid =
+  let n = node t nid in
+  Node.restart n;
+  Stats.Counter.incr t.restart_count;
+  List.iter (fun f -> f nid) t.restart_listeners
+
+let apply_crash_schedule t schedule =
+  List.iter
+    (fun ev ->
+      ignore (node t ev.Fault.victim);
+      Scheduler.at t.fabric_sched ev.Fault.down_at (fun () ->
+          crash t ev.Fault.victim);
+      Option.iter
+        (fun up ->
+          Scheduler.at t.fabric_sched up (fun () -> restart t ev.Fault.victim))
+        ev.Fault.up_at)
+    schedule
 
 let set_fault_model t fault = t.fault <- fault
 let fault_model t = t.fault
@@ -124,26 +175,44 @@ let arrive t ~src ~dst payload =
 let send_raw t ~src ~dst payload =
   let len = Bytes.length payload in
   let sender = node t src.Proc_id.nid in
-  Stats.Counter.incr t.sent;
-  Stats.Counter.add t.sent_bytes len;
-  let serialised =
-    Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
-  in
-  let arrival = Time_ns.add serialised t.fabric_profile.Profile.wire_latency in
-  let decision =
-    match t.fault with
-    | None -> Fault.Deliver
-    | Some f ->
-      Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst ~len
-  in
-  Scheduler.at t.fabric_sched arrival (fun () ->
-      match decision with
-      | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
-      | Fault.Deliver -> arrive t ~src ~dst payload
-      | Fault.Duplicate ->
-        Stats.Counter.incr t.dup_injected;
-        arrive t ~src ~dst payload;
-        arrive t ~src ~dst payload)
+  let receiver = node t dst.Proc_id.nid in
+  if not (Node.is_up sender) then
+    (* A dead node injects nothing; late scheduled callbacks acting on its
+       behalf (retransmit timers, NIC engines) are silently fenced. *)
+    Stats.Counter.incr t.drop_crashed
+  else begin
+    Stats.Counter.incr t.sent;
+    Stats.Counter.add t.sent_bytes len;
+    let serialised =
+      Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
+    in
+    let arrival = Time_ns.add serialised t.fabric_profile.Profile.wire_latency in
+    let decision =
+      match t.fault with
+      | None -> Fault.Deliver
+      | Some f ->
+        Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst ~len
+    in
+    (* Crash epochs captured at send time: if either end crashes while the
+       message is in flight, it was sitting in a NIC pipeline that no
+       longer exists, so it is lost even if the node is back up by
+       arrival. *)
+    let src_epoch = Node.crashes sender and dst_epoch = Node.crashes receiver in
+    Scheduler.at t.fabric_sched arrival (fun () ->
+        if
+          Node.crashes sender <> src_epoch
+          || Node.crashes receiver <> dst_epoch
+          || not (Node.is_up receiver)
+        then Stats.Counter.incr t.drop_crashed
+        else
+          match decision with
+          | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
+          | Fault.Deliver -> arrive t ~src ~dst payload
+          | Fault.Duplicate ->
+            Stats.Counter.incr t.dup_injected;
+            arrive t ~src ~dst payload;
+            arrive t ~src ~dst payload)
+  end
 
 let send t ~src ~dst payload =
   match t.shim with
@@ -156,6 +225,7 @@ let stats t =
     bytes_sent = Stats.Counter.value t.sent_bytes;
     messages_delivered = Stats.Counter.value t.delivered;
     drops_unregistered = Stats.Counter.value t.drop_unregistered;
+    drops_crashed = Stats.Counter.value t.drop_crashed;
     drops_injected =
       Hashtbl.fold
         (fun _ c acc -> acc + Metrics.counter_value c)

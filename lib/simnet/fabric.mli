@@ -29,6 +29,10 @@ type stats = {
   drops_injected : int;
       (** Total over every (src, dst) pair — derived from the per-pair
           registry counters. *)
+  drops_crashed : int;
+      (** Messages lost to node failure: in flight when an endpoint
+          crashed, addressed to a down node, or injected on behalf of a
+          down node. *)
   dups_injected : int;
 }
 
@@ -57,6 +61,44 @@ val send : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
     sending (simulated NICs DMA from live buffers; Portals builds a fresh
     wire image per message). With a shim installed, the message passes
     through the shim's tx interceptor first. *)
+
+(** {1 Crash-stop node failures}
+
+    [crash] implements the crash-stop model: the node loses all volatile
+    state instantly. Its processes are deregistered from the fabric, its
+    resident fibers (those spawned with [~domain:nid]) are killed via
+    {!Sim_engine.Scheduler.kill_domain}, messages it had in flight — in
+    either direction — are dropped (counted in [drops_crashed] /
+    ["fabric.drops_crashed"]), and anything later injected on its behalf
+    is fenced. [restart] brings the node back with the next incarnation
+    number; nothing re-registers automatically — the application (or
+    [Runtime]) must recreate its endpoints, as a rebooted Cplant node
+    would. *)
+
+val crash : t -> Proc_id.nid -> unit
+(** Crash-stop a node. Raises [Invalid_argument] if it is already down or
+    the nid is out of range. *)
+
+val restart : t -> Proc_id.nid -> unit
+(** Restart a crashed node in a fresh incarnation. Raises
+    [Invalid_argument] if the node is not down. *)
+
+val is_node_up : t -> Proc_id.nid -> bool
+val incarnation : t -> Proc_id.nid -> int
+
+val on_crash : t -> (Proc_id.nid -> unit) -> unit
+(** Register a callback run (in registration order) after a node has been
+    crash-stopped — processes already deregistered, fibers already
+    killed. Layers with per-peer state (reliability, MPI endpoints)
+    subscribe to observe failures promptly. *)
+
+val on_restart : t -> (Proc_id.nid -> unit) -> unit
+(** Same, run after a node restarts (incarnation already bumped). *)
+
+val apply_crash_schedule : t -> Fault.crash_schedule -> unit
+(** Schedule every kill/revive of a {!Fault.crash_schedule} against this
+    fabric. Raises [Invalid_argument] if a victim nid is out of range;
+    times must not be in the past. *)
 
 (** {1 Faults} *)
 

@@ -108,3 +108,69 @@ let compose models =
 
 let decide t ~now ~src ~dst ~len = t.f ~now ~src ~dst ~len
 let describe t = t.label
+
+type crash_event = {
+  victim : Proc_id.nid;
+  down_at : Time_ns.t;
+  up_at : Time_ns.t option;
+}
+
+type crash_schedule = crash_event list
+
+let crash_schedule events =
+  let evs =
+    List.map
+      (fun (victim, down_at, up_at) ->
+        if Time_ns.compare down_at Time_ns.zero < 0 then
+          invalid_arg "Fault.crash_schedule: down_at must be >= 0";
+        (match up_at with
+        | Some u when Time_ns.compare u down_at <= 0 ->
+          invalid_arg "Fault.crash_schedule: up_at must be after down_at"
+        | _ -> ());
+        { victim; down_at; up_at })
+      events
+    |> List.sort (fun a b -> compare (a.down_at, a.victim) (b.down_at, b.victim))
+  in
+  (* A node cannot crash again while already down. *)
+  let last : (Proc_id.nid, Time_ns.t option) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      (match Hashtbl.find_opt last e.victim with
+      | Some None ->
+        invalid_arg
+          (Printf.sprintf
+             "Fault.crash_schedule: node %d crashes again after a permanent kill"
+             e.victim)
+      | Some (Some prev_up) when Time_ns.compare e.down_at prev_up < 0 ->
+        invalid_arg
+          (Printf.sprintf
+             "Fault.crash_schedule: node %d crashes again before its restart"
+             e.victim)
+      | _ -> ());
+      Hashtbl.replace last e.victim e.up_at)
+    evs;
+  evs
+
+let random_crash_schedule ?(seed = 0) ~nids ~crashes ~horizon () =
+  if crashes < 0 then
+    invalid_arg "Fault.random_crash_schedule: crashes must be >= 0";
+  if crashes = 0 then []
+  else begin
+    if nids = [] then
+      invalid_arg "Fault.random_crash_schedule: no candidate nodes";
+    if Time_ns.compare horizon Time_ns.zero <= 0 then
+      invalid_arg "Fault.random_crash_schedule: horizon must be positive";
+    let prng = Prng.create ~seed in
+    let pool = Array.of_list nids in
+    (* Disjoint per-event slices of the horizon keep the schedule valid
+       even when the same victim is drawn twice. *)
+    let slice = max 2 (horizon / crashes) in
+    List.init crashes (fun k ->
+        let victim = pool.(Prng.int prng (Array.length pool)) in
+        let base = k * slice in
+        let half = max 1 (slice / 2) in
+        let down_at = base + Prng.int prng half in
+        let up_at = base + half + Prng.int prng (max 1 (slice - half - 1)) in
+        (victim, down_at, Some up_at))
+    |> crash_schedule
+  end

@@ -81,3 +81,37 @@ val decide :
 
 val describe : t -> string
 (** Short human-readable summary, e.g. ["bernoulli(p=0.05)"]. *)
+
+(** {1 Crash-stop schedules}
+
+    Unlike the per-message models above, node failures are scheduled
+    events: at [down_at] the victim node crash-stops (fibers killed,
+    in-flight traffic lost, procs deregistered) and at [up_at], if given,
+    it restarts in a fresh incarnation. Apply with
+    [Fabric.apply_crash_schedule]. *)
+
+type crash_event = {
+  victim : Proc_id.nid;
+  down_at : Sim_engine.Time_ns.t;
+  up_at : Sim_engine.Time_ns.t option;  (** [None] = never restarts. *)
+}
+
+type crash_schedule = crash_event list
+
+val crash_schedule :
+  (Proc_id.nid * Sim_engine.Time_ns.t * Sim_engine.Time_ns.t option) list ->
+  crash_schedule
+(** Validate and sort a scripted kill/revive list. Raises
+    [Invalid_argument] on a negative [down_at], an [up_at] not after its
+    [down_at], or a node crashing again while still down. *)
+
+val random_crash_schedule :
+  ?seed:int ->
+  nids:Proc_id.nid list ->
+  crashes:int ->
+  horizon:Sim_engine.Time_ns.t ->
+  unit ->
+  crash_schedule
+(** [crashes] kill/revive pairs with uniformly drawn victims and times,
+    spread over disjoint slices of [\[0, horizon)] so the schedule is
+    always valid. Deterministic in [seed]. *)

@@ -3,7 +3,15 @@
     Compute-node architecture follows the paper's platforms: one
     application-visible host processor and a network interface with its own
     transmit pipeline. Multiple simulated processes may live on one node
-    and share both. *)
+    and share both.
+
+    Nodes follow a crash-stop/restart failure model. A node starts up in
+    incarnation 0; {!crash} takes it down (losing all volatile state) and
+    {!restart} brings it back with the next monotonic incarnation number.
+    The incarnation is stamped into wire headers so peers can fence traffic
+    from a process's previous life (see [Portals.Ni]). Prefer
+    [Fabric.crash]/[Fabric.restart], which also kill resident fibers, drop
+    in-flight traffic and deregister the node's processes. *)
 
 type t
 
@@ -13,3 +21,21 @@ val profile : t -> Profile.t
 val host_cpu : t -> Sim_engine.Cpu.t
 val tx_link : t -> Link.t
 val sched : t -> Sim_engine.Scheduler.t
+
+val is_up : t -> bool
+(** Whether the node is currently running ([true] at creation). *)
+
+val incarnation : t -> int
+(** Monotonic incarnation number: 0 at creation, +1 per {!restart}. *)
+
+val crashes : t -> int
+(** Number of times this node has crashed (the crash epoch; bumps on
+    {!crash}, not on {!restart}, so in-flight messages sent before a crash
+    can be told apart even after the node is back up). *)
+
+val crash : t -> unit
+(** Mark the node down. Raises [Invalid_argument] if already down. *)
+
+val restart : t -> unit
+(** Bring a down node back up in a fresh incarnation. Raises
+    [Invalid_argument] if the node is not down. *)

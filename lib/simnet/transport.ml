@@ -14,6 +14,9 @@ type t = {
   data_in_time : int -> Time_ns.t;
   host_copy_time : int -> Time_ns.t;
   send_overhead : Time_ns.t;
+  node_incarnation : Proc_id.nid -> int;
+  on_crash : (Proc_id.nid -> unit) -> unit;
+  on_restart : (Proc_id.nid -> unit) -> unit;
 }
 
 let host_cpu_of fabric nid = Node.host_cpu (Fabric.node fabric nid)
@@ -65,6 +68,9 @@ let offload fabric =
     data_in_time = (fun len -> Profile.dma_time profile len);
     host_copy_time = (fun len -> Profile.copy_time profile len);
     send_overhead = Time_ns.ns 500 (* user-space doorbell write *);
+    node_incarnation = (fun nid -> Fabric.incarnation fabric nid);
+    on_crash = (fun f -> Fabric.on_crash fabric f);
+    on_restart = (fun f -> Fabric.on_restart fabric f);
   }
 
 let kernel_interrupt fabric =
@@ -123,4 +129,7 @@ let kernel_interrupt fabric =
     data_in_time = (fun len -> Profile.copy_time profile len);
     host_copy_time = (fun len -> Profile.copy_time profile len);
     send_overhead = profile.Profile.host_syscall_cost;
+    node_incarnation = (fun nid -> Fabric.incarnation fabric nid);
+    on_crash = (fun f -> Fabric.on_crash fabric f);
+    on_restart = (fun f -> Fabric.on_restart fabric f);
   }

@@ -43,6 +43,13 @@ type t = {
           unexpected-message buffer into the user's receive buffer) —
           always a host-CPU cost, whatever the protocol placement. *)
   send_overhead : Sim_engine.Time_ns.t;
+  node_incarnation : Proc_id.nid -> int;
+      (** Current incarnation of a node (see [Node.incarnation]); stamped
+          into wire headers so receivers can fence stale traffic. *)
+  on_crash : (Proc_id.nid -> unit) -> unit;
+      (** Subscribe to crash-stop notifications (see [Fabric.on_crash]). *)
+  on_restart : (Proc_id.nid -> unit) -> unit;
+      (** Subscribe to restart notifications (see [Fabric.on_restart]). *)
 }
 
 val offload : Fabric.t -> t

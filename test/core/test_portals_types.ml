@@ -381,6 +381,7 @@ let wire_gen =
         offset = off;
         md_handle = Handle.none;
         eq_handle = Handle.none;
+        incarnation = abs bits mod 16;
         length = (match op with
                   | Wire.Put_request | Wire.Reply -> Bytes.length data
                   | Wire.Ack | Wire.Get_request -> len);
@@ -504,6 +505,7 @@ let wire_tests =
              && d.Wire.cookie = msg.Wire.cookie
              && Match_bits.equal d.Wire.match_bits msg.Wire.match_bits
              && d.Wire.offset = msg.Wire.offset
+             && d.Wire.incarnation = msg.Wire.incarnation
              && d.Wire.length = msg.Wire.length
              && Bytes.equal d.Wire.data msg.Wire.data));
   ]

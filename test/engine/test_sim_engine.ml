@@ -236,6 +236,72 @@ let scheduler_tests =
         Scheduler.spawn sched (fun () -> failwith "boom");
         Alcotest.check_raises "escapes" (Failure "boom") (fun () ->
             Scheduler.run sched));
+    Alcotest.test_case "deadlock report carries sim time and blocked-since"
+      `Quick (fun () ->
+        let sched = Scheduler.create () in
+        Scheduler.spawn sched ~name:"stuck-rank" (fun () ->
+            Scheduler.delay sched 4;
+            Scheduler.suspend sched ~name:"mpi.recv" (fun _waker -> ()));
+        Scheduler.at sched 10 (fun () -> ());
+        (match Scheduler.run sched with
+        | () -> Alcotest.fail "expected Deadlock"
+        | exception Scheduler.Deadlock [ entry ] ->
+          let has needle =
+            Alcotest.(check bool)
+              (Printf.sprintf "report %S mentions %s" entry needle)
+              true
+              (let nl = String.length needle and el = String.length entry in
+               let rec scan i =
+                 i + nl <= el && (String.sub entry i nl = needle || scan (i + 1))
+               in
+               scan 0)
+          in
+          (* Deadlock time, fiber name, block time, and — last — the wait
+             reason. *)
+          has "t=10";
+          has "stuck-rank";
+          has "t=4";
+          Alcotest.(check bool) "reason is the suffix" true
+            (String.ends_with ~suffix:"mpi.recv" entry)
+        | exception Scheduler.Deadlock names ->
+          Alcotest.fail
+            (Printf.sprintf "expected one entry, got %d" (List.length names))));
+    Alcotest.test_case "kill_domain discontinues blocked fibers" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let cleanup = ref false in
+        let finished = ref false in
+        Scheduler.spawn sched ~name:"resident" ~domain:3 (fun () ->
+            (try Scheduler.delay sched 1000
+             with Scheduler.Killed as e ->
+               cleanup := true;
+               raise e);
+            finished := true);
+        Scheduler.at sched 10 (fun () ->
+            Alcotest.(check int) "one fiber killed" 1
+              (Scheduler.kill_domain sched 3));
+        Scheduler.run sched;
+        Alcotest.(check bool) "Killed reached the fiber" true !cleanup;
+        Alcotest.(check bool) "body after the block never ran" false !finished;
+        Alcotest.(check int) "no fibers left" 0 (Scheduler.live_fibers sched));
+    Alcotest.test_case "kill_domain spares the next incarnation" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let first_done = ref false in
+        let second_done = ref false in
+        Scheduler.spawn sched ~name:"life1" ~domain:1 (fun () ->
+            Scheduler.delay sched 1000;
+            first_done := true);
+        Scheduler.at sched 10 (fun () ->
+            ignore (Scheduler.kill_domain sched 1);
+            (* The node "reboots": a fresh fiber in the same domain must
+               not be touched by the kill that just happened. *)
+            Scheduler.spawn sched ~name:"life2" ~domain:1 (fun () ->
+                Scheduler.delay sched 50;
+                second_done := true));
+        Scheduler.run sched;
+        Alcotest.(check bool) "first life killed" false !first_done;
+        Alcotest.(check bool) "second life survives" true !second_done);
     Alcotest.test_case "double wake is rejected" `Quick (fun () ->
         let sched = Scheduler.create () in
         let stash = ref None in

@@ -271,7 +271,7 @@ let drops_tests =
     Alcotest.test_case "every documented drop reason fires exactly once"
       `Quick (fun () ->
         let rows = Experiments.Drops.run () in
-        Alcotest.(check int) "nine reasons" 9 (List.length rows);
+        Alcotest.(check int) "ten reasons" 10 (List.length rows);
         List.iter
           (fun r ->
             Alcotest.(check int) r.Experiments.Drops.reason 1
@@ -360,6 +360,63 @@ let rel_loss_sweep_tests =
           rows);
   ]
 
+let crash_restart_tests =
+  [
+    Alcotest.test_case "both backends survive the restart schedule" `Quick
+      (fun () ->
+        (* The whole point of the subsystem: a mid-run crash + restart
+           must terminate cleanly (no Scheduler.Deadlock escaping run)
+           and show the §3 asymmetry between the backends. *)
+        let rows = Experiments.Crash_restart.run () in
+        let find b =
+          List.find
+            (fun r -> r.Experiments.Crash_restart.backend = b)
+            rows
+        in
+        let p = find "portals" and g = find "gm" in
+        (* Portals: the survivor acted zero times — no send errors, no
+           reconnects — and the fabric absorbed the downtime traffic. *)
+        Alcotest.(check int) "portals: no send errors" 0
+          p.Experiments.Crash_restart.send_errors;
+        Alcotest.(check int) "portals: no reconnects" 0
+          p.Experiments.Crash_restart.reconnects;
+        Alcotest.(check bool) "portals: downtime loss is the fabric's" true
+          (p.Experiments.Crash_restart.drops_crashed > 0);
+        (* GM: the survivor's connection state died with the peer. *)
+        Alcotest.(check bool) "gm: sends failed at the survivor" true
+          (g.Experiments.Crash_restart.send_errors > 0);
+        Alcotest.(check bool) "gm: needed at least one reconnect" true
+          (g.Experiments.Crash_restart.reconnects >= 1);
+        (* Both resumed: traffic reached the restarted incarnation. *)
+        Alcotest.(check bool) "portals: post-restart delivery" true
+          (p.Experiments.Crash_restart.recovery_us >= 0.);
+        Alcotest.(check bool) "gm: post-restart delivery" true
+          (g.Experiments.Crash_restart.recovery_us >= 0.);
+        Alcotest.(check bool) "portals delivered at least as much" true
+          (p.Experiments.Crash_restart.delivered
+          >= g.Experiments.Crash_restart.delivered);
+        List.iter
+          (fun r ->
+            Alcotest.(check int) "accounting: sent = delivered + lost"
+              r.Experiments.Crash_restart.sent
+              (r.Experiments.Crash_restart.delivered
+              + r.Experiments.Crash_restart.lost))
+          rows);
+    Alcotest.test_case "same seed replays the same outcome" `Quick (fun () ->
+        let strip rows =
+          List.map
+            (fun r ->
+              ( r.Experiments.Crash_restart.backend,
+                r.Experiments.Crash_restart.delivered,
+                r.Experiments.Crash_restart.send_errors,
+                r.Experiments.Crash_restart.recovery_us ))
+            rows
+        in
+        Alcotest.(check bool) "bit-exact replay" true
+          (strip (Experiments.Crash_restart.run ~seed:3 ())
+          = strip (Experiments.Crash_restart.run ~seed:3 ())));
+  ]
+
 let () =
   Alcotest.run "experiments"
     [
@@ -373,4 +430,5 @@ let () =
       ("drops", drops_tests);
       ("ablation", ablation_tests);
       ("rel_loss_sweep", rel_loss_sweep_tests);
+      ("crash_restart", crash_restart_tests);
     ]

@@ -601,6 +601,168 @@ let fault_tests =
         Alcotest.(check string) "later message intact" "after the storm" !got);
   ]
 
+(* A world whose rank fibers live on their own fault domains, so a node
+   crash kills its resident rank. Unlike [with_world], nothing is spawned
+   here — crash tests need full control over who runs where and when. *)
+let crash_world ?(n = 2) ~backend () =
+  let sched = Scheduler.create () in
+  let fabric =
+    Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes:n
+  in
+  let tp = Simnet.Transport.offload fabric in
+  let ranks = Array.init n (fun r -> proc r 0) in
+  let mk rank =
+    match backend with
+    | Portals_b -> Mpi.create_portals tp ~ranks ~rank ()
+    | Gm_b -> Mpi.create_gm tp ~ranks ~rank ()
+  in
+  (sched, fabric, mk)
+
+let crash_tests =
+  per_backend "peer death fails a blocked recv instead of deadlocking" `Quick
+    (fun backend ->
+      let sched, fabric, mk = crash_world ~backend () in
+      let ep0 = mk 0 in
+      let _ep1 = mk 1 in
+      let outcome = ref `Pending in
+      Scheduler.spawn sched ~name:"rank0" ~domain:0 (fun () ->
+          match Mpi.recv ep0 ~source:1 ~tag:0 (Bytes.create 64) with
+          | _ -> outcome := `Returned
+          | exception Mpi.Peer_failed r -> outcome := `Failed r);
+      Scheduler.at sched (Time_ns.us 50.) (fun () ->
+          Simnet.Fabric.crash fabric 1);
+      (* Crucially: plain [run], no [~until] — the blocked recv must be
+         woken and failed, not left to deadlock. *)
+      Scheduler.run sched;
+      Alcotest.(check bool) "recv raised Peer_failed 1" true
+        (!outcome = `Failed 1))
+  @ per_backend "on_peer_failure fires and failed_ranks reports" `Quick
+      (fun backend ->
+        let sched, fabric, mk = crash_world ~n:3 ~backend () in
+        let ep0 = mk 0 in
+        let _ep1 = mk 1 in
+        let _ep2 = mk 2 in
+        let seen = ref [] in
+        Mpi.on_peer_failure ep0 (fun ~rank -> seen := rank :: !seen);
+        Scheduler.at sched (Time_ns.us 10.) (fun () ->
+            Simnet.Fabric.crash fabric 2);
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "callback saw rank 2" [ 2 ] !seen;
+        Alcotest.(check (list int)) "failed_ranks" [ 2 ]
+          (Mpi.failed_ranks ep0))
+  @ per_backend "tolerant barrier completes with a dead rank" `Quick
+      (fun backend ->
+        let sched, fabric, mk = crash_world ~n:3 ~backend () in
+        let eps = Array.init 3 mk in
+        let finished = ref 0 in
+        for r = 0 to 1 do
+          Scheduler.spawn sched
+            ~name:(Printf.sprintf "rank%d" r)
+            ~domain:r
+            (fun () ->
+              Mpi.barrier ~tolerant:true eps.(r);
+              incr finished)
+        done;
+        (* Rank 2 enters the barrier too and dies inside it. *)
+        Scheduler.spawn sched ~name:"rank2" ~domain:2 (fun () ->
+            Mpi.barrier ~tolerant:true eps.(2));
+        Scheduler.at sched (Time_ns.us 10.) (fun () ->
+            Simnet.Fabric.crash fabric 2);
+        Scheduler.run sched;
+        Alcotest.(check int) "both survivors synchronised" 2 !finished)
+  @ [
+      Alcotest.test_case "dead-peer sends: portals completes, gm raises"
+        `Quick (fun () ->
+          (* The §3 asymmetry at the API surface. The connectionless
+             Portals sender fire-and-forgets an eager put — the loss is
+             the fabric's to account. The connection-oriented GM sender
+             holds per-peer state that died with the peer, so the send
+             itself fails. *)
+          let attempt backend =
+            let sched, fabric, mk = crash_world ~backend () in
+            let ep0 = mk 0 in
+            let _ep1 = mk 1 in
+            let result = ref `None in
+            Scheduler.spawn sched ~name:"rank0" ~domain:0 (fun () ->
+                Scheduler.delay sched (Time_ns.us 50.);
+                match Mpi.send ep0 ~dst:1 ~tag:0 (Bytes.create 16) with
+                | () -> result := `Sent
+                | exception Mpi.Peer_failed r -> result := `Failed r);
+            Scheduler.at sched (Time_ns.us 10.) (fun () ->
+                Simnet.Fabric.crash fabric 1);
+            Scheduler.run ~until:(Time_ns.ms 1.) sched;
+            (!result, (Simnet.Fabric.stats fabric).Simnet.Fabric.drops_crashed)
+          in
+          let p, pdrops = attempt Portals_b in
+          Alcotest.(check bool) "portals eager send completes locally" true
+            (p = `Sent);
+          Alcotest.(check bool) "the fabric absorbed it as a crash drop" true
+            (pdrops > 0);
+          let g, _ = attempt Gm_b in
+          Alcotest.(check bool) "gm send raises Peer_failed 1" true
+            (g = `Failed 1));
+      Alcotest.test_case "restart: portals resumes with zero survivor action"
+        `Quick (fun () ->
+          let sched, fabric, mk = crash_world ~backend:Portals_b () in
+          let ep0 = mk 0 in
+          let ep1 = mk 1 in
+          let got = ref "" in
+          Scheduler.spawn sched ~name:"rank1" ~domain:1 (fun () ->
+              try ignore (Mpi.recv ep1 ~source:0 ~tag:0 (Bytes.create 64))
+              with Mpi.Peer_failed _ -> ());
+          Simnet.Fabric.apply_crash_schedule fabric
+            (Simnet.Fault.crash_schedule
+               [ (1, Time_ns.us 20., Some (Time_ns.us 40.)) ]);
+          Scheduler.at sched (Time_ns.us 41.) (fun () ->
+              let ep1' = mk 1 in
+              Scheduler.spawn sched ~name:"rank1-restarted" ~domain:1
+                (fun () ->
+                  let b = Bytes.create 64 in
+                  let st = Mpi.recv ep1' ~source:0 ~tag:1 b in
+                  got := Bytes.sub_string b 0 st.Mpi.length));
+          Scheduler.spawn sched ~name:"rank0" ~domain:0 (fun () ->
+              Scheduler.delay sched (Time_ns.us 60.);
+              (* No reconnect, no re-registration: the survivor just
+                 sends. *)
+              Mpi.send ep0 ~dst:1 ~tag:1 (Bytes.of_string "hello again"));
+          Scheduler.run sched;
+          Alcotest.(check string) "post-restart delivery" "hello again" !got;
+          Alcotest.(check (list int)) "no rank still marked failed" []
+            (Mpi.failed_ranks ep0));
+      Alcotest.test_case "restart: gm stays fenced until reconnect" `Quick
+        (fun () ->
+          let sched, fabric, mk = crash_world ~backend:Gm_b () in
+          let ep0 = mk 0 in
+          let ep1 = mk 1 in
+          let got = ref "" in
+          Scheduler.spawn sched ~name:"rank1" ~domain:1 (fun () ->
+              try ignore (Mpi.recv ep1 ~source:0 ~tag:0 (Bytes.create 64))
+              with Mpi.Peer_failed _ -> ());
+          Simnet.Fabric.apply_crash_schedule fabric
+            (Simnet.Fault.crash_schedule
+               [ (1, Time_ns.us 20., Some (Time_ns.us 40.)) ]);
+          Scheduler.at sched (Time_ns.us 41.) (fun () ->
+              let ep1' = mk 1 in
+              Scheduler.spawn sched ~name:"rank1-restarted" ~domain:1
+                (fun () ->
+                  let b = Bytes.create 64 in
+                  let st = Mpi.recv ep1' ~source:0 ~tag:1 b in
+                  got := Bytes.sub_string b 0 st.Mpi.length));
+          Scheduler.spawn sched ~name:"rank0" ~domain:0 (fun () ->
+              Scheduler.delay sched (Time_ns.us 60.);
+              (* The peer is back up, but the survivor's connection state
+                 for it died: sends keep failing until reconnect. *)
+              (match Mpi.send ep0 ~dst:1 ~tag:1 (Bytes.of_string "x") with
+              | () -> Alcotest.fail "send must fail before reconnect"
+              | exception Mpi.Peer_failed _ -> ());
+              Alcotest.(check (list int)) "still marked failed" [ 1 ]
+                (Mpi.failed_ranks ep0);
+              Mpi.reconnect ep0 ~rank:1;
+              Mpi.send ep0 ~dst:1 ~tag:1 (Bytes.of_string "hello again"));
+          Scheduler.run sched;
+          Alcotest.(check string) "post-reconnect delivery" "hello again" !got);
+    ]
+
 let nx_world n f =
   let sched = Scheduler.create () in
   let fabric =
@@ -765,6 +927,7 @@ let () =
       ("progress", progress_tests);
       ("differential", differential_tests);
       ("faults", fault_tests);
+      ("crash", crash_tests);
       ("nx", nx_tests);
       ("contexts", context_tests);
     ]

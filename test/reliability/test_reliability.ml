@@ -288,6 +288,113 @@ let campaign_tests =
           (Reliability.Campaign.mean_by_loss (fun v -> v) outcomes));
   ]
 
+let crash_tests =
+  [
+    Alcotest.test_case "give-ups emit a rel.give_up trace instant" `Quick
+      (fun () ->
+        let config =
+          { Reliability.default_config with Reliability.max_retries = 1 }
+        in
+        let fault = Simnet.Fault.bernoulli ~seed:0 ~p:1.0 () in
+        let sched, fabric, _rel = mk ~config ~fault () in
+        Trace.enable (Scheduler.trace sched);
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+          (Bytes.create 64);
+        Scheduler.run sched;
+        let spans = Trace.spans (Scheduler.trace sched) in
+        Alcotest.(check bool) "an instant named rel.give_up exists" true
+          (List.exists
+             (fun s ->
+               s.Trace.subsys = "rel"
+               && String.length s.Trace.name >= 11
+               && String.sub s.Trace.name 0 11 = "rel.give_up")
+             spans));
+    Alcotest.test_case "node crash resets the pair and counts the loss"
+      `Quick (fun () ->
+        (* 100% loss toward the victim keeps frames unacked; the crash
+           then wipes the pair state and counts what was pending. *)
+        let fault = Simnet.Fault.bernoulli ~seed:0 ~p:1.0 () in
+        let sched, fabric, rel = mk ~fault () in
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        for _ = 1 to 4 do
+          Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+            (Bytes.create 64)
+        done;
+        Scheduler.at sched (Time_ns.us 5.) (fun () ->
+            Simnet.Fabric.crash fabric 1);
+        (* No deadlock, no endless retransmit: the reset cancels the
+           victim pair's timers. *)
+        Scheduler.run sched;
+        let st = Reliability.stats rel in
+        Alcotest.(check int) "one peer reset" 1 st.Reliability.peer_resets;
+        Alcotest.(check bool) "pending frames counted lost" true
+          (st.Reliability.peer_reset_lost > 0);
+        Alcotest.(check int) "sender drained" 0 (Reliability.inflight rel));
+    Alcotest.test_case "sequence space restarts cleanly after the reset"
+      `Quick (fun () ->
+        let sched, fabric, rel = mk () in
+        let got = ref 0 in
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ -> incr got);
+        (* A healthy exchange first, so both halves hold nonzero seqs. *)
+        for _ = 1 to 3 do
+          Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+            (Bytes.create 32)
+        done;
+        Simnet.Fabric.apply_crash_schedule fabric
+          (Simnet.Fault.crash_schedule
+             [ (1, Time_ns.us 50., Some (Time_ns.us 60.)) ]);
+        Scheduler.at sched (Time_ns.us 70.) (fun () ->
+            Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ _ ->
+                incr got);
+            Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+              (Bytes.create 32));
+        Scheduler.run sched;
+        (* The restarted node's empty tables accept the fresh seq-0
+           stream: delivery works, nothing stalls. *)
+        Alcotest.(check int) "all four delivered" 4 !got;
+        Alcotest.(check int) "one peer reset" 1
+          (Reliability.stats rel).Reliability.peer_resets);
+    Alcotest.test_case "crash_grid is counts-major and schedules replay"
+      `Quick (fun () ->
+        let g =
+          Reliability.Campaign.crash_grid ~crash_counts:[ 0; 2 ]
+            ~seeds:[ 1; 2 ]
+        in
+        Alcotest.(check (list (pair int int)))
+          "order"
+          [ (0, 1); (0, 2); (2, 1); (2, 2) ]
+          (List.map
+             (fun p ->
+               ( p.Reliability.Campaign.crashes,
+                 p.Reliability.Campaign.crash_seed ))
+             g);
+        let point = { Reliability.Campaign.crashes = 3; crash_seed = 5 } in
+        let mk () =
+          Reliability.Campaign.crash_schedule_of ~nids:[ 0; 1; 2 ]
+            ~horizon:(Time_ns.ms 1.) point
+        in
+        Alcotest.(check int) "three events" 3 (List.length (mk ()));
+        Alcotest.(check bool) "same point replays" true (mk () = mk ());
+        Alcotest.(check int) "zero crashes is an empty schedule" 0
+          (List.length
+             (Reliability.Campaign.crash_schedule_of ~nids:[ 0; 1 ]
+                ~horizon:(Time_ns.ms 1.)
+                { Reliability.Campaign.crashes = 0; crash_seed = 1 })));
+    Alcotest.test_case "mean_by_crashes collapses seeds" `Quick (fun () ->
+        let outcomes =
+          Reliability.Campaign.run_crashes ~crash_counts:[ 0; 4 ]
+            ~seeds:[ 1; 3 ]
+            ~f:(fun ~crashes ~seed -> float_of_int (crashes + seed))
+        in
+        Alcotest.(check (list (pair int (float 1e-9))))
+          "means"
+          [ (0, 2.); (4, 6.) ]
+          (Reliability.Campaign.mean_by_crashes (fun v -> v) outcomes));
+  ]
+
 let () =
   Alcotest.run "reliability"
     [
@@ -297,4 +404,5 @@ let () =
       ("retry budget", budget_tests);
       ("shim", shim_tests);
       ("campaign", campaign_tests);
+      ("crash", crash_tests);
     ]

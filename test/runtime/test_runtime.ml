@@ -189,6 +189,105 @@ let control_tests =
           report.Runtime.Control.statuses);
   ]
 
+(* [set_run_env] is process-global: always clear it again, even on a
+   failing assertion, or later tests inherit the degraded environment. *)
+let with_clean_env f =
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_run_env ~loss:0. ~fault:"" ~crashes:"" ())
+    f
+
+let env_tests =
+  [
+    Alcotest.test_case "malformed --fault and --crash specs are rejected"
+      `Quick (fun () ->
+        let rejects ?fault ?crashes label =
+          Alcotest.(check bool) label true
+            (try
+               Runtime.set_run_env ?fault ?crashes ();
+               false
+             with Invalid_argument _ -> true)
+        in
+        with_clean_env (fun () ->
+            rejects ~fault:"bogus:0.1" "unknown model";
+            rejects ~fault:"bernoulli" "missing parameter";
+            rejects ~fault:"bernoulli:1.5" "probability out of range";
+            rejects ~fault:"flap:10:20" "downtime exceeds period";
+            rejects ~crashes:"1@" "missing crash time";
+            rejects ~crashes:"x@10" "non-numeric nid";
+            rejects ~crashes:"1@-5" "negative time";
+            rejects ~crashes:"1@20:10" "restart before crash";
+            (* Valid specs must be accepted (and cleared by the wrapper). *)
+            Runtime.set_run_env
+              ~fault:"bernoulli:0.05+duplicate:0.01+flap:100:20" ();
+            Runtime.set_run_env ~crashes:"1@50:80,0@200" ()));
+    Alcotest.test_case "env crash schedule is applied to new worlds" `Quick
+      (fun () ->
+        with_clean_env (fun () ->
+            Runtime.set_run_env ~crashes:"1@50:80" ();
+            let world = Runtime.create_world ~nodes:2 () in
+            let downs = ref [] in
+            Simnet.Fabric.on_crash world.Runtime.fabric (fun nid ->
+                downs := nid :: !downs);
+            Runtime.run world;
+            Alcotest.(check (list int)) "node 1 crashed" [ 1 ] !downs;
+            Alcotest.(check int) "and restarted, one incarnation later" 1
+              (Simnet.Fabric.incarnation world.Runtime.fabric 1)));
+  ]
+
+let liveness_tests =
+  [
+    Alcotest.test_case "monitor suspects a crashed node and sees it recover"
+      `Quick (fun () ->
+        let world = Runtime.create_world ~nodes:3 () in
+        Simnet.Fabric.apply_crash_schedule world.Runtime.fabric
+          (Simnet.Fault.crash_schedule
+             [ (2, Time_ns.us 500., Some (Time_ns.us 1500.)) ]);
+        let lv =
+          Runtime.Liveness.start ~period:(Time_ns.us 100.)
+            ~timeout:(Time_ns.us 350.) ~until:(Time_ns.us 3000.) world
+        in
+        let downs = ref [] in
+        let ups = ref [] in
+        Runtime.Liveness.on_down lv (fun nid -> downs := nid :: !downs);
+        Runtime.Liveness.on_up lv (fun nid -> ups := nid :: !ups);
+        Runtime.run ~until:(Time_ns.us 3000.) world;
+        Alcotest.(check (list int)) "suspected the victim once" [ 2 ] !downs;
+        Alcotest.(check (list int)) "saw it come back" [ 2 ] !ups;
+        Alcotest.(check (list int)) "nobody suspected at the end" []
+          (Runtime.Liveness.suspected lv));
+    Alcotest.test_case "a node that never restarts stays suspected" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:3 () in
+        Simnet.Fabric.apply_crash_schedule world.Runtime.fabric
+          (Simnet.Fault.crash_schedule [ (1, Time_ns.us 400., None) ]);
+        let lv =
+          Runtime.Liveness.start ~period:(Time_ns.us 100.)
+            ~timeout:(Time_ns.us 350.) ~until:(Time_ns.us 2000.) world
+        in
+        Runtime.run ~until:(Time_ns.us 2000.) world;
+        Alcotest.(check (list int)) "still suspected" [ 1 ]
+          (Runtime.Liveness.suspected lv));
+    Alcotest.test_case "liveness validates its arguments" `Quick (fun () ->
+        let world = Runtime.create_world ~nodes:2 () in
+        let rejects label f =
+          Alcotest.(check bool) label true
+            (try
+               ignore (f ());
+               false
+             with Invalid_argument _ -> true)
+        in
+        rejects "timeout below period" (fun () ->
+            Runtime.Liveness.start ~period:(Time_ns.us 100.)
+              ~timeout:(Time_ns.us 50.) ~until:(Time_ns.us 1000.) world);
+        rejects "monitor out of range" (fun () ->
+            Runtime.Liveness.start ~monitor:7 ~until:(Time_ns.us 1000.) world));
+  ]
+
 let () =
   Alcotest.run "runtime"
-    [ ("world", world_tests); ("control", control_tests) ]
+    [
+      ("world", world_tests);
+      ("control", control_tests);
+      ("run env", env_tests);
+      ("liveness", liveness_tests);
+    ]

@@ -422,6 +422,137 @@ let fault_model_tests =
           (Fabric.stats fabric).Fabric.drops_injected);
   ]
 
+let crash_tests =
+  [
+    Alcotest.test_case "crash fences delivery and deregisters procs" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        Scheduler.at sched (Time_ns.us 10.) (fun () -> Fabric.crash fabric 1);
+        Scheduler.at sched (Time_ns.us 20.) (fun () ->
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8));
+        Scheduler.run sched;
+        Alcotest.(check int) "nothing delivered" 0 !seen;
+        Alcotest.(check bool) "node down" false (Fabric.is_node_up fabric 1);
+        Alcotest.(check bool) "proc deregistered" false
+          (Fabric.is_registered fabric (pid 1 0));
+        Alcotest.(check int) "counted as crash drop" 1
+          (Fabric.stats fabric).Fabric.drops_crashed);
+    Alcotest.test_case "in-flight traffic dies with the node" `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        (* The message is on the wire when the victim dies: sent at t=0,
+           crash well before any profile's wire latency has elapsed. *)
+        Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 64);
+        Scheduler.at sched (Time_ns.ns 1) (fun () -> Fabric.crash fabric 1);
+        Scheduler.run sched;
+        Alcotest.(check int) "in-flight message lost" 0 !seen;
+        Alcotest.(check int) "counted as crash drop" 1
+          (Fabric.stats fabric).Fabric.drops_crashed);
+    Alcotest.test_case "restart bumps the incarnation and reopens the node"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let seen = ref 0 in
+        Alcotest.(check int) "first incarnation" 0 (Fabric.incarnation fabric 1);
+        Fabric.apply_crash_schedule fabric
+          (Fault.crash_schedule [ (1, Time_ns.us 10., Some (Time_ns.us 20.)) ]);
+        (* A rebooted node must re-register its endpoints by hand. *)
+        Scheduler.at sched (Time_ns.us 30.) (fun () ->
+            Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen));
+        Scheduler.at sched (Time_ns.us 40.) (fun () ->
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 8));
+        Scheduler.run sched;
+        Alcotest.(check bool) "node back up" true (Fabric.is_node_up fabric 1);
+        Alcotest.(check int) "second incarnation" 1 (Fabric.incarnation fabric 1);
+        Alcotest.(check int) "post-restart delivery works" 1 !seen);
+    Alcotest.test_case "crash kills the node's resident fibers" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        let victim_done = ref false in
+        let survivor_done = ref false in
+        Scheduler.spawn sched ~name:"victim" ~domain:1 (fun () ->
+            Scheduler.delay sched (Time_ns.us 100.);
+            victim_done := true);
+        Scheduler.spawn sched ~name:"survivor" ~domain:0 (fun () ->
+            Scheduler.delay sched (Time_ns.us 100.);
+            survivor_done := true);
+        Scheduler.at sched (Time_ns.us 10.) (fun () -> Fabric.crash fabric 1);
+        Scheduler.run sched;
+        Alcotest.(check bool) "victim fiber killed" false !victim_done;
+        Alcotest.(check bool) "survivor fiber unaffected" true !survivor_done);
+    Alcotest.test_case "crash/restart state machine rejects bad transitions"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Scheduler.at sched Time_ns.zero (fun () ->
+            let raises f =
+              try
+                f ();
+                false
+              with Invalid_argument _ -> true
+            in
+            Alcotest.(check bool) "restart while up" true
+              (raises (fun () -> Fabric.restart fabric 1));
+            Fabric.crash fabric 1;
+            Alcotest.(check bool) "double crash" true
+              (raises (fun () -> Fabric.crash fabric 1));
+            Fabric.restart fabric 1);
+        Scheduler.run sched);
+    Alcotest.test_case "crash_schedule validates the script" `Quick (fun () ->
+        let rejects events =
+          try
+            ignore (Fault.crash_schedule events);
+            false
+          with Invalid_argument _ -> true
+        in
+        Alcotest.(check bool) "restart not after its crash" true
+          (rejects [ (1, Time_ns.us 10., Some (Time_ns.us 10.)) ]);
+        Alcotest.(check bool) "re-crash while still down" true
+          (rejects
+             [ (1, Time_ns.us 10., None); (1, Time_ns.us 20., Some (Time_ns.us 30.)) ]);
+        Alcotest.(check bool) "valid script accepted" false
+          (rejects
+             [
+               (1, Time_ns.us 10., Some (Time_ns.us 20.));
+               (1, Time_ns.us 30., None);
+               (2, Time_ns.us 5., Some (Time_ns.us 50.));
+             ]));
+    Alcotest.test_case "random_crash_schedule is deterministic and valid"
+      `Quick (fun () ->
+        let mk seed =
+          Fault.random_crash_schedule ~seed ~nids:[ 0; 1; 2; 3 ] ~crashes:5
+            ~horizon:(Time_ns.ms 10.) ()
+        in
+        Alcotest.(check int) "five events" 5 (List.length (mk 7));
+        Alcotest.(check bool) "same seed replays" true (mk 7 = mk 7);
+        List.iter
+          (fun (e : Fault.crash_event) ->
+            Alcotest.(check bool) "victim in range" true
+              (e.Fault.victim >= 0 && e.Fault.victim < 4);
+            match e.Fault.up_at with
+            | None -> ()
+            | Some up ->
+              Alcotest.(check bool) "restart after crash" true
+                (Time_ns.compare up e.Fault.down_at > 0))
+          (mk 7));
+    Alcotest.test_case "apply_crash_schedule fires kills, revives and hooks"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        let log = ref [] in
+        Fabric.on_crash fabric (fun nid ->
+            log := `Down (nid, Scheduler.now sched) :: !log);
+        Fabric.on_restart fabric (fun nid ->
+            log := `Up (nid, Scheduler.now sched) :: !log);
+        Fabric.apply_crash_schedule fabric
+          (Fault.crash_schedule [ (2, Time_ns.us 5., Some (Time_ns.us 9.)) ]);
+        Scheduler.run sched;
+        Alcotest.(check bool) "down then up, at schedule times" true
+          (List.rev !log
+          = [ `Down (2, Time_ns.us 5.); `Up (2, Time_ns.us 9.) ]);
+        Alcotest.(check int) "incarnation bumped" 1 (Fabric.incarnation fabric 2));
+  ]
+
 let () =
   Alcotest.run "simnet"
     [
@@ -430,5 +561,6 @@ let () =
       ("link", link_tests);
       ("fabric", fabric_tests);
       ("fault_models", fault_model_tests);
+      ("crash", crash_tests);
       ("transport", transport_tests);
     ]
