@@ -1,6 +1,6 @@
-# Convenience entry points; CI runs `make ci`.
+# Convenience entry points; CI runs `make ci` plus the perf gate.
 
-.PHONY: all build test fmt bench ci clean
+.PHONY: all build test fmt bench bench-json perf-gate smoke ci clean
 
 all: build
 
@@ -21,11 +21,22 @@ fmt:
 bench:
 	dune exec bench/main.exe
 
-ci: build test fmt
-	dune exec bin/portals_repro.exe -- \
-		--experiment fig6 --metrics=json --trace-out _build/fig6.trace.json
-	dune exec bin/portals_repro.exe -- \
-		--experiment rel_loss_sweep --metrics=json --seed 42 > /dev/null
+# Machine-readable performance records (see EXPERIMENTS.md).
+bench-json:
+	dune exec bench/main.exe -- --json BENCH.json
+
+# Fail if any experiment's events/sec regressed more than 25% against
+# the committed baseline. Refresh with: make bench-json && cp BENCH.json
+# bench/baseline.json (on a quiet machine; see README).
+perf-gate:
+	dune exec bench/main.exe -- \
+		--json BENCH.json --baseline bench/baseline.json --tolerance 25
+
+# Seeded acceptance smoke, shared with CI (scripts/smoke.sh).
+smoke: build
+	bash scripts/smoke.sh
+
+ci: build test fmt smoke
 
 clean:
 	dune clean

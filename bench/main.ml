@@ -15,69 +15,142 @@ open Toolkit
 
 let line ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
 
-(* Observability flags, stdlib-only parsing:
-     --metrics[=table|json]   print the F6 registry snapshot
-     --trace-out FILE         write the F6 runs as Chrome trace JSON
-     --loss RATE              run every world on a lossy fabric (with the
-                              reliability shim underneath)
-     --seed N                 default PRNG seed, for deterministic replay
-     --fault MODEL            wire fault-model spec (bernoulli:P, gilbert:..,
-                              duplicate:P, flap:.., none; join with +)
-     --crash SPEC             node crash schedule, NID@DOWN_US[:UP_US],
-                              comma separated *)
 type opts = {
   mutable metrics : Sim_engine.Report.format option;
   mutable trace_out : string option;
+  mutable json_out : string option;
+  mutable baseline : string option;
+  mutable tolerance_pct : float;
+  mutable quick : bool;
 }
 
+let usage ppf =
+  Format.fprintf ppf
+    "usage: bench [OPTIONS]@.@.\
+     Regenerates every table and figure of the paper, then benchmarks the@.\
+     harness itself. Every value option also accepts --flag=VALUE.@.@.\
+     \  --metrics[=table|json]  print the F6 metrics registry snapshot@.\
+     \  --trace-out FILE        write the F6 runs as Chrome trace JSON@.\
+     \  --loss RATE             run every world on a lossy fabric (with@.\
+     \                          the reliability shim underneath)@.\
+     \  --seed N                default PRNG seed, for deterministic replay@.\
+     \  --fault MODEL           wire fault-model spec (bernoulli:P,@.\
+     \                          gilbert:.., duplicate:P, flap:.., none;@.\
+     \                          join with +)@.\
+     \  --crash SPEC            node crash schedule, NID@@DOWN_US[:UP_US],@.\
+     \                          comma separated@.\
+     \  --json OUT              performance mode: run every experiment@.\
+     \                          metered, write records to OUT, skip the@.\
+     \                          report and Bechamel (see EXPERIMENTS.md)@.\
+     \  --baseline FILE         with --json: compare against FILE and@.\
+     \                          exit 1 on events/sec regression@.\
+     \  --tolerance PCT         allowed events/sec drop before the@.\
+     \                          baseline gate fails (default 25)@.\
+     \  --quick                 with --json: smoke-test sized experiments@.\
+     \  --help                  this message@."
+
+(* Stdlib-only parsing; every value option accepts both "--flag VALUE"
+   and "--flag=VALUE". *)
 let parse_opts () =
-  let o = { metrics = None; trace_out = None } in
-  let bad arg =
-    Format.eprintf "bench: unknown argument %S@." arg;
+  let o =
+    {
+      metrics = None;
+      trace_out = None;
+      json_out = None;
+      baseline = None;
+      tolerance_pct = 25.;
+      quick = false;
+    }
+  in
+  let bad what =
+    Format.eprintf "bench: %s (try --help)@." what;
     exit 2
+  in
+  let run_env_set f =
+    match f () with
+    | () -> ()
+    | exception Invalid_argument msg ->
+      Format.eprintf "bench: %s@." msg;
+      exit 2
   in
   let rec go = function
     | [] -> o
-    | "--metrics" :: rest ->
-      o.metrics <- Some Sim_engine.Report.Table;
-      go rest
-    | "--trace-out" :: file :: rest ->
-      o.trace_out <- Some file;
-      go rest
-    | "--loss" :: rate :: rest ->
-      (match float_of_string_opt rate with
-      | Some l when l >= 0. && l < 1. ->
-        Runtime.set_run_env ~loss:l ();
+    | arg :: rest ->
+      let flag, inline =
+        if String.length arg > 2 && arg.[0] = '-' && arg.[1] = '-' then
+          match String.index_opt arg '=' with
+          | Some i ->
+            ( String.sub arg 0 i,
+              Some (String.sub arg (i + 1) (String.length arg - i - 1)) )
+          | None -> (arg, None)
+        else (arg, None)
+      in
+      let value ~what rest k =
+        match (inline, rest) with
+        | Some v, _ -> k v rest
+        | None, v :: rest -> k v rest
+        | None, [] -> bad (flag ^ " needs " ^ what)
+      in
+      (match flag with
+      | "--help" | "-h" ->
+        usage Format.std_formatter;
+        exit 0
+      | "--metrics" -> (
+        match inline with
+        | None ->
+          o.metrics <- Some Sim_engine.Report.Table;
+          go rest
+        | Some v -> (
+          match Sim_engine.Report.format_of_string v with
+          | Some f ->
+            o.metrics <- Some f;
+            go rest
+          | None -> bad ("unknown metrics format " ^ v)))
+      | "--trace-out" ->
+        value ~what:"FILE" rest (fun v rest ->
+            o.trace_out <- Some v;
+            go rest)
+      | "--json" ->
+        value ~what:"OUT" rest (fun v rest ->
+            o.json_out <- Some v;
+            go rest)
+      | "--baseline" ->
+        value ~what:"FILE" rest (fun v rest ->
+            o.baseline <- Some v;
+            go rest)
+      | "--tolerance" ->
+        value ~what:"PCT" rest (fun v rest ->
+            match float_of_string_opt v with
+            | Some p when p >= 0. ->
+              o.tolerance_pct <- p;
+              go rest
+            | _ -> bad ("bad tolerance " ^ v))
+      | "--quick" ->
+        o.quick <- true;
         go rest
-      | _ -> bad ("--loss " ^ rate))
-    | "--seed" :: n :: rest ->
-      (match int_of_string_opt n with
-      | Some s ->
-        Runtime.set_run_env ~seed:s ();
-        go rest
-      | None -> bad ("--seed " ^ n))
-    | "--fault" :: spec :: rest ->
-      (match Runtime.set_run_env ~fault:spec () with
-      | () -> go rest
-      | exception Invalid_argument msg ->
-        Format.eprintf "bench: %s@." msg;
-        exit 2)
-    | "--crash" :: spec :: rest ->
-      (match Runtime.set_run_env ~crashes:spec () with
-      | () -> go rest
-      | exception Invalid_argument msg ->
-        Format.eprintf "bench: %s@." msg;
-        exit 2)
-    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--metrics=" ->
-      (match
-         Sim_engine.Report.format_of_string
-           (String.sub arg 10 (String.length arg - 10))
-       with
-      | Some f ->
-        o.metrics <- Some f;
-        go rest
-      | None -> bad arg)
-    | arg :: _ -> bad arg
+      | "--loss" ->
+        value ~what:"RATE" rest (fun v rest ->
+            match float_of_string_opt v with
+            | Some l when l >= 0. && l < 1. ->
+              Runtime.set_run_env ~loss:l ();
+              go rest
+            | _ -> bad ("bad loss rate " ^ v))
+      | "--seed" ->
+        value ~what:"N" rest (fun v rest ->
+            match int_of_string_opt v with
+            | Some s ->
+              Runtime.set_run_env ~seed:s ();
+              go rest
+            | None -> bad ("bad seed " ^ v))
+      | "--fault" ->
+        value ~what:"MODEL" rest (fun v rest ->
+            run_env_set (fun () -> Runtime.set_run_env ~fault:v ());
+            go rest)
+      | "--crash" ->
+        value ~what:"SPEC" rest (fun v rest ->
+            run_env_set (fun () -> Runtime.set_run_env ~crashes:v ());
+            go rest)
+      | _ -> bad ("unknown argument " ^ arg))
   in
   go (List.tl (Array.to_list Sys.argv))
 
@@ -234,7 +307,50 @@ let benchmark () =
         analysis)
     tests
 
+(* Performance mode (--json): meter every experiment, write the records,
+   optionally gate against a baseline. Replaces the report + Bechamel. *)
+let perf_mode opts out =
+  let records = Experiments.Perf.all ~quick:opts.quick () in
+  Experiments.Perf.pp Format.std_formatter records;
+  Experiments.Perf.write_json ~path:out records;
+  Format.printf "bench: wrote %s@." out;
+  match opts.baseline with
+  | None -> ()
+  | Some path -> (
+    match Experiments.Perf.read_json ~path with
+    | Error msg ->
+      Format.eprintf "bench: cannot read baseline %s: %s@." path msg;
+      exit 2
+    | Ok baseline -> (
+      match
+        Experiments.Perf.compare_baseline ~baseline ~current:records
+          ~tolerance_pct:opts.tolerance_pct
+      with
+      | [] ->
+        Format.printf "bench: baseline gate passed (tolerance %.0f%%)@."
+          opts.tolerance_pct
+      | regressions ->
+        Experiments.Perf.pp_regressions Format.err_formatter regressions;
+        exit 1))
+
+let footer ~wall_s =
+  let totals = Sim_engine.Scheduler.global_totals () in
+  let events = totals.Sim_engine.Scheduler.t_events in
+  Format.printf
+    "@.run totals: %d sim-events, %d fibers, %.1f ms simulated | %.2f s \
+     wall, %.0f sim-events/sec@."
+    events totals.Sim_engine.Scheduler.t_fibers
+    (Sim_engine.Time_ns.to_us totals.Sim_engine.Scheduler.t_sim_time /. 1e3)
+    wall_s
+    (if wall_s > 0. then float_of_int events /. wall_s else 0.)
+
 let () =
-  print_all (parse_opts ());
-  benchmark ();
-  Format.printf "@.bench: done@."
+  let t0 = Unix.gettimeofday () in
+  let opts = parse_opts () in
+  match opts.json_out with
+  | Some out -> perf_mode opts out
+  | None ->
+    print_all opts;
+    benchmark ();
+    footer ~wall_s:(Unix.gettimeofday () -. t0);
+    Format.printf "@.bench: done@."

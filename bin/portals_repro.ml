@@ -85,12 +85,36 @@ let env_term =
              $(b,NID\\@DOWN_US:UP_US) (restart with a fresh incarnation \
              at UP_US). Applied to every world the experiment builds.")
   in
-  let set loss seed fault crashes =
+  let perf =
+    Arg.(
+      value & flag
+      & info [ "perf" ]
+          ~doc:
+            "After the experiment, print the run's totals: scheduler \
+             events processed, fibers spawned, simulated time, wall time \
+             and sim-events/sec.")
+  in
+  let set loss seed fault crashes perf =
+    if perf then begin
+      let t0 = Unix.gettimeofday () in
+      at_exit (fun () ->
+          let totals = Sim_engine.Scheduler.global_totals () in
+          let wall = Unix.gettimeofday () -. t0 in
+          let events = totals.Sim_engine.Scheduler.t_events in
+          Format.printf
+            "perf: %d sim-events, %d fibers, %.1f ms simulated | %.2f s \
+             wall, %.0f sim-events/sec@."
+            events totals.Sim_engine.Scheduler.t_fibers
+            (Sim_engine.Time_ns.to_us totals.Sim_engine.Scheduler.t_sim_time
+            /. 1e3)
+            wall
+            (if wall > 0. then float_of_int events /. wall else 0.))
+    end;
     match Runtime.set_run_env ?loss ?seed ?fault ?crashes () with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
-  Term.(ret (const set $ loss $ seed $ fault $ crash))
+  Term.(ret (const set $ loss $ seed $ fault $ crash $ perf))
 
 (* --- observability flags ------------------------------------------------ *)
 

@@ -8,10 +8,22 @@ type t = {
   mutable seq : int;
 }
 
-let create ni ~ranks ~rank ?(portal_index = 6) () =
+(* Collective steps are short (reduction fragments, barrier tokens), so
+   the per-rank eager pool is deliberately small: the Pool defaults
+   (4 x 128 KiB slabs, EQ depth 4096) cost half a megabyte of zeroed
+   buffer per rank, which dominates world setup in the 1024-node scaling
+   sweeps. Callers moving large bcast/alltoall payloads can raise
+   [slab_size] (see {!Pool.largest_message}). *)
+let create ni ~ranks ~rank ?(portal_index = 6) ?(slab_size = 16_384)
+    ?(slab_count = 2) ?(eq_capacity = 1024) () =
   if rank < 0 || rank >= Array.length ranks then
     invalid_arg "Collectives.create: rank out of range";
-  { pool = Pool.create ni ~portal_index (); ranks; my_rank = rank; seq = 0 }
+  {
+    pool = Pool.create ni ~portal_index ~slab_size ~slab_count ~eq_capacity ();
+    ranks;
+    my_rank = rank;
+    seq = 0;
+  }
 
 let rank t = t.my_rank
 let size t = Array.length t.ranks

@@ -19,10 +19,15 @@ val create :
   ranks:Simnet.Proc_id.t array ->
   rank:int ->
   ?portal_index:int ->
+  ?slab_size:int ->
+  ?slab_count:int ->
+  ?eq_capacity:int ->
   unit ->
   t
 (** One collectives endpoint per rank over an existing Portals interface.
-    [portal_index] defaults to 6. *)
+    [portal_index] defaults to 6. The pool sizing defaults are tuned for
+    short collective steps (2 slabs of 16 KiB, EQ depth 1024); raise
+    [slab_size] when moving payloads larger than one slab. *)
 
 val rank : t -> int
 val size : t -> int

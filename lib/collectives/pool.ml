@@ -8,7 +8,7 @@ type slab = {
   mutable s_outstanding : int;
 }
 
-type pooled = { p_bits : P.Match_bits.t; p_slab : slab; p_off : int; p_len : int }
+type pooled = { p_slab : slab; p_off : int; p_len : int }
 
 type t = {
   pool_ni : P.Ni.t;
@@ -17,7 +17,21 @@ type t = {
   eqh : P.Handle.eq;
   eqq : P.Event.Queue.t;
   slabs : slab array;
-  pooled : pooled Queue.t;
+  (* Arrived-but-unclaimed messages, keyed by their match bits. [recv]
+     claims by exact bits, so a claim is one table probe and a queue pop;
+     the previous representation (one queue rotated end-to-end per claim)
+     cost O(pending) per receive, quadratic over a collective's fan-in.
+     Per-key arrival order is preserved by the per-key queues. *)
+  pooled : (P.Match_bits.t, pooled Queue.t) Hashtbl.t;
+  mutable pending_count : int;
+  (* Send-side scratch: one persistent descriptor over [scratch_buf],
+     reused by every [send] via a put-region of the payload's length.
+     The NI copies payload into the wire image synchronously inside
+     [put], so the scratch is free again as soon as the call returns —
+     no per-message md_bind/unlink churn, and with no event queue and an
+     infinite threshold the NI elides the SENT completion too. *)
+  scratch_buf : bytes;
+  scratch_mdh : P.Handle.md;
 }
 
 let ok_exn = P.Errors.ok_exn
@@ -53,6 +67,14 @@ let create ni ~portal_index ?(slab_size = 131_072) ?(slab_count = 4)
     ?(eq_capacity = 4096) () =
   let eqh = ok_exn ~op:"pool eq_alloc" (P.Ni.eq_alloc ni ~capacity:eq_capacity) in
   let eqq = ok_exn ~op:"pool eq" (P.Ni.eq ni eqh) in
+  let scratch_buf = Bytes.create slab_size in
+  let scratch_mdh =
+    ok_exn ~op:"pool scratch md_bind"
+      (P.Ni.md_bind ni
+         (P.Ni.md_spec
+            ~options:{ P.Md.default_options with P.Md.ack_disable = true }
+            ~threshold:P.Md.Infinite ~unlink:P.Md.Retain scratch_buf))
+  in
   let t =
     {
       pool_ni = ni;
@@ -69,7 +91,10 @@ let create ni ~portal_index ?(slab_size = 131_072) ?(slab_count = 4)
               s_mdh = P.Handle.none;
               s_outstanding = 0;
             });
-      pooled = Queue.create ();
+      pooled = Hashtbl.create 32;
+      pending_count = 0;
+      scratch_buf;
+      scratch_mdh;
     }
   in
   Array.iter (fun slab -> attach_slab t slab) t.slabs;
@@ -78,15 +103,12 @@ let create ni ~portal_index ?(slab_size = 131_072) ?(slab_count = 4)
 let ni t = t.pool_ni
 
 let send t ~dst ~bits payload =
-  let mdh =
-    ok_exn ~op:"pool md_bind"
-      (P.Ni.md_bind t.pool_ni
-         (P.Ni.md_spec
-            ~options:{ P.Md.default_options with P.Md.ack_disable = true }
-            ~threshold:(P.Md.Count 1) ~unlink:P.Md.Unlink payload))
-  in
+  let len = Bytes.length payload in
+  if len > Bytes.length t.scratch_buf then
+    invalid_arg "Pool.send: payload larger than the pool's slab size";
+  Bytes.blit payload 0 t.scratch_buf 0 len;
   ok_exn ~op:"pool put"
-    (P.Ni.put t.pool_ni ~md:mdh ~ack:false
+    (P.Ni.put t.pool_ni ~md:t.scratch_mdh ~ack:false ~length:len
        (P.Ni.op ~target:dst ~portal_index:t.portal_index ~match_bits:bits ()))
 
 let maybe_rearm t slab =
@@ -100,38 +122,47 @@ let maybe_rearm t slab =
       end
   end
 
+let dispatch t ev =
+  match ev.P.Event.kind with
+  | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
+    let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
+    slab.s_outstanding <- slab.s_outstanding + 1;
+    let q =
+      match Hashtbl.find_opt t.pooled ev.P.Event.match_bits with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.pooled ev.P.Event.match_bits q;
+        q
+    in
+    Queue.add
+      {
+        p_slab = slab;
+        p_off = ev.P.Event.offset;
+        p_len = ev.P.Event.mlength;
+      }
+      q;
+    t.pending_count <- t.pending_count + 1
+  | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent -> ()
+
 let drain t =
   let rec go () =
     match P.Event.Queue.get t.eqq with
     | None -> ()
     | Some ev ->
-      (match ev.P.Event.kind with
-      | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
-        let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
-        slab.s_outstanding <- slab.s_outstanding + 1;
-        Queue.add
-          {
-            p_bits = ev.P.Event.match_bits;
-            p_slab = slab;
-            p_off = ev.P.Event.offset;
-            p_len = ev.P.Event.mlength;
-          }
-          t.pooled
-      | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent ->
-        ());
+      dispatch t ev;
       go ()
   in
   go ()
 
 let take t ~bits =
-  let n = Queue.length t.pooled in
-  let found = ref None in
-  for _ = 1 to n do
-    let p = Queue.pop t.pooled in
-    if !found = None && P.Match_bits.equal p.p_bits bits then found := Some p
-    else Queue.add p t.pooled
-  done;
-  !found
+  match Hashtbl.find_opt t.pooled bits with
+  | None -> None
+  | Some q ->
+    let p = Queue.pop q in
+    if Queue.is_empty q then Hashtbl.remove t.pooled bits;
+    t.pending_count <- t.pending_count - 1;
+    Some p
 
 let rec recv t ~bits =
   drain t;
@@ -142,25 +173,12 @@ let rec recv t ~bits =
     maybe_rearm t p.p_slab;
     data
   | None ->
-    let ev = P.Event.Queue.wait t.eqq in
-    (* Put it back through the normal dispatch path. *)
-    (match ev.P.Event.kind with
-    | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
-      let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
-      slab.s_outstanding <- slab.s_outstanding + 1;
-      Queue.add
-        {
-          p_bits = ev.P.Event.match_bits;
-          p_slab = slab;
-          p_off = ev.P.Event.offset;
-          p_len = ev.P.Event.mlength;
-        }
-        t.pooled
-    | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent -> ());
+    (* Block until something arrives, then go through normal dispatch. *)
+    dispatch t (P.Event.Queue.wait t.eqq);
     recv t ~bits
 
 let pending t =
   drain t;
-  Queue.length t.pooled
+  t.pending_count
 
 let largest_message t = t.slab_size

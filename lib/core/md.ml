@@ -171,3 +171,7 @@ let read t ~offset ~len =
   iter_range t ~offset ~len (fun buf pos piece logical ->
       Bytes.blit buf pos out logical piece);
   out
+
+let blit_to t ~offset ~len ~dst ~dst_off =
+  iter_range t ~offset ~len (fun buf pos piece logical ->
+      Bytes.blit buf pos dst (dst_off + logical) piece)

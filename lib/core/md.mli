@@ -128,3 +128,8 @@ val write : t -> offset:int -> src:bytes -> src_off:int -> len:int -> unit
 
 val read : t -> offset:int -> len:int -> bytes
 (** Extract payload bytes (get servicing, put sourcing). *)
+
+val blit_to : t -> offset:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Copy payload bytes into a caller buffer without the intermediate
+    allocation of {!read} — put sourcing on the hot path blits MD memory
+    straight into the wire image ({!Wire.encode_with}). *)

@@ -429,7 +429,10 @@ let handle_put_or_get t (msg : Wire.t) ~op =
         let reply_data =
           match op with
           | Md.Op_put ->
-            Md.write md ~offset ~src:msg.Wire.data ~src_off:0 ~len:mlength;
+            (* [msg] is a [decode_view]: payload bytes sit in the wire
+               image after the header. *)
+            Md.write md ~offset ~src:msg.Wire.data ~src_off:Wire.header_size
+              ~len:mlength;
             Bytes.empty
           | Md.Op_get -> Md.read md ~offset ~len:mlength
         in
@@ -510,7 +513,8 @@ let handle_reply t (msg : Wire.t) =
     | Some _ | None ->
       (* Every memory descriptor accepts and truncates replies (§4.8). *)
       let mlength = min msg.Wire.length (Md.length md) in
-      Md.write md ~offset:0 ~src:msg.Wire.data ~src_off:0 ~len:mlength;
+      Md.write md ~offset:0 ~src:msg.Wire.data ~src_off:Wire.header_size
+        ~len:mlength;
       if Md.pending md > 0 then Md.decr_pending md;
       (match Md.eq md with
       | None -> ()
@@ -521,7 +525,7 @@ let handle_incoming t ~src:_ payload =
   if t.live then begin
     t.c.c_rx <- t.c.c_rx + 1;
     t.c.c_rx_bytes <- t.c.c_rx_bytes + Bytes.length payload;
-    match Wire.decode payload with
+    match Wire.decode_view payload with
     | Error _ -> drop t Malformed
     | Ok msg ->
       (* Incarnation fence: a message stamped by a previous life of its
@@ -544,26 +548,41 @@ let handle_incoming t ~src:_ payload =
 (* ------------------------------------------------------------------ *)
 (* Initiating operations (§4.7) *)
 
-let put t ~md:mdh ?(ack = true) (o : op) =
+let put t ~md:mdh ?(ack = true) ?length (o : op) =
   match find_md t mdh with
   | Error e -> Error e
   | Ok entry ->
     if not (Md.active entry.md) then Error Errors.Invalid_md
+    else if
+      match length with None -> false | Some l -> l < 0 || l > Md.length entry.md
+    then Error Errors.Invalid_arg
     else begin
       let md = entry.md in
-      let data = Md.read md ~offset:0 ~len:(Md.length md) in
+      let len = Option.value length ~default:(Md.length md) in
       let ack_requested = ack && not (Md.options md).Md.ack_disable in
+      (* The payload is blitted from MD memory straight into the wire
+         image ([encode_with]), skipping the intermediate copy an
+         [Md.read] would make — one allocation per put, not two. *)
       let msg =
         Wire.put_request ~ack_requested ~incarnation:(self_incarnation t)
-          ~initiator:t.self ~target:o.target ~portal_index:o.portal_index
-          ~cookie:o.cookie ~match_bits:o.match_bits ~offset:o.offset
-          ~md_handle:mdh ~eq_handle:(Md.eq_handle md) ~data ()
+          ~length:len ~initiator:t.self ~target:o.target
+          ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
+          ~eq_handle:(Md.eq_handle md) ~data:Bytes.empty ()
       in
       t.c.c_puts <- t.c.c_puts + 1;
       if ack_requested then Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
-      (* SENT once the message has left the local interface. *)
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target
+        (Wire.encode_with msg ~fill:(fun buf off ->
+             Md.blit_to md ~offset:0 ~len ~dst:buf ~dst_off:off));
+      (* SENT once the message has left the local interface. When the
+         descriptor has no event queue and an infinite threshold the
+         completion has no observable effect (no event to post, nothing
+         to consume or unlink), so it is elided — fire-and-forget senders
+         reusing a persistent descriptor pay no extra simulation event. *)
       let md_eq = Md.eq md in
+      if md_eq = None && Md.threshold md = Md.Infinite then Ok ()
+      else begin
       Scheduler.after (sched t) t.tp.Simnet.Transport.send_overhead (fun () ->
           (match md_eq with
           | None -> ()
@@ -574,8 +593,8 @@ let put t ~md:mdh ?(ack = true) (o : op) =
                 initiator = o.target;
                 portal_index = o.portal_index;
                 match_bits = o.match_bits;
-                rlength = Bytes.length data;
-                mlength = Bytes.length data;
+                rlength = len;
+                mlength = len;
                 offset = o.offset;
                 md_handle = mdh;
                 md_user_ptr = Md.user_ptr md;
@@ -586,7 +605,8 @@ let put t ~md:mdh ?(ack = true) (o : op) =
           match Handle.Table.find t.mds mdh with
           | None -> ()
           | Some entry -> consume_initiator t mdh entry);
-      Ok ()
+        Ok ()
+      end
     end
 
 let get t ~md:mdh (o : op) =

@@ -216,11 +216,20 @@ val op :
 (** Spec with cookie {!Acl.default_cookie_job}, zero match bits and zero
     offset. *)
 
-val put : t -> md:Handle.md -> ?ack:bool -> op -> (unit, Errors.t) result
-(** [PtlPut]: send the descriptor's entire region to the operation's
-    target. With [ack] (default true) and an ack-enabled descriptor, the
-    target acknowledges with the manipulated length (Table 2). A SENT
-    event is logged locally once the message has left. *)
+val put :
+  t -> md:Handle.md -> ?ack:bool -> ?length:int -> op -> (unit, Errors.t) result
+(** [PtlPut]: send the descriptor's region to the operation's target.
+    With [ack] (default true) and an ack-enabled descriptor, the target
+    acknowledges with the manipulated length (Table 2). A SENT event is
+    logged locally once the message has left; when nothing can observe
+    it — no event queue on the descriptor and an infinite threshold —
+    the local completion is elided entirely, so fire-and-forget senders
+    pay no extra simulation event per put.
+
+    [length] (default: the whole region) sends only the region's first
+    [length] bytes — the later Portals "put region" refinement; it lets
+    a sender reuse one descriptor over a scratch buffer for variable
+    sized messages instead of binding a fresh descriptor per send. *)
 
 val get : t -> md:Handle.md -> op -> (unit, Errors.t) result
 (** [PtlGet]: request the descriptor's length from the target; the reply

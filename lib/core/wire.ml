@@ -37,8 +37,9 @@ let op_of_code = function
   | 3 -> Some Reply
   | _ -> None
 
-let put_request ?(ack_requested = true) ?(incarnation = 0) ~initiator ~target
-    ~portal_index ~cookie ~match_bits ~offset ~md_handle ~eq_handle ~data () =
+let put_request ?(ack_requested = true) ?(incarnation = 0) ?length ~initiator
+    ~target ~portal_index ~cookie ~match_bits ~offset ~md_handle ~eq_handle
+    ~data () =
   {
     op = Put_request;
     ack_requested;
@@ -51,7 +52,7 @@ let put_request ?(ack_requested = true) ?(incarnation = 0) ~initiator ~target
     md_handle;
     eq_handle;
     incarnation;
-    length = Bytes.length data;
+    length = Option.value length ~default:(Bytes.length data);
     data;
   }
 
@@ -100,8 +101,7 @@ let reply_of_get ?incarnation t ~mlength ~data =
     data;
   }
 
-let encode t =
-  let buf = Bytes.create (header_size + Bytes.length t.data) in
+let write_header buf t =
   Bytes.set_uint8 buf 0 magic;
   Bytes.set_uint8 buf 1 version;
   Bytes.set_uint8 buf 2 (op_code t.op);
@@ -117,8 +117,18 @@ let encode t =
   Bytes.set_int64_le buf 44 (Handle.to_wire t.md_handle);
   Bytes.set_int64_le buf 52 (Handle.to_wire t.eq_handle);
   Bytes.set_int32_le buf 60 (Int32.of_int t.incarnation);
-  Bytes.set_int64_le buf 64 (Int64.of_int t.length);
+  Bytes.set_int64_le buf 64 (Int64.of_int t.length)
+
+let encode t =
+  let buf = Bytes.create (header_size + Bytes.length t.data) in
+  write_header buf t;
   Bytes.blit t.data 0 buf header_size (Bytes.length t.data);
+  buf
+
+let encode_with t ~fill =
+  let buf = Bytes.create (header_size + t.length) in
+  write_header buf t;
+  fill buf header_size;
   buf
 
 type decode_error =
@@ -134,7 +144,7 @@ let pp_decode_error ppf = function
   | Truncated { expected; got } ->
     Format.fprintf ppf "truncated message: need %d bytes, have %d" expected got
 
-let decode buf =
+let decode_gen ~extract_data buf =
   let got = Bytes.length buf in
   if got < header_size then Error (Truncated { expected = header_size; got })
   else if Bytes.get_uint8 buf 0 <> magic then Error Bad_magic
@@ -168,10 +178,19 @@ let decode buf =
               eq_handle = Handle.of_wire (Bytes.get_int64_le buf 52);
               incarnation = i32 60;
               length;
-              data = Bytes.sub buf header_size data_len;
+              data = extract_data buf data_len;
             }
     end
   end
+
+let decode buf =
+  decode_gen ~extract_data:(fun buf data_len -> Bytes.sub buf header_size data_len) buf
+
+(* The receive hot path blits payload straight from the wire image into
+   the matched memory descriptor, so [decode]'s per-message [Bytes.sub]
+   is pure overhead there. A viewed message aliases the whole image as
+   [data]; its payload bytes live at [header_size ..]. *)
+let decode_view buf = decode_gen ~extract_data:(fun buf _ -> buf) buf
 
 let field_inventory = function
   | Put_request ->

@@ -56,6 +56,7 @@ val header_size : int
 val put_request :
   ?ack_requested:bool ->
   ?incarnation:int ->
+  ?length:int ->
   initiator:Simnet.Proc_id.t ->
   target:Simnet.Proc_id.t ->
   portal_index:int ->
@@ -67,6 +68,9 @@ val put_request :
   data:bytes ->
   unit ->
   t
+(** [length] overrides the wire length field (default
+    [Bytes.length data]) — used with {!encode_with}, where the payload is
+    supplied by a blit instead of [data]. *)
 
 val ack_of_put : ?incarnation:int -> t -> mlength:int -> t
 (** Build the acknowledgment for a put request: fields echoed, initiator
@@ -94,6 +98,14 @@ val reply_of_get : ?incarnation:int -> t -> mlength:int -> data:bytes -> t
 
 val encode : t -> bytes
 
+val encode_with : t -> fill:(bytes -> int -> unit) -> bytes
+(** [encode_with t ~fill] allocates the wire image, writes the header
+    from [t], and calls [fill buf off] exactly once to deposit
+    [t.length] payload bytes at [off]; [t.data] is ignored. Initiators
+    use this to blit payload straight from MD memory into the image,
+    skipping the intermediate copy an [Md.read] + {!encode} pair would
+    make. *)
+
 type decode_error =
   | Bad_magic
   | Bad_version of int
@@ -103,6 +115,13 @@ type decode_error =
 val pp_decode_error : Format.formatter -> decode_error -> unit
 
 val decode : bytes -> (t, decode_error) result
+
+val decode_view : bytes -> (t, decode_error) result
+(** Like {!decode}, but without copying the payload: the returned [data]
+    is the {e whole} wire image, with payload bytes at
+    [\[header_size, header_size + length)]. The receive hot path uses
+    this to blit payload straight into the matched memory descriptor.
+    Do not re-{!encode} a viewed message. *)
 
 val field_inventory : op -> (string * string) list
 (** The (field, description) rows of the paper's corresponding table —

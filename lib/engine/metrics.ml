@@ -50,15 +50,27 @@ type entry = { name : string; labels : labels; mutable instrument : instrument }
 
 type t = {
   enabled : bool ref;
+  (* Time-series sampling is a separate, default-off level: every sample
+     allocates a point, and some series sample per message (EQ depth,
+     protocol windows) — too hot to pay in scaling sweeps that never read
+     the curves. Deep-dive experiments (Fig. 5/6 worlds) switch it on. *)
+  detail : bool ref;
   mutable rev_entries : entry list;
   tbl : (string * labels, entry) Hashtbl.t;
 }
 
-let create ?(enabled = true) () =
-  { enabled = ref enabled; rev_entries = []; tbl = Hashtbl.create 64 }
+let create ?(enabled = true) ?(detail = false) () =
+  {
+    enabled = ref enabled;
+    detail = ref detail;
+    rev_entries = [];
+    tbl = Hashtbl.create 64;
+  }
 
 let enabled t = !(t.enabled)
 let set_enabled t on = t.enabled := on
+let detail t = !(t.detail)
+let set_detail t on = t.detail := on
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -129,7 +141,7 @@ let summary t ?(labels = []) name =
 let series t ?(labels = []) name =
   match
     (register t name labels (fun () ->
-         Series { r_enabled = t.enabled; r_rev_points = []; r_len = 0 }))
+         Series { r_enabled = t.detail; r_rev_points = []; r_len = 0 }))
       .instrument
   with
   | Series s -> s

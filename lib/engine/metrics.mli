@@ -24,11 +24,22 @@ type t
 type labels = (string * string) list
 (** Label sets are normalised: sorted by key, duplicate keys collapsed. *)
 
-val create : ?enabled:bool -> unit -> t
-(** A fresh registry, enabled by default. *)
+val create : ?enabled:bool -> ?detail:bool -> unit -> t
+(** A fresh registry, enabled by default. [detail] (default [false])
+    additionally turns on time-series sampling — see {!set_detail}. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+val detail : t -> bool
+
+val set_detail : t -> bool -> unit
+(** Time-series sampling ({!push}) is a separate, default-off detail
+    level: every sample allocates a point, and some series sample once
+    per message (event-queue depth, protocol windows), which is too
+    expensive for large scaling runs that never read the curves.
+    Counters, gauges, probes and summaries are unaffected. Deep-dive
+    experiments that plot curves (the Fig. 5/6 worlds) enable it. *)
 
 val normalize_labels : labels -> labels
 val pp_labels : Format.formatter -> labels -> unit
@@ -57,7 +68,11 @@ val summary : t -> ?labels:labels -> string -> summary
 val observe : summary -> float -> unit
 
 val series : t -> ?labels:labels -> string -> series
+
 val push : series -> x:float -> y:float -> unit
+(** Record one point. No-op unless the registry's detail level is on
+    ({!set_detail}). *)
+
 val series_points : series -> (float * float) list
 val series_length : series -> int
 

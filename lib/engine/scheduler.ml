@@ -17,6 +17,7 @@ type t = {
   mutable next_fiber_id : int;
   mutable live : int;
   mutable stopping : bool;
+  mutable events : int;
   blocked : (int, blocked_entry) Hashtbl.t;
   domain_kills : (int, int) Hashtbl.t;
   mutable current : fiber option;
@@ -24,6 +25,18 @@ type t = {
   metrics : Metrics.t;
   mutable trace_slot : Trace.t option;
 }
+
+(* Process-wide totals, accumulated across every scheduler instance so a
+   harness can meter a whole experiment (which typically builds many
+   worlds) as a delta around its run — see [global_totals]. *)
+type totals = { t_events : int; t_fibers : int; t_sim_time : Time_ns.t }
+
+let g_events = ref 0
+let g_fibers = ref 0
+let g_sim_ns = ref 0
+
+let global_totals () =
+  { t_events = !g_events; t_fibers = !g_fibers; t_sim_time = !g_sim_ns }
 
 type _ Effect.t += Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
 
@@ -35,6 +48,7 @@ let create ?(seed = 0) ?(trace_capacity = 65536) () =
       next_fiber_id = 0;
       live = 0;
       stopping = false;
+      events = 0;
       blocked = Hashtbl.create 64;
       domain_kills = Hashtbl.create 8;
       current = None;
@@ -46,11 +60,20 @@ let create ?(seed = 0) ?(trace_capacity = 65536) () =
   (* The trace reads the clock through a closure because Trace cannot
      depend on this module (the scheduler owns the trace). *)
   t.trace_slot <- Some (Trace.create ~capacity:trace_capacity ~now:(fun () -> t.now) ());
+  Metrics.probe t.metrics "sched.events_processed" (fun () ->
+      float_of_int t.events);
+  Metrics.probe t.metrics "sched.fibers_spawned" (fun () ->
+      float_of_int t.next_fiber_id);
+  Metrics.probe t.metrics "sched.heap_peak" (fun () ->
+      float_of_int (Event_heap.peak_size t.heap));
   t
 
 let now t = t.now
 let prng t = t.prng
 let live_fibers t = t.live
+let events_processed t = t.events
+let fibers_spawned t = t.next_fiber_id
+let heap_peak t = Event_heap.peak_size t.heap
 let metrics t = t.metrics
 
 let trace t =
@@ -136,6 +159,7 @@ let spawn t ?(name = "fiber") ?domain f =
   let epoch = match domain with None -> 0 | Some d -> domain_epoch t d in
   let fiber = { id = t.next_fiber_id; name; domain; epoch } in
   t.next_fiber_id <- t.next_fiber_id + 1;
+  incr g_fibers;
   t.live <- t.live + 1;
   Event_heap.add t.heap ~time:t.now (fun () ->
       if fiber_dead t fiber then t.live <- t.live - 1
@@ -191,6 +215,12 @@ let blocked_names t =
     t.blocked []
   |> List.sort compare
 
+(* The inner loop drains every event scheduled for one instant in a single
+   batch: the stop/horizon checks and the clock write happen once per
+   distinct timestamp instead of once per event, and the heap is driven
+   through the non-allocating [min_time]/[pop_min] pair. Wakers firing at
+   the current instant land in the same batch (FIFO by heap sequence), so
+   ordering is identical to the one-event-at-a-time loop. *)
 let run ?until ?(allow_blocked = false) t =
   t.stopping <- false;
   let beyond time =
@@ -198,20 +228,33 @@ let run ?until ?(allow_blocked = false) t =
     | None -> false
     | Some limit -> Time_ns.compare time limit > 0
   in
+  let events0 = t.events in
   let rec loop () =
     if t.stopping then ()
-    else
-      match Event_heap.peek_time t.heap with
-      | None ->
-        if t.live > 0 && not allow_blocked && until = None then
-          raise (Deadlock (blocked_names t))
-      | Some time when beyond time -> ()
-      | Some _ ->
-        (match Event_heap.pop t.heap with
-        | None -> assert false
-        | Some (time, f) ->
-          t.now <- time;
-          f ());
+    else if Event_heap.is_empty t.heap then begin
+      if t.live > 0 && not allow_blocked && until = None then
+        raise (Deadlock (blocked_names t))
+    end
+    else begin
+      let time = Event_heap.min_time t.heap in
+      if beyond time then ()
+      else begin
+        g_sim_ns := !g_sim_ns + Time_ns.sub time t.now;
+        t.now <- time;
+        let continue = ref true in
+        while !continue do
+          let f = Event_heap.pop_min t.heap in
+          t.events <- t.events + 1;
+          f ();
+          if
+            t.stopping
+            || Event_heap.is_empty t.heap
+            || not (Time_ns.equal (Event_heap.min_time t.heap) time)
+          then continue := false
+        done;
         loop ()
+      end
+    end
   in
-  loop ()
+  Fun.protect ~finally:(fun () -> g_events := !g_events + (t.events - events0))
+    loop

@@ -104,3 +104,27 @@ val stop : t -> unit
 
 val live_fibers : t -> int
 (** Number of fibers spawned and not yet finished. *)
+
+(** {1 Performance counters}
+
+    Cheap run-loop instrumentation (plain integer increments on the hot
+    path; also exported as the metrics probes ["sched.events_processed"],
+    ["sched.fibers_spawned"] and ["sched.heap_peak"]). *)
+
+val events_processed : t -> int
+(** Events popped and executed by {!run} over this scheduler's lifetime. *)
+
+val fibers_spawned : t -> int
+(** Fibers ever created with {!spawn}. *)
+
+val heap_peak : t -> int
+(** High-water mark of the pending-event heap. *)
+
+type totals = { t_events : int; t_fibers : int; t_sim_time : Time_ns.t }
+(** Process-wide accumulation across {e every} scheduler instance:
+    events processed, fibers spawned, and simulated time advanced. *)
+
+val global_totals : unit -> totals
+(** Snapshot of the process-wide totals. Harnesses meter an experiment —
+    which may build many worlds — by taking the delta of two snapshots
+    around it; paired with a wall clock this yields sim-events/sec. *)

@@ -38,10 +38,16 @@ module Waitq = struct
   let broadcast t =
     (* Wake exactly the fibers waiting now; wakers run their fibers at the
        current instant, and a re-wait would enqueue into the same queue, so
-       drain a snapshot. *)
-    let snapshot = Queue.create () in
-    Queue.transfer t.waiters snapshot;
-    Queue.iter (fun waker -> waker ()) snapshot
+       drain a snapshot. The zero- and one-waiter cases (every event-queue
+       post broadcasts, usually to at most one blocked receiver) skip the
+       snapshot allocation. *)
+    match Queue.length t.waiters with
+    | 0 -> ()
+    | 1 -> ( match Queue.take_opt t.waiters with None -> () | Some w -> w ())
+    | _ ->
+      let snapshot = Queue.create () in
+      Queue.transfer t.waiters snapshot;
+      Queue.iter (fun waker -> waker ()) snapshot
 
   let waiters t = Queue.length t.waiters
 end

@@ -16,7 +16,10 @@ type span = {
 type t = {
   now : unit -> Time_ns.t;
   capacity : int;
-  ring : span option array;
+  (* Allocated on first [enable]: a disabled trace must cost nothing, and
+     every world carries one (the scheduler's default ring is 64 Ki slots —
+     too much to pay up front for runs that never trace). *)
+  mutable ring : span option array;
   mutable next : int;
   mutable count : int;
   mutable is_enabled : bool;
@@ -24,17 +27,21 @@ type t = {
 }
 
 let create ?(capacity = 4096) ?(log = false) ~now () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   {
     now;
     capacity;
-    ring = Array.make capacity None;
+    ring = [||];
     next = 0;
     count = 0;
     is_enabled = false;
     log;
   }
 
-let enable t = t.is_enabled <- true
+let enable t =
+  if Array.length t.ring = 0 then t.ring <- Array.make t.capacity None;
+  t.is_enabled <- true
+
 let disable t = t.is_enabled <- false
 let enabled t = t.is_enabled
 

@@ -26,7 +26,9 @@ type t
 
 val create : ?capacity:int -> ?log:bool -> now:(unit -> Time_ns.t) -> unit -> t
 (** [create ~now ()] is a disabled trace with the given ring [capacity]
-    (default 4096) reading timestamps from the [now] clock (normally
+    (default 4096; the ring itself is allocated lazily on the first
+    {!enable}, so disabled traces cost no memory) reading timestamps from
+    the [now] clock (normally
     [fun () -> Scheduler.now sched]; the clock is injected so the
     scheduler itself can own a trace). With [log:true], spans are also
     emitted at debug level through the ["sim"] log source. *)

@@ -14,3 +14,4 @@ module Drops = Drops
 module Ablation = Ablation
 module Rel_loss_sweep = Rel_loss_sweep
 module Crash_restart = Crash_restart
+module Perf = Perf

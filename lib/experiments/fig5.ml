@@ -33,6 +33,9 @@ let run ?(capture_trace = false) p =
   let world = Runtime.create_world ~transport:p.transport ~nodes:2 () in
   let sched = world.Runtime.sched in
   let registry = Scheduler.metrics sched in
+  (* This world's snapshot is the figure's data: record the EQ-depth and
+     protocol time-series, not just the counters. *)
+  Metrics.set_detail registry true;
   if capture_trace then Trace.enable (Scheduler.trace sched);
   let endpoints =
     Array.init 2 (fun rank ->

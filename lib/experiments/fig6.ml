@@ -54,7 +54,7 @@ let sweep ~registry ~capture_trace ~label ~message_size ~batch ~iterations
 
 let run ?(message_size = 50_000) ?(batch = 10) ?(iterations = 3)
     ?(work_ms = work_intervals_ms) ?(capture_trace = false) () =
-  let registry = Metrics.create () in
+  let registry = Metrics.create ~detail:true () in
   let sweep ~label ~backend ~transport ~tests_during_work =
     sweep ~registry ~capture_trace ~label ~message_size ~batch ~iterations
       ~work_ms ~backend ~transport ~tests_during_work

@@ -106,3 +106,95 @@ let pp_collectives ppf rows =
       Format.fprintf ppf "%-10d %-16.2f %-16.2f@." r.nodes r.barrier_us
         r.allreduce_us)
     rows
+
+type perf_row = {
+  p_nodes : int;
+  p_sim_events : int;
+  p_wall_s : float;
+  p_events_per_sec : float;
+}
+
+(* The simulator-throughput sweep: how fast the discrete-event engine
+   chews through a communication-heavy workload as the world grows. Each
+   round is a segmented gather (every rank sends [frags] small fragments
+   to rank 0, which claims them per-sender after the round's allreduce
+   has synchronised everyone) followed by an 8-float allreduce. The
+   gather leaves rank 0 with a deep unexpected-message queue claimed by
+   match bits, so the sweep is sensitive to both raw event cost and the
+   pool's claim-path complexity. Only the timed rounds are metered; world
+   construction and one warmup barrier run before the clock starts. *)
+let run_perf ?(node_counts = [ 64; 128; 256; 512; 1024 ]) ?(rounds = 4)
+    ?(frags = 4) () =
+  let root = 0 in
+  let measure n =
+    let world = Runtime.create_world ~nodes:n () in
+    let nis =
+      Array.map
+        (fun pid -> Portals.Ni.create world.Runtime.transport ~id:pid ())
+        world.Runtime.ranks
+    in
+    let colls =
+      Array.mapi
+        (fun rank ni -> Collectives.create ni ~ranks:world.Runtime.ranks ~rank ())
+        nis
+    in
+    (* The gather pool lives on its own portal entry, away from the
+       collectives' (default entry 6). *)
+    let pools =
+      Array.map (fun ni -> Collectives.Pool.create ni ~portal_index:7 ()) nis
+    in
+    Array.iter
+      (fun coll ->
+        Scheduler.spawn world.Runtime.sched (fun () -> Collectives.barrier coll))
+      colls;
+    Runtime.run world;
+    let payload = Bytes.create 8 in
+    Array.iteri
+      (fun rank coll ->
+        Scheduler.spawn world.Runtime.sched (fun () ->
+            for _ = 1 to rounds do
+              if rank <> root then
+                for _frag = 1 to frags do
+                  Collectives.Pool.send pools.(rank)
+                    ~dst:world.Runtime.ranks.(root)
+                    ~bits:(Portals.Match_bits.of_int rank)
+                    payload
+                done;
+              ignore (Collectives.allreduce_float_sum coll (Array.make 8 1.0));
+              if rank = root then
+                for k = 0 to n - 1 do
+                  if k <> root then
+                    for _frag = 1 to frags do
+                      ignore
+                        (Collectives.Pool.recv pools.(root)
+                           ~bits:(Portals.Match_bits.of_int k))
+                    done
+                done
+            done))
+      colls;
+    let e0 = (Scheduler.global_totals ()).Scheduler.t_events in
+    let t0 = Unix.gettimeofday () in
+    Runtime.run world;
+    let t1 = Unix.gettimeofday () in
+    let e1 = (Scheduler.global_totals ()).Scheduler.t_events in
+    let wall = t1 -. t0 and events = e1 - e0 in
+    {
+      p_nodes = n;
+      p_sim_events = events;
+      p_wall_s = wall;
+      p_events_per_sec =
+        (if wall > 0. then float_of_int events /. wall else 0.);
+    }
+  in
+  List.map measure node_counts
+
+let pp_perf ppf rows =
+  Format.fprintf ppf
+    "Simulator throughput (timed gather+allreduce rounds):@.";
+  Format.fprintf ppf "%-10s %-14s %-12s %-14s@." "nodes" "sim-events"
+    "wall(s)" "events/sec";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10d %-14d %-12.4f %-14.0f@." r.p_nodes
+        r.p_sim_events r.p_wall_s r.p_events_per_sec)
+    rows

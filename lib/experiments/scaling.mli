@@ -37,3 +37,21 @@ val run_collectives : ?node_counts:int list -> unit -> coll_row list
 (** Defaults: 2..256 nodes; allreduce of 8 float64s. *)
 
 val pp_collectives : Format.formatter -> coll_row list -> unit
+
+type perf_row = {
+  p_nodes : int;
+  p_sim_events : int;  (** Scheduler events processed in the timed phase. *)
+  p_wall_s : float;  (** Wall-clock seconds for the timed phase. *)
+  p_events_per_sec : float;
+}
+
+val run_perf :
+  ?node_counts:int list -> ?rounds:int -> ?frags:int -> unit -> perf_row list
+(** Simulator-throughput sweep: per node count, [rounds] timed rounds of
+    a segmented gather to rank 0 ([frags] 8-byte fragments per rank,
+    claimed per-sender by match bits after an allreduce has let them all
+    arrive unexpected) plus an 8-float allreduce. World setup and a
+    warmup barrier are excluded from the measurement. Defaults: 64, 128,
+    256, 512 and 1024 nodes, 4 rounds, 4 fragments. *)
+
+val pp_perf : Format.formatter -> perf_row list -> unit

@@ -15,11 +15,17 @@ type shim = {
   shim_rx : src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit;
 }
 
+type handler = src:Proc_id.t -> bytes -> unit
+
 type t = {
   fabric_sched : Scheduler.t;
   fabric_profile : Profile.t;
   nodes : Node.t array;
-  handlers : (Proc_id.t, src:Proc_id.t -> bytes -> unit) Hashtbl.t;
+  (* Per-node handler slots indexed by pid — [handlers.(nid).(pid)].
+     Delivery is the fabric's hottest operation, so the lookup is two
+     array loads instead of a hash of the (nid, pid) record. The pid
+     dimension grows on demand (procs-per-node is small, usually 1). *)
+  handlers : handler option array array;
   mutable fault : Fault.t option;
   mutable shim : shim option;
   sent : Stats.Counter.t;
@@ -30,11 +36,14 @@ type t = {
   dup_injected : Stats.Counter.t;
   crash_count : Stats.Counter.t;
   restart_count : Stats.Counter.t;
-  mutable crash_listeners : (Proc_id.nid -> unit) list;
-  mutable restart_listeners : (Proc_id.nid -> unit) list;
+  mutable crash_listeners : (Proc_id.nid -> unit) array;
+  mutable restart_listeners : (Proc_id.nid -> unit) array;
   (* Injected drops are counted per (src, dst) pair in the registry;
-     [stats] derives the total by summing this table. *)
-  drop_pairs : (Proc_id.t * Proc_id.t, Metrics.counter) Hashtbl.t;
+     [stats] derives the total by summing these. The common pid-0/pid-0
+     pair for each (src nid, dst nid) lives in a flat [nodes²] array;
+     pairs involving a nonzero pid fall back to the table. *)
+  drop_pairs_nid : Metrics.counter option array;
+  drop_pairs_other : (Proc_id.t * Proc_id.t, Metrics.counter) Hashtbl.t;
 }
 
 let create sched ~profile ~nodes =
@@ -44,7 +53,7 @@ let create sched ~profile ~nodes =
       fabric_sched = sched;
       fabric_profile = profile;
       nodes = Array.init nodes (fun nid -> Node.create sched ~nid ~profile);
-      handlers = Hashtbl.create 64;
+      handlers = Array.make nodes [||];
       fault = None;
       shim = None;
       sent = Stats.Counter.create ~name:"fabric.sent" ();
@@ -55,9 +64,10 @@ let create sched ~profile ~nodes =
       dup_injected = Stats.Counter.create ~name:"fabric.dup_injected" ();
       crash_count = Stats.Counter.create ~name:"fabric.crashes" ();
       restart_count = Stats.Counter.create ~name:"fabric.restarts" ();
-      crash_listeners = [];
-      restart_listeners = [];
-      drop_pairs = Hashtbl.create 16;
+      crash_listeners = [||];
+      restart_listeners = [||];
+      drop_pairs_nid = Array.make (nodes * nodes) None;
+      drop_pairs_other = Hashtbl.create 16;
     }
   in
   let m = Scheduler.metrics sched in
@@ -82,18 +92,46 @@ let node t nid =
     invalid_arg (Printf.sprintf "Fabric.node: nid %d out of range" nid);
   t.nodes.(nid)
 
+let find_handler t pid =
+  let nid = pid.Proc_id.nid and p = pid.Proc_id.pid in
+  if nid < 0 || nid >= Array.length t.handlers || p < 0 then None
+  else
+    let slots = t.handlers.(nid) in
+    if p >= Array.length slots then None else slots.(p)
+
 let register t pid handler =
-  if Hashtbl.mem t.handlers pid then
+  if find_handler t pid <> None then
     invalid_arg ("Fabric.register: already registered: " ^ Proc_id.to_string pid);
   ignore (node t pid.Proc_id.nid);
-  Hashtbl.replace t.handlers pid handler
+  let p = pid.Proc_id.pid in
+  if p < 0 then
+    invalid_arg ("Fabric.register: negative pid: " ^ Proc_id.to_string pid);
+  let slots = t.handlers.(pid.Proc_id.nid) in
+  let slots =
+    if p < Array.length slots then slots
+    else begin
+      let grown = Array.make (max (p + 1) (2 * Array.length slots)) None in
+      Array.blit slots 0 grown 0 (Array.length slots);
+      t.handlers.(pid.Proc_id.nid) <- grown;
+      grown
+    end
+  in
+  slots.(p) <- Some handler
 
-let unregister t pid = Hashtbl.remove t.handlers pid
-let is_registered t pid = Hashtbl.mem t.handlers pid
+let unregister t pid =
+  let nid = pid.Proc_id.nid and p = pid.Proc_id.pid in
+  if nid >= 0 && nid < Array.length t.handlers && p >= 0 then begin
+    let slots = t.handlers.(nid) in
+    if p < Array.length slots then slots.(p) <- None
+  end
+
+let is_registered t pid = find_handler t pid <> None
 let is_node_up t nid = Node.is_up (node t nid)
 let incarnation t nid = Node.incarnation (node t nid)
-let on_crash t f = t.crash_listeners <- t.crash_listeners @ [ f ]
-let on_restart t f = t.restart_listeners <- t.restart_listeners @ [ f ]
+
+let append_listener arr f = Array.append arr [| f |]
+let on_crash t f = t.crash_listeners <- append_listener t.crash_listeners f
+let on_restart t f = t.restart_listeners <- append_listener t.restart_listeners f
 
 let crash t nid =
   let n = node t nid in
@@ -101,20 +139,15 @@ let crash t nid =
   Stats.Counter.incr t.crash_count;
   (* Volatile state dies with the node: its processes disappear from the
      fabric and its resident fibers are destroyed. *)
-  let victims =
-    Hashtbl.fold
-      (fun pid _ acc -> if pid.Proc_id.nid = nid then pid :: acc else acc)
-      t.handlers []
-  in
-  List.iter (Hashtbl.remove t.handlers) victims;
+  Array.fill t.handlers.(nid) 0 (Array.length t.handlers.(nid)) None;
   ignore (Scheduler.kill_domain t.fabric_sched nid);
-  List.iter (fun f -> f nid) t.crash_listeners
+  Array.iter (fun f -> f nid) t.crash_listeners
 
 let restart t nid =
   let n = node t nid in
   Node.restart n;
   Stats.Counter.incr t.restart_count;
-  List.iter (fun f -> f nid) t.restart_listeners
+  Array.iter (fun f -> f nid) t.restart_listeners
 
 let apply_crash_schedule t schedule =
   List.iter
@@ -146,22 +179,32 @@ let install_shim t shim =
 
 let has_shim t = t.shim <> None
 
+let make_drop_pair_counter t ~src ~dst =
+  Metrics.counter
+    (Scheduler.metrics t.fabric_sched)
+    ~labels:[ ("src", Proc_id.to_string src); ("dst", Proc_id.to_string dst) ]
+    "fabric.drops_injected"
+
 let drop_pair_counter t ~src ~dst =
-  match Hashtbl.find_opt t.drop_pairs (src, dst) with
-  | Some c -> c
-  | None ->
-    let c =
-      Metrics.counter
-        (Scheduler.metrics t.fabric_sched)
-        ~labels:
-          [ ("src", Proc_id.to_string src); ("dst", Proc_id.to_string dst) ]
-        "fabric.drops_injected"
-    in
-    Hashtbl.replace t.drop_pairs (src, dst) c;
-    c
+  if src.Proc_id.pid = 0 && dst.Proc_id.pid = 0 then begin
+    let idx = (src.Proc_id.nid * Array.length t.nodes) + dst.Proc_id.nid in
+    match t.drop_pairs_nid.(idx) with
+    | Some c -> c
+    | None ->
+      let c = make_drop_pair_counter t ~src ~dst in
+      t.drop_pairs_nid.(idx) <- Some c;
+      c
+  end
+  else
+    match Hashtbl.find_opt t.drop_pairs_other (src, dst) with
+    | Some c -> c
+    | None ->
+      let c = make_drop_pair_counter t ~src ~dst in
+      Hashtbl.replace t.drop_pairs_other (src, dst) c;
+      c
 
 let deliver t ~src ~dst payload =
-  match Hashtbl.find_opt t.handlers dst with
+  match find_handler t dst with
   | None -> Stats.Counter.incr t.drop_unregistered
   | Some handler ->
     Stats.Counter.incr t.delivered;
@@ -227,8 +270,12 @@ let stats t =
     drops_unregistered = Stats.Counter.value t.drop_unregistered;
     drops_crashed = Stats.Counter.value t.drop_crashed;
     drops_injected =
-      Hashtbl.fold
-        (fun _ c acc -> acc + Metrics.counter_value c)
-        t.drop_pairs 0;
+      Array.fold_left
+        (fun acc c ->
+          match c with None -> acc | Some c -> acc + Metrics.counter_value c)
+        (Hashtbl.fold
+           (fun _ c acc -> acc + Metrics.counter_value c)
+           t.drop_pairs_other 0)
+        t.drop_pairs_nid;
     dups_injected = Stats.Counter.value t.dup_injected;
   }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Acceptance smoke tests, shared by `make smoke` and CI. Each block must
+# stay cheap (seconds): these guard observable behaviour at fixed seeds,
+# not performance. Set DUNE to wrap dune (CI uses "opam exec -- dune").
+set -euo pipefail
+
+DUNE=${DUNE:-dune}
+OUT=${SMOKE_OUT:-_build/smoke}
+mkdir -p "$OUT"
+
+echo "== smoke: fig6 metrics + trace =="
+$DUNE exec bin/portals_repro.exe -- \
+  --experiment fig6 --metrics=json --trace-out "$OUT/fig6.trace.json"
+python3 -c "import json; json.load(open('$OUT/fig6.trace.json'))"
+
+echo "== smoke: rel_loss_sweep at a fixed seed =="
+$DUNE exec bin/portals_repro.exe -- \
+  --experiment rel_loss_sweep --metrics=json --seed 42 \
+  | tee "$OUT/rel_loss_sweep.out"
+grep -q 'rel.retransmits' "$OUT/rel_loss_sweep.out"
+grep -q 'fabric.drops_injected' "$OUT/rel_loss_sweep.out"
+
+echo "== smoke: crash campaign (one mid-run restart, fixed seed) =="
+# Both backends through the identical crash + restart schedule; the run
+# must terminate (no deadlock) and print one row each.
+$DUNE exec bin/portals_repro.exe -- \
+  crash-restart --run-seed 42 | tee "$OUT/crash_restart.out"
+grep -q '^portals ' "$OUT/crash_restart.out"
+grep -q '^gm ' "$OUT/crash_restart.out"
+# The same schedule on a lossy, flapping wire: crash recovery must
+# compose with the wire fault models.
+$DUNE exec bin/portals_repro.exe -- \
+  crash-restart --run-seed 42 --fault "bernoulli:0.02+flap:400:40"
+
+echo "== smoke: ok =="

@@ -232,10 +232,63 @@ let float_helpers_tests =
           (Collectives.floats_of_bytes acc));
   ]
 
+let pool_tests =
+  [
+    Alcotest.test_case "recv claims by bits; FIFO within a key" `Quick
+      (fun () ->
+        (* Two senders address rank 0 under distinct match bits; the root
+           claims them out of global arrival order. Claims by one key must
+           not disturb the other key's queue, and within a key messages
+           come out in arrival order — the contract the keyed pending
+           table in Pool.take provides. *)
+        let world = Runtime.create_world ~nodes:3 () in
+        let nis =
+          Array.map
+            (fun pid -> Portals.Ni.create world.Runtime.transport ~id:pid ())
+            world.Runtime.ranks
+        in
+        let pools =
+          Array.map
+            (fun ni -> Collectives.Pool.create ni ~portal_index:6 ())
+            nis
+        in
+        let root = world.Runtime.ranks.(0) in
+        let send_all rank msgs =
+          Scheduler.spawn world.Runtime.sched (fun () ->
+              List.iter
+                (fun m ->
+                  Collectives.Pool.send pools.(rank) ~dst:root
+                    ~bits:(Portals.Match_bits.of_int rank)
+                    (Bytes.of_string m))
+                msgs)
+        in
+        send_all 1 [ "a1"; "a2"; "a3" ];
+        send_all 2 [ "b1"; "b2" ];
+        let got = ref [] in
+        Scheduler.spawn world.Runtime.sched (fun () ->
+            (* Let every message land unclaimed before the first recv, so
+               claims really do run against a populated pool. *)
+            Scheduler.delay world.Runtime.sched (Time_ns.ms 10.);
+            let take key =
+              got :=
+                Bytes.to_string
+                  (Collectives.Pool.recv pools.(0)
+                     ~bits:(Portals.Match_bits.of_int key))
+                :: !got
+            in
+            List.iter take [ 2; 1; 2; 1; 1 ]);
+        Runtime.run world;
+        Alcotest.(check (list string))
+          "per-key order" [ "b1"; "a1"; "b2"; "a2"; "a3" ] (List.rev !got);
+        Alcotest.(check int) "pool drained" 0
+          (Collectives.Pool.pending pools.(0)));
+  ]
+
 let () =
   Alcotest.run "collectives"
     [
       ("barrier", barrier_tests);
       ("data", data_tests);
       ("helpers", float_helpers_tests);
+      ("pool", pool_tests);
     ]

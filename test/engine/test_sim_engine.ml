@@ -131,6 +131,40 @@ let heap_tests =
              | [ _ ] | [] -> true
            in
            check sorted));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pop order under interleaved add/pop" ~count:300
+         (* Negative = pop, otherwise add at that time. Interleaving
+            exercises the sift paths against a part-drained heap, which
+            add-all-then-drain never does. *)
+         QCheck.(list (int_range (-3) 40))
+         (fun ops ->
+           let h = Event_heap.create () in
+           let pending = ref [] in
+           let idx = ref 0 in
+           let ok = ref true in
+           let pop_and_check () =
+             match !pending with
+             | [] -> ()
+             | p0 :: ps ->
+               let expected = List.fold_left min p0 ps in
+               let t = Event_heap.min_time h in
+               let got = Event_heap.pop_min h in
+               if got <> expected || t <> fst expected then ok := false;
+               pending := List.filter (fun e -> e <> expected) !pending
+           in
+           List.iter
+             (fun op ->
+               if op < 0 then pop_and_check ()
+               else begin
+                 Event_heap.add h ~time:op (op, !idx);
+                 pending := (op, !idx) :: !pending;
+                 incr idx
+               end)
+             ops;
+           while !pending <> [] do
+             pop_and_check ()
+           done;
+           !ok && Event_heap.is_empty h));
   ]
 
 let scheduler_tests =
@@ -284,6 +318,39 @@ let scheduler_tests =
         Alcotest.(check bool) "Killed reached the fiber" true !cleanup;
         Alcotest.(check bool) "body after the block never ran" false !finished;
         Alcotest.(check int) "no fibers left" 0 (Scheduler.live_fibers sched));
+    Alcotest.test_case "counters track processed events and spawns" `Quick
+      (fun () ->
+        let before = Scheduler.global_totals () in
+        let sched = Scheduler.create () in
+        for i = 1 to 5 do
+          Scheduler.at sched (i * 10) ignore
+        done;
+        Scheduler.spawn sched (fun () -> Scheduler.delay sched 7);
+        Scheduler.run sched;
+        let local = Scheduler.events_processed sched in
+        Alcotest.(check bool) "at least the five timers" true (local >= 5);
+        let after = Scheduler.global_totals () in
+        Alcotest.(check int) "global event delta matches the run" local
+          (after.Scheduler.t_events - before.Scheduler.t_events);
+        Alcotest.(check int) "global fiber delta" 1
+          (after.Scheduler.t_fibers - before.Scheduler.t_fibers);
+        Alcotest.(check bool) "sim time advanced" true
+          (after.Scheduler.t_sim_time - before.Scheduler.t_sim_time >= 50));
+    Alcotest.test_case "batched run keeps same-instant FIFO" `Quick (fun () ->
+        (* The run loop drains same-timestamp events in one batch; an event
+           scheduled for the current instant from inside the batch must
+           still run after the already-queued ones (seq order). *)
+        let sched = Scheduler.create () in
+        let order = ref [] in
+        let record tag () = order := tag :: !order in
+        Scheduler.at sched 10 (fun () ->
+            record "a" ();
+            Scheduler.at sched 10 (record "d"));
+        Scheduler.at sched 10 (record "b");
+        Scheduler.at sched 10 (record "c");
+        Scheduler.run sched;
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c"; "d" ]
+          (List.rev !order));
     Alcotest.test_case "kill_domain spares the next incarnation" `Quick
       (fun () ->
         let sched = Scheduler.create () in
@@ -690,7 +757,7 @@ let metrics_tests =
           Alcotest.(check (float 1e-9)) "total" 10.0 total
         | _ -> Alcotest.fail "summary missing");
     Alcotest.test_case "series keeps ordered points" `Quick (fun () ->
-        let m = Metrics.create () in
+        let m = Metrics.create ~detail:true () in
         let s = Metrics.series m ~labels:[ ("eq", "0:0#0") ] "eq.depth" in
         Metrics.push s ~x:1.0 ~y:1.0;
         Metrics.push s ~x:2.0 ~y:2.0;

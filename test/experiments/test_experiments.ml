@@ -417,9 +417,107 @@ let crash_restart_tests =
           = strip (Experiments.Crash_restart.run ~seed:3 ())));
   ]
 
+let perf_tests =
+  let open Experiments.Perf in
+  (* Synthetic records use values exactly representable at the JSON
+     writer's printed precision, so round trips compare cleanly. *)
+  let mk ?(events = 5000) id eps =
+    {
+      id;
+      wall_s = 0.125;
+      sim_events = events;
+      fibers = 3;
+      sim_time_us = 250.125;
+      events_per_sec = eps;
+      peak_heap_words = 4096;
+    }
+  in
+  [
+    Alcotest.test_case "json round trip preserves every field" `Quick
+      (fun () ->
+        let records = [ mk "T1" 40_000.0; mk ~events:20_656 "S3" 1.65e6 ] in
+        match of_json_string (to_json records) with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok back ->
+          Alcotest.(check int) "count" 2 (List.length back);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check string) "id" a.id b.id;
+              Alcotest.(check int) "sim_events" a.sim_events b.sim_events;
+              Alcotest.(check int) "fibers" a.fibers b.fibers;
+              Alcotest.(check (float 1e-9)) "sim_time_us" a.sim_time_us
+                b.sim_time_us;
+              Alcotest.(check (float 1e-9)) "wall_s" a.wall_s b.wall_s;
+              Alcotest.(check (float 0.11)) "events_per_sec" a.events_per_sec
+                b.events_per_sec;
+              Alcotest.(check int) "peak_heap_words" a.peak_heap_words
+                b.peak_heap_words)
+            records back);
+    Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match of_json_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted %S" s)
+          [ ""; "{"; "{\"records\": [}"; "[1,2,3]"; "{\"schema\": 42}" ]);
+    Alcotest.test_case "gate flags drops beyond tolerance only" `Quick
+      (fun () ->
+        let baseline = [ mk "T1" 100_000.0; mk "F5" 200_000.0 ] in
+        let current = [ mk "T1" 80_000.0; mk "F5" 195_000.0 ] in
+        (* T1 dropped 20%: inside a 25% tolerance, outside a 10% one. *)
+        Alcotest.(check int) "25% passes" 0
+          (List.length (compare_baseline ~baseline ~current ~tolerance_pct:25.));
+        (match compare_baseline ~baseline ~current ~tolerance_pct:10. with
+        | [ r ] ->
+          Alcotest.(check string) "flagged id" "T1" r.r_id;
+          Alcotest.(check (float 1e-6)) "ratio" 0.8 r.r_ratio
+        | rs -> Alcotest.failf "expected one regression, got %d" (List.length rs)));
+    Alcotest.test_case "gate skips tiny runs and unmatched ids" `Quick
+      (fun () ->
+        (* 500 events finish in microseconds; their events/sec is timer
+           noise, so even a 10x drop must not trip the gate. Ids present
+           on only one side are ignored rather than failed. *)
+        let baseline = [ mk ~events:500 "F1" 1e6; mk "OLD" 100_000.0 ] in
+        let current = [ mk ~events:500 "F1" 1e5; mk "NEW" 50.0 ] in
+        Alcotest.(check int) "nothing flagged" 0
+          (List.length (compare_baseline ~baseline ~current ~tolerance_pct:25.)));
+    Alcotest.test_case "same-seed runs agree on sim-side fields" `Slow
+      (fun () ->
+        let a = all ~quick:true () in
+        let b = all ~quick:true () in
+        Alcotest.(check (list string)) "same ids"
+          (List.map (fun r -> r.id) a)
+          (List.map (fun r -> r.id) b);
+        List.iter2
+          (fun ra rb ->
+            Alcotest.(check int) (ra.id ^ " sim_events") ra.sim_events
+              rb.sim_events;
+            Alcotest.(check int) (ra.id ^ " fibers") ra.fibers rb.fibers;
+            Alcotest.(check (float 1e-6)) (ra.id ^ " sim_time_us")
+              ra.sim_time_us rb.sim_time_us)
+          a b);
+    Alcotest.test_case "scaling sweep rows are well-formed" `Quick (fun () ->
+        let rows =
+          Experiments.Scaling.run_perf ~node_counts:[ 16; 32 ] ~rounds:2 ()
+        in
+        match rows with
+        | [ small; big ] ->
+          Alcotest.(check int) "nodes" 16 small.Experiments.Scaling.p_nodes;
+          Alcotest.(check bool) "events grow with nodes" true
+            (big.Experiments.Scaling.p_sim_events
+            > small.Experiments.Scaling.p_sim_events);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "positive throughput" true
+                (r.Experiments.Scaling.p_events_per_sec > 0.))
+            rows
+        | _ -> Alcotest.fail "two rows");
+  ]
+
 let () =
   Alcotest.run "experiments"
     [
+      ("perf", perf_tests);
       ("tables", tables_tests);
       ("protocols", protocol_tests);
       ("translation", translation_tests);
