@@ -1,6 +1,6 @@
 # Convenience entry points; CI runs `make ci` plus the perf gate.
 
-.PHONY: all build test fmt bench bench-json perf-gate smoke ci clean
+.PHONY: all build test fmt doc bench bench-json perf-gate smoke ci clean
 
 all: build
 
@@ -16,6 +16,16 @@ fmt:
 		dune build @fmt; \
 	else \
 		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+# API reference from the .mli doc comments; advisory when odoc is not
+# installed locally. CI always runs `dune build @doc`.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @doc; \
+		echo "HTML: _build/default/_doc/_html/index.html"; \
+	else \
+		echo "odoc not installed; skipping doc build (CI runs it)"; \
 	fi
 
 bench:

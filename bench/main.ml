@@ -8,7 +8,8 @@
      F3/F4  address translation         F5/F6  application bypass
      L1     ping-pong latency           B1     streaming bandwidth
      S1/S2  scalability                 A1/A2  drop accounting, ablations
-     R1     reliability under loss      C1     crash-restart recovery *)
+     R1     reliability under loss      C1     crash-restart recovery
+     N1     topology congestion sweep *)
 
 open Bechamel
 open Toolkit
@@ -39,6 +40,11 @@ let usage ppf =
      \                          join with +)@.\
      \  --crash SPEC            node crash schedule, NID@@DOWN_US[:UP_US],@.\
      \                          comma separated@.\
+     \  --topology SPEC         interconnect shape for every world: full,@.\
+     \                          ring, torus2d[:AxB], torus3d[:AxBxC] or@.\
+     \                          fattree[:K] (default full, the seed fabric)@.\
+     \  --queue-limit N         bound each shared hop link's queue; beyond@.\
+     \                          it messages become congestion drops@.\
      \  --json OUT              performance mode: run every experiment@.\
      \                          metered, write records to OUT, skip the@.\
      \                          report and Bechamel (see EXPERIMENTS.md)@.\
@@ -150,6 +156,17 @@ let parse_opts () =
         value ~what:"SPEC" rest (fun v rest ->
             run_env_set (fun () -> Runtime.set_run_env ~crashes:v ());
             go rest)
+      | "--topology" ->
+        value ~what:"SPEC" rest (fun v rest ->
+            run_env_set (fun () -> Runtime.set_run_env ~topology:v ());
+            go rest)
+      | "--queue-limit" ->
+        value ~what:"N" rest (fun v rest ->
+            match int_of_string_opt v with
+            | Some n when n > 0 ->
+              Runtime.set_run_env ~queue_limit:n ();
+              go rest
+            | _ -> bad ("bad queue limit " ^ v))
       | _ -> bad ("unknown argument " ^ arg))
   in
   go (List.tl (Array.to_list Sys.argv))
@@ -223,6 +240,11 @@ let print_all opts =
     "C1: crash-restart recovery (section 3: connectionless peers)@.";
   line ppf;
   Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ());
+  line ppf;
+  Format.fprintf ppf
+    "N1: traffic patterns vs interconnect topology (section 2: Cplant scale)@.";
+  line ppf;
+  Experiments.Congestion.pp ppf (Experiments.Congestion.run ());
   line ppf
 
 (* One Bechamel test per experiment: how long the harness takes to
@@ -281,6 +303,11 @@ let tests =
       (Staged.stage (fun () ->
            ignore
              (Experiments.Ablation.run_threshold ~sizes:[ 32_768; 131_072 ] ())));
+    Test.make ~name:"congestion_sweep"
+      (Staged.stage (fun () ->
+           ignore
+             (Experiments.Congestion.run ~topologies:[ "torus2d" ]
+                ~msgs_per_peer:2 ())));
   ]
 
 let benchmark () =
@@ -347,10 +374,18 @@ let footer ~wall_s =
 let () =
   let t0 = Unix.gettimeofday () in
   let opts = parse_opts () in
-  match opts.json_out with
-  | Some out -> perf_mode opts out
-  | None ->
-    print_all opts;
-    benchmark ();
-    footer ~wall_s:(Unix.gettimeofday () -. t0);
-    Format.printf "@.bench: done@."
+  (* Env specs that are only validated against a concrete world — e.g.
+     a fixed-dimension topology that cannot host some experiment's node
+     count — raise [Invalid_argument] mid-run; report them as usage
+     errors. *)
+  try
+    match opts.json_out with
+    | Some out -> perf_mode opts out
+    | None ->
+      print_all opts;
+      benchmark ();
+      footer ~wall_s:(Unix.gettimeofday () -. t0);
+      Format.printf "@.bench: done@."
+  with Invalid_argument msg ->
+    Format.eprintf "bench: %s@." msg;
+    exit 2

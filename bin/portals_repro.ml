@@ -85,6 +85,32 @@ let env_term =
              $(b,NID\\@DOWN_US:UP_US) (restart with a fresh incarnation \
              at UP_US). Applied to every world the experiment builds.")
   in
+  let topology =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ] ~docv:"NAME[:DIMS]"
+          ~doc:
+            "Interconnect topology for every world the experiment \
+             builds: $(b,full) (default; private wires, the seed \
+             model), $(b,ring), $(b,torus2d\\[:AxB\\]), \
+             $(b,torus3d\\[:AxBxC\\]) or $(b,fattree\\[:K\\]). Without \
+             explicit dimensions the shape is fitted to each world's \
+             node count; with them, the product must match. Messages \
+             then hop across shared links (dimension-order or up/down \
+             routed) and contend.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Bound each shared hop link's queue at $(docv) outstanding \
+             transmissions; overload beyond it is congestion-dropped \
+             (and re-sent by the reliability shim when one is \
+             attached). Only meaningful with a non-full $(b,--topology).")
+  in
   let perf =
     Arg.(
       value & flag
@@ -94,7 +120,7 @@ let env_term =
              events processed, fibers spawned, simulated time, wall time \
              and sim-events/sec.")
   in
-  let set loss seed fault crashes perf =
+  let set loss seed fault crashes topology queue_limit perf =
     if perf then begin
       let t0 = Unix.gettimeofday () in
       at_exit (fun () ->
@@ -110,11 +136,14 @@ let env_term =
             wall
             (if wall > 0. then float_of_int events /. wall else 0.))
     end;
-    match Runtime.set_run_env ?loss ?seed ?fault ?crashes () with
+    match
+      Runtime.set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit ()
+    with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
-  Term.(ret (const set $ loss $ seed $ fault $ crash $ perf))
+  Term.(
+    ret (const set $ loss $ seed $ fault $ crash $ topology $ queue_limit $ perf))
 
 (* --- observability flags ------------------------------------------------ *)
 
@@ -420,6 +449,59 @@ let crash_restart_cmd =
           Portals vs GM (C1)")
     Term.(const run $ env_term $ msgs $ size $ down_at $ up_at $ horizon $ seed)
 
+let run_congestion ?nodes ?topologies ?msgs_per_peer ?size ?queue_limit ?seed
+    ~metrics () =
+  let registry = Sim_engine.Metrics.create () in
+  let rows =
+    Experiments.Congestion.run ?nodes ?topologies ?msgs_per_peer ?size
+      ?queue_limit ?seed ~registry ()
+  in
+  Experiments.Congestion.pp ppf rows;
+  match metrics with
+  | None -> ()
+  | Some format ->
+    Sim_engine.Report.print ~format ppf (Sim_engine.Metrics.snapshot registry);
+    Format.pp_print_flush ppf ()
+
+let congestion_cmd =
+  let run () nodes topologies msgs size queue_limit seed metrics =
+    run_congestion ~nodes ~topologies ~msgs_per_peer:msgs ~size ?queue_limit
+      ~seed ~metrics ()
+  in
+  let nodes =
+    Arg.(value & opt int 16 & info [ "nodes" ] ~doc:"Nodes per world")
+  in
+  let topologies =
+    Arg.(
+      value
+      & opt (list ~sep:',' string) Experiments.Congestion.default_topologies
+      & info [ "topologies" ]
+          ~doc:"Topology specs to sweep (comma separated; see --topology)")
+  in
+  let msgs =
+    Arg.(value & opt int 8 & info [ "msgs" ] ~doc:"Messages per (src, peer) pair")
+  in
+  let size =
+    Arg.(value & opt int 4096 & info [ "size" ] ~doc:"Message size in bytes")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~doc:"Hop-link queue limit (congestion drops beyond it)")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  Cmd.v
+    (Cmd.info "congestion"
+       ~doc:
+         "All-to-all vs nearest-neighbor goodput across interconnect \
+          topologies (N1)")
+    Term.(
+      const run $ env_term $ nodes $ topologies $ msgs $ size $ queue_limit
+      $ seed $ metrics_arg)
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -435,7 +517,8 @@ let all_cmd =
     Experiments.Ablation.pp_threshold ppf (Experiments.Ablation.run_threshold ());
     Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
     Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ());
-    Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ())
+    Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ());
+    Experiments.Congestion.pp ppf (Experiments.Congestion.run ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
     Term.(const run $ env_term)
@@ -502,6 +585,9 @@ let default_term =
     | Some (("crash_restart" | "crash-restart") as n) ->
       plain n (fun () ->
           Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ()))
+    | Some "congestion" when trace_out = None ->
+      run_congestion ~metrics ();
+      `Ok ()
     | Some other ->
       `Error
         ( false,
@@ -513,12 +599,20 @@ let default_term =
 let () =
   let doc = "Reproduction harness for Portals 3.0 (IPPS 2002)" in
   let info = Cmd.info "portals_repro" ~version:"1.0" ~doc in
+  (* Domain validation that only triggers inside an experiment body —
+     e.g. a topology spec whose dimensions cannot host that
+     experiment's world size — surfaces as [Invalid_argument]; render
+     it like any other usage error instead of a crash. *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default:default_term info
-          [
-            tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
-            bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
-            drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-            all_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group ~default:default_term info
+            [
+              tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
+              bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
+              drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
+              congestion_cmd; all_cmd;
+            ])
+     with Invalid_argument msg ->
+       Format.eprintf "portals_repro: %s@." msg;
+       1)

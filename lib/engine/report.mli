@@ -15,3 +15,6 @@ val pp_table : ?series_points:bool -> Format.formatter -> Metrics.Snapshot.t -> 
     entries are followed by their individual (x, y) rows. *)
 
 val print : ?format:format -> Format.formatter -> Metrics.Snapshot.t -> unit
+(** Render in the chosen [format] (default [Table]): {!pp_table} with
+    series points, or {!to_json}. The one entry point the CLIs'
+    [--metrics\[=table|json\]] flags feed. *)

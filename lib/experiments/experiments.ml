@@ -15,3 +15,4 @@ module Ablation = Ablation
 module Rel_loss_sweep = Rel_loss_sweep
 module Crash_restart = Crash_restart
 module Perf = Perf
+module Congestion = Congestion

@@ -22,6 +22,35 @@ let env_loss = ref 0.
 let env_seed = ref 0
 let env_fault : string option ref = ref None
 let env_crashes : Simnet.Fault.crash_schedule option ref = ref None
+let env_topology : string option ref = ref None
+let env_queue_limit : int option ref = ref None
+
+(* A topology spec with explicit dimensions implies its own node count;
+   validate against that so "--topology torus2d:4x3" is rejected up
+   front if malformed, while dimension-less specs ("torus2d") stay
+   polymorphic in the world size. *)
+let validate_topology_spec spec =
+  let implied_nodes =
+    match String.split_on_char ':' (String.trim (String.lowercase_ascii spec)) with
+    | [ _; dims ] -> (
+      match
+        List.map int_of_string_opt (String.split_on_char 'x' dims)
+      with
+      | parts when List.for_all (function Some d -> d > 0 | None -> false) parts
+        ->
+        let ds = List.map Option.get parts in
+        if List.length ds = 1 then
+          (* fattree:K implies K^3/4 hosts. *)
+          let k = List.hd ds in
+          Some (k * k * k / 4)
+        else Some (List.fold_left ( * ) 1 ds)
+      | _ -> None)
+    | _ -> None
+  in
+  ignore
+    (Simnet.Topology.of_spec
+       ~nodes:(Option.value ~default:16 implied_nodes)
+       spec)
 
 (* "bernoulli:P" | "gilbert:P_ENTER:P_EXIT" | "duplicate:P"
    | "flap:PERIOD_US:DOWN_US" | "none", composable with "+"
@@ -109,7 +138,19 @@ let crashes_of_spec spec =
   with Invalid_argument reason when not (String.length reason > 7 && String.sub reason 0 8 = "Runtime:") ->
     bad reason
 
-let set_run_env ?loss ?seed ?fault ?crashes () =
+let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit () =
+  (match topology with
+  | Some "" -> env_topology := None
+  | Some spec ->
+    validate_topology_spec spec;
+    env_topology := Some spec
+  | None -> ());
+  (match queue_limit with
+  | Some l ->
+    if l <= 0 then
+      invalid_arg "Runtime.set_run_env: queue limit must be positive";
+    env_queue_limit := Some l
+  | None -> ());
   (match loss with
   | Some l ->
     if l < 0. || l >= 1. then
@@ -130,9 +171,10 @@ let set_run_env ?loss ?seed ?fault ?crashes () =
 
 let run_env () = (!env_loss, !env_seed)
 let run_crash_env () = !env_crashes
+let run_topology_env () = (!env_topology, !env_queue_limit)
 
 let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
-    ~nodes () =
+    ?topology ?queue_limit ~nodes () =
   if nodes <= 0 then invalid_arg "Runtime.create_world: need at least one node";
   if procs_per_node <= 0 then
     invalid_arg "Runtime.create_world: need at least one process per node";
@@ -145,8 +187,24 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
       | Offload -> Simnet.Profile.myrinet_mcp
       | Kernel_interrupt | Rtscts -> Simnet.Profile.myrinet_kernel)
   in
+  (* An explicit topology wins; otherwise the CLI-set spec (if any) is
+     fitted to this world's node count; otherwise the seed's
+     fully-connected fabric. *)
+  let topology =
+    match topology with
+    | Some k -> k
+    | None -> (
+      match !env_topology with
+      | Some spec -> Simnet.Topology.of_spec ~nodes spec
+      | None -> Simnet.Topology.Full)
+  in
+  let queue_limit =
+    match queue_limit with Some _ as l -> l | None -> !env_queue_limit
+  in
   let sched = Scheduler.create ~seed () in
-  let fabric = Simnet.Fabric.create sched ~profile ~nodes in
+  let fabric =
+    Simnet.Fabric.create ~topology ?queue_limit sched ~profile ~nodes
+  in
   (* Faulty mode: inject the configured wire loss and/or fault model and
      install the reliability shim so the transports above still see the
      in-order exactly-once fabric they were written against. *)

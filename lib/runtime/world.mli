@@ -20,7 +20,14 @@ type world = {
 }
 
 val set_run_env :
-  ?loss:float -> ?seed:int -> ?fault:string -> ?crashes:string -> unit -> unit
+  ?loss:float ->
+  ?seed:int ->
+  ?fault:string ->
+  ?crashes:string ->
+  ?topology:string ->
+  ?queue_limit:int ->
+  unit ->
+  unit
 (** Process-wide defaults applied by {!create_world}, set once by the CLI
     front-ends ([--loss] / [--seed] / [--fault] / [--crash]):
 
@@ -37,7 +44,15 @@ val set_run_env :
     {- [crashes] — a scripted node-failure schedule
        ["NID@DOWN_US[:UP_US]"] joined with [',']: node [NID] crash-stops
        at [DOWN_US] microseconds of simulated time and, when [:UP_US] is
-       given, restarts then in a fresh incarnation. [""] clears.}}
+       given, restarts then in a fresh incarnation. [""] clears.}
+    {- [topology] — an interconnect spec ({!Simnet.Topology.of_spec}):
+       ["full"], ["ring"], ["torus2d\[:AxB\]"], ["torus3d\[:AxBxC\]"] or
+       ["fattree\[:K\]"]. Dimension-less specs are fitted to each
+       world's node count; explicit dimensions must match it exactly.
+       [""] clears (back to the seed's fully-connected fabric).}
+    {- [queue_limit] — per-hop-link outstanding-transmission bound;
+       overload beyond it becomes congestion drops (recovered by the
+       reliability shim when one is attached).}}
 
     Raises [Invalid_argument] on an out-of-range loss or a malformed
     fault/crash spec (bad syntax, negative times, restart not after its
@@ -49,11 +64,16 @@ val run_env : unit -> float * int
 val run_crash_env : unit -> Simnet.Fault.crash_schedule option
 (** The crash schedule {!create_world} will apply to new worlds, if any. *)
 
+val run_topology_env : unit -> string option * int option
+(** The (topology spec, queue limit) defaults new worlds inherit. *)
+
 val create_world :
   ?profile:Simnet.Profile.t ->
   ?transport:transport_kind ->
   ?procs_per_node:int ->
   ?seed:int ->
+  ?topology:Simnet.Topology.kind ->
+  ?queue_limit:int ->
   nodes:int ->
   unit ->
   world
@@ -63,7 +83,11 @@ val create_world :
     job's ranks are [0 .. nodes*procs_per_node - 1]. Seed defaults to the
     {!set_run_env} value (initially 0); if a wire loss has been set
     there, the fabric is created lossy with the {!Reliability} protocol
-    shimmed underneath the transport. *)
+    shimmed underneath the transport.
+
+    [topology] (default: the {!set_run_env} spec fitted to [nodes], else
+    fully connected) selects the interconnect; [queue_limit] bounds each
+    shared hop link's queue (see {!Simnet.Fabric.create}). *)
 
 val job_size : world -> int
 

@@ -6,6 +6,7 @@ type stats = {
   messages_delivered : int;
   drops_unregistered : int;
   drops_injected : int;
+  drops_congested : int;
   drops_crashed : int;
   dups_injected : int;
 }
@@ -20,6 +21,14 @@ type handler = src:Proc_id.t -> bytes -> unit
 type t = {
   fabric_sched : Scheduler.t;
   fabric_profile : Profile.t;
+  topo : Topology.t;
+  (* One serialising link per directed edge of the hop graph, indexed by
+     [Topology.link_id]; empty for the fully-connected (seed) topology,
+     which keeps the private-wire fast path. *)
+  hop_links : Link.t array;
+  (* (src nid * nodes + dst nid) -> the link-id path, computed on first
+     use: routing is deterministic, so each pair is resolved once. *)
+  routes : (int, int array) Hashtbl.t;
   nodes : Node.t array;
   (* Per-node handler slots indexed by pid — [handlers.(nid).(pid)].
      Delivery is the fabric's hottest operation, so the lookup is two
@@ -32,6 +41,7 @@ type t = {
   sent_bytes : Stats.Counter.t;
   delivered : Stats.Counter.t;
   drop_unregistered : Stats.Counter.t;
+  drop_congested : Stats.Counter.t;
   drop_crashed : Stats.Counter.t;
   dup_injected : Stats.Counter.t;
   crash_count : Stats.Counter.t;
@@ -46,12 +56,24 @@ type t = {
   drop_pairs_other : (Proc_id.t * Proc_id.t, Metrics.counter) Hashtbl.t;
 }
 
-let create sched ~profile ~nodes =
+let create ?(topology = Topology.Full) ?queue_limit sched ~profile ~nodes =
   if nodes <= 0 then invalid_arg "Fabric.create: need at least one node";
+  let topo = Topology.build topology ~nodes in
+  let hop_links =
+    Array.init (Topology.link_count topo) (fun id ->
+        Link.create
+          ~name:(Topology.link_name topo id)
+          ~bandwidth:profile.Profile.wire_bandwidth
+          ~latency:profile.Profile.wire_latency ?queue_limit ~tracked:true
+          sched)
+  in
   let t =
     {
       fabric_sched = sched;
       fabric_profile = profile;
+      topo;
+      hop_links;
+      routes = Hashtbl.create (if Array.length hop_links = 0 then 1 else 64);
       nodes = Array.init nodes (fun nid -> Node.create sched ~nid ~profile);
       handlers = Array.make nodes [||];
       fault = None;
@@ -60,6 +82,7 @@ let create sched ~profile ~nodes =
       sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
       delivered = Stats.Counter.create ~name:"fabric.delivered" ();
       drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
+      drop_congested = Stats.Counter.create ~name:"fabric.drop_congested" ();
       drop_crashed = Stats.Counter.create ~name:"fabric.drop_crashed" ();
       dup_injected = Stats.Counter.create ~name:"fabric.dup_injected" ();
       crash_count = Stats.Counter.create ~name:"fabric.crashes" ();
@@ -77,6 +100,11 @@ let create sched ~profile ~nodes =
   probe "fabric.delivered" (fun () -> Stats.Counter.value t.delivered);
   probe "fabric.drops_unregistered" (fun () ->
       Stats.Counter.value t.drop_unregistered);
+  (* Only a shared-link topology can congest; keep the seed topology's
+     metric snapshot exactly as it was. *)
+  if Array.length hop_links > 0 then
+    probe "fabric.drops_congested" (fun () ->
+        Stats.Counter.value t.drop_congested);
   probe "fabric.dups_injected" (fun () -> Stats.Counter.value t.dup_injected);
   probe "fabric.drops_crashed" (fun () -> Stats.Counter.value t.drop_crashed);
   probe "fabric.crashes" (fun () -> Stats.Counter.value t.crash_count);
@@ -85,7 +113,25 @@ let create sched ~profile ~nodes =
 
 let sched t = t.fabric_sched
 let profile t = t.fabric_profile
+let topology t = t.topo
 let node_count t = Array.length t.nodes
+
+let hop_link t id =
+  if id < 0 || id >= Array.length t.hop_links then
+    invalid_arg (Printf.sprintf "Fabric.hop_link: id %d out of range" id);
+  t.hop_links.(id)
+
+let peak_link_queue_depth t =
+  Array.fold_left (fun acc l -> max acc (Link.peak_queue_depth l)) 0 t.hop_links
+
+let route t ~src ~dst =
+  let key = (src * Array.length t.nodes) + dst in
+  match Hashtbl.find_opt t.routes key with
+  | Some path -> path
+  | None ->
+    let path = Router.route t.topo ~src ~dst in
+    Hashtbl.replace t.routes key path;
+    path
 
 let node t nid =
   if nid < 0 || nid >= Array.length t.nodes then
@@ -226,10 +272,6 @@ let send_raw t ~src ~dst payload =
   else begin
     Stats.Counter.incr t.sent;
     Stats.Counter.add t.sent_bytes len;
-    let serialised =
-      Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
-    in
-    let arrival = Time_ns.add serialised t.fabric_profile.Profile.wire_latency in
     let decision =
       match t.fault with
       | None -> Fault.Deliver
@@ -241,20 +283,53 @@ let send_raw t ~src ~dst payload =
        longer exists, so it is lost even if the node is back up by
        arrival. *)
     let src_epoch = Node.crashes sender and dst_epoch = Node.crashes receiver in
-    Scheduler.at t.fabric_sched arrival (fun () ->
-        if
-          Node.crashes sender <> src_epoch
-          || Node.crashes receiver <> dst_epoch
-          || not (Node.is_up receiver)
-        then Stats.Counter.incr t.drop_crashed
+    let land_message () =
+      if
+        Node.crashes sender <> src_epoch
+        || Node.crashes receiver <> dst_epoch
+        || not (Node.is_up receiver)
+      then Stats.Counter.incr t.drop_crashed
+      else
+        match decision with
+        | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
+        | Fault.Deliver -> arrive t ~src ~dst payload
+        | Fault.Duplicate ->
+          Stats.Counter.incr t.dup_injected;
+          arrive t ~src ~dst payload;
+          arrive t ~src ~dst payload
+    in
+    let path = route t ~src:src.Proc_id.nid ~dst:dst.Proc_id.nid in
+    if Array.length path = 0 then begin
+      (* Private-wire fast path: the seed model, kept bit-for-bit. Also
+         taken for node-local traffic on every topology. *)
+      let serialised =
+        Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
+      in
+      let arrival =
+        Time_ns.add serialised t.fabric_profile.Profile.wire_latency
+      in
+      Scheduler.at t.fabric_sched arrival land_message
+    end
+    else begin
+      (* Store-and-forward over the hop path: at each hop the message
+         FIFO-queues on the shared link, occupies it for its full wire
+         image, then propagates to the next vertex. A hop whose queue is
+         over the limit drops the message — to the layers above (and to
+         [lib/reliability]) this is indistinguishable from wire loss. *)
+      let wire_bytes = Profile.wire_bytes_of_len t.fabric_profile len in
+      let flow = (src.Proc_id.nid * Array.length t.nodes) + dst.Proc_id.nid in
+      let rec hop i =
+        if i >= Array.length path then land_message ()
         else
-          match decision with
-          | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
-          | Fault.Deliver -> arrive t ~src ~dst payload
-          | Fault.Duplicate ->
-            Stats.Counter.incr t.dup_injected;
-            arrive t ~src ~dst payload;
-            arrive t ~src ~dst payload)
+          match
+            Link.transmit t.hop_links.(path.(i)) ~flow ~bytes:wire_bytes ()
+          with
+          | `Dropped -> Stats.Counter.incr t.drop_congested
+          | `Accepted arrival ->
+            Scheduler.at t.fabric_sched arrival (fun () -> hop (i + 1))
+      in
+      hop 0
+    end
   end
 
 let send t ~src ~dst payload =
@@ -268,6 +343,7 @@ let stats t =
     bytes_sent = Stats.Counter.value t.sent_bytes;
     messages_delivered = Stats.Counter.value t.delivered;
     drops_unregistered = Stats.Counter.value t.drop_unregistered;
+    drops_congested = Stats.Counter.value t.drop_congested;
     drops_crashed = Stats.Counter.value t.drop_crashed;
     drops_injected =
       Array.fold_left

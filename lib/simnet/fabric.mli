@@ -17,7 +17,19 @@
 
     Messages to unregistered destinations are dropped and counted, as are
     messages discarded by the fault model (counted per (src, dst) pair in
-    the metrics registry under ["fabric.drops_injected"]). *)
+    the metrics registry under ["fabric.drops_injected"]).
+
+    {b Topology.} By default the fabric is fully connected — every pair
+    of nodes owns a private wire, nothing contends, exactly the seed
+    model. Passing [~topology] ({!Topology.kind}) replaces the wires
+    with a hop graph of {e shared} links: each message follows the
+    {!Router} path for its (src, dst) pair, store-and-forwarding across
+    every link with FIFO queueing, so concurrent flows crossing the same
+    link serialise. Per-link ["link.queue_depth"] / ["link.busy_ns"] /
+    ["link.flows"] instruments land in the metrics registry, and an
+    optional [~queue_limit] turns overload into congestion drops
+    (["fabric.drops_congested"]) that the {!install_shim} reliability
+    layer recovers exactly like wire loss. *)
 
 type t
 
@@ -29,6 +41,9 @@ type stats = {
   drops_injected : int;
       (** Total over every (src, dst) pair — derived from the per-pair
           registry counters. *)
+  drops_congested : int;
+      (** Messages refused by a hop link whose queue hit the fabric's
+          [queue_limit]. Always 0 on the default full topology. *)
   drops_crashed : int;
       (** Messages lost to node failure: in flight when an endpoint
           crashed, addressed to a down node, or injected on behalf of a
@@ -36,12 +51,41 @@ type stats = {
   dups_injected : int;
 }
 
-val create : Sim_engine.Scheduler.t -> profile:Profile.t -> nodes:int -> t
+val create :
+  ?topology:Topology.kind ->
+  ?queue_limit:int ->
+  Sim_engine.Scheduler.t ->
+  profile:Profile.t ->
+  nodes:int ->
+  t
 (** [create sched ~profile ~nodes] is a fabric of [nodes] identical nodes
-    numbered [0 .. nodes-1]. *)
+    numbered [0 .. nodes-1].
+
+    [topology] (default {!Topology.Full}) selects the interconnect
+    shape; [queue_limit] (default unbounded) caps each shared hop
+    link's outstanding-transmission queue, beyond which messages are
+    congestion-dropped. Raises [Invalid_argument] if the topology
+    cannot host [nodes] (see {!Topology.build}). *)
 
 val sched : t -> Sim_engine.Scheduler.t
 val profile : t -> Profile.t
+
+val topology : t -> Topology.t
+(** The hop graph this fabric routes over. *)
+
+val hop_link : t -> int -> Link.t
+(** The shared link for a {!Topology} link id. Raises
+    [Invalid_argument] out of range (in particular, always, on the full
+    topology, whose link table is empty). *)
+
+val peak_link_queue_depth : t -> int
+(** Highest queue depth any hop link reached so far — the scalar the
+    congestion experiments report. 0 on the full topology. *)
+
+val route : t -> src:Proc_id.nid -> dst:Proc_id.nid -> int array
+(** The (cached) {!Router} hop path a message from [src] to [dst]
+    follows; empty on the full topology and for node-local traffic. *)
+
 val node_count : t -> int
 
 val node : t -> Proc_id.nid -> Node.t

@@ -16,10 +16,19 @@
 type t
 
 val create : Sim_engine.Scheduler.t -> nid:Proc_id.nid -> profile:Profile.t -> t
+(** A fresh node, up, in incarnation 0, with an idle CPU and link. *)
+
 val nid : t -> Proc_id.nid
 val profile : t -> Profile.t
+
 val host_cpu : t -> Sim_engine.Cpu.t
+(** The application-visible host processor; compute and host-side
+    protocol costs ({!Profile.t} syscall/interrupt fields) occupy it. *)
+
 val tx_link : t -> Link.t
+(** The node's serialising transmit pipeline: concurrent sends from
+    this node queue here before reaching the wire. *)
+
 val sched : t -> Sim_engine.Scheduler.t
 
 val is_up : t -> bool

@@ -13,10 +13,22 @@ type pid = int
 (** Process identifier, unique within a node. *)
 
 type t = { nid : nid; pid : pid }
+(** A fabric-wide process address. *)
 
 val make : nid:nid -> pid:pid -> t
+(** [make ~nid ~pid] is the address of process [pid] on node [nid].
+    Raises [Invalid_argument] on negative components. *)
+
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Total order: by node id, then process id. *)
+
 val hash : t -> int
+(** Hash consistent with {!equal}, for [Hashtbl]-keyed routing tables. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints ["nid:pid"], e.g. ["3:0"]. *)
+
 val to_string : t -> string
+(** {!pp} as a string. *)

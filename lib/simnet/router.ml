@@ -1,0 +1,90 @@
+let check_node topo what v =
+  if v < 0 || v >= Topology.nodes topo then
+    invalid_arg (Printf.sprintf "Router: %s node %d out of range" what v)
+
+(* Dimension-order: walk the dimensions left to right, correcting each
+   coordinate along the shorter way around before touching the next.
+   Ties (offset exactly half the dimension) go the positive way. *)
+let torus_path topo ~src ~dst =
+  let ds = Topology.dims topo in
+  let cur = Array.of_list (Topology.coords topo src) in
+  let goal = Array.of_list (Topology.coords topo dst) in
+  let path = ref [ src ] in
+  List.iteri
+    (fun i d ->
+      let fwd = (goal.(i) - cur.(i) + d) mod d in
+      let step = if fwd = 0 then 0 else if 2 * fwd <= d then 1 else -1 in
+      while cur.(i) <> goal.(i) do
+        cur.(i) <- (cur.(i) + step + d) mod d;
+        path := Topology.of_coords topo (Array.to_list cur) :: !path
+      done)
+    ds;
+  List.rev !path
+
+(* Up/down: host -> edge [-> agg [-> core -> agg'] -> edge'] -> host.
+   The agg/core choice hashes the (src, dst) pair so each pair is pinned
+   to one path (FIFO order survives) while pairs spread over the tree. *)
+let fat_tree_path topo ~src ~dst k =
+  let n = Topology.nodes topo in
+  let half = k / 2 in
+  let edge p e = n + (p * half) + e in
+  let agg p a = n + (k * half) + (p * half) + a in
+  let core g c = n + (2 * k * half) + (g * half) + c in
+  let pod h = h / (half * half) and epos h = h mod (half * half) / half in
+  let sp = pod src and dp = pod dst in
+  let se = epos src and de = epos dst in
+  let spread = ((src * 7919) + dst) mod half in
+  if sp = dp && se = de then [ src; edge sp se; dst ]
+  else if sp = dp then [ src; edge sp se; agg sp spread; edge sp de; dst ]
+  else
+    [
+      src; edge sp se; agg sp spread; core spread ((src + dst) mod half);
+      agg dp spread; edge dp de; dst;
+    ]
+
+let path_vertices topo ~src ~dst =
+  check_node topo "src" src;
+  check_node topo "dst" dst;
+  if src = dst then [ src ]
+  else
+    match Topology.kind topo with
+    | Topology.Full -> [ src; dst ]
+    | Topology.Ring | Topology.Torus2d _ | Topology.Torus3d _ ->
+      torus_path topo ~src ~dst
+    | Topology.Fat_tree k -> fat_tree_path topo ~src ~dst k
+
+let route topo ~src ~dst =
+  check_node topo "src" src;
+  check_node topo "dst" dst;
+  if src = dst || Topology.kind topo = Topology.Full then [||]
+  else begin
+    let vs = path_vertices topo ~src ~dst in
+    let rec links = function
+      | a :: (b :: _ as rest) -> (
+        match Topology.find_link topo ~src_v:a ~dst_v:b with
+        | Some id -> id :: links rest
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Router.route: no link %s->%s"
+               (Topology.vertex_name topo a)
+               (Topology.vertex_name topo b)))
+      | [ _ ] | [] -> []
+    in
+    Array.of_list (links vs)
+  end
+
+let hop_count topo ~src ~dst = Array.length (route topo ~src ~dst)
+
+let min_torus_hops topo ~src ~dst =
+  match Topology.dims topo with
+  | [] -> invalid_arg "Router.min_torus_hops: not a grid topology"
+  | _ ->
+    check_node topo "src" src;
+    check_node topo "dst" dst;
+    List.fold_left2
+      (fun acc (a, b) d ->
+        let fwd = (b - a + d) mod d in
+        acc + min fwd (d - fwd))
+      0
+      (List.combine (Topology.coords topo src) (Topology.coords topo dst))
+      (Topology.dims topo)

@@ -2,6 +2,8 @@
 
 module Proc_id = Proc_id
 module Profile = Profile
+module Topology = Topology
+module Router = Router
 module Link = Link
 module Node = Node
 module Fault = Fault

@@ -32,4 +32,20 @@ grep -q '^gm ' "$OUT/crash_restart.out"
 $DUNE exec bin/portals_repro.exe -- \
   crash-restart --run-seed 42 --fault "bernoulli:0.02+flap:400:40"
 
+echo "== smoke: topology congestion sweep (4x4 torus, fixed seed) =="
+# Both traffic patterns over the shared-link torus; the per-link
+# queue-depth instruments must reach the metrics registry.
+$DUNE exec bin/portals_repro.exe -- \
+  congestion --nodes 16 --topologies torus2d:4x4 --run-seed 7 --metrics \
+  | tee "$OUT/congestion.out"
+grep -q '^torus2d:4x4 *nearest-neighbor' "$OUT/congestion.out"
+grep -q '^torus2d:4x4 *all-to-all' "$OUT/congestion.out"
+grep -q 'link.queue_depth' "$OUT/congestion.out"
+# Multi-hop routing composes with wire loss, the reliability shim and a
+# bounded hop queue: the fig6 sweep must still terminate and report.
+$DUNE exec bin/portals_repro.exe -- \
+  --experiment fig6 --topology ring --queue-limit 4 --loss 0.02 --seed 42 \
+  | tee "$OUT/fig6_ring_lossy.out"
+grep -q 'Portals3.0-MCP' "$OUT/fig6_ring_lossy.out"
+
 echo "== smoke: ok =="

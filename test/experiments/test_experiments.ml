@@ -514,6 +514,81 @@ let perf_tests =
         | _ -> Alcotest.fail "two rows");
   ]
 
+let congestion_tests =
+  let open Experiments.Congestion in
+  [
+    Alcotest.test_case "sweep rows are well-formed and deterministic" `Quick
+      (fun () ->
+        let go () =
+          run ~nodes:16 ~topologies:[ "full"; "torus2d" ] ~msgs_per_peer:2 ()
+        in
+        let rows = go () in
+        Alcotest.(check int) "2 topologies x 2 patterns" 4 (List.length rows);
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) "goodput positive" true (r.c_goodput_mbs > 0.);
+            Alcotest.(check bool) "something delivered" true (r.c_messages > 0);
+            Alcotest.(check int) "no drops without a queue limit" 0 r.c_drops)
+          rows;
+        (* All-to-all on 16 nodes delivers 16*15 messages per round; the
+           4x4 torus halo delivers 16*4. *)
+        let find topo pat =
+          List.find (fun r -> r.c_topology = topo && r.c_pattern = pat) rows
+        in
+        Alcotest.(check int) "all-to-all count" (16 * 15 * 2)
+          (find "torus2d:4x4" "all-to-all").c_messages;
+        Alcotest.(check int) "halo count" (16 * 4 * 2)
+          (find "torus2d:4x4" "nearest-neighbor").c_messages;
+        Alcotest.(check bool) "same seed, same rows" true (go () = rows));
+    Alcotest.test_case
+      "4x4 torus: all-to-all congests below nearest-neighbor" `Quick
+      (fun () ->
+        let registry = Sim_engine.Metrics.create () in
+        let rows = run ~nodes:16 ~topologies:[ "torus2d:4x4" ] ~registry () in
+        let find pat = List.find (fun r -> r.c_pattern = pat) rows in
+        let a2a = find "all-to-all" and nn = find "nearest-neighbor" in
+        Alcotest.(check bool) "goodput strictly below" true
+          (a2a.c_goodput_mbs < nn.c_goodput_mbs);
+        Alcotest.(check bool) "shared links queued" true (a2a.c_peak_queue > 0);
+        (* The per-link instruments land in the registry under the
+           sweep's labels. *)
+        let snap = Sim_engine.Metrics.snapshot registry in
+        Alcotest.(check bool) "nonzero link.queue_depth recorded" true
+          (List.exists
+             (fun e ->
+               e.Sim_engine.Metrics.Snapshot.name = "link.queue_depth"
+               && List.mem ("pattern", "all-to-all")
+                    e.Sim_engine.Metrics.Snapshot.labels
+               &&
+               match e.Sim_engine.Metrics.Snapshot.value with
+               | Sim_engine.Metrics.Snapshot.Gauge g -> g > 0.
+               | _ -> false)
+             snap));
+    Alcotest.test_case "full topology leaves every pattern uncontended" `Quick
+      (fun () ->
+        let rows = run ~nodes:16 ~topologies:[ "full" ] () in
+        List.iter
+          (fun r ->
+            Alcotest.(check int) (r.c_pattern ^ " no queueing") 0
+              r.c_peak_queue)
+          rows);
+    Alcotest.test_case "explicit full topology reproduces seed fig5/fig6"
+      `Slow (fun () ->
+        let fig5 () = Experiments.Fig5.run Experiments.Fig5.default_params in
+        let fig6 () =
+          let t = Experiments.Fig6.run ~iterations:1 ~work_ms:[ 0.; 10. ] () in
+          List.map
+            (fun s -> (s.Experiments.Fig6.label, s.Experiments.Fig6.points))
+            t.Experiments.Fig6.series
+        in
+        let seed5 = fig5 () and seed6 = fig6 () in
+        Runtime.set_run_env ~topology:"full" ();
+        let full5 = fig5 () and full6 = fig6 () in
+        Runtime.set_run_env ~topology:"" ();
+        Alcotest.(check bool) "fig5 identical" true (seed5 = full5);
+        Alcotest.(check bool) "fig6 identical" true (seed6 = full6));
+  ]
+
 let () =
   Alcotest.run "experiments"
     [
@@ -529,4 +604,5 @@ let () =
       ("ablation", ablation_tests);
       ("rel_loss_sweep", rel_loss_sweep_tests);
       ("crash_restart", crash_restart_tests);
+      ("congestion", congestion_tests);
     ]

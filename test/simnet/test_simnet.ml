@@ -69,6 +69,256 @@ let link_tests =
         Alcotest.(check int) "busy excludes idle gap" 15 (Link.busy_time link));
   ]
 
+(* In these tests bandwidth is 1e9 B/s so one byte costs one nanosecond:
+   transmit times are readable integers. *)
+let ns_per_byte = 1e9
+
+let link_contention_tests =
+  [
+    Alcotest.test_case "saturated shared link serialises two flows" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let link = Link.create ~bandwidth:ns_per_byte ~tracked:true sched in
+        (match Link.transmit link ~flow:1 ~bytes:1000 () with
+        | `Accepted t -> Alcotest.(check int) "first owns the wire" 1000 t
+        | `Dropped -> Alcotest.fail "first transmit dropped");
+        (match Link.transmit link ~flow:2 ~bytes:1000 () with
+        | `Accepted t -> Alcotest.(check int) "second queues behind" 2000 t
+        | `Dropped -> Alcotest.fail "second transmit dropped");
+        Alcotest.(check int) "both outstanding" 2 (Link.queue_depth link);
+        Alcotest.(check int) "peak depth" 2 (Link.peak_queue_depth link);
+        Alcotest.(check int) "two concurrent flows" 2 (Link.peak_flows link);
+        Scheduler.run sched;
+        Alcotest.(check int) "drained" 0 (Link.queue_depth link);
+        Alcotest.(check int) "busy covers both" 2000 (Link.busy_time link));
+    Alcotest.test_case "per-hop latency lands after serialisation" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let link =
+          Link.create ~bandwidth:ns_per_byte ~latency:500 ~tracked:true sched
+        in
+        (match Link.transmit link ~bytes:1000 () with
+        | `Accepted t -> Alcotest.(check int) "tx + latency" 1500 t
+        | `Dropped -> Alcotest.fail "dropped");
+        Scheduler.run sched);
+    Alcotest.test_case "queue limit turns overload into drops" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let link =
+          Link.create ~bandwidth:ns_per_byte ~queue_limit:2 ~tracked:true sched
+        in
+        let seen = ref None in
+        Link.on_congestion link (fun c -> seen := Some c);
+        let accepted = ref 0 and dropped = ref 0 in
+        for _ = 1 to 3 do
+          match Link.transmit link ~bytes:100 () with
+          | `Accepted _ -> incr accepted
+          | `Dropped -> incr dropped
+        done;
+        Alcotest.(check int) "two fit" 2 !accepted;
+        Alcotest.(check int) "third dropped" 1 !dropped;
+        Alcotest.(check int) "counted" 1 (Link.congestion_drops link);
+        (match !seen with
+        | Some c ->
+          Alcotest.(check int) "hook saw the full queue" 2 c.Link.cong_depth;
+          Alcotest.(check int) "hook saw the bytes" 100 c.Link.cong_bytes
+        | None -> Alcotest.fail "congestion hook not called");
+        Scheduler.run sched;
+        (* Once the queue drains the link accepts again. *)
+        match Link.transmit link ~bytes:100 () with
+        | `Accepted _ -> ()
+        | `Dropped -> Alcotest.fail "drained link still dropping");
+    Alcotest.test_case "queue limit enforced without tracking" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let link = Link.create ~bandwidth:ns_per_byte ~queue_limit:1 sched in
+        (match Link.transmit link ~bytes:10 () with
+        | `Accepted _ -> ()
+        | `Dropped -> Alcotest.fail "first dropped");
+        (match Link.transmit link ~bytes:10 () with
+        | `Accepted _ -> Alcotest.fail "limit ignored"
+        | `Dropped -> ());
+        Scheduler.run sched);
+  ]
+
+let topology_tests =
+  let rejects name f =
+    Alcotest.(check bool) name true
+      (match f () with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+  in
+  [
+    Alcotest.test_case "spec parsing round-trips through describe" `Quick
+      (fun () ->
+        let check spec nodes expect =
+          Alcotest.(check string) spec expect
+            (Topology.describe (Topology.of_spec ~nodes spec))
+        in
+        check "full" 16 "full";
+        check "ring" 5 "ring";
+        check "torus2d" 16 "torus2d:4x4";
+        check "torus2d:2x8" 16 "torus2d:2x8";
+        check "torus3d" 8 "torus3d:2x2x2";
+        check "fattree" 16 "fattree:4";
+        check "fattree:4" 16 "fattree:4");
+    Alcotest.test_case "bad specs rejected" `Quick (fun () ->
+        rejects "dims must match nodes" (fun () ->
+            Topology.of_spec ~nodes:8 "torus2d:4x4");
+        rejects "fat-tree needs k^3/4 hosts" (fun () ->
+            Topology.of_spec ~nodes:6 "fattree");
+        rejects "unknown shape" (fun () -> Topology.of_spec ~nodes:8 "mesh");
+        rejects "ring of one" (fun () -> Topology.build Ring ~nodes:1));
+    Alcotest.test_case "full keeps the seed's empty hop graph" `Quick
+      (fun () ->
+        let t = Topology.build Full ~nodes:8 in
+        Alcotest.(check int) "no switches" 8 (Topology.vertex_count t);
+        Alcotest.(check int) "no shared links" 0 (Topology.link_count t);
+        Alcotest.(check int) "all nodes adjacent" 7
+          (List.length (Topology.neighbors t 0)));
+    Alcotest.test_case "4x4 torus structure" `Quick (fun () ->
+        let t = Topology.build (Torus2d (4, 4)) ~nodes:16 in
+        Alcotest.(check int) "hosts only" 16 (Topology.vertex_count t);
+        Alcotest.(check int) "4 directed links per node" 64
+          (Topology.link_count t);
+        for v = 0 to 15 do
+          Alcotest.(check int) "degree 4" 4
+            (List.length (Topology.neighbors t v))
+        done;
+        (* Every link id agrees with the adjacency index. *)
+        for l = 0 to Topology.link_count t - 1 do
+          let { Topology.link_id; src_v; dst_v } = Topology.link t l in
+          Alcotest.(check int) "dense ids" l link_id;
+          Alcotest.(check (option int)) "find_link inverts" (Some l)
+            (Topology.find_link t ~src_v ~dst_v)
+        done);
+    Alcotest.test_case "size-2 dimensions do not double links" `Quick
+      (fun () ->
+        let t = Topology.build (Torus2d (2, 2)) ~nodes:4 in
+        Alcotest.(check int) "degree 2" 2 (List.length (Topology.neighbors t 0));
+        Alcotest.(check int) "8 directed links" 8 (Topology.link_count t));
+    Alcotest.test_case "coords round-trip" `Quick (fun () ->
+        let t = Topology.build (Torus3d (2, 3, 4)) ~nodes:24 in
+        Alcotest.(check (list int)) "dims" [ 2; 3; 4 ] (Topology.dims t);
+        for v = 0 to 23 do
+          Alcotest.(check int) "of_coords inverts coords" v
+            (Topology.of_coords t (Topology.coords t v))
+        done);
+    Alcotest.test_case "4-ary fat-tree structure" `Quick (fun () ->
+        let t = Topology.build (Fat_tree 4) ~nodes:16 in
+        Alcotest.(check int) "hosts" 16 (Topology.nodes t);
+        (* 16 hosts + 8 edge + 8 agg + 4 core switches. *)
+        Alcotest.(check int) "vertices" 36 (Topology.vertex_count t);
+        for h = 0 to 15 do
+          match Topology.neighbors t h with
+          | [ sw ] ->
+            Alcotest.(check bool) "host hangs off one edge switch" true
+              (sw >= 16)
+          | l ->
+            Alcotest.failf "host %d has %d neighbours" h (List.length l)
+        done);
+  ]
+
+(* The changed coordinate between two adjacent torus path vertices; the
+   step must move exactly one dimension by one (with wraparound). *)
+let changed_dim topo a b =
+  let ca = Topology.coords topo a and cb = Topology.coords topo b in
+  let ds = Topology.dims topo in
+  let changed =
+    List.filteri (fun i _ -> List.nth ca i <> List.nth cb i) ds
+    |> List.length
+  in
+  if changed <> 1 then None
+  else
+    let rec find i = function
+      | [] -> assert false
+      | (x, y) :: rest -> if x <> y then i else find (i + 1) rest
+    in
+    Some (find 0 (List.combine ca cb))
+
+let router_tests =
+  let torus = Topology.build (Torus2d (4, 4)) ~nodes:16 in
+  let torus3 = Topology.build (Torus3d (2, 3, 4)) ~nodes:24 in
+  let check_dimension_order topo (src, dst) =
+    let path = Router.path_vertices topo ~src ~dst in
+    let hops = Router.hop_count topo ~src ~dst in
+    (* Minimal: matches the analytic shortest distance. *)
+    hops = Router.min_torus_hops topo ~src ~dst
+    (* Simple: no vertex visited twice (so no cycle, no livelock). *)
+    && List.length (List.sort_uniq compare path) = List.length path
+    (* Dimension-ordered: corrected dimensions never decrease, the
+       acyclic-channel-dependency argument for deadlock freedom. *)
+    &&
+    let rec dims_of = function
+      | a :: (b :: _ as rest) -> (
+        match changed_dim topo a b with
+        | Some d -> d :: dims_of rest
+        | None -> [ max_int ] (* illegal step: fails the sorted check *))
+      | _ -> []
+    in
+    let ds = dims_of path in
+    List.sort compare ds = ds
+  in
+  let pair n =
+    QCheck.(pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500
+         ~name:"2-D torus routing is minimal, simple and dimension-ordered"
+         (pair 16)
+         (check_dimension_order torus));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500
+         ~name:"3-D torus routing is minimal, simple and dimension-ordered"
+         (pair 24)
+         (check_dimension_order torus3));
+    Alcotest.test_case "ring takes the shorter way, ties positive" `Quick
+      (fun () ->
+        let ring = Topology.build Ring ~nodes:8 in
+        Alcotest.(check int) "forward" 3 (Router.hop_count ring ~src:0 ~dst:3);
+        Alcotest.(check int) "backward" 3 (Router.hop_count ring ~src:0 ~dst:5);
+        Alcotest.(check (list int)) "tie breaks positive" [ 0; 1; 2; 3; 4 ]
+          (Router.path_vertices ring ~src:0 ~dst:4));
+    Alcotest.test_case "full topology routes have no hops" `Quick (fun () ->
+        let full = Topology.build Full ~nodes:8 in
+        Alcotest.(check int) "direct" 0 (Array.length (Router.route full ~src:0 ~dst:5));
+        Alcotest.(check (list int)) "private wire, no shared hops" [ 0; 5 ]
+          (Router.path_vertices full ~src:0 ~dst:5));
+    Alcotest.test_case "fat-tree routes are valid and deterministic" `Quick
+      (fun () ->
+        let ft = Topology.build (Fat_tree 4) ~nodes:16 in
+        for src = 0 to 15 do
+          for dst = 0 to 15 do
+            if src <> dst then begin
+              let links = Router.route ft ~src ~dst in
+              let verts = Router.path_vertices ft ~src ~dst in
+              Alcotest.(check int) "one more vertex than hop"
+                (Array.length links + 1)
+                (List.length verts);
+              Alcotest.(check int) "starts at src" src (List.hd verts);
+              Alcotest.(check int) "ends at dst" dst
+                (List.nth verts (List.length verts - 1));
+              (* Each link really wires its two path vertices. *)
+              Array.iteri
+                (fun i l ->
+                  let lk = Topology.link ft l in
+                  Alcotest.(check int) "hop src" (List.nth verts i)
+                    lk.Topology.src_v;
+                  Alcotest.(check int) "hop dst"
+                    (List.nth verts (i + 1))
+                    lk.Topology.dst_v)
+                links;
+              Alcotest.(check bool) "at most host-edge-agg-core-agg-edge-host"
+                true
+                (Array.length links <= 6);
+              Alcotest.(check bool) "same pair, same path" true
+                (Router.route ft ~src ~dst = links)
+            end
+          done
+        done);
+  ]
+
 let mk_fabric ?(nodes = 4) ?(profile = Profile.myrinet_mcp) () =
   let sched = Scheduler.create () in
   (sched, Fabric.create sched ~profile ~nodes)
@@ -171,6 +421,107 @@ let fabric_tests =
            !delivered = List.length sizes
            && s.Fabric.messages_sent = List.length sizes
            && s.Fabric.bytes_sent = List.fold_left ( + ) 0 sizes));
+  ]
+
+let fabric_topology_tests =
+  [
+    Alcotest.test_case "explicit Full matches the seed fabric exactly" `Quick
+      (fun () ->
+        let arrival_on topology =
+          let sched = Scheduler.create () in
+          let fabric =
+            match topology with
+            | None -> Fabric.create sched ~profile:Profile.myrinet_mcp ~nodes:4
+            | Some k ->
+              Fabric.create ~topology:k sched ~profile:Profile.myrinet_mcp
+                ~nodes:4
+          in
+          let arrival = ref 0 in
+          Fabric.register fabric (pid 2 0) (fun ~src:_ _ ->
+              arrival := Scheduler.now sched);
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 2 0) (Bytes.create 4096);
+          Scheduler.run sched;
+          (!arrival, Fabric.peak_link_queue_depth fabric)
+        in
+        let seed = arrival_on None in
+        let full = arrival_on (Some Topology.Full) in
+        Alcotest.(check (pair int int)) "same timing, no hop links" seed full);
+    Alcotest.test_case "multi-hop delivery pays store-and-forward per hop"
+      `Quick (fun () ->
+        let profile = Profile.myrinet_mcp in
+        let arrival_on topology dst =
+          let sched = Scheduler.create () in
+          let fabric =
+            Fabric.create ~topology sched ~profile ~nodes:8
+          in
+          let arrival = ref 0 in
+          Fabric.register fabric (pid dst 0) (fun ~src:_ _ ->
+              arrival := Scheduler.now sched);
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid dst 0)
+            (Bytes.create 4096);
+          Scheduler.run sched;
+          !arrival
+        in
+        let direct = arrival_on Topology.Full 2 in
+        let one_hop = arrival_on Topology.Ring 1 in
+        let two_hops = arrival_on Topology.Ring 2 in
+        Alcotest.(check bool) "one ring hop = private wire" true
+          (one_hop = direct);
+        (* An uncontended store-and-forward path costs exactly one extra
+           (serialisation + latency) per extra hop. *)
+        Alcotest.(check int) "second hop repeats the cost" (2 * one_hop)
+          two_hops);
+    Alcotest.test_case "per-pair order survives shared contended hops" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let fabric =
+          Fabric.create
+            ~topology:(Topology.Torus2d (4, 4))
+            sched ~profile:Profile.myrinet_mcp ~nodes:16
+        in
+        let got = ref [] in
+        Fabric.register fabric (pid 3 0) (fun ~src payload ->
+            if Proc_id.equal src (pid 0 0) then
+              got := Bytes.get payload 0 :: !got);
+        (* Cross traffic fighting for the same row links. *)
+        Fabric.register fabric (pid 0 0) (fun ~src:_ _ -> ());
+        for nid = 1 to 15 do
+          if nid <> 3 then Fabric.register fabric (pid nid 0) (fun ~src:_ _ -> ());
+          Fabric.send fabric ~src:(pid nid 0) ~dst:(pid ((nid + 1) mod 16) 0)
+            (Bytes.create 2000)
+        done;
+        for i = 0 to 9 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 3 0)
+            (Bytes.make 100 (Char.chr i))
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list char)) "in order"
+          (List.init 10 Char.chr)
+          (List.rev !got);
+        Alcotest.(check bool) "hops actually contended" true
+          (Fabric.peak_link_queue_depth fabric > 1));
+    Alcotest.test_case "queue limit surfaces as congestion drops" `Quick
+      (fun () ->
+        let sched = Scheduler.create () in
+        let fabric =
+          Fabric.create ~topology:Topology.Ring ~queue_limit:2 sched
+            ~profile:Profile.myrinet_mcp ~nodes:4
+        in
+        let delivered = ref 0 in
+        Fabric.register fabric (pid 2 0) (fun ~src:_ _ -> incr delivered);
+        for _ = 1 to 20 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 2 0) (Bytes.create 4096)
+        done;
+        Scheduler.run sched;
+        let s = Fabric.stats fabric in
+        Alcotest.(check int) "sent" 20 s.Fabric.messages_sent;
+        Alcotest.(check bool) "overload dropped" true
+          (s.Fabric.drops_congested > 0);
+        Alcotest.(check int) "the rest got through"
+          (20 - s.Fabric.drops_congested)
+          !delivered;
+        Alcotest.(check bool) "queue hit its bound" true
+          (Fabric.peak_link_queue_depth fabric >= 2));
   ]
 
 let transport_tests =
@@ -559,7 +910,11 @@ let () =
       ("proc_id", proc_id_tests);
       ("profile", profile_tests);
       ("link", link_tests);
+      ("link_contention", link_contention_tests);
+      ("topology", topology_tests);
+      ("router", router_tests);
       ("fabric", fabric_tests);
+      ("fabric_topology", fabric_topology_tests);
       ("fault_models", fault_model_tests);
       ("crash", crash_tests);
       ("transport", transport_tests);
