@@ -23,6 +23,9 @@ type opts = {
   mutable baseline : string option;
   mutable tolerance_pct : float;
   mutable quick : bool;
+  mutable matrix : bool;
+  mutable transports : string list;
+  mutable axes : string list;
 }
 
 let usage ppf =
@@ -52,7 +55,14 @@ let usage ppf =
      \                          exit 1 on events/sec regression@.\
      \  --tolerance PCT         allowed events/sec drop before the@.\
      \                          baseline gate fails (default 25)@.\
-     \  --quick                 with --json: smoke-test sized experiments@.\
+     \  --quick                 with --json/--matrix: smoke-test sizes@.\
+     \  --matrix                print the cross-stack benchmark matrix@.\
+     \                          (transports x axes) and skip the rest@.\
+     \  --transports LIST       matrix stacks: portals,gm,rtscts,ibverbs@.\
+     \                          (comma separated; default all)@.\
+     \  --axes LIST             matrix axes: latency,bandwidth,overlap,@.\
+     \                          loss-goodput,congestion-goodput@.\
+     \                          (comma separated; default all)@.\
      \  --help                  this message@."
 
 (* Stdlib-only parsing; every value option accepts both "--flag VALUE"
@@ -66,6 +76,9 @@ let parse_opts () =
       baseline = None;
       tolerance_pct = 25.;
       quick = false;
+      matrix = false;
+      transports = Experiments.Matrix.transport_names;
+      axes = Experiments.Matrix.axis_names;
     }
   in
   let bad what =
@@ -134,6 +147,29 @@ let parse_opts () =
       | "--quick" ->
         o.quick <- true;
         go rest
+      | "--matrix" ->
+        o.matrix <- true;
+        go rest
+      | "--transports" ->
+        value ~what:"LIST" rest (fun v rest ->
+            match
+              Runtime.Cli.pick_list ~what:"transport"
+                ~valid:Experiments.Matrix.transport_names v
+            with
+            | Ok l ->
+              o.transports <- l;
+              go rest
+            | Error msg -> bad msg)
+      | "--axes" ->
+        value ~what:"LIST" rest (fun v rest ->
+            match
+              Runtime.Cli.pick_list ~what:"axis"
+                ~valid:Experiments.Matrix.axis_names v
+            with
+            | Ok l ->
+              o.axes <- l;
+              go rest
+            | Error msg -> bad msg)
       | "--loss" ->
         value ~what:"RATE" rest (fun v rest ->
             match float_of_string_opt v with
@@ -337,7 +373,11 @@ let benchmark () =
 (* Performance mode (--json): meter every experiment, write the records,
    optionally gate against a baseline. Replaces the report + Bechamel. *)
 let perf_mode opts out =
-  let records = Experiments.Perf.all ~quick:opts.quick () in
+  let records =
+    Experiments.Perf.all ~quick:opts.quick ()
+    @ Experiments.Matrix.perf_records ~transports:opts.transports
+        ~axes:opts.axes ~quick:opts.quick ()
+  in
   Experiments.Perf.pp Format.std_formatter records;
   Experiments.Perf.write_json ~path:out records;
   Format.printf "bench: wrote %s@." out;
@@ -379,9 +419,25 @@ let () =
      count — raise [Invalid_argument] mid-run; report them as usage
      errors. *)
   try
-    match opts.json_out with
-    | Some out -> perf_mode opts out
-    | None ->
+    match (opts.matrix, opts.json_out) with
+    | true, json ->
+      let t =
+        Experiments.Matrix.run ~transports:opts.transports ~axes:opts.axes
+          ~quick:opts.quick ()
+      in
+      Experiments.Matrix.pp Format.std_formatter t;
+      (match json with
+      | None -> ()
+      | Some out ->
+        let records =
+          Experiments.Matrix.perf_records ~transports:opts.transports
+            ~axes:opts.axes ~quick:opts.quick ()
+        in
+        Experiments.Perf.write_json ~path:out records;
+        Format.printf "bench: wrote %s@." out);
+      footer ~wall_s:(Unix.gettimeofday () -. t0)
+    | false, Some out -> perf_mode opts out
+    | false, None ->
       print_all opts;
       benchmark ();
       footer ~wall_s:(Unix.gettimeofday () -. t0);

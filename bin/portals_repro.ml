@@ -12,11 +12,10 @@ let ppf = Format.std_formatter
 (* --- shared arguments -------------------------------------------------- *)
 
 let transport_conv =
-  let parse = function
-    | "offload" | "mcp" -> Ok Runtime.Offload
-    | "kernel" -> Ok Runtime.Kernel_interrupt
-    | "rtscts" -> Ok Runtime.Rtscts
-    | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
+  let parse s =
+    match Runtime.Cli.transport_kind_of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
   in
   let print fmt t = Format.fprintf fmt "%s" (Runtime.transport_kind_name t) in
   Arg.conv (parse, print)
@@ -35,6 +34,18 @@ let backend_conv =
 
 let floats_conv = Arg.list ~sep:',' Arg.float
 let ints_conv = Arg.list ~sep:',' Arg.int
+
+(* Comma-separated name lists ("--transports gm,ibverbs") validated
+   against a closed set through the shared Runtime.Cli plumbing, so this
+   CLI and bench/main reject a malformed list with the same message. *)
+let names_conv ~what ~valid =
+  let parse s =
+    match Runtime.Cli.pick_list ~what ~valid s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt l = Format.fprintf fmt "%s" (String.concat "," l) in
+  Arg.conv (parse, print)
 
 (* Every command takes [--loss] / [--seed] / [--fault] / [--crash]: they
    set the process-wide run environment (Runtime.set_run_env) before the
@@ -502,6 +513,70 @@ let congestion_cmd =
       const run $ env_term $ nodes $ topologies $ msgs $ size $ queue_limit
       $ seed $ metrics_arg)
 
+let run_matrix ?(transports = Experiments.Matrix.transport_names)
+    ?(axes = Experiments.Matrix.axis_names) ?(quick = false) ?(seed = 0)
+    ?json () =
+  let t = Experiments.Matrix.run ~transports ~axes ~quick ~seed () in
+  Experiments.Matrix.pp ppf t;
+  match json with
+  | None -> ()
+  | Some out ->
+    let records =
+      Experiments.Matrix.perf_records ~transports ~axes ~quick ~seed ()
+    in
+    Experiments.Perf.write_json ~path:out records;
+    Format.fprintf ppf "matrix: wrote %s@." out
+
+let matrix_cmd =
+  let run () transports axes quick seed json =
+    run_matrix ~transports ~axes ~quick ~seed ?json ()
+  in
+  let transports =
+    Arg.(
+      value
+      & opt
+          (names_conv ~what:"transport" ~valid:Experiments.Matrix.transport_names)
+          Experiments.Matrix.transport_names
+      & info [ "transports" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated stacks to run ($(b,portals), $(b,gm), \
+             $(b,rtscts), $(b,ibverbs); $(b,all) for every stack).")
+  in
+  let axes =
+    Arg.(
+      value
+      & opt (names_conv ~what:"axis" ~valid:Experiments.Matrix.axis_names)
+          Experiments.Matrix.axis_names
+      & info [ "axes" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated axes to run ($(b,latency), $(b,bandwidth), \
+             $(b,overlap), $(b,loss-goodput), $(b,congestion-goodput); \
+             $(b,all) for every axis).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test sized workloads.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also meter every cell as a portals-bench/1 record \
+             (id $(b,MX.<transport>.<axis>)) and write the report to \
+             $(docv) — the file the CI perf gate consumes.")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Cross-stack benchmark matrix: every transport x \
+          {latency, bandwidth, overlap, loss-goodput, congestion-goodput} \
+          (MX)")
+    Term.(const run $ env_term $ transports $ axes $ quick $ seed $ json)
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -588,6 +663,7 @@ let default_term =
     | Some "congestion" when trace_out = None ->
       run_congestion ~metrics ();
       `Ok ()
+    | Some ("matrix" as n) -> plain n (fun () -> run_matrix ())
     | Some other ->
       `Error
         ( false,
@@ -611,7 +687,7 @@ let () =
               tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
               bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
               drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-              congestion_cmd; all_cmd;
+              congestion_cmd; matrix_cmd; all_cmd;
             ])
      with Invalid_argument msg ->
        Format.eprintf "portals_repro: %s@." msg;

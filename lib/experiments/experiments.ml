@@ -16,3 +16,4 @@ module Rel_loss_sweep = Rel_loss_sweep
 module Crash_restart = Crash_restart
 module Perf = Perf
 module Congestion = Congestion
+module Matrix = Matrix

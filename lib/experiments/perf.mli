@@ -26,6 +26,12 @@ type record = {
 val ids : string list
 (** Every experiment id, in report order. *)
 
+val meter : id:string -> (unit -> 'a) -> record
+(** Meter one runner as a delta of the process-wide scheduler totals:
+    best of three repeats (after a [Gc.compact] each), so host noise
+    does not masquerade as a regression. Other experiment families
+    (e.g. the benchmark matrix) build their records with this. *)
+
 val all : ?quick:bool -> unit -> record list
 (** Run and meter every experiment; each is run three times (after a
     [Gc.compact]) and the fastest repeat kept, so host-side noise does

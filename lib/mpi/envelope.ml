@@ -1,7 +1,7 @@
-exception Peer_failed of int
+exception Peer_failed = Transport.Peer_failed
 
-let any_source = -1
-let any_tag = -1
+let any_source = Transport.any_source
+let any_tag = Transport.any_tag
 let max_tag = (1 lsl 31) - 1
 let max_rank = (1 lsl 16) - 1
 let max_context = (1 lsl 14) - 1
@@ -19,64 +19,6 @@ let matches ?(context = 0) t ~source ~tag =
   t.context = context
   && (source = any_source || source = t.src_rank)
   && (tag = any_tag || tag = t.tag)
-
-(* Field layout within the 64 match bits. *)
-let proto_shift = 62
-let proto_width = 2
-let ctx_shift = 48
-let ctx_width = 14
-let src_shift = 32
-let src_width = 16
-let tag_shift = 0
-let tag_width = 32
-
-let check_ranges ~context ~src_rank ~tag =
-  if context < 0 || context > max_context then invalid_arg "Envelope: bad context";
-  if src_rank < 0 || src_rank > max_rank then invalid_arg "Envelope: bad rank";
-  if tag < 0 || tag > max_tag then invalid_arg "Envelope: bad tag"
-
-let to_match_bits t =
-  check_ranges ~context:t.context ~src_rank:t.src_rank ~tag:t.tag;
-  let open Portals.Match_bits in
-  let proto = match t.protocol with Eager -> 0 | Rendezvous -> 1 in
-  logor
-    (field ~shift:proto_shift ~width:proto_width proto)
-    (logor
-       (field ~shift:ctx_shift ~width:ctx_width t.context)
-       (logor
-          (field ~shift:src_shift ~width:src_width t.src_rank)
-          (field ~shift:tag_shift ~width:tag_width t.tag)))
-
-let of_match_bits bits =
-  let open Portals.Match_bits in
-  let proto = extract ~shift:proto_shift ~width:proto_width bits in
-  {
-    protocol = (if proto = 0 then Eager else Rendezvous);
-    context = extract ~shift:ctx_shift ~width:ctx_width bits;
-    src_rank = extract ~shift:src_shift ~width:src_width bits;
-    tag = extract ~shift:tag_shift ~width:tag_width bits;
-  }
-
-let recv_match_bits ~context ~source ~tag =
-  let open Portals.Match_bits in
-  let mbits =
-    logor
-      (field ~shift:ctx_shift ~width:ctx_width context)
-      (logor
-         (field ~shift:src_shift ~width:src_width
-            (if source = any_source then 0 else source))
-         (field ~shift:tag_shift ~width:tag_width (if tag = any_tag then 0 else tag)))
-  in
-  let ignore_bits =
-    (* Protocol bits always ignored; wildcards widen the mask. *)
-    let acc = mask ~shift:proto_shift ~width:proto_width in
-    let acc =
-      if source = any_source then logor acc (mask ~shift:src_shift ~width:src_width)
-      else acc
-    in
-    if tag = any_tag then logor acc (mask ~shift:tag_shift ~width:tag_width) else acc
-  in
-  (mbits, ignore_bits)
 
 let rdvz_header_size = 16
 
@@ -165,4 +107,68 @@ let decode_gm buf =
     | 2 -> Ok (Gm_cts { cookie = cookie () })
     | 3 -> Ok (Gm_data { cookie = cookie (); payload = payload () })
     | k -> Error (Printf.sprintf "gm message: unknown kind %d" k)
+  end
+
+(* --- ibverbs channel framing ------------------------------------------- *)
+
+type iv_view =
+  | Iv_eager of { env : t; pay_off : int; pay_len : int }
+  | Iv_rts of { env : t; cookie : int; total_len : int }
+  | Iv_cts of { cookie : int; rkey : int; len : int }
+  | Iv_fin of { cookie : int; length : int }
+
+let iv_header_size = 39
+
+let iv_magic = 0x76 (* 'v' *)
+
+let encode_iv_eager buf ~off ~env ~payload ~pay_off ~pay_len =
+  Bytes.set_uint8 buf off iv_magic;
+  Bytes.set_uint8 buf (off + 1) 0;
+  encode_env buf (off + 2) env;
+  Bytes.set_int64_le buf (off + 15) (Int64.of_int pay_len);
+  Bytes.blit payload pay_off buf (off + iv_header_size) pay_len;
+  iv_header_size + pay_len
+
+let encode_iv_rts buf ~off ~env ~cookie ~total_len =
+  Bytes.set_uint8 buf off iv_magic;
+  Bytes.set_uint8 buf (off + 1) 1;
+  encode_env buf (off + 2) env;
+  Bytes.set_int64_le buf (off + 15) (Int64.of_int total_len);
+  Bytes.set_int64_le buf (off + 23) (Int64.of_int cookie);
+  iv_header_size
+
+let encode_iv_cts buf ~off ~cookie ~rkey ~len =
+  Bytes.set_uint8 buf off iv_magic;
+  Bytes.set_uint8 buf (off + 1) 2;
+  Bytes.set_int64_le buf (off + 15) (Int64.of_int len);
+  Bytes.set_int64_le buf (off + 23) (Int64.of_int cookie);
+  Bytes.set_int64_le buf (off + 31) (Int64.of_int rkey);
+  iv_header_size
+
+let encode_iv_fin buf ~off ~cookie ~length =
+  Bytes.set_uint8 buf off iv_magic;
+  Bytes.set_uint8 buf (off + 1) 3;
+  Bytes.set_int64_le buf (off + 15) (Int64.of_int length);
+  Bytes.set_int64_le buf (off + 23) (Int64.of_int cookie);
+  iv_header_size
+
+let decode_iv buf ~off ~len =
+  if len < iv_header_size then Error "iv message: truncated"
+  else if Bytes.get_uint8 buf off <> iv_magic then Error "iv message: bad magic"
+  else begin
+    let f15 () = Int64.to_int (Bytes.get_int64_le buf (off + 15)) in
+    let cookie () = Int64.to_int (Bytes.get_int64_le buf (off + 23)) in
+    let rkey () = Int64.to_int (Bytes.get_int64_le buf (off + 31)) in
+    match Bytes.get_uint8 buf (off + 1) with
+    | 0 ->
+      let pay_len = f15 () in
+      if iv_header_size + pay_len > len then Error "iv eager: truncated payload"
+      else
+        Ok
+          (Iv_eager
+             { env = decode_env buf (off + 2); pay_off = off + iv_header_size; pay_len })
+    | 1 -> Ok (Iv_rts { env = decode_env buf (off + 2); cookie = cookie (); total_len = f15 () })
+    | 2 -> Ok (Iv_cts { cookie = cookie (); rkey = rkey (); len = f15 () })
+    | 3 -> Ok (Iv_fin { cookie = cookie (); length = f15 () })
+    | k -> Error (Printf.sprintf "iv message: unknown kind %d" k)
   end

@@ -13,19 +13,24 @@
     v}
 
     Wildcard receives ([MPI_ANY_SOURCE]/[MPI_ANY_TAG]) become ignore-bit
-    masks over the corresponding fields.
+    masks over the corresponding fields. The match-bits codec itself
+    lives in [Mpi_portals] — it is that adapter's private contract with
+    the Portals NI; this module only defines the envelope and the
+    stack-neutral framings.
 
     {b GM backend} — GM has no matching, so the same envelope travels as
     an explicit header in front of the payload, and matching happens in
     the MPI library (the very fact Figure 6 measures). *)
 
 exception Peer_failed of int
-(** Raised (with the peer's rank) by either backend when an operation
+(** Raised (with the peer's rank) by any backend when an operation
     cannot complete because the peer's node crashed: a blocked wait on a
     receive from the failed rank, a rendezvous send whose partner died
-    mid-handshake, or (GM only) new traffic toward a peer that has not
-    been {!Mpi.reconnect}ed. Lives here so both backends and the
-    dispatching {!Mpi} layer share one exception. *)
+    mid-handshake, or (connection-oriented backends only) new traffic
+    toward a peer that has not been {!Mpi.reconnect}ed. An alias of
+    {!Transport.Peer_failed} — the exception is defined once in the
+    transport signature so every stack and the dispatching {!Mpi} layer
+    raise the same one. *)
 
 val any_source : int
 (** -1: matches any sender. *)
@@ -48,18 +53,6 @@ val matches : ?context:int -> t -> source:int -> tag:int -> bool
     may be wildcards, the context (default 0, the world) must agree; the
     protocol field is not part of MPI matching. *)
 
-(** {1 Portals encoding} *)
-
-val to_match_bits : t -> Portals.Match_bits.t
-
-val of_match_bits : Portals.Match_bits.t -> t
-
-val recv_match_bits :
-  context:int -> source:int -> tag:int -> Portals.Match_bits.t * Portals.Match_bits.t
-(** [(match_bits, ignore_bits)] for posting a receive: protocol bits are
-    always ignored (a posted receive matches both eager data and
-    rendezvous headers); wildcard source/tag widen the mask. *)
-
 (** {1 Rendezvous header payload (Portals backend)} *)
 
 val rdvz_header_size : int
@@ -81,3 +74,37 @@ type gm_message =
 val gm_header_size : int
 val encode_gm : gm_message -> bytes
 val decode_gm : bytes -> (gm_message, string) result
+
+(** {1 ibverbs channel framing}
+
+    Control and eager messages travelling inside ring-buffer slots of
+    the ibverbs-style backend (Liu et al.'s channel design): eager data,
+    the RTS/CTS-with-buffer-address rendezvous handshake and the FIN
+    that completes an RDMA-write rendezvous. Encoders write in place
+    into the sender's staging buffer (which is then RDMA-written as one
+    unit); the decoder returns a {e view} into the ring slot so eager
+    payloads are blitted at most once. *)
+
+type iv_view =
+  | Iv_eager of { env : t; pay_off : int; pay_len : int }
+      (** Payload bytes live at [pay_off..pay_off+pay_len-1] of the
+          decoded buffer. *)
+  | Iv_rts of { env : t; cookie : int; total_len : int }
+      (** "I have [total_len] bytes; reply with a landing address." *)
+  | Iv_cts of { cookie : int; rkey : int; len : int }
+      (** "RDMA-write up to [len] bytes into my region [rkey]." *)
+  | Iv_fin of { cookie : int; length : int }
+      (** "The write for [cookie] is on the wire; [length] bytes." *)
+
+val iv_header_size : int
+
+val encode_iv_eager :
+  bytes -> off:int -> env:t -> payload:bytes -> pay_off:int -> pay_len:int -> int
+(** Writes header and payload at [off]; returns bytes written. *)
+
+val encode_iv_rts : bytes -> off:int -> env:t -> cookie:int -> total_len:int -> int
+val encode_iv_cts : bytes -> off:int -> cookie:int -> rkey:int -> len:int -> int
+val encode_iv_fin : bytes -> off:int -> cookie:int -> length:int -> int
+
+val decode_iv : bytes -> off:int -> len:int -> (iv_view, string) result
+(** Decode the message occupying [len] bytes at [off]. *)

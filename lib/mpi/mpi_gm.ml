@@ -5,7 +5,7 @@ type config = { eager_threshold : int; recv_tokens : int; call_cost : Time_ns.t 
 let default_config =
   { eager_threshold = 16384; recv_tokens = 64; call_cost = Time_ns.ns 300 }
 
-type status = { source : int; tag : int; length : int }
+type status = Transport.status = { source : int; tag : int; length : int }
 
 type req_kind = Send | Recv
 
@@ -42,6 +42,9 @@ type t = {
   awaiting_data : (int, request * Envelope.t) Hashtbl.t; (* cookie -> recv *)
   failed : (int, unit) Hashtbl.t; (* ranks whose node crashed *)
   mutable peer_cbs : (rank:int -> unit) list;
+  mutable eager_sends : int;
+  mutable rdvz_sends : int;
+  mutable completions : int;
 }
 
 let rank t = t.my_rank
@@ -123,6 +126,9 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       awaiting_data = Hashtbl.create 16;
       failed = Hashtbl.create 4;
       peer_cbs = [];
+      eager_sends = 0;
+      rdvz_sends = 0;
+      completions = 0;
     }
   in
   for _ = 1 to config.recv_tokens do
@@ -143,9 +149,11 @@ let fresh_cookie t =
   t.next_cookie <- c + 1;
   (t.my_rank * 1_000_003) + c
 
-let complete req status =
+let complete t req status =
   match req.state with
-  | `Pending -> req.state <- `Complete status
+  | `Pending ->
+    req.state <- `Complete status;
+    t.completions <- t.completions + 1
   | `Complete _ | `Failed _ -> ()
 
 let on_peer_failure t cb = t.peer_cbs <- t.peer_cbs @ [ cb ]
@@ -203,7 +211,7 @@ let handle_recv t ~src payload length =
     (match match_posted t env with
     | Some req ->
       let n = copy_in t req payload (Bytes.length payload) in
-      complete req
+      complete t req
         { source = env.Envelope.src_rank; tag = env.Envelope.tag; length = n }
     | None ->
       Queue.add (Ux_eager { ux_env = env; ux_payload = payload }) t.unexpected)
@@ -227,7 +235,7 @@ let handle_recv t ~src payload length =
     | Some (req, env) ->
       Hashtbl.remove t.awaiting_data cookie;
       let n = copy_in t req payload (Bytes.length payload) in
-      complete req
+      complete t req
         { source = env.Envelope.src_rank; tag = env.Envelope.tag; length = n });
   ignore src
 
@@ -235,14 +243,14 @@ let handle_sent t =
   match Queue.take_opt t.sent_fifo with
   | None -> ()
   | Some (Sk_eager req) ->
-    complete req
+    complete t req
       {
         source = t.my_rank;
         tag = req.want_tag;
         length = Bytes.length req.buffer;
       }
   | Some (Sk_data req) ->
-    complete req
+    complete t req
       {
         source = t.my_rank;
         tag = req.want_tag;
@@ -305,8 +313,10 @@ let isend t ?(context = 0) ~dst ~tag data =
   in
   (match env.Envelope.protocol with
   | Envelope.Eager ->
+    t.eager_sends <- t.eager_sends + 1;
     gm_send t ~dst (Envelope.Gm_eager { env; payload = data }) (Sk_eager req)
   | Envelope.Rendezvous ->
+    t.rdvz_sends <- t.rdvz_sends + 1;
     let cookie = fresh_cookie t in
     Hashtbl.replace t.awaiting_cts cookie (req, data);
     gm_send t ~dst
@@ -347,7 +357,7 @@ let irecv t ?(context = 0) ?(source = Envelope.any_source)
   (match take_unexpected t ~context ~source ~tag with
   | Some (Ux_eager { ux_env; ux_payload }) ->
     let n = copy_in t req ux_payload (Bytes.length ux_payload) in
-    complete req
+    complete t req
       { source = ux_env.Envelope.src_rank; tag = ux_env.Envelope.tag; length = n }
   | Some (Ux_rts { ux_env; ux_cookie; ux_total }) ->
     grant_rts t ~env:ux_env ~cookie:ux_cookie ~total:ux_total req
@@ -375,3 +385,36 @@ let wait t req =
       loop ()
   in
   loop ()
+
+let counters t =
+  let s = Gm.stats t.gm_port in
+  [
+    ("eager_sends", t.eager_sends);
+    ("rdvz_sends", t.rdvz_sends);
+    ("completions", t.completions);
+    ("port_sends", s.Gm.sends);
+    ("port_receives", s.Gm.receives);
+  ]
+
+(* The Transport.S instance: what Mpi.Make and the conformance suite
+   consume. *)
+module Tx = struct
+  let name = "gm"
+
+  type nonrec t = t
+  type nonrec request = request
+
+  let create tp ~ranks ~rank = create tp ~ranks ~rank ()
+  let finalize = finalize
+  let rank = rank
+  let size = size
+  let isend = isend
+  let irecv = irecv
+  let test = test
+  let wait = wait
+  let progress = progress
+  let on_peer_failure = on_peer_failure
+  let failed_ranks = failed_ranks
+  let reconnect = reconnect
+  let counters = counters
+end

@@ -71,3 +71,10 @@ val reconnect : t -> rank:int -> unit
 (** Clear the failed mark for [rank] — the explicit reconnection GM
     demands before traffic with a restarted peer can resume (its token
     and handshake state did not survive the crash). *)
+
+val counters : t -> (string * int) list
+(** Monotone backend counters: eager/rendezvous sends, completions and
+    the underlying port's send/receive totals. *)
+
+module Tx : Transport.S with type t = t and type request = request
+(** The {!Transport.S} instance of this backend (config defaults). *)

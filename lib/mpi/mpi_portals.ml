@@ -25,7 +25,68 @@ let default_config =
     call_cost = Time_ns.ns 300;
   }
 
-type status = { source : int; tag : int; length : int }
+(* Envelope <-> Portals match-bits codec. Lives here, not in Envelope:
+   the match-bits layout is this adapter's private wire contract with
+   the Portals NI, and no other stack sees it. *)
+(* Field layout within the 64 match bits. *)
+let proto_shift = 62
+let proto_width = 2
+let ctx_shift = 48
+let ctx_width = 14
+let src_shift = 32
+let src_width = 16
+let tag_shift = 0
+let tag_width = 32
+
+let check_ranges ~context ~src_rank ~tag =
+  if context < 0 || context > max_context then invalid_arg "Mpi: bad context";
+  if src_rank < 0 || src_rank > Envelope.max_rank then invalid_arg "Mpi: bad rank";
+  if tag < 0 || tag > Envelope.max_tag then invalid_arg "Mpi: bad tag"
+
+let to_match_bits t =
+  check_ranges ~context:t.Envelope.context ~src_rank:t.src_rank ~tag:t.tag;
+  let open P.Match_bits in
+  let proto = match t.Envelope.protocol with Envelope.Eager -> 0 | Envelope.Rendezvous -> 1 in
+  logor
+    (field ~shift:proto_shift ~width:proto_width proto)
+    (logor
+       (field ~shift:ctx_shift ~width:ctx_width t.context)
+       (logor
+          (field ~shift:src_shift ~width:src_width t.src_rank)
+          (field ~shift:tag_shift ~width:tag_width t.tag)))
+
+let of_match_bits bits =
+  let open P.Match_bits in
+  let proto = extract ~shift:proto_shift ~width:proto_width bits in
+  {
+    Envelope.protocol = (if proto = 0 then Envelope.Eager else Envelope.Rendezvous);
+    context = extract ~shift:ctx_shift ~width:ctx_width bits;
+    src_rank = extract ~shift:src_shift ~width:src_width bits;
+    tag = extract ~shift:tag_shift ~width:tag_width bits;
+  }
+
+let recv_match_bits ~context ~source ~tag =
+  let open P.Match_bits in
+  let mbits =
+    logor
+      (field ~shift:ctx_shift ~width:ctx_width context)
+      (logor
+         (field ~shift:src_shift ~width:src_width
+            (if source = Envelope.any_source then 0 else source))
+         (field ~shift:tag_shift ~width:tag_width (if tag = Envelope.any_tag then 0 else tag)))
+  in
+  let ignore_bits =
+    (* Protocol bits always ignored; wildcards widen the mask. *)
+    let acc = mask ~shift:proto_shift ~width:proto_width in
+    let acc =
+      if source = Envelope.any_source then logor acc (mask ~shift:src_shift ~width:src_width)
+      else acc
+    in
+    if tag = Envelope.any_tag then logor acc (mask ~shift:tag_shift ~width:tag_width) else acc
+  in
+  (mbits, ignore_bits)
+
+type status = Transport.status = { source : int; tag : int; length : int }
 
 type req_kind = Send_eager | Send_rdvz | Recv
 
@@ -81,6 +142,7 @@ type t = {
   mutable ux_highwater : int;
   mutable eager_sends : int;
   mutable rdvz_sends : int;
+  mutable completions : int;
   failed : (int, unit) Hashtbl.t; (* ranks whose node is down *)
   mutable peer_cbs : (rank:int -> unit) list;
 }
@@ -199,6 +261,7 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       ux_highwater = 0;
       eager_sends = 0;
       rdvz_sends = 0;
+      completions = 0;
       failed = Hashtbl.create 4;
       peer_cbs = [];
     }
@@ -235,6 +298,7 @@ let complete t req status =
   match req.state with
   | `Pending ->
     req.state <- `Complete status;
+    t.completions <- t.completions + 1;
     Hashtbl.remove t.reqs req.id
   | `Complete _ | `Failed _ -> ()
 
@@ -297,7 +361,7 @@ let handle_event t (ev : P.Event.t) =
   | P.Event.Put when up < 0 ->
     (* Unexpected: landed in a slab. *)
     let slab = t.slabs.(-up - 1) in
-    let env = Envelope.of_match_bits ev.P.Event.match_bits in
+    let env = of_match_bits ev.P.Event.match_bits in
     (match env.Envelope.protocol with
     | Envelope.Eager ->
       slab.s_outstanding <- slab.s_outstanding + 1;
@@ -330,7 +394,7 @@ let handle_event t (ev : P.Event.t) =
     match find_req t up with
     | None -> ()
     | Some req ->
-      let env = Envelope.of_match_bits ev.P.Event.match_bits in
+      let env = of_match_bits ev.P.Event.match_bits in
       (match env.Envelope.protocol with
       | Envelope.Eager ->
         complete t req
@@ -457,7 +521,7 @@ let isend t ?(context = context_world) ~dst ~tag data =
     ok_exn ~op:"eager put"
       (P.Ni.put t.ni ~md:mdh ~ack:false
          (P.Ni.op ~target ~portal_index:pt_mpi ~cookie:acl_cookie
-            ~match_bits:(Envelope.to_match_bits env) ()))
+            ~match_bits:(to_match_bits env) ()))
   end
   else if Hashtbl.mem t.failed dst then
     (* A rendezvous needs the peer to pull; a down peer never will. Fail
@@ -511,7 +575,7 @@ let isend t ?(context = context_world) ~dst ~tag data =
     ok_exn ~op:"rdvz header put"
       (P.Ni.put t.ni ~md:hmd ~ack:false
          (P.Ni.op ~target ~portal_index:pt_mpi ~cookie:acl_cookie
-            ~match_bits:(Envelope.to_match_bits env) ()))
+            ~match_bits:(to_match_bits env) ()))
   end;
   req
 
@@ -544,7 +608,7 @@ let irecv t ?(context = context_world) ?(source = Envelope.any_source)
   | None ->
     (* Post to the match list: after every earlier posted receive, before
        the unexpected slabs (Fig. 3's ordering). *)
-    let mbits, ibits = Envelope.recv_match_bits ~context ~source ~tag in
+    let mbits, ibits = recv_match_bits ~context ~source ~tag in
     let meh =
       ok_exn ~op:"recv me_insert"
         (P.Ni.me_insert t.ni ~base:(first_slab_me t) ~match_id:P.Match_id.any
@@ -590,3 +654,35 @@ let wait t req =
       loop ()
   in
   loop ()
+
+let counters t =
+  [
+    ("eager_sends", t.eager_sends);
+    ("rdvz_sends", t.rdvz_sends);
+    ("completions", t.completions);
+    ("unexpected_highwater", t.ux_highwater);
+  ]
+
+(* The Transport.S instance: what Mpi.Make and the conformance suite
+   consume. Only the create arity differs from the toplevel API (the
+   signature fixes the config-free form). *)
+module Tx = struct
+  let name = "portals"
+
+  type nonrec t = t
+  type nonrec request = request
+
+  let create tp ~ranks ~rank = create tp ~ranks ~rank ()
+  let finalize = finalize
+  let rank = rank
+  let size = size
+  let isend = isend
+  let irecv = irecv
+  let test = test
+  let wait = wait
+  let progress = progress
+  let on_peer_failure = on_peer_failure
+  let failed_ranks = failed_ranks
+  let reconnect = reconnect
+  let counters = counters
+end

@@ -96,3 +96,10 @@ val failed_ranks : t -> int list
 val reconnect : t -> rank:int -> unit
 (** Provided for API parity with the GM backend; Portals has no per-peer
     connection state, so this merely clears a still-down peer's mark. *)
+
+val counters : t -> (string * int) list
+(** Monotone backend counters: eager/rendezvous sends, completions and
+    the unexpected-buffer highwater. *)
+
+module Tx : Transport.S with type t = t and type request = request
+(** The {!Transport.S} instance of this backend (config defaults). *)

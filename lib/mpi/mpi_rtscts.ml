@@ -1,0 +1,21 @@
+(* The production Cplant kernel stack: MPI over Portals over the RTS/CTS
+   packetization modules. The MPI <-> Portals glue is identical to the
+   NIC-offload stack (that is the paper's point: the API is placement
+   agnostic), so this adapter is the Portals glue under its kernel-stack
+   name; Runtime.Stack pairs it with the [Rtscts] wire. *)
+
+type config = Mpi_portals.config
+
+let default_config = Mpi_portals.default_config
+
+type status = Transport.status = { source : int; tag : int; length : int }
+type t = Mpi_portals.t
+type request = Mpi_portals.request
+
+let create = Mpi_portals.create
+
+module Tx = struct
+  include Mpi_portals.Tx
+
+  let name = "rtscts"
+end

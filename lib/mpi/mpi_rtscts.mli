@@ -1,0 +1,32 @@
+(** MPI over Portals over the kernel RTS/CTS modules — the production
+    Cplant stack §3 describes ("MPICH/Portals3.0" in Figure 6).
+
+    The MPI glue is {!Mpi_portals} unchanged: the whole point of the
+    Portals placement argument is that the library above the API cannot
+    tell whether matching runs on the NIC or in the kernel. What makes
+    this a distinct stack is the wire underneath — {!Rtscts.transport},
+    supplied by the world builder ([Runtime.Stack] pairs the two) — so
+    the {!Transport.S} instance here exists to give the stack its own
+    name in benchmark-matrix rows and CLI [--transports] lists. *)
+
+type config = Mpi_portals.config
+
+val default_config : config
+
+type status = Transport.status = { source : int; tag : int; length : int }
+type t = Mpi_portals.t
+type request = Mpi_portals.request
+
+val create :
+  Simnet.Transport.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?config:config ->
+  unit ->
+  t
+(** Bring up the endpoint; the given wire should be an RTS/CTS kernel
+    transport for the stack to match its name. *)
+
+module Tx : Transport.S with type t = t and type request = request
+(** The {!Transport.S} instance: {!Mpi_portals.Tx} renamed
+    ["rtscts"]. *)

@@ -1,0 +1,24 @@
+(** Shared CLI plumbing for the front-ends ([bin/portals_repro],
+    [bench/main]): name-list parsing and validation implemented once, so
+    a malformed [--transports] or [--axes] list produces the same clean
+    usage error from either binary. *)
+
+val split_csv : string -> string list
+(** Split on [','], trim, drop empties. *)
+
+val transport_kinds : (string * World.transport_kind) list
+(** The wire-placement names both CLIs accept for [--transport]
+    ([offload]/[mcp], [kernel], [rtscts]). *)
+
+val transport_kind_of_string :
+  string -> (World.transport_kind, string) result
+
+val pick : what:string -> valid:string list -> string -> (string, string) result
+(** Validate one name against a closed set; the error spells the set
+    out ("unknown transport "bogus" (valid: portals, gm, ...)"). *)
+
+val pick_list :
+  what:string -> valid:string list -> string -> (string list, string) result
+(** Parse a comma-separated name list: each element validated with
+    {!pick}, duplicates dropped (first wins), order preserved. [""] and
+    ["all"] select the full set in [valid]'s order. *)

@@ -5,3 +5,5 @@
 include World
 module Control = Control
 module Liveness = Liveness
+module Stack = Stack
+module Cli = Cli

@@ -1,0 +1,85 @@
+(* The benchmark-stack registry: one row per named MPI-over-wire
+   combination the paper's comparison covers. A stack pairs a wire
+   placement (World.transport_kind) with the Transport.S instance that
+   runs over it, so experiment code can iterate "for every stack" and
+   build identical workloads over each. *)
+
+type t = {
+  name : string;
+  kind : World.transport_kind;
+  create :
+    Simnet.Transport.t -> ranks:Simnet.Proc_id.t array -> rank:int -> Mpi.t;
+}
+
+let all =
+  [
+    {
+      name = "portals";
+      kind = World.Offload;
+      create = (fun tp ~ranks ~rank -> Mpi.create_portals tp ~ranks ~rank ());
+    };
+    {
+      name = "gm";
+      kind = World.Offload;
+      create = (fun tp ~ranks ~rank -> Mpi.create_gm tp ~ranks ~rank ());
+    };
+    {
+      name = "rtscts";
+      kind = World.Rtscts;
+      create = (fun tp ~ranks ~rank -> Mpi.create_rtscts tp ~ranks ~rank ());
+    };
+    {
+      name = "ibverbs";
+      kind = World.Offload;
+      create = (fun tp ~ranks ~rank -> Mpi.create_ibverbs tp ~ranks ~rank ());
+    };
+  ]
+
+let names = List.map (fun s -> s.name) all
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Runtime.Stack: unknown stack %S (valid: %s)" name
+         (String.concat ", " names))
+
+(* Mirror of World.launch_mpi, driven by a stack row: endpoints exist
+   before any rank runs; finalize is collective behind a tolerant
+   barrier (see World.launch_mpi for why). *)
+let launch ?profile ?procs_per_node ?seed ?topology ?queue_limit ~nodes stack
+    main =
+  let world =
+    World.create_world ?profile ~transport:stack.kind ?procs_per_node ?seed
+      ?topology ?queue_limit ~nodes ()
+  in
+  let endpoints =
+    Array.init (World.job_size world)
+      (fun rank -> stack.create world.World.transport ~ranks:world.World.ranks ~rank)
+  in
+  World.spawn_ranks world (fun ~rank ->
+      let ep = endpoints.(rank) in
+      main ep;
+      Mpi.barrier ~tolerant:true ep;
+      Mpi.finalize ep);
+  World.run world;
+  world
+
+(* Same launch over a caller-assembled world (a lossy fabric, a custom
+   profile): the stack only contributes its endpoints. The world's
+   transport must match [stack.kind]'s placement for the name to mean
+   what it says. *)
+let launch_on world stack main =
+  let endpoints =
+    Array.init (World.job_size world)
+      (fun rank -> stack.create world.World.transport ~ranks:world.World.ranks ~rank)
+  in
+  World.spawn_ranks world (fun ~rank ->
+      let ep = endpoints.(rank) in
+      main ep;
+      Mpi.barrier ~tolerant:true ep;
+      Mpi.finalize ep);
+  World.run world;
+  world

@@ -1,0 +1,45 @@
+(** The benchmark-stack registry: every named MPI-over-wire combination
+    the cross-stack comparison covers, in one table.
+
+    A stack is a wire placement plus the {!Transport.S} instance layered
+    over it: ["portals"] (NIC-offload Portals, §5.2), ["gm"]
+    (MPICH/GM-style ports and tokens), ["rtscts"] (the kernel RTS/CTS
+    production stack of §3) and ["ibverbs"] (RDMA-write rings and
+    rendezvous, Liu et al.). [Experiments.Matrix] iterates this table;
+    the CLIs validate [--transports] lists against {!names}. *)
+
+type t = {
+  name : string;  (** The [--transports] / matrix-row name. *)
+  kind : World.transport_kind;  (** Wire placement the stack runs over. *)
+  create :
+    Simnet.Transport.t -> ranks:Simnet.Proc_id.t array -> rank:int -> Mpi.t;
+      (** Endpoint constructor with the stack's default configuration. *)
+}
+
+val all : t list
+(** Every stack, in canonical report order. *)
+
+val names : string list
+(** [List.map name all]. *)
+
+val find : string -> t option
+val find_exn : string -> t
+(** Raises [Invalid_argument] naming the valid stacks. *)
+
+val launch :
+  ?profile:Simnet.Profile.t ->
+  ?procs_per_node:int ->
+  ?seed:int ->
+  ?topology:Simnet.Topology.kind ->
+  ?queue_limit:int ->
+  nodes:int ->
+  t ->
+  (Mpi.t -> unit) ->
+  World.world
+(** {!World.launch_mpi} driven by a stack row: build the world for the
+    stack's placement, create one endpoint per rank (before any rank
+    runs), run [main] on each, finalize collectively. *)
+
+val launch_on : World.world -> t -> (Mpi.t -> unit) -> World.world
+(** Same, over a caller-assembled world (lossy fabric, custom profile);
+    the world's transport should match the stack's placement. *)

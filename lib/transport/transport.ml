@@ -1,0 +1,29 @@
+type status = { source : int; tag : int; length : int }
+
+exception Peer_failed of int
+
+let any_source = -1
+let any_tag = -1
+
+module type S = sig
+  val name : string
+
+  type t
+  type request
+
+  val create : Simnet.Transport.t -> ranks:Simnet.Proc_id.t array -> rank:int -> t
+  val finalize : t -> unit
+  val rank : t -> int
+  val size : t -> int
+  val isend : t -> ?context:int -> dst:int -> tag:int -> bytes -> request
+  val irecv : t -> ?context:int -> ?source:int -> ?tag:int -> bytes -> request
+  val test : t -> request -> status option
+  val wait : t -> request -> status
+  val progress : t -> unit
+  val on_peer_failure : t -> (rank:int -> unit) -> unit
+  val failed_ranks : t -> int list
+  val reconnect : t -> rank:int -> unit
+  val counters : t -> (string * int) list
+end
+
+type packed = (module S)

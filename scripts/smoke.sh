@@ -48,4 +48,20 @@ $DUNE exec bin/portals_repro.exe -- \
   | tee "$OUT/fig6_ring_lossy.out"
 grep -q 'Portals3.0-MCP' "$OUT/fig6_ring_lossy.out"
 
+echo "== smoke: cross-stack benchmark matrix (2 transports x 2 axes) =="
+# One host-progress stack and one offload stack through the same two
+# axes at a fixed seed; rows must appear for both.
+$DUNE exec bin/portals_repro.exe -- \
+  matrix --quick --run-seed 42 --transports portals,ibverbs \
+  --axes latency,overlap | tee "$OUT/matrix.out"
+grep -q '^portals ' "$OUT/matrix.out"
+grep -q '^ibverbs ' "$OUT/matrix.out"
+# A malformed --transports list must die with a clean usage error.
+if $DUNE exec bin/portals_repro.exe -- matrix --transports bogus \
+    2>"$OUT/matrix.err"; then
+  echo "matrix accepted a bogus transport list" >&2
+  exit 1
+fi
+grep -q 'unknown transport' "$OUT/matrix.err"
+
 echo "== smoke: ok =="

@@ -1,0 +1,301 @@
+(* The transport conformance suite: one functor over Transport.S applied
+   to all four stacks (portals, gm, rtscts, ibverbs), so a new backend is
+   correct-by-construction — implement the signature, add one line here,
+   and it inherits the whole behavioural contract:
+
+     - per-pair in-order delivery, across the eager/rendezvous boundary
+       (qcheck over random message ladders);
+     - exactly-once delivery over a faulty fabric (Bernoulli loss +
+       duplication under the reliability shim);
+     - uniform peer-failure surfacing on node crash: wait raises
+       Peer_failed, the callback fires, failed_ranks reports, and
+       restart + reconnect clears the mark;
+     - counters monotone non-decreasing over the endpoint's life.
+
+   Plus one ibverbs-specific test: the RDMA-write fast path beats the
+   same stack's own rendezvous on small messages (Liu et al.'s
+   crossover, reproduced qualitatively). *)
+
+open Sim_engine
+
+let proc nid pid = Simnet.Proc_id.make ~nid ~pid
+
+(* What the functor needs beyond Transport.S: how to build the wire this
+   stack runs over (the NIC placement of the paper's taxonomy). *)
+module type STACK = sig
+  include Transport.S
+
+  val wire : Simnet.Fabric.t -> Simnet.Transport.t
+  val profile : Simnet.Profile.t
+end
+
+module Conformance (T : STACK) = struct
+  (* Build an [n]-rank world over [T]'s wire and run [body fabric ep rank]
+     in one fiber per rank. *)
+  let with_world ?(n = 2) ?fault ?(reliability = false) ?seed body =
+    let sched = Scheduler.create ?seed () in
+    let fabric = Simnet.Fabric.create sched ~profile:T.profile ~nodes:n in
+    (match fault with
+    | None -> ()
+    | Some f -> Simnet.Fabric.set_fault_model fabric (Some f));
+    if reliability then ignore (Reliability.attach fabric);
+    let tp = T.wire fabric in
+    let ranks = Array.init n (fun r -> proc r 0) in
+    let eps = Array.init n (fun rank -> T.create tp ~ranks ~rank) in
+    Array.iteri
+      (fun rank ep ->
+        Scheduler.spawn sched ~name:(Printf.sprintf "%s.r%d" T.name rank)
+          (fun () -> body sched fabric ep rank))
+      eps;
+    Scheduler.run sched;
+    eps
+
+  (* Payload [i] of a ladder: first byte is the sequence number, the rest
+     a size-dependent fill — enough to detect both reordering and
+     corruption. *)
+  let payload ~seq ~size =
+    Bytes.init (max 1 size) (fun j ->
+        if j = 0 then Char.chr (seq land 0xff)
+        else Char.chr ((seq + (j * 31)) land 0xff))
+
+  let seq_of b = Char.code (Bytes.get b 0)
+
+  (* 1. Per-pair in-order delivery, sizes straddling every stack's
+     eager/rendezvous threshold. qcheck generates the ladder. *)
+  let inorder_prop sizes =
+    let n = List.length sizes in
+    let got = ref [] in
+    ignore
+      (with_world (fun _sched _fabric ep rank ->
+           if rank = 0 then begin
+             let reqs =
+               List.mapi
+                 (fun i size ->
+                   T.isend ep ~dst:1 ~tag:0 (payload ~seq:i ~size))
+                 sizes
+             in
+             List.iter (fun r -> ignore (T.wait ep r)) reqs
+           end
+           else
+             (* Post everything up front with full wildcards: matching
+                order must equal per-pair arrival order. *)
+             let bufs = List.map (fun size -> Bytes.create (max 1 size)) sizes in
+             let reqs = List.map (fun b -> T.irecv ep b) bufs in
+             got :=
+               List.map2
+                 (fun r b ->
+                   let st = T.wait ep r in
+                   (seq_of b, st.Transport.length))
+                 reqs bufs));
+    List.length !got = n
+    && List.for_all2
+         (fun i size -> List.nth !got i = (i, max 1 size))
+         (List.init n (fun i -> i))
+         sizes
+
+  let inorder_qcheck =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:(T.name ^ ": per-pair in-order delivery (random ladders)")
+         ~count:12
+         QCheck.(list_of_size Gen.(1 -- 8) (int_range 0 20_000))
+         (fun sizes -> match sizes with [] -> true | _ -> inorder_prop sizes))
+
+  (* 2. Exactly-once delivery over a faulty fabric: 5% Bernoulli loss
+     composed with 5% duplication, reliability shim underneath. A lost
+     message would stall the ladder; a duplicate leaking through would
+     steal a posted receive and break the sequence. *)
+  let faulty_fabric () =
+    let msgs = 30 in
+    let fault =
+      Simnet.Fault.compose
+        [
+          Simnet.Fault.bernoulli ~seed:11 ~p:0.05 ();
+          Simnet.Fault.duplicator ~seed:12 ~p:0.05 ();
+        ]
+    in
+    let got = ref [] in
+    ignore
+      (with_world ~fault ~reliability:true ~seed:7
+         (fun _sched _fabric ep rank ->
+           if rank = 0 then
+             List.init msgs (fun i ->
+                 T.isend ep ~dst:1 ~tag:i (payload ~seq:i ~size:512))
+             |> List.iter (fun r -> ignore (T.wait ep r))
+           else
+             let bufs = List.init msgs (fun _ -> Bytes.create 512) in
+             let reqs = List.map (fun b -> T.irecv ep ~source:0 b) bufs in
+             got := List.map2 (fun r b ->
+                 ignore (T.wait ep r);
+                 seq_of b) reqs bufs));
+    Alcotest.(check (list int))
+      "every message exactly once, in order"
+      (List.init msgs (fun i -> i land 0xff))
+      !got
+
+  (* 3. Peer death surfaces uniformly: the blocked wait raises
+     Peer_failed, the registered callback fires, failed_ranks reports
+     the peer — and restart + reconnect clears the mark on every stack
+     (pure bookkeeping on connectionless ones). *)
+  let peer_failure () =
+    let cb_ranks = ref [] in
+    let observed = ref None in
+    let after_reconnect = ref None in
+    ignore
+      (with_world (fun sched fabric ep rank ->
+           if rank = 0 then begin
+             T.on_peer_failure ep (fun ~rank -> cb_ranks := rank :: !cb_ranks);
+             Scheduler.after sched (Time_ns.us 50.) (fun () ->
+                 Simnet.Fabric.crash fabric 1);
+             (match T.wait ep (T.irecv ep ~source:1 (Bytes.create 64)) with
+             | _ -> observed := Some `Completed
+             | exception Transport.Peer_failed r ->
+               observed := Some (`Failed (r, T.failed_ranks ep)));
+             Simnet.Fabric.restart fabric 1;
+             T.reconnect ep ~rank:1;
+             after_reconnect := Some (T.failed_ranks ep)
+           end));
+    (match !observed with
+    | Some (`Failed (r, failed)) ->
+      Alcotest.(check int) "Peer_failed carries the rank" 1 r;
+      Alcotest.(check (list int)) "failed_ranks reports it" [ 1 ] failed
+    | Some `Completed -> Alcotest.fail "recv completed against a dead peer"
+    | None -> Alcotest.fail "wait never returned");
+    Alcotest.(check (list int)) "callback fired once" [ 1 ] !cb_ranks;
+    Alcotest.(check (option (list int)))
+      "restart + reconnect clears the mark" (Some []) !after_reconnect
+
+  (* 4. Counters are monotone non-decreasing: sample after every
+     operation of a mixed eager/rendezvous ping stream. *)
+  let counters_monotone () =
+    let violations = ref [] in
+    ignore
+      (with_world (fun _sched _fabric ep rank ->
+           if rank = 0 then begin
+             let prev = ref (T.counters ep) in
+             let step () =
+               let now = T.counters ep in
+               List.iter
+                 (fun (k, v) ->
+                   match List.assoc_opt k !prev with
+                   | Some v0 when v < v0 -> violations := (k, v0, v) :: !violations
+                   | _ -> ())
+                 now;
+               prev := now
+             in
+             List.iter
+               (fun size ->
+                 ignore (T.wait ep (T.isend ep ~dst:1 ~tag:0 (payload ~seq:0 ~size)));
+                 step ();
+                 ignore (T.wait ep (T.irecv ep ~source:1 (Bytes.create 4)));
+                 step ())
+               [ 16; 256; 20_000; 16 ]
+           end
+           else
+             List.iter
+               (fun size ->
+                 ignore (T.wait ep (T.irecv ep ~source:0 (Bytes.create (max 1 size))));
+                 ignore (T.wait ep (T.isend ep ~dst:0 ~tag:0 (Bytes.create 4))))
+               [ 16; 256; 20_000; 16 ]));
+    List.iter
+      (fun (k, v0, v) ->
+        Alcotest.failf "counter %s decreased: %d -> %d" k v0 v)
+      !violations
+
+  let tests =
+    [
+      inorder_qcheck;
+      Alcotest.test_case
+        (T.name ^ ": exactly-once over lossy+duplicating fabric")
+        `Quick faulty_fabric;
+      Alcotest.test_case (T.name ^ ": peer failure surfaces uniformly")
+        `Quick peer_failure;
+      Alcotest.test_case (T.name ^ ": counters monotone") `Quick
+        counters_monotone;
+    ]
+end
+
+module Portals_c = Conformance (struct
+  include Mpi.Mpi_portals.Tx
+
+  let wire = Simnet.Transport.offload
+  let profile = Simnet.Profile.myrinet_mcp
+end)
+
+module Gm_c = Conformance (struct
+  include Mpi.Mpi_gm.Tx
+
+  let wire = Simnet.Transport.offload
+  let profile = Simnet.Profile.myrinet_mcp
+end)
+
+module Rtscts_c = Conformance (struct
+  include Mpi.Mpi_rtscts.Tx
+
+  let wire fabric = Rtscts.transport (Rtscts.create fabric)
+  let profile = Simnet.Profile.myrinet_kernel
+end)
+
+module Ibverbs_c = Conformance (struct
+  include Mpi.Mpi_ibverbs.Tx
+
+  let wire = Simnet.Transport.offload
+  let profile = Simnet.Profile.myrinet_mcp
+end)
+
+(* Liu et al.'s crossover: the same 64-byte ping-pong is faster through
+   the ring fast path (default config) than when forced through
+   rendezvous (eager_threshold = 0) — the reason the fast path exists. *)
+let ibverbs_crossover () =
+  let run config =
+    let sched = Scheduler.create () in
+    let fabric =
+      Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes:2
+    in
+    let tp = Simnet.Transport.offload fabric in
+    let ranks = Array.init 2 (fun r -> proc r 0) in
+    let eps =
+      Array.init 2 (fun rank ->
+          Mpi.Mpi_ibverbs.create tp ~ranks ~rank ~config ())
+    in
+    let finish = ref Time_ns.zero in
+    Array.iteri
+      (fun rank ep ->
+        Scheduler.spawn sched ~name:(Printf.sprintf "xover.r%d" rank)
+          (fun () ->
+            let module I = Mpi.Mpi_ibverbs in
+            let buf = Bytes.create 64 in
+            for _ = 1 to 20 do
+              if rank = 0 then begin
+                ignore (I.wait ep (I.isend ep ~dst:1 ~tag:0 (Bytes.create 64)));
+                ignore (I.wait ep (I.irecv ep ~source:1 buf))
+              end
+              else begin
+                ignore (I.wait ep (I.irecv ep ~source:0 buf));
+                ignore (I.wait ep (I.isend ep ~dst:0 ~tag:0 (Bytes.create 64)))
+              end
+            done;
+            if rank = 0 then finish := Scheduler.now sched))
+      eps;
+    Scheduler.run sched;
+    Time_ns.to_us !finish
+  in
+  let fast = run Mpi.Mpi_ibverbs.default_config in
+  let rendezvous =
+    run { Mpi.Mpi_ibverbs.default_config with eager_threshold = 0 }
+  in
+  if not (fast < rendezvous) then
+    Alcotest.failf "fast path (%.1f us) not faster than rendezvous (%.1f us)"
+      fast rendezvous
+
+let () =
+  Alcotest.run "transport conformance"
+    [
+      ("portals", Portals_c.tests);
+      ("gm", Gm_c.tests);
+      ("rtscts", Rtscts_c.tests);
+      ("ibverbs", Ibverbs_c.tests);
+      ( "ibverbs-crossover",
+        [ Alcotest.test_case "fast path beats rendezvous at 64B" `Quick
+            ibverbs_crossover ] );
+    ]
