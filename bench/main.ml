@@ -26,6 +26,8 @@ type opts = {
   mutable matrix : bool;
   mutable transports : string list;
   mutable axes : string list;
+  mutable rma : bool;
+  mutable workloads : string list;
 }
 
 let usage ppf =
@@ -63,6 +65,11 @@ let usage ppf =
      \  --axes LIST             matrix axes: latency,bandwidth,overlap,@.\
      \                          loss-goodput,congestion-goodput@.\
      \                          (comma separated; default all)@.\
+     \  --rma                   print the one-sided RMA workloads@.\
+     \                          (latency, passive, halo, hashtable) and@.\
+     \                          skip the rest@.\
+     \  --workloads LIST        RMA workloads: latency,passive,halo,@.\
+     \                          hashtable (comma separated; default all)@.\
      \  --help                  this message@."
 
 (* Stdlib-only parsing; every value option accepts both "--flag VALUE"
@@ -79,6 +86,8 @@ let parse_opts () =
       matrix = false;
       transports = Experiments.Matrix.transport_names;
       axes = Experiments.Matrix.axis_names;
+      rma = false;
+      workloads = Experiments.Rma.workload_names;
     }
   in
   let bad what =
@@ -150,6 +159,19 @@ let parse_opts () =
       | "--matrix" ->
         o.matrix <- true;
         go rest
+      | "--rma" ->
+        o.rma <- true;
+        go rest
+      | "--workloads" ->
+        value ~what:"LIST" rest (fun v rest ->
+            match
+              Runtime.Cli.pick_list ~what:"workload"
+                ~valid:Experiments.Rma.workload_names v
+            with
+            | Ok l ->
+              o.workloads <- l;
+              go rest
+            | Error msg -> bad msg)
       | "--transports" ->
         value ~what:"LIST" rest (fun v rest ->
             match
@@ -281,6 +303,11 @@ let print_all opts =
     "N1: traffic patterns vs interconnect topology (section 2: Cplant scale)@.";
   line ppf;
   Experiments.Congestion.pp ppf (Experiments.Congestion.run ());
+  line ppf;
+  Format.fprintf ppf
+    "RMA: one-sided windows over Portals atomics (section 4.4, MPI-2 heritage)@.";
+  line ppf;
+  Experiments.Rma.pp ppf (Experiments.Rma.run ());
   line ppf
 
 (* One Bechamel test per experiment: how long the harness takes to
@@ -377,6 +404,8 @@ let perf_mode opts out =
     Experiments.Perf.all ~quick:opts.quick ()
     @ Experiments.Matrix.perf_records ~transports:opts.transports
         ~axes:opts.axes ~quick:opts.quick ()
+    @ Experiments.Rma.perf_records ~workloads:opts.workloads ~quick:opts.quick
+        ()
   in
   Experiments.Perf.pp Format.std_formatter records;
   Experiments.Perf.write_json ~path:out records;
@@ -419,8 +448,23 @@ let () =
      count — raise [Invalid_argument] mid-run; report them as usage
      errors. *)
   try
-    match (opts.matrix, opts.json_out) with
-    | true, json ->
+    match (opts.matrix, opts.rma, opts.json_out) with
+    | _, true, json ->
+      let t =
+        Experiments.Rma.run ~workloads:opts.workloads ~quick:opts.quick ()
+      in
+      Experiments.Rma.pp Format.std_formatter t;
+      (match json with
+      | None -> ()
+      | Some out ->
+        let records =
+          Experiments.Rma.perf_records ~workloads:opts.workloads
+            ~quick:opts.quick ()
+        in
+        Experiments.Perf.write_json ~path:out records;
+        Format.printf "bench: wrote %s@." out);
+      footer ~wall_s:(Unix.gettimeofday () -. t0)
+    | true, false, json ->
       let t =
         Experiments.Matrix.run ~transports:opts.transports ~axes:opts.axes
           ~quick:opts.quick ()
@@ -436,8 +480,8 @@ let () =
         Experiments.Perf.write_json ~path:out records;
         Format.printf "bench: wrote %s@." out);
       footer ~wall_s:(Unix.gettimeofday () -. t0)
-    | false, Some out -> perf_mode opts out
-    | false, None ->
+    | false, false, Some out -> perf_mode opts out
+    | false, false, None ->
       print_all opts;
       benchmark ();
       footer ~wall_s:(Unix.gettimeofday () -. t0);

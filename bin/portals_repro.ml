@@ -212,7 +212,7 @@ let emit_observability ~metrics ~trace_out ~snapshot ~traces =
 
 let tables_cmd =
   let run () = Experiments.Tables.pp ppf (Experiments.Tables.run ()) in
-  Cmd.v (Cmd.info "tables" ~doc:"Regenerate Tables 1-4 (wire formats)")
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate Tables 1-6 (wire formats)")
     Term.(const run $ env_term)
 
 let protocols_cmd =
@@ -577,6 +577,53 @@ let matrix_cmd =
           (MX)")
     Term.(const run $ env_term $ transports $ axes $ quick $ seed $ json)
 
+let run_rma ?(workloads = Experiments.Rma.workload_names) ?(quick = false)
+    ?(seed = 0) ?json () =
+  let t = Experiments.Rma.run ~workloads ~quick ~seed () in
+  Experiments.Rma.pp ppf t;
+  match json with
+  | None -> ()
+  | Some out ->
+    let records = Experiments.Rma.perf_records ~workloads ~quick ~seed () in
+    Experiments.Perf.write_json ~path:out records;
+    Format.fprintf ppf "rma: wrote %s@." out
+
+let rma_cmd =
+  let run () workloads quick seed json = run_rma ~workloads ~quick ~seed ?json () in
+  let workloads =
+    Arg.(
+      value
+      & opt
+          (names_conv ~what:"workload" ~valid:Experiments.Rma.workload_names)
+          Experiments.Rma.workload_names
+      & info [ "workloads" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated workloads to run ($(b,latency), $(b,passive), \
+             $(b,halo), $(b,hashtable); $(b,all) for every workload).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smoke-test sized workloads.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also meter every workload as a portals-bench/1 record \
+             (id $(b,RMA.<workload>)) and write the report to $(docv) — \
+             the file the CI perf gate consumes.")
+  in
+  Cmd.v
+    (Cmd.info "rma"
+       ~doc:
+         "One-sided RMA: window put/atomic latency, passive-target \
+          progress, RMA vs send/recv halo, CAS hash table (RMA)")
+    Term.(const run $ env_term $ workloads $ quick $ seed $ json)
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -593,7 +640,8 @@ let all_cmd =
     Experiments.Ablation.pp_interrupts ppf (Experiments.Ablation.run_interrupts ());
     Experiments.Rel_loss_sweep.pp ppf (Experiments.Rel_loss_sweep.run ());
     Experiments.Crash_restart.pp ppf (Experiments.Crash_restart.run ());
-    Experiments.Congestion.pp ppf (Experiments.Congestion.run ())
+    Experiments.Congestion.pp ppf (Experiments.Congestion.run ());
+    Experiments.Rma.pp ppf (Experiments.Rma.run ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every table and figure")
     Term.(const run $ env_term)
@@ -664,6 +712,7 @@ let default_term =
       run_congestion ~metrics ();
       `Ok ()
     | Some ("matrix" as n) -> plain n (fun () -> run_matrix ())
+    | Some ("rma" as n) -> plain n (fun () -> run_rma ())
     | Some other ->
       `Error
         ( false,
@@ -687,7 +736,7 @@ let () =
               tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
               bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
               drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-              congestion_cmd; matrix_cmd; all_cmd;
+              congestion_cmd; matrix_cmd; rma_cmd; all_cmd;
             ])
      with Invalid_argument msg ->
        Format.eprintf "portals_repro: %s@." msg;

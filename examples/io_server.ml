@@ -42,7 +42,8 @@ let file_read ni eqh eqq ~server ~block =
     let ev = P.Event.Queue.wait eqq in
     match ev.P.Event.kind with
     | P.Event.Reply -> buffer
-    | P.Event.Sent | P.Event.Ack | P.Event.Put | P.Event.Get -> await ()
+    | P.Event.Sent | P.Event.Ack | P.Event.Put | P.Event.Get
+    | P.Event.Atomic -> await ()
   in
   await ()
 
@@ -62,7 +63,8 @@ let file_write ni eqh eqq ~server ~block data =
     let ev = P.Event.Queue.wait eqq in
     match ev.P.Event.kind with
     | P.Event.Ack -> ()
-    | P.Event.Sent | P.Event.Reply | P.Event.Put | P.Event.Get -> await ()
+    | P.Event.Sent | P.Event.Reply | P.Event.Put | P.Event.Get
+    | P.Event.Atomic -> await ()
   in
   await ()
 

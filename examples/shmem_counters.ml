@@ -23,7 +23,7 @@ let () =
     Array.mapi
       (fun rank pid ->
         let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
-        Onesided.create ni ~ranks:world.Runtime.ranks ~rank ())
+        Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank ())
       world.Runtime.ranks
   in
   (* Symmetric allocations, same order everywhere. *)

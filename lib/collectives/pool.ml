@@ -143,7 +143,8 @@ let dispatch t ev =
       }
       q;
     t.pending_count <- t.pending_count + 1
-  | P.Event.Put | P.Event.Get | P.Event.Reply | P.Event.Ack | P.Event.Sent -> ()
+  | P.Event.Put | P.Event.Get | P.Event.Atomic | P.Event.Reply | P.Event.Ack
+  | P.Event.Sent -> ()
 
 let drain t =
   let rec go () =

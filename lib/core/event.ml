@@ -1,10 +1,11 @@
-type kind = Sent | Ack | Put | Get | Reply
+type kind = Sent | Ack | Put | Get | Atomic | Reply
 
 let kind_to_string = function
   | Sent -> "SENT"
   | Ack -> "ACK"
   | Put -> "PUT"
   | Get -> "GET"
+  | Atomic -> "ATOMIC"
   | Reply -> "REPLY"
 
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)

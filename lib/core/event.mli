@@ -13,7 +13,12 @@ type kind =
   | Ack  (** Initiator: the target acknowledged a put. *)
   | Put  (** Target: an incoming put was deposited. *)
   | Get  (** Target: an incoming get read this descriptor. *)
-  | Reply  (** Initiator: the data for a get arrived. *)
+  | Atomic
+      (** Target: an incoming atomic read-modified-wrote a word of this
+          descriptor. *)
+  | Reply
+      (** Initiator: the data for a get — or the fetched value of an
+          atomic — arrived. *)
 
 val kind_to_string : kind -> string
 val pp_kind : Format.formatter -> kind -> unit

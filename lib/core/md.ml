@@ -98,7 +98,7 @@ let decr_pending t =
   if t.pending_ops <= 0 then invalid_arg "Md.decr_pending: no pending operation";
   t.pending_ops <- t.pending_ops - 1
 
-type operation = Op_put | Op_get
+type operation = Op_put | Op_get | Op_atomic
 
 type reject_reason = Inactive | Op_disabled | Too_long
 
@@ -113,12 +113,22 @@ type acceptance = { offset : int; mlength : int }
 
 let accepts t ~op ~rlength ~roffset =
   if not (active t) then Error Inactive
-  else if (match op with Op_put -> not t.opts.op_put | Op_get -> not t.opts.op_get)
+  else if
+    match op with
+    | Op_put -> not t.opts.op_put
+    | Op_get -> not t.opts.op_get
+    (* An atomic both reads and writes the word, so the region must
+       permit both operation classes. *)
+    | Op_atomic -> not (t.opts.op_put && t.opts.op_get)
   then Error Op_disabled
   else begin
     let offset = if t.opts.manage_remote then roffset else t.loc_offset in
     let avail = t.md_len - offset in
     if rlength <= avail then Ok { offset; mlength = rlength }
+    else if op = Op_atomic then
+      (* Read-modify-write of a partial word is meaningless: atomics
+         never truncate. *)
+      Error Too_long
     else if t.opts.truncate then
       (* An offset past the end truncates to an empty transfer at the
          region's end, keeping offset + mlength within bounds. *)

@@ -97,7 +97,12 @@ val pending : t -> int
 val incr_pending : t -> unit
 val decr_pending : t -> unit
 
-type operation = Op_put | Op_get
+type operation =
+  | Op_put
+  | Op_get
+  | Op_atomic
+      (** Read-modify-write of a 64-bit word: requires both [op_put] and
+          [op_get] enabled, never truncates. *)
 
 type reject_reason =
   | Inactive  (** Threshold exhausted but MD retained. *)

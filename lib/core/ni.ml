@@ -18,12 +18,16 @@ type drop_reason =
   | Reply_no_md
   | Reply_eq_full
   | Stale_incarnation
+  | Atomic_misaligned
+  | Atomic_reply_no_md
+  | Atomic_reply_eq_full
 
 let all_drop_reasons =
   [
     Malformed; Invalid_portal_index; Acl_bad_cookie; Acl_id_mismatch;
     Acl_portal_mismatch; No_match; Ack_no_eq; Reply_no_md; Reply_eq_full;
-    Stale_incarnation;
+    Stale_incarnation; Atomic_misaligned; Atomic_reply_no_md;
+    Atomic_reply_eq_full;
   ]
 
 let drop_reason_index = function
@@ -37,6 +41,9 @@ let drop_reason_index = function
   | Reply_no_md -> 7
   | Reply_eq_full -> 8
   | Stale_incarnation -> 9
+  | Atomic_misaligned -> 10
+  | Atomic_reply_no_md -> 11
+  | Atomic_reply_eq_full -> 12
 
 let drop_reason_slug = function
   | Malformed -> "malformed"
@@ -49,6 +56,9 @@ let drop_reason_slug = function
   | Reply_no_md -> "reply_no_md"
   | Reply_eq_full -> "reply_eq_full"
   | Stale_incarnation -> "stale_incarnation"
+  | Atomic_misaligned -> "atomic_misaligned"
+  | Atomic_reply_no_md -> "atomic_reply_no_md"
+  | Atomic_reply_eq_full -> "atomic_reply_eq_full"
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -62,13 +72,18 @@ let pp_drop_reason ppf r =
     | Ack_no_eq -> "acknowledgment event queue gone"
     | Reply_no_md -> "reply memory descriptor gone"
     | Reply_eq_full -> "reply event queue full"
-    | Stale_incarnation -> "sender incarnation is stale")
+    | Stale_incarnation -> "sender incarnation is stale"
+    | Atomic_misaligned -> "atomic word misaligned or mis-sized"
+    | Atomic_reply_no_md -> "atomic reply memory descriptor gone"
+    | Atomic_reply_eq_full -> "atomic reply event queue full")
 
 type counters = {
   puts_initiated : int;
   gets_initiated : int;
+  atomics_initiated : int;
   acks_sent : int;
   replies_sent : int;
+  atomics_executed : int;
   messages_received : int;
   bytes_received : int;
   translations : int;
@@ -78,8 +93,10 @@ type counters = {
 type mutable_counters = {
   mutable c_puts : int;
   mutable c_gets : int;
+  mutable c_atomics : int;
   mutable c_acks : int;
   mutable c_replies : int;
+  mutable c_atomics_exec : int;
   mutable c_rx : int;
   mutable c_rx_bytes : int;
   mutable c_translations : int;
@@ -150,8 +167,10 @@ let counters t =
   {
     puts_initiated = t.c.c_puts;
     gets_initiated = t.c.c_gets;
+    atomics_initiated = t.c.c_atomics;
     acks_sent = t.c.c_acks;
     replies_sent = t.c.c_replies;
+    atomics_executed = t.c.c_atomics_exec;
     messages_received = t.c.c_rx;
     bytes_received = t.c.c_rx_bytes;
     translations = t.c.c_translations;
@@ -435,6 +454,7 @@ let handle_put_or_get t (msg : Wire.t) ~op =
               ~len:mlength;
             Bytes.empty
           | Md.Op_get -> Md.read md ~offset ~len:mlength
+          | Md.Op_atomic -> assert false (* handled by [handle_atomic] *)
         in
         let md_eq = Md.eq md in
         let ack_wanted =
@@ -463,7 +483,10 @@ let handle_put_or_get t (msg : Wire.t) ~op =
         | None -> ()
         | Some queue ->
           let kind =
-            match op with Md.Op_put -> Event.Put | Md.Op_get -> Event.Get
+            match op with
+            | Md.Op_put -> Event.Put
+            | Md.Op_get -> Event.Get
+            | Md.Op_atomic -> assert false
           in
           post_event t ~md ~kind ~msg ~mlength ~offset queue);
         (match op with
@@ -480,8 +503,110 @@ let handle_put_or_get t (msg : Wire.t) ~op =
           t.tp.Simnet.Transport.send ~src:t.self ~dst:src
             (Wire.encode
                (Wire.reply_of_get ~incarnation:(self_incarnation t) msg
-                  ~mlength ~data:reply_data))))
+                  ~mlength ~data:reply_data))
+        | Md.Op_atomic -> assert false))
   end
+
+(* Execute a read-modify-write at ME-match time — the bypass path of
+   [handle_put_or_get] extended to atomics (§5.1 generalized): the target
+   host fiber is never involved, only the match-list walk is charged. *)
+let handle_atomic t (msg : Wire.t) =
+  let src = msg.Wire.initiator in
+  match msg.Wire.atomic with
+  | None -> drop t Malformed
+  | Some a ->
+    if msg.Wire.portal_index < 0 || msg.Wire.portal_index >= Array.length t.pt
+    then drop t Invalid_portal_index
+    else begin
+      match
+        Acl.check t.ni_acl ~cookie:msg.Wire.cookie ~src
+          ~portal_index:msg.Wire.portal_index
+      with
+      | Error Acl.Bad_cookie -> drop t Acl_bad_cookie
+      | Error Acl.Id_mismatch -> drop t Acl_id_mismatch
+      | Error Acl.Portal_mismatch -> drop t Acl_portal_mismatch
+      | Ok () ->
+        if
+          msg.Wire.length <> Wire.atomic_word_size
+          || msg.Wire.offset < 0
+          || msg.Wire.offset mod Wire.atomic_word_size <> 0
+        then drop t Atomic_misaligned
+        else begin
+          let entries, outcome =
+            translate t ~portal_index:msg.Wire.portal_index ~src
+              ~mbits:msg.Wire.match_bits ~op:Md.Op_atomic
+              ~rlength:msg.Wire.length ~roffset:msg.Wire.offset
+          in
+          match outcome with
+          | Error () -> drop t No_match
+          | Ok (mdh, md_entry, acc) ->
+            let md = md_entry.md in
+            let offset = acc.Md.offset in
+            let word = Md.read md ~offset ~len:Wire.atomic_word_size in
+            let old = Bytes.get_int64_le word 0 in
+            let next =
+              match a.Wire.aop with
+              | Wire.Fetch_add -> Int64.add old a.Wire.operand
+              | Wire.Swap -> a.Wire.operand
+              | Wire.Cas ->
+                if Int64.equal old a.Wire.compare then a.Wire.operand else old
+            in
+            Md.consume md acc;
+            Bytes.set_int64_le word 0 next;
+            Md.write md ~offset ~src:word ~src_off:0
+              ~len:Wire.atomic_word_size;
+            let md_eq = Md.eq md in
+            auto_unlink_md t mdh md_entry;
+            let walk_cost = match_walk_cost t ~entries in
+            t.tp.Simnet.Transport.charge_rx t.self.Simnet.Proc_id.nid walk_cost;
+            let tr = Scheduler.trace (sched t) in
+            if Trace.enabled tr then begin
+              let start = Scheduler.now (sched t) in
+              Trace.complete tr ~subsys:"ni"
+                ~proc:(t.tp.Simnet.Transport.rx_track t.self.Simnet.Proc_id.nid)
+                ~msg_id:t.c.c_rx ~start
+                ~finish:(Time_ns.add start walk_cost)
+                (Printf.sprintf "atomic %s pt=%d"
+                   (Wire.aop_to_string a.Wire.aop)
+                   msg.Wire.portal_index)
+            end;
+            (match md_eq with
+            | None -> ()
+            | Some queue ->
+              post_event t ~md ~kind:Event.Atomic ~msg
+                ~mlength:acc.Md.mlength ~offset queue);
+            t.c.c_atomics_exec <- t.c.c_atomics_exec + 1;
+            t.tp.Simnet.Transport.send ~src:t.self ~dst:src
+              (Wire.encode
+                 (Wire.atomic_reply_of_request
+                    ~incarnation:(self_incarnation t) msg ~fetched:old))
+        end
+    end
+
+(* The fetched value lands like a get reply: through the initiator's MD,
+   no event-queue handle on the wire (§4.8 semantics extended — the
+   dedicated drop reasons keep the table exact). *)
+let handle_atomic_reply t (msg : Wire.t) =
+  match Handle.Table.find t.mds msg.Wire.md_handle with
+  | None -> drop t Atomic_reply_no_md
+  | Some entry ->
+    let md = entry.md in
+    (match Md.eq md with
+    | Some queue when Event.Queue.is_full queue -> drop t Atomic_reply_eq_full
+    | Some _ | None ->
+      let fetched =
+        match msg.Wire.atomic with Some a -> a.Wire.operand | None -> 0L
+      in
+      let mlength = min Wire.atomic_word_size (Md.length md) in
+      let word = Bytes.create Wire.atomic_word_size in
+      Bytes.set_int64_le word 0 fetched;
+      Md.write md ~offset:0 ~src:word ~src_off:0 ~len:mlength;
+      if Md.pending md > 0 then Md.decr_pending md;
+      (match Md.eq md with
+      | None -> ()
+      | Some queue ->
+        post_event t ~md ~kind:Event.Reply ~msg ~mlength ~offset:0 queue);
+      consume_initiator t msg.Wire.md_handle entry)
 
 let handle_ack t (msg : Wire.t) =
   (* §4.8: only confirm the event queue still exists; then record the
@@ -541,8 +666,10 @@ let handle_incoming t ~src:_ payload =
         match msg.Wire.op with
         | Wire.Put_request -> handle_put_or_get t msg ~op:Md.Op_put
         | Wire.Get_request -> handle_put_or_get t msg ~op:Md.Op_get
+        | Wire.Atomic_request -> handle_atomic t msg
         | Wire.Ack -> handle_ack t msg
-        | Wire.Reply -> handle_reply t msg)
+        | Wire.Reply -> handle_reply t msg
+        | Wire.Atomic_reply -> handle_atomic_reply t msg)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -628,6 +755,27 @@ let get t ~md:mdh (o : op) =
       Ok ()
     end
 
+let atomic t ~md:mdh ~aop ~operand ?(compare = 0L) (o : op) =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else if Md.length entry.md < Wire.atomic_word_size then
+      Error Errors.Invalid_arg
+    else begin
+      let md = entry.md in
+      let msg =
+        Wire.atomic_request ~incarnation:(self_incarnation t) ~aop ~operand
+          ~compare ~initiator:t.self ~target:o.target
+          ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh ()
+      in
+      t.c.c_atomics <- t.c.c_atomics + 1;
+      Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
+      Ok ()
+    end
+
 (* ------------------------------------------------------------------ *)
 
 let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
@@ -646,8 +794,10 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
         {
           c_puts = 0;
           c_gets = 0;
+          c_atomics = 0;
           c_acks = 0;
           c_replies = 0;
+          c_atomics_exec = 0;
           c_rx = 0;
           c_rx_bytes = 0;
           c_translations = 0;
@@ -678,8 +828,10 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
     [
       ("ni.puts", fun () -> float_of_int t.c.c_puts);
       ("ni.gets", fun () -> float_of_int t.c.c_gets);
+      ("ni.atomics", fun () -> float_of_int t.c.c_atomics);
       ("ni.acks", fun () -> float_of_int t.c.c_acks);
       ("ni.replies", fun () -> float_of_int t.c.c_replies);
+      ("ni.atomics_executed", fun () -> float_of_int t.c.c_atomics_exec);
       ("ni.rx_messages", fun () -> float_of_int t.c.c_rx);
       ("ni.rx_bytes", fun () -> float_of_int t.c.c_rx_bytes);
       ("ni.translations", fun () -> float_of_int t.c.c_translations);

@@ -78,6 +78,17 @@ type drop_reason =
           the sender crashed (and possibly restarted) after sending. The
           fence keeps a dead process's traffic from resurrecting state,
           without any per-peer connection to tear down (§3). *)
+  | Atomic_misaligned
+      (** Atomic request whose length is not the 64-bit word size or whose
+          target offset is not word-aligned — a read-modify-write of a
+          partial or straddled word has no sensible semantics (§4.8
+          extended for atomics). *)
+  | Atomic_reply_no_md
+      (** Atomic reply's memory descriptor no longer exists (the atomic
+          analogue of [Reply_no_md], §4.8). *)
+  | Atomic_reply_eq_full
+      (** Atomic reply's event queue has no space and is not null (the
+          atomic analogue of [Reply_eq_full], §4.8). *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
 
@@ -89,8 +100,12 @@ val all_drop_reasons : drop_reason list
 type counters = {
   puts_initiated : int;
   gets_initiated : int;
+  atomics_initiated : int;
   acks_sent : int;
   replies_sent : int;
+  atomics_executed : int;
+      (** Incoming atomics executed at match time (each also sends a
+          fetched-value reply). *)
   messages_received : int;
   bytes_received : int;
   translations : int;  (** Match-list walks performed. *)
@@ -235,6 +250,29 @@ val get : t -> md:Handle.md -> op -> (unit, Errors.t) result
 (** [PtlGet]: request the descriptor's length from the target; the reply
     deposits into the descriptor and logs a REPLY event. The descriptor
     cannot be unlinked until the reply arrives (§4.7). *)
+
+val atomic :
+  t ->
+  md:Handle.md ->
+  aop:Wire.aop ->
+  operand:int64 ->
+  ?compare:int64 ->
+  op ->
+  (unit, Errors.t) result
+(** Atomically read-modify-write the 64-bit word at the operation's
+    offset in the matched remote region — fetch-add, swap or
+    compare-and-swap ({!Wire.aop}). The operation executes on the target
+    interface at ME-match time with no target host fiber involvement
+    (the §5.1 bypass path extended to read-modify-write); the matched
+    descriptor must enable both put and get, the offset must be
+    word-aligned and within range, and the op never truncates.
+
+    Like a get, the fetched-value reply routes through [md] — the
+    pre-operation value lands in the descriptor's first 8 bytes
+    (little-endian) and logs a REPLY event; the target logs an ATOMIC
+    event. [md] must describe at least 8 bytes and cannot be unlinked
+    until the reply arrives. [compare] (default [0L]) is only consulted
+    by {!Wire.Cas}. *)
 
 (** {1 Introspection} *)
 

@@ -1,12 +1,40 @@
-type op = Put_request | Ack | Get_request | Reply
+type op =
+  | Put_request
+  | Ack
+  | Get_request
+  | Reply
+  | Atomic_request
+  | Atomic_reply
 
 let op_to_string = function
   | Put_request -> "PUT_REQUEST"
   | Ack -> "ACK"
   | Get_request -> "GET_REQUEST"
   | Reply -> "REPLY"
+  | Atomic_request -> "ATOMIC_REQUEST"
+  | Atomic_reply -> "ATOMIC_REPLY"
 
 let pp_op ppf op = Format.pp_print_string ppf (op_to_string op)
+
+type aop = Fetch_add | Swap | Cas
+
+let aop_to_string = function
+  | Fetch_add -> "FETCH_ADD"
+  | Swap -> "SWAP"
+  | Cas -> "CAS"
+
+let pp_aop ppf a = Format.pp_print_string ppf (aop_to_string a)
+let aop_code = function Fetch_add -> 0 | Swap -> 1 | Cas -> 2
+
+let aop_of_code = function
+  | 0 -> Some Fetch_add
+  | 1 -> Some Swap
+  | 2 -> Some Cas
+  | _ -> None
+
+let all_aops = [ Fetch_add; Swap; Cas ]
+
+type atomic = { aop : aop; operand : int64; compare : int64 }
 
 type t = {
   op : op;
@@ -22,19 +50,40 @@ type t = {
   incarnation : int;
   length : int;
   data : bytes;
+  atomic : atomic option;
 }
 
 let magic = 0xB3
 let version = 0x30
 let header_size = 72
 
-let op_code = function Put_request -> 0 | Ack -> 1 | Get_request -> 2 | Reply -> 3
+(* Atomic messages carry an extension block after the fixed header:
+   1 byte atomic opcode, 8 bytes operand, 8 bytes compare value. In a
+   reply the operand slot carries the fetched (pre-operation) value, so
+   atomics never need a payload — the manipulated word always fits the
+   block. *)
+let atomic_block_size = 17
+let atomic_word_size = 8
+
+let ext_size = function
+  | Atomic_request | Atomic_reply -> atomic_block_size
+  | Put_request | Ack | Get_request | Reply -> 0
+
+let op_code = function
+  | Put_request -> 0
+  | Ack -> 1
+  | Get_request -> 2
+  | Reply -> 3
+  | Atomic_request -> 4
+  | Atomic_reply -> 5
 
 let op_of_code = function
   | 0 -> Some Put_request
   | 1 -> Some Ack
   | 2 -> Some Get_request
   | 3 -> Some Reply
+  | 4 -> Some Atomic_request
+  | 5 -> Some Atomic_reply
   | _ -> None
 
 let put_request ?(ack_requested = true) ?(incarnation = 0) ?length ~initiator
@@ -54,6 +103,7 @@ let put_request ?(ack_requested = true) ?(incarnation = 0) ?length ~initiator
     incarnation;
     length = Option.value length ~default:(Bytes.length data);
     data;
+    atomic = None;
   }
 
 let ack_of_put ?incarnation t ~mlength =
@@ -85,6 +135,7 @@ let get_request ?(incarnation = 0) ~initiator ~target ~portal_index ~cookie
     incarnation;
     length = rlength;
     data = Bytes.empty;
+    atomic = None;
   }
 
 let reply_of_get ?incarnation t ~mlength ~data =
@@ -100,6 +151,47 @@ let reply_of_get ?incarnation t ~mlength ~data =
     length = mlength;
     data;
   }
+
+let atomic_request ?(incarnation = 0) ~aop ~operand ?(compare = 0L) ~initiator
+    ~target ~portal_index ~cookie ~match_bits ~offset ~md_handle () =
+  {
+    op = Atomic_request;
+    ack_requested = false;
+    initiator;
+    target;
+    portal_index;
+    cookie;
+    match_bits;
+    offset;
+    md_handle;
+    eq_handle = Handle.none;
+    incarnation;
+    length = atomic_word_size;
+    data = Bytes.empty;
+    atomic = Some { aop; operand; compare };
+  }
+
+let atomic_reply_of_request ?incarnation t ~fetched =
+  if t.op <> Atomic_request then
+    invalid_arg "Wire.atomic_reply_of_request: not an atomic request";
+  let a =
+    match t.atomic with
+    | Some a -> a
+    | None -> invalid_arg "Wire.atomic_reply_of_request: missing atomic block"
+  in
+  {
+    t with
+    op = Atomic_reply;
+    initiator = t.target;
+    target = t.initiator;
+    incarnation = Option.value incarnation ~default:t.incarnation;
+    atomic = Some { a with operand = fetched };
+  }
+
+let fetched_value t =
+  match (t.op, t.atomic) with
+  | Atomic_reply, Some a -> Some a.operand
+  | _ -> None
 
 let write_header buf t =
   Bytes.set_uint8 buf 0 magic;
@@ -117,30 +209,42 @@ let write_header buf t =
   Bytes.set_int64_le buf 44 (Handle.to_wire t.md_handle);
   Bytes.set_int64_le buf 52 (Handle.to_wire t.eq_handle);
   Bytes.set_int32_le buf 60 (Int32.of_int t.incarnation);
-  Bytes.set_int64_le buf 64 (Int64.of_int t.length)
+  Bytes.set_int64_le buf 64 (Int64.of_int t.length);
+  match t.atomic with
+  | None ->
+    if ext_size t.op <> 0 then
+      invalid_arg "Wire.encode: atomic operation without an atomic block"
+  | Some a ->
+    Bytes.set_uint8 buf header_size (aop_code a.aop);
+    Bytes.set_int64_le buf (header_size + 1) a.operand;
+    Bytes.set_int64_le buf (header_size + 9) a.compare
 
 let encode t =
-  let buf = Bytes.create (header_size + Bytes.length t.data) in
+  let ext = ext_size t.op in
+  let buf = Bytes.create (header_size + ext + Bytes.length t.data) in
   write_header buf t;
-  Bytes.blit t.data 0 buf header_size (Bytes.length t.data);
+  Bytes.blit t.data 0 buf (header_size + ext) (Bytes.length t.data);
   buf
 
 let encode_with t ~fill =
-  let buf = Bytes.create (header_size + t.length) in
+  let ext = ext_size t.op in
+  let buf = Bytes.create (header_size + ext + t.length) in
   write_header buf t;
-  fill buf header_size;
+  fill buf (header_size + ext);
   buf
 
 type decode_error =
   | Bad_magic
   | Bad_version of int
   | Bad_operation of int
+  | Bad_atomic_op of int
   | Truncated of { expected : int; got : int }
 
 let pp_decode_error ppf = function
   | Bad_magic -> Format.pp_print_string ppf "bad magic byte"
   | Bad_version v -> Format.fprintf ppf "unsupported version 0x%02x" v
   | Bad_operation op -> Format.fprintf ppf "unknown operation code %d" op
+  | Bad_atomic_op c -> Format.fprintf ppf "unknown atomic opcode %d" c
   | Truncated { expected; got } ->
     Format.fprintf ppf "truncated message: need %d bytes, have %d" expected got
 
@@ -158,39 +262,63 @@ let decode_gen ~extract_data buf =
         let i32 pos = Int32.to_int (Bytes.get_int32_le buf pos) in
         let i64 pos = Int64.to_int (Bytes.get_int64_le buf pos) in
         let length = i64 64 in
+        let ext = ext_size op in
         let data_len =
-          match op with Put_request | Reply -> length | Ack | Get_request -> 0
+          match op with
+          | Put_request | Reply -> length
+          | Ack | Get_request | Atomic_request | Atomic_reply -> 0
         in
-        if got < header_size + data_len then
-          Error (Truncated { expected = header_size + data_len; got })
-        else
-          Ok
-            {
-              op;
-              ack_requested = Bytes.get_uint8 buf 3 = 1;
-              initiator = Simnet.Proc_id.make ~nid:(i32 4) ~pid:(i32 8);
-              target = Simnet.Proc_id.make ~nid:(i32 12) ~pid:(i32 16);
-              portal_index = i32 20;
-              cookie = i32 24;
-              match_bits = Match_bits.of_int64 (Bytes.get_int64_le buf 28);
-              offset = i64 36;
-              md_handle = Handle.of_wire (Bytes.get_int64_le buf 44);
-              eq_handle = Handle.of_wire (Bytes.get_int64_le buf 52);
-              incarnation = i32 60;
-              length;
-              data = extract_data buf data_len;
-            }
+        if got < header_size + ext + data_len then
+          Error (Truncated { expected = header_size + ext + data_len; got })
+        else begin
+          let atomic =
+            if ext = 0 then Ok None
+            else begin
+              match aop_of_code (Bytes.get_uint8 buf header_size) with
+              | None -> Error (Bad_atomic_op (Bytes.get_uint8 buf header_size))
+              | Some aop ->
+                Ok
+                  (Some
+                     {
+                       aop;
+                       operand = Bytes.get_int64_le buf (header_size + 1);
+                       compare = Bytes.get_int64_le buf (header_size + 9);
+                     })
+            end
+          in
+          match atomic with
+          | Error e -> Error e
+          | Ok atomic ->
+            Ok
+              {
+                op;
+                ack_requested = Bytes.get_uint8 buf 3 = 1;
+                initiator = Simnet.Proc_id.make ~nid:(i32 4) ~pid:(i32 8);
+                target = Simnet.Proc_id.make ~nid:(i32 12) ~pid:(i32 16);
+                portal_index = i32 20;
+                cookie = i32 24;
+                match_bits = Match_bits.of_int64 (Bytes.get_int64_le buf 28);
+                offset = i64 36;
+                md_handle = Handle.of_wire (Bytes.get_int64_le buf 44);
+                eq_handle = Handle.of_wire (Bytes.get_int64_le buf 52);
+                incarnation = i32 60;
+                length;
+                data = extract_data buf ~off:(header_size + ext) ~len:data_len;
+                atomic;
+              }
+        end
     end
   end
 
 let decode buf =
-  decode_gen ~extract_data:(fun buf data_len -> Bytes.sub buf header_size data_len) buf
+  decode_gen ~extract_data:(fun buf ~off ~len -> Bytes.sub buf off len) buf
 
 (* The receive hot path blits payload straight from the wire image into
    the matched memory descriptor, so [decode]'s per-message [Bytes.sub]
    is pure overhead there. A viewed message aliases the whole image as
-   [data]; its payload bytes live at [header_size ..]. *)
-let decode_view buf = decode_gen ~extract_data:(fun buf _ -> buf) buf
+   [data]; its payload bytes live at [header_size ..] (all payload-
+   carrying operations have no extension block). *)
+let decode_view buf = decode_gen ~extract_data:(fun buf ~off:_ ~len:_ -> buf) buf
 
 let field_inventory = function
   | Put_request ->
@@ -243,6 +371,34 @@ let field_inventory = function
       ("manipulated length", "Bytes actually read by the get");
       ("data", "Payload");
     ]
+  | Atomic_request ->
+    [
+      ("operation", "Indicates an atomic request");
+      ("atomic opcode", "FETCH_ADD, SWAP or CAS");
+      ("initiator", "Local process id");
+      ("incarnation", "Initiator's incarnation (fences stale senders)");
+      ("target", "Target process id");
+      ("portal index", "Target Portal table entry");
+      ("cookie", "Access control table entry");
+      ("match bits", "Matching criteria");
+      ("offset", "Offset of the 64-bit word within the target memory");
+      ("memory desc", "Local memory region for the fetched-value reply \
+                       (routes like a get reply)");
+      ("operand", "Addend (FETCH_ADD) or new value (SWAP/CAS)");
+      ("compare", "Expected value (CAS only)");
+      ("length", "Width of the operated word (always 8)");
+    ]
+  | Atomic_reply ->
+    [
+      ("operation", "Indicates a fetched-value reply");
+      ("atomic opcode", "Echoed from the atomic request");
+      ("initiator", "Echoed from the atomic request (swapped)");
+      ("target", "Echoed from the atomic request (swapped)");
+      ("memory desc", "Echoed from the atomic request");
+      ("fetched value", "The word's value before the operation, in the \
+                         operand slot");
+      ("length", "Width of the fetched word (always 8)");
+    ]
 
 let pp ppf t =
   Format.fprintf ppf
@@ -250,4 +406,9 @@ let pp ppf t =
     t.op Simnet.Proc_id.pp t.initiator Simnet.Proc_id.pp t.target
     t.portal_index t.cookie Match_bits.pp t.match_bits t.offset Handle.pp
     t.md_handle Handle.pp t.eq_handle t.incarnation t.length
-    (if t.ack_requested then " +ack" else "")
+    (if t.ack_requested then " +ack" else "");
+  match t.atomic with
+  | None -> ()
+  | Some a ->
+    Format.fprintf ppf " %a operand=%Ld compare=%Ld" pp_aop a.aop a.operand
+      a.compare

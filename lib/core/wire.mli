@@ -1,4 +1,5 @@
-(** Wire format of the four Portals message types (§4.6, Tables 1–4).
+(** Wire format of the Portals message types (§4.6, Tables 1–4, plus the
+    atomic extension).
 
     {ul
     {- {b Put request} (Table 1): operation, initiator, target, portal
@@ -15,21 +16,56 @@
        {e without} an event queue handle — the reply routes through the
        memory descriptor, which must stay linked until the reply arrives.}
     {- {b Reply} (Table 4): the get request echoed with the pair swapped,
-       plus manipulated length and the data.}}
+       plus manipulated length and the data.}
+    {- {b Atomic request} (beyond the paper's tables; the foMPI-style
+       one-sided extension): a get request carrying an atomic opcode
+       ({!aop}) plus a 64-bit operand and compare value in a 17-byte
+       extension block after the header. The target NI reads, modifies and
+       writes the matched 64-bit word at match time — application bypass
+       (§5.1) extended to read-modify-write.}
+    {- {b Atomic reply}: the atomic request echoed with the pair swapped;
+       the operand slot carries the word's pre-operation (fetched) value,
+       so no payload is needed. Routes through the memory descriptor like
+       a get reply.}}
 
     Beyond the paper's tables, every message carries the sender node's
     monotonic {e incarnation} number so a receiver can fence traffic from a
     sender's previous life after a crash–restart (the connectionless
     analogue of tearing down a stale connection; see [Ni]).
 
-    The encoding is little-endian with a fixed 72-byte header followed by
-    payload. Decoding validates magic, version, operation and lengths so a
-    corrupt message surfaces as an error, not an exception. *)
+    The encoding is little-endian with a fixed 72-byte header, an optional
+    17-byte atomic extension block, then payload. Decoding validates
+    magic, version, operation, atomic opcode and lengths so a corrupt
+    message surfaces as an error, not an exception. *)
 
-type op = Put_request | Ack | Get_request | Reply
+type op =
+  | Put_request
+  | Ack
+  | Get_request
+  | Reply
+  | Atomic_request
+  | Atomic_reply
 
 val op_to_string : op -> string
 val pp_op : Format.formatter -> op -> unit
+
+type aop =
+  | Fetch_add  (** Deposit [old + operand]; fetch [old]. *)
+  | Swap  (** Deposit [operand]; fetch [old]. *)
+  | Cas
+      (** Deposit [operand] iff [old = compare], else leave unchanged;
+          fetch [old] either way (success is [fetched = compare]). *)
+
+val aop_to_string : aop -> string
+val pp_aop : Format.formatter -> aop -> unit
+val all_aops : aop list
+
+type atomic = {
+  aop : aop;
+  operand : int64;
+      (** Request: addend / new value. Reply: the fetched value. *)
+  compare : int64;  (** CAS expected value; 0 for other opcodes. *)
+}
 
 type t = {
   op : op;
@@ -41,17 +77,27 @@ type t = {
   match_bits : Match_bits.t;
   offset : int;
   md_handle : Handle.md;
-      (** Initiator-side MD: for the ack (put) or the reply (get). *)
+      (** Initiator-side MD: for the ack (put) or the reply (get/atomic). *)
   eq_handle : Handle.eq;
-      (** Initiator-side EQ for the ack event; {!Handle.none} on get
-          requests and replies. *)
+      (** Initiator-side EQ for the ack event; {!Handle.none} on get and
+          atomic requests and on replies. *)
   incarnation : int;
       (** Sender node's incarnation at send time (0 until a restart). *)
-  length : int;  (** Requested length; manipulated length in ack/reply. *)
+  length : int;
+      (** Requested length; manipulated length in ack/reply; the operated
+          word width (8) on atomic messages. *)
   data : bytes;  (** Payload (put request and reply); else empty. *)
+  atomic : atomic option;  (** Present iff [op] is atomic. *)
 }
 
 val header_size : int
+
+val atomic_block_size : int
+(** Size of the atomic extension block that follows the header on atomic
+    messages: 1 opcode byte + 8 operand bytes + 8 compare bytes. *)
+
+val atomic_word_size : int
+(** Width in bytes of the word atomics operate on (8). *)
 
 val put_request :
   ?ack_requested:bool ->
@@ -96,6 +142,35 @@ val reply_of_get : ?incarnation:int -> t -> mlength:int -> data:bytes -> t
     attached. [incarnation] as in {!ack_of_put}. Raises
     [Invalid_argument] on a non-get message. *)
 
+val atomic_request :
+  ?incarnation:int ->
+  aop:aop ->
+  operand:int64 ->
+  ?compare:int64 ->
+  initiator:Simnet.Proc_id.t ->
+  target:Simnet.Proc_id.t ->
+  portal_index:int ->
+  cookie:int ->
+  match_bits:Match_bits.t ->
+  offset:int ->
+  md_handle:Handle.md ->
+  unit ->
+  t
+(** An atomic request on the 64-bit word at [offset] in the matched
+    region. [compare] (default [0L]) only matters for {!Cas}. Like a get
+    request it carries no event-queue handle: the fetched-value reply
+    routes through [md_handle]. [length] is fixed at
+    {!atomic_word_size}. *)
+
+val atomic_reply_of_request : ?incarnation:int -> t -> fetched:int64 -> t
+(** Build the fetched-value reply for an atomic request: fields echoed,
+    pair swapped, [fetched] placed in the operand slot. [incarnation] as
+    in {!ack_of_put}. Raises [Invalid_argument] on a non-atomic-request
+    message. *)
+
+val fetched_value : t -> int64 option
+(** The fetched value of an atomic reply; [None] on any other message. *)
+
 val encode : t -> bytes
 
 val encode_with : t -> fill:(bytes -> int -> unit) -> bytes
@@ -110,6 +185,9 @@ type decode_error =
   | Bad_magic
   | Bad_version of int
   | Bad_operation of int
+  | Bad_atomic_op of int
+      (** An atomic message whose extension block carries an opcode
+          outside {!all_aops}. *)
   | Truncated of { expected : int; got : int }
 
 val pp_decode_error : Format.formatter -> decode_error -> unit
@@ -121,11 +199,14 @@ val decode_view : bytes -> (t, decode_error) result
     is the {e whole} wire image, with payload bytes at
     [\[header_size, header_size + length)]. The receive hot path uses
     this to blit payload straight into the matched memory descriptor.
-    Do not re-{!encode} a viewed message. *)
+    (Atomic messages carry no payload, so the extension block never
+    shifts a viewed payload.) Do not re-{!encode} a viewed message. *)
 
 val field_inventory : op -> (string * string) list
 (** The (field, description) rows of the paper's corresponding table —
-    what this implementation actually places on the wire. Used by the
-    bench harness to regenerate Tables 1–4. *)
+    what this implementation actually places on the wire. Tables 1–4 for
+    the paper's four operations; the atomic request/reply inventories
+    extend the set in the paper's format. Used by the bench harness to
+    regenerate the tables. *)
 
 val pp : Format.formatter -> t -> unit

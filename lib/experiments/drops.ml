@@ -109,6 +109,48 @@ let run () =
       ~md_handle:P.Handle.none ~eq_handle:P.Handle.none ~data:Bytes.empty ()
   in
   tp.Simnet.Transport.send ~src:r0 ~dst:r1 (P.Wire.encode stale_put);
+  (* 11. atomic on a word that isn't word-aligned *)
+  let amd =
+    P.Errors.ok_exn ~op:"bind"
+      (P.Ni.md_bind ni0 (P.Ni.md_spec (Bytes.create 8)))
+  in
+  P.Errors.ok_exn ~op:"atomic"
+    (P.Ni.atomic ni0 ~md:amd ~aop:P.Wire.Fetch_add ~operand:1L
+       (P.Ni.op ~target:r1 ~portal_index:pt_bench ~offset:4 ()));
+  (* 12. stray fetched-value reply to a dead descriptor *)
+  let stray_atomic =
+    P.Wire.atomic_request ~aop:P.Wire.Fetch_add ~operand:1L ~initiator:r0
+      ~target:r1 ~portal_index:0 ~cookie:0 ~match_bits:P.Match_bits.zero
+      ~offset:0
+      ~md_handle:(P.Handle.of_wire 0x4224L)
+      ()
+  in
+  tp.Simnet.Transport.send ~src:r1 ~dst:r0
+    (P.Wire.encode (P.Wire.atomic_reply_of_request stray_atomic ~fetched:0L));
+  (* 13. fetched-value reply to a full event queue *)
+  let afull_eqh = P.Errors.ok_exn ~op:"eq" (P.Ni.eq_alloc ni0 ~capacity:1) in
+  let afull_eqq = P.Errors.ok_exn ~op:"eq" (P.Ni.eq ni0 afull_eqh) in
+  let afmd =
+    P.Errors.ok_exn ~op:"bind"
+      (P.Ni.md_bind ni0 (P.Ni.md_spec ~eq:afull_eqh (Bytes.create 8)))
+  in
+  P.Errors.ok_exn ~op:"atomic"
+    (P.Ni.atomic ni0 ~md:afmd ~aop:P.Wire.Fetch_add ~operand:1L
+       (P.Ni.op ~target:r1 ~portal_index:pt_bench ()));
+  ignore
+    (P.Event.Queue.post afull_eqq
+       {
+         P.Event.kind = P.Event.Put;
+         initiator = r1;
+         portal_index = 0;
+         match_bits = P.Match_bits.zero;
+         rlength = 0;
+         mlength = 0;
+         offset = 0;
+         md_handle = P.Handle.none;
+         md_user_ptr = 0;
+         time = Time_ns.zero;
+       });
   Runtime.run world;
   (* The table is read back out of the registry: each NI publishes an
      ["ni.drops"] probe per (proc, reason); summing over procs recovers

@@ -17,3 +17,4 @@ module Crash_restart = Crash_restart
 module Perf = Perf
 module Congestion = Congestion
 module Matrix = Matrix
+module Rma = Rma

@@ -24,6 +24,12 @@ let sample_get ~rlength =
     ~match_bits:(P.Match_bits.of_int 0xBEEF)
     ~offset:0 ~md_handle:P.Handle.none ~rlength ()
 
+let sample_atomic () =
+  P.Wire.atomic_request ~aop:P.Wire.Fetch_add ~operand:1L
+    ~initiator:sample_initiator ~target:sample_target ~portal_index:4 ~cookie:0
+    ~match_bits:(P.Match_bits.of_int 0xBEEF)
+    ~offset:0 ~md_handle:P.Handle.none ()
+
 let run () =
   let payload = 1_024 in
   let put = sample_put ~payload in
@@ -39,11 +45,19 @@ let run () =
       payload_bytes;
     }
   in
+  let atomic = sample_atomic () in
+  let atomic_reply = P.Wire.atomic_reply_of_request atomic ~fetched:41L in
   [
     table 1 "Information Passed in a Put Request" P.Wire.Put_request put payload;
     table 2 "Information Passed in an Acknowledgment" P.Wire.Ack ack 0;
     table 3 "Information Passed in a Get Request" P.Wire.Get_request get 0;
     table 4 "Information Passed in a Reply" P.Wire.Reply reply payload;
+    (* Beyond the paper's four: the atomic extension's wire formats,
+       regenerated from the same field inventory. *)
+    table 5 "Information Passed in an Atomic Request" P.Wire.Atomic_request
+      atomic 0;
+    table 6 "Information Passed in an Atomic Reply" P.Wire.Atomic_reply
+      atomic_reply 0;
   ]
 
 let pp ppf tables =

@@ -1,9 +1,11 @@
 (** Tables 1–4: the information passed on the wire for each message type,
     regenerated from the implementation's own {!Portals.Wire.field_inventory}
-    plus a measured encoding of a representative message. *)
+    plus a measured encoding of a representative message. Tables 5–6
+    extend the set with the atomic request/reply formats (the
+    read-modify-write extension of §4.4's one-sided addressing). *)
 
 type table = {
-  number : int;  (** 1..4, as in the paper. *)
+  number : int;  (** 1..4 as in the paper; 5..6 the atomic extension. *)
   title : string;
   fields : (string * string) list;
   encoded_bytes : int;  (** Size of a representative encoded message. *)

@@ -438,7 +438,7 @@ let handle_event t (ev : P.Event.t) =
           length = ev.P.Event.mlength;
         }
     | Some { kind = Send_eager | Send_rdvz; _ } | None -> ())
-  | P.Event.Ack -> ()
+  | P.Event.Ack | P.Event.Atomic -> ()
 
 let progress_raw t =
   let rec drain () =

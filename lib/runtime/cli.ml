@@ -23,6 +23,11 @@ let transport_kind_of_string s =
     Error
       (Printf.sprintf "unknown transport %S (valid: offload|kernel|rtscts)" s)
 
+(* The one-sided RMA workload names (Experiments.Rma); the canonical
+   list lives here so both CLIs validate "--workloads" against the same
+   closed set. *)
+let rma_workload_names = [ "latency"; "passive"; "halo"; "hashtable" ]
+
 (* Validate one name against a closed set, with the set spelled out in
    the error — what a usage error should look like. *)
 let pick ~what ~valid s =

@@ -13,6 +13,11 @@ val transport_kinds : (string * World.transport_kind) list
 val transport_kind_of_string :
   string -> (World.transport_kind, string) result
 
+val rma_workload_names : string list
+(** The one-sided RMA workloads ([latency], [passive], [halo],
+    [hashtable]) both CLIs accept for [--workloads]; the canonical list
+    behind [Experiments.Rma]. *)
+
 val pick : what:string -> valid:string list -> string -> (string, string) result
 (** Validate one name against a closed set; the error spells the set
     out ("unknown transport "bogus" (valid: portals, gm, ...)"). *)

@@ -64,4 +64,28 @@ if $DUNE exec bin/portals_repro.exe -- matrix --transports bogus \
 fi
 grep -q 'unknown transport' "$OUT/matrix.err"
 
+echo "== smoke: one-sided RMA workloads (4x4 torus + lossy wire) =="
+# The 16-rank window workloads pinned onto a shared-link torus at a
+# fixed seed: the halo result must be byte-identical to the send/recv
+# variant and the hash table's occupancy counter must agree with its
+# filled slots.
+$DUNE exec bin/portals_repro.exe -- \
+  rma --quick --run-seed 7 --workloads halo,hashtable \
+  --topology torus2d:4x4 | tee "$OUT/rma.out"
+grep -q 'byte-identical' "$OUT/rma.out"
+grep -q 'occupancy' "$OUT/rma.out"
+# The atomics must stay exactly-once over a lossy wire with the
+# reliability shim attached.
+$DUNE exec bin/portals_repro.exe -- \
+  rma --quick --run-seed 42 --workloads latency,passive --loss 0.05 \
+  | tee "$OUT/rma_lossy.out"
+grep -q '^passive ' "$OUT/rma_lossy.out"
+# A malformed --workloads list must die with a clean usage error.
+if $DUNE exec bin/portals_repro.exe -- rma --workloads bogus \
+    2>"$OUT/rma.err"; then
+  echo "rma accepted a bogus workload list" >&2
+  exit 1
+fi
+grep -q 'unknown workload' "$OUT/rma.err"
+
 echo "== smoke: ok =="

@@ -361,14 +361,32 @@ let event_queue_tests =
 
 let wire_gen =
   let open QCheck.Gen in
-  let op = oneofl [ Wire.Put_request; Wire.Ack; Wire.Get_request; Wire.Reply ] in
+  let op =
+    oneofl
+      [
+        Wire.Put_request; Wire.Ack; Wire.Get_request; Wire.Reply;
+        Wire.Atomic_request; Wire.Atomic_reply;
+      ]
+  in
   let pid = map2 (fun nid pid -> proc nid pid) (int_range 0 4095) (int_range 0 255) in
   let data_len = int_range 0 300 in
   map (fun (op, (ini, tgt), (pt, ck), bits, (off, len), ackf) ->
       let data =
         match op with
         | Wire.Put_request | Wire.Reply -> Bytes.make len 'd'
-        | Wire.Ack | Wire.Get_request -> Bytes.empty
+        | Wire.Ack | Wire.Get_request | Wire.Atomic_request
+        | Wire.Atomic_reply -> Bytes.empty
+      in
+      let atomic =
+        match op with
+        | Wire.Atomic_request | Wire.Atomic_reply ->
+          Some
+            {
+              Wire.aop = List.nth Wire.all_aops (abs bits mod 3);
+              operand = Int64.of_int bits;
+              compare = Int64.of_int (bits / 3);
+            }
+        | _ -> None
       in
       {
         Wire.op;
@@ -384,8 +402,11 @@ let wire_gen =
         incarnation = abs bits mod 16;
         length = (match op with
                   | Wire.Put_request | Wire.Reply -> Bytes.length data
-                  | Wire.Ack | Wire.Get_request -> len);
+                  | Wire.Ack | Wire.Get_request -> len
+                  | Wire.Atomic_request | Wire.Atomic_reply ->
+                    Wire.atomic_word_size);
         data;
+        atomic;
       })
     (tup6 op (pair pid pid) (pair (int_range 0 63) (int_range 0 15)) int
        (pair (int_range 0 1_000_000) data_len) bool)

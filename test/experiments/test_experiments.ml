@@ -4,10 +4,10 @@
 
 let tables_tests =
   [
-    Alcotest.test_case "four tables with the paper's distinguishing fields"
+    Alcotest.test_case "six tables with the paper's distinguishing fields"
       `Quick (fun () ->
         let tables = Experiments.Tables.run () in
-        Alcotest.(check int) "count" 4 (List.length tables);
+        Alcotest.(check int) "count" 6 (List.length tables);
         let by_number n = List.nth tables (n - 1) in
         (* Put and reply carry payload; ack and get do not. *)
         Alcotest.(check int) "put payload" 1_024 (by_number 1).Experiments.Tables.payload_bytes;
@@ -20,7 +20,17 @@ let tables_tests =
           (has (by_number 2) "manipulated length");
         Alcotest.(check bool) "get has no event queue" false
           (has (by_number 3) "event queue");
-        Alcotest.(check bool) "reply carries data" true (has (by_number 4) "data"));
+        Alcotest.(check bool) "reply carries data" true (has (by_number 4) "data");
+        (* The atomic extension: request carries opcode/operand/compare,
+           the reply the fetched value; neither carries payload. *)
+        Alcotest.(check int) "atomic request payload" 0
+          (by_number 5).Experiments.Tables.payload_bytes;
+        Alcotest.(check bool) "request has opcode" true
+          (has (by_number 5) "atomic opcode");
+        Alcotest.(check bool) "request has compare" true
+          (has (by_number 5) "compare");
+        Alcotest.(check bool) "reply has fetched value" true
+          (has (by_number 6) "fetched value"));
   ]
 
 let protocol_tests =
@@ -271,7 +281,7 @@ let drops_tests =
     Alcotest.test_case "every documented drop reason fires exactly once"
       `Quick (fun () ->
         let rows = Experiments.Drops.run () in
-        Alcotest.(check int) "ten reasons" 10 (List.length rows);
+        Alcotest.(check int) "thirteen reasons" 13 (List.length rows);
         List.iter
           (fun r ->
             Alcotest.(check int) r.Experiments.Drops.reason 1

@@ -9,7 +9,7 @@ let with_pes ?(n = 2) ~regions f =
     Array.mapi
       (fun rank pid ->
         let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
-        let os = Onesided.create ni ~ranks:world.Runtime.ranks ~rank () in
+        let os = Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank () in
         let syms = List.map (fun size -> Onesided.alloc os size) regions in
         (os, syms))
       world.Runtime.ranks
@@ -46,7 +46,7 @@ let put_get_tests =
             Portals.Ni.create world.Runtime.transport
               ~id:world.Runtime.ranks.(rank) ()
           in
-          Onesided.create ni ~ranks:world.Runtime.ranks ~rank ()
+          Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank ()
         in
         let os0 = mk 0 and os1 = mk 1 in
         let _s0 = Onesided.alloc os0 32 in
@@ -151,4 +151,335 @@ let put_get_tests =
            Bytes.equal mirror (Onesided.region_bytes os1 (sym1 syms))));
   ]
 
-let () = Alcotest.run "onesided" [ ("put_get", put_get_tests) ]
+(* Like [with_pes], but every PE gets an MPI-3-style window of [size]
+   data bytes instead of raw regions. *)
+let with_wins ?(n = 2) ~size f =
+  let world = Runtime.create_world ~nodes:n () in
+  let pes =
+    Array.mapi
+      (fun rank pid ->
+        let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+        let os = Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank () in
+        (os, Onesided.win_create os ~size))
+      world.Runtime.ranks
+  in
+  Array.iteri
+    (fun rank (_, w) ->
+      Scheduler.spawn world.Runtime.sched ~name:(Printf.sprintf "pe%d" rank)
+        (fun () -> f w rank))
+    pes;
+  Runtime.run world;
+  pes
+
+let word_of b = Bytes.get_int64_le b 0
+
+let put_word w ~rank ~offset v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  Onesided.Win.put w ~rank ~offset b
+
+let get_word w ~rank ~offset =
+  word_of (Onesided.Win.get w ~rank ~offset ~len:8)
+
+let i64 = Alcotest.int64
+
+let win_tests =
+  [
+    Alcotest.test_case "put/flush/get round-trip through a window" `Quick
+      (fun () ->
+        let seen = ref "" in
+        let pes =
+          with_wins ~size:64 (fun w rank ->
+              if rank = 0 then begin
+                Onesided.Win.put w ~rank:1 ~offset:8
+                  (Bytes.of_string "windowed");
+                Onesided.Win.flush w ~rank:1;
+                (* flush means remotely complete: a get issued after it
+                   must observe the put's bytes. *)
+                seen :=
+                  Bytes.to_string (Onesided.Win.get w ~rank:1 ~offset:8 ~len:8)
+              end)
+        in
+        Alcotest.(check string) "get after flush sees the put" "windowed" !seen;
+        let _, w1 = pes.(1) in
+        Alcotest.(check string) "target data area" "windowed"
+          (Bytes.sub_string (Onesided.Win.local_data w1) 8 8));
+    Alcotest.test_case "exclusive lock serializes read-modify-write" `Quick
+      (fun () ->
+        (* Two ranks each do k unlocked-unsafe increments (get, then
+           put) on rank 0's word, guarded by MPI_Win_lock(EXCLUSIVE).
+           The network round-trip between the get and the put is a wide
+           race window; only mutual exclusion preserves every update. *)
+        let k = 5 in
+        let pes =
+          with_wins ~n:3 ~size:8 (fun w rank ->
+              if rank > 0 then
+                for _ = 1 to k do
+                  Onesided.Win.lock w ~rank:0 Onesided.Exclusive;
+                  let v = get_word w ~rank:0 ~offset:0 in
+                  put_word w ~rank:0 ~offset:0 (Int64.add v 1L);
+                  Onesided.Win.flush w ~rank:0;
+                  Onesided.Win.unlock w ~rank:0
+                done)
+        in
+        let _, w0 = pes.(0) in
+        Alcotest.check i64 "no update lost"
+          (Int64.of_int (2 * k))
+          (word_of (Onesided.Win.local_data w0)));
+    Alcotest.test_case "shared locks admit concurrent holders" `Quick
+      (fun () ->
+        (* Each contender raises a flag in rank 0's window while holding
+           the shared lock, and only releases once it has seen the other
+           contender's flag. This can only terminate if both hold the
+           lock at the same time — exclusive semantics would deadlock. *)
+        ignore
+          (with_wins ~n:3 ~size:8 (fun w rank ->
+               if rank > 0 then begin
+                 let mine = rank - 1 and theirs = 2 - rank in
+                 Onesided.Win.lock w ~rank:0 Onesided.Shared;
+                 Onesided.Win.put w ~rank:0 ~offset:mine (Bytes.make 1 '\x01');
+                 Onesided.Win.flush w ~rank:0;
+                 let rec poll () =
+                   let b =
+                     Onesided.Win.get w ~rank:0 ~offset:theirs ~len:1
+                   in
+                   if Bytes.get b 0 <> '\x01' then poll ()
+                 in
+                 poll ();
+                 Onesided.Win.unlock w ~rank:0
+               end)));
+    Alcotest.test_case "accumulate, fetch_and_add and cas on a window word"
+      `Quick (fun () ->
+        let old_fa = ref (-1L) in
+        let cas_hit = ref (-1L) in
+        let cas_miss = ref (-1L) in
+        let final = ref (-1L) in
+        ignore
+          (with_wins ~size:16 (fun w rank ->
+               if rank = 0 then begin
+                 Onesided.Win.accumulate w ~rank:1 ~offset:8 5L;
+                 Onesided.Win.accumulate w ~rank:1 ~offset:8 7L;
+                 Onesided.Win.flush w ~rank:1;
+                 old_fa := Onesided.Win.fetch_and_add w ~rank:1 ~offset:8 0L;
+                 cas_hit :=
+                   Onesided.Win.compare_and_swap w ~rank:1 ~offset:8
+                     ~expected:12L ~desired:100L;
+                 cas_miss :=
+                   Onesided.Win.compare_and_swap w ~rank:1 ~offset:8
+                     ~expected:12L ~desired:200L;
+                 final := get_word w ~rank:1 ~offset:8
+               end));
+        Alcotest.check i64 "accumulates summed" 12L !old_fa;
+        Alcotest.check i64 "cas hit fetched the expected value" 12L !cas_hit;
+        Alcotest.check i64 "cas miss fetched the current value" 100L !cas_miss;
+        Alcotest.check i64 "miss left the word alone" 100L !final);
+    Alcotest.test_case "window bounds and alignment are enforced" `Quick
+      (fun () ->
+        ignore
+          (with_wins ~size:16 (fun w rank ->
+               if rank = 0 then begin
+                 Alcotest.check_raises "put overrun"
+                   (Invalid_argument "Onesided.Win.put: outside the window")
+                   (fun () ->
+                     Onesided.Win.put w ~rank:1 ~offset:12 (Bytes.create 8));
+                 Alcotest.check_raises "get overrun"
+                   (Invalid_argument "Onesided.Win.get: outside the window")
+                   (fun () ->
+                     ignore (Onesided.Win.get w ~rank:1 ~offset:0 ~len:17));
+                 Alcotest.check_raises "misaligned accumulate"
+                   (Invalid_argument
+                      "Onesided.Win.accumulate: offset not 8-byte aligned")
+                   (fun () -> Onesided.Win.accumulate w ~rank:1 ~offset:4 1L);
+                 Alcotest.check_raises "fetch_and_add overrun"
+                   (Invalid_argument
+                      "Onesided.Win.fetch_and_add: outside the window")
+                   (fun () ->
+                     ignore (Onesided.Win.fetch_and_add w ~rank:1 ~offset:16 1L))
+               end));
+        (* Region-level atomics share the §4.8 bounds discipline. *)
+        ignore
+          (with_pes ~regions:[ 8 ] (fun os syms rank ->
+               if rank = 0 then
+                 Alcotest.check_raises "atomic straddling the region end"
+                   (Invalid_argument "Onesided.atomic: outside the region")
+                   (fun () ->
+                     ignore
+                       (Onesided.fetch_and_add os (sym1 syms) ~pe:1 ~offset:4
+                          1L)))));
+  ]
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then false
+    else String.sub s i n = sub || go (i + 1)
+  in
+  go 0
+
+let failure_tests =
+  [
+    Alcotest.test_case "eq allocation failure is a typed error" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~nodes:2 () in
+        let ni =
+          Portals.Ni.create world.Runtime.transport ~id:world.Runtime.ranks.(0)
+            ()
+        in
+        (match
+           Onesided.create ni ~ranks:world.Runtime.ranks ~rank:0
+             ~eq_capacity:0 ()
+         with
+        | Ok _ -> Alcotest.fail "zero-capacity queue accepted"
+        | Error (Onesided.Eq_alloc_failed { capacity; cause; _ } as e) ->
+          Alcotest.(check int) "capacity reported" 0 capacity;
+          Alcotest.(check string) "cause" "PTL_INV_ARG"
+            (Portals.Errors.to_string cause);
+          Alcotest.(check bool) "pp_error says why" true
+            (contains (Format.asprintf "%a" Onesided.pp_error e) "event queue")
+        | Error e ->
+          Alcotest.failf "wrong error: %a" Onesided.pp_error e);
+        (* The _exn variant wraps the same error. *)
+        match
+          Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank:0
+            ~eq_capacity:0 ()
+        with
+        | _ -> Alcotest.fail "create_exn did not raise"
+        | exception Onesided.Error (Onesided.Eq_alloc_failed _) -> ());
+    Alcotest.test_case "a crashed exclusive holder is fenced and recovered"
+      `Quick (fun () ->
+        (* Rank 1 takes the exclusive lock on rank 2's window and then
+           its node crash-stops without unlocking. A survivor's lock
+           attempt finds the stale holder tag, fences it (the dead set /
+           incarnation check) and wins the lock instead of spinning
+           forever — the §3 argument that incarnations make crashed
+           processes recoverable without connection state. *)
+        let world = Runtime.create_world ~nodes:3 () in
+        Simnet.Fabric.apply_crash_schedule world.Runtime.fabric
+          (Simnet.Fault.crash_schedule [ (1, Time_ns.us 100., None) ]);
+        let pes =
+          Array.mapi
+            (fun rank pid ->
+              let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+              let os =
+                Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank ()
+              in
+              (os, Onesided.win_create os ~size:8))
+            world.Runtime.ranks
+        in
+        let recovered = ref false in
+        Array.iteri
+          (fun rank (_, w) ->
+            Scheduler.spawn world.Runtime.sched
+              ~name:(Printf.sprintf "pe%d" rank)
+              (fun () ->
+                if rank = 1 then
+                  (* Take the lock and die holding it. *)
+                  Onesided.Win.lock w ~rank:2 Onesided.Exclusive
+                else if rank = 0 then begin
+                  Scheduler.delay world.Runtime.sched (Time_ns.us 300.);
+                  Onesided.Win.lock w ~rank:2 Onesided.Exclusive;
+                  put_word w ~rank:2 ~offset:0 77L;
+                  Onesided.Win.flush w ~rank:2;
+                  Onesided.Win.unlock w ~rank:2;
+                  recovered := true
+                end))
+          pes;
+        Runtime.run world;
+        Alcotest.(check bool) "survivor acquired the stale lock" true
+          !recovered;
+        let _, w2 = pes.(2) in
+        Alcotest.check i64 "and used it" 77L
+          (word_of (Onesided.Win.local_data w2)));
+    Alcotest.test_case "a wait_until nobody satisfies names its fiber" `Quick
+      (fun () ->
+        (* The raw-Portals wait path must surface as a deadlock report
+           carrying the blocked fiber, not as a hang. *)
+        match
+          with_pes ~regions:[ 1 ] (fun os syms rank ->
+              if rank = 0 then
+                Onesided.wait_until os (sym1 syms) ~offset:0
+                  ~value:Onesided.barrier_value)
+        with
+        | _ -> Alcotest.fail "expected a deadlock"
+        | exception Scheduler.Deadlock entries ->
+          Alcotest.(check bool) "report names pe0" true
+            (List.exists (fun e -> contains e "pe0") entries));
+  ]
+
+(* Linearizability of the target-side atomics under Bernoulli wire loss:
+   with the reliability shim attached, every fetch-add executes exactly
+   once, so n ranks doing k increments of 1 must observe a permutation
+   of 0..n*k-1 as fetched values, the counter must end at n*k, and n
+   contenders CAS-claiming 8 slots must win each slot exactly once.
+   The same seed must reproduce the same history bit-for-bit. *)
+let lossy_atomics_run ~seed ~n ~k =
+  Runtime.set_run_env ~loss:0.08 ~seed ();
+  let traces = Array.make n [] in
+  let wins = Array.make n 0 in
+  let pes =
+    with_pes ~n ~regions:[ 8; 64 ] (fun os syms rank ->
+        match syms with
+        | [ counter; slots ] ->
+          for _ = 1 to k do
+            let old = Onesided.fetch_and_add os counter ~pe:0 ~offset:0 1L in
+            traces.(rank) <- old :: traces.(rank)
+          done;
+          for s = 0 to 7 do
+            let old =
+              Onesided.compare_and_swap os slots ~pe:0 ~offset:(s * 8)
+                ~expected:0L
+                ~desired:(Int64.of_int (rank + 1))
+            in
+            if Int64.equal old 0L then wins.(rank) <- wins.(rank) + 1
+          done
+        | _ -> Alcotest.fail "two regions expected")
+  in
+  let os0, syms = pes.(0) in
+  let counter, slots =
+    match syms with [ c; s ] -> (c, s) | _ -> Alcotest.fail "two regions"
+  in
+  let final = word_of (Onesided.region_bytes os0 counter) in
+  let slot_bytes = Onesided.region_bytes os0 slots in
+  let owners = List.init 8 (fun s -> Bytes.get_int64_le slot_bytes (s * 8)) in
+  (final, Array.to_list (Array.map List.rev traces), Array.to_list wins, owners)
+
+let lossy_linearizability =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"atomics linearize under loss, deterministically"
+       ~count:4
+       QCheck.(int_range 0 999)
+       (fun seed ->
+         Fun.protect
+           ~finally:(fun () -> Runtime.set_run_env ~loss:0. ~seed:0 ())
+           (fun () ->
+             let n = 3 and k = 6 in
+             let final, traces, wins, owners = lossy_atomics_run ~seed ~n ~k in
+             let fetched = List.sort compare (List.concat traces) in
+             let expect = List.init (n * k) Int64.of_int in
+             if final <> Int64.of_int (n * k) then
+               QCheck.Test.fail_reportf "counter %Ld, expected %d" final (n * k);
+             if fetched <> expect then
+               QCheck.Test.fail_reportf
+                 "fetched values are not a permutation of 0..%d" ((n * k) - 1);
+             if List.fold_left ( + ) 0 wins <> 8 then
+               QCheck.Test.fail_reportf "claimed %d slots, expected 8"
+                 (List.fold_left ( + ) 0 wins);
+             List.iter
+               (fun o ->
+                 if o < 1L || o > Int64.of_int n then
+                   QCheck.Test.fail_reportf "slot owner %Ld out of range" o)
+               owners;
+             (* Same seed, same machine: the whole history replays. *)
+             let final', traces', wins', owners' =
+               lossy_atomics_run ~seed ~n ~k
+             in
+             (final, traces, wins, owners) = (final', traces', wins', owners'))))
+
+let () =
+  Alcotest.run "onesided"
+    [
+      ("put_get", put_get_tests);
+      ("windows", win_tests);
+      ("failures", failure_tests);
+      ("linearizability", [ lossy_linearizability ]);
+    ]
