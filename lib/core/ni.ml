@@ -592,7 +592,16 @@ let handle_atomic_reply t (msg : Wire.t) =
   | Some entry ->
     let md = entry.md in
     (match Md.eq md with
-    | Some queue when Event.Queue.is_full queue -> drop t Atomic_reply_eq_full
+    | Some queue when Event.Queue.is_full queue ->
+      (* §4.8: the fetched value is discarded when the queue has no
+         space — but the loss must stay observable, so the failing post
+         ticks the queue's PTL_EQ_DROPPED counter, which completion
+         waiters (e.g. Onesided.check_tx_overflow) turn into a typed
+         overflow error instead of a silent hang. *)
+      post_event t ~md ~kind:Event.Reply ~msg
+        ~mlength:(min Wire.atomic_word_size (Md.length md))
+        ~offset:0 queue;
+      drop t Atomic_reply_eq_full
     | Some _ | None ->
       let fetched =
         match msg.Wire.atomic with Some a -> a.Wire.operand | None -> 0L
@@ -633,7 +642,10 @@ let handle_reply t (msg : Wire.t) =
     (match Md.eq md with
     | Some queue when Event.Queue.is_full queue ->
       (* §4.8: a reply is dropped if the event queue has no space and is
-         not null. *)
+         not null. The failing post keeps the loss observable through
+         the queue's PTL_EQ_DROPPED counter. *)
+      post_event t ~md ~kind:Event.Reply ~msg ~mlength:0
+        ~offset:msg.Wire.offset queue;
       drop t Reply_eq_full
     | Some _ | None ->
       (* Every memory descriptor accepts and truncates replies (§4.8). *)

@@ -215,6 +215,8 @@ let write_header buf t =
     if ext_size t.op <> 0 then
       invalid_arg "Wire.encode: atomic operation without an atomic block"
   | Some a ->
+    if ext_size t.op = 0 then
+      invalid_arg "Wire.encode: atomic block on a non-atomic operation";
     Bytes.set_uint8 buf header_size (aop_code a.aop);
     Bytes.set_int64_le buf (header_size + 1) a.operand;
     Bytes.set_int64_le buf (header_size + 9) a.compare

@@ -172,6 +172,10 @@ val fetched_value : t -> int64 option
 (** The fetched value of an atomic reply; [None] on any other message. *)
 
 val encode : t -> bytes
+(** Raises [Invalid_argument] when [op] and [atomic] disagree — an
+    atomic operation without its extension block, or a block attached to
+    an operation whose frame has no room for one (it would overwrite the
+    start of the payload). *)
 
 val encode_with : t -> fill:(bytes -> int -> unit) -> bytes
 (** [encode_with t ~fill] allocates the wire image, writes the header

@@ -476,14 +476,18 @@ module Win = struct
         if tag_of old = 0 then ()
         else begin
           (* An exclusive holder is in: take our optimistic increment
-             back, fence the holder if it is dead, and retry. *)
+             back, fence the holder if it is dead, and retry. Once the
+             -1 lands the word's shared count is back to [shared_of old]
+             (the pre-increment fetch), so that is what the fence must
+             expect; other waiters mid-dance make the CAS miss, and the
+             retry loop fences again with a fresh read. *)
           ignore (add_lock os w.w_sym ~rank (-1L));
           let tag = tag_of old in
           if holder_stale os tag then
             ignore
               (cas_lock os w.w_sym ~rank
-                 ~expected:(pack ~tag ~shared:(shared_of old - 1))
-                 ~desired:(pack ~tag:0 ~shared:(shared_of old - 1)));
+                 ~expected:(pack ~tag ~shared:(shared_of old))
+                 ~desired:(pack ~tag:0 ~shared:(shared_of old)));
           incr retries;
           backoff os !retries;
           acquire ()
@@ -525,10 +529,15 @@ module Win = struct
       ignore (add_lock os w.w_sym ~rank (-1L))
     | Some Exclusive ->
       Hashtbl.remove w.w_held rank;
+      (* Subtract the tag instead of CASing against (tag, shared=0): a
+         shared waiter's optimistic +1 can be in flight across a full
+         RTT, and a CAS landing on (tag, 1) would fail silently, leaving
+         the word tagged by a live holder forever. The subtraction
+         clears exactly our tag bits, preserves any transient shared
+         count, and cannot fail. *)
       ignore
-        (cas_lock os w.w_sym ~rank
-           ~expected:(pack ~tag:(my_tag os) ~shared:0)
-           ~desired:0L)
+        (add_lock os w.w_sym ~rank
+           (Int64.neg (Int64.shift_left (Int64.of_int (my_tag os)) 32)))
 
   let lock_all w =
     for rank = 0 to Array.length w.w_os.ranks - 1 do

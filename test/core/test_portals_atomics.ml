@@ -266,6 +266,25 @@ let wire_tests =
         | Error e ->
           Alcotest.failf "wrong error: %a" Wire.pp_decode_error e
         | Ok _ -> Alcotest.fail "decoded a truncated message");
+    Alcotest.test_case "encode rejects op/atomic-block mismatches both ways"
+      `Quick (fun () ->
+        (* An atomic op without its block has nothing to serialize; a
+           non-atomic op with a block would write 17 bytes into the
+           payload area. Both malformed records must be refused rather
+           than silently corrupting the frame. *)
+        Alcotest.check_raises "atomic op, missing block"
+          (Invalid_argument
+             "Wire.encode: atomic operation without an atomic block")
+          (fun () ->
+            ignore
+              (Wire.encode { (sample_request ()) with Wire.atomic = None }));
+        Alcotest.check_raises "non-atomic op, stray block"
+          (Invalid_argument
+             "Wire.encode: atomic block on a non-atomic operation")
+          (fun () ->
+            ignore
+              (Wire.encode
+                 { (sample_request ()) with Wire.op = Wire.Put_request })));
   ]
 
 let drop_tests =
@@ -342,7 +361,12 @@ let drop_tests =
              });
         Scheduler.run env.sched;
         Alcotest.(check int) "dropped per section 4.8" 1
-          (Ni.dropped env.ni0 Ni.Atomic_reply_eq_full));
+          (Ni.dropped env.ni0 Ni.Atomic_reply_eq_full);
+        (* The loss must also tick the queue's PTL_EQ_DROPPED counter:
+           completion waiters poll it to turn the lost reply into a
+           typed overflow error instead of a silent hang. *)
+        Alcotest.(check int) "queue records the loss" 1
+          (Event.Queue.dropped q));
     Alcotest.test_case "local validation: bad handle, short descriptor" `Quick
       (fun () ->
         let env = setup () in

@@ -390,6 +390,95 @@ let failure_tests =
         let _, w2 = pes.(2) in
         Alcotest.check i64 "and used it" 77L
           (word_of (Onesided.Win.local_data w2)));
+    Alcotest.test_case "a shared waiter fences a crashed exclusive holder"
+      `Quick (fun () ->
+        (* Same crash as above, but the survivor asks for the lock in
+           Shared mode. After the waiter withdraws its optimistic +1 the
+           word's shared count is back to the pre-increment fetch, so
+           that is what the fence CAS must expect — getting it wrong by
+           one leaves a lone shared waiter spinning on the dead holder's
+           tag forever. *)
+        let world = Runtime.create_world ~nodes:3 () in
+        Simnet.Fabric.apply_crash_schedule world.Runtime.fabric
+          (Simnet.Fault.crash_schedule [ (1, Time_ns.us 100., None) ]);
+        let pes =
+          Array.mapi
+            (fun rank pid ->
+              let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+              let os =
+                Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank ()
+              in
+              (os, Onesided.win_create os ~size:8))
+            world.Runtime.ranks
+        in
+        let recovered = ref false in
+        Array.iteri
+          (fun rank (_, w) ->
+            Scheduler.spawn world.Runtime.sched
+              ~name:(Printf.sprintf "pe%d" rank)
+              (fun () ->
+                if rank = 1 then
+                  Onesided.Win.lock w ~rank:2 Onesided.Exclusive
+                else if rank = 0 then begin
+                  Scheduler.delay world.Runtime.sched (Time_ns.us 300.);
+                  Onesided.Win.lock w ~rank:2 Onesided.Shared;
+                  ignore (Onesided.Win.get w ~rank:2 ~offset:0 ~len:8);
+                  Onesided.Win.unlock w ~rank:2;
+                  recovered := true
+                end))
+          pes;
+        (* Time-bounded: a broken fence spins forever on the dead
+           holder's tag, and the bound turns that into a check failure
+           rather than a hung test. *)
+        Runtime.run ~until:(Time_ns.s 1.) world;
+        Alcotest.(check bool) "shared waiter recovered the stale lock" true
+          !recovered);
+    Alcotest.test_case "exclusive unlock survives a shared waiter's probe"
+      `Quick (fun () ->
+        (* A shared waiter's optimistic +1 is in flight across a full
+           RTT, so an exclusive unlock that CASes against (tag,
+           shared=0) can land on (tag, 1), fail silently and leave the
+           word tagged by a live process forever. Hammering the two
+           paths against each other makes that interleaving all but
+           certain; the time-bounded run turns the resulting livelock
+           into a clean assertion failure. *)
+        let k = 8 in
+        let done_ex = ref false and done_sh = ref false in
+        let world = Runtime.create_world ~nodes:3 () in
+        let pes =
+          Array.mapi
+            (fun rank pid ->
+              let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
+              let os =
+                Onesided.create_exn ni ~ranks:world.Runtime.ranks ~rank ()
+              in
+              (os, Onesided.win_create os ~size:8))
+            world.Runtime.ranks
+        in
+        Array.iteri
+          (fun rank (_, w) ->
+            Scheduler.spawn world.Runtime.sched
+              ~name:(Printf.sprintf "pe%d" rank)
+              (fun () ->
+                if rank = 1 then begin
+                  for _ = 1 to k do
+                    Onesided.Win.lock w ~rank:0 Onesided.Exclusive;
+                    Onesided.Win.unlock w ~rank:0
+                  done;
+                  done_ex := true
+                end
+                else if rank = 2 then begin
+                  for _ = 1 to k do
+                    Onesided.Win.lock w ~rank:0 Onesided.Shared;
+                    Onesided.Win.unlock w ~rank:0
+                  done;
+                  done_sh := true
+                end))
+          pes;
+        Runtime.run ~until:(Time_ns.s 5.) world;
+        ignore pes;
+        Alcotest.(check bool) "exclusive locker finished" true !done_ex;
+        Alcotest.(check bool) "shared locker finished" true !done_sh);
     Alcotest.test_case "a wait_until nobody satisfies names its fiber" `Quick
       (fun () ->
         (* The raw-Portals wait path must surface as a deadlock report
