@@ -28,6 +28,7 @@ type opts = {
   mutable axes : string list;
   mutable rma : bool;
   mutable workloads : string list;
+  mutable chaos : bool;
 }
 
 let usage ppf =
@@ -41,8 +42,11 @@ let usage ppf =
      \                          the reliability shim underneath)@.\
      \  --seed N                default PRNG seed, for deterministic replay@.\
      \  --fault MODEL           wire fault-model spec (bernoulli:P,@.\
-     \                          gilbert:.., duplicate:P, flap:.., none;@.\
-     \                          join with +)@.\
+     \                          gilbert:.., duplicate:P, corrupt:P,@.\
+     \                          delay:MEAN_US[:JITTER_US], flap:..,@.\
+     \                          partition:A.B|C.D@@CUT_US[:HEAL_US],@.\
+     \                          none; join with +; any model switches@.\
+     \                          on CRC-32C frame checksums)@.\
      \  --crash SPEC            node crash schedule, NID@@DOWN_US[:UP_US],@.\
      \                          comma separated@.\
      \  --topology SPEC         interconnect shape for every world: full,@.\
@@ -70,6 +74,10 @@ let usage ppf =
      \                          skip the rest@.\
      \  --workloads LIST        RMA workloads: latency,passive,halo,@.\
      \                          hashtable (comma separated; default all)@.\
+     \  --chaos                 run the invariant-checked chaos campaign@.\
+     \                          (corruption x delay x partition x crash x@.\
+     \                          loss; --quick for one cell per axis) and@.\
+     \                          skip the rest; exit 1 on any violation@.\
      \  --help                  this message@."
 
 (* Stdlib-only parsing; every value option accepts both "--flag VALUE"
@@ -88,6 +96,7 @@ let parse_opts () =
       axes = Experiments.Matrix.axis_names;
       rma = false;
       workloads = Experiments.Rma.workload_names;
+      chaos = false;
     }
   in
   let bad what =
@@ -161,6 +170,9 @@ let parse_opts () =
         go rest
       | "--rma" ->
         o.rma <- true;
+        go rest
+      | "--chaos" ->
+        o.chaos <- true;
         go rest
       | "--workloads" ->
         value ~what:"LIST" rest (fun v rest ->
@@ -406,6 +418,7 @@ let perf_mode opts out =
         ~axes:opts.axes ~quick:opts.quick ()
     @ Experiments.Rma.perf_records ~workloads:opts.workloads ~quick:opts.quick
         ()
+    @ Experiments.Chaos.perf_records ~quick:true ()
   in
   Experiments.Perf.pp Format.std_formatter records;
   Experiments.Perf.write_json ~path:out records;
@@ -448,6 +461,23 @@ let () =
      count — raise [Invalid_argument] mid-run; report them as usage
      errors. *)
   try
+    if opts.chaos then begin
+      let t = Experiments.Chaos.run ~quick:opts.quick () in
+      Experiments.Chaos.pp Format.std_formatter t;
+      (match opts.json_out with
+      | None -> ()
+      | Some out ->
+        let records = Experiments.Chaos.perf_records ~quick:opts.quick () in
+        Experiments.Perf.write_json ~path:out records;
+        Format.printf "bench: wrote %s@." out);
+      footer ~wall_s:(Unix.gettimeofday () -. t0);
+      if not (Experiments.Chaos.zero_violations t) then begin
+        Format.eprintf "bench: chaos campaign found %d invariant violations@."
+          (Experiments.Chaos.total_violations t);
+        exit 1
+      end
+    end
+    else
     match (opts.matrix, opts.rma, opts.json_out) with
     | _, true, json ->
       let t =

@@ -81,9 +81,15 @@ let env_term =
           ~doc:
             "Run every world under fault model $(docv): \
              $(b,bernoulli:P), $(b,gilbert:PE:PX), $(b,duplicate:P), \
-             $(b,flap:PERIOD_US:DOWN_US) or $(b,none); combine with \
-             $(b,+) (a drop by any component wins). Implies the \
-             reliability shim, like $(b,--loss).")
+             $(b,corrupt:P) (seeded bit-flips/truncations), \
+             $(b,delay:MEAN_US\\[:JITTER_US\\]) (extra seeded latency), \
+             $(b,flap:PERIOD_US:DOWN_US), \
+             $(b,partition:A.B|C.D\\@CUT_US\\[:HEAL_US\\]) (scheduled \
+             group cut; $(b,>) instead of $(b,|) cuts one way only) or \
+             $(b,none); combine with $(b,+) (a drop by any component \
+             wins, corruption over delay). Implies the reliability shim, \
+             like $(b,--loss), and switches on CRC-32C frame \
+             checksums.")
   in
   let crash =
     Arg.(
@@ -624,6 +630,55 @@ let rma_cmd =
           progress, RMA vs send/recv halo, CAS hash table (RMA)")
     Term.(const run $ env_term $ workloads $ quick $ seed $ json)
 
+let run_chaos ?(quick = false) ?(seed = 0) ?json () =
+  let t = Experiments.Chaos.run ~quick ~seed () in
+  Experiments.Chaos.pp ppf t;
+  (match json with
+  | None -> ()
+  | Some out ->
+    let records = Experiments.Chaos.perf_records ~quick ~seed () in
+    Experiments.Perf.write_json ~path:out records;
+    Format.fprintf ppf "chaos: wrote %s@." out);
+  if not (Experiments.Chaos.zero_violations t) then
+    failwith
+      (Printf.sprintf "chaos: %d invariant violations"
+         (Experiments.Chaos.total_violations t))
+
+let chaos_cmd =
+  let run () quick seed json =
+    match run_chaos ~quick ~seed ?json () with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "One cell per fault axis plus a mixed cell, instead of the \
+             full corruption x delay x partition x crash x loss grid.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"Campaign PRNG seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also meter each fault axis as a portals-bench/1 record \
+             (id $(b,CH.<axis>)) and write the report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Invariant-checked chaos campaign: corruption x delay x \
+          partition x crash x loss cells, asserting exactly-once \
+          delivery, byte integrity, RMA linearizability and \
+          partition-aware liveness (exit 1 on any violation)")
+    Term.(ret (const run $ env_term $ quick $ seed $ json))
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -713,6 +768,7 @@ let default_term =
       `Ok ()
     | Some ("matrix" as n) -> plain n (fun () -> run_matrix ())
     | Some ("rma" as n) -> plain n (fun () -> run_rma ())
+    | Some ("chaos" as n) -> plain n (fun () -> run_chaos ~quick:true ())
     | Some other ->
       `Error
         ( false,
@@ -736,7 +792,7 @@ let () =
               tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
               bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
               drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-              congestion_cmd; matrix_cmd; rma_cmd; all_cmd;
+              congestion_cmd; matrix_cmd; rma_cmd; chaos_cmd; all_cmd;
             ])
      with Invalid_argument msg ->
        Format.eprintf "portals_repro: %s@." msg;

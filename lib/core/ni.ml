@@ -21,13 +21,14 @@ type drop_reason =
   | Atomic_misaligned
   | Atomic_reply_no_md
   | Atomic_reply_eq_full
+  | Checksum_failed
 
 let all_drop_reasons =
   [
     Malformed; Invalid_portal_index; Acl_bad_cookie; Acl_id_mismatch;
     Acl_portal_mismatch; No_match; Ack_no_eq; Reply_no_md; Reply_eq_full;
     Stale_incarnation; Atomic_misaligned; Atomic_reply_no_md;
-    Atomic_reply_eq_full;
+    Atomic_reply_eq_full; Checksum_failed;
   ]
 
 let drop_reason_index = function
@@ -44,6 +45,7 @@ let drop_reason_index = function
   | Atomic_misaligned -> 10
   | Atomic_reply_no_md -> 11
   | Atomic_reply_eq_full -> 12
+  | Checksum_failed -> 13
 
 let drop_reason_slug = function
   | Malformed -> "malformed"
@@ -59,6 +61,7 @@ let drop_reason_slug = function
   | Atomic_misaligned -> "atomic_misaligned"
   | Atomic_reply_no_md -> "atomic_reply_no_md"
   | Atomic_reply_eq_full -> "atomic_reply_eq_full"
+  | Checksum_failed -> "checksum_failed"
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -75,7 +78,8 @@ let pp_drop_reason ppf r =
     | Stale_incarnation -> "sender incarnation is stale"
     | Atomic_misaligned -> "atomic word misaligned or mis-sized"
     | Atomic_reply_no_md -> "atomic reply memory descriptor gone"
-    | Atomic_reply_eq_full -> "atomic reply event queue full")
+    | Atomic_reply_eq_full -> "atomic reply event queue full"
+    | Checksum_failed -> "frame checksum mismatch")
 
 type counters = {
   puts_initiated : int;
@@ -663,6 +667,7 @@ let handle_incoming t ~src:_ payload =
     t.c.c_rx <- t.c.c_rx + 1;
     t.c.c_rx_bytes <- t.c.c_rx_bytes + Bytes.length payload;
     match Wire.decode_view payload with
+    | Error (Wire.Bad_checksum _) -> drop t Checksum_failed
     | Error _ -> drop t Malformed
     | Ok msg ->
       (* Incarnation fence: a message stamped by a previous life of its

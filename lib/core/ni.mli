@@ -89,6 +89,12 @@ type drop_reason =
   | Atomic_reply_eq_full
       (** Atomic reply's event queue has no space and is not null (the
           atomic analogue of [Reply_eq_full], §4.8). *)
+  | Checksum_failed
+      (** The frame's CRC-32C trailer did not match its bytes — the wire
+          corrupted it in flight. The NI discards it like any other
+          malformed message (§4.8); with the reliability shim installed
+          the sender retransmits, so corruption degrades to loss and
+          never reaches a memory descriptor. *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
 

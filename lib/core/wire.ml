@@ -57,6 +57,19 @@ let magic = 0xB3
 let version = 0x30
 let header_size = 72
 
+(* Version 0x31 frames are version 0x30 frames plus a CRC-32C trailer
+   over everything before it (header, extension block, payload). The
+   version byte keeps the format self-describing — a decoder accepts
+   either — while the process-wide [Simnet.Integrity] switch decides
+   what encoders emit, so fault-free runs stay byte-identical to the
+   pre-integrity format. While the switch is on, decoders also {e
+   reject} unprotected 0x30 frames: otherwise one bit flip in the
+   version byte would downgrade a protected frame out of coverage. *)
+let version_checksummed = 0x31
+let checksum_size = 4
+let frame_checksum_size () =
+  if Simnet.Integrity.is_enabled () then checksum_size else 0
+
 (* Atomic messages carry an extension block after the fixed header:
    1 byte atomic opcode, 8 bytes operand, 8 bytes compare value. In a
    reply the operand slot carries the fetched (pre-operation) value, so
@@ -185,6 +198,10 @@ let atomic_reply_of_request ?incarnation t ~fetched =
     initiator = t.target;
     target = t.initiator;
     incarnation = Option.value incarnation ~default:t.incarnation;
+    (* The request may be a [decode_view] whose [data] aliases the whole
+       wire image; the reply carries its value in the atomic block, so
+       the payload must be dropped or [encode] would append the alias. *)
+    data = Bytes.empty;
     atomic = Some { a with operand = fetched };
   }
 
@@ -221,18 +238,34 @@ let write_header buf t =
     Bytes.set_int64_le buf (header_size + 1) a.operand;
     Bytes.set_int64_le buf (header_size + 9) a.compare
 
+(* Seal a fully written 0x31 frame: CRC the body into the trailer. *)
+let seal buf =
+  let body = Bytes.length buf - checksum_size in
+  Bytes.set_int32_le buf body
+    (Int32.of_int (Simnet.Crc32c.digest ~pos:0 ~len:body buf))
+
 let encode t =
   let ext = ext_size t.op in
-  let buf = Bytes.create (header_size + ext + Bytes.length t.data) in
+  let ck = frame_checksum_size () in
+  let buf = Bytes.create (header_size + ext + Bytes.length t.data + ck) in
   write_header buf t;
   Bytes.blit t.data 0 buf (header_size + ext) (Bytes.length t.data);
+  if ck > 0 then begin
+    Bytes.set_uint8 buf 1 version_checksummed;
+    seal buf
+  end;
   buf
 
 let encode_with t ~fill =
   let ext = ext_size t.op in
-  let buf = Bytes.create (header_size + ext + t.length) in
+  let ck = frame_checksum_size () in
+  let buf = Bytes.create (header_size + ext + t.length + ck) in
   write_header buf t;
   fill buf (header_size + ext);
+  if ck > 0 then begin
+    Bytes.set_uint8 buf 1 version_checksummed;
+    seal buf
+  end;
   buf
 
 type decode_error =
@@ -241,6 +274,7 @@ type decode_error =
   | Bad_operation of int
   | Bad_atomic_op of int
   | Truncated of { expected : int; got : int }
+  | Bad_checksum of { expected : int; got : int }
 
 let pp_decode_error ppf = function
   | Bad_magic -> Format.pp_print_string ppf "bad magic byte"
@@ -249,6 +283,9 @@ let pp_decode_error ppf = function
   | Bad_atomic_op c -> Format.fprintf ppf "unknown atomic opcode %d" c
   | Truncated { expected; got } ->
     Format.fprintf ppf "truncated message: need %d bytes, have %d" expected got
+  | Bad_checksum { expected; got } ->
+    Format.fprintf ppf "checksum mismatch: computed 0x%08x, frame says 0x%08x"
+      expected got
 
 let decode_gen ~extract_data buf =
   let got = Bytes.length buf in
@@ -256,7 +293,10 @@ let decode_gen ~extract_data buf =
   else if Bytes.get_uint8 buf 0 <> magic then Error Bad_magic
   else begin
     let v = Bytes.get_uint8 buf 1 in
-    if v <> version then Error (Bad_version v)
+    if
+      (not (v = version || v = version_checksummed))
+      || (v = version && Simnet.Integrity.is_enabled ())
+    then Error (Bad_version v)
     else begin
       match op_of_code (Bytes.get_uint8 buf 2) with
       | None -> Error (Bad_operation (Bytes.get_uint8 buf 2))
@@ -270,9 +310,31 @@ let decode_gen ~extract_data buf =
           | Put_request | Reply -> length
           | Ack | Get_request | Atomic_request | Atomic_reply -> 0
         in
-        if got < header_size + ext + data_len then
-          Error (Truncated { expected = header_size + ext + data_len; got })
+        let ck = if v = version_checksummed then checksum_size else 0 in
+        (* [data_len] comes off the wire, so guard the arithmetic: a
+           corrupted length must surface as an error, not an overflow or
+           a [Bytes.sub] exception. *)
+        if data_len < 0 || data_len > got || got < header_size + ext + data_len + ck
+        then
+          Error
+            (Truncated
+               { expected = header_size + ext + max data_len 0 + ck; got })
         else begin
+          let crc =
+            if v <> version_checksummed then Ok ()
+            else begin
+              let body = header_size + ext + data_len in
+              let computed = Simnet.Crc32c.digest ~pos:0 ~len:body buf in
+              let stored =
+                Int32.to_int (Bytes.get_int32_le buf body) land 0xFFFFFFFF
+              in
+              if computed = stored then Ok ()
+              else Error (Bad_checksum { expected = computed; got = stored })
+            end
+          in
+          match crc with
+          | Error e -> Error e
+          | Ok () ->
           let atomic =
             if ext = 0 then Ok None
             else begin

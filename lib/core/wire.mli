@@ -36,7 +36,16 @@
     The encoding is little-endian with a fixed 72-byte header, an optional
     17-byte atomic extension block, then payload. Decoding validates
     magic, version, operation, atomic opcode and lengths so a corrupt
-    message surfaces as an error, not an exception. *)
+    message surfaces as an error, not an exception.
+
+    {b Integrity.} While [Simnet.Integrity] is enabled the encoder emits
+    version-[0x31] frames: the version-[0x30] image plus a 4-byte
+    {!Simnet.Crc32c} trailer over header, extension block and payload.
+    Decoders verify the trailer ({!decode_error.Bad_checksum}) and, while
+    the switch is on, reject unprotected [0x30] frames so a bit flip in
+    the version byte cannot downgrade a frame out of coverage. With the
+    switch off (the default) the format is byte-identical to the
+    pre-integrity encoding. *)
 
 type op =
   | Put_request
@@ -98,6 +107,13 @@ val atomic_block_size : int
 
 val atomic_word_size : int
 (** Width in bytes of the word atomics operate on (8). *)
+
+val checksum_size : int
+(** Size of the CRC-32C trailer a version-[0x31] frame carries (4). *)
+
+val frame_checksum_size : unit -> int
+(** {!checksum_size} if [Simnet.Integrity] is currently enabled, else 0 —
+    the per-frame byte overhead the current encoding mode adds. *)
 
 val put_request :
   ?ack_requested:bool ->
@@ -188,11 +204,18 @@ val encode_with : t -> fill:(bytes -> int -> unit) -> bytes
 type decode_error =
   | Bad_magic
   | Bad_version of int
+      (** Unknown version byte — or an unprotected [0x30] frame while
+          [Simnet.Integrity] is enabled. *)
   | Bad_operation of int
   | Bad_atomic_op of int
       (** An atomic message whose extension block carries an opcode
           outside {!all_aops}. *)
   | Truncated of { expected : int; got : int }
+  | Bad_checksum of { expected : int; got : int }
+      (** The CRC-32C trailer of a version-[0x31] frame does not match
+          the bytes ([expected] computed, [got] stored) — in-flight
+          corruption. NIs count these under the [Checksum_failed] drop
+          reason (§4.8). *)
 
 val pp_decode_error : Format.formatter -> decode_error -> unit
 

@@ -151,6 +151,23 @@ let run () =
          md_user_ptr = 0;
          time = Time_ns.zero;
        });
+  (* 14. corrupted checksummed frame: encode under integrity, flip a
+     payload bit in flight. The 0x31 frame self-describes, so the CRC is
+     verified at the receiver even though the process-wide switch is back
+     off by the time it lands. *)
+  let corrupted =
+    Simnet.Integrity.with_enabled true (fun () ->
+        let put =
+          P.Wire.put_request ~initiator:r0 ~target:r1 ~portal_index:pt_bench
+            ~cookie:0 ~match_bits:P.Match_bits.zero ~offset:0
+            ~md_handle:P.Handle.none ~eq_handle:P.Handle.none
+            ~data:(Bytes.make 4 'x') ()
+        in
+        P.Wire.encode put)
+  in
+  Bytes.set_uint8 corrupted P.Wire.header_size
+    (Bytes.get_uint8 corrupted P.Wire.header_size lxor 0x01);
+  tp.Simnet.Transport.send ~src:r0 ~dst:r1 corrupted;
   Runtime.run world;
   (* The table is read back out of the registry: each NI publishes an
      ["ni.drops"] probe per (proc, reason); summing over procs recovers

@@ -18,3 +18,4 @@ module Perf = Perf
 module Congestion = Congestion
 module Matrix = Matrix
 module Rma = Rma
+module Chaos = Chaos

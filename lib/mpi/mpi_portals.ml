@@ -143,6 +143,7 @@ type t = {
   mutable eager_sends : int;
   mutable rdvz_sends : int;
   mutable completions : int;
+  mutable decode_errors : int; (* corrupt rendezvous headers discarded *)
   failed : (int, unit) Hashtbl.t; (* ranks whose node is down *)
   mutable peer_cbs : (rank:int -> unit) list;
 }
@@ -262,6 +263,7 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
       eager_sends = 0;
       rdvz_sends = 0;
       completions = 0;
+      decode_errors = 0;
       failed = Hashtbl.create 4;
       peer_cbs = [];
     }
@@ -274,6 +276,7 @@ let create tp ~ranks ~rank:my_rank ?(config = default_config) () =
   probe "mpi.rdvz_sends" (fun () -> t.rdvz_sends);
   probe "mpi.unexpected_bytes" (fun () -> t.ux_bytes);
   probe "mpi.unexpected_highwater" (fun () -> t.ux_highwater);
+  probe "mpi.decode_errors" (fun () -> t.decode_errors);
   tp.Simnet.Transport.on_crash (fun nid -> on_peer_crash t nid);
   tp.Simnet.Transport.on_restart (fun nid -> on_node_restart t nid);
   t
@@ -357,6 +360,16 @@ let issue_get t req ~cookie ~total_len ~src =
 
 let handle_event t (ev : P.Event.t) =
   let up = ev.P.Event.md_user_ptr in
+  (* A rendezvous header that fails to decode means in-flight corruption
+     reached the MPI layer (only possible with integrity off); the
+     message is lost either way, but losing it {e silently} made such
+     runs undebuggable — count it and leave a trace breadcrumb. *)
+  let decode_error t ~ctx =
+    t.decode_errors <- t.decode_errors + 1;
+    Trace.instant (Scheduler.trace t.sched) ~subsys:"mpi"
+      ~proc:(Printf.sprintf "cpu%d" (P.Ni.id t.ni).Simnet.Proc_id.nid)
+      (Printf.sprintf "mpi.decode_error rank=%d %s" t.my_rank ctx)
+  in
   match ev.P.Event.kind with
   | P.Event.Put when up < 0 ->
     (* Unexpected: landed in a slab. *)
@@ -378,7 +391,7 @@ let handle_event t (ev : P.Event.t) =
         t.unexpected
     | Envelope.Rendezvous ->
       (match Envelope.decode_rdvz_header slab.s_buffer ~off:ev.P.Event.offset with
-      | Error _ -> () (* corrupt header: the message is lost *)
+      | Error _ -> decode_error t ~ctx:"unexpected rendezvous header"
       | Ok (cookie, total_len) ->
         Queue.add
           (Ux_rdvz
@@ -405,7 +418,7 @@ let handle_event t (ev : P.Event.t) =
           }
       | Envelope.Rendezvous ->
         (match Envelope.decode_rdvz_header req.buffer ~off:ev.P.Event.offset with
-        | Error _ -> ()
+        | Error _ -> decode_error t ~ctx:"posted rendezvous header"
         | Ok (cookie, total_len) ->
           req.rdvz_source <- env.Envelope.src_rank;
           req.rdvz_tag <- env.Envelope.tag;

@@ -2,47 +2,94 @@ type t =
   | Data of { seq : int; payload : bytes }
   | Ack of { cum_ack : int; sack : int64 }
 
+type error = Not_ours | Corrupt of string
+
 let magic = 0xA7
 let header_size = 10 (* magic + kind + seq *)
+let checksum_size = 4
 
-let encode = function
-  | Data { seq; payload } ->
-    let buf = Bytes.create (header_size + Bytes.length payload) in
-    Bytes.set_uint8 buf 0 magic;
-    Bytes.set_uint8 buf 1 0;
-    Bytes.set_int64_le buf 2 (Int64.of_int seq);
-    Bytes.blit payload 0 buf header_size (Bytes.length payload);
-    buf
-  | Ack { cum_ack; sack } ->
-    let buf = Bytes.create 18 in
-    Bytes.set_uint8 buf 0 magic;
-    Bytes.set_uint8 buf 1 1;
-    Bytes.set_int64_le buf 2 (Int64.of_int cum_ack);
-    Bytes.set_int64_le buf 10 sack;
-    buf
+(* Kinds 0/1 are the unprotected (legacy) Data/Ack encodings; kinds 2/3
+   are the same images plus a CRC-32C trailer over everything before it.
+   Like [Wire], the frame is self-describing but the process-wide
+   [Simnet.Integrity] switch decides what encoders emit — and while it is
+   on, unprotected frames are rejected so corruption of the kind byte
+   cannot downgrade a frame out of coverage. *)
+let kind_data = 0
+let kind_ack = 1
+let kind_data_crc = 2
+let kind_ack_crc = 3
+
+let seal buf =
+  let body = Bytes.length buf - checksum_size in
+  Bytes.set_int32_le buf body
+    (Int32.of_int (Simnet.Crc32c.digest ~pos:0 ~len:body buf))
+
+let encode frame =
+  let ck = if Simnet.Integrity.is_enabled () then checksum_size else 0 in
+  let buf =
+    match frame with
+    | Data { seq; payload } ->
+      let buf = Bytes.create (header_size + Bytes.length payload + ck) in
+      Bytes.set_uint8 buf 0 magic;
+      Bytes.set_uint8 buf 1 (if ck > 0 then kind_data_crc else kind_data);
+      Bytes.set_int64_le buf 2 (Int64.of_int seq);
+      Bytes.blit payload 0 buf header_size (Bytes.length payload);
+      buf
+    | Ack { cum_ack; sack } ->
+      let buf = Bytes.create (18 + ck) in
+      Bytes.set_uint8 buf 0 magic;
+      Bytes.set_uint8 buf 1 (if ck > 0 then kind_ack_crc else kind_ack);
+      Bytes.set_int64_le buf 2 (Int64.of_int cum_ack);
+      Bytes.set_int64_le buf 10 sack;
+      buf
+  in
+  if ck > 0 then seal buf;
+  buf
+
+let check_crc buf =
+  let body = Bytes.length buf - checksum_size in
+  let stored = Int32.to_int (Bytes.get_int32_le buf body) land 0xFFFFFFFF in
+  if Simnet.Crc32c.digest ~pos:0 ~len:body buf = stored then Ok ()
+  else Error (Corrupt "rel frame: checksum mismatch")
 
 let decode buf =
-  if Bytes.length buf < header_size then Error "rel frame: truncated header"
-  else if Bytes.get_uint8 buf 0 <> magic then Error "rel frame: bad magic"
+  let len = Bytes.length buf in
+  if len < 1 || Bytes.get_uint8 buf 0 <> magic then Error Not_ours
+  else if len < 2 then Error (Corrupt "rel frame: truncated header")
   else
-    match Bytes.get_uint8 buf 1 with
-    | 0 ->
-      Ok
-        (Data
-           {
-             seq = Int64.to_int (Bytes.get_int64_le buf 2);
-             payload = Bytes.sub buf header_size (Bytes.length buf - header_size);
-           })
-    | 1 ->
-      if Bytes.length buf < 18 then Error "rel frame: truncated ack"
-      else
-        Ok
-          (Ack
-             {
-               cum_ack = Int64.to_int (Bytes.get_int64_le buf 2);
-               sack = Bytes.get_int64_le buf 10;
-             })
-    | _ -> Error "rel frame: unknown kind"
+    let kind = Bytes.get_uint8 buf 1 in
+    let protected_ = kind = kind_data_crc || kind = kind_ack_crc in
+    if (not protected_) && (kind = kind_data || kind = kind_ack)
+       && Simnet.Integrity.is_enabled ()
+    then Error (Corrupt "rel frame: unprotected frame while integrity enabled")
+    else if protected_ && len < header_size + checksum_size then
+      Error (Corrupt "rel frame: truncated checksum trailer")
+    else
+      let crc = if protected_ then check_crc buf else Ok () in
+      match crc with
+      | Error e -> Error e
+      | Ok () ->
+        if kind = kind_data || kind = kind_data_crc then
+          if len < header_size then Error (Corrupt "rel frame: truncated header")
+          else
+            let tail = if protected_ then checksum_size else 0 in
+            Ok
+              (Data
+                 {
+                   seq = Int64.to_int (Bytes.get_int64_le buf 2);
+                   payload = Bytes.sub buf header_size (len - header_size - tail);
+                 })
+        else if kind = kind_ack || kind = kind_ack_crc then
+          if len < 18 + (if protected_ then checksum_size else 0) then
+            Error (Corrupt "rel frame: truncated ack")
+          else
+            Ok
+              (Ack
+                 {
+                   cum_ack = Int64.to_int (Bytes.get_int64_le buf 2);
+                   sack = Bytes.get_int64_le buf 10;
+                 })
+        else Error (Corrupt "rel frame: unknown kind")
 
 let sack_mem ~sack ~cum_ack seq =
   let i = seq - cum_ack - 1 in
@@ -60,3 +107,7 @@ let pp ppf = function
     Format.fprintf ppf "DATA seq=%d len=%d" seq (Bytes.length payload)
   | Ack { cum_ack; sack } ->
     Format.fprintf ppf "ACK cum=%d sack=%Lx" cum_ack sack
+
+let pp_error ppf = function
+  | Not_ours -> Format.pp_print_string ppf "not a rel frame"
+  | Corrupt msg -> Format.pp_print_string ppf msg

@@ -1,6 +1,7 @@
 open Sim_engine
 module Frame = Rel_frame
 module Campaign = Campaign
+module Chaos = Chaos
 
 type config = {
   window : int;
@@ -22,6 +23,7 @@ type stats = {
   acks_sent : int;
   retransmits : int;
   duplicate_drops : int;
+  corrupt_drops : int;
   retries_exhausted : int;
   delivered : int;
   peer_resets : int;
@@ -63,6 +65,7 @@ type t = {
   m_acks : Metrics.counter;
   m_retransmits : Metrics.counter;
   m_dup_drops : Metrics.counter;
+  m_corrupt_drops : Metrics.counter;
   m_exhausted : Metrics.counter;
   m_delivered : Metrics.counter;
   m_peer_resets : Metrics.counter;
@@ -80,6 +83,7 @@ let stats t =
     acks_sent = Metrics.counter_value t.m_acks;
     retransmits = Metrics.counter_value t.m_retransmits;
     duplicate_drops = Metrics.counter_value t.m_dup_drops;
+    corrupt_drops = Metrics.counter_value t.m_corrupt_drops;
     retries_exhausted = Metrics.counter_value t.m_exhausted;
     delivered = Metrics.counter_value t.m_delivered;
     peer_resets = Metrics.counter_value t.m_peer_resets;
@@ -291,10 +295,22 @@ let on_wire t ~src ~dst payload =
   match Frame.decode payload with
   | Ok (Frame.Data { seq; payload }) -> on_data t ~src ~dst ~seq payload
   | Ok (Frame.Ack { cum_ack; sack }) -> on_ack t ~src ~dst ~cum_ack ~sack
-  | Error _ ->
+  | Error Frame.Not_ours ->
     (* Not ours — a message injected below the shim (e.g. directly via
        send_raw in a test). Pass it through untouched. *)
     Simnet.Fabric.deliver t.fabric ~src ~dst payload
+  | Error (Frame.Corrupt _) ->
+    (* A reliability frame damaged in flight. Treat exactly like loss:
+       no delivery, no acknowledgment — the sender's timer retransmits
+       (data) or the next data frame re-elicits the ack (acks), so
+       corruption degrades to loss and recovery is transparent. *)
+    Metrics.incr t.m_corrupt_drops;
+    let tr = Scheduler.trace t.sched in
+    if Trace.enabled tr then
+      Trace.instant tr ~subsys:"rel"
+        ~proc:(Printf.sprintf "cpu%d" dst.Simnet.Proc_id.nid)
+        (Format.asprintf "rel.corrupt_drop %a->%a len=%d" Simnet.Proc_id.pp src
+           Simnet.Proc_id.pp dst (Bytes.length payload))
 
 (* --- peer reset -------------------------------------------------------- *)
 
@@ -354,6 +370,7 @@ let attach ?(config = default_config) fabric =
       m_acks = Metrics.counter m ~labels "rel.acks_sent";
       m_retransmits = Metrics.counter m ~labels "rel.retransmits";
       m_dup_drops = Metrics.counter m ~labels "rel.duplicate_drops";
+      m_corrupt_drops = Metrics.counter m ~labels "rel.corrupt_drops";
       m_exhausted = Metrics.counter m ~labels "rel.retries_exhausted";
       m_delivered = Metrics.counter m ~labels "rel.delivered";
       m_peer_resets = Metrics.counter m ~labels "rel.peer_resets";

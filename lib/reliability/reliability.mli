@@ -39,7 +39,8 @@
 
     Metrics (registered in the scheduler's registry, labelled
     [("protocol", "reliability")]): [rel.data_sent], [rel.acks_sent],
-    [rel.retransmits], [rel.duplicate_drops], [rel.retries_exhausted],
+    [rel.retransmits], [rel.duplicate_drops], [rel.corrupt_drops],
+    [rel.retries_exhausted],
     [rel.delivered], [rel.peer_resets], [rel.peer_reset_lost],
     [rel.ack_rtt_us] (summary), [rel.window_inflight]
     (series of total in-flight frames over time). *)
@@ -49,6 +50,11 @@ module Frame = Rel_frame
 
 module Campaign = Campaign
 (** Fault-injection campaign runner (loss-rate × seed grids). *)
+
+module Chaos = Chaos
+(** Chaos campaign grids: corruption × delay × partition × crash × loss
+    cells over seeds, for invariant-checked fault sweeps
+    ([Experiments.Chaos] runs the checkers). *)
 
 type config = {
   window : int;  (** Max unacknowledged frames in flight per pair. *)
@@ -68,6 +74,10 @@ type stats = {
   acks_sent : int;
   retransmits : int;
   duplicate_drops : int;  (** Received frames suppressed as duplicates. *)
+  corrupt_drops : int;
+      (** Received frames discarded as corrupt ({!Rel_frame.error.Corrupt})
+          — treated exactly like loss, so the retransmission machinery
+          recovers them transparently. *)
   retries_exhausted : int;  (** Frames abandoned past the retry budget. *)
   delivered : int;  (** Payloads handed up, in order, exactly once. *)
   peer_resets : int;  (** Node failures that wiped per-pair state. *)

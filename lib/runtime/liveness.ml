@@ -5,7 +5,9 @@ open Sim_engine
 let beat_pid = 0xBEA7
 let monitor_pid = 0xD0C
 
-type state = Alive | Suspected
+type state = Beating | Silent
+
+type verdict = Alive | Suspected_crashed | Suspected_partitioned
 
 type t = {
   fabric : Simnet.Fabric.t;
@@ -33,9 +35,35 @@ let monitor_proc t = Simnet.Proc_id.make ~nid:t.monitor ~pid:monitor_pid
 let suspected t =
   let acc = ref [] in
   Array.iteri
-    (fun nid st -> if st = Suspected then acc := nid :: !acc)
+    (fun nid st -> if st = Silent then acc := nid :: !acc)
     t.states;
   List.rev !acc
+
+(* Suspicion is one bit — "silent too long" — but what it {e means}
+   depends on ground truth only the fabric has: a down node is crashed;
+   an up-but-silent node behind an active (or just-healed) cut is
+   partitioned, not dead. Classify at query time so a heal or restart
+   reflects immediately. *)
+let verdict t nid =
+  if nid < 0 || nid >= Array.length t.states then
+    invalid_arg "Liveness.verdict: node out of range";
+  if t.states.(nid) = Beating then Alive
+  else if not (Simnet.Fabric.is_node_up t.fabric nid) then Suspected_crashed
+  else if
+    Simnet.Fabric.partitioned_now t.fabric ~src:nid ~dst:t.monitor
+    || Simnet.Fabric.partitioned_now t.fabric ~src:t.monitor ~dst:nid
+  then Suspected_partitioned
+  else if Simnet.Fabric.has_partitions t.fabric then
+    (* No cut active right now, but this world schedules them: an
+       up-but-silent node is a heal whose first beat has not landed
+       yet, not a death. *)
+    Suspected_partitioned
+  else Suspected_crashed
+
+let pp_verdict ppf = function
+  | Alive -> Format.pp_print_string ppf "alive"
+  | Suspected_crashed -> Format.pp_print_string ppf "suspected-crashed"
+  | Suspected_partitioned -> Format.pp_print_string ppf "suspected-partitioned"
 
 let on_down t cb = t.down_cbs <- t.down_cbs @ [ cb ]
 let on_up t cb = t.up_cbs <- t.up_cbs @ [ cb ]
@@ -45,10 +73,10 @@ let handle_beat t ~src (_ : bytes) =
   let nid = src.Simnet.Proc_id.nid in
   Metrics.incr t.m_received;
   t.last_seen.(nid) <- Scheduler.now t.sched;
-  if t.states.(nid) = Suspected then begin
-    (* The node is beating again: it restarted (or the verdict was a
-       false positive under heavy loss). *)
-    t.states.(nid) <- Alive;
+  if t.states.(nid) = Silent then begin
+    (* The node is beating again: it restarted, a partition healed, or
+       the verdict was a false positive under heavy loss. *)
+    t.states.(nid) <- Beating;
     Metrics.incr t.m_recoveries;
     List.iter (fun cb -> cb nid) t.up_cbs
   end
@@ -56,13 +84,20 @@ let handle_beat t ~src (_ : bytes) =
 (* One emitter per node: while the node is up, a heartbeat goes over the
    real fabric — subject to the same fault models, crash drops and wire
    occupancy as application traffic — every period. A down node simply
-   misses beats; when it restarts, the emitter picks back up unchanged. *)
+   misses beats; when it restarts, the emitter picks back up unchanged.
+
+   Beats are raw datagrams ([send_raw]), never shim traffic: only the
+   freshest beat matters, so ordered-reliable delivery is exactly wrong
+   for them — one corrupt-dropped beat would head-of-line-block every
+   later beat behind an escalating RTO and manufacture false suspicion
+   of a healthy peer. Losing a beat outright is fine; five in a row is
+   what the timeout is for. *)
 let rec emit t nid =
   if (not t.stopped) && Time_ns.compare (Scheduler.now t.sched) t.until < 0
   then begin
     if Simnet.Fabric.is_node_up t.fabric nid && nid <> t.monitor then begin
       Metrics.incr t.m_sent;
-      Simnet.Fabric.send t.fabric
+      Simnet.Fabric.send_raw t.fabric
         ~src:(Simnet.Proc_id.make ~nid ~pid:beat_pid)
         ~dst:(monitor_proc t) (Bytes.create 1)
     end;
@@ -76,10 +111,10 @@ let rec check t =
     Array.iteri
       (fun nid st ->
         if
-          nid <> t.monitor && st = Alive
+          nid <> t.monitor && st = Beating
           && Time_ns.compare (Time_ns.sub now t.last_seen.(nid)) t.timeout > 0
         then begin
-          t.states.(nid) <- Suspected;
+          t.states.(nid) <- Silent;
           Metrics.incr t.m_suspects;
           List.iter (fun cb -> cb nid) t.down_cbs
         end)
@@ -115,7 +150,7 @@ let start ?(period = default_period) ?(timeout = default_timeout)
       monitor;
       until;
       last_seen = Array.make nodes (Scheduler.now sched);
-      states = Array.make nodes Alive;
+      states = Array.make nodes Beating;
       stopped = false;
       down_cbs = [];
       up_cbs = [];

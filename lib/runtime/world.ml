@@ -53,15 +53,20 @@ let validate_topology_spec spec =
        spec)
 
 (* "bernoulli:P" | "gilbert:P_ENTER:P_EXIT" | "duplicate:P"
-   | "flap:PERIOD_US:DOWN_US" | "none", composable with "+"
-   (e.g. "bernoulli:0.02+duplicate:0.01"). *)
-let fault_of_spec ~seed spec =
+   | "corrupt:P" | "delay:MEAN_US[:JITTER_US]" | "flap:PERIOD_US:DOWN_US"
+   | "partition:A.B|C.D@CUT_US[:HEAL_US]" | "none", composable with "+"
+   (e.g. "bernoulli:0.02+corrupt:0.01"). Partition elements describe
+   scheduled group cuts (nids '.'-joined; '|' severs both directions,
+   '>' only A → B traffic) rather than per-message models, so parsing
+   returns both halves. *)
+let faults_of_spec ~seed spec =
   let bad reason =
     invalid_arg
       (Printf.sprintf
          "Runtime: bad fault spec %S (%s); expected \
-          bernoulli:P|gilbert:P_ENTER:P_EXIT|duplicate:P|flap:PERIOD_US:DOWN_US|none, \
-          joined with '+'"
+          bernoulli:P|gilbert:P_ENTER:P_EXIT|duplicate:P|corrupt:P|\
+          delay:MEAN_US[:JITTER_US]|flap:PERIOD_US:DOWN_US|\
+          partition:A.B|C.D@CUT_US[:HEAL_US]|none, joined with '+'"
          spec reason)
   in
   let float_field s =
@@ -77,26 +82,90 @@ let fault_of_spec ~seed spec =
       bad (Printf.sprintf "probability %S outside [0, 1]" s);
     p
   in
+  let time_field s =
+    let us = float_field s in
+    if us < 0. then bad (Printf.sprintf "time %S is negative" s);
+    Sim_engine.Time_ns.us us
+  in
+  (* "A.B|C.D@CUT_US[:HEAL_US]" ('>' instead of '|' for a one-way cut). *)
+  let parse_partition body =
+    let nids_of s =
+      let parts = String.split_on_char '.' (String.trim s) in
+      if parts = [ "" ] then bad "empty partition group";
+      List.map
+        (fun n ->
+          match int_of_string_opt (String.trim n) with
+          | Some nid when nid >= 0 -> nid
+          | Some _ | None ->
+            bad (Printf.sprintf "%S: node ids are nonnegative integers" body))
+        parts
+    in
+    match String.index_opt body '@' with
+    | None -> bad (Printf.sprintf "partition %S has no '@'" body)
+    | Some at ->
+      let groups = String.sub body 0 at in
+      let times = String.sub body (at + 1) (String.length body - at - 1) in
+      let one_way, sep =
+        match (String.index_opt groups '>', String.index_opt groups '|') with
+        | Some i, None -> (true, i)
+        | None, Some i -> (false, i)
+        | _ ->
+          bad
+            (Printf.sprintf "partition %S needs exactly one '|' or '>'" body)
+      in
+      let group_a = nids_of (String.sub groups 0 sep) in
+      let group_b =
+        nids_of (String.sub groups (sep + 1) (String.length groups - sep - 1))
+      in
+      let cut_at, heal_at =
+        match String.split_on_char ':' times with
+        | [ cut ] -> (time_field cut, None)
+        | [ cut; heal ] -> (time_field cut, Some (time_field heal))
+        | _ -> bad (Printf.sprintf "partition %S: too many times" body)
+      in
+      { Simnet.Fault.group_a; group_b; one_way; cut_at; heal_at }
+  in
   let parse_one s =
     match String.split_on_char ':' (String.trim s) with
-    | [ "none" ] -> Simnet.Fault.none
-    | [ "bernoulli"; p ] -> Simnet.Fault.bernoulli ~seed ~p:(prob_field p) ()
+    | "partition" :: rest -> `Partition (parse_partition (String.concat ":" rest))
+    | [ "none" ] -> `Model Simnet.Fault.none
+    | [ "bernoulli"; p ] ->
+      `Model (Simnet.Fault.bernoulli ~seed ~p:(prob_field p) ())
     | [ "gilbert"; p_enter; p_exit ] ->
-      Simnet.Fault.gilbert ~seed ~p_enter:(prob_field p_enter)
-        ~p_exit:(prob_field p_exit) ()
-    | [ "duplicate"; p ] -> Simnet.Fault.duplicator ~seed ~p:(prob_field p) ()
+      `Model
+        (Simnet.Fault.gilbert ~seed ~p_enter:(prob_field p_enter)
+           ~p_exit:(prob_field p_exit) ())
+    | [ "duplicate"; p ] ->
+      `Model (Simnet.Fault.duplicator ~seed ~p:(prob_field p) ())
+    | [ "corrupt"; p ] -> `Model (Simnet.Fault.corrupt ~seed ~p:(prob_field p) ())
+    | [ "delay"; mean ] ->
+      `Model (Simnet.Fault.delay ~seed ~mean:(time_field mean) ())
+    | [ "delay"; mean; jitter ] ->
+      let mean = time_field mean and jitter = time_field jitter in
+      if Sim_engine.Time_ns.compare jitter mean > 0 then
+        bad "delay jitter exceeds mean";
+      `Model (Simnet.Fault.delay ~seed ~jitter ~mean ())
     | [ "flap"; period; down ] ->
       let period = Sim_engine.Time_ns.us (float_field period) in
       let downtime = Sim_engine.Time_ns.us (float_field down) in
       if Sim_engine.Time_ns.compare downtime period > 0 then
         bad "downtime exceeds period";
-      Simnet.Fault.link_flap ~period ~downtime ()
+      `Model (Simnet.Fault.link_flap ~period ~downtime ())
     | _ -> bad (Printf.sprintf "unknown model %S" s)
   in
-  match List.map parse_one (String.split_on_char '+' spec) with
-  | [] -> bad "empty"
-  | [ m ] -> m
-  | ms -> Simnet.Fault.compose ms
+  let parts = List.map parse_one (String.split_on_char '+' spec) in
+  if parts = [] then bad "empty";
+  let models =
+    List.filter_map (function `Model m -> Some m | `Partition _ -> None) parts
+  in
+  let events =
+    List.filter_map (function `Partition e -> Some e | `Model _ -> None) parts
+  in
+  let partitions =
+    try Simnet.Fault.partition_schedule events
+    with Invalid_argument reason -> bad reason
+  in
+  (models, partitions)
 
 (* "NID@DOWN_US[:UP_US]" elements joined with ',': node NID crash-stops
    at DOWN_US microseconds and, with the optional UP_US, restarts then. *)
@@ -160,7 +229,7 @@ let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit () =
   (match fault with
   | Some "" -> env_fault := None
   | Some spec ->
-    ignore (fault_of_spec ~seed:0 spec);
+    ignore (faults_of_spec ~seed:0 spec);
     env_fault := Some spec
   | None -> ());
   (match crashes with
@@ -205,25 +274,36 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
   let fabric =
     Simnet.Fabric.create ~topology ?queue_limit sched ~profile ~nodes
   in
-  (* Faulty mode: inject the configured wire loss and/or fault model and
-     install the reliability shim so the transports above still see the
-     in-order exactly-once fabric they were written against. *)
+  (* Faulty mode: inject the configured wire loss, fault model and/or
+     partition schedule and install the reliability shim so the
+     transports above still see the in-order exactly-once fabric they
+     were written against. Frames travel checksummed exactly when the
+     world is faulty, so a corrupted frame degrades to a loss the shim
+     recovers — and a clean world's encodings stay byte-identical to the
+     pre-integrity format. *)
+  let spec_models, partitions =
+    match !env_fault with
+    | None -> ([], [])
+    | Some spec -> faults_of_spec ~seed spec
+  in
   let fault_models =
     (if !env_loss > 0. then [ Simnet.Fault.bernoulli ~seed ~p:!env_loss () ]
      else [])
-    @
-    match !env_fault with
-    | None -> []
-    | Some spec -> [ fault_of_spec ~seed spec ]
+    @ spec_models
   in
+  Simnet.Integrity.set_enabled (fault_models <> [] || partitions <> []);
   (match fault_models with
   | [] -> ()
   | models ->
     let model =
       match models with [ m ] -> m | ms -> Simnet.Fault.compose ms
     in
-    Simnet.Fabric.set_fault_model fabric (Some model);
-    ignore (Reliability.attach fabric));
+    Simnet.Fabric.set_fault_model fabric (Some model));
+  (match partitions with
+  | [] -> ()
+  | schedule -> Simnet.Fabric.apply_partition_schedule fabric schedule);
+  if fault_models <> [] || partitions <> [] then
+    ignore (Reliability.attach fabric);
   (* Scripted node failures apply to every world, so an experiment that
      builds one world per transport subjects each to the identical
      schedule. *)

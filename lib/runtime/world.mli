@@ -38,9 +38,17 @@ val set_run_env :
     {- [seed] — the scheduler seed used when a call site passes none;}
     {- [fault] — a wire fault-model spec:
        ["bernoulli:P"], ["gilbert:P_ENTER:P_EXIT"], ["duplicate:P"],
-       ["flap:PERIOD_US:DOWN_US"] or ["none"], joined with ['+'] to
-       compose (drop wins over duplicate). [""] clears. Any model
-       attaches the reliability shim, like [loss];}
+       ["corrupt:P"] (seeded bit-flip/truncation of the wire image),
+       ["delay:MEAN_US\[:JITTER_US\]"] (extra seeded latency, FIFO per
+       src/dst pair), ["flap:PERIOD_US:DOWN_US"],
+       ["partition:A.B|C.D@CUT_US\[:HEAL_US\]"] (scheduled group cut —
+       nids joined with ['.'], ['|'] severs both directions, ['>'] only
+       A → B; heals at [HEAL_US] if given) or ["none"], joined with
+       ['+'] to compose (drop wins over corrupt, corrupt over delay,
+       delay over duplicate). [""] clears. Any model or partition
+       attaches the reliability shim, like [loss], and switches
+       [Simnet.Integrity] on so frames travel with CRC-32C trailers —
+       corruption then degrades to loss and is retransmitted;}
     {- [crashes] — a scripted node-failure schedule
        ["NID@DOWN_US[:UP_US]"] joined with [',']: node [NID] crash-stops
        at [DOWN_US] microseconds of simulated time and, when [:UP_US] is

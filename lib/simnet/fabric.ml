@@ -8,7 +8,10 @@ type stats = {
   drops_injected : int;
   drops_congested : int;
   drops_crashed : int;
+  drops_partitioned : int;
   dups_injected : int;
+  corrupts_injected : int;
+  delays_injected : int;
 }
 
 type shim = {
@@ -37,12 +40,30 @@ type t = {
   handlers : handler option array array;
   mutable fault : Fault.t option;
   mutable shim : shim option;
+  (* Scheduled cuts, consulted (deterministically, no PRNG) on every
+     landing while non-empty. *)
+  mutable partitions : Fault.partition_schedule;
+  (* Per-(src,dst) FIFO floor, active from the first non-reorder [Delay]
+     decision on: a delayed message records its arrival and every later
+     message on the pair lands no earlier, so jitter reorders across
+     pairs but never within one. Inactive (and costing nothing) until a
+     delay fault actually fires. *)
+  mutable fifo_clamp : bool;
+  pair_arrivals : (Proc_id.t * Proc_id.t, Time_ns.t ref) Hashtbl.t;
+  (* Fault-family probes are registered on first use so a fault-free
+     run's metric snapshot stays exactly what it was before the
+     corruption/delay/partition faults existed. *)
+  mutable fault_probes_on : bool;
+  mutable partition_probe_on : bool;
   sent : Stats.Counter.t;
   sent_bytes : Stats.Counter.t;
   delivered : Stats.Counter.t;
   drop_unregistered : Stats.Counter.t;
   drop_congested : Stats.Counter.t;
   drop_crashed : Stats.Counter.t;
+  drop_partitioned : Stats.Counter.t;
+  corrupt_injected : Stats.Counter.t;
+  delay_injected : Stats.Counter.t;
   dup_injected : Stats.Counter.t;
   crash_count : Stats.Counter.t;
   restart_count : Stats.Counter.t;
@@ -78,12 +99,21 @@ let create ?(topology = Topology.Full) ?queue_limit sched ~profile ~nodes =
       handlers = Array.make nodes [||];
       fault = None;
       shim = None;
+      partitions = [];
+      fifo_clamp = false;
+      pair_arrivals = Hashtbl.create 16;
+      fault_probes_on = false;
+      partition_probe_on = false;
       sent = Stats.Counter.create ~name:"fabric.sent" ();
       sent_bytes = Stats.Counter.create ~name:"fabric.sent_bytes" ();
       delivered = Stats.Counter.create ~name:"fabric.delivered" ();
       drop_unregistered = Stats.Counter.create ~name:"fabric.drop_unregistered" ();
       drop_congested = Stats.Counter.create ~name:"fabric.drop_congested" ();
       drop_crashed = Stats.Counter.create ~name:"fabric.drop_crashed" ();
+      drop_partitioned =
+        Stats.Counter.create ~name:"fabric.drop_partitioned" ();
+      corrupt_injected = Stats.Counter.create ~name:"fabric.corrupt_injected" ();
+      delay_injected = Stats.Counter.create ~name:"fabric.delay_injected" ();
       dup_injected = Stats.Counter.create ~name:"fabric.dup_injected" ();
       crash_count = Stats.Counter.create ~name:"fabric.crashes" ();
       restart_count = Stats.Counter.create ~name:"fabric.restarts" ();
@@ -207,8 +237,46 @@ let apply_crash_schedule t schedule =
         ev.Fault.up_at)
     schedule
 
-let set_fault_model t fault = t.fault <- fault
+let ensure_fault_probes t =
+  if not t.fault_probes_on then begin
+    t.fault_probes_on <- true;
+    let m = Scheduler.metrics t.fabric_sched in
+    let probe name f = Metrics.probe m name (fun () -> float_of_int (f ())) in
+    probe "fabric.corrupts_injected" (fun () ->
+        Stats.Counter.value t.corrupt_injected);
+    probe "fabric.delays_injected" (fun () ->
+        Stats.Counter.value t.delay_injected)
+  end
+
+let set_fault_model t fault =
+  if fault <> None then ensure_fault_probes t;
+  t.fault <- fault
+
 let fault_model t = t.fault
+
+let apply_partition_schedule t schedule =
+  let schedule = Fault.partition_schedule schedule in
+  List.iter
+    (fun nid ->
+      if nid < 0 || nid >= Array.length t.nodes then
+        invalid_arg
+          (Printf.sprintf "Fabric.apply_partition_schedule: unknown nid %d" nid))
+    (Fault.partition_nids schedule);
+  if schedule <> [] && not t.partition_probe_on then begin
+    t.partition_probe_on <- true;
+    Metrics.probe
+      (Scheduler.metrics t.fabric_sched)
+      "fabric.drops_partitioned"
+      (fun () -> float_of_int (Stats.Counter.value t.drop_partitioned))
+  end;
+  t.partitions <- t.partitions @ schedule
+
+let partition_schedule t = t.partitions
+let has_partitions t = t.partitions <> []
+
+let partitioned_now t ~src ~dst =
+  t.partitions <> []
+  && Fault.cut_now t.partitions ~now:(Scheduler.now t.fabric_sched) ~src ~dst
 
 let set_fault_injector t f =
   t.fault <-
@@ -261,6 +329,37 @@ let arrive t ~src ~dst payload =
   | Some shim -> shim.shim_rx ~src ~dst payload
   | None -> deliver t ~src ~dst payload
 
+let mutate_counted t c payload =
+  Stats.Counter.incr t.corrupt_injected;
+  Fault.mutate c payload
+
+(* On multi-hop routes the end-to-end fault sample covers the first hop;
+   each later hop re-samples, honouring only [Corrupt] outcomes, so a
+   long route accumulates more bit damage than a short one while
+   loss/delay/duplication stay end-to-end properties. Skipped entirely
+   for models that cannot corrupt, keeping their PRNG streams as they
+   were before corruption existed. *)
+let per_hop_corrupt t ~src ~dst payload =
+  match t.fault with
+  | Some f when Fault.can_corrupt f -> (
+    match
+      Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst
+        ~len:(Bytes.length payload)
+    with
+    | Fault.Corrupt c -> mutate_counted t c payload
+    | _ -> payload)
+  | _ -> payload
+
+let clamp_arrival t ~src ~dst arrival =
+  match Hashtbl.find_opt t.pair_arrivals (src, dst) with
+  | Some r ->
+    let a = if Time_ns.compare arrival !r < 0 then !r else arrival in
+    r := a;
+    a
+  | None ->
+    Hashtbl.replace t.pair_arrivals (src, dst) (ref arrival);
+    arrival
+
 let send_raw t ~src ~dst payload =
   let len = Bytes.length payload in
   let sender = node t src.Proc_id.nid in
@@ -278,25 +377,50 @@ let send_raw t ~src ~dst payload =
       | Some f ->
         Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst ~len
     in
+    (* A scheduled cut severs the pair outright — decided at send time
+       (deterministic, no PRNG draw) but counted at landing like every
+       other in-flight loss. *)
+    let cut =
+      t.partitions <> []
+      && Fault.cut_now t.partitions
+           ~now:(Scheduler.now t.fabric_sched)
+           ~src:src.Proc_id.nid ~dst:dst.Proc_id.nid
+    in
+    let delay_by, delay_reorder =
+      match decision with
+      | Fault.Delay { by; reorder } ->
+        Stats.Counter.incr t.delay_injected;
+        if not reorder then t.fifo_clamp <- true;
+        (by, reorder)
+      | _ -> (Time_ns.zero, false)
+    in
     (* Crash epochs captured at send time: if either end crashes while the
        message is in flight, it was sitting in a NIC pipeline that no
        longer exists, so it is lost even if the node is back up by
        arrival. *)
     let src_epoch = Node.crashes sender and dst_epoch = Node.crashes receiver in
-    let land_message () =
+    let land_message payload =
       if
         Node.crashes sender <> src_epoch
         || Node.crashes receiver <> dst_epoch
         || not (Node.is_up receiver)
       then Stats.Counter.incr t.drop_crashed
+      else if cut then Stats.Counter.incr t.drop_partitioned
       else
         match decision with
         | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
-        | Fault.Deliver -> arrive t ~src ~dst payload
+        | Fault.Deliver | Fault.Delay _ -> arrive t ~src ~dst payload
+        | Fault.Corrupt c -> arrive t ~src ~dst (mutate_counted t c payload)
         | Fault.Duplicate ->
           Stats.Counter.incr t.dup_injected;
           arrive t ~src ~dst payload;
           arrive t ~src ~dst payload
+    in
+    let finalise arrival =
+      let arrival = Time_ns.add arrival delay_by in
+      if t.fifo_clamp && not delay_reorder then
+        clamp_arrival t ~src ~dst arrival
+      else arrival
     in
     let path = route t ~src:src.Proc_id.nid ~dst:dst.Proc_id.nid in
     if Array.length path = 0 then begin
@@ -306,9 +430,9 @@ let send_raw t ~src ~dst payload =
         Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
       in
       let arrival =
-        Time_ns.add serialised t.fabric_profile.Profile.wire_latency
+        finalise (Time_ns.add serialised t.fabric_profile.Profile.wire_latency)
       in
-      Scheduler.at t.fabric_sched arrival land_message
+      Scheduler.at t.fabric_sched arrival (fun () -> land_message payload)
     end
     else begin
       (* Store-and-forward over the hop path: at each hop the message
@@ -318,17 +442,26 @@ let send_raw t ~src ~dst payload =
          [lib/reliability]) this is indistinguishable from wire loss. *)
       let wire_bytes = Profile.wire_bytes_of_len t.fabric_profile len in
       let flow = (src.Proc_id.nid * Array.length t.nodes) + dst.Proc_id.nid in
-      let rec hop i =
-        if i >= Array.length path then land_message ()
-        else
+      let rec hop i payload =
+        if i >= Array.length path then begin
+          let arrival = finalise (Scheduler.now t.fabric_sched) in
+          if Time_ns.compare arrival (Scheduler.now t.fabric_sched) = 0 then
+            land_message payload
+          else Scheduler.at t.fabric_sched arrival (fun () -> land_message payload)
+        end
+        else begin
+          let payload =
+            if i = 0 then payload else per_hop_corrupt t ~src ~dst payload
+          in
           match
             Link.transmit t.hop_links.(path.(i)) ~flow ~bytes:wire_bytes ()
           with
           | `Dropped -> Stats.Counter.incr t.drop_congested
           | `Accepted arrival ->
-            Scheduler.at t.fabric_sched arrival (fun () -> hop (i + 1))
+            Scheduler.at t.fabric_sched arrival (fun () -> hop (i + 1) payload)
+        end
       in
-      hop 0
+      hop 0 payload
     end
   end
 
@@ -345,6 +478,9 @@ let stats t =
     drops_unregistered = Stats.Counter.value t.drop_unregistered;
     drops_congested = Stats.Counter.value t.drop_congested;
     drops_crashed = Stats.Counter.value t.drop_crashed;
+    drops_partitioned = Stats.Counter.value t.drop_partitioned;
+    corrupts_injected = Stats.Counter.value t.corrupt_injected;
+    delays_injected = Stats.Counter.value t.delay_injected;
     drops_injected =
       Array.fold_left
         (fun acc c ->

@@ -48,7 +48,13 @@ type stats = {
       (** Messages lost to node failure: in flight when an endpoint
           crashed, addressed to a down node, or injected on behalf of a
           down node. *)
+  drops_partitioned : int;
+      (** Messages severed by a scheduled {!Fault.partition_event} cut. *)
   dups_injected : int;
+  corrupts_injected : int;
+      (** Frames delivered with fault-model bit damage (every per-hop
+          corruption counts). *)
+  delays_injected : int;  (** Messages given fault-model extra latency. *)
 }
 
 val create :
@@ -149,9 +155,31 @@ val apply_crash_schedule : t -> Fault.crash_schedule -> unit
 val set_fault_model : t -> Fault.t option -> unit
 (** Install (or clear) the fault model consulted once per message at send
     time. Dropped messages still occupy the wire; duplicated messages are
-    delivered twice back-to-back. *)
+    delivered twice back-to-back; corrupted messages land as a mutated
+    copy ({!Fault.mutate}) — and on a multi-hop topology every hop after
+    the first re-samples a corrupting model, so long routes take more
+    damage; delayed messages land late, with each (src, dst) pair's
+    send order preserved unless the decision said [reorder]. *)
 
 val fault_model : t -> Fault.t option
+
+val apply_partition_schedule : t -> Fault.partition_schedule -> unit
+(** Schedule network cuts (validated again via
+    {!Fault.partition_schedule}). While a cut is active, traffic across
+    it is lost in flight and counted in [drops_partitioned] /
+    ["fabric.drops_partitioned"]; the severed nodes themselves stay up.
+    Cumulative with previously applied schedules. Raises
+    [Invalid_argument] on a malformed schedule or an out-of-range nid. *)
+
+val partition_schedule : t -> Fault.partition_schedule
+(** Every cut applied so far (healed or not). *)
+
+val has_partitions : t -> bool
+
+val partitioned_now : t -> src:Proc_id.nid -> dst:Proc_id.nid -> bool
+(** Whether src → dst traffic is severed at the current simulated time —
+    the query [Runtime.Liveness] uses to tell a partitioned-but-alive
+    peer from a crashed one. *)
 
 val set_fault_injector :
   t -> (src:Proc_id.t -> dst:Proc_id.t -> len:int -> bool) option -> unit

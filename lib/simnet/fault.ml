@@ -1,14 +1,30 @@
 open Sim_engine
 
-type decision = Deliver | Drop | Duplicate
+type corruption = Flip of { bit : int } | Truncate of { keep : int }
+
+type decision =
+  | Deliver
+  | Drop
+  | Duplicate
+  | Corrupt of corruption
+  | Delay of { by : Time_ns.t; reorder : bool }
 
 type t = {
   label : string;
   f : now:Time_ns.t -> src:Proc_id.t -> dst:Proc_id.t -> len:int -> decision;
+  corrupting : bool;
+      (* Whether this model can ever return [Corrupt] — lets the fabric
+         skip per-hop re-sampling for models that never mutate bytes, so
+         their multi-hop PRNG streams stay what they were before
+         corruption existed. *)
 }
 
 let none =
-  { label = "none"; f = (fun ~now:_ ~src:_ ~dst:_ ~len:_ -> Deliver) }
+  {
+    label = "none";
+    f = (fun ~now:_ ~src:_ ~dst:_ ~len:_ -> Deliver);
+    corrupting = false;
+  }
 
 let clamp01 p = if p < 0. then 0. else if p > 1. then 1. else p
 
@@ -20,6 +36,7 @@ let bernoulli ?(seed = 0) ~p () =
     f =
       (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
         if Prng.float prng 1.0 < p then Drop else Deliver);
+    corrupting = false;
   }
 
 (* Each pair gets a chain with its own PRNG derived from the model seed
@@ -57,6 +74,7 @@ let gilbert ?(seed = 0) ?(p_loss_bad = 1.0) ~p_enter ~p_exit () =
          end
          else if Prng.float prng 1.0 < p_enter then bad := true);
         if !bad && Prng.float prng 1.0 < p_loss_bad then Drop else Deliver);
+    corrupting = false;
   }
 
 let duplicator ?(seed = 0) ~p () =
@@ -67,6 +85,61 @@ let duplicator ?(seed = 0) ~p () =
     f =
       (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
         if Prng.float prng 1.0 < p then Duplicate else Deliver);
+    corrupting = false;
+  }
+
+let corrupt ?(seed = 0) ~p () =
+  let p = clamp01 p in
+  let prng = Prng.create ~seed in
+  {
+    label = Printf.sprintf "corrupt(p=%g)" p;
+    f =
+      (fun ~now:_ ~src:_ ~dst:_ ~len ->
+        if Prng.float prng 1.0 >= p || len = 0 then Deliver
+        else if Prng.float prng 1.0 < 0.25 then
+          Corrupt (Truncate { keep = Prng.int prng len })
+        else Corrupt (Flip { bit = Prng.int prng (len * 8) }));
+    corrupting = true;
+  }
+
+(* A mutated frame is always a fresh buffer: the sender still owns the
+   original (it may be duplicated, retransmitted or reused). *)
+let mutate c payload =
+  match c with
+  | Flip { bit } ->
+    let buf = Bytes.copy payload in
+    let len = Bytes.length buf in
+    if len > 0 then begin
+      let byte = bit / 8 mod len and mask = 1 lsl (bit mod 8) in
+      Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor mask))
+    end;
+    buf
+  | Truncate { keep } ->
+    let keep = max 0 (min keep (Bytes.length payload)) in
+    Bytes.sub payload 0 keep
+
+let delay ?(seed = 0) ?jitter ?(reorder = false) ~mean () =
+  if Time_ns.compare mean Time_ns.zero < 0 then
+    invalid_arg "Fault.delay: mean must be >= 0";
+  let jitter = match jitter with Some j -> j | None -> mean / 2 in
+  if Time_ns.compare jitter Time_ns.zero < 0 then
+    invalid_arg "Fault.delay: jitter must be >= 0";
+  if Time_ns.compare jitter mean > 0 then
+    invalid_arg "Fault.delay: jitter must not exceed the mean";
+  let prng = Prng.create ~seed in
+  {
+    label =
+      Printf.sprintf "delay(mean=%s,jitter=%s%s)" (Time_ns.to_string mean)
+        (Time_ns.to_string jitter)
+        (if reorder then ",reorder" else "");
+    f =
+      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+        let by =
+          if jitter = 0 then mean
+          else mean - jitter + Prng.int prng ((2 * jitter) + 1)
+        in
+        if by = 0 then Deliver else Delay { by; reorder });
+    corrupting = false;
   }
 
 let link_flap ?(offset = Time_ns.zero) ~period ~downtime () =
@@ -83,9 +156,10 @@ let link_flap ?(offset = Time_ns.zero) ~period ~downtime () =
         let t = Time_ns.sub now offset in
         let phase = ((t mod period) + period) mod period in
         if phase >= uptime then Drop else Deliver);
+    corrupting = false;
   }
 
-let custom f = { label = "custom"; f }
+let custom f = { label = "custom"; f; corrupting = true }
 
 let compose models =
   match models with
@@ -101,13 +175,22 @@ let compose models =
           let decisions =
             List.map (fun m -> m.f ~now ~src ~dst ~len) models
           in
+          let first p = List.find_opt p decisions in
           if List.mem Drop decisions then Drop
-          else if List.mem Duplicate decisions then Duplicate
-          else Deliver);
+          else
+            match first (function Corrupt _ -> true | _ -> false) with
+            | Some d -> d
+            | None -> (
+              match first (function Delay _ -> true | _ -> false) with
+              | Some d -> d
+              | None ->
+                if List.mem Duplicate decisions then Duplicate else Deliver));
+      corrupting = List.exists (fun m -> m.corrupting) models;
     }
 
 let decide t ~now ~src ~dst ~len = t.f ~now ~src ~dst ~len
 let describe t = t.label
+let can_corrupt t = t.corrupting
 
 type crash_event = {
   victim : Proc_id.nid;
@@ -150,6 +233,56 @@ let crash_schedule events =
       Hashtbl.replace last e.victim e.up_at)
     evs;
   evs
+
+type partition_event = {
+  group_a : Proc_id.nid list;
+  group_b : Proc_id.nid list;
+  one_way : bool;
+  cut_at : Time_ns.t;
+  heal_at : Time_ns.t option;
+}
+
+type partition_schedule = partition_event list
+
+let partition_schedule events =
+  List.iter
+    (fun e ->
+      if e.group_a = [] || e.group_b = [] then
+        invalid_arg "Fault.partition_schedule: both groups must be non-empty";
+      List.iter
+        (fun nid ->
+          if List.mem nid e.group_b then
+            invalid_arg
+              (Printf.sprintf
+                 "Fault.partition_schedule: node %d appears on both sides of \
+                  the cut"
+                 nid))
+        e.group_a;
+      if Time_ns.compare e.cut_at Time_ns.zero < 0 then
+        invalid_arg "Fault.partition_schedule: cut_at must be >= 0";
+      match e.heal_at with
+      | Some h when Time_ns.compare h e.cut_at <= 0 ->
+        invalid_arg "Fault.partition_schedule: heal_at must be after cut_at"
+      | _ -> ())
+    events;
+  List.sort (fun a b -> Time_ns.compare a.cut_at b.cut_at) events
+
+let partition_nids schedule =
+  List.concat_map (fun e -> e.group_a @ e.group_b) schedule
+  |> List.sort_uniq compare
+
+(* Whether src -> dst traffic is severed at [now]. A symmetric cut severs
+   both directions; a one-way cut only severs group_a -> group_b. *)
+let cut_now schedule ~now ~src ~dst =
+  List.exists
+    (fun e ->
+      Time_ns.compare e.cut_at now <= 0
+      && (match e.heal_at with
+         | None -> true
+         | Some h -> Time_ns.compare now h < 0)
+      && ((List.mem src e.group_a && List.mem dst e.group_b)
+         || ((not e.one_way) && List.mem src e.group_b && List.mem dst e.group_a)))
+    schedule
 
 let random_crash_schedule ?(seed = 0) ~nids ~crashes ~horizon () =
   if crashes < 0 then

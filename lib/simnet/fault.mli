@@ -13,6 +13,13 @@
        which is what stresses cumulative-ACK recovery.}
     {- {!duplicator}: delivers selected messages twice, exercising
        duplicate suppression.}
+    {- {!corrupt}: mutates the encoded frame in flight — a seeded bit
+       flip or truncation — exercising the integrity layer (frame
+       checksums, §4.8 drop accounting).}
+    {- {!delay}: seeded extra latency. By default the fabric still
+       delivers each (src, dst) pair's traffic in send order (jitter
+       reorders {e across} pairs only); [~reorder:true] lifts that and
+       lets a pair's own messages overtake each other.}
     {- {!link_flap}: the link goes down for [downtime] out of every
        [period] and then repairs; everything sent while down is lost.}
     {- {!custom}: arbitrary stateful decisions (the old boolean injector
@@ -20,12 +27,21 @@
 
     Every stochastic model carries its own explicit-state PRNG seeded at
     construction, so a campaign point [(model, seed)] replays exactly.
-    Decisions are sampled once per message at {e send} time. *)
+    Decisions are sampled once per message at {e send} time (corrupting
+    models are re-sampled per hop on multi-hop routes; see [Fabric]). *)
+
+type corruption =
+  | Flip of { bit : int }  (** Flip bit [bit mod (len * 8)] of the frame. *)
+  | Truncate of { keep : int }  (** Keep only the first [keep] bytes. *)
 
 type decision =
   | Deliver  (** Let the message through untouched. *)
   | Drop  (** Lose the message after it occupies the wire. *)
   | Duplicate  (** Deliver the message twice. *)
+  | Corrupt of corruption  (** Deliver a mutated copy of the frame. *)
+  | Delay of { by : Sim_engine.Time_ns.t; reorder : bool }
+      (** Deliver [by] later than the fault-free arrival; [reorder]
+          permits overtaking within the (src, dst) pair. *)
 
 type t
 
@@ -45,6 +61,25 @@ val gilbert :
 
 val duplicator : ?seed:int -> p:float -> unit -> t
 (** Duplicate each message independently with probability [p]. *)
+
+val corrupt : ?seed:int -> p:float -> unit -> t
+(** Corrupt each message independently with probability [p] (clamped to
+    [0, 1]): 3/4 of corruption events flip one uniformly chosen bit, 1/4
+    truncate the frame to a uniformly chosen prefix. Zero-length frames
+    pass untouched. *)
+
+val mutate : corruption -> bytes -> bytes
+(** Apply a corruption to an encoded frame, returning a {e fresh} buffer
+    (the sender still owns the original). Out-of-range positions wrap
+    ([Flip]) or clamp ([Truncate]), so any sampled corruption applies to
+    any frame. *)
+
+val delay : ?seed:int -> ?jitter:Sim_engine.Time_ns.t -> ?reorder:bool ->
+  mean:Sim_engine.Time_ns.t -> unit -> t
+(** Delay every message by [mean ± uniform jitter] (default jitter
+    [mean / 2], default [reorder] false). Raises [Invalid_argument] on a
+    negative [mean] or [jitter], or [jitter > mean] (a negative delay
+    cannot be scheduled). *)
 
 val link_flap :
   ?offset:Sim_engine.Time_ns.t ->
@@ -68,8 +103,15 @@ val custom :
 
 val compose : t list -> t
 (** Evaluate every model on every message (so each model's PRNG stream
-    advances identically regardless of the others' decisions) and combine:
-    any [Drop] wins, else any [Duplicate], else [Deliver]. *)
+    advances identically regardless of the others' decisions) and
+    combine by severity: any [Drop] wins, else the first [Corrupt], else
+    the first [Delay], else any [Duplicate], else [Deliver]. *)
+
+val can_corrupt : t -> bool
+(** Whether the model can ever return [Corrupt]. The fabric re-samples
+    corrupting models at each hop of a multi-hop route (per-hop
+    corruption) and skips the re-sampling entirely for models that
+    cannot, keeping their PRNG streams unchanged. *)
 
 val decide :
   t ->
@@ -104,6 +146,43 @@ val crash_schedule :
 (** Validate and sort a scripted kill/revive list. Raises
     [Invalid_argument] on a negative [down_at], an [up_at] not after its
     [down_at], or a node crashing again while still down. *)
+
+(** {1 Partition schedules}
+
+    Network partitions are scheduled events like crashes, not per-message
+    coin flips: at [cut_at] traffic between the two groups is severed
+    (both directions, or only group_a → group_b when [one_way]) and at
+    [heal_at], if given, the cut repairs. Partitioned nodes stay {e up} —
+    their fibers run, they keep sending — which is exactly what
+    distinguishes a partition from a crash to the liveness layer. Apply
+    with [Fabric.apply_partition_schedule]. *)
+
+type partition_event = {
+  group_a : Proc_id.nid list;
+  group_b : Proc_id.nid list;
+  one_way : bool;  (** Sever only group_a → group_b traffic. *)
+  cut_at : Sim_engine.Time_ns.t;
+  heal_at : Sim_engine.Time_ns.t option;  (** [None] = never heals. *)
+}
+
+type partition_schedule = partition_event list
+
+val partition_schedule : partition_event list -> partition_schedule
+(** Validate and sort a cut/heal list. Raises [Invalid_argument] on an
+    empty group, a node on both sides of a cut, a negative [cut_at], or a
+    [heal_at] not after its [cut_at]. *)
+
+val partition_nids : partition_schedule -> Proc_id.nid list
+(** Every node named by the schedule, deduplicated — for range
+    validation against the fabric's node count. *)
+
+val cut_now :
+  partition_schedule ->
+  now:Sim_engine.Time_ns.t ->
+  src:Proc_id.nid ->
+  dst:Proc_id.nid ->
+  bool
+(** Whether src → dst traffic is severed at [now]. *)
 
 val random_crash_schedule :
   ?seed:int ->

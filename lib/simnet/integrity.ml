@@ -1,0 +1,14 @@
+(* One process-wide switch, not a per-fabric knob: the frame codecs
+   (Portals Wire, the reliability shim's frames) are pure byte functions
+   with no fabric in scope, and a run either models an adversarial wire
+   everywhere or nowhere. The runtime flips it on whenever a fault model
+   or partition schedule is configured. *)
+
+let on = ref false
+let set_enabled b = on := b
+let is_enabled () = !on
+
+let with_enabled b f =
+  let prev = !on in
+  on := b;
+  Fun.protect ~finally:(fun () -> on := prev) f

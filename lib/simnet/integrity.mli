@@ -1,0 +1,21 @@
+(** Process-wide wire-integrity switch.
+
+    When enabled, every frame codec above the fabric (the Portals [Wire]
+    format, the reliability shim's frames) appends a {!Crc32c} trailer at
+    encode time and {e requires} it at decode time — a legacy unprotected
+    frame is rejected, so a corruption cannot launder itself by flipping
+    the version byte back to the unprotected format. When disabled
+    (default), frames are encoded exactly as before the integrity layer
+    existed, keeping fault-free runs byte-identical.
+
+    The runtime ([Runtime.create_world]) enables it whenever the run has
+    a fault model or partition schedule configured, and disables it
+    otherwise. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the switch forced to a value, restoring the
+    previous state afterwards (exception-safe) — for tests that pin one
+    mode. *)

@@ -7,5 +7,7 @@ module Router = Router
 module Link = Link
 module Node = Node
 module Fault = Fault
+module Crc32c = Crc32c
+module Integrity = Integrity
 module Fabric = Fabric
 module Transport = Transport

@@ -88,4 +88,32 @@ if $DUNE exec bin/portals_repro.exe -- rma --workloads bogus \
 fi
 grep -q 'unknown workload' "$OUT/rma.err"
 
+echo "== smoke: chaos campaign (fixed seed, zero violations) =="
+# One cell per fault axis plus the mixed cell, invariants checked after
+# every cell; the report artifact is what CI uploads.
+$DUNE exec bin/portals_repro.exe -- \
+  chaos --quick --run-seed 0 --json "$OUT/chaos.json" | tee "$OUT/chaos.out"
+grep -q 'total violations: 0' "$OUT/chaos.out"
+python3 -c "import json; json.load(open('$OUT/chaos.json'))"
+# Corruption + a scheduled cut + a crash composed on a routed 4x4 torus:
+# per-hop corruption under the checksummed encoding, a mid-run
+# partition, and a node restart must still leave both traffic patterns
+# reporting (the reliability shim recovers everything recoverable).
+$DUNE exec bin/portals_repro.exe -- \
+  congestion --nodes 16 --topologies torus2d:4x4 --run-seed 7 \
+  --fault "corrupt:0.01+partition:0.1|2.3@400:900" --crash "5@300:700" \
+  | tee "$OUT/chaos_torus.out"
+grep -q '^torus2d:4x4 *nearest-neighbor' "$OUT/chaos_torus.out"
+grep -q '^torus2d:4x4 *all-to-all' "$OUT/chaos_torus.out"
+# A malformed fault spec must die with a clean usage error naming the
+# offending component, never be clamped into something runnable.
+for bad in "corrupt:2" "delay:10:20" "partition:0|1@50:20"; do
+  if $DUNE exec bin/portals_repro.exe -- congestion --fault "$bad" \
+      2>"$OUT/chaos_spec.err"; then
+    echo "accepted malformed fault spec: $bad" >&2
+    exit 1
+  fi
+  grep -q 'bad fault spec' "$OUT/chaos_spec.err"
+done
+
 echo "== smoke: ok =="

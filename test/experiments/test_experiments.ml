@@ -281,7 +281,7 @@ let drops_tests =
     Alcotest.test_case "every documented drop reason fires exactly once"
       `Quick (fun () ->
         let rows = Experiments.Drops.run () in
-        Alcotest.(check int) "thirteen reasons" 13 (List.length rows);
+        Alcotest.(check int) "fourteen reasons" 14 (List.length rows);
         List.iter
           (fun r ->
             Alcotest.(check int) r.Experiments.Drops.reason 1
@@ -524,6 +524,62 @@ let perf_tests =
         | _ -> Alcotest.fail "two rows");
   ]
 
+let chaos_tests =
+  let open Experiments.Chaos in
+  [
+    Alcotest.test_case "quick campaign holds every invariant" `Quick (fun () ->
+        let t = run ~quick:true ~seed:0 () in
+        Alcotest.(check int) "one report per axis cell"
+          (List.length (axis_cells ~seed:0))
+          (List.length t.reports);
+        List.iter
+          (fun r ->
+            Alcotest.(check (list string))
+              (Reliability.Chaos.describe r.cell ^ ": no violations")
+              [] r.violations;
+            Alcotest.(check bool) "streams delivered" true (r.delivered > 0))
+          t.reports;
+        Alcotest.(check bool) "campaign verdict" true (zero_violations t);
+        Alcotest.(check int) "violation count agrees" 0 (total_violations t));
+    Alcotest.test_case "fault axes really injected their faults" `Quick
+      (fun () ->
+        let by_name = axis_cells ~seed:0 in
+        let report name =
+          run_cell ~quick:true (List.assoc name by_name)
+        in
+        let corrupt = report "corrupt" in
+        Alcotest.(check bool) "corruption hit the wire" true
+          (corrupt.corrupts_injected > 0);
+        Alcotest.(check bool) "damage was caught, not absorbed" true
+          (corrupt.rel_corrupt_drops + corrupt.checksum_drops > 0);
+        let part = report "partition" in
+        Alcotest.(check bool) "the cut severed frames" true
+          (part.drops_partitioned > 0);
+        let delayed = report "delay" in
+        Alcotest.(check bool) "jitter was applied" true
+          (delayed.delays_injected > 0));
+    Alcotest.test_case "clean control cell stays on the legacy encoding"
+      `Quick (fun () ->
+        (* The control run must not silently switch the wire format:
+           fig5/fig6 byte-identity depends on it. *)
+        let clean = List.assoc "clean" (axis_cells ~seed:0) in
+        Alcotest.(check bool) "cell is clean" false
+          (Reliability.Chaos.faulty clean);
+        let r = run_cell ~quick:true clean in
+        Alcotest.(check (list string)) "no violations" [] r.violations;
+        Alcotest.(check int) "no checksum drops possible" 0 r.checksum_drops);
+    Alcotest.test_case "campaign is deterministic per seed" `Quick (fun () ->
+        let digest t =
+          List.map
+            (fun r ->
+              (Reliability.Chaos.describe r.cell, r.delivered,
+               r.corrupts_injected, r.drops_partitioned))
+            t.reports
+        in
+        let a = run ~quick:true ~seed:3 () and b = run ~quick:true ~seed:3 () in
+        Alcotest.(check bool) "bit-exact replay" true (digest a = digest b));
+  ]
+
 let congestion_tests =
   let open Experiments.Congestion in
   [
@@ -615,4 +671,5 @@ let () =
       ("rel_loss_sweep", rel_loss_sweep_tests);
       ("crash_restart", crash_restart_tests);
       ("congestion", congestion_tests);
+      ("chaos", chaos_tests);
     ]

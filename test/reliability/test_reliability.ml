@@ -288,6 +288,131 @@ let campaign_tests =
           (Reliability.Campaign.mean_by_loss (fun v -> v) outcomes));
   ]
 
+let corruption_tests =
+  [
+    Alcotest.test_case "corruption degrades to loss: recovered byte-clean"
+      `Quick (fun () ->
+        (* Integrity on: every shim frame carries a CRC, damage is
+           detected and retransmitted — never surfaced to the payload. *)
+        Simnet.Integrity.with_enabled true (fun () ->
+            let fault = Simnet.Fault.corrupt ~seed:13 ~p:0.08 () in
+            let got, rel, fabric = exchange ~fault ~n:100 ~len:256 () in
+            Alcotest.(check (list string)) "all recovered byte-identical"
+              (expected_payloads ~n:100 ~len:256)
+              got;
+            let st = Reliability.stats rel in
+            Alcotest.(check bool) "wire damaged something" true
+              ((Simnet.Fabric.stats fabric).Simnet.Fabric.corrupts_injected > 0);
+            Alcotest.(check bool)
+              (Printf.sprintf "corrupt drops %d > 0" st.Reliability.corrupt_drops)
+              true
+              (st.Reliability.corrupt_drops > 0);
+            Alcotest.(check bool) "recovered by retransmission" true
+              (st.Reliability.retransmits > 0)));
+    Alcotest.test_case "delayed wire: still in order through the shim" `Quick
+      (fun () ->
+        let fault =
+          Simnet.Fault.delay ~seed:5 ~mean:(Time_ns.us 25.)
+            ~jitter:(Time_ns.us 25.) ~reorder:true ()
+        in
+        let got, _, _ = exchange ~fault ~n:60 ~len:64 () in
+        Alcotest.(check (list string)) "in order despite reordering"
+          (expected_payloads ~n:60 ~len:64)
+          got);
+    Alcotest.test_case "partition: cut traffic recovered after the heal"
+      `Quick (fun () ->
+        let sched, fabric, rel = mk () in
+        Simnet.Fabric.apply_partition_schedule fabric
+          (Simnet.Fault.partition_schedule
+             [
+               {
+                 Simnet.Fault.group_a = [ 0 ];
+                 group_b = [ 1 ];
+                 one_way = false;
+                 cut_at = Time_ns.us 50.;
+                 heal_at = Some (Time_ns.us 400.);
+               };
+             ]);
+        let got = ref [] in
+        Simnet.Fabric.register fabric (proc 1 0) (fun ~src:_ payload ->
+            got := Bytes.to_string payload :: !got);
+        Simnet.Fabric.register fabric (proc 0 0) (fun ~src:_ _ -> ());
+        for i = 0 to 9 do
+          Scheduler.at sched
+            (Time_ns.us (float_of_int (i * 30)))
+            (fun () ->
+              Simnet.Fabric.send fabric ~src:(proc 0 0) ~dst:(proc 1 0)
+                (Bytes.make 8 (Char.chr (65 + i))))
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list string)) "all ten, in order, exactly once"
+          (List.init 10 (fun i -> String.make 8 (Char.chr (65 + i))))
+          (List.rev !got);
+        Alcotest.(check bool) "cut actually severed frames" true
+          ((Simnet.Fabric.stats fabric).Simnet.Fabric.drops_partitioned > 0);
+        Alcotest.(check int) "nothing abandoned" 0
+          (Reliability.stats rel).Reliability.retries_exhausted);
+  ]
+
+let chaos_grid_tests =
+  [
+    Alcotest.test_case "cell validation" `Quick (fun () ->
+        let bad name f =
+          Alcotest.(check bool) name true
+            (match f () with
+            | _ -> false
+            | exception Invalid_argument _ -> true)
+        in
+        bad "corrupt > 1" (fun () ->
+            Reliability.Chaos.cell ~corrupt:1.5 ~seed:0 ());
+        bad "negative loss" (fun () ->
+            Reliability.Chaos.cell ~loss:(-0.1) ~seed:0 ());
+        bad "negative delay" (fun () ->
+            Reliability.Chaos.cell ~delay:(-3) ~seed:0 ());
+        bad "negative crashes" (fun () ->
+            Reliability.Chaos.cell ~crashes:(-1) ~seed:0 ()));
+    Alcotest.test_case "grid is the full cartesian product" `Quick (fun () ->
+        let cells =
+          Reliability.Chaos.grid ~corrupts:[ 0.; 0.02 ]
+            ~partitions:[ false; true ] ~seeds:[ 1; 2 ] ()
+        in
+        Alcotest.(check int) "2 x 2 x 2 cells" 8 (List.length cells);
+        Alcotest.(check int) "clean control present" 1
+          (List.length
+             (List.filter
+                (fun c -> not (Reliability.Chaos.faulty c))
+                (List.filter (fun c -> c.Reliability.Chaos.seed = 1) cells))));
+    Alcotest.test_case "fault_of_cell composes the requested axes" `Quick
+      (fun () ->
+        Alcotest.(check bool) "clean cell has no model" true
+          (Reliability.Chaos.fault_of_cell
+             (Reliability.Chaos.cell ~seed:3 ())
+          = None);
+        match
+          Reliability.Chaos.fault_of_cell
+            (Reliability.Chaos.cell ~corrupt:0.5 ~loss:0.1 ~seed:3 ())
+        with
+        | None -> Alcotest.fail "faulty cell without a model"
+        | Some fault ->
+          Alcotest.(check bool) "composition can corrupt" true
+            (Simnet.Fault.can_corrupt fault));
+    Alcotest.test_case "partition_of_cell halves the nids, heals" `Quick
+      (fun () ->
+        match
+          Reliability.Chaos.partition_of_cell
+            (Reliability.Chaos.cell ~partition:true ~seed:0 ())
+            ~nids:[ 0; 1; 2; 3 ] ~horizon:(Time_ns.ms 4.)
+        with
+        | [ e ] ->
+          Alcotest.(check (list int)) "first half" [ 0; 1 ] e.Simnet.Fault.group_a;
+          Alcotest.(check (list int)) "second half" [ 2; 3 ] e.Simnet.Fault.group_b;
+          Alcotest.(check bool) "cut before heal" true
+            (match e.Simnet.Fault.heal_at with
+            | Some h -> e.Simnet.Fault.cut_at < h
+            | None -> false)
+        | cuts -> Alcotest.failf "expected one cut, got %d" (List.length cuts));
+  ]
+
 let crash_tests =
   [
     Alcotest.test_case "give-ups emit a rel.give_up trace instant" `Quick
@@ -404,5 +529,7 @@ let () =
       ("retry budget", budget_tests);
       ("shim", shim_tests);
       ("campaign", campaign_tests);
+      ("corruption", corruption_tests);
+      ("chaos grid", chaos_grid_tests);
       ("crash", crash_tests);
     ]

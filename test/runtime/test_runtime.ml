@@ -220,6 +220,54 @@ let env_tests =
             Runtime.set_run_env
               ~fault:"bernoulli:0.05+duplicate:0.01+flap:100:20" ();
             Runtime.set_run_env ~crashes:"1@50:80,0@200" ()));
+    Alcotest.test_case "corrupt, delay and partition specs are validated"
+      `Quick (fun () ->
+        let rejects ~fault label =
+          Alcotest.(check bool) label true
+            (try
+               Runtime.set_run_env ~fault ();
+               false
+             with Invalid_argument _ -> true)
+        in
+        with_clean_env (fun () ->
+            rejects ~fault:"corrupt" "corrupt without probability";
+            rejects ~fault:"corrupt:-0.1" "corrupt probability negative";
+            rejects ~fault:"corrupt:2" "corrupt probability above one";
+            rejects ~fault:"delay:-5" "negative delay mean";
+            rejects ~fault:"delay:10:20" "delay jitter exceeds mean";
+            rejects ~fault:"delay:abc" "non-numeric delay";
+            rejects ~fault:"partition:0.1|2.3" "partition without '@'";
+            rejects ~fault:"partition:0.1@50" "partition without groups";
+            rejects ~fault:"partition:0.1|1.2@50" "node on both sides";
+            rejects ~fault:"partition:|2@50" "empty partition group";
+            rejects ~fault:"partition:0|1@50:20" "heal before cut";
+            rejects ~fault:"partition:0|x@50" "non-numeric nid";
+            (* Valid compositions of the new forms must be accepted. *)
+            Runtime.set_run_env ~fault:"corrupt:0.02+delay:40:10" ();
+            Runtime.set_run_env ~fault:"partition:0.1|2.3@100:200" ();
+            Runtime.set_run_env ~fault:"partition:0>1@100" ();
+            Runtime.set_run_env
+              ~fault:"bernoulli:0.01+corrupt:0.01+partition:0|1@80:160" ()));
+    Alcotest.test_case "partition nids outside the world are rejected" `Quick
+      (fun () ->
+        with_clean_env (fun () ->
+            Runtime.set_run_env ~fault:"partition:0.1|2.9@100" ();
+            Alcotest.(check bool) "create_world rejects nid 9" true
+              (try
+                 ignore (Runtime.create_world ~nodes:4 ());
+                 false
+               with Invalid_argument _ -> true)));
+    Alcotest.test_case "env fault spec reaches the fabric of new worlds"
+      `Quick (fun () ->
+        with_clean_env (fun () ->
+            Runtime.set_run_env ~fault:"partition:0.1|2.3@100:400" ();
+            let world = Runtime.create_world ~nodes:4 () in
+            Alcotest.(check bool) "schedule installed" true
+              (Simnet.Fabric.has_partitions world.Runtime.fabric);
+            (* Scheduled faults switch the whole world to checksummed
+               framing, so damage is detectable end to end. *)
+            Alcotest.(check bool) "integrity enabled" true
+              (Simnet.Integrity.is_enabled ())));
     Alcotest.test_case "env crash schedule is applied to new worlds" `Quick
       (fun () ->
         with_clean_env (fun () ->
@@ -267,6 +315,66 @@ let liveness_tests =
         Runtime.run ~until:(Time_ns.us 2000.) world;
         Alcotest.(check (list int)) "still suspected" [ 1 ]
           (Runtime.Liveness.suspected lv));
+    Alcotest.test_case
+      "heal un-suspects partitioned peers on every transport stack" `Quick
+      (fun () ->
+        (* The PR 8 regression: a partitioned-but-alive peer must be
+           reported partitioned (never crashed) while the cut holds, and
+           return to Alive after the heal — on all four stacks' wire
+           placements. Heartbeats travel as raw datagrams, so this holds
+           even where a reliability shim carries the application traffic. *)
+        let verdict_t =
+          Alcotest.testable Runtime.Liveness.pp_verdict ( = )
+        in
+        List.iter
+          (fun stack ->
+            let name = stack.Runtime.Stack.name in
+            let world =
+              Runtime.create_world ~transport:stack.Runtime.Stack.kind
+                ~nodes:4 ()
+            in
+            Fun.protect
+              ~finally:(fun () -> Simnet.Integrity.set_enabled false)
+              (fun () ->
+                Simnet.Fabric.apply_partition_schedule world.Runtime.fabric
+                  (Simnet.Fault.partition_schedule
+                     [
+                       {
+                         Simnet.Fault.group_a = [ 0; 1 ];
+                         group_b = [ 2; 3 ];
+                         one_way = false;
+                         cut_at = Time_ns.us 500.;
+                         heal_at = Some (Time_ns.us 2000.);
+                       };
+                     ]);
+                let lv =
+                  Runtime.Liveness.start ~period:(Time_ns.us 100.)
+                    ~timeout:(Time_ns.us 350.) ~until:(Time_ns.us 4000.)
+                    world
+                in
+                let mid = ref [] in
+                Scheduler.at world.Runtime.sched (Time_ns.us 1500.)
+                  (fun () ->
+                    mid :=
+                      List.map
+                        (fun nid -> Runtime.Liveness.verdict lv nid)
+                        [ 1; 2; 3 ]);
+                let final_suspects = ref [ -1 ] in
+                Scheduler.at world.Runtime.sched (Time_ns.us 3900.)
+                  (fun () -> final_suspects := Runtime.Liveness.suspected lv);
+                Runtime.run ~until:(Time_ns.us 4000.) world;
+                Alcotest.(check (list verdict_t))
+                  (name ^ ": mid-cut verdicts")
+                  [
+                    Runtime.Liveness.Alive;
+                    Runtime.Liveness.Suspected_partitioned;
+                    Runtime.Liveness.Suspected_partitioned;
+                  ]
+                  !mid;
+                Alcotest.(check (list int))
+                  (name ^ ": nobody suspected after the heal")
+                  [] !final_suspects))
+          Runtime.Stack.all);
     Alcotest.test_case "liveness validates its arguments" `Quick (fun () ->
         let world = Runtime.create_world ~nodes:2 () in
         let rejects label f =

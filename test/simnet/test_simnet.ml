@@ -773,6 +773,230 @@ let fault_model_tests =
           (Fabric.stats fabric).Fabric.drops_injected);
   ]
 
+let corruption_delay_tests =
+  [
+    Alcotest.test_case "corrupt mutates roughly its rate, never loses" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric (Some (Fault.corrupt ~seed:1 ~p:0.2 ()));
+        let clean = ref 0 and damaged = ref 0 in
+        let original = Bytes.make 32 'a' in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ b ->
+            if Bytes.equal b original then incr clean else incr damaged);
+        for _ = 1 to 500 do
+          Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0)
+            (Bytes.copy original)
+        done;
+        Scheduler.run sched;
+        Alcotest.(check int) "every frame still arrives" 500
+          (!clean + !damaged);
+        let injected = (Fabric.stats fabric).Fabric.corrupts_injected in
+        Alcotest.(check bool)
+          (Printf.sprintf "injected %d within [50, 150]" injected)
+          true
+          (injected >= 50 && injected <= 150);
+        (* A truncation that keeps the whole frame is still counted as an
+           injection, so damaged <= injected, and most injections show. *)
+        Alcotest.(check bool) "damage observed" true (!damaged > 0);
+        Alcotest.(check bool) "damaged <= injected" true
+          (!damaged <= injected));
+    Alcotest.test_case "mutate: flip wraps, truncate clamps, fresh buffer"
+      `Quick (fun () ->
+        let frame = Bytes.make 4 '\x00' in
+        let flipped = Fault.mutate (Fault.Flip { bit = 32 }) frame in
+        Alcotest.(check bool) "original untouched" true
+          (Bytes.equal frame (Bytes.make 4 '\x00'));
+        Alcotest.(check int) "bit 32 wraps to bit 0" 1
+          (Bytes.get_uint8 flipped 0);
+        let cut = Fault.mutate (Fault.Truncate { keep = 2 }) frame in
+        Alcotest.(check int) "truncated" 2 (Bytes.length cut);
+        let over = Fault.mutate (Fault.Truncate { keep = 9 }) frame in
+        Alcotest.(check int) "overlong keep clamps" 4 (Bytes.length over));
+    Alcotest.test_case "delay adds latency but keeps per-pair FIFO" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.set_fault_model fabric
+          (Some
+             (Fault.delay ~seed:3 ~mean:(Time_ns.us 30.)
+                ~jitter:(Time_ns.us 30.) ()));
+        let seen = ref [] in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ b ->
+            seen := Bytes.get_uint8 b 0 :: !seen);
+        for i = 0 to 49 do
+          Scheduler.at sched
+            (Time_ns.us (float_of_int i))
+            (fun () ->
+              Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0)
+                (Bytes.make 1 (Char.chr i)))
+        done;
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "all arrive in send order"
+          (List.init 50 Fun.id) (List.rev !seen);
+        Alcotest.(check int) "every message counted delayed" 50
+          (Fabric.stats fabric).Fabric.delays_injected);
+    Alcotest.test_case "delay validates mean and jitter" `Quick (fun () ->
+        Alcotest.check_raises "negative mean"
+          (Invalid_argument "Fault.delay: mean must be >= 0") (fun () ->
+            ignore (Fault.delay ~mean:(-5) ()));
+        Alcotest.check_raises "jitter exceeds mean"
+          (Invalid_argument
+             "Fault.delay: jitter must not exceed the mean") (fun () ->
+            ignore
+              (Fault.delay ~mean:(Time_ns.us 10.) ~jitter:(Time_ns.us 20.) ())));
+    Alcotest.test_case "compose: corrupt wins over delay, drop over both"
+      `Quick (fun () ->
+        let corrupt_always =
+          Fault.custom (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+              Fault.Corrupt (Fault.Flip { bit = 0 }))
+        in
+        let delay_always =
+          Fault.custom (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+              Fault.Delay { by = Time_ns.us 10.; reorder = false })
+        in
+        let pick models =
+          Fault.decide (Fault.compose models) ~now:0 ~src:(pid 0 0)
+            ~dst:(pid 1 0) ~len:8
+        in
+        (match pick [ delay_always; corrupt_always ] with
+        | Fault.Corrupt _ -> ()
+        | _ -> Alcotest.fail "corrupt should win over delay");
+        match pick [ corrupt_always; Fault.bernoulli ~p:1.0 () ] with
+        | Fault.Drop -> ()
+        | _ -> Alcotest.fail "drop should win over corrupt");
+    Alcotest.test_case "corrupting compose reports can_corrupt" `Quick
+      (fun () ->
+        Alcotest.(check bool) "corrupt alone" true
+          (Fault.can_corrupt (Fault.corrupt ~p:0.5 ()));
+        Alcotest.(check bool) "buried in a compose" true
+          (Fault.can_corrupt
+             (Fault.compose
+                [ Fault.bernoulli ~p:0.1 (); Fault.corrupt ~p:0.5 () ]));
+        Alcotest.(check bool) "loss-only compose" false
+          (Fault.can_corrupt
+             (Fault.compose
+                [ Fault.bernoulli ~p:0.1 (); Fault.duplicator ~p:0.1 () ])));
+  ]
+
+let partition_tests =
+  let cut ?(one_way = false) ?(heal_at = Some (Time_ns.us 100.)) () =
+    Fault.partition_schedule
+      [
+        {
+          Fault.group_a = [ 0; 1 ];
+          group_b = [ 2; 3 ];
+          one_way;
+          cut_at = Time_ns.us 10.;
+          heal_at;
+        };
+      ]
+  in
+  [
+    Alcotest.test_case "cut severs cross-group traffic until the heal"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.apply_partition_schedule fabric (cut ());
+        let seen = ref [] in
+        Fabric.register fabric (pid 2 0) (fun ~src:_ b ->
+            seen := Bytes.get_uint8 b 0 :: !seen);
+        List.iter
+          (fun (t, tag) ->
+            Scheduler.at sched (Time_ns.us t) (fun () ->
+                Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 2 0)
+                  (Bytes.make 1 (Char.chr tag))))
+          [ (0., 0); (50., 1); (120., 2) ];
+        Scheduler.run sched;
+        Alcotest.(check (list int)) "mid-cut send lost" [ 0; 2 ]
+          (List.rev !seen);
+        Alcotest.(check int) "counted partitioned" 1
+          (Fabric.stats fabric).Fabric.drops_partitioned);
+    Alcotest.test_case "intra-group traffic rides through the cut" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.apply_partition_schedule fabric (cut ());
+        let seen = ref 0 in
+        Fabric.register fabric (pid 1 0) (fun ~src:_ _ -> incr seen);
+        Scheduler.at sched (Time_ns.us 50.) (fun () ->
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 1 0) (Bytes.create 4));
+        Scheduler.run sched;
+        Alcotest.(check int) "delivered" 1 !seen);
+    Alcotest.test_case "one-way cut severs only group_a -> group_b" `Quick
+      (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.apply_partition_schedule fabric (cut ~one_way:true ());
+        let fwd = ref 0 and back = ref 0 in
+        Fabric.register fabric (pid 2 0) (fun ~src:_ _ -> incr fwd);
+        Fabric.register fabric (pid 0 0) (fun ~src:_ _ -> incr back);
+        Scheduler.at sched (Time_ns.us 50.) (fun () ->
+            Fabric.send fabric ~src:(pid 0 0) ~dst:(pid 2 0) (Bytes.create 4);
+            Fabric.send fabric ~src:(pid 2 0) ~dst:(pid 0 0) (Bytes.create 4));
+        Scheduler.run sched;
+        Alcotest.(check int) "a -> b severed" 0 !fwd;
+        Alcotest.(check int) "b -> a delivered" 1 !back);
+    Alcotest.test_case "partitioned_now tracks the window; has_partitions \
+                        is static"
+      `Quick (fun () ->
+        let sched, fabric = mk_fabric () in
+        Fabric.apply_partition_schedule fabric (cut ());
+        Alcotest.(check bool) "schedule visible" true
+          (Fabric.has_partitions fabric);
+        Alcotest.(check bool) "before the cut" false
+          (Fabric.partitioned_now fabric ~src:0 ~dst:2);
+        Scheduler.at sched (Time_ns.us 50.) (fun () ->
+            Alcotest.(check bool) "mid-cut" true
+              (Fabric.partitioned_now fabric ~src:0 ~dst:2);
+            Alcotest.(check bool) "intra-group never" false
+              (Fabric.partitioned_now fabric ~src:0 ~dst:1));
+        Scheduler.at sched (Time_ns.us 150.) (fun () ->
+            Alcotest.(check bool) "healed" false
+              (Fabric.partitioned_now fabric ~src:0 ~dst:2));
+        Scheduler.run sched);
+    Alcotest.test_case "schedule validation" `Quick (fun () ->
+        let event =
+          {
+            Fault.group_a = [ 0 ];
+            group_b = [ 1 ];
+            one_way = false;
+            cut_at = Time_ns.us 10.;
+            heal_at = None;
+          }
+        in
+        Alcotest.check_raises "empty group"
+          (Invalid_argument "Fault.partition_schedule: both groups must be non-empty")
+          (fun () ->
+            ignore (Fault.partition_schedule [ { event with Fault.group_a = [] } ]));
+        Alcotest.check_raises "overlapping groups"
+          (Invalid_argument
+             "Fault.partition_schedule: node 1 appears on both sides of the cut")
+          (fun () ->
+            ignore
+              (Fault.partition_schedule
+                 [ { event with Fault.group_a = [ 1 ] } ]));
+        Alcotest.check_raises "heal not after cut"
+          (Invalid_argument
+             "Fault.partition_schedule: heal_at must be after cut_at")
+          (fun () ->
+            ignore
+              (Fault.partition_schedule
+                 [ { event with Fault.heal_at = Some (Time_ns.us 10.) } ])));
+    Alcotest.test_case "fabric rejects out-of-range nids" `Quick (fun () ->
+        let _, fabric = mk_fabric ~nodes:2 () in
+        Alcotest.check_raises "nid 3 on a 2-node fabric"
+          (Invalid_argument
+             "Fabric.apply_partition_schedule: unknown nid 3")
+          (fun () ->
+            Fabric.apply_partition_schedule fabric
+              (Fault.partition_schedule
+                 [
+                   {
+                     Fault.group_a = [ 0 ];
+                     group_b = [ 3 ];
+                     one_way = false;
+                     cut_at = 0;
+                     heal_at = None;
+                   };
+                 ])));
+  ]
+
 let crash_tests =
   [
     Alcotest.test_case "crash fences delivery and deregisters procs" `Quick
@@ -916,6 +1140,8 @@ let () =
       ("fabric", fabric_tests);
       ("fabric_topology", fabric_topology_tests);
       ("fault_models", fault_model_tests);
+      ("corruption_delay", corruption_delay_tests);
+      ("partitions", partition_tests);
       ("crash", crash_tests);
       ("transport", transport_tests);
     ]
