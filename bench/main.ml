@@ -29,6 +29,8 @@ type opts = {
   mutable rma : bool;
   mutable workloads : string list;
   mutable chaos : bool;
+  mutable par : bool;
+  mutable min_speedup : float option;
 }
 
 let usage ppf =
@@ -54,6 +56,9 @@ let usage ppf =
      \                          fattree[:K] (default full, the seed fabric)@.\
      \  --queue-limit N         bound each shared hop link's queue; beyond@.\
      \                          it messages become congestion drops@.\
+     \  --domains N             shard every world across N OCaml domains@.\
+     \                          (default 1, the sequential reference;@.\
+     \                          same seed => same simulated history)@.\
      \  --json OUT              performance mode: run every experiment@.\
      \                          metered, write records to OUT, skip the@.\
      \                          report and Bechamel (see EXPERIMENTS.md)@.\
@@ -78,6 +83,13 @@ let usage ppf =
      \                          (corruption x delay x partition x crash x@.\
      \                          loss; --quick for one cell per axis) and@.\
      \                          skip the rest; exit 1 on any violation@.\
+     \  --par                   run the parallel-engine workload only:@.\
+     \                          same-seed sequential-vs-4-domain digest@.\
+     \                          check, then the PAR.seq/PAR.par4 records@.\
+     \                          (written with --json); skip the rest@.\
+     \  --min-speedup X         fail unless PAR.par4 events/sec is at@.\
+     \                          least X times PAR.seq (the multicore CI@.\
+     \                          lane gates X=2; meaningless on one core)@.\
      \  --help                  this message@."
 
 (* Stdlib-only parsing; every value option accepts both "--flag VALUE"
@@ -97,6 +109,8 @@ let parse_opts () =
       rma = false;
       workloads = Experiments.Rma.workload_names;
       chaos = false;
+      par = false;
+      min_speedup = None;
     }
   in
   let bad what =
@@ -174,6 +188,16 @@ let parse_opts () =
       | "--chaos" ->
         o.chaos <- true;
         go rest
+      | "--par" ->
+        o.par <- true;
+        go rest
+      | "--min-speedup" ->
+        value ~what:"X" rest (fun v rest ->
+            match float_of_string_opt v with
+            | Some x when x > 0. ->
+              o.min_speedup <- Some x;
+              go rest
+            | _ -> bad ("bad speedup floor " ^ v))
       | "--workloads" ->
         value ~what:"LIST" rest (fun v rest ->
             match
@@ -237,6 +261,13 @@ let parse_opts () =
               Runtime.set_run_env ~queue_limit:n ();
               go rest
             | _ -> bad ("bad queue limit " ^ v))
+      | "--domains" ->
+        value ~what:"N" rest (fun v rest ->
+            match int_of_string_opt v with
+            | Some d when d >= 1 ->
+              Runtime.set_run_env ~domains:d ();
+              go rest
+            | _ -> bad ("bad domain count " ^ v))
       | _ -> bad ("unknown argument " ^ arg))
   in
   go (List.tl (Array.to_list Sys.argv))
@@ -409,6 +440,27 @@ let benchmark () =
         analysis)
     tests
 
+(* The multicore lane's gate: PAR.par4 must beat PAR.seq by the given
+   aggregate events/sec factor. Advisory everywhere else — on a single
+   hardware core the window barrier only adds overhead. *)
+let speedup_gate opts records =
+  match opts.min_speedup with
+  | None -> ()
+  | Some floor -> (
+    match Experiments.Par.speedup records with
+    | None ->
+      Format.eprintf
+        "bench: --min-speedup needs the PAR.seq/PAR.par4 records@.";
+      exit 2
+    | Some s when s < floor ->
+      Format.eprintf
+        "bench: parallel speedup %.2fx below the %.2fx floor (PAR.par4 vs \
+         PAR.seq)@."
+        s floor;
+      exit 1
+    | Some s ->
+      Format.printf "bench: parallel speedup %.2fx (floor %.2fx)@." s floor)
+
 (* Performance mode (--json): meter every experiment, write the records,
    optionally gate against a baseline. Replaces the report + Bechamel. *)
 let perf_mode opts out =
@@ -419,10 +471,12 @@ let perf_mode opts out =
     @ Experiments.Rma.perf_records ~workloads:opts.workloads ~quick:opts.quick
         ()
     @ Experiments.Chaos.perf_records ~quick:true ()
+    @ Experiments.Par.perf_records ~quick:opts.quick ()
   in
   Experiments.Perf.pp Format.std_formatter records;
   Experiments.Perf.write_json ~path:out records;
   Format.printf "bench: wrote %s@." out;
+  speedup_gate opts records;
   match opts.baseline with
   | None -> ()
   | Some path -> (
@@ -476,6 +530,26 @@ let () =
           (Experiments.Chaos.total_violations t);
         exit 1
       end
+    end
+    else if opts.par then begin
+      (* Determinism first — a fast parallel engine that disagrees with
+         the sequential reference is worthless — then the speed records. *)
+      (match Experiments.Par.selfcheck ~seed:(snd (Runtime.run_env ())) () with
+      | Ok (seq, par) ->
+        Experiments.Par.pp Format.std_formatter seq;
+        Experiments.Par.pp Format.std_formatter par
+      | Error msg ->
+        Format.eprintf "bench: %s@." msg;
+        exit 1);
+      let records = Experiments.Par.perf_records ~quick:opts.quick () in
+      Experiments.Perf.pp Format.std_formatter records;
+      (match opts.json_out with
+      | None -> ()
+      | Some out ->
+        Experiments.Perf.write_json ~path:out records;
+        Format.printf "bench: wrote %s@." out);
+      speedup_gate opts records;
+      footer ~wall_s:(Unix.gettimeofday () -. t0)
     end
     else
     match (opts.matrix, opts.rma, opts.json_out) with

@@ -128,6 +128,20 @@ let env_term =
              (and re-sent by the reliability shim when one is \
              attached). Only meaningful with a non-full $(b,--topology).")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard every world the experiment builds across $(docv) \
+             OCaml domains (default 1 = the sequential reference \
+             scheduler). Nodes are split into contiguous blocks, each \
+             shard runs its own event heap, and a conservative window \
+             barrier synchronizes them; same seed gives the same \
+             simulated history at any $(docv). Worlds with fewer nodes \
+             than $(docv) use one shard per node.")
+  in
   let perf =
     Arg.(
       value & flag
@@ -137,7 +151,7 @@ let env_term =
              events processed, fibers spawned, simulated time, wall time \
              and sim-events/sec.")
   in
-  let set loss seed fault crashes topology queue_limit perf =
+  let set loss seed fault crashes topology queue_limit domains perf =
     if perf then begin
       let t0 = Unix.gettimeofday () in
       at_exit (fun () ->
@@ -154,13 +168,16 @@ let env_term =
             (if wall > 0. then float_of_int events /. wall else 0.))
     end;
     match
-      Runtime.set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit ()
+      Runtime.set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit
+        ?domains ()
     with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   Term.(
-    ret (const set $ loss $ seed $ fault $ crash $ topology $ queue_limit $ perf))
+    ret
+      (const set $ loss $ seed $ fault $ crash $ topology $ queue_limit
+     $ domains $ perf))
 
 (* --- observability flags ------------------------------------------------ *)
 
@@ -679,6 +696,92 @@ let chaos_cmd =
           partition-aware liveness (exit 1 on any violation)")
     Term.(ret (const run $ env_term $ quick $ seed $ json))
 
+let run_par ?(nodes = 256) ?(steps = 8) ?(check = false) ?(seed = 0) ?json () =
+  (if check then begin
+     (* --check always compares against a genuinely parallel run, even
+        when the session default is sequential. *)
+     let domains =
+       let d = Runtime.run_domains_env () in
+       if d > 1 then d else 4
+     in
+     match Experiments.Par.selfcheck ~nodes ~steps ~domains ~seed () with
+     | Ok (seq, par) ->
+       Experiments.Par.pp ppf seq;
+       Experiments.Par.pp ppf par;
+       Format.fprintf ppf "par: domains=1 and domains=%d agree@."
+         par.Experiments.Par.domains
+     | Error msg -> failwith ("par: " ^ msg)
+   end
+   else begin
+     let r = Experiments.Par.run ~nodes ~steps ~seed () in
+     Experiments.Par.pp ppf r;
+     if not (Experiments.Par.ok r) then
+       failwith
+         (Printf.sprintf "par: %d/%d payloads delivered, %d damaged"
+            r.Experiments.Par.delivered r.Experiments.Par.expected
+            r.Experiments.Par.errors)
+   end);
+  match json with
+  | None -> ()
+  | Some out ->
+    let records = Experiments.Par.perf_records ~seed () in
+    Experiments.Perf.write_json ~path:out records;
+    (match Experiments.Par.speedup records with
+    | Some s -> Format.fprintf ppf "par: par4/seq events/sec ratio %.2fx@." s
+    | None -> ());
+    Format.fprintf ppf "par: wrote %s@." out
+
+let par_cmd =
+  let run () nodes steps check seed json =
+    match run_par ~nodes ~steps ~check ~seed ?json () with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let nodes =
+    Arg.(
+      value & opt int 256
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Torus size (>= 9; fitted to the nearest 2-D shape). The \
+             10000-node run is the completion scenario the multicore CI \
+             lane drives.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 8
+      & info [ "steps" ] ~docv:"N" ~doc:"Halo-exchange rounds per neighbour.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the identical world at $(b,--domains 1) and at the \
+             session's domain count (4 when sequential) and fail unless \
+             the canonical lines agree byte-for-byte.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also meter the workload sequentially and at 4 domains as \
+             portals-bench/1 records ($(b,PAR.seq), $(b,PAR.par4)) and \
+             write them to $(docv) — the records the multicore speedup \
+             gate consumes.")
+  in
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:
+         "Parallel engine: halo exchange on a 2-D torus sharded across \
+          OCaml domains, with an order-insensitive delivery digest that \
+          must match the sequential reference bit-for-bit")
+    Term.(ret (const run $ env_term $ nodes $ steps $ check $ seed $ json))
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -792,7 +895,7 @@ let () =
               tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
               bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
               drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-              congestion_cmd; matrix_cmd; rma_cmd; chaos_cmd; all_cmd;
+              congestion_cmd; matrix_cmd; rma_cmd; chaos_cmd; par_cmd; all_cmd;
             ])
      with Invalid_argument msg ->
        Format.eprintf "portals_repro: %s@." msg;

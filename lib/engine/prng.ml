@@ -17,6 +17,18 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed }
 
+(* Stateless stream derivation: mix the index into the seed through two
+   rounds of the output permutation. Unlike [split] this does not advance
+   any generator, so shard k's stream is a pure function of (seed, k) —
+   the same no matter how many shards exist or in what order they are
+   created. Index 0 is remixed too: no derived stream may coincide with
+   the sequential root stream [create ~seed]. *)
+let derived_seed ~seed ~index =
+  Int64.to_int (mix64 (Int64.add (Int64.of_int seed)
+                         (Int64.mul (Int64.of_int (index + 1)) golden_gamma)))
+
+let derive ~seed ~index = create ~seed:(derived_seed ~seed ~index)
+
 let int t bound =
   assert (bound > 0);
   (* Rejection sampling to avoid modulo bias. *)

@@ -14,6 +14,18 @@ val split : t -> t
 (** [split t] derives a new, statistically independent generator from [t],
     advancing [t]. Useful to give each simulated node its own stream. *)
 
+val derive : seed:int -> index:int -> t
+(** [derive ~seed ~index] is a statistically independent generator that is
+    a pure function of [(seed, index)] — no generator is advanced, so the
+    stream shard [index] sees does not depend on how many other shards
+    exist or when they were created. No derived stream coincides with the
+    root stream [create ~seed] (the index, offset by one, is mixed through
+    two splitmix64 rounds first). *)
+
+val derived_seed : seed:int -> index:int -> int
+(** The integer seed underlying [derive ~seed ~index], for components that
+    take a seed rather than a generator. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -18,6 +18,7 @@ type t = {
   mutable live : int;
   mutable stopping : bool;
   mutable events : int;
+  mutable count_sim_time : bool;
   blocked : (int, blocked_entry) Hashtbl.t;
   domain_kills : (int, int) Hashtbl.t;
   mutable current : fiber option;
@@ -28,15 +29,29 @@ type t = {
 
 (* Process-wide totals, accumulated across every scheduler instance so a
    harness can meter a whole experiment (which typically builds many
-   worlds) as a delta around its run — see [global_totals]. *)
+   worlds) as a delta around its run — see [global_totals]. Atomics:
+   parallel worlds run one scheduler per domain, and these are the only
+   engine-level cells written from more than one domain. *)
 type totals = { t_events : int; t_fibers : int; t_sim_time : Time_ns.t }
 
-let g_events = ref 0
-let g_fibers = ref 0
-let g_sim_ns = ref 0
+let g_events = Atomic.make 0
+let g_fibers = Atomic.make 0
+let g_sim_ns = Atomic.make 0
 
 let global_totals () =
-  { t_events = !g_events; t_fibers = !g_fibers; t_sim_time = !g_sim_ns }
+  {
+    t_events = Atomic.get g_events;
+    t_fibers = Atomic.get g_fibers;
+    t_sim_time = Atomic.get g_sim_ns;
+  }
+
+(* Parallel runs advance S shard clocks over the same interval; the shard
+   runtime turns per-scheduler accounting off and credits the global clock
+   once, so sim-time totals match the sequential run byte for byte. *)
+let add_global_sim_time ns =
+  if ns > 0 then ignore (Atomic.fetch_and_add g_sim_ns ns)
+
+let count_sim_time t flag = t.count_sim_time <- flag
 
 type _ Effect.t += Suspend : (string * ((unit -> unit) -> unit)) -> unit Effect.t
 
@@ -49,6 +64,7 @@ let create ?(seed = 0) ?(trace_capacity = 65536) () =
       live = 0;
       stopping = false;
       events = 0;
+      count_sim_time = true;
       blocked = Hashtbl.create 64;
       domain_kills = Hashtbl.create 8;
       current = None;
@@ -159,7 +175,7 @@ let spawn t ?(name = "fiber") ?domain f =
   let epoch = match domain with None -> 0 | Some d -> domain_epoch t d in
   let fiber = { id = t.next_fiber_id; name; domain; epoch } in
   t.next_fiber_id <- t.next_fiber_id + 1;
-  incr g_fibers;
+  ignore (Atomic.fetch_and_add g_fibers 1);
   t.live <- t.live + 1;
   Event_heap.add t.heap ~time:t.now (fun () ->
       if fiber_dead t fiber then t.live <- t.live - 1
@@ -239,7 +255,8 @@ let run ?until ?(allow_blocked = false) t =
       let time = Event_heap.min_time t.heap in
       if beyond time then ()
       else begin
-        g_sim_ns := !g_sim_ns + Time_ns.sub time t.now;
+        if t.count_sim_time then
+          ignore (Atomic.fetch_and_add g_sim_ns (Time_ns.sub time t.now));
         t.now <- time;
         let continue = ref true in
         while !continue do
@@ -256,5 +273,14 @@ let run ?until ?(allow_blocked = false) t =
       end
     end
   in
-  Fun.protect ~finally:(fun () -> g_events := !g_events + (t.events - events0))
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Atomic.fetch_and_add g_events (t.events - events0)))
     loop
+
+let next_event_time t =
+  if Event_heap.is_empty t.heap then None
+  else Some (Event_heap.min_time t.heap)
+
+let pending_events t = Event_heap.length t.heap
+let blocked_report t = blocked_names t

@@ -127,4 +127,28 @@ type totals = { t_events : int; t_fibers : int; t_sim_time : Time_ns.t }
 val global_totals : unit -> totals
 (** Snapshot of the process-wide totals. Harnesses meter an experiment —
     which may build many worlds — by taking the delta of two snapshots
-    around it; paired with a wall clock this yields sim-events/sec. *)
+    around it; paired with a wall clock this yields sim-events/sec. The
+    counters are atomics, so parallel worlds (one scheduler per domain)
+    accumulate race-free. *)
+
+val count_sim_time : t -> bool -> unit
+(** Whether {!run} credits this scheduler's clock advances to the global
+    sim-time total (default true). A parallel world turns it off on every
+    shard scheduler — S shards advance S clocks over the same interval —
+    and credits the merged global clock once via {!add_global_sim_time},
+    keeping totals identical to the sequential run. *)
+
+val add_global_sim_time : Time_ns.t -> unit
+(** Credit an externally-tracked clock advance to the global sim-time
+    total (see {!count_sim_time}). *)
+
+val next_event_time : t -> Time_ns.t option
+(** Earliest pending event, if any — the shard barrier's reduction input. *)
+
+val pending_events : t -> int
+(** Number of queued events (cheap; heap length). *)
+
+val blocked_report : t -> string list
+(** The {!Deadlock}-style report for currently blocked fibers. The shard
+    runtime aggregates these across domains before raising, since a
+    windowed [run ~until] never raises {!Deadlock} itself. *)

@@ -8,6 +8,7 @@ module Stats = Stats
 module Metrics = Metrics
 module Report = Report
 module Scheduler = Scheduler
+module Shard = Shard
 module Sync = Sync
 module Cpu = Cpu
 module Trace = Trace

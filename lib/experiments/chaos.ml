@@ -72,32 +72,37 @@ let check_payload ~src ~dst ~seq buf =
     done;
   !ok
 
+(* Each cell scripts its own faults, replicated onto every shard fabric
+   (fresh model instances per replica — same cell, same seed, identical
+   per-pair streams — with the partition and crash schedules applied to
+   all replicas so shadow crash state stays in lockstep). *)
+let inject_cell_faults cell ~partitions ~crashes fabrics =
+  Array.map
+    (fun fabric ->
+      Simnet.Fabric.set_fault_model fabric (C.fault_of_cell cell);
+      if partitions <> [] then
+        Simnet.Fabric.apply_partition_schedule fabric partitions;
+      if crashes <> [] then Simnet.Fabric.apply_crash_schedule fabric crashes;
+      Reliability.attach fabric)
+    fabrics
+
 let run_stream_world ~quick cell =
   let nodes = 6 in
   let nids = List.init nodes Fun.id in
   let msgs = stream_msgs ~quick in
-  let sched = Scheduler.create ~seed:cell.C.seed () in
-  let fabric =
-    Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes
+  let world =
+    Runtime.create_world ~seed:cell.C.seed ~topology:Simnet.Topology.Full
+      ~env_faults:false ~nodes ()
   in
-  Simnet.Fabric.set_fault_model fabric (C.fault_of_cell cell);
-  let partitions = C.partition_of_cell cell ~nids ~horizon in
-  if partitions <> [] then
-    Simnet.Fabric.apply_partition_schedule fabric partitions;
   (* Crash victims live outside every stream pair and the monitor, so
      the exactly-once obligation stays well-defined: nobody streams to a
      node that ceases to exist. *)
   let victims = [ nodes - 2; nodes - 1 ] in
-  Simnet.Fabric.apply_crash_schedule fabric
-    (C.crash_schedule_of cell ~nids:victims ~horizon);
-  let shim = Reliability.attach fabric in
-  let world =
-    {
-      Runtime.sched;
-      fabric;
-      transport = Simnet.Transport.offload fabric;
-      ranks = Array.init nodes (fun nid -> Simnet.Proc_id.make ~nid ~pid:0);
-    }
+  let partitions = C.partition_of_cell cell ~nids ~horizon in
+  let shims =
+    inject_cell_faults cell ~partitions
+      ~crashes:(C.crash_schedule_of cell ~nids:victims ~horizon)
+      (Runtime.shard_fabrics world)
   in
   let violations = ref [] in
   let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
@@ -110,10 +115,12 @@ let run_stream_world ~quick cell =
   in
   let proc nid = world.Runtime.ranks.(nid) in
   (* No two pairs share a destination, so each dst registers exactly one
-     handler (the monitor's beat handler lives on a different pid). *)
+     handler (the monitor's beat handler lives on a different pid) — on
+     the dst's owner-shard fabric, where its frames are delivered. *)
   List.iter
     (fun ((src, dst), st) ->
-      Simnet.Fabric.register fabric (proc dst) (fun ~src:from buf ->
+      Simnet.Fabric.register (Runtime.fabric_of_nid world dst) (proc dst)
+        (fun ~src:from buf ->
           if from.Simnet.Proc_id.nid = src then begin
             let seq = Int32.to_int (Bytes.get_int32_le buf 0) in
             if seq <> st.expected then st.seq_violations <- st.seq_violations + 1
@@ -130,11 +137,15 @@ let run_stream_world ~quick cell =
   let spacing = horizon * 4 / (5 * msgs) in
   List.iter
     (fun ((src, dst), _) ->
+      (* Sends are scheduled on the src's owner shard and injected into
+         its fabric replica, exactly as a resident fiber would. *)
+      let src_sched = Runtime.sched_of_nid world src in
+      let src_fabric = Runtime.fabric_of_nid world src in
       for seq = 0 to msgs - 1 do
-        Scheduler.at sched
+        Scheduler.at src_sched
           (spacing * (seq + 1))
           (fun () ->
-            Simnet.Fabric.send fabric ~src:(proc src) ~dst:(proc dst)
+            Simnet.Fabric.send src_fabric ~src:(proc src) ~dst:(proc dst)
               (stream_payload ~src ~dst ~seq))
       done)
     stats;
@@ -143,13 +154,17 @@ let run_stream_world ~quick cell =
     Runtime.Liveness.start ~period:liveness_period ~timeout:liveness_timeout
       ~until:horizon world
   in
+  (* Both audits run on the monitor's shard: verdicts are monitor-local
+     state, and crash flags are replicated on every fabric. *)
+  let mon_sched = Runtime.sched_of_nid world 0 in
+  let mon_fabric = Runtime.fabric_of_nid world 0 in
   (match partitions with
   | [] -> ()
   | event :: _ ->
     let cut = event.Simnet.Fault.cut_at in
     let heal = Option.value event.Simnet.Fault.heal_at ~default:horizon in
     let mid = (cut + heal) / 2 in
-    Scheduler.at sched mid (fun () ->
+    Scheduler.at mon_sched mid (fun () ->
         (* Mid-cut: every unreachable-but-up peer must be reported
            partitioned, never crashed; cross-cut peers must actually be
            suspected by now (the cut is many timeouts old). *)
@@ -157,7 +172,7 @@ let run_stream_world ~quick cell =
           (fun nid ->
             match Runtime.Liveness.verdict liveness nid with
             | Runtime.Liveness.Suspected_crashed
-              when Simnet.Fabric.is_node_up fabric nid ->
+              when Simnet.Fabric.is_node_up mon_fabric nid ->
               violation "mid-cut: up node %d reported crashed" nid
             | _ -> ())
           (List.tl nids);
@@ -170,7 +185,7 @@ let run_stream_world ~quick cell =
                  <> Runtime.Liveness.Suspected_partitioned
             then violation "mid-cut: cross-cut node %d not suspected" nid)
           nids));
-  Scheduler.at sched (Time_ns.sub horizon (Time_ns.us 10.)) (fun () ->
+  Scheduler.at mon_sched (Time_ns.sub horizon (Time_ns.us 10.)) (fun () ->
       (* End of run: for healing partitions, suspicion must have
          converged back to clean on every non-victim node. *)
       if partitions <> [] then
@@ -194,37 +209,57 @@ let run_stream_world ~quick cell =
         violation "stream %d->%d: %d corrupted payloads surfaced" src dst
           st.byte_violations)
     stats;
-  let fs = Simnet.Fabric.stats fabric in
-  let rs = Reliability.stats shim in
+  (* Injection counters accumulate where each stochastic decision was
+     made (the src shard), CRC drops where the frame was received — sum
+     over replicas to recover the sequential totals. *)
+  let sum f arr = Array.fold_left (fun a x -> a + f x) 0 arr in
+  let fabrics = Runtime.shard_fabrics world in
+  let corrupts =
+    sum (fun f -> (Simnet.Fabric.stats f).Simnet.Fabric.corrupts_injected) fabrics
+  in
+  let delays =
+    sum (fun f -> (Simnet.Fabric.stats f).Simnet.Fabric.delays_injected) fabrics
+  in
+  let parted =
+    sum (fun f -> (Simnet.Fabric.stats f).Simnet.Fabric.drops_partitioned) fabrics
+  in
+  let rel_corrupt =
+    sum (fun s -> (Reliability.stats s).Reliability.corrupt_drops) shims
+  in
+  let now_us =
+    Array.fold_left
+      (fun a s -> Float.max a (Time_ns.to_us (Scheduler.now s)))
+      0. (Runtime.shard_scheds world)
+  in
   let delivered = List.fold_left (fun a (_, st) -> a + st.accepted) 0 stats in
-  ( !violations,
-    delivered,
-    fs,
-    rs.Reliability.corrupt_drops,
-    Time_ns.to_us (Scheduler.now sched) )
+  (!violations, delivered, (corrupts, delays, parted), rel_corrupt, now_us)
 
 (* --- the RMA linearizability world ------------------------------------- *)
 
 let run_rma_world ~quick cell =
   let nodes = 6 and ranks = 4 in
   let ops = rma_ops ~quick in
-  let sched = Scheduler.create ~seed:(cell.C.seed + 1) () in
-  let fabric =
-    Simnet.Fabric.create sched ~profile:Simnet.Profile.myrinet_mcp ~nodes
+  let world =
+    Runtime.create_world ~seed:(cell.C.seed + 1) ~topology:Simnet.Topology.Full
+      ~env_faults:false ~nodes ()
   in
-  Simnet.Fabric.set_fault_model fabric (C.fault_of_cell cell);
-  let partitions =
-    C.partition_of_cell cell ~nids:(List.init nodes Fun.id) ~horizon
-  in
-  if partitions <> [] then
-    Simnet.Fabric.apply_partition_schedule fabric partitions;
-  ignore (Reliability.attach fabric);
-  let tp = Simnet.Transport.offload fabric in
+  ignore
+    (inject_cell_faults cell
+       ~partitions:(C.partition_of_cell cell ~nids:(List.init nodes Fun.id) ~horizon)
+       ~crashes:[] (Runtime.shard_fabrics world));
   (* Ranks straddle the cut (nids 0, 1, n/2, n/2+1) so atomics must
      survive the partition, not merely avoid it. *)
   let rank_nids = [| 0; 1; nodes / 2; (nodes / 2) + 1 |] in
   let procs = Array.map (fun nid -> Simnet.Proc_id.make ~nid ~pid:0) rank_nids in
-  let nis = Array.map (fun pid -> P.Ni.create tp ~id:pid ()) procs in
+  (* Each NI lives over its node's owner-shard transport. *)
+  let nis =
+    Array.map
+      (fun pid ->
+        P.Ni.create
+          (Runtime.transport_of_rank world pid.Simnet.Proc_id.nid)
+          ~id:pid ())
+      procs
+  in
   let oss =
     Array.mapi (fun rank ni -> Onesided.create_exn ni ~ranks:procs ~rank ()) nis
   in
@@ -236,7 +271,8 @@ let run_rma_world ~quick cell =
   let claimed = Array.make ranks [] in
   Array.iteri
     (fun rank pid ->
-      Scheduler.spawn sched
+      Scheduler.spawn
+        (Runtime.sched_of_nid world pid.Simnet.Proc_id.nid)
         ~name:(Printf.sprintf "chaos-rma%d" rank)
         ~domain:pid.Simnet.Proc_id.nid
         (fun () ->
@@ -259,13 +295,7 @@ let run_rma_world ~quick cell =
             if prev = 0L then claimed.(rank) <- slot :: claimed.(rank)
           done))
     procs;
-  Runtime.run
-    {
-      Runtime.sched;
-      fabric;
-      transport = tp;
-      ranks = procs;
-    };
+  Runtime.run world;
   let violations = ref [] in
   let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   let total = ranks * ops in
@@ -288,7 +318,12 @@ let run_rma_world ~quick cell =
       (fun acc ni -> acc + P.Ni.dropped ni P.Ni.Checksum_failed)
       0 nis
   in
-  (!violations, checksum_drops, Time_ns.to_us (Scheduler.now sched))
+  let now_us =
+    Array.fold_left
+      (fun a s -> Float.max a (Time_ns.to_us (Scheduler.now s)))
+      0. (Runtime.shard_scheds world)
+  in
+  (!violations, checksum_drops, now_us)
 
 (* --- per-cell driver ---------------------------------------------------- *)
 
@@ -297,7 +332,7 @@ let run_cell ?(quick = false) cell =
      clean control cell doubles as a check that the byte-identical
      legacy encoding still satisfies every invariant. *)
   Simnet.Integrity.with_enabled (C.faulty cell) (fun () ->
-      let sviol, delivered, fs, rel_corrupt_drops, t1 =
+      let sviol, delivered, (corrupts, delays, parted), rel_corrupt_drops, t1 =
         run_stream_world ~quick cell
       in
       let rviol, checksum_drops, t2 = run_rma_world ~quick cell in
@@ -305,9 +340,9 @@ let run_cell ?(quick = false) cell =
         cell;
         violations = List.rev sviol @ List.rev rviol;
         delivered;
-        corrupts_injected = fs.Simnet.Fabric.corrupts_injected;
-        delays_injected = fs.Simnet.Fabric.delays_injected;
-        drops_partitioned = fs.Simnet.Fabric.drops_partitioned;
+        corrupts_injected = corrupts;
+        delays_injected = delays;
+        drops_partitioned = parted;
         rel_corrupt_drops;
         checksum_drops;
         sim_time_us = t1 +. t2;

@@ -19,3 +19,4 @@ module Congestion = Congestion
 module Matrix = Matrix
 module Rma = Rma
 module Chaos = Chaos
+module Par = Par

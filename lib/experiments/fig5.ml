@@ -34,26 +34,31 @@ let run ?(capture_trace = false) p =
   let sched = world.Runtime.sched in
   let registry = Scheduler.metrics sched in
   (* This world's snapshot is the figure's data: record the EQ-depth and
-     protocol time-series, not just the counters. *)
-  Metrics.set_detail registry true;
+     protocol time-series, not just the counters (every shard's registry
+     in a parallel world; there is exactly one sequentially). *)
+  Array.iter
+    (fun s -> Metrics.set_detail (Scheduler.metrics s) true)
+    (Runtime.shard_scheds world);
   if capture_trace then Trace.enable (Scheduler.trace sched);
   let endpoints =
     Array.init 2 (fun rank ->
+        let tp = Runtime.transport_of_rank world rank in
         match p.backend with
-        | `Portals ->
-          Mpi.create_portals world.Runtime.transport ~ranks:world.Runtime.ranks
-            ~rank ()
-        | `Gm ->
-          Mpi.create_gm world.Runtime.transport ~ranks:world.Runtime.ranks ~rank ())
+        | `Portals -> Mpi.create_portals tp ~ranks:world.Runtime.ranks ~rank ()
+        | `Gm -> Mpi.create_gm tp ~ranks:world.Runtime.ranks ~rank ())
   in
-  (* The measured quantities live in the world's registry alongside the
-     fabric's own instruments, so one snapshot carries the whole run. *)
-  let wait_stats = Metrics.summary registry "fig.wait_us" in
-  let work_stats = Metrics.summary registry "fig.work_us" in
   let worker = 1 in
+  (* The measured quantities live in the worker's shard registry
+     alongside the fabric's own instruments, so one merged snapshot
+     carries the whole run. *)
+  let worker_registry = Scheduler.metrics (Runtime.sched_of_rank world worker) in
+  let wait_stats = Metrics.summary worker_registry "fig.wait_us" in
+  let work_stats = Metrics.summary worker_registry "fig.work_us" in
   Runtime.spawn_ranks world (fun ~rank ->
       let ep = endpoints.(rank) in
       let peer = 1 - rank in
+      (* All in-fiber clock reads go to this rank's own shard. *)
+      let sched = Runtime.sched_of_rank world rank in
       let cpu = Runtime.host_cpu_of_rank world rank in
       for _iter = 1 to p.iterations do
         (* pre-post several non-blocking receives *)
@@ -70,7 +75,7 @@ let run ?(capture_trace = false) p =
         in
         (* work (fixed loop iterations) — only the working node *)
         if rank = worker && Time_ns.compare p.work Time_ns.zero > 0 then begin
-          let started = Scheduler.now world.Runtime.sched in
+          let started = Scheduler.now sched in
           if p.tests_during_work > 0 then begin
             let slices = p.tests_during_work + 1 in
             let slice = Time_ns.ns (p.work / slices) in
@@ -81,19 +86,30 @@ let run ?(capture_trace = false) p =
           end
           else Cpu.compute cpu p.work;
           Metrics.observe work_stats
-            (Time_ns.to_us (Time_ns.sub (Scheduler.now world.Runtime.sched) started))
+            (Time_ns.to_us (Time_ns.sub (Scheduler.now sched) started))
         end;
         (* time A; wait for the batch; time B *)
-        let time_a = Scheduler.now world.Runtime.sched in
+        let time_a = Scheduler.now sched in
         ignore (Mpi.waitall ep (sends @ recvs));
-        let time_b = Scheduler.now world.Runtime.sched in
+        let time_b = Scheduler.now sched in
         if rank = worker then
           Metrics.observe wait_stats (Time_ns.to_us (Time_ns.sub time_b time_a))
       done;
       Mpi.barrier ep;
       Mpi.finalize ep);
   Runtime.run world;
-  let metrics = Metrics.snapshot registry in
+  let metrics =
+    if Runtime.domains world = 1 then Metrics.snapshot registry
+    else begin
+      (* Merge the per-shard registries: counters and summaries
+         accumulate, so job-wide totals match the sequential run. *)
+      let merged = Metrics.create ~detail:true () in
+      Array.iter
+        (fun s -> Metrics.absorb merged (Metrics.snapshot (Scheduler.metrics s)))
+        (Runtime.shard_scheds world);
+      Metrics.snapshot merged
+    end
+  in
   let summary_of name =
     match Metrics.Snapshot.find metrics name with
     | Some (Metrics.Snapshot.Summary { mean; max; _ }) -> (mean, max)

@@ -195,7 +195,7 @@ let run_loss_goodput ~seed ~p stack =
   let ranks =
     [| Simnet.Proc_id.make ~nid:0 ~pid:0; Simnet.Proc_id.make ~nid:1 ~pid:0 |]
   in
-  let world = { Runtime.sched; fabric; transport = tp; ranks } in
+  let world = { Runtime.sched; fabric; transport = tp; ranks; par = None } in
   let t_start = ref Time_ns.zero and t_end = ref Time_ns.zero in
   ignore
     (Runtime.Stack.launch_on world stack (fun ep ->

@@ -1,0 +1,67 @@
+(** PAR: the parallel-engine workload and determinism witness.
+
+    A nearest-neighbour halo exchange on a 2-D torus, runnable at any
+    domain count. Every delivery folds (src, dst, step, arrival time)
+    into an order-insensitive digest, so the {!canonical} line is a pure
+    function of the simulated history — identical across [--domains]
+    values by the engine's determinism contract ({!Sim_engine.Shard}),
+    and diffed by the CI parallel-determinism gate. The same workload is
+    metered as [PAR.seq] / [PAR.par4] for the multicore speedup gate. *)
+
+type result = {
+  nodes : int;
+  dims : int list;  (** Torus dimensions actually used. *)
+  steps : int;
+  domains : int;  (** Shards actually used (capped at [nodes]). *)
+  delivered : int;
+  expected : int;
+  errors : int;  (** Damaged or misattributed payloads accepted. *)
+  digest : int;  (** Order-insensitive fold of every delivery. *)
+  sim_time_us : float;
+  window_rounds : int;  (** 0 when sequential. *)
+  lookahead_us : float;  (** 0 when sequential. *)
+  wall_s : float;
+}
+
+val run :
+  ?nodes:int -> ?steps:int -> ?domains:int -> ?seed:int -> unit -> result
+(** One exchange: [nodes] (default 256, >= 9) on the fitted 2-D torus,
+    [steps] send rounds (default 8) to each torus neighbour. [domains]
+    and [seed] default to the {!Runtime.set_run_env} values. The run
+    honours the process-wide fault environment, so a faulty world
+    exercises the sharded reliability shim too. *)
+
+val ok : result -> bool
+(** Every expected payload arrived, none damaged. *)
+
+val canonical : result -> string
+(** The determinism line: nodes, steps, deliveries, digest, final sim
+    time — everything in it independent of the domain count. *)
+
+val pp : Format.formatter -> result -> unit
+
+val selfcheck :
+  ?nodes:int ->
+  ?steps:int ->
+  ?domains:int ->
+  ?seed:int ->
+  unit ->
+  (result * result, string) Result.t
+(** Run the identical world at [--domains 1] and [domains] (default 4)
+    and compare canonical lines; [Error] describes any divergence or
+    incomplete delivery. *)
+
+(** {1 Perf records} *)
+
+val record_seq : string
+(** ["PAR.seq"] — the workload at 1 domain. *)
+
+val record_par4 : string
+(** ["PAR.par4"] — the workload at 4 domains. *)
+
+val perf_records : ?quick:bool -> ?seed:int -> unit -> Perf.record list
+
+val speedup : Perf.record list -> float option
+(** [events_per_sec] of [PAR.par4] over [PAR.seq], when both are present
+    with non-zero rates. The multicore CI lane gates this at >= 2x; on
+    one hardware core it is expectedly < 1. *)

@@ -236,8 +236,8 @@ let rec pump t pair =
          to the sender now instead of parking it in [awaiting_cts]
          forever (and stalling everything queued behind it). *)
       not
-        (Simnet.Fabric.is_registered t.fabric pair.src
-        && Simnet.Fabric.is_registered t.fabric dst)
+        (Simnet.Fabric.endpoint_live t.fabric pair.src
+        && Simnet.Fabric.endpoint_live t.fabric dst)
     then begin
       t.st.s_failed <- t.st.s_failed + 1;
       t.send_error ~src:pair.src ~dst ~len;

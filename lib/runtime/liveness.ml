@@ -10,18 +10,24 @@ type state = Beating | Silent
 type verdict = Alive | Suspected_crashed | Suspected_partitioned
 
 type t = {
-  fabric : Simnet.Fabric.t;
-  sched : Scheduler.t;
+  fabric : Simnet.Fabric.t;  (* The monitor node's owner-shard replica. *)
+  sched : Scheduler.t;  (* The monitor node's owner-shard scheduler. *)
   period : Time_ns.t;
   timeout : Time_ns.t;
   monitor : Simnet.Proc_id.nid;
   until : Time_ns.t;
   last_seen : Time_ns.t array;
   states : state array;
-  mutable stopped : bool;
+  stopped : bool Atomic.t;
+      (* Read by emitters on every shard's domain, hence atomic. *)
   mutable down_cbs : (Simnet.Proc_id.nid -> unit) list;
   mutable up_cbs : (Simnet.Proc_id.nid -> unit) list;
-  m_sent : Metrics.counter;
+  emit_sched : Scheduler.t array;  (* Per nid: its owner shard. *)
+  emit_fabric : Simnet.Fabric.t array;
+  m_sent : Metrics.counter array;
+      (* Per nid, registered on the owner shard's registry so emitters
+         never mutate another domain's counter; per-shard registration
+         is idempotent, so shard totals sum to the job-wide count. *)
   m_received : Metrics.counter;
   m_suspects : Metrics.counter;
   m_recoveries : Metrics.counter;
@@ -67,7 +73,7 @@ let pp_verdict ppf = function
 
 let on_down t cb = t.down_cbs <- t.down_cbs @ [ cb ]
 let on_up t cb = t.up_cbs <- t.up_cbs @ [ cb ]
-let stop t = t.stopped <- true
+let stop t = Atomic.set t.stopped true
 
 let handle_beat t ~src (_ : bytes) =
   let nid = src.Simnet.Proc_id.nid in
@@ -91,21 +97,30 @@ let handle_beat t ~src (_ : bytes) =
    for them — one corrupt-dropped beat would head-of-line-block every
    later beat behind an escalating RTO and manufacture false suspicion
    of a healthy peer. Losing a beat outright is fine; five in a row is
-   what the timeout is for. *)
+   what the timeout is for.
+
+   Each emitter runs on its node's owner shard (scheduler and fabric
+   replica): in a parallel world the beat enters the wire where the
+   node lives and crosses to the monitor's shard like any message. *)
 let rec emit t nid =
-  if (not t.stopped) && Time_ns.compare (Scheduler.now t.sched) t.until < 0
+  let sched = t.emit_sched.(nid) and fabric = t.emit_fabric.(nid) in
+  if
+    (not (Atomic.get t.stopped))
+    && Time_ns.compare (Scheduler.now sched) t.until < 0
   then begin
-    if Simnet.Fabric.is_node_up t.fabric nid && nid <> t.monitor then begin
-      Metrics.incr t.m_sent;
-      Simnet.Fabric.send_raw t.fabric
+    if Simnet.Fabric.is_node_up fabric nid && nid <> t.monitor then begin
+      Metrics.incr t.m_sent.(nid);
+      Simnet.Fabric.send_raw fabric
         ~src:(Simnet.Proc_id.make ~nid ~pid:beat_pid)
         ~dst:(monitor_proc t) (Bytes.create 1)
     end;
-    Scheduler.after t.sched t.period (fun () -> emit t nid)
+    Scheduler.after sched t.period (fun () -> emit t nid)
   end
 
 let rec check t =
-  if (not t.stopped) && Time_ns.compare (Scheduler.now t.sched) t.until < 0
+  if
+    (not (Atomic.get t.stopped))
+    && Time_ns.compare (Scheduler.now t.sched) t.until < 0
   then begin
     let now = Scheduler.now t.sched in
     Array.iteri
@@ -134,11 +149,11 @@ let start ?(period = default_period) ?(timeout = default_timeout)
     ?(monitor = 0) ~until (world : World.world) =
   if Time_ns.compare timeout period < 0 then
     invalid_arg "Liveness.start: timeout must be at least the period";
-  let fabric = world.World.fabric in
-  let nodes = Simnet.Fabric.node_count fabric in
+  let nodes = Simnet.Fabric.node_count world.World.fabric in
   if monitor < 0 || monitor >= nodes then
     invalid_arg "Liveness.start: monitor node out of range";
-  let sched = world.World.sched in
+  let fabric = World.fabric_of_nid world monitor in
+  let sched = World.sched_of_nid world monitor in
   let m = Scheduler.metrics sched in
   let labels = [ ("monitor", string_of_int monitor) ] in
   let t =
@@ -151,10 +166,16 @@ let start ?(period = default_period) ?(timeout = default_timeout)
       until;
       last_seen = Array.make nodes (Scheduler.now sched);
       states = Array.make nodes Beating;
-      stopped = false;
+      stopped = Atomic.make false;
       down_cbs = [];
       up_cbs = [];
-      m_sent = Metrics.counter m ~labels "liveness.heartbeats_sent";
+      emit_sched = Array.init nodes (World.sched_of_nid world);
+      emit_fabric = Array.init nodes (World.fabric_of_nid world);
+      m_sent =
+        Array.init nodes (fun nid ->
+            Metrics.counter
+              (Scheduler.metrics (World.sched_of_nid world nid))
+              ~labels "liveness.heartbeats_sent");
       m_received = Metrics.counter m ~labels "liveness.heartbeats_received";
       m_suspects = Metrics.counter m ~labels "liveness.suspects";
       m_recoveries = Metrics.counter m ~labels "liveness.recoveries";

@@ -7,11 +7,23 @@ let transport_kind_name = function
   | Kernel_interrupt -> "kernel-interrupt"
   | Rtscts -> "rtscts"
 
+(* Everything a parallel world carries beyond shard 0's view: the
+   node-to-shard map, the window runtime, and shards 1..N-1's
+   scheduler/fabric/transport instances. *)
+type par = {
+  par_map : Simnet.Shard_map.t;
+  par_shard : Simnet.Fabric.remote Shard.t;
+  par_scheds : Scheduler.t array;
+  par_fabrics : Simnet.Fabric.t array;
+  par_transports : Simnet.Transport.t array;
+}
+
 type world = {
   sched : Scheduler.t;
   fabric : Simnet.Fabric.t;
   transport : Simnet.Transport.t;
   ranks : Simnet.Proc_id.t array;
+  par : par option;
 }
 
 (* Process-wide run environment, set once by the front-ends (--loss /
@@ -24,6 +36,7 @@ let env_fault : string option ref = ref None
 let env_crashes : Simnet.Fault.crash_schedule option ref = ref None
 let env_topology : string option ref = ref None
 let env_queue_limit : int option ref = ref None
+let env_domains = ref 1
 
 (* A topology spec with explicit dimensions implies its own node count;
    validate against that so "--topology torus2d:4x3" is rejected up
@@ -207,7 +220,13 @@ let crashes_of_spec spec =
   with Invalid_argument reason when not (String.length reason > 7 && String.sub reason 0 8 = "Runtime:") ->
     bad reason
 
-let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit () =
+let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit ?domains () =
+  (match domains with
+  | Some d ->
+    if d < 1 then
+      invalid_arg "Runtime.set_run_env: need at least one domain";
+    env_domains := d
+  | None -> ());
   (match topology with
   | Some "" -> env_topology := None
   | Some spec ->
@@ -241,12 +260,20 @@ let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit () =
 let run_env () = (!env_loss, !env_seed)
 let run_crash_env () = !env_crashes
 let run_topology_env () = (!env_topology, !env_queue_limit)
+let run_domains_env () = !env_domains
 
 let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
-    ?topology ?queue_limit ~nodes () =
+    ?topology ?queue_limit ?domains ?(env_faults = true) ~nodes () =
   if nodes <= 0 then invalid_arg "Runtime.create_world: need at least one node";
   if procs_per_node <= 0 then
     invalid_arg "Runtime.create_world: need at least one process per node";
+  let domains = match domains with Some d -> d | None -> !env_domains in
+  if domains < 1 then
+    invalid_arg "Runtime.create_world: need at least one domain";
+  (* The CLI's --domains applies to every world an experiment builds,
+     including small helper worlds: cap at one shard per node instead of
+     rejecting them. *)
+  let shards = min domains nodes in
   let seed = match seed with Some s -> s | None -> !env_seed in
   let profile =
     match profile with
@@ -270,47 +297,61 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
   let queue_limit =
     match queue_limit with Some _ as l -> l | None -> !env_queue_limit
   in
-  let sched = Scheduler.create ~seed () in
-  let fabric =
-    Simnet.Fabric.create ~topology ?queue_limit sched ~profile ~nodes
-  in
   (* Faulty mode: inject the configured wire loss, fault model and/or
      partition schedule and install the reliability shim so the
      transports above still see the in-order exactly-once fabric they
      were written against. Frames travel checksummed exactly when the
      world is faulty, so a corrupted frame degrades to a loss the shim
      recovers — and a clean world's encodings stay byte-identical to the
-     pre-integrity format. *)
-  let spec_models, partitions =
-    match !env_fault with
-    | None -> ([], [])
-    | Some spec -> faults_of_spec ~seed spec
+     pre-integrity format.
+
+     Each shard gets its own freshly built model instances: models carry
+     mutable per-pair PRNG tables that must not be shared across
+     domains. Same spec + same seed ⇒ identical per-pair streams, so the
+     replicas agree with the sequential reference. *)
+  let fresh_faults () =
+    if not env_faults then ([], [])
+    else
+      let spec_models, partitions =
+        match !env_fault with
+        | None -> ([], [])
+        | Some spec -> faults_of_spec ~seed spec
+      in
+      let models =
+        (if !env_loss > 0. then [ Simnet.Fault.bernoulli ~seed ~p:!env_loss () ]
+         else [])
+        @ spec_models
+      in
+      (models, partitions)
   in
-  let fault_models =
-    (if !env_loss > 0. then [ Simnet.Fault.bernoulli ~seed ~p:!env_loss () ]
-     else [])
-    @ spec_models
+  let faulty =
+    let models, partitions = fresh_faults () in
+    models <> [] || partitions <> []
   in
-  Simnet.Integrity.set_enabled (fault_models <> [] || partitions <> []);
-  (match fault_models with
-  | [] -> ()
-  | models ->
-    let model =
-      match models with [ m ] -> m | ms -> Simnet.Fault.compose ms
-    in
-    Simnet.Fabric.set_fault_model fabric (Some model));
-  (match partitions with
-  | [] -> ()
-  | schedule -> Simnet.Fabric.apply_partition_schedule fabric schedule);
-  if fault_models <> [] || partitions <> [] then
-    ignore (Reliability.attach fabric);
-  (* Scripted node failures apply to every world, so an experiment that
-     builds one world per transport subjects each to the identical
-     schedule. *)
-  (match !env_crashes with
-  | None -> ()
-  | Some schedule -> Simnet.Fabric.apply_crash_schedule fabric schedule);
-  let tp =
+  if env_faults then Simnet.Integrity.set_enabled faulty;
+  let configure fabric =
+    let fault_models, partitions = fresh_faults () in
+    (match fault_models with
+    | [] -> ()
+    | models ->
+      let model =
+        match models with [ m ] -> m | ms -> Simnet.Fault.compose ms
+      in
+      Simnet.Fabric.set_fault_model fabric (Some model));
+    (match partitions with
+    | [] -> ()
+    | schedule -> Simnet.Fabric.apply_partition_schedule fabric schedule);
+    if faulty then ignore (Reliability.attach fabric);
+    (* Scripted node failures apply to every world, so an experiment that
+       builds one world per transport subjects each to the identical
+       schedule — and, in a parallel world, to every shard, keeping the
+       shadow replicas' crash state in lockstep with the owners. *)
+    match !env_crashes with
+    | Some schedule when env_faults ->
+      Simnet.Fabric.apply_crash_schedule fabric schedule
+    | Some _ | None -> ()
+  in
+  let transport_over fabric =
     match transport with
     | Offload -> Simnet.Transport.offload fabric
     | Kernel_interrupt -> Simnet.Transport.kernel_interrupt fabric
@@ -320,52 +361,164 @@ let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
     Array.init (nodes * procs_per_node) (fun rank ->
         Simnet.Proc_id.make ~nid:(rank mod nodes) ~pid:(rank / nodes))
   in
-  { sched; fabric; transport = tp; ranks }
+  if shards = 1 then begin
+    let sched = Scheduler.create ~seed () in
+    let fabric =
+      Simnet.Fabric.create ~topology ?queue_limit sched ~profile ~nodes
+    in
+    configure fabric;
+    { sched; fabric; transport = transport_over fabric; ranks; par = None }
+  end
+  else begin
+    (* Shard 0 keeps the caller's seed so single-shard-visible streams
+       match the sequential world; the rest get decorrelated derived
+       streams (nothing deterministic may depend on them). *)
+    let scheds =
+      Array.init shards (fun k ->
+          Scheduler.create
+            ~seed:(if k = 0 then seed else Prng.derived_seed ~seed ~index:k)
+            ())
+    in
+    let fabrics =
+      Array.map
+        (fun s -> Simnet.Fabric.create ~topology ?queue_limit s ~profile ~nodes)
+        scheds
+    in
+    let par_map =
+      Simnet.Shard_map.build
+        (Simnet.Fabric.topology fabrics.(0))
+        ~profile ~shards
+    in
+    let par_shard =
+      Shard.create ~scheds ~lookahead:(Simnet.Shard_map.lookahead par_map) ()
+    in
+    Array.iteri
+      (fun k fabric ->
+        Simnet.Fabric.set_par fabric ~self:k
+          ~owner:(Simnet.Shard_map.owner par_map)
+          ~post:(fun ~dst_shard ~time msg ->
+            Shard.post par_shard ~src:k ~dst:dst_shard ~time msg))
+      fabrics;
+    Array.iter configure fabrics;
+    let par_transports = Array.map transport_over fabrics in
+    {
+      sched = scheds.(0);
+      fabric = fabrics.(0);
+      transport = par_transports.(0);
+      ranks;
+      par =
+        Some
+          { par_map; par_shard; par_scheds = scheds; par_fabrics = fabrics;
+            par_transports };
+    }
+  end
 
 let job_size world = Array.length world.ranks
+let domains world = match world.par with None -> 1 | Some p -> Array.length p.par_scheds
+
+let shard_of_nid world nid =
+  if nid < 0 || nid >= Simnet.Fabric.node_count world.fabric then
+    invalid_arg "Runtime.shard_of_nid: node out of range";
+  match world.par with
+  | None -> 0
+  | Some p -> Simnet.Shard_map.owner p.par_map nid
+
+let sched_of_nid world nid =
+  let shard = shard_of_nid world nid in
+  match world.par with None -> world.sched | Some p -> p.par_scheds.(shard)
+
+let fabric_of_nid world nid =
+  let shard = shard_of_nid world nid in
+  match world.par with None -> world.fabric | Some p -> p.par_fabrics.(shard)
+
+let nid_of_rank world ~what rank =
+  if rank < 0 || rank >= Array.length world.ranks then
+    invalid_arg (Printf.sprintf "Runtime.%s: rank out of range" what);
+  world.ranks.(rank).Simnet.Proc_id.nid
+
+let sched_of_rank world rank =
+  sched_of_nid world (nid_of_rank world ~what:"sched_of_rank" rank)
+
+let fabric_of_rank world rank =
+  fabric_of_nid world (nid_of_rank world ~what:"fabric_of_rank" rank)
+
+let transport_of_rank world rank =
+  let shard =
+    shard_of_nid world (nid_of_rank world ~what:"transport_of_rank" rank)
+  in
+  match world.par with
+  | None -> world.transport
+  | Some p -> p.par_transports.(shard)
+
+let shard_scheds world =
+  match world.par with
+  | None -> [| world.sched |]
+  | Some p -> Array.copy p.par_scheds
+
+let shard_fabrics world =
+  match world.par with
+  | None -> [| world.fabric |]
+  | Some p -> Array.copy p.par_fabrics
+
+let window_rounds world =
+  match world.par with None -> 0 | Some p -> Shard.rounds p.par_shard
+
+let lookahead world =
+  match world.par with None -> None | Some p -> Some (Shard.lookahead p.par_shard)
 
 let host_cpu_of_rank world rank =
-  if rank < 0 || rank >= Array.length world.ranks then
-    invalid_arg "Runtime.host_cpu_of_rank: rank out of range";
-  Simnet.Node.host_cpu
-    (Simnet.Fabric.node world.fabric world.ranks.(rank).Simnet.Proc_id.nid)
+  let nid = nid_of_rank world ~what:"host_cpu_of_rank" rank in
+  Simnet.Node.host_cpu (Simnet.Fabric.node (fabric_of_nid world nid) nid)
 
 let spawn_ranks world main =
   Array.iteri
     (fun rank pid ->
       (* Each rank fiber lives in its node's fault domain: a node crash
-         kills it mid-flight ([Scheduler.kill_domain]). *)
-      Scheduler.spawn world.sched
+         kills it mid-flight ([Scheduler.kill_domain]) — and, in a
+         parallel world, on its node's owner shard. *)
+      Scheduler.spawn
+        (sched_of_nid world pid.Simnet.Proc_id.nid)
         ~name:(Printf.sprintf "rank%d" rank)
         ~domain:pid.Simnet.Proc_id.nid
         (fun () -> main ~rank))
     world.ranks
 
 let run ?until world =
-  match until with
-  | None -> Scheduler.run world.sched
-  | Some limit -> Scheduler.run ~until:limit world.sched
+  match world.par with
+  | Some p ->
+    Shard.run ?until p.par_shard ~deliver:(fun ~shard ~time msg ->
+        Simnet.Fabric.receive_remote p.par_fabrics.(shard) ~time msg)
+  | None -> (
+    match until with
+    | None -> Scheduler.run world.sched
+    | Some limit -> Scheduler.run ~until:limit world.sched)
 
-let launch ?profile ?transport ?procs_per_node ?seed ~nodes main =
-  let world = create_world ?profile ?transport ?procs_per_node ?seed ~nodes () in
+let launch ?profile ?transport ?procs_per_node ?seed ?domains ~nodes main =
+  let world =
+    create_world ?profile ?transport ?procs_per_node ?seed ?domains ~nodes ()
+  in
   spawn_ranks world (fun ~rank -> main world ~rank);
   run world;
   world
 
-let launch_mpi ?profile ?transport ?procs_per_node ?seed ?(backend = `Portals)
-    ?portals_config ?gm_config ~nodes main =
-  let world = create_world ?profile ?transport ?procs_per_node ?seed ~nodes () in
+let launch_mpi ?profile ?transport ?procs_per_node ?seed ?domains
+    ?(backend = `Portals) ?portals_config ?gm_config ~nodes main =
+  let world =
+    create_world ?profile ?transport ?procs_per_node ?seed ?domains ~nodes ()
+  in
   (* Endpoints exist before any rank runs: no early message can find its
      destination unregistered. *)
   let endpoints =
     Array.init (job_size world) (fun rank ->
+        (* Each rank's endpoint lives over its node's owner-shard
+           transport (= [world.transport] sequentially). *)
+        let tp = transport_of_rank world rank in
         match backend with
         | `Portals ->
-          Mpi.create_portals world.transport ~ranks:world.ranks ~rank
+          Mpi.create_portals tp ~ranks:world.ranks ~rank
             ?config:portals_config ()
         | `Gm ->
-          Mpi.create_gm world.transport ~ranks:world.ranks ~rank
-            ?config:gm_config ())
+          Mpi.create_gm tp ~ranks:world.ranks ~rank ?config:gm_config ())
   in
   spawn_ranks world (fun ~rank ->
       let ep = endpoints.(rank) in

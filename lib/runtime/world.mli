@@ -12,11 +12,22 @@ type transport_kind =
 
 val transport_kind_name : transport_kind -> string
 
+type par
+(** Parallel-run machinery (shard map, per-shard schedulers/fabrics/
+    transports and the window runtime); present only when the world was
+    created with more than one domain. *)
+
 type world = {
   sched : Sim_engine.Scheduler.t;
   fabric : Simnet.Fabric.t;
   transport : Simnet.Transport.t;
   ranks : Simnet.Proc_id.t array;
+  par : par option;
+      (** [None] for sequential worlds. In a parallel world [sched] /
+          [fabric] / [transport] are shard 0's — correct for global
+          queries (crash/partition state is replicated) but {e not} for
+          per-rank work: use {!sched_of_rank} / {!transport_of_rank} /
+          {!fabric_of_nid} instead. *)
 }
 
 val set_run_env :
@@ -26,6 +37,7 @@ val set_run_env :
   ?crashes:string ->
   ?topology:string ->
   ?queue_limit:int ->
+  ?domains:int ->
   unit ->
   unit
 (** Process-wide defaults applied by {!create_world}, set once by the CLI
@@ -60,7 +72,12 @@ val set_run_env :
        [""] clears (back to the seed's fully-connected fabric).}
     {- [queue_limit] — per-hop-link outstanding-transmission bound;
        overload beyond it becomes congestion drops (recovered by the
-       reliability shim when one is attached).}}
+       reliability shim when one is attached).}
+    {- [domains] — number of OCaml domains to shard each world across
+       (default 1 = the sequential reference scheduler). Worlds with
+       fewer nodes than domains fall back to one shard per node. Same
+       seed, same world ⇒ same simulated history at any domain count
+       (see {!Sim_engine.Shard}).}}
 
     Raises [Invalid_argument] on an out-of-range loss or a malformed
     fault/crash spec (bad syntax, negative times, restart not after its
@@ -75,6 +92,9 @@ val run_crash_env : unit -> Simnet.Fault.crash_schedule option
 val run_topology_env : unit -> string option * int option
 (** The (topology spec, queue limit) defaults new worlds inherit. *)
 
+val run_domains_env : unit -> int
+(** The domain-count default new worlds inherit (1 = sequential). *)
+
 val create_world :
   ?profile:Simnet.Profile.t ->
   ?transport:transport_kind ->
@@ -82,6 +102,8 @@ val create_world :
   ?seed:int ->
   ?topology:Simnet.Topology.kind ->
   ?queue_limit:int ->
+  ?domains:int ->
+  ?env_faults:bool ->
   nodes:int ->
   unit ->
   world
@@ -95,9 +117,61 @@ val create_world :
 
     [topology] (default: the {!set_run_env} spec fitted to [nodes], else
     fully connected) selects the interconnect; [queue_limit] bounds each
-    shared hop link's queue (see {!Simnet.Fabric.create}). *)
+    shared hop link's queue (see {!Simnet.Fabric.create}).
+
+    [domains] (default: the {!set_run_env} value, initially 1) shards
+    the world across that many OCaml domains: compute nodes are split
+    into contiguous blocks ({!Simnet.Shard_map}), each shard gets its
+    own scheduler, fabric replica, fault-model instance and transport,
+    and {!run} drives them under the conservative window barrier
+    ({!Sim_engine.Shard}). Capped at [nodes]; 1 means the plain
+    sequential world with [par = None].
+
+    [env_faults:false] makes the world ignore the process-wide loss /
+    fault / crash environment (and leave {!Simnet.Integrity} alone) —
+    for experiments that script their own fault injection per shard
+    fabric, like the chaos campaigns. Seed, topology, queue-limit and
+    domain defaults still apply. *)
 
 val job_size : world -> int
+
+(** {1 Shard placement}
+
+    All of these collapse to the single scheduler/fabric/transport on a
+    sequential world, so callers can use them unconditionally. *)
+
+val domains : world -> int
+(** Shards actually used (1 = sequential). *)
+
+val shard_of_nid : world -> Simnet.Proc_id.nid -> int
+(** The shard owning a compute node. Raises [Invalid_argument] out of
+    range. *)
+
+val sched_of_nid : world -> Simnet.Proc_id.nid -> Sim_engine.Scheduler.t
+val fabric_of_nid : world -> Simnet.Proc_id.nid -> Simnet.Fabric.t
+(** The scheduler / authoritative fabric replica of a node's owner
+    shard. *)
+
+val sched_of_rank : world -> int -> Sim_engine.Scheduler.t
+val fabric_of_rank : world -> int -> Simnet.Fabric.t
+
+val transport_of_rank : world -> int -> Simnet.Transport.t
+(** The transport instance a rank's endpoints must be built over — the
+    one bound to its node's owner fabric. *)
+
+val shard_scheds : world -> Sim_engine.Scheduler.t array
+(** One scheduler per shard ([[|sched|]] sequentially) — e.g. to merge
+    per-shard metrics registries with {!Sim_engine.Metrics.absorb}. *)
+
+val shard_fabrics : world -> Simnet.Fabric.t array
+(** One fabric replica per shard ([[|fabric|]] sequentially). *)
+
+val window_rounds : world -> int
+(** Window-barrier rounds completed by the last {!run}; 0 on a
+    sequential world. *)
+
+val lookahead : world -> Sim_engine.Time_ns.t option
+(** The conservative window width, if parallel. *)
 
 val host_cpu_of_rank : world -> int -> Sim_engine.Cpu.t
 (** The host processor a rank's compute runs on. *)
@@ -108,13 +182,17 @@ val spawn_ranks : world -> (rank:int -> unit) -> unit
 val run : ?until:Sim_engine.Time_ns.t -> world -> unit
 (** Drive the simulation to quiescence ({!Sim_engine.Scheduler.run});
     deadlocks (e.g. a rank blocked on a message that never comes) raise
-    {!Sim_engine.Scheduler.Deadlock}. *)
+    {!Sim_engine.Scheduler.Deadlock}. On a parallel world this runs the
+    window barrier ({!Sim_engine.Shard.run}): shard 0 on the calling
+    domain, the rest on spawned domains, deadlock detection aggregated
+    across shards. *)
 
 val launch :
   ?profile:Simnet.Profile.t ->
   ?transport:transport_kind ->
   ?procs_per_node:int ->
   ?seed:int ->
+  ?domains:int ->
   nodes:int ->
   (world -> rank:int -> unit) ->
   world
@@ -128,6 +206,7 @@ val launch_mpi :
   ?transport:transport_kind ->
   ?procs_per_node:int ->
   ?seed:int ->
+  ?domains:int ->
   ?backend:[ `Portals | `Gm ] ->
   ?portals_config:Mpi.Mpi_portals.config ->
   ?gm_config:Mpi.Mpi_gm.config ->

@@ -21,6 +21,42 @@ type shim = {
 
 type handler = src:Proc_id.t -> bytes -> unit
 
+(* Cross-shard fabric traffic as plain data. The sending shard resolves
+   every stochastic choice — fault decision, delay, partition cut, crash
+   epochs — before the message leaves its domain, so the receiving shard
+   only executes consequences against its own replica state. Closures
+   must not cross domains: they would capture the wrong shard's fabric. *)
+type remote =
+  | R_land of {
+      rl_src : Proc_id.t;
+      rl_dst : Proc_id.t;
+      rl_payload : bytes;
+      rl_decision : Fault.decision;
+      rl_cut : bool;
+      rl_src_epoch : int;
+      rl_dst_epoch : int;
+    }
+  | R_hop of {
+      rh_src : Proc_id.t;
+      rh_dst : Proc_id.t;
+      rh_payload : bytes;
+      rh_i : int; (* next hop index into the route path *)
+      rh_seq : int; (* per-pair message sequence, keys hop corruption *)
+      rh_wire_bytes : int; (* wire image of the {e original} frame *)
+      rh_decision : Fault.decision;
+      rh_cut : bool;
+      rh_src_epoch : int;
+      rh_dst_epoch : int;
+      rh_delay_by : Time_ns.t;
+      rh_clamp : bool; (* FIFO floor active, decided at send time *)
+    }
+
+type par = {
+  par_self : int;
+  par_owner : int array; (* vertex id -> shard *)
+  par_post : dst_shard:int -> time:Time_ns.t -> remote -> unit;
+}
+
 type t = {
   fabric_sched : Scheduler.t;
   fabric_profile : Profile.t;
@@ -50,6 +86,14 @@ type t = {
      delay fault actually fires. *)
   mutable fifo_clamp : bool;
   pair_arrivals : (Proc_id.t * Proc_id.t, Time_ns.t ref) Hashtbl.t;
+  (* Per-(src,dst) message sequence, maintained only when the fault model
+     has a keyed per-hop sampler; keys its draws. *)
+  send_seqs : (Proc_id.t * Proc_id.t, int ref) Hashtbl.t;
+  (* Parallel-engine hooks; None in sequential mode. In parallel mode
+     this fabric instance is one shard's replica of the world: local
+     nodes are authoritative, remote nodes are shadows kept in sync by
+     the replicated crash/partition schedules. *)
+  mutable par : par option;
   (* Fault-family probes are registered on first use so a fault-free
      run's metric snapshot stays exactly what it was before the
      corruption/delay/partition faults existed. *)
@@ -102,6 +146,8 @@ let create ?(topology = Topology.Full) ?queue_limit sched ~profile ~nodes =
       partitions = [];
       fifo_clamp = false;
       pair_arrivals = Hashtbl.create 16;
+      send_seqs = Hashtbl.create 16;
+      par = None;
       fault_probes_on = false;
       partition_probe_on = false;
       sent = Stats.Counter.create ~name:"fabric.sent" ();
@@ -205,14 +251,37 @@ let is_registered t pid = find_handler t pid <> None
 let is_node_up t nid = Node.is_up (node t nid)
 let incarnation t nid = Node.incarnation (node t nid)
 
+let set_par t ~self ~owner ~post =
+  if t.par <> None then invalid_arg "Fabric.set_par: already sharded";
+  let vertices = max (Topology.vertex_count t.topo) (Array.length t.nodes) in
+  t.par <- Some { par_self = self; par_owner = Array.init vertices owner; par_post = post }
+
+let shard_self t = match t.par with None -> 0 | Some p -> p.par_self
+
+(* Whether this fabric instance is the authority for [nid] — always, in
+   sequential mode. Shadow replicas mirror crash/restart state but must
+   not double-count it. *)
+let owns t nid =
+  match t.par with None -> true | Some p -> p.par_owner.(nid) = p.par_self
+
+(* Conservative: a replica can only rule out an endpoint it is the
+   authority for. Remote handler tables live on the owning shard. *)
+let endpoint_live t pid = if owns t pid.Proc_id.nid then is_registered t pid else true
+
 let append_listener arr f = Array.append arr [| f |]
 let on_crash t f = t.crash_listeners <- append_listener t.crash_listeners f
 let on_restart t f = t.restart_listeners <- append_listener t.restart_listeners f
 
+(* In parallel mode this runs on {e every} shard at the same simulated
+   time (the schedule is replicated), so each shard's replica of the
+   victim flips state in lockstep; only the owner counts the event, and
+   the kill/handler-clear parts are naturally no-ops on shadows (remote
+   nodes have no fibers or handlers on this shard). Listeners fire on
+   every shard: each shard's shims and monitors track all peers. *)
 let crash t nid =
   let n = node t nid in
   Node.crash n;
-  Stats.Counter.incr t.crash_count;
+  if owns t nid then Stats.Counter.incr t.crash_count;
   (* Volatile state dies with the node: its processes disappear from the
      fabric and its resident fibers are destroyed. *)
   Array.fill t.handlers.(nid) 0 (Array.length t.handlers.(nid)) None;
@@ -222,7 +291,7 @@ let crash t nid =
 let restart t nid =
   let n = node t nid in
   Node.restart n;
-  Stats.Counter.incr t.restart_count;
+  if owns t nid then Stats.Counter.incr t.restart_count;
   Array.iter (fun f -> f nid) t.restart_listeners
 
 let apply_crash_schedule t schedule =
@@ -336,19 +405,37 @@ let mutate_counted t c payload =
 (* On multi-hop routes the end-to-end fault sample covers the first hop;
    each later hop re-samples, honouring only [Corrupt] outcomes, so a
    long route accumulates more bit damage than a short one while
-   loss/delay/duplication stay end-to-end properties. Skipped entirely
-   for models that cannot corrupt, keeping their PRNG streams as they
-   were before corruption existed. *)
-let per_hop_corrupt t ~src ~dst payload =
+   loss/delay/duplication stay end-to-end properties. The re-sample is
+   the model's {e keyed} sampler — a pure function of (pair, message
+   sequence, hop index) — so a route crossing shard boundaries draws the
+   same damage no matter which domain executes which hop. Models that
+   cannot corrupt have no sampler and cost nothing here. *)
+let per_hop_corrupt t ~src ~dst ~seq ~hop payload =
   match t.fault with
-  | Some f when Fault.can_corrupt f -> (
-    match
-      Fault.decide f ~now:(Scheduler.now t.fabric_sched) ~src ~dst
-        ~len:(Bytes.length payload)
-    with
-    | Fault.Corrupt c -> mutate_counted t c payload
-    | _ -> payload)
-  | _ -> payload
+  | Some f -> (
+    match Fault.hop_sample f with
+    | Some sample -> (
+      match sample ~src ~dst ~seq ~hop ~len:(Bytes.length payload) with
+      | Some c -> mutate_counted t c payload
+      | None -> payload)
+    | None -> payload)
+  | None -> payload
+
+(* Per-pair send sequence, maintained only when keyed hop sampling needs
+   it: the count is then a pure function of the pair's send history, so
+   sequential and parallel runs agree on every key. *)
+let next_send_seq t ~src ~dst =
+  match t.fault with
+  | Some f when Fault.hop_sample f <> None -> (
+    match Hashtbl.find_opt t.send_seqs (src, dst) with
+    | Some r ->
+      let v = !r in
+      r := v + 1;
+      v
+    | None ->
+      Hashtbl.replace t.send_seqs (src, dst) (ref 1);
+      0)
+  | _ -> 0
 
 let clamp_arrival t ~src ~dst arrival =
   match Hashtbl.find_opt t.pair_arrivals (src, dst) with
@@ -359,6 +446,101 @@ let clamp_arrival t ~src ~dst arrival =
   | None ->
     Hashtbl.replace t.pair_arrivals (src, dst) (ref arrival);
     arrival
+
+(* Landing: the message has reached its destination at the current
+   simulated time; apply the decision resolved at send time. Runs on the
+   destination's owner shard, so every land-side counter is incremented
+   exactly once across the world. *)
+let land_msg t ~src ~dst ~decision ~cut ~src_epoch ~dst_epoch payload =
+  let sender = node t src.Proc_id.nid and receiver = node t dst.Proc_id.nid in
+  if
+    Node.crashes sender <> src_epoch
+    || Node.crashes receiver <> dst_epoch
+    || not (Node.is_up receiver)
+  then Stats.Counter.incr t.drop_crashed
+  else if cut then Stats.Counter.incr t.drop_partitioned
+  else
+    match decision with
+    | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
+    | Fault.Deliver | Fault.Delay _ -> arrive t ~src ~dst payload
+    | Fault.Corrupt c -> arrive t ~src ~dst (mutate_counted t c payload)
+    | Fault.Duplicate ->
+      Stats.Counter.incr t.dup_injected;
+      arrive t ~src ~dst payload;
+      arrive t ~src ~dst payload
+
+(* Store-and-forward over the hop path: at each hop the message
+   FIFO-queues on the shared link, occupies it for its full wire image,
+   then propagates to the next vertex. A hop whose queue is over the
+   limit drops the message — to the layers above (and to
+   [lib/reliability]) this is indistinguishable from wire loss. Each hop
+   executes on the shard owning the link's source vertex; advancing to a
+   vertex owned elsewhere posts the remaining journey as plain data. *)
+let rec hop_step t ~src ~dst ~seq ~i ~wire_bytes ~decision ~cut ~src_epoch
+    ~dst_epoch ~delay_by ~clamp payload =
+  let path = route t ~src:src.Proc_id.nid ~dst:dst.Proc_id.nid in
+  if i >= Array.length path then begin
+    let now = Scheduler.now t.fabric_sched in
+    let arrival = Time_ns.add now delay_by in
+    let arrival = if clamp then clamp_arrival t ~src ~dst arrival else arrival in
+    if Time_ns.compare arrival now = 0 then
+      land_msg t ~src ~dst ~decision ~cut ~src_epoch ~dst_epoch payload
+    else
+      Scheduler.at t.fabric_sched arrival (fun () ->
+          land_msg t ~src ~dst ~decision ~cut ~src_epoch ~dst_epoch payload)
+  end
+  else begin
+    let payload =
+      if i = 0 then payload else per_hop_corrupt t ~src ~dst ~seq ~hop:i payload
+    in
+    let flow = (src.Proc_id.nid * Array.length t.nodes) + dst.Proc_id.nid in
+    match Link.transmit t.hop_links.(path.(i)) ~flow ~bytes:wire_bytes () with
+    | `Dropped -> Stats.Counter.incr t.drop_congested
+    | `Accepted arrival -> (
+      let next_v =
+        if i + 1 >= Array.length path then dst.Proc_id.nid
+        else (Topology.link t.topo path.(i + 1)).Topology.src_v
+      in
+      match t.par with
+      | Some p when p.par_owner.(next_v) <> p.par_self ->
+        p.par_post ~dst_shard:p.par_owner.(next_v) ~time:arrival
+          (R_hop
+             {
+               rh_src = src;
+               rh_dst = dst;
+               rh_payload = payload;
+               rh_i = i + 1;
+               rh_seq = seq;
+               rh_wire_bytes = wire_bytes;
+               rh_decision = decision;
+               rh_cut = cut;
+               rh_src_epoch = src_epoch;
+               rh_dst_epoch = dst_epoch;
+               rh_delay_by = delay_by;
+               rh_clamp = clamp;
+             })
+      | _ ->
+        Scheduler.at t.fabric_sched arrival (fun () ->
+            hop_step t ~src ~dst ~seq ~i:(i + 1) ~wire_bytes ~decision ~cut
+              ~src_epoch ~dst_epoch ~delay_by ~clamp payload))
+  end
+
+let exec_remote t = function
+  | R_land
+      { rl_src; rl_dst; rl_payload; rl_decision; rl_cut; rl_src_epoch;
+        rl_dst_epoch } ->
+    land_msg t ~src:rl_src ~dst:rl_dst ~decision:rl_decision ~cut:rl_cut
+      ~src_epoch:rl_src_epoch ~dst_epoch:rl_dst_epoch rl_payload
+  | R_hop
+      { rh_src; rh_dst; rh_payload; rh_i; rh_seq; rh_wire_bytes; rh_decision;
+        rh_cut; rh_src_epoch; rh_dst_epoch; rh_delay_by; rh_clamp } ->
+    hop_step t ~src:rh_src ~dst:rh_dst ~seq:rh_seq ~i:rh_i
+      ~wire_bytes:rh_wire_bytes ~decision:rh_decision ~cut:rh_cut
+      ~src_epoch:rh_src_epoch ~dst_epoch:rh_dst_epoch ~delay_by:rh_delay_by
+      ~clamp:rh_clamp rh_payload
+
+let receive_remote t ~time msg =
+  Scheduler.at t.fabric_sched time (fun () -> exec_remote t msg)
 
 let send_raw t ~src ~dst payload =
   let len = Bytes.length payload in
@@ -394,34 +576,17 @@ let send_raw t ~src ~dst payload =
         (by, reorder)
       | _ -> (Time_ns.zero, false)
     in
+    (* The FIFO floor is decided at send time and rides with the message:
+       a multi-hop landing may execute on another shard, whose own
+       fifo_clamp flag only reflects traffic {e sent} from there. *)
+    let clamp = t.fifo_clamp && not delay_reorder in
     (* Crash epochs captured at send time: if either end crashes while the
        message is in flight, it was sitting in a NIC pipeline that no
        longer exists, so it is lost even if the node is back up by
-       arrival. *)
+       arrival. The receiver's epoch reads this shard's replica, kept in
+       lockstep by the replicated crash schedule. *)
     let src_epoch = Node.crashes sender and dst_epoch = Node.crashes receiver in
-    let land_message payload =
-      if
-        Node.crashes sender <> src_epoch
-        || Node.crashes receiver <> dst_epoch
-        || not (Node.is_up receiver)
-      then Stats.Counter.incr t.drop_crashed
-      else if cut then Stats.Counter.incr t.drop_partitioned
-      else
-        match decision with
-        | Fault.Drop -> Metrics.incr (drop_pair_counter t ~src ~dst)
-        | Fault.Deliver | Fault.Delay _ -> arrive t ~src ~dst payload
-        | Fault.Corrupt c -> arrive t ~src ~dst (mutate_counted t c payload)
-        | Fault.Duplicate ->
-          Stats.Counter.incr t.dup_injected;
-          arrive t ~src ~dst payload;
-          arrive t ~src ~dst payload
-    in
-    let finalise arrival =
-      let arrival = Time_ns.add arrival delay_by in
-      if t.fifo_clamp && not delay_reorder then
-        clamp_arrival t ~src ~dst arrival
-      else arrival
-    in
+    let seq = next_send_seq t ~src ~dst in
     let path = route t ~src:src.Proc_id.nid ~dst:dst.Proc_id.nid in
     if Array.length path = 0 then begin
       (* Private-wire fast path: the seed model, kept bit-for-bit. Also
@@ -430,38 +595,34 @@ let send_raw t ~src ~dst payload =
         Link.occupy (Node.tx_link sender) (Profile.tx_time t.fabric_profile len)
       in
       let arrival =
-        finalise (Time_ns.add serialised t.fabric_profile.Profile.wire_latency)
+        Time_ns.add
+          (Time_ns.add serialised t.fabric_profile.Profile.wire_latency)
+          delay_by
       in
-      Scheduler.at t.fabric_sched arrival (fun () -> land_message payload)
+      let arrival =
+        if clamp then clamp_arrival t ~src ~dst arrival else arrival
+      in
+      match t.par with
+      | Some p when p.par_owner.(dst.Proc_id.nid) <> p.par_self ->
+        p.par_post ~dst_shard:p.par_owner.(dst.Proc_id.nid) ~time:arrival
+          (R_land
+             {
+               rl_src = src;
+               rl_dst = dst;
+               rl_payload = payload;
+               rl_decision = decision;
+               rl_cut = cut;
+               rl_src_epoch = src_epoch;
+               rl_dst_epoch = dst_epoch;
+             })
+      | _ ->
+        Scheduler.at t.fabric_sched arrival (fun () ->
+            land_msg t ~src ~dst ~decision ~cut ~src_epoch ~dst_epoch payload)
     end
     else begin
-      (* Store-and-forward over the hop path: at each hop the message
-         FIFO-queues on the shared link, occupies it for its full wire
-         image, then propagates to the next vertex. A hop whose queue is
-         over the limit drops the message — to the layers above (and to
-         [lib/reliability]) this is indistinguishable from wire loss. *)
       let wire_bytes = Profile.wire_bytes_of_len t.fabric_profile len in
-      let flow = (src.Proc_id.nid * Array.length t.nodes) + dst.Proc_id.nid in
-      let rec hop i payload =
-        if i >= Array.length path then begin
-          let arrival = finalise (Scheduler.now t.fabric_sched) in
-          if Time_ns.compare arrival (Scheduler.now t.fabric_sched) = 0 then
-            land_message payload
-          else Scheduler.at t.fabric_sched arrival (fun () -> land_message payload)
-        end
-        else begin
-          let payload =
-            if i = 0 then payload else per_hop_corrupt t ~src ~dst payload
-          in
-          match
-            Link.transmit t.hop_links.(path.(i)) ~flow ~bytes:wire_bytes ()
-          with
-          | `Dropped -> Stats.Counter.incr t.drop_congested
-          | `Accepted arrival ->
-            Scheduler.at t.fabric_sched arrival (fun () -> hop (i + 1) payload)
-        end
-      in
-      hop 0 payload
+      hop_step t ~src ~dst ~seq ~i:0 ~wire_bytes ~decision ~cut ~src_epoch
+        ~dst_epoch ~delay_by ~clamp payload
     end
   end
 

@@ -105,6 +105,15 @@ val register : t -> Proc_id.t -> (src:Proc_id.t -> bytes -> unit) -> unit
 val unregister : t -> Proc_id.t -> unit
 val is_registered : t -> Proc_id.t -> bool
 
+val endpoint_live : t -> Proc_id.t -> bool
+(** Conservative liveness: [false] only when {e this} replica is the
+    authority for the process's node and no handler is registered there.
+    Equals {!is_registered} on a sequential fabric; on a shard it
+    answers [true] for remotely-owned processes, whose handler tables
+    live on the owning shard. Fail-fast guards (e.g. the RTS/CTS
+    rendezvous check) must use this rather than {!is_registered}, which
+    only sees local registrations. *)
+
 val send : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
 (** Inject a message. Returns immediately; delivery happens via scheduled
     events. The payload is not copied — callers must not mutate it after
@@ -219,3 +228,38 @@ val deliver : t -> src:Proc_id.t -> dst:Proc_id.t -> bytes -> unit
     for each message they accept. *)
 
 val stats : t -> stats
+
+(** {1 Parallel sharding}
+
+    In a parallel run ([Runtime] with [--domains N]) each shard holds a
+    full fabric instance over its own scheduler: nodes it owns are
+    authoritative (handlers, fibers, links), the rest are shadow replicas
+    whose crash/partition state is kept in lockstep by replicating the
+    schedules to every shard. A message whose next step belongs to
+    another shard leaves as an opaque {!remote} value — plain data, every
+    stochastic choice already resolved — posted through the hook
+    installed by {!set_par} and re-entered on the owning shard via
+    {!receive_remote}. *)
+
+type remote
+(** One cross-shard fabric message (a landing or a hop continuation).
+    Opaque: the runtime only shuttles these between shards. *)
+
+val set_par :
+  t ->
+  self:int ->
+  owner:(int -> int) ->
+  post:(dst_shard:int -> time:Sim_engine.Time_ns.t -> remote -> unit) ->
+  unit
+(** Mark this fabric as shard [self]; [owner] maps each topology vertex
+    (compute node or switch) to its owning shard, and [post] forwards a
+    {!remote} for delivery at [time] on [dst_shard]. Raises
+    [Invalid_argument] if already sharded. *)
+
+val shard_self : t -> int
+(** This fabric's shard id; 0 in sequential mode. *)
+
+val receive_remote : t -> time:Sim_engine.Time_ns.t -> remote -> unit
+(** Schedule a posted {!remote} for execution at [time] on this shard's
+    scheduler. Called (in deterministic drain order) by the shard
+    runtime's deliver callback. *)

@@ -9,6 +9,16 @@ type decision =
   | Corrupt of corruption
   | Delay of { by : Time_ns.t; reorder : bool }
 
+(* Per-hop corruption re-samples are {e keyed}, not streamed: the draw is
+   a pure function of (model seed, pair, per-pair message sequence, hop
+   index), so it does not matter on which shard — or in which global
+   event order — a hop executes. This is what lets a multi-hop route
+   cross shard boundaries in the parallel engine without sharing PRNG
+   state. *)
+type hop_sampler =
+  src:Proc_id.t -> dst:Proc_id.t -> seq:int -> hop:int -> len:int ->
+  corruption option
+
 type t = {
   label : string;
   f : now:Time_ns.t -> src:Proc_id.t -> dst:Proc_id.t -> len:int -> decision;
@@ -17,6 +27,9 @@ type t = {
          skip per-hop re-sampling for models that never mutate bytes, so
          their multi-hop PRNG streams stay what they were before
          corruption existed. *)
+  hop : hop_sampler option;
+      (* Keyed per-hop re-sample; [None] for models that never corrupt
+         and for [custom] models (whose closure cannot be keyed). *)
 }
 
 let none =
@@ -24,28 +37,49 @@ let none =
     label = "none";
     f = (fun ~now:_ ~src:_ ~dst:_ ~len:_ -> Deliver);
     corrupting = false;
+    hop = None;
   }
 
 let clamp01 p = if p < 0. then 0. else if p > 1. then 1. else p
 
-let bernoulli ?(seed = 0) ~p () =
-  let p = clamp01 p in
-  let prng = Prng.create ~seed in
-  {
-    label = Printf.sprintf "bernoulli(p=%g)" p;
-    f =
-      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
-        if Prng.float prng 1.0 < p then Drop else Deliver);
-    corrupting = false;
-  }
-
 (* Each pair gets a chain with its own PRNG derived from the model seed
    and the pair identity, so the stream one pair sees does not depend on
-   how its traffic interleaves with other pairs'. *)
+   how its traffic interleaves with other pairs'. Under the parallel
+   engine this is load-bearing for every stochastic model, not just
+   gilbert: a pair's draws happen in its sender's program order, which is
+   deterministic per shard, while any shared stream would be consumed in
+   global event order — an artifact of the partitioning. *)
 let pair_seed seed (src : Proc_id.t) (dst : Proc_id.t) =
   let mix acc v = (acc * 0x100000001b3) lxor v in
   List.fold_left mix seed
     [ src.Proc_id.nid; src.Proc_id.pid; dst.Proc_id.nid; dst.Proc_id.pid ]
+
+let hop_key seed (src : Proc_id.t) (dst : Proc_id.t) ~seq ~hop =
+  let mix acc v = (acc * 0x100000001b3) lxor v in
+  List.fold_left mix (pair_seed seed src dst) [ 0x9E3779B9; seq; hop ]
+
+(* Lazily-built per-pair streams backing a stochastic model instance. *)
+let per_pair_streams seed =
+  let chains : (Proc_id.t * Proc_id.t, Prng.t) Hashtbl.t = Hashtbl.create 16 in
+  fun src dst ->
+    match Hashtbl.find_opt chains (src, dst) with
+    | Some prng -> prng
+    | None ->
+      let prng = Prng.create ~seed:(pair_seed seed src dst) in
+      Hashtbl.replace chains (src, dst) prng;
+      prng
+
+let bernoulli ?(seed = 0) ~p () =
+  let p = clamp01 p in
+  let stream = per_pair_streams seed in
+  {
+    label = Printf.sprintf "bernoulli(p=%g)" p;
+    f =
+      (fun ~now:_ ~src ~dst ~len:_ ->
+        if Prng.float (stream src dst) 1.0 < p then Drop else Deliver);
+    corrupting = false;
+    hop = None;
+  }
 
 let gilbert ?(seed = 0) ?(p_loss_bad = 1.0) ~p_enter ~p_exit () =
   let p_enter = clamp01 p_enter
@@ -75,31 +109,43 @@ let gilbert ?(seed = 0) ?(p_loss_bad = 1.0) ~p_enter ~p_exit () =
          else if Prng.float prng 1.0 < p_enter then bad := true);
         if !bad && Prng.float prng 1.0 < p_loss_bad then Drop else Deliver);
     corrupting = false;
+    hop = None;
   }
 
 let duplicator ?(seed = 0) ~p () =
   let p = clamp01 p in
-  let prng = Prng.create ~seed in
+  let stream = per_pair_streams seed in
   {
     label = Printf.sprintf "duplicator(p=%g)" p;
     f =
-      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
-        if Prng.float prng 1.0 < p then Duplicate else Deliver);
+      (fun ~now:_ ~src ~dst ~len:_ ->
+        if Prng.float (stream src dst) 1.0 < p then Duplicate else Deliver);
     corrupting = false;
+    hop = None;
   }
+
+let sample_corruption prng ~p ~len =
+  if Prng.float prng 1.0 >= p || len = 0 then None
+  else if Prng.float prng 1.0 < 0.25 then
+    Some (Truncate { keep = Prng.int prng len })
+  else Some (Flip { bit = Prng.int prng (len * 8) })
 
 let corrupt ?(seed = 0) ~p () =
   let p = clamp01 p in
-  let prng = Prng.create ~seed in
+  let stream = per_pair_streams seed in
   {
     label = Printf.sprintf "corrupt(p=%g)" p;
     f =
-      (fun ~now:_ ~src:_ ~dst:_ ~len ->
-        if Prng.float prng 1.0 >= p || len = 0 then Deliver
-        else if Prng.float prng 1.0 < 0.25 then
-          Corrupt (Truncate { keep = Prng.int prng len })
-        else Corrupt (Flip { bit = Prng.int prng (len * 8) }));
+      (fun ~now:_ ~src ~dst ~len ->
+        match sample_corruption (stream src dst) ~p ~len with
+        | Some c -> Corrupt c
+        | None -> Deliver);
     corrupting = true;
+    hop =
+      Some
+        (fun ~src ~dst ~seq ~hop ~len ->
+          let prng = Prng.create ~seed:(hop_key seed src dst ~seq ~hop) in
+          sample_corruption prng ~p ~len);
   }
 
 (* A mutated frame is always a fresh buffer: the sender still owns the
@@ -126,20 +172,21 @@ let delay ?(seed = 0) ?jitter ?(reorder = false) ~mean () =
     invalid_arg "Fault.delay: jitter must be >= 0";
   if Time_ns.compare jitter mean > 0 then
     invalid_arg "Fault.delay: jitter must not exceed the mean";
-  let prng = Prng.create ~seed in
+  let stream = per_pair_streams seed in
   {
     label =
       Printf.sprintf "delay(mean=%s,jitter=%s%s)" (Time_ns.to_string mean)
         (Time_ns.to_string jitter)
         (if reorder then ",reorder" else "");
     f =
-      (fun ~now:_ ~src:_ ~dst:_ ~len:_ ->
+      (fun ~now:_ ~src ~dst ~len:_ ->
         let by =
           if jitter = 0 then mean
-          else mean - jitter + Prng.int prng ((2 * jitter) + 1)
+          else mean - jitter + Prng.int (stream src dst) ((2 * jitter) + 1)
         in
         if by = 0 then Deliver else Delay { by; reorder });
     corrupting = false;
+    hop = None;
   }
 
 let link_flap ?(offset = Time_ns.zero) ~period ~downtime () =
@@ -157,9 +204,10 @@ let link_flap ?(offset = Time_ns.zero) ~period ~downtime () =
         let phase = ((t mod period) + period) mod period in
         if phase >= uptime then Drop else Deliver);
     corrupting = false;
+    hop = None;
   }
 
-let custom f = { label = "custom"; f; corrupting = true }
+let custom f = { label = "custom"; f; corrupting = true; hop = None }
 
 let compose models =
   match models with
@@ -186,11 +234,24 @@ let compose models =
               | None ->
                 if List.mem Duplicate decisions then Duplicate else Deliver));
       corrupting = List.exists (fun m -> m.corrupting) models;
+      hop =
+        (match List.filter_map (fun m -> m.hop) models with
+        | [] -> None
+        | hops ->
+          Some
+            (fun ~src ~dst ~seq ~hop ~len ->
+              List.fold_left
+                (fun acc h ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> h ~src ~dst ~seq ~hop ~len)
+                None hops));
     }
 
 let decide t ~now ~src ~dst ~len = t.f ~now ~src ~dst ~len
 let describe t = t.label
 let can_corrupt t = t.corrupting
+let hop_sample t = t.hop
 
 type crash_event = {
   victim : Proc_id.nid;

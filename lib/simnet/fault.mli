@@ -99,7 +99,11 @@ val custom :
   len:int ->
   decision) ->
   t
-(** Arbitrary decision function; may close over its own state. *)
+(** Arbitrary decision function; may close over its own state. Custom
+    models have no keyed per-hop sampler (their corruption, if any, is
+    end-to-end only), and a closure over shared state is the one model
+    kind whose draws can depend on global event order — the parallel
+    engine's same-seed determinism guarantee does not extend to it. *)
 
 val compose : t list -> t
 (** Evaluate every model on every message (so each model's PRNG stream
@@ -112,6 +116,18 @@ val can_corrupt : t -> bool
     corrupting models at each hop of a multi-hop route (per-hop
     corruption) and skips the re-sampling entirely for models that
     cannot, keeping their PRNG streams unchanged. *)
+
+type hop_sampler =
+  src:Proc_id.t -> dst:Proc_id.t -> seq:int -> hop:int -> len:int ->
+  corruption option
+(** Keyed per-hop corruption re-sample: a pure function of (model seed,
+    pair, per-pair message sequence [seq], hop index), independent of
+    execution order — so a route may cross shard boundaries in the
+    parallel engine without sharing PRNG state. *)
+
+val hop_sample : t -> hop_sampler option
+(** The model's keyed per-hop sampler, if it can corrupt ([None] for
+    non-corrupting and [custom] models). *)
 
 val decide :
   t ->

@@ -1,0 +1,79 @@
+open Sim_engine
+
+(* Node-to-shard partitioning for the parallel engine, plus the
+   conservative lookahead bound the window barrier runs on.
+
+   Compute nodes are split into contiguous, balanced blocks of ids. With
+   row-major torus numbering this makes each shard a stripe of rows, so
+   cut links — links whose endpoints live on different shards — are only
+   the stripe boundaries: the partition a human would draw, obtained for
+   free from the id layout. Switch vertices of indirect topologies
+   (fat-tree) are assigned deterministically by folding the vertex id
+   back onto the compute range.
+
+   The lookahead is the minimum latency of any cut link: an event on one
+   shard can only affect another after at least one cut-link crossing,
+   so every shard may run [lookahead] ahead of the rest without
+   communication. On the full topology every cross-node message pays the
+   profile wire latency, which is therefore the bound. *)
+
+type t = {
+  shards : int;
+  nodes : int;
+  owner : int array; (* vertex id -> shard *)
+  lookahead : Time_ns.t;
+}
+
+let node_owner ~nodes ~shards nid =
+  (* Contiguous balanced blocks: block k covers ids
+     [k*nodes/shards, (k+1)*nodes/shards). *)
+  min (shards - 1) (nid * shards / nodes)
+
+let build topo ~(profile : Profile.t) ~shards =
+  let nodes = Topology.nodes topo in
+  if shards < 1 then invalid_arg "Shard_map.build: need at least one shard";
+  if shards > nodes then
+    invalid_arg
+      (Printf.sprintf "Shard_map.build: %d shards but only %d nodes" shards
+         nodes);
+  let vertices = Topology.vertex_count topo in
+  let owner =
+    Array.init vertices (fun v ->
+        node_owner ~nodes ~shards (if v < nodes then v else v mod nodes))
+  in
+  let lookahead = ref profile.Profile.wire_latency in
+  (* All hop links currently share the profile wire latency (the fabric
+     creates them that way), but derive the bound from the cut honestly
+     so per-link latencies can diverge later without touching this. *)
+  for id = 0 to Topology.link_count topo - 1 do
+    let l = Topology.link topo id in
+    if owner.(l.Topology.src_v) <> owner.(l.Topology.dst_v) then
+      lookahead := min !lookahead profile.Profile.wire_latency
+  done;
+  if shards > 1 && Time_ns.compare !lookahead Time_ns.zero <= 0 then
+    invalid_arg "Shard_map.build: zero-latency cut link admits no lookahead";
+  { shards; nodes; owner; lookahead = !lookahead }
+
+let shards t = t.shards
+let lookahead t = t.lookahead
+
+let owner t v =
+  if v < 0 || v >= Array.length t.owner then
+    invalid_arg (Printf.sprintf "Shard_map.owner: vertex %d out of range" v);
+  t.owner.(v)
+
+let nodes_of t shard =
+  let acc = ref [] in
+  for nid = t.nodes - 1 downto 0 do
+    if t.owner.(nid) = shard then acc := nid :: !acc
+  done;
+  !acc
+
+let cut_links t topo =
+  let acc = ref [] in
+  for id = Topology.link_count topo - 1 downto 0 do
+    let l = Topology.link topo id in
+    if t.owner.(l.Topology.src_v) <> t.owner.(l.Topology.dst_v) then
+      acc := id :: !acc
+  done;
+  !acc

@@ -11,3 +11,4 @@ module Crc32c = Crc32c
 module Integrity = Integrity
 module Fabric = Fabric
 module Transport = Transport
+module Shard_map = Shard_map

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Merge several BENCH.json passes into one baseline (best pass per id).
+
+Usage: merge_baselines.py BENCH.1.json [BENCH.2.json ...] > baseline.json
+
+For every record id, keep the record from the pass with the highest
+events_per_sec (ties: first pass wins). The perf gate compares against
+the machine's best observed rate, so a regression has to be real, not a
+one-off scheduler hiccup. Record ids present in only some passes are
+kept from whichever passes have them.
+"""
+
+import json
+import sys
+
+
+def main(paths):
+    if not paths:
+        sys.exit("usage: merge_baselines.py BENCH.json [BENCH.json ...]")
+    schema = None
+    best = {}
+    order = []
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if schema is None:
+            schema = doc.get("schema", "portals-bench/1")
+        elif doc.get("schema", schema) != schema:
+            sys.exit(f"{path}: schema {doc.get('schema')!r} != {schema!r}")
+        for rec in doc.get("records", []):
+            rid = rec["id"]
+            if rid not in best:
+                order.append(rid)
+                best[rid] = rec
+            elif rec.get("events_per_sec", 0.0) > best[rid].get(
+                "events_per_sec", 0.0
+            ):
+                best[rid] = rec
+    out = {"schema": schema, "records": [best[rid] for rid in order]}
+    json.dump(out, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

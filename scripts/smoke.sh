@@ -116,4 +116,22 @@ for bad in "corrupt:2" "delay:10:20" "partition:0|1@50:20"; do
   grep -q 'bad fault spec' "$OUT/chaos_spec.err"
 done
 
+echo "== smoke: parallel determinism (--domains 1 vs 4, fixed seeds) =="
+# The parallel engine's contract: same seed, same world => byte-identical
+# output at any domain count. The headline figure, the chaos quick grid
+# (faults, partitions, crashes and RMA included) and the PAR delivery
+# digest must all match the sequential reference exactly.
+$DUNE exec bin/portals_repro.exe -- fig6 --seed 42 > "$OUT/fig6.d1.out"
+$DUNE exec bin/portals_repro.exe -- fig6 --seed 42 --domains 4 \
+  > "$OUT/fig6.d4.out"
+diff "$OUT/fig6.d1.out" "$OUT/fig6.d4.out"
+$DUNE exec bin/portals_repro.exe -- chaos --quick --run-seed 0 \
+  > "$OUT/chaos.d1.out"
+$DUNE exec bin/portals_repro.exe -- chaos --quick --run-seed 0 --domains 4 \
+  > "$OUT/chaos.d4.out"
+diff "$OUT/chaos.d1.out" "$OUT/chaos.d4.out"
+$DUNE exec bin/portals_repro.exe -- par --check --domains 4 --run-seed 7 \
+  | tee "$OUT/par.out"
+grep -q 'domains=1 and domains=4 agree' "$OUT/par.out"
+
 echo "== smoke: ok =="

@@ -829,6 +829,119 @@ let metrics_tests =
           = 0));
   ]
 
+(* --- parallel shard runtime ------------------------------------------- *)
+
+let shard_tests =
+  let lookahead = Time_ns.ns 1000 in
+  let make_pair () =
+    [| Scheduler.create ~seed:1 (); Scheduler.create ~seed:2 () |]
+  in
+  [
+    Alcotest.test_case "two shards ping-pong across window boundaries" `Quick
+      (fun () ->
+        let scheds = make_pair () in
+        let t = Shard.create ~scheds ~lookahead () in
+        let hops = ref [] in
+        (* Each delivery re-posts to the peer one lookahead later, so
+           the message must cross a window boundary every time. *)
+        let bounce shard v =
+          hops := (shard, Scheduler.now scheds.(shard), v) :: !hops;
+          if v < 20 then
+            Shard.post t ~src:shard ~dst:(1 - shard)
+              ~time:(Time_ns.add (Scheduler.now scheds.(shard)) lookahead)
+              (v + 1)
+        in
+        Scheduler.at scheds.(0) Time_ns.zero (fun () -> bounce 0 0);
+        Shard.run t ~deliver:(fun ~shard ~time v ->
+            Scheduler.at scheds.(shard) time (fun () -> bounce shard v));
+        let hops = List.rev !hops in
+        Alcotest.(check int) "hop count" 21 (List.length hops);
+        List.iteri
+          (fun v (shard, time, v') ->
+            Alcotest.(check int) "value in order" v v';
+            Alcotest.(check int) "alternating shard" (v mod 2) shard;
+            Alcotest.(check int) "arithmetic arrival" (v * 1000) time)
+          hops;
+        Alcotest.(check bool) "needed at least one round per hop" true
+          (Shard.rounds t >= 20));
+    Alcotest.test_case "posts inside the current window are rejected" `Quick
+      (fun () ->
+        let scheds = make_pair () in
+        let t = Shard.create ~scheds ~lookahead () in
+        Scheduler.at scheds.(0) Time_ns.zero (fun () ->
+            (* time = now violates the lookahead bound. *)
+            Shard.post t ~src:0 ~dst:1 ~time:Time_ns.zero 0);
+        Alcotest.(check bool) "raises" true
+          (match Shard.run t ~deliver:(fun ~shard:_ ~time:_ _ -> ()) with
+          | () -> false
+          | exception Invalid_argument _ -> true));
+    Alcotest.test_case "a shard failure aborts the whole run" `Quick (fun () ->
+        let scheds = make_pair () in
+        let t = Shard.create ~scheds ~lookahead () in
+        Scheduler.at scheds.(1) (Time_ns.ns 5) (fun () -> failwith "boom");
+        (* Keep shard 0 busy far past the failure point. *)
+        for k = 0 to 99 do
+          Scheduler.at scheds.(0) (Time_ns.ns (10 * k)) ignore
+        done;
+        Alcotest.(check bool) "re-raised" true
+          (match Shard.run t ~deliver:(fun ~shard:_ ~time:_ _ -> ()) with
+          | () -> false
+          | exception Failure msg -> msg = "boom"));
+    Alcotest.test_case "deadlock detection aggregates across shards" `Quick
+      (fun () ->
+        let scheds = make_pair () in
+        let t = Shard.create ~scheds ~lookahead () in
+        Scheduler.spawn scheds.(1) ~name:"stuck" (fun () ->
+            ignore (Sync.Ivar.read (Sync.Ivar.create scheds.(1))));
+        Alcotest.(check bool) "deadlock" true
+          (match Shard.run t ~deliver:(fun ~shard:_ ~time:_ _ -> ()) with
+          | () -> false
+          | exception Scheduler.Deadlock _ -> true);
+        (* allow_blocked downgrades it, as in the sequential runner. *)
+        let scheds = make_pair () in
+        let t = Shard.create ~scheds ~lookahead () in
+        Scheduler.spawn scheds.(1) ~name:"stuck" (fun () ->
+            ignore (Sync.Ivar.read (Sync.Ivar.create scheds.(1))));
+        Shard.run ~allow_blocked:true t ~deliver:(fun ~shard:_ ~time:_ _ -> ()));
+    Alcotest.test_case "window width validation" `Quick (fun () ->
+        Alcotest.(check bool) "zero lookahead rejected" true
+          (match Shard.create ~scheds:(make_pair ()) ~lookahead:0 () with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+    Alcotest.test_case "derive matches derived_seed" `Quick (fun () ->
+        let a = Prng.derive ~seed:42 ~index:3 in
+        let b = Prng.create ~seed:(Prng.derived_seed ~seed:42 ~index:3) in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+        done);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"derived shard streams never correlate with the root" ~count:100
+         QCheck.(pair small_int (int_range 1 8))
+         (fun (seed, shards) ->
+           (* Collect a prefix of the sequential stream and of every
+              derived per-shard stream; any shared value would betray a
+              coincident or shifted stream (64-bit collisions between
+              genuinely distinct splitmix streams are negligible). *)
+           let prefix p = List.init 32 (fun _ -> Prng.bits64 p) in
+           let root = prefix (Prng.create ~seed) in
+           let streams =
+             List.init shards (fun k -> prefix (Prng.derive ~seed ~index:(k + 1)))
+           in
+           List.for_all
+             (fun s -> List.for_all (fun v -> not (List.mem v root)) s)
+             streams
+           && (* …and the derived streams are pairwise disjoint too. *)
+           List.for_all
+             (fun (a, b) -> List.for_all (fun v -> not (List.mem v b)) a)
+             (List.concat_map
+                (fun (i, a) ->
+                  List.filter_map
+                    (fun (j, b) -> if i < j then Some (a, b) else None)
+                    (List.mapi (fun j b -> (j, b)) streams))
+                (List.mapi (fun i a -> (i, a)) streams))));
+  ]
+
 let () =
   Alcotest.run "sim_engine"
     [
@@ -841,4 +954,5 @@ let () =
       ("stats", stats_tests);
       ("trace", trace_tests);
       ("metrics", metrics_tests);
+      ("shard", shard_tests);
     ]

@@ -391,6 +391,141 @@ let liveness_tests =
             Runtime.Liveness.start ~monitor:7 ~until:(Time_ns.us 1000.) world));
   ]
 
+(* --- parallel worlds --------------------------------------------------- *)
+
+(* One deterministic messaging pattern over a raw fabric; returns every
+   delivery as (dst, arrival_ns, src, len) plus the fabric totals summed
+   across shards — the signature that must be invariant in the domain
+   count. *)
+let par_signature ~domains ~nodes ?topology () =
+  let world = Runtime.create_world ~domains ~seed:42 ?topology ~nodes () in
+  let proc nid = Simnet.Proc_id.make ~nid ~pid:0 in
+  let log = Array.make nodes [] in
+  for nid = 0 to nodes - 1 do
+    let sched = Runtime.sched_of_nid world nid in
+    Simnet.Fabric.register
+      (Runtime.fabric_of_nid world nid)
+      (proc nid)
+      (fun ~src payload ->
+        log.(nid) <-
+          (Scheduler.now sched, src.Simnet.Proc_id.nid, Bytes.length payload)
+          :: log.(nid))
+  done;
+  (* Bursts from every node to a near and a far peer: the far peer lives
+     on another shard under any contiguous split, so remote landings —
+     and on a torus, remote hop continuations — are exercised. *)
+  for nid = 0 to nodes - 1 do
+    let sched = Runtime.sched_of_nid world nid in
+    let fabric = Runtime.fabric_of_nid world nid in
+    for k = 0 to 3 do
+      Scheduler.at sched
+        (Time_ns.us (float_of_int (5 * k)))
+        (fun () ->
+          Simnet.Fabric.send fabric ~src:(proc nid)
+            ~dst:(proc ((nid + 1) mod nodes))
+            (Bytes.create (48 + (16 * k)));
+          Simnet.Fabric.send fabric ~src:(proc nid)
+            ~dst:(proc ((nid + (nodes / 2)) mod nodes))
+            (Bytes.create 32))
+    done
+  done;
+  Runtime.run world;
+  let sum f =
+    Array.fold_left
+      (fun acc fab -> acc + f (Simnet.Fabric.stats fab))
+      0 (Runtime.shard_fabrics world)
+  in
+  let totals =
+    Simnet.Fabric.
+      [
+        sum (fun s -> s.messages_sent);
+        sum (fun s -> s.bytes_sent);
+        sum (fun s -> s.messages_delivered);
+        sum (fun s -> s.drops_unregistered);
+        sum (fun s -> s.drops_injected);
+        sum (fun s -> s.drops_congested);
+        sum (fun s -> s.drops_crashed);
+        sum (fun s -> s.drops_partitioned);
+        sum (fun s -> s.dups_injected);
+        sum (fun s -> s.corrupts_injected);
+        sum (fun s -> s.delays_injected);
+      ]
+  in
+  (Array.to_list (Array.map List.rev log), totals)
+
+let check_par_matches_seq ~nodes ?topology () =
+  let seq_log, seq_totals = par_signature ~domains:1 ~nodes ?topology () in
+  let par_log, par_totals = par_signature ~domains:4 ~nodes ?topology () in
+  Alcotest.(check (list (list (triple int int int))))
+    "same per-node delivery history" seq_log par_log;
+  Alcotest.(check (list int)) "same fabric totals" seq_totals par_totals
+
+let with_run_env ~fault ~crashes f =
+  Runtime.set_run_env ~fault ~crashes ();
+  Fun.protect ~finally:(fun () -> Runtime.set_run_env ~fault:"" ~crashes:"" ()) f
+
+let par_tests =
+  [
+    Alcotest.test_case "same seed, 1 vs 4 domains: clean full fabric" `Quick
+      (fun () -> check_par_matches_seq ~nodes:8 ());
+    Alcotest.test_case "same seed, 1 vs 4 domains: clean torus" `Quick
+      (fun () ->
+        check_par_matches_seq ~nodes:16
+          ~topology:(Simnet.Topology.of_spec ~nodes:16 "torus2d")
+          ());
+    Alcotest.test_case "same seed, 1 vs 4 domains: faults and crashes" `Quick
+      (fun () ->
+        with_run_env ~fault:"corrupt:0.3+delay:3:1" ~crashes:"2@8:80"
+          (fun () -> check_par_matches_seq ~nodes:8 ()));
+    Alcotest.test_case
+      "same seed, 1 vs 4 domains: multi-hop faults on a torus" `Quick
+      (fun () ->
+        with_run_env ~fault:"bernoulli:0.1+corrupt:0.25" ~crashes:""
+          (fun () ->
+            check_par_matches_seq ~nodes:16
+              ~topology:(Simnet.Topology.of_spec ~nodes:16 "torus2d")
+              ()));
+    Alcotest.test_case "parallel world exposes shard placement" `Quick
+      (fun () ->
+        let world = Runtime.create_world ~domains:4 ~nodes:8 () in
+        Alcotest.(check int) "domains" 4 (Runtime.domains world);
+        Alcotest.(check bool) "lookahead positive" true
+          (match Runtime.lookahead world with
+          | Some l -> l > 0
+          | None -> false);
+        (* Contiguous blocks of two nodes per shard. *)
+        Alcotest.(check (list int)) "owners"
+          [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+          (List.init 8 (Runtime.shard_of_nid world));
+        for nid = 0 to 7 do
+          let shard = Runtime.shard_of_nid world nid in
+          Alcotest.(check bool) "sched matches shard" true
+            (Runtime.sched_of_nid world nid
+            == (Runtime.shard_scheds world).(shard))
+        done;
+        (* Small worlds fall back to one shard per node. *)
+        let tiny = Runtime.create_world ~domains:4 ~nodes:2 () in
+        Alcotest.(check int) "capped at nodes" 2 (Runtime.domains tiny));
+    Alcotest.test_case "launch_mpi runs a parallel job" `Quick (fun () ->
+        let total = Atomic.make 0 in
+        let world =
+          Runtime.launch_mpi ~nodes:4 ~domains:2 (fun ep ->
+              let rank = Mpi.rank ep in
+              if rank <> 0 then
+                Mpi.send ep ~dst:0 ~tag:1 (Bytes.make 1 (Char.chr rank))
+              else
+                for _ = 1 to 3 do
+                  let b = Bytes.create 1 in
+                  let _st = Mpi.recv ep ~tag:1 b in
+                  Atomic.set total (Atomic.get total + Char.code (Bytes.get b 0))
+                done)
+        in
+        Alcotest.(check int) "2 domains" 2 (Runtime.domains world);
+        Alcotest.(check bool) "windows turned" true
+          (Runtime.window_rounds world > 0);
+        Alcotest.(check int) "sum of ranks" 6 (Atomic.get total));
+  ]
+
 let () =
   Alcotest.run "runtime"
     [
@@ -398,4 +533,5 @@ let () =
       ("control", control_tests);
       ("run env", env_tests);
       ("liveness", liveness_tests);
+      ("parallel", par_tests);
     ]

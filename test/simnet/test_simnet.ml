@@ -1128,6 +1128,79 @@ let crash_tests =
         Alcotest.(check int) "incarnation bumped" 1 (Fabric.incarnation fabric 2));
   ]
 
+(* --- shard map --------------------------------------------------------- *)
+
+let shard_map_tests =
+  let profile = Profile.myrinet_mcp in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"every node owned by exactly one shard, in contiguous blocks"
+         ~count:200
+         QCheck.(pair (int_range 1 64) (int_range 1 16))
+         (fun (nodes, shards) ->
+           let shards = min shards nodes in
+           let owners =
+             List.init nodes (Shard_map.node_owner ~nodes ~shards)
+           in
+           (* In range, uses every shard, non-decreasing (= contiguous
+              blocks), and balanced to within one node. *)
+           let counts = Array.make shards 0 in
+           List.iter
+             (fun o -> counts.(o) <- counts.(o) + 1)
+             owners;
+           List.for_all (fun o -> o >= 0 && o < shards) owners
+           && Array.for_all (fun c -> c > 0) counts
+           && List.sort compare owners = owners
+           && Array.for_all
+                (fun c -> abs (c - (nodes / shards)) <= 1)
+                counts));
+    Alcotest.test_case "torus stripes: cut links cross shards only" `Quick
+      (fun () ->
+        let topo = Topology.build (Topology.of_spec ~nodes:16 "torus2d") ~nodes:16 in
+        let map = Shard_map.build topo ~profile ~shards:4 in
+        Alcotest.(check int) "shards" 4 (Shard_map.shards map);
+        (* Exactly one owner per node: shard node lists partition 0..15. *)
+        let all =
+          List.concat_map (Shard_map.nodes_of map) [ 0; 1; 2; 3 ]
+        in
+        Alcotest.(check (list int))
+          "partition" (List.init 16 Fun.id) (List.sort compare all);
+        let cuts = Shard_map.cut_links map topo in
+        Alcotest.(check bool) "some cut links" true (cuts <> []);
+        List.iter
+          (fun id ->
+            let l = Topology.link topo id in
+            Alcotest.(check bool) "endpoints on different shards" true
+              (Shard_map.owner map l.Topology.src_v
+              <> Shard_map.owner map l.Topology.dst_v))
+          cuts;
+        (* Non-cut links stay inside one shard by definition; lookahead
+           is the minimum cut-link latency — with uniform links, the
+           profile wire latency. *)
+        Alcotest.(check int)
+          "lookahead = min cut-link latency" profile.Profile.wire_latency
+          (Shard_map.lookahead map));
+    Alcotest.test_case "full topology lookahead is the wire latency" `Quick
+      (fun () ->
+        let topo = Topology.build Topology.Full ~nodes:8 in
+        let map = Shard_map.build topo ~profile ~shards:2 in
+        Alcotest.(check int) "lookahead" profile.Profile.wire_latency
+          (Shard_map.lookahead map);
+        Alcotest.(check (list int)) "no shared links to cut" []
+          (Shard_map.cut_links map topo));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let topo = Topology.build Topology.Full ~nodes:4 in
+        Alcotest.(check bool) "more shards than nodes" true
+          (match Shard_map.build topo ~profile ~shards:5 with
+          | _ -> false
+          | exception Invalid_argument _ -> true);
+        Alcotest.(check bool) "zero shards" true
+          (match Shard_map.build topo ~profile ~shards:0 with
+          | _ -> false
+          | exception Invalid_argument _ -> true));
+  ]
+
 let () =
   Alcotest.run "simnet"
     [
@@ -1143,5 +1216,6 @@ let () =
       ("corruption_delay", corruption_delay_tests);
       ("partitions", partition_tests);
       ("crash", crash_tests);
+      ("shard_map", shard_map_tests);
       ("transport", transport_tests);
     ]
