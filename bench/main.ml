@@ -31,6 +31,7 @@ type opts = {
   mutable chaos : bool;
   mutable par : bool;
   mutable min_speedup : float option;
+  mutable coll : bool;
 }
 
 let usage ppf =
@@ -59,6 +60,10 @@ let usage ppf =
      \  --domains N             shard every world across N OCaml domains@.\
      \                          (default 1, the sequential reference;@.\
      \                          same seed => same simulated history)@.\
+     \  --collectives ENGINE    collective engine for every workload:@.\
+     \                          host (host-driven trees, the default) or@.\
+     \                          nic (NIC-resident triggered chains);@.\
+     \                          results are byte-identical either way@.\
      \  --json OUT              performance mode: run every experiment@.\
      \                          metered, write records to OUT, skip the@.\
      \                          report and Bechamel (see EXPERIMENTS.md)@.\
@@ -90,6 +95,10 @@ let usage ppf =
      \  --min-speedup X         fail unless PAR.par4 events/sec is at@.\
      \                          least X times PAR.seq (the multicore CI@.\
      \                          lane gates X=2; meaningless on one core)@.\
+     \  --coll                  run the NIC-vs-host collectives experiment@.\
+     \                          only: cross-engine byte-identity check,@.\
+     \                          then the latency table (--quick shrinks@.\
+     \                          it) and, with --json, the COLL.* records@.\
      \  --help                  this message@."
 
 (* Stdlib-only parsing; every value option accepts both "--flag VALUE"
@@ -111,6 +120,7 @@ let parse_opts () =
       chaos = false;
       par = false;
       min_speedup = None;
+      coll = false;
     }
   in
   let bad what =
@@ -191,6 +201,13 @@ let parse_opts () =
       | "--par" ->
         o.par <- true;
         go rest
+      | "--coll" ->
+        o.coll <- true;
+        go rest
+      | "--collectives" ->
+        value ~what:"ENGINE" rest (fun v rest ->
+            run_env_set (fun () -> Runtime.set_run_env ~collectives:v ());
+            go rest)
       | "--min-speedup" ->
         value ~what:"X" rest (fun v rest ->
             match float_of_string_opt v with
@@ -351,6 +368,12 @@ let print_all opts =
     "RMA: one-sided windows over Portals atomics (section 4.4, MPI-2 heritage)@.";
   line ppf;
   Experiments.Rma.pp ppf (Experiments.Rma.run ());
+  line ppf;
+  Format.fprintf ppf
+    "COLL: NIC-offloaded vs host-driven collectives (sections 2/5.1 bypass; \
+     quick cells — `bench --coll` for the full sweep)@.";
+  line ppf;
+  Experiments.Coll.pp ppf (Experiments.Coll.run ~quick:true ());
   line ppf
 
 (* One Bechamel test per experiment: how long the harness takes to
@@ -472,6 +495,7 @@ let perf_mode opts out =
         ()
     @ Experiments.Chaos.perf_records ~quick:true ()
     @ Experiments.Par.perf_records ~quick:opts.quick ()
+    @ Experiments.Coll.perf_records ~quick:opts.quick ()
   in
   Experiments.Perf.pp Format.std_formatter records;
   Experiments.Perf.write_json ~path:out records;
@@ -549,6 +573,25 @@ let () =
         Experiments.Perf.write_json ~path:out records;
         Format.printf "bench: wrote %s@." out);
       speedup_gate opts records;
+      footer ~wall_s:(Unix.gettimeofday () -. t0)
+    end
+    else if opts.coll then begin
+      (* Equivalence first — a fast NIC engine that disagrees with the
+         host reference is worthless — then the latency contrast. *)
+      if not (Experiments.Coll.check ()) then begin
+        Format.eprintf "bench: coll engines disagree on the 4x4 torus@.";
+        exit 1
+      end;
+      Format.printf "coll: host and nic agree (torus2d:4x4)@.";
+      let t = Experiments.Coll.run ~quick:opts.quick () in
+      Experiments.Coll.pp Format.std_formatter t;
+      (match opts.json_out with
+      | None -> ()
+      | Some out ->
+        let records = Experiments.Coll.perf_records ~quick:opts.quick () in
+        Experiments.Perf.pp Format.std_formatter records;
+        Experiments.Perf.write_json ~path:out records;
+        Format.printf "bench: wrote %s@." out);
       footer ~wall_s:(Unix.gettimeofday () -. t0)
     end
     else

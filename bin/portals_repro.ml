@@ -142,6 +142,18 @@ let env_term =
              simulated history at any $(docv). Worlds with fewer nodes \
              than $(docv) use one shard per node.")
   in
+  let collectives =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "collectives" ] ~docv:"ENGINE"
+          ~doc:
+            "Collective engine for every workload the experiment builds: \
+             $(b,host) (default; host-driven trees, every hop a host \
+             fiber) or $(b,nic) (NIC-resident triggered chains — tree \
+             hops fire inside the interface with no host involvement). \
+             Results are byte-identical; only busy-host timing differs.")
+  in
   let perf =
     Arg.(
       value & flag
@@ -151,7 +163,7 @@ let env_term =
              events processed, fibers spawned, simulated time, wall time \
              and sim-events/sec.")
   in
-  let set loss seed fault crashes topology queue_limit domains perf =
+  let set loss seed fault crashes topology queue_limit domains collectives perf =
     if perf then begin
       let t0 = Unix.gettimeofday () in
       at_exit (fun () ->
@@ -169,7 +181,7 @@ let env_term =
     end;
     match
       Runtime.set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit
-        ?domains ()
+        ?domains ?collectives ()
     with
     | () -> `Ok ()
     | exception Invalid_argument msg -> `Error (false, msg)
@@ -177,7 +189,7 @@ let env_term =
   Term.(
     ret
       (const set $ loss $ seed $ fault $ crash $ topology $ queue_limit
-     $ domains $ perf))
+     $ domains $ collectives $ perf))
 
 (* --- observability flags ------------------------------------------------ *)
 
@@ -782,6 +794,71 @@ let par_cmd =
           must match the sequential reference bit-for-bit")
     Term.(ret (const run $ env_term $ nodes $ steps $ check $ seed $ json))
 
+let run_coll ?(quick = false) ?(check = false) ?(iters = 8) ?(seed = 0) ?json
+    () =
+  if check then begin
+    if Experiments.Coll.check ~seed () then
+      Format.fprintf ppf "coll: host and nic agree (torus2d:4x4)@."
+    else failwith "coll: host and nic engines disagree"
+  end
+  else begin
+    let t = Experiments.Coll.run ~iters ~quick ~seed () in
+    Experiments.Coll.pp ppf t
+  end;
+  match json with
+  | None -> ()
+  | Some out ->
+    let records = Experiments.Coll.perf_records ~quick ~seed () in
+    Experiments.Perf.write_json ~path:out records;
+    Format.fprintf ppf "coll: wrote %s@." out
+
+let coll_cmd =
+  let run () quick check iters seed json =
+    match run_coll ~quick ~check ~iters ~seed ?json () with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Two cells' worth of topologies/node counts.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Instead of the latency table, run a mixed \
+             allreduce/bcast/barrier/reduce workload on a 4x4 torus under \
+             both engines and fail unless every rank's bytes agree.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 8
+      & info [ "iters" ] ~docv:"N" ~doc:"Averaged calls per cell.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "run-seed" ] ~doc:"World PRNG seed")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Also meter busy-host barrier/allreduce under each engine as \
+             portals-bench/1 records (id $(b,COLL.<engine>.<op>)) and \
+             write the report to $(docv) — gated against \
+             bench/baseline.json by the CI perf gate.")
+  in
+  Cmd.v
+    (Cmd.info "coll"
+       ~doc:
+         "NIC-offloaded vs host-driven collectives: barrier/bcast/allreduce \
+          latency across topologies and node counts, host CPUs idle vs \
+          busy (COLL)")
+    Term.(ret (const run $ env_term $ quick $ check $ iters $ seed $ json))
+
 let all_cmd =
   let run () =
     Experiments.Tables.pp ppf (Experiments.Tables.run ());
@@ -895,7 +972,8 @@ let () =
               tables_cmd; protocols_cmd; translation_cmd; latency_cmd;
               bandwidth_cmd; fig5_cmd; fig6_cmd; memory_cmd; collectives_cmd;
               drops_cmd; ablation_cmd; rel_loss_sweep_cmd; crash_restart_cmd;
-              congestion_cmd; matrix_cmd; rma_cmd; chaos_cmd; par_cmd; all_cmd;
+              congestion_cmd; matrix_cmd; rma_cmd; chaos_cmd; par_cmd;
+              coll_cmd; all_cmd;
             ])
      with Invalid_argument msg ->
        Format.eprintf "portals_repro: %s@." msg;

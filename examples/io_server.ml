@@ -43,7 +43,7 @@ let file_read ni eqh eqq ~server ~block =
     match ev.P.Event.kind with
     | P.Event.Reply -> buffer
     | P.Event.Sent | P.Event.Ack | P.Event.Put | P.Event.Get
-    | P.Event.Atomic -> await ()
+    | P.Event.Atomic | P.Event.Triggered -> await ()
   in
   await ()
 
@@ -64,7 +64,7 @@ let file_write ni eqh eqq ~server ~block data =
     match ev.P.Event.kind with
     | P.Event.Ack -> ()
     | P.Event.Sent | P.Event.Reply | P.Event.Put | P.Event.Get
-    | P.Event.Atomic -> await ()
+    | P.Event.Atomic | P.Event.Triggered -> await ()
   in
   await ()
 

@@ -1,0 +1,50 @@
+(** The signature both collective engines satisfy.
+
+    Two implementations exist, selectable at run time (the CLIs expose
+    the choice as [--collectives host|nic]):
+
+    - {!Collectives} ("host"): the reference engine. Every tree hop is a
+      host fiber receiving a message, combining buffers on the host CPU
+      and sending the next hop — the conventional implementation the
+      paper's §2 host-bypass argument measures against.
+    - {!Nic_offload} ("nic"): the same trees compiled into pre-armed
+      triggered-operation chains ({!Portals.Ni.ct_arm}), so every
+      interior hop runs inside the receive path of the simulated NI and
+      no host fiber is scheduled between the first send and the final
+      counter wake.
+
+    Both must produce {e byte-identical} results for the same ranks,
+    roots, payloads and reduction operators — the conformance suite in
+    [test/collectives] instantiates one functor over each and checks
+    exactly that, including under multi-domain runs. *)
+
+module type S = sig
+  type t
+
+  val rank : t -> int
+  (** This member's rank in [0, size). *)
+
+  val size : t -> int
+  (** Number of participants. *)
+
+  val barrier : ?tolerant:bool -> t -> unit
+  (** Block until every member has entered the barrier. With [tolerant]
+      (default false) exchanges with crash-stopped ranks are skipped —
+      the shutdown best-effort contract of [Mpi.barrier ~tolerant] — so
+      survivors are released instead of waiting for tokens that can
+      never arrive. *)
+
+  val bcast : t -> root:int -> bytes -> bytes
+  (** Every member returns a copy of [root]'s buffer; the argument is
+      ignored on non-roots. *)
+
+  val reduce :
+    t -> root:int -> op:(bytes -> bytes -> unit) -> bytes -> bytes option
+  (** Combine every member's buffer with [op] (see the root-only result
+      contract documented on {!Collectives.reduce}); [Some result] at
+      [root], [None] elsewhere. *)
+
+  val allreduce : t -> op:(bytes -> bytes -> unit) -> bytes -> bytes
+  (** [reduce] to rank 0 followed by [bcast]: every member returns the
+      combined buffer. *)
+end

@@ -1,4 +1,5 @@
 module Pool = Pool
+module Coll_intf = Coll_intf
 module P = Portals
 
 type t = {
@@ -6,6 +7,19 @@ type t = {
   ranks : Simnet.Proc_id.t array;
   my_rank : int;
   mutable seq : int;
+  (* When a host CPU is supplied, every protocol hop charges [host_step]
+     of compute to it — the per-message host work (matching, combining,
+     re-sending) a host-driven tree cannot avoid. The charge serializes
+     behind whatever else the host is computing, which is exactly the
+     degradation the NIC-offload engine exists to remove; leaving
+     [host_cpu] unset keeps the engine's timing identical to before the
+     knob existed. *)
+  host_cpu : Sim_engine.Cpu.t option;
+  host_step : Sim_engine.Time_ns.t;
+  (* Nodes currently crash-stopped, maintained from the transport's
+     crash/restart notifications — what [barrier ~tolerant] consults to
+     skip exchanges with dead ranks. *)
+  down : (Simnet.Proc_id.nid, unit) Hashtbl.t;
 }
 
 (* Collective steps are short (reduction fragments, barrier tokens), so
@@ -15,14 +29,22 @@ type t = {
    sweeps. Callers moving large bcast/alltoall payloads can raise
    [slab_size] (see {!Pool.largest_message}). *)
 let create ni ~ranks ~rank ?(portal_index = 6) ?(slab_size = 16_384)
-    ?(slab_count = 2) ?(eq_capacity = 1024) () =
+    ?(slab_count = 2) ?(eq_capacity = 1024) ?host_cpu
+    ?(host_step = Sim_engine.Time_ns.ns 2_000) () =
   if rank < 0 || rank >= Array.length ranks then
     invalid_arg "Collectives.create: rank out of range";
+  let down = Hashtbl.create 4 in
+  let tp = P.Ni.transport ni in
+  tp.Simnet.Transport.on_crash (fun nid -> Hashtbl.replace down nid ());
+  tp.Simnet.Transport.on_restart (fun nid -> Hashtbl.remove down nid);
   {
     pool = Pool.create ni ~portal_index ~slab_size ~slab_count ~eq_capacity ();
     ranks;
     my_rank = rank;
     seq = 0;
+    host_cpu;
+    host_step;
+    down;
   }
 
 let rank t = t.my_rank
@@ -41,19 +63,37 @@ let next_seq t =
   t.seq <- s + 1;
   s
 
+let charge t =
+  match t.host_cpu with
+  | None -> ()
+  | Some cpu -> Sim_engine.Cpu.compute cpu t.host_step
+
 let send t ~seq ~round ~dst payload =
+  charge t;
   Pool.send t.pool ~dst:t.ranks.(dst) ~bits:(bits ~seq ~round ~src:t.my_rank) payload
 
-let recv t ~seq ~round ~src = Pool.recv t.pool ~bits:(bits ~seq ~round ~src)
+let recv t ~seq ~round ~src =
+  let data = Pool.recv t.pool ~bits:(bits ~seq ~round ~src) in
+  charge t;
+  data
 
-let barrier t =
+let alive t r = not (Hashtbl.mem t.down t.ranks.(r).Simnet.Proc_id.nid)
+
+let barrier ?(tolerant = false) t =
   let n = size t in
   if n > 1 then begin
     let seq = next_seq t in
     let rec go round step =
       if step < n then begin
-        send t ~seq ~round ~dst:((t.my_rank + step) mod n) Bytes.empty;
-        ignore (recv t ~seq ~round ~src:((t.my_rank - step + n) mod n));
+        (* Tolerant mode (shutdown best effort, the Mpi.barrier contract):
+           skip exchanges with crash-stopped ranks instead of blocking on
+           tokens that can never arrive. *)
+        let dst = (t.my_rank + step) mod n
+        and src = (t.my_rank - step + n) mod n in
+        if (not tolerant) || alive t dst then
+          send t ~seq ~round ~dst Bytes.empty;
+        if (not tolerant) || alive t src then
+          ignore (recv t ~seq ~round ~src);
         go (round + 1) (step * 2)
       end
     in
@@ -214,3 +254,55 @@ let floats_of_bytes b = Array.init (Bytes.length b / 8) (fun i -> float_at b i)
 
 let allreduce_float_sum t values =
   floats_of_bytes (allreduce t ~op:sum_floats (bytes_of_floats values))
+
+(* --- implementation selection ------------------------------------------ *)
+
+module Nic = Nic_offload
+
+module Host_s : Coll_intf.S with type t = t = struct
+  type nonrec t = t
+
+  let rank = rank
+  let size = size
+  let barrier = barrier
+  let bcast = bcast
+  let reduce = reduce
+  let allreduce = allreduce
+end
+
+module Nic_s : Coll_intf.S with type t = Nic_offload.t = struct
+  type t = Nic_offload.t
+
+  let rank = Nic_offload.rank
+  let size = Nic_offload.size
+  let barrier = Nic_offload.barrier
+  let bcast = Nic_offload.bcast
+  let reduce = Nic_offload.reduce
+  let allreduce = Nic_offload.allreduce
+end
+
+type impl = Host | Nic_offload
+
+let impl_name = function Host -> "host" | Nic_offload -> "nic"
+
+let impl_of_string = function
+  | "host" -> Some Host
+  | "nic" | "nic_offload" | "nic-offload" -> Some Nic_offload
+  | _ -> None
+
+type any = Any : (module Coll_intf.S with type t = 'a) * 'a -> any
+
+let create_impl impl ni ~ranks ~rank ?host_cpu () =
+  match impl with
+  | Host -> Any ((module Host_s), create ni ~ranks ~rank ?host_cpu ())
+  | Nic_offload -> Any ((module Nic_s), Nic.create ni ~ranks ~rank ())
+
+let any_rank (Any ((module M), t)) = M.rank t
+let any_size (Any ((module M), t)) = M.size t
+let any_barrier ?tolerant (Any ((module M), t)) = M.barrier ?tolerant t
+let any_bcast (Any ((module M), t)) ~root payload = M.bcast t ~root payload
+
+let any_reduce (Any ((module M), t)) ~root ~op payload =
+  M.reduce t ~root ~op payload
+
+let any_allreduce (Any ((module M), t)) ~op payload = M.allreduce t ~op payload

@@ -8,9 +8,18 @@
 
     All ranks of the group must call each collective in the same order
     (calls are sequenced internally, so different collectives never
-    confuse each other's messages). Calls are fiber-blocking. *)
+    confuse each other's messages). Calls are fiber-blocking.
+
+    This module is the {e host-driven} reference engine: every tree hop
+    is a host fiber receiving, combining and re-sending. The
+    NIC-offloaded alternative with identical results lives in
+    {!Nic_offload} (re-exported as {!Nic}); both satisfy {!Coll_intf.S},
+    and {!create_impl} picks one at run time — the CLIs expose the
+    choice as [--collectives host|nic]. *)
 
 module Pool = Pool
+module Coll_intf = Coll_intf
+module Nic = Nic_offload
 
 type t
 
@@ -22,18 +31,30 @@ val create :
   ?slab_size:int ->
   ?slab_count:int ->
   ?eq_capacity:int ->
+  ?host_cpu:Sim_engine.Cpu.t ->
+  ?host_step:Sim_engine.Time_ns.t ->
   unit ->
   t
 (** One collectives endpoint per rank over an existing Portals interface.
     [portal_index] defaults to 6. The pool sizing defaults are tuned for
     short collective steps (2 slabs of 16 KiB, EQ depth 1024); raise
-    [slab_size] when moving payloads larger than one slab. *)
+    [slab_size] when moving payloads larger than one slab.
+
+    When [host_cpu] is supplied, every protocol hop charges [host_step]
+    (default 2 µs) of compute to it — modelling the per-message host work
+    a host-driven tree cannot avoid. The charge serializes behind
+    whatever else that CPU is computing, so collectives on a busy host
+    degrade (the contrast {!Nic_offload} removes, measured by
+    [Experiments.Coll]). Unset, timing is unchanged. *)
 
 val rank : t -> int
 val size : t -> int
 
-val barrier : t -> unit
-(** Dissemination barrier: ceil(log2 n) rounds. *)
+val barrier : ?tolerant:bool -> t -> unit
+(** Dissemination barrier: ceil(log2 n) rounds. With [tolerant] (default
+    false), exchanges with crash-stopped ranks are skipped — the
+    shutdown best-effort contract of [Mpi.barrier ~tolerant] — so
+    survivors are released. *)
 
 val bcast : t -> root:int -> bytes -> bytes
 (** Binomial-tree broadcast of root's buffer; every rank returns the
@@ -41,8 +62,34 @@ val bcast : t -> root:int -> bytes -> bytes
 
 val reduce : t -> root:int -> op:(bytes -> bytes -> unit) -> bytes -> bytes option
 (** Binomial-tree reduction: [op acc contribution] folds a child's
-    contribution into [acc] in place (buffers are equal-length). The root
-    returns [Some result]; others [None]. *)
+    contribution into [acc] in place (buffers are equal-length).
+
+    {b The result is root-only — hence [bytes option].} Every rank calls
+    [reduce] and every rank contributes a payload, but only [root] holds
+    the combined value when the call returns: the root gets
+    [Some result], every other rank gets [None]. The asymmetry is the
+    MPI_Reduce contract surfaced in the type instead of an
+    uninitialised "recvbuf" convention — a non-root cannot accidentally
+    read a result that was never sent to it, and forgetting to handle
+    the non-root case is a compile error rather than garbage data.
+    Pattern-match on your own role:
+
+    {[
+      (* Every rank contributes; only rank 0 prints the total. *)
+      let mine = Collectives.bytes_of_floats [| local_sum |] in
+      match Collectives.reduce c ~root:0 ~op:Collectives.sum_floats mine with
+      | Some total ->
+        (* we are rank 0: the fold ran ((root ⊕ c1) ⊕ c2) ⊕ … *)
+        Format.printf "total: %f@."
+          (Collectives.floats_of_bytes total).(0)
+      | None -> ()   (* any other rank: contributed, owns no result *)
+    ]}
+
+    Ranks that need the value everywhere should call {!allreduce}
+    instead of broadcasting a [reduce] result by hand. Both engines
+    ({!Collectives} and {!Nic_offload}) implement this identical
+    contract; folds run in ascending-mask order, so results are
+    byte-identical between them. *)
 
 val allreduce : t -> op:(bytes -> bytes -> unit) -> bytes -> bytes
 (** Reduce to rank 0, then broadcast. *)
@@ -74,3 +121,48 @@ val floats_of_bytes : bytes -> float array
 
 val allreduce_float_sum : t -> float array -> float array
 (** Element-wise sum across all ranks. *)
+
+(** {1 Implementation selection}
+
+    Both engines behind one signature: [Host] is this module's
+    host-driven reference, [Nic_offload] is the triggered-chain engine.
+    Results are byte-identical; only where the tree's work happens — and
+    therefore how it interacts with a busy host CPU — differs. *)
+
+module Host_s : Coll_intf.S with type t = t
+(** This module, packaged as a {!Coll_intf.S} for functors. *)
+
+module Nic_s : Coll_intf.S with type t = Nic_offload.t
+
+type impl = Host | Nic_offload
+
+val impl_name : impl -> string
+(** ["host"] / ["nic"] — the [--collectives] CLI spellings. *)
+
+val impl_of_string : string -> impl option
+(** Inverse of {!impl_name} (also accepts ["nic_offload"]). *)
+
+type any = Any : (module Coll_intf.S with type t = 'a) * 'a -> any
+(** An endpoint of either engine, packed with its operations. *)
+
+val create_impl :
+  impl ->
+  Portals.Ni.t ->
+  ranks:Simnet.Proc_id.t array ->
+  rank:int ->
+  ?host_cpu:Sim_engine.Cpu.t ->
+  unit ->
+  any
+(** Create an endpoint of the chosen engine with default sizing.
+    [host_cpu] is the per-hop charge target for the [Host] engine
+    (see {!create}); the NIC engine ignores it — that is the point. *)
+
+val any_rank : any -> int
+val any_size : any -> int
+val any_barrier : ?tolerant:bool -> any -> unit
+val any_bcast : any -> root:int -> bytes -> bytes
+
+val any_reduce :
+  any -> root:int -> op:(bytes -> bytes -> unit) -> bytes -> bytes option
+
+val any_allreduce : any -> op:(bytes -> bytes -> unit) -> bytes -> bytes

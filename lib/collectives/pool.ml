@@ -124,7 +124,9 @@ let maybe_rearm t slab =
 
 let dispatch t ev =
   match ev.P.Event.kind with
-  | P.Event.Put when ev.P.Event.md_user_ptr < 0 ->
+  (* A TRIGGERED deposit is a put fired by a remote chain — same data
+     landing, different provenance. *)
+  | (P.Event.Put | P.Event.Triggered) when ev.P.Event.md_user_ptr < 0 ->
     let slab = t.slabs.(-ev.P.Event.md_user_ptr - 1) in
     slab.s_outstanding <- slab.s_outstanding + 1;
     let q =
@@ -144,7 +146,7 @@ let dispatch t ev =
       q;
     t.pending_count <- t.pending_count + 1
   | P.Event.Put | P.Event.Get | P.Event.Atomic | P.Event.Reply | P.Event.Ack
-  | P.Event.Sent -> ()
+  | P.Event.Sent | P.Event.Triggered -> ()
 
 let drain t =
   let rec go () =

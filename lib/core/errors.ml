@@ -10,6 +10,7 @@ type t =
   | Invalid_md
   | Invalid_me
   | Invalid_eq
+  | Invalid_ct
   | Md_in_use
   | Eq_empty
   | Eq_dropped
@@ -28,6 +29,7 @@ let to_string = function
   | Invalid_md -> "PTL_INV_MD"
   | Invalid_me -> "PTL_INV_ME"
   | Invalid_eq -> "PTL_INV_EQ"
+  | Invalid_ct -> "PTL_INV_CT"
   | Md_in_use -> "PTL_MD_INUSE"
   | Eq_empty -> "PTL_EQ_EMPTY"
   | Eq_dropped -> "PTL_EQ_DROPPED"

@@ -15,6 +15,7 @@ type t =
   | Invalid_md  (** Memory descriptor handle does not resolve. *)
   | Invalid_me  (** Match entry handle does not resolve. *)
   | Invalid_eq  (** Event queue handle does not resolve. *)
+  | Invalid_ct  (** Counting-event handle does not resolve. *)
   | Md_in_use  (** Memory descriptor busy (pending reply). *)
   | Eq_empty  (** Non-blocking event read found no event. *)
   | Eq_dropped  (** Events were lost since the last read. *)

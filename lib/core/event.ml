@@ -1,4 +1,4 @@
-type kind = Sent | Ack | Put | Get | Atomic | Reply
+type kind = Sent | Ack | Put | Get | Atomic | Reply | Triggered
 
 let kind_to_string = function
   | Sent -> "SENT"
@@ -7,6 +7,7 @@ let kind_to_string = function
   | Get -> "GET"
   | Atomic -> "ATOMIC"
   | Reply -> "REPLY"
+  | Triggered -> "TRIGGERED"
 
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
 

@@ -19,6 +19,12 @@ type kind =
   | Reply
       (** Initiator: the data for a get — or the fetched value of an
           atomic — arrived. *)
+  | Triggered
+      (** Either side of the triggered-operation extension: at the target,
+          a deposit whose put was fired by a pre-armed chain (the wire
+          frame carries the provenance flag); at the arming side, a chain
+          armed with an event queue reached its counter threshold and ran.
+          In both cases no host fiber was scheduled to make it happen. *)
 
 val kind_to_string : kind -> string
 val pp_kind : Format.formatter -> kind -> unit

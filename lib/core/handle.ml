@@ -1,12 +1,14 @@
 type eq_kind = |
 type md_kind = |
 type me_kind = |
+type ct_kind = |
 
 type 'k t = { idx : int; gen : int }
 
 type eq = eq_kind t
 type md = md_kind t
 type me = me_kind t
+type ct = ct_kind t
 
 let none = { idx = -1; gen = -1 }
 let is_none t = t.idx < 0

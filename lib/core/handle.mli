@@ -18,6 +18,7 @@
 type eq_kind
 type md_kind
 type me_kind
+type ct_kind
 
 type +'k t
 (** An opaque handle of kind ['k]. Each table still checks generations, so
@@ -31,6 +32,12 @@ type md = md_kind t
 
 type me = me_kind t
 (** Match entry handles ([PtlMEAttach]/[PtlMEInsert]). *)
+
+type ct = ct_kind t
+(** Counting-event handles ([PtlCTAlloc]-style). Counters are the
+    triggered-operation extension: a counter attached to a match entry is
+    bumped by the NI at match time, and chains armed with {!Ni.ct_arm}
+    fire when it crosses their threshold — without a host fiber. *)
 
 val none : 'k t
 (** The distinguished null handle ([PTL_HANDLE_NONE]): never resolves. *)

@@ -5,7 +5,13 @@ type md_entry = {
   mutable owner : Handle.me option; (* attached ME, none for bound MDs *)
 }
 
-type me_entry = { me : Me.t; pt_index : int }
+type me_entry = {
+  me : Me.t;
+  pt_index : int;
+  mutable me_ct : Handle.ct;
+      (* Counting event bumped at match time ({!me_set_ct});
+         [Handle.none] when the entry has no counter attached. *)
+}
 
 type drop_reason =
   | Malformed
@@ -22,13 +28,17 @@ type drop_reason =
   | Atomic_reply_no_md
   | Atomic_reply_eq_full
   | Checksum_failed
+  | Triggered_target_gone
+  | Triggered_md_inactive
+  | Triggered_eq_full
 
 let all_drop_reasons =
   [
     Malformed; Invalid_portal_index; Acl_bad_cookie; Acl_id_mismatch;
     Acl_portal_mismatch; No_match; Ack_no_eq; Reply_no_md; Reply_eq_full;
     Stale_incarnation; Atomic_misaligned; Atomic_reply_no_md;
-    Atomic_reply_eq_full; Checksum_failed;
+    Atomic_reply_eq_full; Checksum_failed; Triggered_target_gone;
+    Triggered_md_inactive; Triggered_eq_full;
   ]
 
 let drop_reason_index = function
@@ -46,6 +56,9 @@ let drop_reason_index = function
   | Atomic_reply_no_md -> 11
   | Atomic_reply_eq_full -> 12
   | Checksum_failed -> 13
+  | Triggered_target_gone -> 14
+  | Triggered_md_inactive -> 15
+  | Triggered_eq_full -> 16
 
 let drop_reason_slug = function
   | Malformed -> "malformed"
@@ -62,6 +75,9 @@ let drop_reason_slug = function
   | Atomic_reply_no_md -> "atomic_reply_no_md"
   | Atomic_reply_eq_full -> "atomic_reply_eq_full"
   | Checksum_failed -> "checksum_failed"
+  | Triggered_target_gone -> "triggered_target_gone"
+  | Triggered_md_inactive -> "triggered_md_inactive"
+  | Triggered_eq_full -> "triggered_eq_full"
 
 let pp_drop_reason ppf r =
   Format.pp_print_string ppf
@@ -79,7 +95,10 @@ let pp_drop_reason ppf r =
     | Atomic_misaligned -> "atomic word misaligned or mis-sized"
     | Atomic_reply_no_md -> "atomic reply memory descriptor gone"
     | Atomic_reply_eq_full -> "atomic reply event queue full"
-    | Checksum_failed -> "frame checksum mismatch")
+    | Checksum_failed -> "frame checksum mismatch"
+    | Triggered_target_gone -> "triggered chain names a vanished handle"
+    | Triggered_md_inactive -> "triggered chain memory descriptor inactive"
+    | Triggered_eq_full -> "triggered completion event queue full")
 
 type counters = {
   puts_initiated : int;
@@ -92,6 +111,7 @@ type counters = {
   bytes_received : int;
   translations : int;
   entries_walked : int;
+  triggered_fired : int;
 }
 
 type mutable_counters = {
@@ -105,6 +125,48 @@ type mutable_counters = {
   mutable c_rx_bytes : int;
   mutable c_translations : int;
   mutable c_entries : int;
+  mutable c_triggered : int;
+}
+
+type op = {
+  target : Simnet.Proc_id.t;
+  portal_index : int;
+  cookie : int;
+  match_bits : Match_bits.t;
+  offset : int;
+}
+
+(* Triggered operations (the Portals-4-style extension the NIC-resident
+   collectives build on): a chain of pre-described actions deposited with
+   the NI, fired — without any host fiber — when a counting event crosses
+   the chain's threshold. *)
+type triggered_action =
+  | Triggered_put of { md : Handle.md; ack : bool; length : int option; op : op }
+  | Triggered_atomic of {
+      md : Handle.md;
+      aop : Wire.aop;
+      operand : int64;
+      compare : int64;
+      op : op;
+    }
+  | Triggered_combine of {
+      dst : Handle.md;
+      src : Handle.md;
+      f : bytes -> bytes -> unit;
+    }
+  | Triggered_ct_inc of { ct : Handle.ct; amount : int }
+
+type armed = {
+  a_threshold : int;
+  a_actions : triggered_action list;
+  a_eq : Handle.eq; (* completion TRIGGERED event, none to elide *)
+  a_user_ptr : int;
+}
+
+type ct_entry = {
+  mutable ct_value : int;
+  mutable ct_armed : armed list; (* pending chains, in arming order *)
+  ct_waitq : Sync.Waitq.t;
 }
 
 type t = {
@@ -115,6 +177,7 @@ type t = {
   mds : (Handle.md_kind, md_entry) Handle.Table.t;
   mes : (Handle.me_kind, me_entry) Handle.Table.t;
   eqs : (Handle.eq_kind, Event.Queue.t) Handle.Table.t;
+  cts : (Handle.ct_kind, ct_entry) Handle.Table.t;
   drops : int array;
   c : mutable_counters;
   mutable eq_seq : int;
@@ -141,14 +204,6 @@ let md_spec ?(options = Md.default_options) ?(threshold = Md.Infinite)
 let md_spec_iovec ?(options = Md.default_options) ?(threshold = Md.Infinite)
     ?(unlink = Md.Retain) ?(eq = Handle.none) ?(user_ptr = 0) segments =
   { region = Iovec segments; options; threshold; unlink; eq; user_ptr }
-
-type op = {
-  target : Simnet.Proc_id.t;
-  portal_index : int;
-  cookie : int;
-  match_bits : Match_bits.t;
-  offset : int;
-}
 
 let op ?(cookie = Acl.default_cookie_job) ?(match_bits = Match_bits.zero)
     ?(offset = 0) ~target ~portal_index () =
@@ -179,6 +234,7 @@ let counters t =
     bytes_received = t.c.c_rx_bytes;
     translations = t.c.c_translations;
     entries_walked = t.c.c_entries;
+    triggered_fired = t.c.c_triggered;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -209,7 +265,10 @@ let me_attach t ~portal_index ~match_id ~match_bits ~ignore_bits
     Error Errors.Invalid_pt_index
   else begin
     let me = Me.create ~unlink ~match_id ~match_bits ~ignore_bits () in
-    let h = Handle.Table.alloc t.mes { me; pt_index = portal_index } in
+    let h =
+      Handle.Table.alloc t.mes
+        { me; pt_index = portal_index; me_ct = Handle.none }
+    in
     (match pos with
     | `Head -> t.pt.(portal_index) <- h :: t.pt.(portal_index)
     | `Tail -> t.pt.(portal_index) <- t.pt.(portal_index) @ [ h ]);
@@ -222,7 +281,10 @@ let me_insert t ~base ~match_id ~match_bits ~ignore_bits ?(unlink = Md.Retain)
   | None -> Error Errors.Invalid_me
   | Some base_entry ->
     let me = Me.create ~unlink ~match_id ~match_bits ~ignore_bits () in
-    let h = Handle.Table.alloc t.mes { me; pt_index = base_entry.pt_index } in
+    let h =
+      Handle.Table.alloc t.mes
+        { me; pt_index = base_entry.pt_index; me_ct = Handle.none }
+    in
     let rec insert = function
       | [] -> [ h ] (* base vanished concurrently: append *)
       | x :: rest when Handle.equal x base ->
@@ -371,6 +433,276 @@ let md_update t h spec ~test_eq =
 let md_active t h = Result.map (fun e -> Md.active e.md) (find_md t h)
 
 (* ------------------------------------------------------------------ *)
+(* Initiating operations (§4.7) *)
+
+let put t ~md:mdh ?(ack = true) ?(triggered = false) ?length (o : op) =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else if
+      match length with None -> false | Some l -> l < 0 || l > Md.length entry.md
+    then Error Errors.Invalid_arg
+    else begin
+      let md = entry.md in
+      let len = Option.value length ~default:(Md.length md) in
+      let ack_requested = ack && not (Md.options md).Md.ack_disable in
+      (* The payload is blitted from MD memory straight into the wire
+         image ([encode_with]), skipping the intermediate copy an
+         [Md.read] would make — one allocation per put, not two. *)
+      let msg =
+        Wire.put_request ~ack_requested ~triggered
+          ~incarnation:(self_incarnation t) ~length:len ~initiator:t.self
+          ~target:o.target ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
+          ~eq_handle:(Md.eq_handle md) ~data:Bytes.empty ()
+      in
+      t.c.c_puts <- t.c.c_puts + 1;
+      if ack_requested then Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target
+        (Wire.encode_with msg ~fill:(fun buf off ->
+             Md.blit_to md ~offset:0 ~len ~dst:buf ~dst_off:off));
+      (* SENT once the message has left the local interface. When the
+         descriptor has no event queue and an infinite threshold the
+         completion has no observable effect (no event to post, nothing
+         to consume or unlink), so it is elided — fire-and-forget senders
+         reusing a persistent descriptor pay no extra simulation event. *)
+      let md_eq = Md.eq md in
+      if md_eq = None && Md.threshold md = Md.Infinite then Ok ()
+      else begin
+      Scheduler.after (sched t) t.tp.Simnet.Transport.send_overhead (fun () ->
+          (match md_eq with
+          | None -> ()
+          | Some queue ->
+            let ev =
+              {
+                Event.kind = Event.Sent;
+                initiator = o.target;
+                portal_index = o.portal_index;
+                match_bits = o.match_bits;
+                rlength = len;
+                mlength = len;
+                offset = o.offset;
+                md_handle = mdh;
+                md_user_ptr = Md.user_ptr md;
+                time = Scheduler.now (sched t);
+              }
+            in
+            ignore (Event.Queue.post queue ev));
+          match Handle.Table.find t.mds mdh with
+          | None -> ()
+          | Some entry -> consume_initiator t mdh entry);
+        Ok ()
+      end
+    end
+
+let get t ~md:mdh (o : op) =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else begin
+      let md = entry.md in
+      let msg =
+        Wire.get_request ~incarnation:(self_incarnation t) ~initiator:t.self
+          ~target:o.target ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
+          ~rlength:(Md.length md) ()
+      in
+      t.c.c_gets <- t.c.c_gets + 1;
+      Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
+      Ok ()
+    end
+
+let atomic t ~md:mdh ~aop ~operand ?(compare = 0L) (o : op) =
+  match find_md t mdh with
+  | Error e -> Error e
+  | Ok entry ->
+    if not (Md.active entry.md) then Error Errors.Invalid_md
+    else if Md.length entry.md < Wire.atomic_word_size then
+      Error Errors.Invalid_arg
+    else begin
+      let md = entry.md in
+      let msg =
+        Wire.atomic_request ~incarnation:(self_incarnation t) ~aop ~operand
+          ~compare ~initiator:t.self ~target:o.target
+          ~portal_index:o.portal_index ~cookie:o.cookie
+          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh ()
+      in
+      t.c.c_atomics <- t.c.c_atomics + 1;
+      Md.incr_pending md;
+      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Counting events and triggered chains *)
+
+let find_ct t h =
+  match Handle.Table.find t.cts h with
+  | Some e -> Ok e
+  | None -> Error Errors.Invalid_ct
+
+let ct_alloc t =
+  Ok
+    (Handle.Table.alloc t.cts
+       {
+         ct_value = 0;
+         ct_armed = [];
+         ct_waitq = Sync.Waitq.create ~name:"ct" (sched t);
+       })
+
+let ct_free t h =
+  if Handle.Table.free t.cts h then Ok () else Error Errors.Invalid_ct
+
+let ct_get t h = Result.map (fun e -> e.ct_value) (find_ct t h)
+
+let me_set_ct t ~me ~ct =
+  match Handle.Table.find t.mes me with
+  | None -> Error Errors.Invalid_me
+  | Some entry ->
+    (match Handle.Table.find t.cts ct with
+    | None -> Error Errors.Invalid_ct
+    | Some _ ->
+      entry.me_ct <- ct;
+      Ok ())
+
+(* Run one armed chain. Every action resolves its handles at fire time —
+   the §4.8 discipline extended to the triggered path: a chain whose
+   descriptor or counter vanished (or whose descriptor exhausted its
+   threshold) mis-fires into a dedicated drop reason instead of raising,
+   and the fabric stays consistent. Each fired action is charged like one
+   match-list entry: the chain runs on the NI, so its cost lands on the
+   receive processor, never on a host fiber. *)
+let rec run_chain t (a : armed) =
+  t.c.c_triggered <- t.c.c_triggered + 1;
+  t.tp.Simnet.Transport.charge_rx t.self.Simnet.Proc_id.nid
+    (Time_ns.ns
+       (List.length a.a_actions * t.tp.Simnet.Transport.match_entry_cost));
+  List.iter
+    (fun action ->
+      match action with
+      | Triggered_put { md; ack; length; op } ->
+        (match Handle.Table.find t.mds md with
+        | None -> drop t Triggered_target_gone
+        | Some entry when not (Md.active entry.md) ->
+          drop t Triggered_md_inactive
+        | Some _ ->
+          (match put t ~md ~ack ~triggered:true ?length op with
+          | Ok () -> ()
+          | Error _ -> drop t Triggered_md_inactive))
+      | Triggered_atomic { md; aop; operand; compare; op } ->
+        (match Handle.Table.find t.mds md with
+        | None -> drop t Triggered_target_gone
+        | Some entry when not (Md.active entry.md) ->
+          drop t Triggered_md_inactive
+        | Some _ ->
+          (match atomic t ~md ~aop ~operand ~compare op with
+          | Ok () -> ()
+          | Error _ -> drop t Triggered_md_inactive))
+      | Triggered_combine { dst; src; f } ->
+        (match (Handle.Table.find t.mds dst, Handle.Table.find t.mds src) with
+        | None, _ | _, None -> drop t Triggered_target_gone
+        | Some d, Some s ->
+          (* The NIC-resident combine (the programmable-NIC reduction of
+             Yu et al.): read both regions, fold [src] into [dst] in
+             place, write back. *)
+          let db = Md.read d.md ~offset:0 ~len:(Md.length d.md) in
+          let sb = Md.read s.md ~offset:0 ~len:(Md.length s.md) in
+          f db sb;
+          Md.write d.md ~offset:0 ~src:db ~src_off:0 ~len:(Bytes.length db))
+      | Triggered_ct_inc { ct; amount } ->
+        (match Handle.Table.find t.cts ct with
+        | None -> drop t Triggered_target_gone
+        | Some e -> ct_bump t e amount))
+    a.a_actions;
+  if not (Handle.is_none a.a_eq) then begin
+    match Handle.Table.find t.eqs a.a_eq with
+    | None -> drop t Triggered_target_gone
+    | Some queue ->
+      let ev =
+        {
+          Event.kind = Event.Triggered;
+          initiator = t.self;
+          portal_index = 0;
+          match_bits = Match_bits.zero;
+          rlength = List.length a.a_actions;
+          mlength = 0;
+          offset = a.a_threshold;
+          md_handle = Handle.none;
+          md_user_ptr = a.a_user_ptr;
+          time = Scheduler.now (sched t);
+        }
+      in
+      if not (Event.Queue.post queue ev) then drop t Triggered_eq_full
+  end
+
+(* Bump a counter and fire every chain whose threshold is now met, in
+   arming order. Chains are removed before running, so a chain that bumps
+   its own counter (fan-in accumulation) re-enters cleanly. *)
+and ct_bump t (e : ct_entry) n =
+  e.ct_value <- e.ct_value + n;
+  fire_eligible t e;
+  Sync.Waitq.broadcast e.ct_waitq
+
+and fire_eligible t (e : ct_entry) =
+  match
+    List.find_opt (fun a -> a.a_threshold <= e.ct_value) e.ct_armed
+  with
+  | None -> ()
+  | Some a ->
+    e.ct_armed <- List.filter (fun x -> x != a) e.ct_armed;
+    run_chain t a;
+    fire_eligible t e
+
+let ct_inc t h n =
+  if n <= 0 then Error Errors.Invalid_arg
+  else
+    Result.map
+      (fun e -> ct_bump t e n)
+      (find_ct t h)
+
+let ct_arm t ~ct ?(eq = Handle.none) ?(user_ptr = 0) ~threshold actions =
+  if threshold < 0 then Error Errors.Invalid_arg
+  else begin
+    match find_ct t ct with
+    | Error e -> Error e
+    | Ok entry ->
+      let a =
+        { a_threshold = threshold; a_actions = actions; a_eq = eq; a_user_ptr = user_ptr }
+      in
+      entry.ct_armed <- entry.ct_armed @ [ a ];
+      (* Fire-immediately semantics: arming below or at the current value
+         runs the chain now. Without this, a deposit that lands before the
+         host arms the next round would hang the chain forever. *)
+      fire_eligible t entry;
+      Ok ()
+  end
+
+let ct_wait t h ~threshold =
+  let rec loop () =
+    match Handle.Table.find t.cts h with
+    | None -> Error Errors.Invalid_ct
+    | Some e ->
+      if e.ct_value >= threshold then Ok e.ct_value
+      else begin
+        Sync.Waitq.wait e.ct_waitq;
+        loop ()
+      end
+  in
+  loop ()
+
+(* Match-time counter bump: the hook the receive path calls once a
+   deposit (put/get/atomic) has committed through a counted match entry. *)
+let bump_match_ct t cth =
+  if not (Handle.is_none cth) then begin
+    match Handle.Table.find t.cts cth with
+    | None -> drop t Triggered_target_gone
+    | Some e -> ct_bump t e 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Receive path (§4.8) *)
 
 let post_event t ?md ~kind ~(msg : Wire.t) ~mlength ~offset queue =
@@ -411,7 +743,7 @@ let translate t ~portal_index ~src ~mbits ~op ~rlength ~roffset =
             | Some md_entry ->
               (match Md.accepts md_entry.md ~op ~rlength ~roffset with
               | Error _ -> walk examined rest
-              | Ok acc -> (examined, Ok (mdh, md_entry, acc))))
+              | Ok acc -> (examined, Ok (me_entry, mdh, md_entry, acc))))
         end)
   in
   let result = walk 0 t.pt.(portal_index) in
@@ -442,8 +774,10 @@ let handle_put_or_get t (msg : Wire.t) ~op =
       in
       (match outcome with
       | Error () -> drop t No_match
-      | Ok (mdh, md_entry, acc) ->
+      | Ok (me_entry, mdh, md_entry, acc) ->
         let md = md_entry.md in
+        (* Capture before unlinking can free the match entry. *)
+        let matched_ct = me_entry.me_ct in
         let mlength = acc.Md.mlength in
         let offset = acc.Md.offset in
         (* Commit state at arrival so the next message sees consistent
@@ -488,7 +822,10 @@ let handle_put_or_get t (msg : Wire.t) ~op =
         | Some queue ->
           let kind =
             match op with
-            | Md.Op_put -> Event.Put
+            (* A chain-fired put is logged as TRIGGERED: the provenance
+               bit on the wire makes NIC-resident forwarding observable
+               at the target. *)
+            | Md.Op_put -> if msg.Wire.triggered then Event.Triggered else Event.Put
             | Md.Op_get -> Event.Get
             | Md.Op_atomic -> assert false
           in
@@ -508,7 +845,11 @@ let handle_put_or_get t (msg : Wire.t) ~op =
             (Wire.encode
                (Wire.reply_of_get ~incarnation:(self_incarnation t) msg
                   ~mlength ~data:reply_data))
-        | Md.Op_atomic -> assert false))
+        | Md.Op_atomic -> assert false);
+        (* Counter bump last: acknowledgments and events for this deposit
+           are already issued when a chain it triggers starts sending, so
+           a fired chain observes — and extends — a consistent NI. *)
+        bump_match_ct t matched_ct)
   end
 
 (* Execute a read-modify-write at ME-match time — the bypass path of
@@ -543,8 +884,9 @@ let handle_atomic t (msg : Wire.t) =
           in
           match outcome with
           | Error () -> drop t No_match
-          | Ok (mdh, md_entry, acc) ->
+          | Ok (me_entry, mdh, md_entry, acc) ->
             let md = md_entry.md in
+            let matched_ct = me_entry.me_ct in
             let offset = acc.Md.offset in
             let word = Md.read md ~offset ~len:Wire.atomic_word_size in
             let old = Bytes.get_int64_le word 0 in
@@ -583,7 +925,8 @@ let handle_atomic t (msg : Wire.t) =
             t.tp.Simnet.Transport.send ~src:t.self ~dst:src
               (Wire.encode
                  (Wire.atomic_reply_of_request
-                    ~incarnation:(self_incarnation t) msg ~fetched:old))
+                    ~incarnation:(self_incarnation t) msg ~fetched:old));
+            bump_match_ct t matched_ct
         end
     end
 
@@ -690,110 +1033,6 @@ let handle_incoming t ~src:_ payload =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Initiating operations (§4.7) *)
-
-let put t ~md:mdh ?(ack = true) ?length (o : op) =
-  match find_md t mdh with
-  | Error e -> Error e
-  | Ok entry ->
-    if not (Md.active entry.md) then Error Errors.Invalid_md
-    else if
-      match length with None -> false | Some l -> l < 0 || l > Md.length entry.md
-    then Error Errors.Invalid_arg
-    else begin
-      let md = entry.md in
-      let len = Option.value length ~default:(Md.length md) in
-      let ack_requested = ack && not (Md.options md).Md.ack_disable in
-      (* The payload is blitted from MD memory straight into the wire
-         image ([encode_with]), skipping the intermediate copy an
-         [Md.read] would make — one allocation per put, not two. *)
-      let msg =
-        Wire.put_request ~ack_requested ~incarnation:(self_incarnation t)
-          ~length:len ~initiator:t.self ~target:o.target
-          ~portal_index:o.portal_index ~cookie:o.cookie
-          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
-          ~eq_handle:(Md.eq_handle md) ~data:Bytes.empty ()
-      in
-      t.c.c_puts <- t.c.c_puts + 1;
-      if ack_requested then Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target
-        (Wire.encode_with msg ~fill:(fun buf off ->
-             Md.blit_to md ~offset:0 ~len ~dst:buf ~dst_off:off));
-      (* SENT once the message has left the local interface. When the
-         descriptor has no event queue and an infinite threshold the
-         completion has no observable effect (no event to post, nothing
-         to consume or unlink), so it is elided — fire-and-forget senders
-         reusing a persistent descriptor pay no extra simulation event. *)
-      let md_eq = Md.eq md in
-      if md_eq = None && Md.threshold md = Md.Infinite then Ok ()
-      else begin
-      Scheduler.after (sched t) t.tp.Simnet.Transport.send_overhead (fun () ->
-          (match md_eq with
-          | None -> ()
-          | Some queue ->
-            let ev =
-              {
-                Event.kind = Event.Sent;
-                initiator = o.target;
-                portal_index = o.portal_index;
-                match_bits = o.match_bits;
-                rlength = len;
-                mlength = len;
-                offset = o.offset;
-                md_handle = mdh;
-                md_user_ptr = Md.user_ptr md;
-                time = Scheduler.now (sched t);
-              }
-            in
-            ignore (Event.Queue.post queue ev));
-          match Handle.Table.find t.mds mdh with
-          | None -> ()
-          | Some entry -> consume_initiator t mdh entry);
-        Ok ()
-      end
-    end
-
-let get t ~md:mdh (o : op) =
-  match find_md t mdh with
-  | Error e -> Error e
-  | Ok entry ->
-    if not (Md.active entry.md) then Error Errors.Invalid_md
-    else begin
-      let md = entry.md in
-      let msg =
-        Wire.get_request ~incarnation:(self_incarnation t) ~initiator:t.self
-          ~target:o.target ~portal_index:o.portal_index ~cookie:o.cookie
-          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh
-          ~rlength:(Md.length md) ()
-      in
-      t.c.c_gets <- t.c.c_gets + 1;
-      Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
-      Ok ()
-    end
-
-let atomic t ~md:mdh ~aop ~operand ?(compare = 0L) (o : op) =
-  match find_md t mdh with
-  | Error e -> Error e
-  | Ok entry ->
-    if not (Md.active entry.md) then Error Errors.Invalid_md
-    else if Md.length entry.md < Wire.atomic_word_size then
-      Error Errors.Invalid_arg
-    else begin
-      let md = entry.md in
-      let msg =
-        Wire.atomic_request ~incarnation:(self_incarnation t) ~aop ~operand
-          ~compare ~initiator:t.self ~target:o.target
-          ~portal_index:o.portal_index ~cookie:o.cookie
-          ~match_bits:o.match_bits ~offset:o.offset ~md_handle:mdh ()
-      in
-      t.c.c_atomics <- t.c.c_atomics + 1;
-      Md.incr_pending md;
-      t.tp.Simnet.Transport.send ~src:t.self ~dst:o.target (Wire.encode msg);
-      Ok ()
-    end
-
-(* ------------------------------------------------------------------ *)
 
 let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
   if portal_table_size <= 0 then invalid_arg "Ni.create: empty portal table";
@@ -806,6 +1045,7 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
       mds = Handle.Table.create ();
       mes = Handle.Table.create ();
       eqs = Handle.Table.create ();
+      cts = Handle.Table.create ();
       drops = Array.make (List.length all_drop_reasons) 0;
       c =
         {
@@ -819,6 +1059,7 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
           c_rx_bytes = 0;
           c_translations = 0;
           c_entries = 0;
+          c_triggered = 0;
         };
       eq_seq = 0;
       live = true;
@@ -853,6 +1094,7 @@ let create tp ~id:self ?(portal_table_size = 64) ?(acl_size = 16) () =
       ("ni.rx_bytes", fun () -> float_of_int t.c.c_rx_bytes);
       ("ni.translations", fun () -> float_of_int t.c.c_translations);
       ("ni.entries_walked", fun () -> float_of_int t.c.c_entries);
+      ("ni.triggered_fired", fun () -> float_of_int t.c.c_triggered);
       ("ni.drops_total", fun () -> float_of_int (dropped_total t));
     ];
   t

@@ -95,6 +95,19 @@ type drop_reason =
           malformed message (§4.8); with the reliability shim installed
           the sender retransmits, so corruption degrades to loss and
           never reaches a memory descriptor. *)
+  | Triggered_target_gone
+      (** A fired chain named a handle (memory descriptor, counter or
+          completion event queue) that no longer exists — the chain was
+          armed against resources that were since unlinked. The action is
+          skipped; the rest of the chain still runs (§4.8 extended to the
+          triggered path). *)
+  | Triggered_md_inactive
+      (** A fired chain's put/atomic found its descriptor with an
+          exhausted threshold (or otherwise refusing the operation) — a
+          mis-armed chain whose descriptor ran out of sends. *)
+  | Triggered_eq_full
+      (** A chain's completion TRIGGERED event found its queue full; the
+          queue's [PTL_EQ_DROPPED] counter ticks as well (§4.8). *)
 
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
 
@@ -116,6 +129,7 @@ type counters = {
   bytes_received : int;
   translations : int;  (** Match-list walks performed. *)
   entries_walked : int;  (** Total match entries examined. *)
+  triggered_fired : int;  (** Armed chains fired at a counter threshold. *)
 }
 
 val create :
@@ -238,7 +252,13 @@ val op :
     offset. *)
 
 val put :
-  t -> md:Handle.md -> ?ack:bool -> ?length:int -> op -> (unit, Errors.t) result
+  t ->
+  md:Handle.md ->
+  ?ack:bool ->
+  ?triggered:bool ->
+  ?length:int ->
+  op ->
+  (unit, Errors.t) result
 (** [PtlPut]: send the descriptor's region to the operation's target.
     With [ack] (default true) and an ack-enabled descriptor, the target
     acknowledges with the manipulated length (Table 2). A SENT event is
@@ -250,7 +270,12 @@ val put :
     [length] (default: the whole region) sends only the region's first
     [length] bytes — the later Portals "put region" refinement; it lets
     a sender reuse one descriptor over a scratch buffer for variable
-    sized messages instead of binding a fresh descriptor per send. *)
+    sized messages instead of binding a fresh descriptor per send.
+
+    [triggered] (default false) stamps the wire frame's provenance bit:
+    the put was fired by a pre-armed chain, so the target logs the
+    deposit as a TRIGGERED event rather than PUT. Chains set it
+    automatically; host callers normally leave it off. *)
 
 val get : t -> md:Handle.md -> op -> (unit, Errors.t) result
 (** [PtlGet]: request the descriptor's length from the target; the reply
@@ -279,6 +304,93 @@ val atomic :
     event. [md] must describe at least 8 bytes and cannot be unlinked
     until the reply arrives. [compare] (default [0L]) is only consulted
     by {!Wire.Cas}. *)
+
+(** {1 Counting events and triggered chains}
+
+    The primitives NIC-resident collectives are built from (the
+    Portals-4-style triggered-operation extension, motivated by the
+    paper's §2/Fig. 6 bypass argument and the Yu et al. NIC-based
+    collective protocol): a {e counting event} ({!Handle.ct}) attached to
+    a match entry is bumped by the NI each time a deposit commits through
+    that entry, and a chain of pre-described actions ({!ct_arm}) fires the
+    moment the counter crosses the chain's threshold — inside the receive
+    path, with no host fiber scheduled. Chains compose: a fired put lands
+    on a peer's counted entry and fires the next hop, so a whole
+    collective tree advances NIC-to-NIC while the hosts compute. *)
+
+type triggered_action =
+  | Triggered_put of { md : Handle.md; ack : bool; length : int option; op : op }
+      (** Fire {!put} on [md] towards [op] (with the wire provenance bit
+          set, so the target logs TRIGGERED). The payload is whatever the
+          descriptor's region holds {e at fire time} — a forwarding hop
+          re-sends the very bytes the triggering deposit just landed. *)
+  | Triggered_atomic of {
+      md : Handle.md;
+      aop : Wire.aop;
+      operand : int64;
+      compare : int64;
+      op : op;
+    }  (** Fire {!atomic} on [md] towards [op]. *)
+  | Triggered_combine of {
+      dst : Handle.md;
+      src : Handle.md;
+      f : bytes -> bytes -> unit;
+    }
+      (** NIC-local reduction step: read both regions, run [f dst src]
+          (which folds [src] into [dst] in place), write [dst] back — the
+          combine a programmable NIC performs on a tree packet before
+          forwarding it (Yu et al.'s MCP). No message is sent; pair with a
+          trailing {!Triggered_put} of [dst] to forward the result. *)
+  | Triggered_ct_inc of { ct : Handle.ct; amount : int }
+      (** Bump another counter — fan-in accumulation ("all children
+          arrived") and chain-completion flags. May cascade: the bump
+          fires any chain the target counter now satisfies. *)
+
+val ct_alloc : t -> (Handle.ct, Errors.t) result
+(** Allocate a counting event, initially 0 ([PtlCTAlloc]-style). *)
+
+val ct_free : t -> Handle.ct -> (unit, Errors.t) result
+(** Release a counter. Chains still armed on it are discarded; a match
+    entry still pointing at it bumps into {!drop_reason.Triggered_target_gone}. *)
+
+val ct_get : t -> Handle.ct -> (int, Errors.t) result
+(** Current value ([PtlCTGet]). *)
+
+val ct_inc : t -> Handle.ct -> int -> (unit, Errors.t) result
+(** Host-side bump by a positive amount ([PtlCTInc]): fires newly
+    eligible chains and wakes {!ct_wait}ers, exactly like a match-time
+    bump. *)
+
+val ct_wait : t -> Handle.ct -> threshold:int -> (int, Errors.t) result
+(** Fiber-only: block until the counter reaches [threshold]; returns the
+    value observed ([PtlCTWait]). This is the {e only} blocking point a
+    NIC-offloaded collective uses — everything between the host's first
+    send and this wake happens in receive paths. Fails with [Invalid_ct]
+    if the counter is freed while waiting. *)
+
+val me_set_ct : t -> me:Handle.me -> ct:Handle.ct -> (unit, Errors.t) result
+(** Attach a counter to a match entry: every put/get/atomic that commits
+    through the entry bumps the counter by one, after the deposit's
+    events and responses are issued. *)
+
+val ct_arm :
+  t ->
+  ct:Handle.ct ->
+  ?eq:Handle.eq ->
+  ?user_ptr:int ->
+  threshold:int ->
+  triggered_action list ->
+  (unit, Errors.t) result
+(** Arm a chain: when [ct] reaches [threshold] (now or later — arming at
+    or below the current value fires immediately, closing the race with
+    deposits that land before the host arms), run the actions in order,
+    then post a TRIGGERED event to [eq] if given (tagged [user_ptr]; the
+    event's [offset] carries the threshold, [rlength] the action count).
+    Chains on one counter fire in arming order; each fired chain is
+    charged one match-entry cost per action on the receive processor.
+    Mis-armed chains — vanished handles, inactive descriptors, full
+    completion queues — drop into the dedicated §4.8 reasons instead of
+    raising. *)
 
 (** {1 Introspection} *)
 

@@ -39,6 +39,11 @@ type atomic = { aop : aop; operand : int64; compare : int64 }
 type t = {
   op : op;
   ack_requested : bool;
+  triggered : bool;
+      (* Provenance: the message was emitted by a pre-armed triggered
+         chain on the initiator's NI, not by a host fiber. Travels in bit
+         1 of the flags byte; untriggered frames are byte-identical to the
+         pre-extension format. *)
   initiator : Simnet.Proc_id.t;
   target : Simnet.Proc_id.t;
   portal_index : int;
@@ -99,12 +104,13 @@ let op_of_code = function
   | 5 -> Some Atomic_reply
   | _ -> None
 
-let put_request ?(ack_requested = true) ?(incarnation = 0) ?length ~initiator
-    ~target ~portal_index ~cookie ~match_bits ~offset ~md_handle ~eq_handle
-    ~data () =
+let put_request ?(ack_requested = true) ?(triggered = false) ?(incarnation = 0)
+    ?length ~initiator ~target ~portal_index ~cookie ~match_bits ~offset
+    ~md_handle ~eq_handle ~data () =
   {
     op = Put_request;
     ack_requested;
+    triggered;
     initiator;
     target;
     portal_index;
@@ -125,6 +131,7 @@ let ack_of_put ?incarnation t ~mlength =
     t with
     op = Ack;
     ack_requested = false;
+    triggered = false;
     initiator = t.target;
     target = t.initiator;
     incarnation = Option.value incarnation ~default:t.incarnation;
@@ -137,6 +144,7 @@ let get_request ?(incarnation = 0) ~initiator ~target ~portal_index ~cookie
   {
     op = Get_request;
     ack_requested = false;
+    triggered = false;
     initiator;
     target;
     portal_index;
@@ -170,6 +178,7 @@ let atomic_request ?(incarnation = 0) ~aop ~operand ?(compare = 0L) ~initiator
   {
     op = Atomic_request;
     ack_requested = false;
+    triggered = false;
     initiator;
     target;
     portal_index;
@@ -214,7 +223,8 @@ let write_header buf t =
   Bytes.set_uint8 buf 0 magic;
   Bytes.set_uint8 buf 1 version;
   Bytes.set_uint8 buf 2 (op_code t.op);
-  Bytes.set_uint8 buf 3 (if t.ack_requested then 1 else 0);
+  Bytes.set_uint8 buf 3
+    ((if t.ack_requested then 1 else 0) lor if t.triggered then 2 else 0);
   Bytes.set_int32_le buf 4 (Int32.of_int t.initiator.Simnet.Proc_id.nid);
   Bytes.set_int32_le buf 8 (Int32.of_int t.initiator.Simnet.Proc_id.pid);
   Bytes.set_int32_le buf 12 (Int32.of_int t.target.Simnet.Proc_id.nid);
@@ -356,7 +366,8 @@ let decode_gen ~extract_data buf =
             Ok
               {
                 op;
-                ack_requested = Bytes.get_uint8 buf 3 = 1;
+                ack_requested = Bytes.get_uint8 buf 3 land 1 = 1;
+                triggered = Bytes.get_uint8 buf 3 land 2 <> 0;
                 initiator = Simnet.Proc_id.make ~nid:(i32 4) ~pid:(i32 8);
                 target = Simnet.Proc_id.make ~nid:(i32 12) ~pid:(i32 16);
                 portal_index = i32 20;
@@ -388,6 +399,7 @@ let field_inventory = function
   | Put_request ->
     [
       ("operation", "Indicates a put request");
+      ("flags", "Ack-requested bit and triggered-provenance bit");
       ("initiator", "Local process id");
       ("incarnation", "Initiator's incarnation (fences stale senders)");
       ("target", "Target process id");
@@ -470,7 +482,8 @@ let pp ppf t =
     t.op Simnet.Proc_id.pp t.initiator Simnet.Proc_id.pp t.target
     t.portal_index t.cookie Match_bits.pp t.match_bits t.offset Handle.pp
     t.md_handle Handle.pp t.eq_handle t.incarnation t.length
-    (if t.ack_requested then " +ack" else "");
+    ((if t.ack_requested then " +ack" else "")
+    ^ if t.triggered then " +trig" else "");
   match t.atomic with
   | None -> ()
   | Some a ->

@@ -79,6 +79,13 @@ type atomic = {
 type t = {
   op : op;
   ack_requested : bool;  (** Put requests only; false elsewhere. *)
+  triggered : bool;
+      (** Provenance bit (bit 1 of the flags byte): the message was fired
+          by a pre-armed triggered chain on the initiator's NI rather
+          than by a host fiber. Targets log such deposits as
+          {!Event.kind.Triggered} instead of [Put], making NIC-resident
+          forwarding wire-visible. Untriggered frames stay byte-identical
+          to the pre-extension format. *)
   initiator : Simnet.Proc_id.t;
   target : Simnet.Proc_id.t;
   portal_index : int;
@@ -117,6 +124,7 @@ val frame_checksum_size : unit -> int
 
 val put_request :
   ?ack_requested:bool ->
+  ?triggered:bool ->
   ?incarnation:int ->
   ?length:int ->
   initiator:Simnet.Proc_id.t ->

@@ -168,6 +168,46 @@ let run () =
   Bytes.set_uint8 corrupted P.Wire.header_size
     (Bytes.get_uint8 corrupted P.Wire.header_size lxor 0x01);
   tp.Simnet.Transport.send ~src:r0 ~dst:r1 corrupted;
+  (* 15. triggered chain firing into a vanished handle: the armed
+     action's counter is freed before the trigger arrives. *)
+  let tct = P.Errors.ok_exn ~op:"ct" (P.Ni.ct_alloc ni0) in
+  let victim_ct = P.Errors.ok_exn ~op:"ct" (P.Ni.ct_alloc ni0) in
+  P.Errors.ok_exn ~op:"arm"
+    (P.Ni.ct_arm ni0 ~ct:tct ~threshold:1
+       [ P.Ni.Triggered_ct_inc { ct = victim_ct; amount = 1 } ]);
+  P.Errors.ok_exn ~op:"ct_free" (P.Ni.ct_free ni0 victim_ct);
+  P.Errors.ok_exn ~op:"ct_inc" (P.Ni.ct_inc ni0 tct 1);
+  (* 16. triggered put whose descriptor went inactive before the fire:
+     threshold 0 exhausts the MD immediately. *)
+  let dead_md =
+    P.Errors.ok_exn ~op:"bind"
+      (P.Ni.md_bind ni0
+         (P.Ni.md_spec ~threshold:(P.Md.Count 0) ~unlink:P.Md.Retain
+            (Bytes.create 8)))
+  in
+  let mct = P.Errors.ok_exn ~op:"ct" (P.Ni.ct_alloc ni0) in
+  P.Errors.ok_exn ~op:"arm"
+    (P.Ni.ct_arm ni0 ~ct:mct ~threshold:1
+       [
+         P.Ni.Triggered_put
+           {
+             md = dead_md;
+             ack = false;
+             length = None;
+             op = P.Ni.op ~target:r1 ~portal_index:pt_bench ();
+           };
+       ]);
+  P.Errors.ok_exn ~op:"ct_inc" (P.Ni.ct_inc ni0 mct 1);
+  (* 17. chain completion into a full event queue: two chains on one
+     counter share a 1-deep EQ; both fire on the same bump, the second
+     completion event finds the queue full. *)
+  let ch_eqh = P.Errors.ok_exn ~op:"eq" (P.Ni.eq_alloc ni0 ~capacity:1) in
+  let ect = P.Errors.ok_exn ~op:"ct" (P.Ni.ct_alloc ni0) in
+  let other_ct = P.Errors.ok_exn ~op:"ct" (P.Ni.ct_alloc ni0) in
+  let inc = [ P.Ni.Triggered_ct_inc { ct = other_ct; amount = 1 } ] in
+  P.Errors.ok_exn ~op:"arm" (P.Ni.ct_arm ni0 ~ct:ect ~eq:ch_eqh ~threshold:1 inc);
+  P.Errors.ok_exn ~op:"arm" (P.Ni.ct_arm ni0 ~ct:ect ~eq:ch_eqh ~threshold:1 inc);
+  P.Errors.ok_exn ~op:"ct_inc" (P.Ni.ct_inc ni0 ect 1);
   Runtime.run world;
   (* The table is read back out of the registry: each NI publishes an
      ["ni.drops"] probe per (proc, reason); summing over procs recovers

@@ -20,3 +20,4 @@ module Matrix = Matrix
 module Rma = Rma
 module Chaos = Chaos
 module Par = Par
+module Coll = Coll

@@ -60,14 +60,25 @@ let pp_memory ppf rows =
 
 type coll_row = { nodes : int; barrier_us : float; allreduce_us : float }
 
-let run_collectives ?(node_counts = [ 2; 4; 8; 16; 32; 64; 128; 256 ]) () =
+let run_collectives ?impl ?(node_counts = [ 2; 4; 8; 16; 32; 64; 128; 256 ]) () =
+  (* The engine follows the CLI's [--collectives] default unless the
+     caller picks one; both give the same results, only the timing of a
+     busy host differs (Experiments.Coll measures that contrast). *)
+  let impl =
+    match impl with
+    | Some i -> i
+    | None -> (
+      match Collectives.impl_of_string (Runtime.run_collectives_env ()) with
+      | Some i -> i
+      | None -> Collectives.Host)
+  in
   let measure n =
     let world = Runtime.create_world ~nodes:n () in
     let colls =
       Array.mapi
         (fun rank pid ->
           let ni = Portals.Ni.create world.Runtime.transport ~id:pid () in
-          Collectives.create ni ~ranks:world.Runtime.ranks ~rank ())
+          Collectives.create_impl impl ni ~ranks:world.Runtime.ranks ~rank ())
         world.Runtime.ranks
     in
     let barrier_done = ref Time_ns.zero in
@@ -77,15 +88,17 @@ let run_collectives ?(node_counts = [ 2; 4; 8; 16; 32; 64; 128; 256 ]) () =
     Array.iteri
       (fun rank coll ->
         Scheduler.spawn world.Runtime.sched (fun () ->
+            let payload = Collectives.bytes_of_floats (Array.make 8 1.0) in
             (* Warmup to hide first-touch effects, then measured rounds. *)
-            Collectives.barrier coll;
+            Collectives.any_barrier coll;
             if rank = 0 then barrier_start := Scheduler.now world.Runtime.sched;
-            Collectives.barrier coll;
+            Collectives.any_barrier coll;
             let now = Scheduler.now world.Runtime.sched in
             if Time_ns.compare now !barrier_done > 0 then barrier_done := now;
-            Collectives.barrier coll;
+            Collectives.any_barrier coll;
             if rank = 0 then allreduce_start := Scheduler.now world.Runtime.sched;
-            ignore (Collectives.allreduce_float_sum coll (Array.make 8 1.0));
+            ignore
+              (Collectives.any_allreduce coll ~op:Collectives.sum_floats payload);
             let now = Scheduler.now world.Runtime.sched in
             if Time_ns.compare now !allreduce_done > 0 then allreduce_done := now))
       colls;

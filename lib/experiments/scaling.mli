@@ -33,8 +33,12 @@ val pp_memory : Format.formatter -> memory_row list -> unit
 
 type coll_row = { nodes : int; barrier_us : float; allreduce_us : float }
 
-val run_collectives : ?node_counts:int list -> unit -> coll_row list
-(** Defaults: 2..256 nodes; allreduce of 8 float64s. *)
+val run_collectives :
+  ?impl:Collectives.impl -> ?node_counts:int list -> unit -> coll_row list
+(** Defaults: 2..256 nodes; allreduce of 8 float64s. [impl] (default:
+    the {!Runtime.run_collectives_env} / [--collectives] selection)
+    picks the engine the ranks build — host-driven trees or the
+    NIC-offloaded triggered chains. *)
 
 val pp_collectives : Format.formatter -> coll_row list -> unit
 

@@ -451,7 +451,7 @@ let handle_event t (ev : P.Event.t) =
           length = ev.P.Event.mlength;
         }
     | Some { kind = Send_eager | Send_rdvz; _ } | None -> ())
-  | P.Event.Ack | P.Event.Atomic -> ()
+  | P.Event.Ack | P.Event.Atomic | P.Event.Triggered -> ()
 
 let progress_raw t =
   let rec drain () =

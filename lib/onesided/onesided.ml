@@ -206,7 +206,8 @@ let handle_tx_event t (ev : P.Event.t) =
       Hashtbl.remove t.forget ev.P.Event.md_user_ptr
     else
       Hashtbl.replace t.completed_gets ev.P.Event.md_user_ptr ev.P.Event.mlength
-  | P.Event.Sent | P.Event.Put | P.Event.Get | P.Event.Atomic -> ()
+  | P.Event.Sent | P.Event.Put | P.Event.Get | P.Event.Atomic
+  | P.Event.Triggered -> ()
 
 (* A dropped tx event is an ack/reply this endpoint will never see: the
    outstanding accounting can no longer converge, so every completion-

@@ -55,3 +55,7 @@ let pick_list ~what ~valid s =
     (match split_csv s with
     | [] -> Error (Printf.sprintf "empty %s list" what)
     | xs -> go [] xs)
+
+(* The collective-engine names both CLIs accept for "--collectives";
+   resolved by Collectives.impl_of_string downstream. *)
+let collectives_impl_names = [ "host"; "nic" ]

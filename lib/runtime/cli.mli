@@ -27,3 +27,7 @@ val pick_list :
 (** Parse a comma-separated name list: each element validated with
     {!pick}, duplicates dropped (first wins), order preserved. [""] and
     ["all"] select the full set in [valid]'s order. *)
+
+val collectives_impl_names : string list
+(** The collective-engine names ([host], [nic]) both CLIs accept for
+    [--collectives]. *)

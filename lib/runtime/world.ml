@@ -37,6 +37,7 @@ let env_crashes : Simnet.Fault.crash_schedule option ref = ref None
 let env_topology : string option ref = ref None
 let env_queue_limit : int option ref = ref None
 let env_domains = ref 1
+let env_collectives = ref "host"
 
 (* A topology spec with explicit dimensions implies its own node count;
    validate against that so "--topology torus2d:4x3" is rejected up
@@ -220,7 +221,16 @@ let crashes_of_spec spec =
   with Invalid_argument reason when not (String.length reason > 7 && String.sub reason 0 8 = "Runtime:") ->
     bad reason
 
-let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit ?domains () =
+let set_run_env ?loss ?seed ?fault ?crashes ?topology ?queue_limit ?domains
+    ?collectives () =
+  (match collectives with
+  | Some (("host" | "nic" | "nic_offload" | "nic-offload") as s) ->
+    env_collectives := s
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf
+         "Runtime.set_run_env: unknown collectives engine %S (host|nic)" other)
+  | None -> ());
   (match domains with
   | Some d ->
     if d < 1 then
@@ -261,6 +271,7 @@ let run_env () = (!env_loss, !env_seed)
 let run_crash_env () = !env_crashes
 let run_topology_env () = (!env_topology, !env_queue_limit)
 let run_domains_env () = !env_domains
+let run_collectives_env () = !env_collectives
 
 let create_world ?profile ?(transport = Offload) ?(procs_per_node = 1) ?seed
     ?topology ?queue_limit ?domains ?(env_faults = true) ~nodes () =

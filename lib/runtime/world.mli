@@ -38,6 +38,7 @@ val set_run_env :
   ?topology:string ->
   ?queue_limit:int ->
   ?domains:int ->
+  ?collectives:string ->
   unit ->
   unit
 (** Process-wide defaults applied by {!create_world}, set once by the CLI
@@ -77,7 +78,13 @@ val set_run_env :
        (default 1 = the sequential reference scheduler). Worlds with
        fewer nodes than domains fall back to one shard per node. Same
        seed, same world ⇒ same simulated history at any domain count
-       (see {!Sim_engine.Shard}).}}
+       (see {!Sim_engine.Shard}).}
+    {- [collectives] — which collective engine workloads should build:
+       ["host"] (the host-driven reference) or ["nic"] (triggered-chain
+       NIC offload). Kept as a string so the runtime does not depend on
+       the collectives library; consumers resolve it with
+       [Collectives.impl_of_string]. Both engines give byte-identical
+       results — the choice only moves where tree hops execute.}}
 
     Raises [Invalid_argument] on an out-of-range loss or a malformed
     fault/crash spec (bad syntax, negative times, restart not after its
@@ -94,6 +101,10 @@ val run_topology_env : unit -> string option * int option
 
 val run_domains_env : unit -> int
 (** The domain-count default new worlds inherit (1 = sequential). *)
+
+val run_collectives_env : unit -> string
+(** The collective-engine default (["host"] unless [--collectives]
+    changed it); feed to [Collectives.impl_of_string]. *)
 
 val create_world :
   ?profile:Simnet.Profile.t ->

@@ -116,6 +116,29 @@ for bad in "corrupt:2" "delay:10:20" "partition:0|1@50:20"; do
   grep -q 'bad fault spec' "$OUT/chaos_spec.err"
 done
 
+echo "== smoke: NIC-offloaded collectives (4x4 torus, fixed seed) =="
+# The triggered-chain engine must agree with the host-driven reference
+# byte for byte on a routed torus, and the quick latency table — busy
+# host cells included — must terminate and show both engines.
+$DUNE exec bin/portals_repro.exe -- \
+  coll --check --run-seed 7 | tee "$OUT/coll_check.out"
+grep -q 'host and nic agree' "$OUT/coll_check.out"
+$DUNE exec bin/portals_repro.exe -- \
+  coll --quick --run-seed 7 | tee "$OUT/coll.out"
+grep -q '^torus2d .* busy  nic' "$OUT/coll.out"
+grep -q '^torus2d .* busy  host' "$OUT/coll.out"
+# The S2 scaling sweep must run under either engine; a bogus engine name
+# must die with a clean usage error.
+$DUNE exec bin/portals_repro.exe -- \
+  collectives --collectives nic --nodes 2,4,8 | tee "$OUT/coll_s2.out"
+grep -q '^8 ' "$OUT/coll_s2.out"
+if $DUNE exec bin/portals_repro.exe -- coll --collectives bogus \
+    2>"$OUT/coll.err"; then
+  echo "coll accepted a bogus collectives engine" >&2
+  exit 1
+fi
+grep -q 'unknown collectives engine' "$OUT/coll.err"
+
 echo "== smoke: parallel determinism (--domains 1 vs 4, fixed seeds) =="
 # The parallel engine's contract: same seed, same world => byte-identical
 # output at any domain count. The headline figure, the chaos quick grid

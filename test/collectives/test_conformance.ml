@@ -1,0 +1,251 @@
+open Sim_engine
+module C = Collectives
+module P = Portals
+
+(* Conformance: the host-driven and NIC-offloaded collective engines
+   must be observationally identical — byte-identical results on every
+   rank, the same barrier release semantics, the same tolerant-barrier
+   shutdown behaviour — whatever the domain count or fault regime. One
+   functorizable surface ({!Coll_intf.S}, packed as {!Collectives.any})
+   runs every check against both. *)
+
+let impls = [ ("host", C.Host); ("nic", C.Nic_offload) ]
+
+(* An order-sensitive fold (non-commutative, non-associative): any
+   divergence in the combining order between the two engines — host
+   ascending-mask folds vs NIC Triggered_combine chains — shows up as a
+   byte difference, where a plain sum could hide it. *)
+let mix acc contribution =
+  let n = min (Bytes.length acc) (Bytes.length contribution) in
+  for i = 0 to n - 1 do
+    Bytes.set_uint8 acc i
+      (((Bytes.get_uint8 acc i * 31) + Bytes.get_uint8 contribution i)
+      land 0xff)
+  done
+
+(* Run [f world coll ~rank] on an [n]-rank world under [impl]; returns
+   total §4.8 drops across every rank's interface after quiescence (the
+   NIC engine must never mis-fire a chain). *)
+let run_group ?(n = 4) ?(domains = 1) ?(seed = 0) impl f =
+  let world = Runtime.create_world ~nodes:n ~domains ~seed () in
+  let nis = Array.make n None in
+  Runtime.spawn_ranks world (fun ~rank ->
+      let ni =
+        P.Ni.create
+          (Runtime.transport_of_rank world rank)
+          ~id:world.Runtime.ranks.(rank) ()
+      in
+      nis.(rank) <- Some ni;
+      let coll = C.create_impl impl ni ~ranks:world.Runtime.ranks ~rank () in
+      f world coll ~rank);
+  Runtime.run world;
+  Array.fold_left
+    (fun acc -> function Some ni -> acc + P.Ni.dropped_total ni | None -> acc)
+    0 nis
+
+(* A mixed workload touching every operation, long enough to drive the
+   NIC engine's sequence window across several internal syncs; returns
+   this rank's concatenated observable bytes. *)
+let workload n world coll ~rank =
+  ignore world;
+  let buf = Buffer.create 256 in
+  for round = 1 to 6 do
+    let mine =
+      C.bytes_of_floats
+        [| float_of_int (rank + round) *. 1.5; 0.25 *. float_of_int round |]
+    in
+    Buffer.add_bytes buf (C.any_allreduce coll ~op:C.sum_floats mine);
+    let root = round mod n in
+    let payload =
+      if rank = root then Bytes.of_string (Printf.sprintf "round-%d" round)
+      else Bytes.empty
+    in
+    Buffer.add_bytes buf (C.any_bcast coll ~root payload);
+    C.any_barrier coll;
+    (match
+       C.any_reduce coll ~root ~op:mix
+         (Bytes.make 5 (Char.chr ((rank + round) land 0xff)))
+     with
+    | Some b -> Buffer.add_bytes buf b
+    | None -> ())
+  done;
+  Buffer.contents buf
+
+let run_workload ?(n = 8) ?domains impl =
+  let results = Array.make n "" in
+  let drops =
+    run_group ~n ?domains impl (fun world coll ~rank ->
+        results.(rank) <- workload n world coll ~rank)
+  in
+  (results, drops)
+
+let equality_tests =
+  [
+    Alcotest.test_case "nic matches host on a mixed workload" `Quick (fun () ->
+        let host, _ = run_workload C.Host in
+        let nic, drops = run_workload C.Nic_offload in
+        Array.iteri
+          (fun rank h ->
+            Alcotest.(check string)
+              (Printf.sprintf "rank %d bytes" rank)
+              h nic.(rank))
+          host;
+        Alcotest.(check int) "nic runs drop-free" 0 drops);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random payloads agree between engines"
+         ~count:10
+         QCheck.(
+           pair (int_range 2 9)
+             (list_of_size Gen.(int_range 1 6) (float_range (-50.) 50.)))
+         (fun (n, base) ->
+           let base = Array.of_list base in
+           let run impl =
+             let out = Array.make n ("", "") in
+             let _ =
+               run_group ~n impl (fun _ coll ~rank ->
+                   let mine =
+                     Array.map (fun x -> x +. (1.5 *. float_of_int rank)) base
+                   in
+                   let ar =
+                     C.any_allreduce coll ~op:C.sum_floats
+                       (C.bytes_of_floats mine)
+                   in
+                   let rd =
+                     match
+                       C.any_reduce coll ~root:(n - 1) ~op:mix
+                         (Bytes.make 7 (Char.chr (rank + 1)))
+                     with
+                     | Some b -> Bytes.to_string b
+                     | None -> "-"
+                   in
+                   out.(rank) <- (Bytes.to_string ar, rd))
+             in
+             out
+           in
+           run C.Host = run C.Nic_offload));
+  ]
+
+let barrier_tests =
+  List.map
+    (fun (name, impl) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s barrier releases nobody early" name)
+        `Quick
+        (fun () ->
+          let n = 5 in
+          let leave = Array.make n 0 in
+          let _ =
+            run_group ~n impl (fun world coll ~rank ->
+                let sched = Runtime.sched_of_rank world rank in
+                Scheduler.delay sched (Time_ns.ms (float_of_int rank));
+                C.any_barrier coll;
+                leave.(rank) <- Scheduler.now sched)
+          in
+          let slowest = Time_ns.ms (float_of_int (n - 1)) in
+          Array.iteri
+            (fun rank t ->
+              Alcotest.(check bool)
+                (Printf.sprintf "rank %d after slowest" rank)
+                true (t >= slowest))
+            leave))
+    impls
+
+let tolerant_tests =
+  List.map
+    (fun (name, impl) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s tolerant barrier survives a crashed rank" name)
+        `Quick
+        (fun () ->
+          let n = 4 in
+          let victim = 2 in
+          let released = ref 0 in
+          let world = Runtime.create_world ~nodes:n () in
+          Runtime.spawn_ranks world (fun ~rank ->
+              let ni =
+                P.Ni.create
+                  (Runtime.transport_of_rank world rank)
+                  ~id:world.Runtime.ranks.(rank) ()
+              in
+              let coll =
+                C.create_impl impl ni ~ranks:world.Runtime.ranks ~rank ()
+              in
+              C.any_barrier coll;
+              if rank <> victim then begin
+                (* Give the crash (at 2 ms) time to land, then run the
+                   shutdown barrier among the survivors. *)
+                Scheduler.delay
+                  (Runtime.sched_of_rank world rank)
+                  (Time_ns.ms 5.);
+                C.any_barrier ~tolerant:true coll;
+                incr released
+              end);
+          Scheduler.spawn world.Runtime.sched (fun () ->
+              Scheduler.delay world.Runtime.sched (Time_ns.ms 2.);
+              Simnet.Fabric.crash world.Runtime.fabric
+                world.Runtime.ranks.(victim).Simnet.Proc_id.nid);
+          Runtime.run world;
+          Alcotest.(check int) "survivors released" (n - 1) !released))
+    impls
+
+let domain_tests =
+  [
+    Alcotest.test_case "byte-identical across engines and domain counts"
+      `Quick
+      (fun () ->
+        let reference, _ = run_workload ~domains:1 C.Host in
+        List.iter
+          (fun (label, impl, domains) ->
+            let got, drops = run_workload ~domains impl in
+            Array.iteri
+              (fun rank r ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%s rank %d" label rank)
+                  r got.(rank))
+              reference;
+            if impl = C.Nic_offload then
+              Alcotest.(check int)
+                (Printf.sprintf "%s drop-free" label)
+                0 drops)
+          [
+            ("host@4", C.Host, 4);
+            ("nic@1", C.Nic_offload, 1);
+            ("nic@4", C.Nic_offload, 4);
+          ])
+  ]
+
+let chaos_tests =
+  [
+    Alcotest.test_case "nic chains survive loss, delay and duplication"
+      `Quick
+      (fun () ->
+        (* Same workload, now over a faulty fabric with the reliability
+           shim underneath: retransmits and duplicate deliveries must
+           not double-fire chains or skew counters — results still match
+           the clean-fabric host reference bit for bit. *)
+        let reference, _ = run_workload C.Host in
+        Fun.protect
+          ~finally:(fun () -> Runtime.set_run_env ~loss:0. ~fault:"" ())
+          (fun () ->
+            Runtime.set_run_env ~fault:"bernoulli:0.03+delay:30:15" ();
+            List.iter
+              (fun (label, impl) ->
+                let got, _ = run_workload impl in
+                Array.iteri
+                  (fun rank r ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "%s under faults rank %d" label rank)
+                      r got.(rank))
+                  reference)
+              [ ("host", C.Host); ("nic", C.Nic_offload) ]))
+  ]
+
+let () =
+  Alcotest.run "coll-conformance"
+    [
+      ("equality", equality_tests);
+      ("barrier", barrier_tests);
+      ("tolerant", tolerant_tests);
+      ("domains", domain_tests);
+      ("chaos", chaos_tests);
+    ]

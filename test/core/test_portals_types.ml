@@ -391,6 +391,7 @@ let wire_gen =
       {
         Wire.op;
         ack_requested = (op = Wire.Put_request && ackf);
+        triggered = (op = Wire.Put_request && not ackf);
         initiator = ini;
         target = tgt;
         portal_index = pt;

@@ -281,7 +281,7 @@ let drops_tests =
     Alcotest.test_case "every documented drop reason fires exactly once"
       `Quick (fun () ->
         let rows = Experiments.Drops.run () in
-        Alcotest.(check int) "fourteen reasons" 14 (List.length rows);
+        Alcotest.(check int) "seventeen reasons" 17 (List.length rows);
         List.iter
           (fun r ->
             Alcotest.(check int) r.Experiments.Drops.reason 1
